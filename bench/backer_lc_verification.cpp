@@ -1,0 +1,177 @@
+// Experiment BACKER: the BACKER coherence algorithm maintains location
+// consistency [Luc97], verified post-mortem over a grid of workloads,
+// processor counts, cache sizes and seeds; the no-coherence policy is
+// the negative control, and the SC memory / LC oracle calibrate the
+// checkers from both sides.
+#include "exec/backer.hpp"
+#include "exec/lc_memory.hpp"
+#include "exec/sc_memory.hpp"
+#include "exec/sim_machine.hpp"
+#include "exec/weak_memory.hpp"
+#include "exec/workload.hpp"
+#include "experiment_common.hpp"
+#include "models/location_consistency.hpp"
+#include "models/sequential_consistency.hpp"
+
+namespace ccmm {
+namespace {
+
+struct Workload {
+  const char* name;
+  Computation c;
+};
+
+std::vector<Workload> make_workloads(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Workload> out;
+  out.push_back({"reduction(16)", workload::reduction(16)});
+  out.push_back({"stencil(6x4)", workload::stencil(6, 4)});
+  out.push_back({"counter(10)", workload::contended_counter(10)});
+  out.push_back({"fork-join(2,4)", workload::fork_join_array(2, 4, 4)});
+  out.push_back({"random(40)", workload::random_ops(
+                                   gen::random_dag(40, 0.08, rng), 4, 0.4,
+                                   0.4, rng)});
+  out.push_back({"series-parallel(30)",
+                 workload::random_ops(gen::series_parallel(30, rng), 3, 0.4,
+                                      0.4, rng)});
+  return out;
+}
+
+int run() {
+  experiment::Harness h("BACKER maintains LC — post-mortem verification");
+
+  h.section("BACKER (edge-sync policy)");
+  {
+    TextTable t({"workload", "P", "runs", "LC pass", "SC pass", "fetches",
+                 "reconciles", "steals"});
+    for (const std::size_t procs : {1u, 2u, 4u, 8u}) {
+      for (std::uint64_t wseed = 1; wseed <= 2; ++wseed) {
+        for (auto& [name, c] : make_workloads(wseed)) {
+          std::size_t runs = 0, lc_pass = 0, sc_pass = 0;
+          std::uint64_t fetches = 0, reconciles = 0, steals = 0;
+          for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            Rng rng(seed * 7919 + wseed);
+            BackerMemory mem;
+            const Schedule s = work_stealing_schedule(c, procs, rng);
+            const ExecutionResult r = run_execution(c, s, mem);
+            ++runs;
+            lc_pass += location_consistent(c, r.phi) ? 1 : 0;
+            const auto sc = sc_check(c, r.phi, 100'000);
+            sc_pass += sc.status == SearchStatus::kYes ? 1 : 0;
+            fetches += r.memory_stats.fetches;
+            reconciles += r.memory_stats.reconciles;
+            steals += s.steals;
+          }
+          if (wseed == 1)
+            t.add_row({name, format("%zu", procs), format("%zu", runs),
+                       format("%zu/%zu", lc_pass, runs),
+                       format("%zu/%zu", sc_pass, runs),
+                       format("%llu", (unsigned long long)fetches),
+                       format("%llu", (unsigned long long)reconciles),
+                       format("%llu", (unsigned long long)steals)});
+          h.check(lc_pass == runs,
+                  format("%s on %zu procs (wseed %llu): all runs LC", name,
+                         procs, (unsigned long long)wseed));
+        }
+      }
+    }
+    h.note(t.render());
+  }
+
+  h.section("BACKER with bounded caches");
+  {
+    for (const std::size_t capacity : {1u, 2u, 8u}) {
+      std::size_t runs = 0, lc_pass = 0;
+      std::uint64_t evictions = 0;
+      for (auto& [name, c] : make_workloads(3)) {
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+          Rng rng(seed);
+          BackerConfig cfg;
+          cfg.cache_capacity = capacity;
+          BackerMemory mem(cfg);
+          const ExecutionResult r =
+              run_execution(c, work_stealing_schedule(c, 4, rng), mem);
+          ++runs;
+          lc_pass += location_consistent(c, r.phi) ? 1 : 0;
+          evictions += r.memory_stats.evictions;
+        }
+      }
+      h.check(lc_pass == runs,
+              format("capacity %zu lines: %zu/%zu runs LC (%llu evictions)",
+                     capacity, lc_pass, runs,
+                     (unsigned long long)evictions));
+    }
+  }
+
+  h.section("protocol ablation: which coherence actions LC needs");
+  {
+    struct PolicyRow {
+      const char* name;
+      BackerPolicy policy;
+      bool must_hold;  // LC guaranteed?
+    };
+    const PolicyRow policies[] = {
+        {"edge-sync (reconcile + flush)", BackerPolicy::kEdgeSync, true},
+        {"source-only (no target flush)", BackerPolicy::kSourceOnly, false},
+        {"none (no coherence at all)", BackerPolicy::kNone, false},
+    };
+    TextTable t({"policy", "LC violations", "runs"});
+    for (const PolicyRow& p : policies) {
+      BackerConfig cfg;
+      cfg.policy = p.policy;
+      std::size_t runs = 0, violations = 0;
+      for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        Rng rng(seed);
+        const Computation c = workload::contended_counter(8);
+        BackerMemory mem(cfg);
+        const ExecutionResult r =
+            run_execution(c, work_stealing_schedule(c, 4, rng), mem);
+        ++runs;
+        violations += location_consistent(c, r.phi) ? 0 : 1;
+      }
+      t.add_row({p.name, format("%zu", violations), format("%zu", runs)});
+      if (p.must_hold)
+        h.check(violations == 0,
+                format("%s: LC holds on all %zu runs", p.name, runs));
+      else
+        h.check(violations > 0,
+                format("%s: checker catches the broken protocol "
+                       "(%zu/%zu violations)",
+                       p.name, violations, runs));
+    }
+    h.note(t.render());
+  }
+
+  h.section("calibration: SC memory and LC oracle");
+  {
+    Rng rng(11);
+    const Computation c =
+        workload::random_ops(gen::random_dag(14, 0.15, rng), 3, 0.4, 0.4,
+                             rng);
+    std::size_t sc_ok = 0, oracle_lc = 0, oracle_non_sc = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      ScMemory scm;
+      Rng srng(seed);
+      const ExecutionResult a =
+          run_execution(c, work_stealing_schedule(c, 4, srng), scm);
+      sc_ok += sequentially_consistent(c, a.phi) ? 1 : 0;
+
+      LcOracleMemory oracle(seed);
+      const ExecutionResult b = run_serial(c, oracle);
+      oracle_lc += location_consistent(c, b.phi) ? 1 : 0;
+      oracle_non_sc += sequentially_consistent(c, b.phi) ? 0 : 1;
+    }
+    h.check(sc_ok == 10, "SC memory: 10/10 runs sequentially consistent");
+    h.check(oracle_lc == 10, "LC oracle: 10/10 runs location consistent");
+    h.check(oracle_non_sc > 0,
+            format("LC oracle separates LC from SC (%zu/10 runs non-SC)",
+                   oracle_non_sc));
+  }
+
+  return h.finish();
+}
+
+}  // namespace
+}  // namespace ccmm
+
+int main() { return ccmm::run(); }

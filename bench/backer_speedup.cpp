@@ -1,0 +1,124 @@
+// The performance story BACKER was built for ([BFJ+96] reports Cilk
+// application speedups under BACKER): work-stealing makespans versus the
+// T_P ≈ T_1/P + T_inf model, plus the protocol-traffic profile as the
+// processor count grows. Absolute numbers are simulator ticks, not
+// hardware seconds; the *shape* (near-linear speedup while T_1/P
+// dominates, protocol traffic growing with steals) is the reproduced
+// result.
+#include "exec/backer.hpp"
+#include "exec/costed.hpp"
+#include "exec/sim_machine.hpp"
+#include "exec/workload.hpp"
+#include "experiment_common.hpp"
+#include "models/location_consistency.hpp"
+
+namespace ccmm {
+namespace {
+
+int run() {
+  experiment::Harness h("BACKER / work stealing — speedup profile");
+
+  struct Workload {
+    const char* name;
+    Computation c;
+  };
+  Rng wrng(5);
+  const Workload workloads[] = {
+      {"reduction(256)", workload::reduction(256)},
+      {"stencil(32x8)", workload::stencil(32, 8)},
+      {"fork-join(2,8)", workload::fork_join_array(2, 8, 16)},
+      {"matmul(4)", workload::matmul(4)},
+      {"series-parallel(400)",
+       workload::random_ops(gen::series_parallel(400, wrng), 8, 0.4, 0.4,
+                            wrng)},
+  };
+
+  for (const auto& [name, c] : workloads) {
+    const WorkSpan ws = work_span(c);
+    h.section(format("%s: T1 = %llu, Tinf = %llu, parallelism = %.1f", name,
+                     (unsigned long long)ws.work,
+                     (unsigned long long)ws.span,
+                     static_cast<double>(ws.work) /
+                         static_cast<double>(ws.span)));
+    TextTable t({"P", "T_P", "speedup", "T1/P + Tinf", "steals", "fetches",
+                 "reconciles", "LC"});
+    bool all_lc = true;
+    bool bounds_ok = true;
+    for (const std::size_t procs : {1u, 2u, 4u, 8u, 16u}) {
+      // Average over a few seeds.
+      double tp_sum = 0;
+      std::uint64_t steals = 0, fetches = 0, reconciles = 0;
+      bool lc_ok = true;
+      const int trials = 3;
+      for (int trial = 0; trial < trials; ++trial) {
+        Rng rng(1000 * procs + static_cast<std::uint64_t>(trial));
+        BackerMemory mem;
+        const Schedule s = work_stealing_schedule(c, procs, rng);
+        const ExecutionResult r = run_execution(c, s, mem);
+        tp_sum += static_cast<double>(s.makespan);
+        steals += s.steals;
+        fetches += r.memory_stats.fetches;
+        reconciles += r.memory_stats.reconciles;
+        lc_ok = lc_ok && location_consistent(c, r.phi);
+        // Greedy-style bound with slack for steal whiffs.
+        if (s.makespan > 4 * (ws.work / procs + ws.span) + 8)
+          bounds_ok = false;
+      }
+      const double tp = tp_sum / trials;
+      all_lc = all_lc && lc_ok;
+      t.add_row({format("%zu", procs), format("%.0f", tp),
+                 format("%.2f", static_cast<double>(ws.work) / tp),
+                 format("%llu",
+                        (unsigned long long)(ws.work / procs + ws.span)),
+                 format("%llu", (unsigned long long)(steals / trials)),
+                 format("%llu", (unsigned long long)(fetches / trials)),
+                 format("%llu", (unsigned long long)(reconciles / trials)),
+                 lc_ok ? "yes" : "NO"});
+    }
+    h.note(t.render());
+    h.check(all_lc, format("%s: every run location consistent", name));
+    h.check(bounds_ok,
+            format("%s: T_P within 4x of the greedy bound T1/P + Tinf",
+                   name));
+  }
+  h.section("memory-cost sweep (BFJ+96a: T_P grows with mu * F_P)");
+  {
+    const Computation c = workload::matmul(4);
+    const WorkSpan ws = work_span(c);
+    TextTable t({"mu", "P", "T_P", "faults F_P", "(T1 + mu*F_P)/P + Tinf",
+                 "LC"});
+    bool shapes_ok = true;
+    std::uint64_t prev_tp = 0;
+    for (const std::uint64_t mu : {0ull, 2ull, 8ull, 32ull}) {
+      for (const std::size_t procs : {4u}) {
+        Rng rng(mu * 17 + procs);
+        BackerMemory mem;
+        const CostModel cost{mu, mu};
+        const CostedResult r =
+            run_costed_execution(c, procs, rng, mem, cost);
+        const std::uint64_t predicted =
+            (ws.work + mu * r.faults) / procs + ws.span * (1 + mu);
+        const bool lc_ok = location_consistent(c, r.phi);
+        t.add_row({format("%llu", (unsigned long long)mu),
+                   format("%zu", procs),
+                   format("%llu", (unsigned long long)r.makespan),
+                   format("%llu", (unsigned long long)r.faults),
+                   format("%llu", (unsigned long long)predicted),
+                   lc_ok ? "yes" : "NO"});
+        shapes_ok = shapes_ok && lc_ok && r.makespan >= prev_tp;
+        prev_tp = r.makespan;
+      }
+    }
+    h.note(t.render());
+    h.check(shapes_ok,
+            "makespan grows monotonically with the fault cost mu and every "
+            "run stays LC");
+  }
+
+  return h.finish();
+}
+
+}  // namespace
+}  // namespace ccmm
+
+int main() { return ccmm::run(); }

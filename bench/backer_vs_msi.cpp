@@ -1,0 +1,97 @@
+// Ablation: BACKER (reconcile/flush, maintains LC) versus a directory
+// MSI invalidation protocol (maintains SC) on identical computations
+// and schedules. The paper's lineage built dag consistency/LC because
+// invalidation-strength coherence costs communication on every
+// conflicting access; this experiment quantifies the trade:
+//   * consistency level actually delivered (post-mortem checked),
+//   * protocol traffic (fetches + reconciles vs invalidations +
+//     ownership transfers + writebacks).
+#include "exec/backer.hpp"
+#include "exec/msi.hpp"
+#include "exec/sim_machine.hpp"
+#include "exec/workload.hpp"
+#include "core/last_writer.hpp"
+#include "trace/trace.hpp"
+#include "experiment_common.hpp"
+#include "models/location_consistency.hpp"
+#include "models/sequential_consistency.hpp"
+
+namespace ccmm {
+namespace {
+
+int run() {
+  experiment::Harness h("BACKER vs MSI — weaker model, less traffic");
+
+  struct Row {
+    const char* name;
+    Computation c;
+  };
+  Rng wrng(3);
+  const Row workloads[] = {
+      {"counter(12)", workload::contended_counter(12)},
+      {"reduction(64)", workload::reduction(64)},
+      {"stencil(16x6)", workload::stencil(16, 6)},
+      {"random(60)", workload::random_ops(gen::random_dag(60, 0.06, wrng), 6,
+                                          0.45, 0.45, wrng)},
+  };
+
+  TextTable t({"workload", "P", "protocol", "SC", "LC", "traffic",
+               "traffic detail"});
+  for (const auto& [name, c] : workloads) {
+    for (const std::size_t procs : {2u, 4u, 8u}) {
+      Rng rng(procs * 101);
+      const Schedule s = work_stealing_schedule(c, procs, rng);
+
+      BackerMemory backer;
+      const ExecutionResult rb = run_execution(c, s, backer);
+      // Constructive SC test: the execution's own serialization is the
+      // natural witness; fall back to a budgeted search.
+      const auto is_sc = [&c](const ExecutionResult& r) {
+        if (last_writer(c, trace_order(r.trace)) == r.phi) return true;
+        return sc_check(c, r.phi, 50'000).status == SearchStatus::kYes;
+      };
+      const bool b_sc = is_sc(rb);
+      const bool b_lc = location_consistent(c, rb.phi);
+      const std::uint64_t b_traffic =
+          rb.memory_stats.fetches + rb.memory_stats.reconciles;
+      t.add_row({name, format("%zu", procs), "backer",
+                 b_sc ? "yes" : "no", b_lc ? "yes" : "no",
+                 format("%llu", (unsigned long long)b_traffic),
+                 format("fetch=%llu reconcile=%llu",
+                        (unsigned long long)rb.memory_stats.fetches,
+                        (unsigned long long)rb.memory_stats.reconciles)});
+
+      MsiMemory msi;
+      const ExecutionResult rm = run_execution(c, s, msi);
+      const bool m_sc = is_sc(rm);
+      const bool m_lc = location_consistent(c, rm.phi);
+      const auto& ms = msi.msi_stats();
+      const std::uint64_t m_traffic = rm.memory_stats.fetches +
+                                      ms.invalidations +
+                                      ms.ownership_transfers + ms.writebacks;
+      t.add_row({name, format("%zu", procs), "msi",
+                 m_sc ? "yes" : "no", m_lc ? "yes" : "no",
+                 format("%llu", (unsigned long long)m_traffic),
+                 format("fetch=%llu inval=%llu own=%llu wb=%llu",
+                        (unsigned long long)rm.memory_stats.fetches,
+                        (unsigned long long)ms.invalidations,
+                        (unsigned long long)ms.ownership_transfers,
+                        (unsigned long long)ms.writebacks)});
+
+      h.check(b_lc, format("%s P=%zu: BACKER is LC", name, procs));
+      h.check(m_sc, format("%s P=%zu: MSI is SC", name, procs));
+      h.check(m_lc, format("%s P=%zu: MSI is LC (SC ⊆ LC)", name, procs));
+    }
+  }
+  h.note(t.render());
+  h.note("Shape to observe: MSI pays invalidation/ownership traffic on\n"
+         "every write conflict to deliver SC; BACKER's traffic is tied to\n"
+         "dag communication edges (steals) and delivers only LC — the\n"
+         "weaker model the paper develops the theory for.");
+  return h.finish();
+}
+
+}  // namespace
+}  // namespace ccmm
+
+int main() { return ccmm::run(); }

@@ -1,0 +1,101 @@
+// Microbenchmarks: the execution substrate — scheduling and simulated
+// BACKER runs (protocol work per memory operation).
+#include <benchmark/benchmark.h>
+
+#include "exec/backer.hpp"
+#include "exec/sc_memory.hpp"
+#include "exec/sim_machine.hpp"
+#include "exec/threaded_executor.hpp"
+#include "exec/workload.hpp"
+
+namespace ccmm {
+namespace {
+
+Computation bench_workload(std::size_t n) {
+  Rng rng(n);
+  return workload::random_ops(gen::random_dag(n, 6.0 / static_cast<double>(n),
+                                              rng),
+                              16, 0.45, 0.45, rng);
+}
+
+void BM_WorkStealingSchedule(benchmark::State& state) {
+  const Computation c = bench_workload(static_cast<std::size_t>(state.range(0)));
+  Rng rng(7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        work_stealing_schedule(c, static_cast<std::size_t>(state.range(1)),
+                               rng));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_WorkStealingSchedule)
+    ->Args({256, 4})
+    ->Args({1024, 4})
+    ->Args({1024, 16});
+
+void BM_GreedySchedule(benchmark::State& state) {
+  const Computation c = bench_workload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(greedy_schedule(c, 8));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GreedySchedule)->Arg(256)->Arg(1024);
+
+void BM_BackerExecution(benchmark::State& state) {
+  const Computation c = bench_workload(static_cast<std::size_t>(state.range(0)));
+  Rng rng(5);
+  const Schedule s =
+      work_stealing_schedule(c, static_cast<std::size_t>(state.range(1)), rng);
+  for (auto _ : state) {
+    BackerMemory mem;
+    benchmark::DoNotOptimize(run_execution(c, s, mem));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BackerExecution)
+    ->Args({256, 1})
+    ->Args({256, 4})
+    ->Args({256, 16})
+    ->Args({1024, 4});
+
+void BM_BackerBoundedCache(benchmark::State& state) {
+  const Computation c = bench_workload(512);
+  Rng rng(5);
+  const Schedule s = work_stealing_schedule(c, 4, rng);
+  for (auto _ : state) {
+    BackerConfig cfg;
+    cfg.cache_capacity = static_cast<std::size_t>(state.range(0));
+    BackerMemory mem(cfg);
+    const ExecutionResult r = run_execution(c, s, mem);
+    benchmark::DoNotOptimize(r.memory_stats.evictions);
+    state.counters["evictions"] =
+        static_cast<double>(r.memory_stats.evictions);
+  }
+}
+BENCHMARK(BM_BackerBoundedCache)->Arg(1)->Arg(4)->Arg(16)->Arg(1024);
+
+void BM_ScMemoryExecution(benchmark::State& state) {
+  const Computation c = bench_workload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ScMemory mem;
+    benchmark::DoNotOptimize(run_serial(c, mem));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ScMemoryExecution)->Arg(256)->Arg(1024);
+
+void BM_ThreadedExecutor(benchmark::State& state) {
+  const Computation c = bench_workload(512);
+  for (auto _ : state) {
+    ScMemory mem;
+    benchmark::DoNotOptimize(
+        run_threaded(c, static_cast<std::size_t>(state.range(0)), mem));
+  }
+}
+BENCHMARK(BM_ThreadedExecutor)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace
+}  // namespace ccmm

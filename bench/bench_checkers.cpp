@@ -1,0 +1,105 @@
+// Microbenchmarks: model-membership checking throughput as computations
+// grow — the Q-dag checkers (bitset triple scan), the polynomial LC
+// algorithm, and observer validation.
+#include <benchmark/benchmark.h>
+
+#include "core/last_writer.hpp"
+#include "dag/topsort.hpp"
+#include "exec/workload.hpp"
+#include "models/location_consistency.hpp"
+#include "models/qdag.hpp"
+
+namespace ccmm {
+namespace {
+
+struct Instance {
+  Computation c;
+  ObserverFunction phi;
+};
+
+Instance make_instance(std::size_t nodes, bool lc_shaped) {
+  Rng rng(nodes * 31 + (lc_shaped ? 7 : 0));
+  const Dag d = gen::random_dag(nodes, 8.0 / static_cast<double>(nodes), rng);
+  Computation c = workload::random_ops(d, 4, 0.4, 0.4, rng);
+  c.dag().ensure_closure();
+  if (lc_shaped) {
+    // A member observer: last-writer of a random sort.
+    ObserverFunction phi =
+        last_writer(c, greedy_random_topological_sort(c.dag(), rng));
+    return {std::move(c), std::move(phi)};
+  }
+  // A likely non-member: per-location independent sorts, then perturbed.
+  ObserverFunction phi(c.node_count());
+  for (const Location l : c.written_locations()) {
+    const auto t = greedy_random_topological_sort(c.dag(), rng);
+    const ObserverFunction w = last_writer(c, t);
+    for (NodeId u = 0; u < c.node_count(); ++u)
+      if (w.get(l, u) != kBottom) phi.set(l, u, w.get(l, u));
+  }
+  return {std::move(c), std::move(phi)};
+}
+
+void BM_ValidateObserver(benchmark::State& state) {
+  const Instance in = make_instance(static_cast<std::size_t>(state.range(0)),
+                                    true);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(is_valid_observer(in.c, in.phi));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ValidateObserver)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_QDagCheck(benchmark::State& state) {
+  const auto pred = static_cast<DagPred>(state.range(1));
+  const Instance in = make_instance(static_cast<std::size_t>(state.range(0)),
+                                    true);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(qdag_consistent(in.c, in.phi, pred));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_QDagCheck)
+    ->Args({16, 0})
+    ->Args({64, 0})
+    ->Args({256, 0})
+    ->Args({16, 3})
+    ->Args({64, 3})
+    ->Args({256, 3});
+
+void BM_QDagCheckCustomCubic(benchmark::State& state) {
+  const Instance in = make_instance(static_cast<std::size_t>(state.range(0)),
+                                    true);
+  const QPredicate nn = [](const Computation&, Location, NodeId, NodeId,
+                           NodeId) { return true; };
+  for (auto _ : state)
+    benchmark::DoNotOptimize(qdag_consistent_custom(in.c, in.phi, nn));
+}
+BENCHMARK(BM_QDagCheckCustomCubic)->Arg(16)->Arg(48);
+
+void BM_LocationConsistency(benchmark::State& state) {
+  const Instance in = make_instance(static_cast<std::size_t>(state.range(0)),
+                                    state.range(1) != 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(location_consistent(in.c, in.phi));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LocationConsistency)
+    ->Args({16, 1})
+    ->Args({64, 1})
+    ->Args({256, 1})
+    ->Args({1024, 1})
+    ->Args({256, 0});
+
+void BM_LastWriter(benchmark::State& state) {
+  Rng rng(4);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Dag d = gen::random_dag(n, 8.0 / static_cast<double>(n), rng);
+  const Computation c = workload::random_ops(d, 4, 0.4, 0.4, rng);
+  const auto t = c.dag().topological_order();
+  for (auto _ : state) benchmark::DoNotOptimize(last_writer(c, t));
+}
+BENCHMARK(BM_LastWriter)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace ccmm

@@ -1,0 +1,124 @@
+// Microbenchmarks: the constructibility engine — witness search, the Δ*
+// fixpoint (sequential vs pool-parallel Jacobi), extension enumeration,
+// and canonicalization.
+#include <benchmark/benchmark.h>
+
+#include "construct/constructibility.hpp"
+#include "construct/extension.hpp"
+#include "dag/generators.hpp"
+#include "construct/fixpoint.hpp"
+#include "enumerate/isomorphism.hpp"
+#include "models/location_consistency.hpp"
+#include "models/qdag.hpp"
+
+namespace ccmm {
+namespace {
+
+UniverseSpec thin_spec(std::size_t max_nodes) {
+  UniverseSpec spec;
+  spec.max_nodes = max_nodes;
+  spec.nlocations = 1;
+  spec.include_nop = false;
+  spec.max_writes_per_location = 2;
+  return spec;
+}
+
+void BM_WitnessSearchNN(benchmark::State& state) {
+  WitnessSearchOptions options;
+  options.spec.max_nodes = static_cast<std::size_t>(state.range(0));
+  options.spec.nlocations = 1;
+  options.spec.include_nop = false;
+  for (auto _ : state) {
+    const auto w =
+        find_nonconstructibility_witness(*QDagModel::nn(), options);
+    benchmark::DoNotOptimize(w.has_value());
+  }
+}
+BENCHMARK(BM_WitnessSearchNN)->Arg(3)->Arg(4);
+
+void BM_WitnessSearchLcComesUpEmpty(benchmark::State& state) {
+  WitnessSearchOptions options;
+  options.spec.max_nodes = static_cast<std::size_t>(state.range(0));
+  options.spec.nlocations = 1;
+  options.spec.include_nop = false;
+  for (auto _ : state) {
+    const auto w = find_nonconstructibility_witness(
+        *LocationConsistencyModel::instance(), options);
+    benchmark::DoNotOptimize(w.has_value());
+  }
+}
+BENCHMARK(BM_WitnessSearchLcComesUpEmpty)->Arg(3)->Arg(4);
+
+void BM_RestrictModel(benchmark::State& state) {
+  // The universe materialization both fixpoint drivers share; subtract
+  // this from the fixpoint timings to see the pruning cost itself.
+  const auto spec = thin_spec(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto set = BoundedModelSet::restrict_model(*QDagModel::nn(), spec);
+    benchmark::DoNotOptimize(set.live_count());
+  }
+}
+BENCHMARK(BM_RestrictModel)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_FixpointSequential(benchmark::State& state) {
+  const auto spec = thin_spec(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    FixpointStats stats;
+    const auto set = constructible_version(*QDagModel::nn(), spec, &stats);
+    benchmark::DoNotOptimize(set.live_count());
+    state.counters["pairs"] = static_cast<double>(stats.initial_pairs);
+    state.counters["pruned"] = static_cast<double>(stats.pruned);
+  }
+}
+BENCHMARK(BM_FixpointSequential)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_FixpointParallel(benchmark::State& state) {
+  const auto spec = thin_spec(static_cast<std::size_t>(state.range(0)));
+  ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    const auto set =
+        constructible_version_parallel(*QDagModel::nn(), spec, pool);
+    benchmark::DoNotOptimize(set.live_count());
+  }
+}
+BENCHMARK(BM_FixpointParallel)
+    ->Args({5, 2})
+    ->Args({5, 4})
+    ->Args({5, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ExtensionEnumeration(benchmark::State& state) {
+  Rng rng(1);
+  const Dag d = gen::random_dag(static_cast<std::size_t>(state.range(0)),
+                                0.3, rng);
+  const Computation c(d, std::vector<Op>(d.node_count(), Op::read(0)));
+  const auto alphabet = op_alphabet(1);
+  for (auto _ : state) {
+    std::size_t n = 0;
+    for_each_one_node_extension(c, alphabet, state.range(1) != 0,
+                                [&](const Computation&) {
+                                  ++n;
+                                  return true;
+                                });
+    benchmark::DoNotOptimize(n);
+    state.counters["extensions"] = static_cast<double>(n);
+  }
+}
+BENCHMARK(BM_ExtensionEnumeration)->Args({8, 0})->Args({8, 1})->Args({12, 1});
+
+void BM_CanonicalEncoding(benchmark::State& state) {
+  Rng rng(2);
+  const Dag d = gen::random_dag(static_cast<std::size_t>(state.range(0)),
+                                0.4, rng);
+  std::vector<Op> ops;
+  for (NodeId u = 0; u < d.node_count(); ++u)
+    ops.push_back(u % 2 == 0 ? Op::read(0) : Op::write(0));
+  const Computation c(d, ops);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(canonical_encoding(c));
+}
+BENCHMARK(BM_CanonicalEncoding)->Arg(5)->Arg(7);
+
+}  // namespace
+}  // namespace ccmm

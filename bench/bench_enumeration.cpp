@@ -1,0 +1,80 @@
+// Microbenchmarks: universe enumeration throughput — the engine under
+// every exhaustive verification in this repository.
+#include <benchmark/benchmark.h>
+
+#include "dag/generators.hpp"
+#include "enumerate/dag_enum.hpp"
+#include "enumerate/universe.hpp"
+#include "models/qdag.hpp"
+
+namespace ccmm {
+namespace {
+
+void BM_DagEnumeration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for_each_topo_dag(n, [&](const Dag& d) {
+      benchmark::DoNotOptimize(d.node_count());
+      ++count;
+      return true;
+    });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_DagEnumeration)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_PairEnumeration(benchmark::State& state) {
+  UniverseSpec spec;
+  spec.max_nodes = static_cast<std::size_t>(state.range(0));
+  spec.nlocations = 1;
+  spec.include_nop = false;
+  for (auto _ : state) {
+    std::size_t pairs = 0;
+    for_each_pair(spec, [&](const Computation&, const ObserverFunction&) {
+      ++pairs;
+      return true;
+    });
+    benchmark::DoNotOptimize(pairs);
+    state.counters["pairs"] = static_cast<double>(pairs);
+  }
+}
+BENCHMARK(BM_PairEnumeration)->Arg(3)->Arg(4);
+
+void BM_PairEnumerationWithNNCheck(benchmark::State& state) {
+  UniverseSpec spec;
+  spec.max_nodes = static_cast<std::size_t>(state.range(0));
+  spec.nlocations = 1;
+  spec.include_nop = false;
+  for (auto _ : state) {
+    std::size_t members = 0;
+    for_each_pair(spec, [&](const Computation& c, const ObserverFunction& f) {
+      members += qdag_consistent(c, f, DagPred::kNN) ? 1 : 0;
+      return true;
+    });
+    benchmark::DoNotOptimize(members);
+    state.counters["nn_members"] = static_cast<double>(members);
+  }
+}
+BENCHMARK(BM_PairEnumerationWithNNCheck)->Arg(3)->Arg(4);
+
+void BM_ObserverCounting(benchmark::State& state) {
+  UniverseSpec spec;
+  spec.max_nodes = static_cast<std::size_t>(state.range(0));
+  spec.nlocations = 1;
+  for (auto _ : state) benchmark::DoNotOptimize(pair_count(spec));
+}
+BENCHMARK(BM_ObserverCounting)->Arg(4)->Arg(5);
+
+void BM_EncodeComputation(benchmark::State& state) {
+  Rng rng(1);
+  const Dag d = gen::random_dag(static_cast<std::size_t>(state.range(0)),
+                                0.3, rng);
+  std::vector<Op> ops(d.node_count(), Op::read(0));
+  const Computation c(d, ops);
+  for (auto _ : state) benchmark::DoNotOptimize(encode_computation(c));
+}
+BENCHMARK(BM_EncodeComputation)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace ccmm

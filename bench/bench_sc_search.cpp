@@ -1,0 +1,107 @@
+// Microbenchmarks: the SC membership search (NP-complete with a known
+// read mapping), on easy members, easy rejections, and adversarially
+// wide racy instances where the memoized backtracking earns its keep.
+#include <benchmark/benchmark.h>
+
+#include "core/last_writer.hpp"
+#include "dag/topsort.hpp"
+#include "exec/lc_memory.hpp"
+#include "exec/sim_machine.hpp"
+#include "exec/workload.hpp"
+#include "models/sequential_consistency.hpp"
+
+namespace ccmm {
+namespace {
+
+void BM_ScMember(benchmark::State& state) {
+  // Last-writer observers: the search should find the witness quickly.
+  Rng rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Dag d = gen::random_dag(n, 6.0 / static_cast<double>(n), rng);
+  const Computation c = workload::random_ops(d, 3, 0.4, 0.4, rng);
+  const ObserverFunction phi =
+      last_writer(c, greedy_random_topological_sort(c.dag(), rng));
+  for (auto _ : state) {
+    const auto r = sc_check(c, phi);
+    benchmark::DoNotOptimize(r.status);
+    state.counters["expanded"] = static_cast<double>(r.expanded);
+  }
+}
+BENCHMARK(BM_ScMember)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ScRejectViaLcFilter(benchmark::State& state) {
+  // Per-location quotient cycles are rejected by the linear LC filter
+  // before any search happens.
+  Rng rng(2);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // Interleave many figure-4-style cores.
+  ComputationBuilder b;
+  std::vector<NodeId> reads, writes;
+  for (std::size_t i = 0; i < n / 4; ++i) {
+    const NodeId c1 = b.read(0);
+    const NodeId d1 = b.read(0);
+    const NodeId a = b.write(0, {d1});
+    const NodeId bb = b.write(0, {c1});
+    reads.push_back(c1);
+    reads.push_back(d1);
+    writes.push_back(a);
+    writes.push_back(bb);
+  }
+  const Computation c = std::move(b).build();
+  ObserverFunction phi(c.node_count());
+  for (const NodeId w : writes) phi.set(0, w, w);
+  for (std::size_t i = 0; i + 1 < writes.size(); i += 2) {
+    phi.set(0, reads[i], writes[i]);       // C observes A
+    phi.set(0, reads[i + 1], writes[i + 1]);  // D observes B
+  }
+  for (auto _ : state) {
+    const auto r = sc_check(c, phi);
+    benchmark::DoNotOptimize(r.status);
+  }
+}
+BENCHMARK(BM_ScRejectViaLcFilter)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ScOnLcOracleRuns(benchmark::State& state) {
+  // The hard regime: per-location-serializable observers that may or may
+  // not be globally serializable.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const Dag d = gen::antichain(n);
+  const Computation c = workload::random_ops(d, 2, 0.3, 0.7, rng);
+  LcOracleMemory mem(17);
+  const ExecutionResult r = run_serial(c, mem);
+  for (auto _ : state) {
+    const auto res = sc_check(c, r.phi, 1'000'000);
+    benchmark::DoNotOptimize(res.status);
+    state.counters["expanded"] = static_cast<double>(res.expanded);
+  }
+}
+BENCHMARK(BM_ScOnLcOracleRuns)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_ScAblation(benchmark::State& state) {
+  // Design-choice ablation: memoized dead states (arg1) and the linear
+  // LC prefilter (arg2) on a hard rejection instance.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  const Dag d = gen::antichain(n);
+  const Computation c = workload::random_ops(d, 2, 0.3, 0.7, rng);
+  LcOracleMemory mem(23);
+  const ExecutionResult r = run_serial(c, mem);
+  ScOptions options;
+  options.budget = 2'000'000;
+  options.memoize_dead_states = state.range(1) != 0;
+  options.lc_prefilter = state.range(2) != 0;
+  for (auto _ : state) {
+    const auto res = sc_check_with(c, r.phi, options);
+    benchmark::DoNotOptimize(res.status);
+    state.counters["expanded"] = static_cast<double>(res.expanded);
+  }
+}
+BENCHMARK(BM_ScAblation)
+    ->Args({12, 1, 1})
+    ->Args({12, 0, 1})
+    ->Args({12, 1, 0})
+    ->Args({12, 0, 0});
+
+}  // namespace
+}  // namespace ccmm

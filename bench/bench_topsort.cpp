@@ -1,0 +1,74 @@
+// Microbenchmarks: topological-sort machinery (the TS(G) quantifier).
+#include <benchmark/benchmark.h>
+
+#include "dag/generators.hpp"
+#include "dag/topsort.hpp"
+
+namespace ccmm {
+namespace {
+
+Dag bench_dag(std::size_t n, double p) {
+  Rng rng(n);
+  Dag d = gen::random_dag(n, p, rng);
+  d.ensure_closure();
+  return d;
+}
+
+void BM_ReachabilityClosure(benchmark::State& state) {
+  Rng rng(9);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Dag d = gen::random_dag(n, 8.0 / static_cast<double>(n), rng);
+    state.ResumeTiming();
+    d.ensure_closure();
+    benchmark::DoNotOptimize(d.descendants(0).count());
+  }
+}
+BENCHMARK(BM_ReachabilityClosure)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CanonicalTopsort(benchmark::State& state) {
+  const Dag d = bench_dag(static_cast<std::size_t>(state.range(0)), 0.02);
+  for (auto _ : state) benchmark::DoNotOptimize(d.topological_order());
+}
+BENCHMARK(BM_CanonicalTopsort)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_CountTopsorts(benchmark::State& state) {
+  const Dag d = bench_dag(static_cast<std::size_t>(state.range(0)), 0.4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(count_topological_sorts(d, 1u << 30));
+}
+BENCHMARK(BM_CountTopsorts)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_UniformSample(benchmark::State& state) {
+  const Dag d = bench_dag(static_cast<std::size_t>(state.range(0)), 0.4);
+  Rng rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(random_topological_sort(d, rng));
+}
+BENCHMARK(BM_UniformSample)->Arg(10)->Arg(14);
+
+void BM_GreedySample(benchmark::State& state) {
+  const Dag d = bench_dag(static_cast<std::size_t>(state.range(0)), 0.02);
+  Rng rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(greedy_random_topological_sort(d, rng));
+}
+BENCHMARK(BM_GreedySample)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EnumerateAllSorts(benchmark::State& state) {
+  const Dag d = bench_dag(static_cast<std::size_t>(state.range(0)), 0.5);
+  for (auto _ : state) {
+    std::size_t n = 0;
+    for_each_topological_sort(d, [&](const std::vector<NodeId>&) {
+      ++n;
+      return true;
+    });
+    benchmark::DoNotOptimize(n);
+    state.counters["sorts"] = static_cast<double>(n);
+  }
+}
+BENCHMARK(BM_EnumerateAllSorts)->Arg(8)->Arg(10);
+
+}  // namespace
+}  // namespace ccmm

@@ -1,0 +1,43 @@
+// bench/experiment_common.hpp — tiny harness shared by the experiment
+// reproducers: PASS/FAIL bookkeeping and section headers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/str.hpp"
+
+namespace ccmm::experiment {
+
+class Harness {
+ public:
+  explicit Harness(std::string title) {
+    std::printf("==============================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("==============================================\n");
+  }
+
+  void section(const std::string& name) {
+    std::printf("\n--- %s ---\n", name.c_str());
+  }
+
+  void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+  void check(bool ok, const std::string& claim) {
+    std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+    if (!ok) ++failures_;
+    ++checks_;
+  }
+
+  /// Print the summary; returns the process exit code.
+  int finish() {
+    std::printf("\n%zu checks, %zu failures\n", checks_, failures_);
+    return failures_ == 0 ? 0 : 1;
+  }
+
+ private:
+  std::size_t checks_ = 0;
+  std::size_t failures_ = 0;
+};
+
+}  // namespace ccmm::experiment

@@ -1,0 +1,118 @@
+// Theorem 23: LC = NN*. The constructible version of NN is computed as
+// a bounded greatest fixpoint and compared with LC per size class, for a
+// ladder of horizons. Sizes strictly below the horizon are decided;
+// because LC ⊆ NN and LC is constructible, LC ⊆ NN* always, so fixpoint
+// = LC at a size class *proves* NN* = LC there.
+#include "construct/fixpoint.hpp"
+#include "experiment_common.hpp"
+#include "models/location_consistency.hpp"
+#include "construct/extension.hpp"
+#include "models/qdag.hpp"
+
+namespace ccmm {
+namespace {
+
+int run() {
+  experiment::Harness h("Theorem 23 — LC = NN* (bounded fixpoint)");
+  const auto lc = LocationConsistencyModel::instance();
+  const auto nn = QDagModel::nn();
+
+  TextTable t({"horizon", "size", "NN ∩ U", "NN* fixpoint", "LC ∩ U",
+               "NN* = LC"});
+
+  for (const std::size_t horizon : {3u, 4u, 5u}) {
+    UniverseSpec spec;
+    spec.max_nodes = horizon;
+    spec.nlocations = 1;
+    spec.include_nop = false;
+    spec.max_writes_per_location = 2;
+
+    FixpointStats stats;
+    const BoundedModelSet nn_star = constructible_version(*nn, spec, &stats);
+    const BoundedModelSet nn_plain =
+        BoundedModelSet::restrict_model(*nn, spec);
+    const auto cmp = compare_with_model(nn_star, *lc);
+
+    h.note(format("horizon %zu: %zu initial pairs, %zu pruned in %zu rounds",
+                  horizon, stats.initial_pairs, stats.pruned, stats.rounds));
+
+    for (const auto& row : cmp) {
+      t.add_row({format("%zu", horizon), format("%zu", row.size),
+                 format("%zu", nn_plain.live_count_at_size(row.size)),
+                 format("%zu", row.fixpoint_pairs),
+                 format("%zu", row.reference_pairs),
+                 row.equal ? "yes" : "no"});
+      if (row.size < horizon) {
+        h.check(row.equal,
+                format("horizon %zu: NN* = LC at size %zu (%zu pairs)",
+                       horizon, row.size, row.fixpoint_pairs));
+      }
+    }
+  }
+  h.note(t.render());
+
+  h.section("two locations (cross-location interaction)");
+  {
+    // Stronger than the fixpoint over-approximation: a pair whose
+    // one-node extension has NO answer even in plain NN cannot be in
+    // NN* (its answers would have to lie in NN* ⊆ NN). So showing every
+    // NN \ LC pair is one-step stuck PROVES NN* = LC on this slice.
+    UniverseSpec spec;
+    spec.max_nodes = 4;
+    spec.nlocations = 2;
+    spec.include_nop = false;
+    spec.max_writes_per_location = 2;
+    const auto alphabet = op_alphabet(2);
+    std::size_t separators = 0, one_step_stuck = 0, below4 = 0;
+    for_each_pair(spec,
+                  [&](const Computation& c, const ObserverFunction& phi) {
+                    if (!qdag_consistent(c, phi, DagPred::kNN)) return true;
+                    if (location_consistent(c, phi)) return true;
+                    if (c.node_count() < 4) {
+                      ++below4;
+                      return true;
+                    }
+                    ++separators;
+                    bool stuck = false;
+                    for_each_one_node_extension(
+                        c, alphabet, /*dedupe=*/true,
+                        [&](const Computation& ext) {
+                          bool answered = false;
+                          for_each_extension_observer(
+                              ext, phi, [&](const ObserverFunction& p2) {
+                                if (qdag_consistent(ext, p2, DagPred::kNN)) {
+                                  answered = true;
+                                  return false;
+                                }
+                                return true;
+                              });
+                          if (!answered) {
+                            stuck = true;
+                            return false;
+                          }
+                          return true;
+                        });
+                    one_step_stuck += stuck ? 1 : 0;
+                    return true;
+                  });
+    h.check(below4 == 0,
+            "2 locations: no NN-minus-LC pair below 4 nodes (Figure-4 "
+            "minimality holds across locations)");
+    h.check(separators > 0 && one_step_stuck == separators,
+            format("2 locations: all %zu size-4 NN-minus-LC pairs are "
+                   "one-step stuck => NN* = LC on this universe, "
+                   "conclusively",
+                   separators));
+  }
+
+  h.note(
+      "Rows at size == horizon are boundary classes (never pruned), so\n"
+      "the fixpoint there still equals NN — exactly the over-approximation\n"
+      "the horizon ladder exhibits shrinking onto LC.");
+  return h.finish();
+}
+
+}  // namespace
+}  // namespace ccmm
+
+int main() { return ccmm::run(); }

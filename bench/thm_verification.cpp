@@ -1,0 +1,143 @@
+// Theorems 14, 15, 16, 19, 21, 22: mechanical verification sweeps.
+#include "construct/constructibility.hpp"
+#include "core/last_writer.hpp"
+#include "dag/topsort.hpp"
+#include "enumerate/universe.hpp"
+#include "exec/workload.hpp"
+#include "models/qdag.hpp"
+#include "experiment_common.hpp"
+#include "models/location_consistency.hpp"
+#include "models/sequential_consistency.hpp"
+
+namespace ccmm {
+namespace {
+
+int run() {
+  experiment::Harness h("Theorems 14/15/16/19/21/22 — verification sweeps");
+  Rng rng(2024);
+
+  h.section("Theorems 14-16: last-writer functions (randomized sweep)");
+  {
+    std::size_t sorts = 0;
+    bool t14 = true, t15 = true, t16 = true;
+    for (int round = 0; round < 200; ++round) {
+      const Dag d = gen::random_dag(9, 0.25, rng);
+      const Computation c = workload::random_ops(d, 2, 0.4, 0.4, rng);
+      const auto t = greedy_random_topological_sort(c.dag(), rng);
+      const ObserverFunction w = last_writer(c, t);
+      ++sorts;
+      // T14: determinism (uniqueness realized as recomputation).
+      if (!(last_writer(c, t) == w)) t14 = false;
+      // T16: W_T is an observer function.
+      if (!is_valid_observer(c, w)) t16 = false;
+      // T15: sandwich property.
+      const auto pos = position_index(t);
+      for (const Location l : c.written_locations()) {
+        for (NodeId u = 0; u < c.node_count() && t15; ++u) {
+          const NodeId lw = w.get(l, u);
+          if (lw == kBottom) continue;
+          for (NodeId v = 0; v < c.node_count(); ++v)
+            if (pos[lw] < pos[v] && pos[v] <= pos[u] &&
+                w.get(l, v) != lw)
+              t15 = false;
+        }
+      }
+    }
+    h.check(t14, format("T14: unique/deterministic over %zu sorts", sorts));
+    h.check(t15, "T15: W_T(l,u) ≺_T v ≼_T u ⇒ W_T(l,v) = W_T(l,u)");
+    h.check(t16, "T16: every W_T satisfies Definition 2");
+  }
+
+  const auto lc = LocationConsistencyModel::instance();
+  const auto sc = SequentialConsistencyModel::instance();
+  const auto nn = QDagModel::nn();
+
+  h.section("Theorem 19: SC and LC are monotonic and constructible");
+  {
+    UniverseSpec spec;
+    spec.max_nodes = 3;
+    spec.nlocations = 2;
+    const auto universe = build_universe(spec);
+    h.note(format("universe: 2 locations, <= 3 nodes, %zu pairs",
+                  universe.size()));
+    const auto mono_sc = check_monotonicity(*sc, universe);
+    const auto mono_lc = check_monotonicity(*lc, universe);
+    h.check(mono_sc.monotonic, "SC is monotonic on the universe");
+    h.check(mono_lc.monotonic, "LC is monotonic on the universe");
+
+    WitnessSearchOptions options;
+    options.spec = spec;
+    h.check(
+        !find_nonconstructibility_witness(*sc, options).has_value(),
+        "SC answers every one-node extension (constructible up to bound)");
+    h.check(
+        !find_nonconstructibility_witness(*lc, options).has_value(),
+        "LC answers every one-node extension (constructible up to bound)");
+  }
+
+  h.section("Theorem 21: NN is the strongest Q-dag model");
+  {
+    UniverseSpec spec;
+    spec.max_nodes = 4;
+    spec.nlocations = 1;
+    spec.include_nop = false;
+    std::size_t pairs = 0;
+    bool ok = true;
+    // Against the named models plus randomized predicates.
+    Rng qrng(7);
+    std::vector<QPredicate> random_preds;
+    for (int i = 0; i < 3; ++i) {
+      const std::uint64_t salt = qrng.next();
+      random_preds.push_back(
+          [salt](const Computation&, Location l, NodeId u, NodeId v,
+                 NodeId w) {
+            const std::uint64_t x =
+                salt ^ (std::uint64_t{l} << 48) ^ (std::uint64_t{u} << 32) ^
+                (std::uint64_t{v} << 16) ^ w;
+            return (x * 0x9e3779b97f4a7c15ull >> 63) != 0;
+          });
+    }
+    for_each_pair(spec, [&](const Computation& c, const ObserverFunction& f) {
+      ++pairs;
+      if (qdag_consistent(c, f, DagPred::kNN)) {
+        for (const DagPred p :
+             {DagPred::kNW, DagPred::kWN, DagPred::kWW})
+          if (!qdag_consistent(c, f, p)) ok = false;
+        for (const auto& q : random_preds)
+          if (!qdag_consistent_custom(c, f, q)) ok = false;
+      }
+      return true;
+    });
+    h.check(ok, format("NN ⊆ Q-dag for named + 3 random predicates over "
+                       "%zu pairs",
+                       pairs));
+  }
+
+  h.section("Theorem 22: LC ⊊ NN");
+  {
+    UniverseSpec spec;
+    spec.max_nodes = 4;
+    spec.nlocations = 1;
+    spec.include_nop = false;
+    std::size_t in_lc = 0, in_nn = 0;
+    bool inclusion = true;
+    for_each_pair(spec, [&](const Computation& c, const ObserverFunction& f) {
+      const bool l = lc->contains(c, f);
+      const bool n = nn->contains(c, f);
+      in_lc += l;
+      in_nn += n;
+      if (l && !n) inclusion = false;
+      return true;
+    });
+    h.check(inclusion, "LC ⊆ NN on the universe");
+    h.check(in_lc < in_nn,
+            format("strict: |LC| = %zu < |NN| = %zu", in_lc, in_nn));
+  }
+
+  return h.finish();
+}
+
+}  // namespace
+}  // namespace ccmm
+
+int main() { return ccmm::run(); }

@@ -1,0 +1,114 @@
+// ccmm_check — the command-line front door: read a computation (and
+// optionally an observer function) from a file in the ccmm text format
+// (see src/io/text.hpp) and report model memberships, a validity
+// diagnosis, witnesses, races, and an optional DOT rendering.
+//
+//   $ ./ccmm_check instance.txt           # classify the pair
+//   $ ./ccmm_check instance.txt --dot     # also emit graphviz
+//   $ ./ccmm_check --example > demo.txt   # write a sample instance
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "construct/witness.hpp"
+#include "io/dot.hpp"
+#include "io/text.hpp"
+#include "models/location_consistency.hpp"
+#include "models/qdag.hpp"
+#include "models/sequential_consistency.hpp"
+#include "models/wn_plus.hpp"
+#include "trace/race.hpp"
+
+using namespace ccmm;
+
+namespace {
+
+int emit_example() {
+  const NonconstructibilityWitness w = figure4_witness();
+  std::fputs("# ccmm instance: the paper's Figure-4 pair (in NN, not LC)\n",
+             stdout);
+  std::fputs(io::write_pair(w.c, w.phi).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool want_dot = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--example") == 0) return emit_example();
+    if (std::strcmp(argv[i], "--dot") == 0)
+      want_dot = true;
+    else
+      path = argv[i];
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: ccmm_check <instance.txt> [--dot]\n"
+                 "       ccmm_check --example   (print a sample instance)\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 2;
+  }
+  io::TextPair pair;
+  try {
+    pair = io::read_pair(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  std::printf("%s", pair.c.to_string().c_str());
+  const auto races = find_races(pair.c);
+  std::printf("races: %zu%s\n", races.size(),
+              races.empty() ? " (deterministic under NN and above)" : "");
+
+  if (!pair.phi.has_value()) {
+    std::printf("no observer block: structural report only.\n");
+    if (want_dot) std::printf("%s", io::to_dot(pair.c).c_str());
+    return 0;
+  }
+
+  const ObserverFunction& phi = *pair.phi;
+  const auto validity = validate_observer(pair.c, phi);
+  if (!validity.ok) {
+    std::printf("observer function INVALID: %s\n", validity.reason.c_str());
+    return 1;
+  }
+  std::printf("observer function: valid (Definition 2)\n\nmemberships:\n");
+
+  const auto row = [&](const char* name, bool member) {
+    std::printf("  %-4s %s\n", name, member ? "yes" : "no");
+  };
+  const auto sc = sc_check(pair.c, phi, 5'000'000);
+  row("SC", sc.status == SearchStatus::kYes);
+  if (sc.status == SearchStatus::kExhausted)
+    std::printf("       (search budget exhausted: SC verdict unknown)\n");
+  row("LC", location_consistent(pair.c, phi));
+  row("NN", qdag_consistent(pair.c, phi, DagPred::kNN));
+  row("NW", qdag_consistent(pair.c, phi, DagPred::kNW));
+  row("WN", qdag_consistent(pair.c, phi, DagPred::kWN));
+  row("WN+", wn_plus_consistent(pair.c, phi));
+  row("WW", qdag_consistent(pair.c, phi, DagPred::kWW));
+
+  // Diagnostics for the strongest failing dag model.
+  QDagViolation v;
+  if (!qdag_consistent(pair.c, phi, DagPred::kWW, &v))
+    std::printf("\nWW violation: %s\n", v.to_string().c_str());
+  else if (!qdag_consistent(pair.c, phi, DagPred::kNN, &v))
+    std::printf("\nNN violation: %s\n", v.to_string().c_str());
+
+  if (sc.status == SearchStatus::kYes && sc.witness.has_value()) {
+    std::printf("\nSC witness order:");
+    for (const NodeId u : *sc.witness) std::printf(" %u", u);
+    std::printf("\n");
+  }
+  if (want_dot) std::printf("\n%s", io::to_dot(pair.c, &phi).c_str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// racecheck — determinacy-race detection on computations, and the
+// connection to memory models: race-free computations behave identically
+// under every model; races are where the lattice separates.
+//
+//   $ ./racecheck
+#include <cstdio>
+#include <utility>
+
+#include "exec/backer.hpp"
+#include "exec/sim_machine.hpp"
+#include "exec/weak_memory.hpp"
+#include "exec/workload.hpp"
+#include "models/location_consistency.hpp"
+#include "trace/race.hpp"
+
+using namespace ccmm;
+
+namespace {
+
+void report(const char* name, const Computation& c) {
+  const auto races = find_races(c);
+  std::printf("%-18s %4zu nodes  %3zu races", name, c.node_count(),
+              races.size());
+  if (!races.empty()) {
+    const Race& r = races.front();
+    std::printf("   e.g. nodes %u and %u on location %u (%s)", r.a, r.b,
+                r.loc,
+                r.kind == RaceKind::kWriteWrite ? "write/write"
+                                                : "read/write");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("-- race census across workloads --\n");
+  Rng rng(3);
+  report("reduction(32)", workload::reduction(32));
+  report("stencil(8x4)", workload::stencil(8, 4));
+  report("counter(8)", workload::contended_counter(8));
+  report("random(24)",
+         workload::random_ops(gen::random_dag(24, 0.1, rng), 3, 0.4, 0.4,
+                              rng));
+
+  // Determinacy in action: run the racy counter twice under different
+  // schedules — the observed values differ; do the same with the
+  // race-free reduction — the reads are identical.
+  std::printf("\n-- schedule sensitivity --\n");
+  const Computation racy = workload::contended_counter(4);
+  const Computation sound = workload::reduction(8);
+  const std::pair<const char*, const Computation*> cases[] = {
+      {"counter(4)", &racy}, {"reduction(8)", &sound}};
+  for (const auto& [name, comp] : cases) {
+    Rng r1(1), r2(99);
+    BackerMemory m1, m2;
+    const ExecutionResult a =
+        run_execution(*comp, work_stealing_schedule(*comp, 4, r1), m1);
+    const ExecutionResult b =
+        run_execution(*comp, work_stealing_schedule(*comp, 4, r2), m2);
+    std::size_t differing_reads = 0, reads = 0;
+    for (NodeId u = 0; u < comp->node_count(); ++u) {
+      const Op o = comp->op(u);
+      if (!o.is_read()) continue;
+      ++reads;
+      if (a.phi.get(o.loc, u) != b.phi.get(o.loc, u)) ++differing_reads;
+    }
+    std::printf("%-14s race-free=%-3s reads differing across schedules: "
+                "%zu/%zu\n",
+                name, is_race_free(*comp) ? "yes" : "no", differing_reads,
+                reads);
+  }
+
+  std::printf("\n(races are where the memory-model lattice matters: on the\n"
+              " race-free reduction every model from WW up to SC agrees.)\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "construct/extension.hpp"
+
+#include <unordered_set>
+
+namespace ccmm {
+
+bool for_each_one_node_extension(
+    const Computation& c, const std::vector<Op>& alphabet,
+    bool dedupe_by_closure,
+    const std::function<bool(const Computation&)>& visit) {
+  const std::size_t n = c.node_count();
+  CCMM_CHECK(n < 63, "extension enumeration limited to < 63 nodes");
+  const std::uint64_t nsubsets = std::uint64_t{1} << n;
+
+  for (const Op& o : alphabet) {
+    std::unordered_set<std::uint64_t> seen_closures;
+    for (std::uint64_t mask = 0; mask < nsubsets; ++mask) {
+      std::vector<NodeId> preds;
+      for (std::size_t i = 0; i < n; ++i)
+        if ((mask >> i) & 1u) preds.push_back(static_cast<NodeId>(i));
+
+      if (dedupe_by_closure) {
+        std::uint64_t closure = mask;
+        for (const NodeId p : preds)
+          c.dag().ancestors(p).for_each(
+              [&](std::size_t a) { closure |= std::uint64_t{1} << a; });
+        if (!seen_closures.insert(closure).second) continue;
+      }
+      if (!visit(c.extend(o, preds))) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t one_node_extension_count(const Computation& c,
+                                       const std::vector<Op>& alphabet) {
+  CCMM_CHECK(c.node_count() < 63, "extension enumeration limited to < 63 nodes");
+  return alphabet.size() * (std::uint64_t{1} << c.node_count());
+}
+
+bool for_each_extension_observer(
+    const Computation& extended, const ObserverFunction& base,
+    const std::function<bool(const ObserverFunction&)>& visit) {
+  CCMM_CHECK(extended.node_count() == base.node_count() + 1,
+             "extension must add exactly one node");
+  const auto z = static_cast<NodeId>(base.node_count());
+  const Op zop = extended.op(z);
+
+  // Seed: base values plus forced entries.
+  ObserverFunction phi(extended.node_count());
+  for (const Location l : base.active_locations())
+    for (NodeId u = 0; u < base.node_count(); ++u) {
+      const NodeId v = base.get(l, u);
+      if (v != kBottom) phi.set(l, u, v);
+    }
+
+  // Free slots: one per written location that z does not write.
+  std::vector<Location> free_locs;
+  std::vector<std::vector<NodeId>> choices;
+  for (const Location l : extended.written_locations()) {
+    if (zop.writes(l)) {
+      phi.set(l, z, z);
+      continue;
+    }
+    std::vector<NodeId> ch{kBottom};
+    for (const NodeId w : extended.writers(l)) ch.push_back(w);
+    free_locs.push_back(l);
+    choices.push_back(std::move(ch));
+  }
+
+  std::vector<std::size_t> odometer(free_locs.size(), 0);
+  for (;;) {
+    for (std::size_t i = 0; i < free_locs.size(); ++i) {
+      const NodeId v = choices[i][odometer[i]];
+      if (v == kBottom) {
+        // Ensure a previous iteration's non-⊥ value is cleared.
+        phi.set(free_locs[i], z, kBottom);
+      } else {
+        phi.set(free_locs[i], z, v);
+      }
+    }
+    if (!visit(phi)) return false;
+    std::size_t i = 0;
+    while (i < free_locs.size()) {
+      if (++odometer[i] < choices[i].size()) break;
+      odometer[i] = 0;
+      ++i;
+    }
+    if (i == free_locs.size()) return true;
+  }
+}
+
+}  // namespace ccmm

@@ -1,0 +1,42 @@
+// ccmm/construct/extension.hpp
+//
+// One-node extensions of a computation (the paper's "extension of C by
+// o") and the candidate observer functions that extend a given observer
+// function across them. These are the building blocks of constructibility
+// checking (Definition 6 via Theorem 10) and of the Δ* fixpoint.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/observer.hpp"
+
+namespace ccmm {
+
+/// Enumerate every extension of c by one node: every op in `alphabet` ×
+/// every direct-predecessor subset S ⊆ V. If `dedupe_by_closure` is true,
+/// only one representative per ancestor-closure of S is visited (sound
+/// when the consumer is invariant under adding transitively implied
+/// edges, which all of ccmm's models are). visit returns false to stop;
+/// returns true on completion.
+bool for_each_one_node_extension(
+    const Computation& c, const std::vector<Op>& alphabet,
+    bool dedupe_by_closure,
+    const std::function<bool(const Computation&)>& visit);
+
+/// Number of extensions visited by the above with dedupe off:
+/// |alphabet| * 2^|V|.
+[[nodiscard]] std::uint64_t one_node_extension_count(
+    const Computation& c, const std::vector<Op>& alphabet);
+
+/// Enumerate the valid observer functions of `extended` that agree with
+/// `base` on the first base.node_count() nodes. `extended` must have
+/// exactly one more node than base, appended last. The candidates differ
+/// only in the new node's row: per written location, the new node may
+/// observe ⊥ or any write (nothing succeeds the new node, so condition
+/// 2.2 never prunes), except that a write observes itself.
+bool for_each_extension_observer(
+    const Computation& extended, const ObserverFunction& base,
+    const std::function<bool(const ObserverFunction&)>& visit);
+
+}  // namespace ccmm

@@ -1,0 +1,231 @@
+#include "construct/fixpoint.hpp"
+
+#include "construct/extension.hpp"
+
+namespace ccmm {
+
+BoundedModelSet BoundedModelSet::restrict_model(const MemoryModel& model,
+                                                const UniverseSpec& spec) {
+  BoundedModelSet out;
+  out.spec_ = spec;
+  for_each_pair(spec, [&](const Computation& c, const ObserverFunction& phi) {
+    const std::string key = encode_computation(c);
+    auto [it, fresh] = out.entries_.try_emplace(key);
+    if (fresh) it->second.c = c;
+    if (model.contains(c, phi)) {
+      it->second.phis.push_back(phi);
+      it->second.alive.push_back(1);
+    }
+    return true;
+  });
+  return out;
+}
+
+std::size_t BoundedModelSet::live_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, e] : entries_)
+    for (const char a : e.alive) n += static_cast<std::size_t>(a);
+  return n;
+}
+
+std::size_t BoundedModelSet::live_count_at_size(std::size_t n) const {
+  std::size_t total = 0;
+  for (const auto& [key, e] : entries_) {
+    if (e.c.node_count() != n) continue;
+    for (const char a : e.alive) total += static_cast<std::size_t>(a);
+  }
+  return total;
+}
+
+bool BoundedModelSet::contains_pair(const Computation& c,
+                                    const ObserverFunction& phi) const {
+  const auto it = entries_.find(encode_computation(c));
+  if (it == entries_.end()) return false;
+  const Entry& e = it->second;
+  for (std::size_t i = 0; i < e.phis.size(); ++i)
+    if (e.alive[i] && e.phis[i] == phi) return true;
+  return false;
+}
+
+void BoundedModelSet::for_each_live(
+    const std::function<bool(const Computation&, const ObserverFunction&)>&
+        visit) const {
+  for (const auto& [key, e] : entries_)
+    for (std::size_t i = 0; i < e.phis.size(); ++i)
+      if (e.alive[i] && !visit(e.c, e.phis[i])) return;
+}
+
+BoundedModelSet constructible_version(const MemoryModel& model,
+                                      const UniverseSpec& spec,
+                                      FixpointStats* stats) {
+  BoundedModelSet set = BoundedModelSet::restrict_model(model, spec);
+  const std::vector<Op> alphabet = op_alphabet(spec.nlocations);
+
+  FixpointStats local;
+  local.initial_pairs = set.live_count();
+
+  // A pair survives a round iff every one-node extension inside the
+  // universe admits a live extending observer. Boundary pairs (at
+  // max_nodes) have no in-universe extensions and always survive.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++local.rounds;
+    for (auto& [key, e] : set.entries()) {
+      if (e.c.node_count() >= spec.max_nodes) continue;
+      for (std::size_t i = 0; i < e.phis.size(); ++i) {
+        if (!e.alive[i]) continue;
+        bool all_answerable = true;
+        for_each_one_node_extension(
+            e.c, alphabet, /*dedupe_by_closure=*/false,
+            [&](const Computation& ext) {
+              const auto jt = set.entries().find(encode_computation(ext));
+              // Extensions can leave the universe only through the
+              // labeling filter (e.g. max_writes_per_location); treat
+              // those as unconstraining.
+              if (jt == set.entries().end()) return true;
+              const BoundedModelSet::Entry& target = jt->second;
+              bool answered = false;
+              for_each_extension_observer(
+                  ext, e.phis[i], [&](const ObserverFunction& phi2) {
+                    for (std::size_t k = 0; k < target.phis.size(); ++k) {
+                      if (target.alive[k] && target.phis[k] == phi2) {
+                        answered = true;
+                        return false;
+                      }
+                    }
+                    return true;
+                  });
+              if (!answered) {
+                all_answerable = false;
+                return false;
+              }
+              return true;
+            });
+        if (!all_answerable) {
+          e.alive[i] = 0;
+          ++local.pruned;
+          changed = true;
+        }
+      }
+    }
+  }
+  local.final_pairs = set.live_count();
+  if (stats != nullptr) *stats = local;
+  return set;
+}
+
+namespace {
+
+/// Is (c, phi) answerable for every in-universe one-node extension,
+/// judging answers against `set`'s current liveness? Shared by the
+/// sequential and parallel drivers.
+bool pair_answerable(const BoundedModelSet& set, const std::vector<Op>& alphabet,
+                     const Computation& c, const ObserverFunction& phi) {
+  bool all_answerable = true;
+  for_each_one_node_extension(
+      c, alphabet, /*dedupe_by_closure=*/false, [&](const Computation& ext) {
+        const auto jt = set.entries().find(encode_computation(ext));
+        if (jt == set.entries().end()) return true;  // filtered: no info
+        const BoundedModelSet::Entry& target = jt->second;
+        bool answered = false;
+        for_each_extension_observer(
+            ext, phi, [&](const ObserverFunction& phi2) {
+              for (std::size_t k = 0; k < target.phis.size(); ++k) {
+                if (target.alive[k] && target.phis[k] == phi2) {
+                  answered = true;
+                  return false;
+                }
+              }
+              return true;
+            });
+        if (!answered) {
+          all_answerable = false;
+          return false;
+        }
+        return true;
+      });
+  return all_answerable;
+}
+
+}  // namespace
+
+BoundedModelSet constructible_version_parallel(const MemoryModel& model,
+                                               const UniverseSpec& spec,
+                                               ThreadPool& pool,
+                                               FixpointStats* stats) {
+  BoundedModelSet set = BoundedModelSet::restrict_model(model, spec);
+  const std::vector<Op> alphabet = op_alphabet(spec.nlocations);
+
+  FixpointStats local;
+  local.initial_pairs = set.live_count();
+
+  // Task list: one slot per live non-boundary pair. Freeze reachability
+  // caches before fanning out (they are lazily built and not thread-safe
+  // while dirty).
+  struct Task {
+    BoundedModelSet::Entry* entry;
+    std::size_t phi_index;
+  };
+  std::vector<Task> tasks;
+  for (auto& [key, e] : set.entries()) {
+    e.c.dag().ensure_closure();
+    if (e.c.node_count() >= spec.max_nodes) continue;
+    for (std::size_t i = 0; i < e.phis.size(); ++i)
+      tasks.push_back({&e, i});
+  }
+
+  bool changed = true;
+  while (changed) {
+    ++local.rounds;
+    // Jacobi phase 1: judge everyone against the current snapshot.
+    std::vector<char> kill(tasks.size(), 0);
+    pool.parallel_for(tasks.size(), [&](std::size_t t) {
+      const Task& task = tasks[t];
+      if (!task.entry->alive[task.phi_index]) return;
+      if (!pair_answerable(set, alphabet, task.entry->c,
+                           task.entry->phis[task.phi_index]))
+        kill[t] = 1;
+    });
+    // Phase 2: apply serially.
+    changed = false;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (!kill[t]) continue;
+      tasks[t].entry->alive[tasks[t].phi_index] = 0;
+      ++local.pruned;
+      changed = true;
+    }
+  }
+  local.final_pairs = set.live_count();
+  if (stats != nullptr) *stats = local;
+  return set;
+}
+
+std::vector<SizeClassComparison> compare_with_model(
+    const BoundedModelSet& fixpoint, const MemoryModel& reference) {
+  std::vector<SizeClassComparison> out(fixpoint.spec().max_nodes + 1);
+  for (std::size_t n = 0; n < out.size(); ++n) out[n].size = n;
+
+  std::vector<bool> mismatch(out.size(), false);
+  for (const auto& [key, e] : fixpoint.entries()) {
+    const std::size_t n = e.c.node_count();
+    for (std::size_t i = 0; i < e.phis.size(); ++i) {
+      const bool live = e.alive[i] != 0;
+      const bool ref = reference.contains(e.c, e.phis[i]);
+      if (live) ++out[n].fixpoint_pairs;
+      if (ref) ++out[n].reference_pairs;
+      if (live != ref) mismatch[n] = true;
+    }
+    // Pairs rejected by the *initial* model restriction never appear in
+    // phis; if the reference admits such a pair the sets differ. That
+    // cannot happen when reference ⊆ model, which is the intended use
+    // (reference = LC, model = NN); callers comparing unrelated models
+    // should rely on the counts.
+  }
+  for (std::size_t n = 0; n < out.size(); ++n)
+    out[n].equal =
+        !mismatch[n] && out[n].fixpoint_pairs == out[n].reference_pairs;
+  return out;
+}
+
+}  // namespace ccmm

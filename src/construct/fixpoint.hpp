@@ -1,0 +1,100 @@
+// ccmm/construct/fixpoint.hpp
+//
+// The constructible version Δ* (Definition 8) computed as a greatest
+// fixpoint on a bounded universe. Δ* equals the greatest X ⊆ Δ such that
+// every member pair can answer every one-node extension within X (see
+// DESIGN.md for the argument via Theorems 9/10). On a universe bounded
+// at max_nodes, pairs at the ceiling are never pruned (no extension
+// information), so the result OVER-approximates Δ* — tightly for sizes
+// well below the ceiling. Theorem 23 (LC = NN*) is verified by combining
+// this over-approximation with the certified inclusion LC ⊆ NN*: if the
+// fixpoint collapses onto LC, equality holds on the bounded universe.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "core/memory_model.hpp"
+#include "enumerate/universe.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ccmm {
+
+/// An extensional (finite) set of pairs, grouped by computation, with
+/// per-pair liveness. Also usable as a MemoryModel over its universe.
+class BoundedModelSet {
+ public:
+  struct Entry {
+    Computation c;
+    std::vector<ObserverFunction> phis;
+    std::vector<char> alive;
+  };
+
+  /// Materialize model ∩ universe(spec).
+  static BoundedModelSet restrict_model(const MemoryModel& model,
+                                        const UniverseSpec& spec);
+
+  [[nodiscard]] const UniverseSpec& spec() const noexcept { return spec_; }
+
+  /// Number of live pairs (optionally only those with exactly n nodes).
+  [[nodiscard]] std::size_t live_count() const;
+  [[nodiscard]] std::size_t live_count_at_size(std::size_t n) const;
+
+  /// Membership among live pairs. Pairs outside the universe are absent.
+  [[nodiscard]] bool contains_pair(const Computation& c,
+                                   const ObserverFunction& phi) const;
+
+  /// Iterate live pairs; visit returns false to stop.
+  void for_each_live(const std::function<bool(const Computation&,
+                                              const ObserverFunction&)>& visit)
+      const;
+
+  /// Internal: the entry table (exposed for the fixpoint driver).
+  [[nodiscard]] std::unordered_map<std::string, Entry>& entries() {
+    return entries_;
+  }
+  [[nodiscard]] const std::unordered_map<std::string, Entry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  UniverseSpec spec_;
+  std::unordered_map<std::string, Entry> entries_;  // key: encode_computation
+};
+
+struct FixpointStats {
+  std::size_t initial_pairs = 0;
+  std::size_t final_pairs = 0;
+  std::size_t rounds = 0;
+  std::size_t pruned = 0;
+};
+
+/// Compute the bounded greatest fixpoint described above, starting from
+/// model ∩ universe(spec). Pairs with max_nodes nodes are boundary pairs
+/// and are never pruned.
+[[nodiscard]] BoundedModelSet constructible_version(
+    const MemoryModel& model, const UniverseSpec& spec,
+    FixpointStats* stats = nullptr);
+
+/// Pool-parallel variant using Jacobi rounds: each round evaluates every
+/// live pair against the *previous* round's liveness snapshot in
+/// parallel, then applies the kills serially. Converges to the same
+/// greatest fixpoint as the sequential (chaotic) iteration, possibly in
+/// a different number of rounds.
+[[nodiscard]] BoundedModelSet constructible_version_parallel(
+    const MemoryModel& model, const UniverseSpec& spec, ThreadPool& pool,
+    FixpointStats* stats = nullptr);
+
+/// Compare a fixpoint result with a reference model, per size class:
+/// returns for each n ≤ max_nodes the pair (live in fixpoint, member of
+/// reference) counts and whether the two sets coincide at that size.
+struct SizeClassComparison {
+  std::size_t size = 0;
+  std::size_t fixpoint_pairs = 0;
+  std::size_t reference_pairs = 0;
+  bool equal = false;
+};
+[[nodiscard]] std::vector<SizeClassComparison> compare_with_model(
+    const BoundedModelSet& fixpoint, const MemoryModel& reference);
+
+}  // namespace ccmm

@@ -1,0 +1,111 @@
+// ccmm/construct/online.hpp
+//
+// The paper's motivation for constructibility, operationalized: "a
+// nonconstructible memory model cannot be implemented exactly by an
+// online algorithm". Here an online consistency algorithm is a
+// *maintainer*: the adversary reveals a computation one node at a time
+// (each new node arrives with its direct predecessors, so every prefix
+// really is a prefix in the paper's sense), and the maintainer must
+// commit the new node's observations immediately and irrevocably.
+//
+// Two results are exercised by the tests and the fig4 experiment:
+//  * SerialMaintainer (last-writer of arrival order) stays in SC — and
+//    hence in every model of the lattice — forever: constructible
+//    models have online implementations.
+//  * For a nonconstructible model, the reveal sequence of a
+//    NonconstructibilityWitness defeats EVERY maintainer: after the
+//    witness prefix is answered with the witness observer function (a
+//    perfectly legal position inside the model), no answer for the next
+//    node stays in the model. play_nonconstructibility_game certifies
+//    this by trying all answers, maintainer-independently.
+#pragma once
+
+#include <memory>
+
+#include "construct/constructibility.hpp"
+
+namespace ccmm {
+
+/// An online consistency algorithm. reset() starts a fresh execution;
+/// on_reveal is called once per node with the prefix *including* the
+/// new node (the new node is prefix.node_count() - 1) and must return
+/// the new node's observed write per written location, committing it.
+class OnlineMaintainer {
+ public:
+  virtual ~OnlineMaintainer() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void reset() = 0;
+
+  /// Returns Φ(l, new node) for every location in locations (kBottom
+  /// entries allowed). Called with locations = written locations of the
+  /// prefix.
+  [[nodiscard]] virtual std::vector<NodeId> on_reveal(
+      const Computation& prefix, NodeId new_node,
+      const std::vector<Location>& locations) = 0;
+};
+
+/// Drives a maintainer over the reveal sequence of `c` (nodes in id
+/// order — ids are topologically sorted for enumerated computations and
+/// builder-made ones). Returns the maintained observer function and, if
+/// a target model is given, the first step at which the maintained pair
+/// left the model (SIZE_MAX = never).
+struct OnlineRun {
+  ObserverFunction phi;
+  std::size_t first_violation_step = SIZE_MAX;
+  bool valid = true;  // Definition 2 held at every step
+};
+[[nodiscard]] OnlineRun run_online(OnlineMaintainer& maintainer,
+                                   const Computation& c,
+                                   const MemoryModel* target = nullptr);
+
+/// The maintainer realizing the constructibility upper bound: answer
+/// with the last writer in arrival order. The maintained pair is the
+/// last-writer function of a topological sort at every step, i.e. in SC
+/// and therefore in every model of the paper's lattice.
+class SerialMaintainer final : public OnlineMaintainer {
+ public:
+  [[nodiscard]] std::string name() const override { return "serial"; }
+  void reset() override { last_.clear(); }
+  [[nodiscard]] std::vector<NodeId> on_reveal(
+      const Computation& prefix, NodeId new_node,
+      const std::vector<Location>& locations) override;
+
+ private:
+  std::unordered_map<Location, NodeId> last_;
+};
+
+/// A maximally stale maintainer: answers ⊥ whenever ⊥ keeps the pair in
+/// the target model, otherwise falls back to the arrival last writer if
+/// that stays in the model, otherwise tries every write. Reports being
+/// stuck by returning... it cannot — which is the point: use
+/// play_nonconstructibility_game to see the stuck states.
+class GreedyStaleMaintainer final : public OnlineMaintainer {
+ public:
+  explicit GreedyStaleMaintainer(std::shared_ptr<const MemoryModel> target)
+      : target_(std::move(target)) {
+    CCMM_CHECK(target_ != nullptr, "null target model");
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "greedy-stale(" + target_->name() + ")";
+  }
+  void reset() override { phi_ = ObserverFunction(0); }
+  [[nodiscard]] std::vector<NodeId> on_reveal(
+      const Computation& prefix, NodeId new_node,
+      const std::vector<Location>& locations) override;
+
+ private:
+  std::shared_ptr<const MemoryModel> target_;
+  ObserverFunction phi_{0};
+};
+
+/// Maintainer-independent defeat certificate: replay the witness's
+/// reveal sequence, answer the prefix with the witness observer
+/// function (legal inside the model), then verify that EVERY answer for
+/// the final node leaves the model. Returns true iff the game defeats
+/// all maintainers this way (i.e. the witness is genuine).
+[[nodiscard]] bool play_nonconstructibility_game(
+    const MemoryModel& model, const NonconstructibilityWitness& witness);
+
+}  // namespace ccmm

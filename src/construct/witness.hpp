@@ -1,0 +1,34 @@
+// ccmm/construct/witness.hpp
+//
+// Curated nonconstructibility witnesses. figure4_witness() is the
+// paper's Figure 4 phenomenon in minimal form: a pair (C, Φ) ∈ NN with a
+// one-node extension that no observer function can answer unless the new
+// node writes the location. The test suite re-derives it by exhaustive
+// search (construct/constructibility.hpp) and verifies minimality.
+#pragma once
+
+#include "construct/constructibility.hpp"
+
+namespace ccmm {
+
+/// The minimal Figure-4 witness over one location:
+///   nodes:  0 = A: W(0)   1 = B: W(0)   2 = C: R(0)   3 = D: R(0)
+///   edges:  C -> B,  D -> A
+///   Φ:      A -> A, B -> B, C -> A, D -> B
+/// (C, Φ) ∈ NN \ LC. The blocks Φ⁻¹(A) = {A, C} and Φ⁻¹(B) = {B, D}
+/// form a quotient cycle (C→B and D→A cross in opposite directions), so
+/// no serialization of location 0 explains Φ — yet no forbidden triple
+/// exists *inside* C. Extending with a final read F (preds {A, B}):
+///   Φ'(F) = A forces Φ(B) = A   (triple C ≺ B ≺ F),
+///   Φ'(F) = B forces Φ(A) = B   (triple D ≺ A ≺ F),
+///   Φ'(F) = ⊥ forces Φ(A) = ⊥  (triple ⊥ ≺ A ≺ F),
+/// all contradictions: NN is not constructible (paper, Section 5).
+[[nodiscard]] NonconstructibilityWitness figure4_witness();
+
+/// Check that `w` really is a witness against `model`: (c, phi) ∈ model,
+/// `extension` extends c by one node, and no extension observer lands in
+/// the model.
+[[nodiscard]] bool validate_witness(const MemoryModel& model,
+                                    const NonconstructibilityWitness& w);
+
+}  // namespace ccmm

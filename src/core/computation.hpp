@@ -1,0 +1,120 @@
+// ccmm/core/computation.hpp
+//
+// Definition 1 of the paper: a computation C = (G, op) is a finite dag
+// together with an instruction label per node. This file also implements
+// the structural operations the theory needs: prefixes, relaxations,
+// extensions by one instruction, and the augmented computation aug_o(C)
+// of Definition 11.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/op.hpp"
+#include "dag/dag.hpp"
+
+namespace ccmm {
+
+class Computation {
+ public:
+  /// The empty computation ε.
+  Computation() = default;
+
+  /// A computation over `dag` with one op per node.
+  Computation(Dag dag, std::vector<Op> ops);
+
+  [[nodiscard]] const Dag& dag() const noexcept { return dag_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return ops_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+
+  [[nodiscard]] Op op(NodeId u) const {
+    CCMM_ASSERT(u < node_count());
+    return ops_[u];
+  }
+  [[nodiscard]] const std::vector<Op>& ops() const noexcept { return ops_; }
+
+  /// Strict precedence in the computation's dag (⊥ ≺ every real node).
+  [[nodiscard]] bool precedes(NodeId u, NodeId v) const {
+    return dag_.precedes(u, v);
+  }
+
+  /// Append a node labelled `o` whose direct predecessors are `preds`;
+  /// returns the new node's id. The new node has no successors, so the
+  /// original computation is a prefix of the result.
+  NodeId add_node(Op o, const std::vector<NodeId>& preds = {});
+
+  /// Locations written (resp. read) somewhere in the computation, sorted.
+  [[nodiscard]] std::vector<Location> written_locations() const;
+  [[nodiscard]] std::vector<Location> accessed_locations() const;
+
+  /// Node ids that write (read) location l, in id order.
+  [[nodiscard]] std::vector<NodeId> writers(Location l) const;
+  [[nodiscard]] std::vector<NodeId> readers(Location l) const;
+
+  /// The subcomputation induced by `keep`. If `keep` is downward closed
+  /// this is a prefix of *this (paper's sense).
+  [[nodiscard]] Computation induced(const DynBitset& keep,
+                                    std::vector<NodeId>* old_to_new
+                                    = nullptr) const;
+
+  /// True iff *this is a prefix of `other` in canonical id layout: the
+  /// nodes of *this are exactly 0..n-1 of `other`, carrying the same ops,
+  /// the induced edges agree, and no edge of `other` enters 0..n-1 from
+  /// outside (downward closure).
+  [[nodiscard]] bool is_prefix_of(const Computation& other) const;
+
+  /// True iff *this has the same nodes/ops as `other` and a subset of its
+  /// edges (Definition: relaxation).
+  [[nodiscard]] bool is_relaxation_of(const Computation& other) const;
+
+  /// Extension of *this by op `o` with direct predecessor set `preds`
+  /// (Definition: extension by o). The new node is node_count().
+  [[nodiscard]] Computation extend(Op o, const std::vector<NodeId>& preds) const;
+
+  /// Definition 11: the augmented computation aug_o(C) — one new node
+  /// labelled o that succeeds every existing node.
+  [[nodiscard]] Computation augment(Op o) const;
+
+  /// The id of final(C) in augment()'s result.
+  [[nodiscard]] NodeId final_node_id() const {
+    return static_cast<NodeId>(node_count());
+  }
+
+  [[nodiscard]] bool operator==(const Computation& o) const {
+    return ops_ == o.ops_ && dag_ == o.dag_;
+  }
+
+  /// Human-readable multi-line dump (nodes, ops, edges).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Dag dag_;
+  std::vector<Op> ops_;
+};
+
+/// Convenience builder for tests and examples: build nodes fluently.
+class ComputationBuilder {
+ public:
+  /// Add a node; returns its id.
+  NodeId node(Op o, const std::vector<NodeId>& preds = {}) {
+    return c_.add_node(o, preds);
+  }
+  NodeId read(Location l, const std::vector<NodeId>& preds = {}) {
+    return node(Op::read(l), preds);
+  }
+  NodeId write(Location l, const std::vector<NodeId>& preds = {}) {
+    return node(Op::write(l), preds);
+  }
+  NodeId nop(const std::vector<NodeId>& preds = {}) {
+    return node(Op::nop(), preds);
+  }
+
+  [[nodiscard]] Computation build() && { return std::move(c_); }
+  [[nodiscard]] const Computation& peek() const { return c_; }
+
+ private:
+  Computation c_;
+};
+
+}  // namespace ccmm

@@ -1,0 +1,40 @@
+#include "core/last_writer.hpp"
+
+#include "dag/topsort.hpp"
+
+namespace ccmm {
+
+ObserverFunction last_writer(const Computation& c,
+                             const std::vector<NodeId>& order) {
+  CCMM_CHECK(is_topological_sort(c.dag(), order),
+             "last_writer requires a topological sort of the computation");
+  ObserverFunction phi(c.node_count());
+  const auto locs = c.written_locations();
+  if (locs.empty()) return phi;
+
+  // One forward scan per written location; cur is the most recent writer.
+  for (const Location l : locs) {
+    NodeId cur = kBottom;
+    for (const NodeId u : order) {
+      if (c.op(u).writes(l)) cur = u;  // 13.2: a write is its own last writer
+      if (cur != kBottom) phi.set(l, u, cur);
+    }
+  }
+  return phi;
+}
+
+NodeId last_writer_at(const Computation& c, const std::vector<NodeId>& order,
+                      Location l, NodeId u) {
+  CCMM_CHECK(is_topological_sort(c.dag(), order),
+             "last_writer_at requires a topological sort of the computation");
+  if (u == kBottom) return kBottom;
+  NodeId cur = kBottom;
+  for (const NodeId v : order) {
+    if (c.op(v).writes(l)) cur = v;
+    if (v == u) return cur;
+  }
+  CCMM_CHECK(false, "node not present in the topological sort");
+  return kBottom;
+}
+
+}  // namespace ccmm

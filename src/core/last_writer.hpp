@@ -1,0 +1,25 @@
+// ccmm/core/last_writer.hpp
+//
+// Definition 13: the last-writer function W_T according to a topological
+// sort T. Theorem 14 (existence/uniqueness) corresponds to this being a
+// total deterministic procedure; Theorem 16 (W_T is an observer function)
+// is verified by the test suite for every generated instance.
+#pragma once
+
+#include <vector>
+
+#include "core/observer.hpp"
+
+namespace ccmm {
+
+/// Compute W_T for computation `c` and topological sort `order`.
+/// Precondition: `order` ∈ TS(c). O(|V| + writes) per active location.
+[[nodiscard]] ObserverFunction last_writer(const Computation& c,
+                                           const std::vector<NodeId>& order);
+
+/// W_T(l, u) for a single query, without materializing the whole function.
+[[nodiscard]] NodeId last_writer_at(const Computation& c,
+                                    const std::vector<NodeId>& order,
+                                    Location l, NodeId u);
+
+}  // namespace ccmm

@@ -1,0 +1,14 @@
+#include "core/memory_model.hpp"
+
+#include "core/last_writer.hpp"
+
+namespace ccmm {
+
+std::optional<ObserverFunction> MemoryModel::any_observer(
+    const Computation& c) const {
+  ObserverFunction phi = last_writer(c, c.dag().topological_order());
+  if (contains(c, phi)) return phi;
+  return std::nullopt;
+}
+
+}  // namespace ccmm

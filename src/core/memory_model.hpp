@@ -1,0 +1,84 @@
+// ccmm/core/memory_model.hpp
+//
+// Definition 3: a memory model Δ is a set of (computation, observer
+// function) pairs containing (ε, Φ_ε). We represent a model *intension-
+// ally* as a membership predicate; the enumeration layer materializes the
+// extensional set over bounded universes when the theory quantifies over
+// all pairs (constructibility, Δ*, model comparison).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/observer.hpp"
+
+namespace ccmm {
+
+class MemoryModel {
+ public:
+  virtual ~MemoryModel() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Membership test: (c, phi) ∈ Δ. Implementations must accept the empty
+  /// computation with its unique observer function. `phi` is not required
+  /// to be pre-validated; models reject invalid observer functions.
+  [[nodiscard]] virtual bool contains(const Computation& c,
+                                      const ObserverFunction& phi) const = 0;
+
+  /// Produce *some* observer function with (c, phi) ∈ Δ, if the
+  /// implementation knows how (completeness witness). The default tries
+  /// the last-writer function of the canonical topological sort, which
+  /// works for every model weaker than sequential consistency.
+  [[nodiscard]] virtual std::optional<ObserverFunction> any_observer(
+      const Computation& c) const;
+};
+
+/// A model defined by an arbitrary predicate — the glue that lets the
+/// constructibility engine treat derived sets (e.g. fixpoint results) as
+/// first-class models.
+class PredicateModel final : public MemoryModel {
+ public:
+  using Pred = std::function<bool(const Computation&, const ObserverFunction&)>;
+
+  PredicateModel(std::string name, Pred pred)
+      : name_(std::move(name)), pred_(std::move(pred)) {
+    CCMM_CHECK(pred_ != nullptr, "null predicate");
+  }
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] bool contains(const Computation& c,
+                              const ObserverFunction& phi) const override {
+    return pred_(c, phi);
+  }
+
+ private:
+  std::string name_;
+  Pred pred_;
+};
+
+/// Δ1 ∩ Δ2 (the intersection is the weakest model stronger than both).
+class IntersectionModel final : public MemoryModel {
+ public:
+  IntersectionModel(std::shared_ptr<const MemoryModel> a,
+                    std::shared_ptr<const MemoryModel> b)
+      : a_(std::move(a)), b_(std::move(b)) {
+    CCMM_CHECK(a_ != nullptr && b_ != nullptr, "null model");
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return a_->name() + " ∩ " + b_->name();
+  }
+  [[nodiscard]] bool contains(const Computation& c,
+                              const ObserverFunction& phi) const override {
+    return a_->contains(c, phi) && b_->contains(c, phi);
+  }
+
+ private:
+  std::shared_ptr<const MemoryModel> a_;
+  std::shared_ptr<const MemoryModel> b_;
+};
+
+}  // namespace ccmm

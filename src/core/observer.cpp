@@ -1,0 +1,132 @@
+#include "core/observer.hpp"
+
+#include <algorithm>
+
+#include "util/str.hpp"
+
+namespace ccmm {
+
+std::size_t ObserverFunction::column_index(Location l) const {
+  const auto it = std::lower_bound(locs_.begin(), locs_.end(), l);
+  if (it == locs_.end() || *it != l) return SIZE_MAX;
+  return static_cast<std::size_t>(it - locs_.begin());
+}
+
+std::vector<NodeId>& ObserverFunction::column(Location l) {
+  const auto it = std::lower_bound(locs_.begin(), locs_.end(), l);
+  const auto idx = static_cast<std::size_t>(it - locs_.begin());
+  if (it == locs_.end() || *it != l) {
+    locs_.insert(it, l);
+    cols_.insert(cols_.begin() + static_cast<std::ptrdiff_t>(idx),
+                 std::vector<NodeId>(n_, kBottom));
+  }
+  return cols_[idx];
+}
+
+NodeId ObserverFunction::get(Location l, NodeId u) const {
+  if (u == kBottom) return kBottom;  // Φ(l, ⊥) = ⊥
+  CCMM_CHECK(u < n_, "observer queried past node count");
+  const std::size_t i = column_index(l);
+  return i == SIZE_MAX ? kBottom : cols_[i][u];
+}
+
+void ObserverFunction::set(Location l, NodeId u, NodeId v) {
+  CCMM_CHECK(u < n_, "observer set past node count");
+  CCMM_CHECK(v == kBottom || v < n_, "observed node out of range");
+  column(l)[u] = v;
+}
+
+std::vector<Location> ObserverFunction::active_locations() const {
+  std::vector<Location> out;
+  for (std::size_t i = 0; i < locs_.size(); ++i) {
+    const bool live = std::any_of(cols_[i].begin(), cols_[i].end(),
+                                  [](NodeId v) { return v != kBottom; });
+    if (live) out.push_back(locs_[i]);
+  }
+  return out;
+}
+
+bool ObserverFunction::operator==(const ObserverFunction& o) const {
+  if (n_ != o.n_) return false;
+  const auto a = active_locations();
+  const auto b = o.active_locations();
+  if (a != b) return false;
+  for (const Location l : a)
+    for (NodeId u = 0; u < n_; ++u)
+      if (get(l, u) != o.get(l, u)) return false;
+  return true;
+}
+
+std::size_t ObserverFunction::hash() const {
+  std::size_t h = 0x243f6a8885a308d3ull ^ n_;
+  for (const Location l : active_locations()) {
+    h ^= l + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    for (NodeId u = 0; u < n_; ++u) {
+      const NodeId v = get(l, u);
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+  }
+  return h;
+}
+
+ObserverFunction ObserverFunction::restricted(std::size_t n) const {
+  CCMM_CHECK(n <= n_, "restriction must shrink the domain");
+  ObserverFunction out(n);
+  for (std::size_t i = 0; i < locs_.size(); ++i)
+    for (NodeId u = 0; u < n; ++u)
+      if (cols_[i][u] != kBottom) out.set(locs_[i], u, cols_[i][u]);
+  return out;
+}
+
+bool ObserverFunction::extends(const ObserverFunction& small) const {
+  if (small.n_ > n_) return false;
+  return restricted(small.n_) == small;
+}
+
+std::string ObserverFunction::to_string() const {
+  std::string out;
+  for (const Location l : active_locations()) {
+    out += format("  location %u:", l);
+    for (NodeId u = 0; u < n_; ++u) {
+      const NodeId v = get(l, u);
+      if (v == kBottom)
+        out += format(" %u->_", u);
+      else
+        out += format(" %u->%u", u, v);
+    }
+    out += '\n';
+  }
+  if (out.empty()) out = "  (all bottom)\n";
+  return out;
+}
+
+ValidityResult validate_observer(const Computation& c,
+                                 const ObserverFunction& phi) {
+  if (phi.node_count() != c.node_count())
+    return {false, "observer/computation node count mismatch"};
+
+  // 2.1 and 2.2 over active locations; 2.3 over every written location.
+  for (const Location l : phi.active_locations()) {
+    for (NodeId u = 0; u < c.node_count(); ++u) {
+      const NodeId v = phi.get(l, u);
+      if (v != kBottom && !c.op(v).writes(l))
+        return {false,
+                format("2.1 violated: Phi(%u,%u) = %u which is %s, not W(%u)",
+                       l, u, v, c.op(v).to_string().c_str(), l)};
+      if (v != kBottom && c.precedes(u, v))
+        return {false, format("2.2 violated: node %u precedes its observed "
+                              "write %u at location %u",
+                              u, v, l)};
+    }
+  }
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const Op o = c.op(u);
+    if (o.is_write() && phi.get(o.loc, u) != u)
+      return {false, format("2.3 violated: write node %u must observe "
+                            "itself at location %u",
+                            u, o.loc)};
+  }
+  return {};
+}
+
+}  // namespace ccmm

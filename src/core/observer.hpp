@@ -1,0 +1,84 @@
+// ccmm/core/observer.hpp
+//
+// Definition 2 of the paper: an observer function Φ maps (location, node)
+// to the write the node observes at that location, or ⊥ if it observes no
+// write. Φ(l, ⊥) = ⊥ always. Values are stored densely per *active*
+// location; locations whose column is all-⊥ are equivalent to absent
+// columns (the equality, hashing and printing here respect that).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/computation.hpp"
+
+namespace ccmm {
+
+class ObserverFunction {
+ public:
+  ObserverFunction() = default;
+
+  /// All-⊥ observer function over `node_count` nodes.
+  explicit ObserverFunction(std::size_t node_count) : n_(node_count) {}
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_; }
+
+  /// Φ(l, u); u may be kBottom (returns kBottom).
+  [[nodiscard]] NodeId get(Location l, NodeId u) const;
+
+  /// Set Φ(l, u) = v (v may be kBottom). u must be a real node.
+  void set(Location l, NodeId u, NodeId v);
+
+  /// Locations with at least one non-⊥ entry, sorted.
+  [[nodiscard]] std::vector<Location> active_locations() const;
+
+  /// Equality as functions (all-⊥ columns compare equal to absence).
+  [[nodiscard]] bool operator==(const ObserverFunction& o) const;
+
+  [[nodiscard]] std::size_t hash() const;
+
+  /// Domain restriction to the canonical prefix 0..n-1. The result may
+  /// not be a valid observer function for the prefix (it can reference
+  /// dropped writes); it is intended for Φ'|C = Φ comparisons.
+  [[nodiscard]] ObserverFunction restricted(std::size_t n) const;
+
+  /// True iff restricted(small.node_count()) == small.
+  [[nodiscard]] bool extends(const ObserverFunction& small) const;
+
+  /// Multi-line rendering "Φ(l, u) = v" for the active locations.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  [[nodiscard]] std::size_t column_index(Location l) const;  // SIZE_MAX if absent
+  std::vector<NodeId>& column(Location l);
+
+  std::size_t n_ = 0;
+  std::vector<Location> locs_;                // sorted
+  std::vector<std::vector<NodeId>> cols_;     // cols_[i][u], parallel to locs_
+};
+
+struct ObserverFunctionHash {
+  std::size_t operator()(const ObserverFunction& f) const { return f.hash(); }
+};
+
+/// Outcome of validating Definition 2; `ok` plus a diagnostic on failure.
+struct ValidityResult {
+  bool ok = true;
+  std::string reason;
+  explicit operator bool() const { return ok; }
+};
+
+/// Check conditions 2.1–2.3 of Definition 2:
+///  2.1 every observed node is a write to that location;
+///  2.2 a node cannot precede the node it observes (¬(u ≺ Φ(l,u)));
+///  2.3 every write observes itself.
+[[nodiscard]] ValidityResult validate_observer(const Computation& c,
+                                               const ObserverFunction& phi);
+
+[[nodiscard]] inline bool is_valid_observer(const Computation& c,
+                                            const ObserverFunction& phi) {
+  return validate_observer(c, phi).ok;
+}
+
+}  // namespace ccmm

@@ -1,0 +1,32 @@
+#include "core/op.hpp"
+
+#include <vector>
+
+#include "util/str.hpp"
+
+namespace ccmm {
+
+std::string Op::to_string() const {
+  switch (kind) {
+    case OpKind::kNop:
+      return "N";
+    case OpKind::kRead:
+      return format("R(%u)", loc);
+    case OpKind::kWrite:
+      return format("W(%u)", loc);
+  }
+  return "?";
+}
+
+std::vector<Op> op_alphabet(std::size_t nlocations) {
+  std::vector<Op> out;
+  out.reserve(1 + 2 * nlocations);
+  out.push_back(Op::nop());
+  for (Location l = 0; l < nlocations; ++l) {
+    out.push_back(Op::read(l));
+    out.push_back(Op::write(l));
+  }
+  return out;
+}
+
+}  // namespace ccmm

@@ -1,0 +1,56 @@
+// ccmm/core/op.hpp
+//
+// Abstract memory instructions. Following the paper, the instruction set
+// is O = { R(l), W(l) : l ∈ L } ∪ { N }, where N is any instruction that
+// does not access the memory (a no-op / pure synchronization node).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccmm {
+
+using Location = std::uint32_t;
+
+enum class OpKind : std::uint8_t { kNop, kRead, kWrite };
+
+struct Op {
+  OpKind kind = OpKind::kNop;
+  Location loc = 0;
+
+  [[nodiscard]] static constexpr Op nop() { return {OpKind::kNop, 0}; }
+  [[nodiscard]] static constexpr Op read(Location l) {
+    return {OpKind::kRead, l};
+  }
+  [[nodiscard]] static constexpr Op write(Location l) {
+    return {OpKind::kWrite, l};
+  }
+
+  [[nodiscard]] constexpr bool is_nop() const { return kind == OpKind::kNop; }
+  [[nodiscard]] constexpr bool is_read() const { return kind == OpKind::kRead; }
+  [[nodiscard]] constexpr bool is_write() const {
+    return kind == OpKind::kWrite;
+  }
+  [[nodiscard]] constexpr bool reads(Location l) const {
+    return is_read() && loc == l;
+  }
+  [[nodiscard]] constexpr bool writes(Location l) const {
+    return is_write() && loc == l;
+  }
+  [[nodiscard]] constexpr bool accesses(Location l) const {
+    return !is_nop() && loc == l;
+  }
+
+  [[nodiscard]] constexpr bool operator==(const Op&) const = default;
+
+  /// "N", "R(l)" or "W(l)".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The instruction alphabet over `nlocations` locations, in a fixed order:
+/// N, R(0), W(0), R(1), W(1), ... Used by the enumeration and
+/// constructibility engines, which quantify over all o ∈ O.
+[[nodiscard]] std::vector<Op> op_alphabet(std::size_t nlocations);
+
+}  // namespace ccmm

@@ -1,0 +1,238 @@
+#include "dag/dag.hpp"
+
+#include <algorithm>
+
+namespace ccmm {
+
+Dag::Dag(std::size_t n, const std::vector<Edge>& edge_list) {
+  resize(n);
+  for (const auto& e : edge_list) add_edge(e.from, e.to);
+}
+
+void Dag::resize(std::size_t n) {
+  succ_.resize(n);
+  pred_.resize(n);
+  invalidate();
+}
+
+NodeId Dag::add_nodes(std::size_t k) {
+  const auto first = static_cast<NodeId>(node_count());
+  resize(node_count() + k);
+  return first;
+}
+
+void Dag::add_edge(NodeId u, NodeId v) {
+  CCMM_CHECK(u < node_count() && v < node_count(), "edge endpoint out of range");
+  CCMM_CHECK(u != v, "self-loop");
+  if (has_edge(u, v)) return;  // idempotent
+  succ_[u].push_back(v);
+  pred_[v].push_back(u);
+  ++nedges_;
+  invalidate();
+}
+
+bool Dag::has_edge(NodeId u, NodeId v) const {
+  CCMM_ASSERT(u < node_count() && v < node_count());
+  const auto& s = succ_[u];
+  return std::find(s.begin(), s.end(), v) != s.end();
+}
+
+std::vector<Edge> Dag::edges() const {
+  std::vector<Edge> out;
+  out.reserve(nedges_);
+  for (NodeId u = 0; u < node_count(); ++u)
+    for (const NodeId v : succ_[u]) out.push_back({u, v});
+  return out;
+}
+
+bool Dag::is_acyclic() const {
+  // Kahn's algorithm: all nodes drain iff acyclic.
+  std::vector<std::size_t> indeg(node_count());
+  for (NodeId u = 0; u < node_count(); ++u) indeg[u] = pred_[u].size();
+  std::vector<NodeId> stack;
+  for (NodeId u = 0; u < node_count(); ++u)
+    if (indeg[u] == 0) stack.push_back(u);
+  std::size_t seen = 0;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    ++seen;
+    for (const NodeId v : succ_[u])
+      if (--indeg[v] == 0) stack.push_back(v);
+  }
+  return seen == node_count();
+}
+
+void Dag::ensure_closure() const {
+  if (closure_valid_) return;
+  CCMM_CHECK(is_acyclic(), "reachability requires an acyclic graph");
+  const std::size_t n = node_count();
+  desc_.assign(n, DynBitset(n));
+  anc_.assign(n, DynBitset(n));
+
+  // Process nodes in reverse topological order so desc rows of successors
+  // are complete when we union them in.
+  std::vector<NodeId> order;
+  order.reserve(n);
+  {
+    std::vector<std::size_t> indeg(n);
+    for (NodeId u = 0; u < n; ++u) indeg[u] = pred_[u].size();
+    std::vector<NodeId> stack;
+    for (NodeId u = 0; u < n; ++u)
+      if (indeg[u] == 0) stack.push_back(u);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      order.push_back(u);
+      for (const NodeId v : succ_[u])
+        if (--indeg[v] == 0) stack.push_back(v);
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId u = *it;
+    for (const NodeId v : succ_[u]) {
+      desc_[u].set(v);
+      desc_[u] |= desc_[v];
+    }
+  }
+  for (NodeId u = 0; u < n; ++u)
+    desc_[u].for_each([&](std::size_t v) { anc_[v].set(u); });
+  closure_valid_ = true;
+}
+
+bool Dag::precedes(NodeId u, NodeId v) const {
+  if (u == kBottom) return v != kBottom;  // ⊥ ≺ every real node
+  if (v == kBottom) return false;
+  CCMM_ASSERT(u < node_count() && v < node_count());
+  if (u == v) return false;
+  ensure_closure();
+  return desc_[u].test(v);
+}
+
+const DynBitset& Dag::descendants(NodeId u) const {
+  CCMM_CHECK(u < node_count(), "node out of range");
+  ensure_closure();
+  return desc_[u];
+}
+
+const DynBitset& Dag::ancestors(NodeId u) const {
+  CCMM_CHECK(u < node_count(), "node out of range");
+  ensure_closure();
+  return anc_[u];
+}
+
+DynBitset Dag::between(NodeId u, NodeId w) const {
+  ensure_closure();
+  if (u == kBottom) {
+    CCMM_CHECK(w < node_count(), "node out of range");
+    return anc_[w];  // every real node follows ⊥
+  }
+  CCMM_CHECK(u < node_count() && w < node_count(), "node out of range");
+  return desc_[u] & anc_[w];
+}
+
+std::vector<NodeId> Dag::sources() const {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < node_count(); ++u)
+    if (pred_[u].empty()) out.push_back(u);
+  return out;
+}
+
+std::vector<NodeId> Dag::sinks() const {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < node_count(); ++u)
+    if (succ_[u].empty()) out.push_back(u);
+  return out;
+}
+
+std::vector<NodeId> Dag::topological_order() const {
+  CCMM_CHECK(is_acyclic(), "topological order of a cyclic graph");
+  const std::size_t n = node_count();
+  std::vector<std::size_t> indeg(n);
+  for (NodeId u = 0; u < n; ++u) indeg[u] = pred_[u].size();
+  // Min-heap on node id for a canonical order.
+  std::vector<NodeId> heap;
+  auto cmp = [](NodeId a, NodeId b) { return a > b; };
+  for (NodeId u = 0; u < n; ++u)
+    if (indeg[u] == 0) heap.push_back(u);
+  std::make_heap(heap.begin(), heap.end(), cmp);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const NodeId u = heap.back();
+    heap.pop_back();
+    order.push_back(u);
+    for (const NodeId v : succ_[u]) {
+      if (--indeg[v] == 0) {
+        heap.push_back(v);
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+  }
+  return order;
+}
+
+bool Dag::is_downward_closed(const DynBitset& keep) const {
+  CCMM_CHECK(keep.size() == node_count(), "subset size mismatch");
+  bool ok = true;
+  keep.for_each([&](std::size_t v) {
+    for (const NodeId p : pred_[static_cast<NodeId>(v)])
+      if (!keep.test(p)) ok = false;
+  });
+  return ok;
+}
+
+Dag Dag::induced(const DynBitset& keep, std::vector<NodeId>* old_to_new) const {
+  CCMM_CHECK(keep.size() == node_count(), "subset size mismatch");
+  std::vector<NodeId> map(node_count(), kBottom);
+  NodeId next = 0;
+  keep.for_each([&](std::size_t v) { map[v] = next++; });
+  Dag out(next);
+  for (NodeId u = 0; u < node_count(); ++u) {
+    if (map[u] == kBottom) continue;
+    for (const NodeId v : succ_[u])
+      if (map[v] != kBottom) out.add_edge(map[u], map[v]);
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return out;
+}
+
+bool Dag::is_relaxation_of(const Dag& other) const {
+  if (node_count() != other.node_count()) return false;
+  for (NodeId u = 0; u < node_count(); ++u)
+    for (const NodeId v : succ_[u])
+      if (!other.has_edge(u, v)) return false;
+  return true;
+}
+
+Dag Dag::transitive_reduction() const {
+  ensure_closure();
+  Dag out(node_count());
+  // Edge u->v is redundant iff some other successor of u reaches v.
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (const NodeId v : succ_[u]) {
+      bool redundant = false;
+      for (const NodeId w : succ_[u]) {
+        if (w != v && desc_[w].test(v)) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) out.add_edge(u, v);
+    }
+  }
+  return out;
+}
+
+Dag Dag::transitive_closure() const {
+  ensure_closure();
+  Dag out(node_count());
+  for (NodeId u = 0; u < node_count(); ++u)
+    desc_[u].for_each([&](std::size_t v) {
+      out.add_edge(u, static_cast<NodeId>(v));
+    });
+  return out;
+}
+
+}  // namespace ccmm

@@ -1,0 +1,129 @@
+// ccmm/dag/dag.hpp
+//
+// Finite directed acyclic graphs with cached reachability, the graph
+// substrate for computations (Definition 1 of the paper). Nodes are dense
+// ids 0..n-1. Reachability rows are bitsets, which makes the u ≺ v ≺ w
+// triple queries of the dag-consistency checkers word-parallel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitset.hpp"
+#include "util/check.hpp"
+
+namespace ccmm {
+
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" / the ⊥ element of observer functions.
+inline constexpr NodeId kBottom = static_cast<NodeId>(-1);
+
+struct Edge {
+  NodeId from;
+  NodeId to;
+  [[nodiscard]] bool operator==(const Edge&) const = default;
+};
+
+/// A finite dag. Mutation (add_edge/add_node) invalidates the cached
+/// reachability closure, which is rebuilt on the next query. Freeze with
+/// ensure_closure() before sharing a Dag across threads read-only.
+class Dag {
+ public:
+  Dag() = default;
+  explicit Dag(std::size_t n) { resize(n); }
+
+  /// Build from an explicit edge list over nodes 0..n-1.
+  Dag(std::size_t n, const std::vector<Edge>& edges);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return succ_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return nedges_; }
+  [[nodiscard]] bool empty() const noexcept { return succ_.empty(); }
+
+  /// Append `k` fresh isolated nodes; returns the id of the first.
+  NodeId add_nodes(std::size_t k = 1);
+
+  /// Add edge u -> v. Does not check acyclicity eagerly (see is_acyclic).
+  void add_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  [[nodiscard]] const std::vector<NodeId>& succ(NodeId u) const {
+    CCMM_ASSERT(u < node_count());
+    return succ_[u];
+  }
+  [[nodiscard]] const std::vector<NodeId>& pred(NodeId u) const {
+    CCMM_ASSERT(u < node_count());
+    return pred_[u];
+  }
+
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// True iff the graph has no directed cycle.
+  [[nodiscard]] bool is_acyclic() const;
+
+  /// Strict precedence u ≺ v: a nonempty path from u to v. By the paper's
+  /// convention ⊥ ≺ v for every real node v, and ⊥ ⊀ ⊥.
+  [[nodiscard]] bool precedes(NodeId u, NodeId v) const;
+
+  /// Reflexive precedence u ≼ v.
+  [[nodiscard]] bool preceq(NodeId u, NodeId v) const {
+    return u == v || precedes(u, v);
+  }
+
+  /// Bitset of strict descendants of u (nodes v with u ≺ v).
+  [[nodiscard]] const DynBitset& descendants(NodeId u) const;
+  /// Bitset of strict ancestors of u (nodes v with v ≺ u).
+  [[nodiscard]] const DynBitset& ancestors(NodeId u) const;
+
+  /// Nodes strictly between u and w: { v : u ≺ v ≺ w }.
+  [[nodiscard]] DynBitset between(NodeId u, NodeId w) const;
+
+  /// Nodes with no predecessors / successors.
+  [[nodiscard]] std::vector<NodeId> sources() const;
+  [[nodiscard]] std::vector<NodeId> sinks() const;
+
+  /// One topological order (Kahn, smallest-id-first: deterministic).
+  /// Requires acyclicity.
+  [[nodiscard]] std::vector<NodeId> topological_order() const;
+
+  /// True iff keep (a node subset, |keep| == node_count()) is closed under
+  /// predecessors — the condition for the induced subgraph to be a prefix.
+  [[nodiscard]] bool is_downward_closed(const DynBitset& keep) const;
+
+  /// Induced subgraph on `keep`; old node i becomes the rank of i in keep.
+  /// If old_to_new is non-null it receives the mapping (kBottom = dropped).
+  [[nodiscard]] Dag induced(const DynBitset& keep,
+                            std::vector<NodeId>* old_to_new = nullptr) const;
+
+  /// True iff this dag is a relaxation of `other`: same node set and
+  /// E(this) ⊆ E(other).
+  [[nodiscard]] bool is_relaxation_of(const Dag& other) const;
+
+  /// Transitive reduction (unique for dags).
+  [[nodiscard]] Dag transitive_reduction() const;
+  /// Transitive closure as a dag (edge for every u ≺ v).
+  [[nodiscard]] Dag transitive_closure() const;
+
+  /// Force the reachability cache to be built now (requires acyclicity).
+  void ensure_closure() const;
+
+  [[nodiscard]] bool operator==(const Dag& o) const {
+    return succ_ == o.succ_;
+  }
+
+ private:
+  void resize(std::size_t n);
+  void invalidate() noexcept { closure_valid_ = false; }
+
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+  std::size_t nedges_ = 0;
+
+  // Reachability cache (strict): desc_[u] bit v <=> u ≺ v.
+  mutable std::vector<DynBitset> desc_;
+  mutable std::vector<DynBitset> anc_;
+  mutable bool closure_valid_ = false;
+};
+
+}  // namespace ccmm

@@ -1,0 +1,50 @@
+// ccmm/dag/generators.hpp
+//
+// Dag families used as workloads: chains, antichains, diamonds, random
+// dags, layered dags, and the fork/join (series-parallel) dags produced
+// by Cilk-style multithreaded programs — the family that motivated the
+// paper's dag-consistent models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dag/dag.hpp"
+#include "util/rng.hpp"
+
+namespace ccmm::gen {
+
+/// 0 -> 1 -> ... -> n-1.
+[[nodiscard]] Dag chain(std::size_t n);
+
+/// n isolated nodes.
+[[nodiscard]] Dag antichain(std::size_t n);
+
+/// source -> {branches} -> sink; node 0 is the source, node n-1 the sink.
+[[nodiscard]] Dag diamond(std::size_t branches);
+
+/// Random dag: nodes 0..n-1, each pair i<j is an edge with probability p.
+/// Node ids are topologically sorted by construction.
+[[nodiscard]] Dag random_dag(std::size_t n, double p, Rng& rng);
+
+/// Layered dag: `widths[i]` nodes in layer i; each cross-layer pair
+/// (consecutive layers) is an edge with probability p; additionally every
+/// node gets at least one predecessor in the previous layer so layers
+/// really synchronize.
+[[nodiscard]] Dag layered(const std::vector<std::size_t>& widths, double p,
+                          Rng& rng);
+
+/// Complete fork/join tree: recursively spawn `branching` children to
+/// `depth` levels, then join. A depth-0 tree is a single node. Each
+/// internal level contributes a fork node and a join node (series-parallel
+/// composition), matching a Cilk spawn/sync pattern.
+[[nodiscard]] Dag fork_join(std::size_t branching, std::size_t depth);
+
+/// Random series-parallel dag with ~n nodes built by random serial and
+/// parallel compositions; always has a unique source and sink.
+[[nodiscard]] Dag series_parallel(std::size_t n, Rng& rng);
+
+/// In-tree: binary reduction of n leaves to one root (fan-in tree).
+[[nodiscard]] Dag fanin_tree(std::size_t leaves);
+
+}  // namespace ccmm::gen

@@ -1,0 +1,48 @@
+// ccmm/dag/topsort.hpp
+//
+// Topological-sort machinery: validity testing, exhaustive enumeration,
+// exact counting, and uniform sampling. The paper's models based on
+// topological sorts (Section 4) quantify over TS(G); these routines give
+// us the exhaustive and randomized versions of that quantifier.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dag/dag.hpp"
+#include "util/rng.hpp"
+
+namespace ccmm {
+
+/// True iff `order` is a permutation of the nodes consistent with the dag.
+[[nodiscard]] bool is_topological_sort(const Dag& dag,
+                                       const std::vector<NodeId>& order);
+
+/// pos[u] = index of node u in `order`.
+[[nodiscard]] std::vector<std::size_t> position_index(
+    const std::vector<NodeId>& order);
+
+/// Enumerate every topological sort of `dag`, calling visit(order) for
+/// each. visit returns false to stop early. Returns true if the
+/// enumeration ran to completion.
+bool for_each_topological_sort(
+    const Dag& dag,
+    const std::function<bool(const std::vector<NodeId>&)>& visit);
+
+/// Exact number of topological sorts, saturating at `cap`.
+/// Uses memoization on downsets; exponential state in the dag's width.
+[[nodiscard]] std::uint64_t count_topological_sorts(
+    const Dag& dag, std::uint64_t cap = UINT64_MAX);
+
+/// A uniformly random topological sort (exact uniformity, via completion
+/// counting with the same memoized recursion as count_topological_sorts).
+[[nodiscard]] std::vector<NodeId> random_topological_sort(const Dag& dag,
+                                                          Rng& rng);
+
+/// A cheap random linear extension: repeatedly pick an available node
+/// uniformly. NOT uniform over TS(dag); use for workload generation only.
+[[nodiscard]] std::vector<NodeId> greedy_random_topological_sort(
+    const Dag& dag, Rng& rng);
+
+}  // namespace ccmm

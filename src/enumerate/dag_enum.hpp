@@ -1,0 +1,36 @@
+// ccmm/enumerate/dag_enum.hpp
+//
+// Enumeration of all dags on n nodes whose node ids are topologically
+// sorted (every edge goes from a smaller id to a larger one). Every
+// finite dag is isomorphic to such a dag, and all of ccmm's memory models
+// are isomorphism-invariant, so quantifying over this family realizes
+// "for all computations" up to relabeling. There are 2^(n(n-1)/2) such
+// dags (the count of *labeled* dags, 25 for n=3, is larger because it
+// counts each shape once per admissible labeling).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dag/dag.hpp"
+
+namespace ccmm {
+
+/// Number of dags enumerated for n nodes: 2^(n(n-1)/2).
+[[nodiscard]] std::uint64_t topo_dag_count(std::size_t n);
+
+/// Enumerate dags on n nodes in mask order; visit returns false to stop.
+/// Returns true if enumeration ran to completion.
+bool for_each_topo_dag(std::size_t n,
+                       const std::function<bool(const Dag&)>& visit);
+
+/// The dag for a particular edge mask (bit k = edge for the k-th pair
+/// (i, j), i < j, ordered lexicographically). Inverse of dag_mask.
+[[nodiscard]] Dag dag_from_mask(std::size_t n, std::uint64_t mask);
+[[nodiscard]] std::uint64_t dag_mask(const Dag& dag);
+
+/// Count of *labeled* dags on n nodes (OEIS A003024), for cross-checking
+/// the enumeration: 1, 1, 3, 25, 543, 29281, ...
+[[nodiscard]] std::uint64_t labeled_dag_count(std::size_t n);
+
+}  // namespace ccmm

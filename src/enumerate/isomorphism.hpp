@@ -1,0 +1,37 @@
+// ccmm/enumerate/isomorphism.hpp
+//
+// Computation isomorphism: a bijection of nodes preserving edges and op
+// labels. The paper's models are isomorphism-invariant, so witnesses,
+// separators and census counts are naturally reported up to relabeling;
+// this module provides the test, a canonical encoding, and counting of
+// universes up to isomorphism (cross-checked against OEIS A003087, the
+// number of unlabeled dags).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "enumerate/universe.hpp"
+
+namespace ccmm {
+
+/// Are a and b isomorphic as computations (edge- and label-preserving
+/// node bijection)? Exponential worst case with degree/label pruning;
+/// intended for the small instances the enumeration layer produces.
+[[nodiscard]] bool are_isomorphic(const Computation& a, const Computation& b);
+
+/// A canonical encoding: equal for two computations iff they are
+/// isomorphic. Computed as the lexicographically smallest
+/// encode_computation over all admissible (id-topologically-sorted)
+/// relabelings.
+[[nodiscard]] std::string canonical_encoding(const Computation& c);
+
+/// Number of isomorphism classes of computations in the universe.
+[[nodiscard]] std::uint64_t computation_count_up_to_iso(
+    const UniverseSpec& spec);
+
+/// Number of isomorphism classes of *dags* on exactly n nodes (no op
+/// labels). Matches OEIS A003087: 1, 1, 2, 6, 31, 302, ...
+[[nodiscard]] std::uint64_t unlabeled_dag_count(std::size_t n);
+
+}  // namespace ccmm

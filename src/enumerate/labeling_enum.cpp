@@ -1,0 +1,64 @@
+#include "enumerate/labeling_enum.hpp"
+
+#include "util/check.hpp"
+
+namespace ccmm {
+
+namespace {
+
+std::vector<Op> alphabet_for(const LabelingSpec& spec) {
+  std::vector<Op> a = op_alphabet(spec.nlocations);
+  if (!spec.include_nop) a.erase(a.begin());
+  return a;
+}
+
+}  // namespace
+
+std::uint64_t labeling_count(const LabelingSpec& spec) {
+  const std::vector<Op> a = alphabet_for(spec);
+  std::uint64_t total = 1;
+  for (std::size_t i = 0; i < spec.nodes; ++i) {
+    CCMM_CHECK(total <= UINT64_MAX / a.size(), "labeling count overflow");
+    total *= a.size();
+  }
+  return total;
+}
+
+bool for_each_labeling(
+    const LabelingSpec& spec,
+    const std::function<bool(const std::vector<Op>&)>& visit) {
+  const std::vector<Op> alphabet = alphabet_for(spec);
+  CCMM_CHECK(!alphabet.empty(), "empty instruction alphabet");
+  std::vector<std::size_t> odometer(spec.nodes, 0);
+  std::vector<Op> ops(spec.nodes, alphabet[0]);
+  std::vector<std::size_t> writes(spec.nlocations, 0);
+
+  auto count_writes = [&] {
+    for (auto& w : writes) w = 0;
+    for (const Op& o : ops)
+      if (o.is_write()) ++writes[o.loc];
+  };
+
+  for (;;) {
+    for (std::size_t i = 0; i < spec.nodes; ++i) ops[i] = alphabet[odometer[i]];
+    bool admissible = true;
+    if (spec.max_writes_per_location != SIZE_MAX) {
+      count_writes();
+      for (const auto w : writes)
+        if (w > spec.max_writes_per_location) admissible = false;
+    }
+    if (admissible && !visit(ops)) return false;
+
+    // Advance the odometer.
+    std::size_t i = 0;
+    while (i < spec.nodes) {
+      if (++odometer[i] < alphabet.size()) break;
+      odometer[i] = 0;
+      ++i;
+    }
+    if (i == spec.nodes) return true;  // wrapped: done
+    if (spec.nodes == 0) return true;
+  }
+}
+
+}  // namespace ccmm

@@ -1,0 +1,32 @@
+// ccmm/enumerate/labeling_enum.hpp
+//
+// Enumeration of instruction labelings op : V → O for a fixed node count
+// and instruction alphabet, with optional structural filters (bounding
+// the number of writes per location keeps larger universes tractable).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/op.hpp"
+
+namespace ccmm {
+
+struct LabelingSpec {
+  std::size_t nodes = 0;
+  std::size_t nlocations = 1;
+  bool include_nop = true;
+  /// Cap on writes per location (SIZE_MAX = unlimited).
+  std::size_t max_writes_per_location = SIZE_MAX;
+};
+
+/// Number of labelings before filtering: |O|^nodes.
+[[nodiscard]] std::uint64_t labeling_count(const LabelingSpec& spec);
+
+/// Enumerate labelings satisfying the spec; visit returns false to stop.
+/// Returns true if enumeration ran to completion.
+bool for_each_labeling(const LabelingSpec& spec,
+                       const std::function<bool(const std::vector<Op>&)>& visit);
+
+}  // namespace ccmm

@@ -1,0 +1,76 @@
+#include "enumerate/observer_enum.hpp"
+
+#include "util/check.hpp"
+
+namespace ccmm {
+namespace {
+
+/// One free slot of the product: node u at location l may take any value
+/// in `choices` (kBottom first by convention).
+struct Slot {
+  Location loc;
+  NodeId node;
+  std::vector<NodeId> choices;
+};
+
+/// Forced assignments (writes observing themselves) plus the free slots.
+struct ChoiceStructure {
+  std::vector<std::pair<Location, NodeId>> forced;  // (l, write node)
+  std::vector<Slot> slots;
+};
+
+ChoiceStructure choice_structure(const Computation& c) {
+  ChoiceStructure cs;
+  for (const Location l : c.written_locations()) {
+    const std::vector<NodeId> ws = c.writers(l);
+    for (NodeId u = 0; u < c.node_count(); ++u) {
+      if (c.op(u).writes(l)) {
+        cs.forced.emplace_back(l, u);
+        continue;
+      }
+      Slot s{l, u, {kBottom}};
+      for (const NodeId w : ws)
+        if (!c.precedes(u, w)) s.choices.push_back(w);  // condition 2.2
+      cs.slots.push_back(std::move(s));
+    }
+  }
+  return cs;
+}
+
+}  // namespace
+
+std::uint64_t observer_count(const Computation& c) {
+  const ChoiceStructure cs = choice_structure(c);
+  std::uint64_t total = 1;
+  for (const Slot& s : cs.slots) {
+    CCMM_CHECK(total <= UINT64_MAX / s.choices.size(),
+               "observer count overflow");
+    total *= s.choices.size();
+  }
+  return total;
+}
+
+bool for_each_observer(
+    const Computation& c,
+    const std::function<bool(const ObserverFunction&)>& visit) {
+  const ChoiceStructure cs = choice_structure(c);
+  ObserverFunction phi(c.node_count());
+  for (const auto& [l, w] : cs.forced) phi.set(l, w, w);
+
+  std::vector<std::size_t> odometer(cs.slots.size(), 0);
+  for (;;) {
+    for (std::size_t i = 0; i < cs.slots.size(); ++i)
+      phi.set(cs.slots[i].loc, cs.slots[i].node,
+              cs.slots[i].choices[odometer[i]]);
+    if (!visit(phi)) return false;
+    std::size_t i = 0;
+    while (i < cs.slots.size()) {
+      if (++odometer[i] < cs.slots[i].choices.size()) break;
+      odometer[i] = 0;
+      ++i;
+    }
+    if (i == cs.slots.size()) return true;
+  }
+}
+
+}  // namespace ccmm

@@ -1,0 +1,25 @@
+// ccmm/enumerate/observer_enum.hpp
+//
+// Enumeration of every valid observer function (Definition 2) of a
+// computation. Per written location l, a node u that writes l is forced
+// to observe itself; any other node may observe ⊥ or any write w to l
+// with ¬(u ≺ w). Locations never written admit only the all-⊥ column.
+// The enumeration is the Cartesian product of those per-(l, u) choices.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/observer.hpp"
+
+namespace ccmm {
+
+/// Number of valid observer functions of c (product formula).
+[[nodiscard]] std::uint64_t observer_count(const Computation& c);
+
+/// Enumerate all valid observer functions; visit returns false to stop.
+/// Returns true if enumeration ran to completion.
+bool for_each_observer(const Computation& c,
+                       const std::function<bool(const ObserverFunction&)>& visit);
+
+}  // namespace ccmm

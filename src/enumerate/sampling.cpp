@@ -1,0 +1,103 @@
+#include "enumerate/sampling.hpp"
+
+#include <atomic>
+
+#include "enumerate/dag_enum.hpp"
+#include "enumerate/labeling_enum.hpp"
+
+namespace ccmm {
+
+ObserverFunction random_observer(const Computation& c, Rng& rng) {
+  ObserverFunction phi(c.node_count());
+  for (const Location l : c.written_locations()) {
+    const std::vector<NodeId> ws = c.writers(l);
+    for (NodeId u = 0; u < c.node_count(); ++u) {
+      if (c.op(u).writes(l)) {
+        phi.set(l, u, u);
+        continue;
+      }
+      std::vector<NodeId> choices{kBottom};
+      for (const NodeId w : ws)
+        if (!c.precedes(u, w)) choices.push_back(w);  // condition 2.2
+      const NodeId v = choices[rng.below(choices.size())];
+      if (v != kBottom) phi.set(l, u, v);
+    }
+  }
+  return phi;
+}
+
+Computation random_computation(const UniverseSpec& spec, Rng& rng) {
+  // Size weighted by the raw space |dags(n)| * |O|^n so the draw is
+  // uniform over the unfiltered universe.
+  LabelingSpec ls{0, spec.nlocations, spec.include_nop, SIZE_MAX};
+  std::vector<double> weight(spec.max_nodes + 1);
+  double total = 0;
+  for (std::size_t n = 0; n <= spec.max_nodes; ++n) {
+    ls.nodes = n;
+    weight[n] = static_cast<double>(topo_dag_count(n)) *
+                static_cast<double>(labeling_count(ls));
+    total += weight[n];
+  }
+  for (;;) {
+    double pick = rng.uniform() * total;
+    std::size_t n = spec.max_nodes;
+    for (std::size_t i = 0; i <= spec.max_nodes; ++i) {
+      if (pick < weight[i]) {
+        n = i;
+        break;
+      }
+      pick -= weight[i];
+    }
+    const Dag dag = dag_from_mask(n, rng.below(topo_dag_count(n)));
+    const std::vector<Op> alphabet = [&] {
+      auto a = op_alphabet(spec.nlocations);
+      if (!spec.include_nop) a.erase(a.begin());
+      return a;
+    }();
+    std::vector<Op> ops(n);
+    for (auto& o : ops) o = alphabet[rng.below(alphabet.size())];
+    // Rejection for the write cap keeps the draw uniform over admitted
+    // labelings.
+    if (spec.max_writes_per_location != SIZE_MAX) {
+      std::vector<std::size_t> writes(spec.nlocations, 0);
+      bool ok = true;
+      for (const Op& o : ops)
+        if (o.is_write() && ++writes[o.loc] > spec.max_writes_per_location)
+          ok = false;
+      if (!ok) continue;
+    }
+    return Computation(dag, std::move(ops));
+  }
+}
+
+DensityEstimate estimate_density(const MemoryModel& model,
+                                 const Computation& c, std::size_t samples,
+                                 Rng& rng) {
+  DensityEstimate out;
+  out.samples = samples;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const ObserverFunction phi = random_observer(c, rng);
+    if (model.contains(c, phi)) ++out.members;
+  }
+  out.density = samples == 0
+                    ? 0.0
+                    : static_cast<double>(out.members) /
+                          static_cast<double>(samples);
+  return out;
+}
+
+std::size_t parallel_member_count(const MemoryModel& model,
+                                  const std::vector<CPhi>& universe,
+                                  ThreadPool& pool) {
+  // The reachability cache is built lazily and is not thread-safe while
+  // dirty: freeze every dag before fanning out.
+  for (const CPhi& p : universe) p.c.dag().ensure_closure();
+  std::atomic<std::size_t> members{0};
+  pool.parallel_for(universe.size(), [&](std::size_t i) {
+    if (model.contains(universe[i].c, universe[i].phi))
+      members.fetch_add(1, std::memory_order_relaxed);
+  });
+  return members.load();
+}
+
+}  // namespace ccmm

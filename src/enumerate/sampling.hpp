@@ -1,0 +1,45 @@
+// ccmm/enumerate/sampling.hpp
+//
+// Randomized counterparts of the exhaustive enumerations: uniform
+// sampling of valid observer functions and of universe computations,
+// plus Monte-Carlo membership density estimation. These carry the
+// theory's "for all" questions beyond the sizes exhaustive enumeration
+// can reach.
+#pragma once
+
+#include "enumerate/universe.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ccmm {
+
+/// A uniformly random valid observer function of c (per Definition 2:
+/// each free (location, node) slot picks uniformly among ⊥ and the
+/// admissible writes; forced slots are writes observing themselves).
+[[nodiscard]] ObserverFunction random_observer(const Computation& c, Rng& rng);
+
+/// A uniformly random computation of the universe: dag edge mask and op
+/// labels drawn uniformly for a uniformly chosen admissible size/shape.
+/// (Uniform over the spec's raw dag × labeling space; labelings rejected
+/// by the write cap are resampled.)
+[[nodiscard]] Computation random_computation(const UniverseSpec& spec,
+                                             Rng& rng);
+
+/// Monte-Carlo estimate of |Δ ∩ pairs(c)| / |pairs(c)| — the density of
+/// a model among the valid observer functions of one computation.
+struct DensityEstimate {
+  double density = 0.0;
+  std::size_t members = 0;
+  std::size_t samples = 0;
+};
+[[nodiscard]] DensityEstimate estimate_density(const MemoryModel& model,
+                                               const Computation& c,
+                                               std::size_t samples, Rng& rng);
+
+/// Parallel membership count over a materialized universe (same result
+/// as models::membership_counts for a single model, pool-parallel).
+[[nodiscard]] std::size_t parallel_member_count(const MemoryModel& model,
+                                                const std::vector<CPhi>& universe,
+                                                ThreadPool& pool);
+
+}  // namespace ccmm

@@ -1,0 +1,49 @@
+#include "enumerate/separators.hpp"
+
+#include "enumerate/observer_enum.hpp"
+
+namespace ccmm {
+
+std::optional<CPhi> find_minimal_separator(const MemoryModel& stronger,
+                                           const MemoryModel& weaker,
+                                           const UniverseSpec& spec) {
+  // Scan sizes in increasing order so the first hit has fewest nodes.
+  for (std::size_t size = 0; size <= spec.max_nodes; ++size) {
+    UniverseSpec s = spec;
+    s.max_nodes = size;
+    std::optional<CPhi> found;
+    for_each_pair(s, [&](const Computation& c, const ObserverFunction& phi) {
+      if (c.node_count() != size) return true;
+      if (weaker.contains(c, phi) && !stronger.contains(c, phi)) {
+        found = CPhi{c, phi};
+        return false;
+      }
+      return true;
+    });
+    if (found.has_value()) return found;
+  }
+  return std::nullopt;
+}
+
+std::optional<Computation> find_incompleteness_witness(
+    const MemoryModel& model, const UniverseSpec& spec) {
+  std::optional<Computation> witness;
+  for_each_computation(spec, [&](const Computation& c) {
+    bool has_member = false;
+    for_each_observer(c, [&](const ObserverFunction& phi) {
+      if (model.contains(c, phi)) {
+        has_member = true;
+        return false;
+      }
+      return true;
+    });
+    if (!has_member) {
+      witness = c;
+      return false;
+    }
+    return true;
+  });
+  return witness;
+}
+
+}  // namespace ccmm

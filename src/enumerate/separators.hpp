@@ -1,0 +1,29 @@
+// ccmm/enumerate/separators.hpp
+//
+// Mining the lattice: automatically derive minimal separating pairs
+// between two models (the machinery that *generates* Figure-2/3-style
+// anomalies instead of curating them), and check completeness
+// (Section 2: every computation admits an observer function).
+#pragma once
+
+#include <optional>
+
+#include "enumerate/universe.hpp"
+
+namespace ccmm {
+
+/// The smallest pair in `weaker` \ `stronger` over the bounded universe
+/// (fewest nodes, then enumeration order — which visits sparser dags
+/// first). This is an automatically derived anomaly separating the two
+/// models. nullopt if they coincide on the universe.
+[[nodiscard]] std::optional<CPhi> find_minimal_separator(
+    const MemoryModel& stronger, const MemoryModel& weaker,
+    const UniverseSpec& spec);
+
+/// Completeness: returns a computation of the universe admitting *no*
+/// observer function in the model, or nullopt if the model is complete
+/// on the bounded universe.
+[[nodiscard]] std::optional<Computation> find_incompleteness_witness(
+    const MemoryModel& model, const UniverseSpec& spec);
+
+}  // namespace ccmm

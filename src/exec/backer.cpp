@@ -1,0 +1,93 @@
+#include "exec/backer.hpp"
+
+namespace ccmm {
+
+void BackerMemory::bind(const Computation& c, std::size_t nprocs) {
+  (void)c;
+  CCMM_CHECK(nprocs >= 1, "need at least one processor");
+  caches_.assign(nprocs, {});
+  main_.clear();
+  stats_ = {};
+  tick_ = 0;
+}
+
+void BackerMemory::sync_edge(ProcId from_proc, NodeId from_node,
+                             ProcId to_proc, NodeId to_node) {
+  (void)from_node;
+  (void)to_node;
+  if (config_.policy == BackerPolicy::kNone) return;
+  reconcile_all(from_proc);
+  if (config_.policy == BackerPolicy::kEdgeSync) flush(to_proc);
+}
+
+NodeId BackerMemory::read(ProcId p, NodeId u, Location l) {
+  (void)u;
+  CCMM_ASSERT(p < caches_.size());
+  ++stats_.reads;
+  ++tick_;
+  auto& lines = caches_[p].lines;
+  if (const auto it = lines.find(l); it != lines.end()) {
+    it->second.last_use = tick_;
+    return it->second.value;
+  }
+  // Miss: fetch from main memory (the fetched line is clean).
+  evict_if_needed(p);
+  const NodeId v = main_value(l);
+  lines[l] = {v, false, tick_};
+  ++stats_.fetches;
+  return v;
+}
+
+void BackerMemory::write(ProcId p, NodeId u, Location l) {
+  CCMM_ASSERT(p < caches_.size());
+  ++stats_.writes;
+  ++tick_;
+  auto& lines = caches_[p].lines;
+  if (const auto it = lines.find(l); it != lines.end()) {
+    it->second = {u, true, tick_};
+    return;
+  }
+  evict_if_needed(p);
+  lines[l] = {u, true, tick_};
+}
+
+NodeId BackerMemory::peek(ProcId p, NodeId u, Location l) const {
+  (void)u;
+  CCMM_ASSERT(p < caches_.size());
+  const auto& lines = caches_[p].lines;
+  if (const auto it = lines.find(l); it != lines.end())
+    return it->second.value;
+  return main_value(l);
+}
+
+void BackerMemory::reconcile_all(ProcId p) {
+  for (auto& [l, line] : caches_[p].lines) {
+    if (!line.dirty) continue;
+    main_[l] = line.value;
+    line.dirty = false;
+    ++stats_.reconciles;
+  }
+}
+
+void BackerMemory::flush(ProcId p) {
+  reconcile_all(p);
+  caches_[p].lines.clear();
+  ++stats_.flushes;
+}
+
+void BackerMemory::evict_if_needed(ProcId p) {
+  auto& lines = caches_[p].lines;
+  if (lines.size() < config_.cache_capacity) return;
+  // Evict the least recently used line, reconciling it if dirty.
+  auto victim = lines.begin();
+  for (auto it = lines.begin(); it != lines.end(); ++it)
+    if (it->second.last_use < victim->second.last_use) victim = it;
+  if (victim->second.dirty) {
+    main_[victim->first] = victim->second.value;
+    ++stats_.reconciles;
+  }
+  lines.erase(victim);
+  ++stats_.evictions;
+}
+
+}  // namespace ccmm

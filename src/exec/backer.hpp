@@ -1,0 +1,84 @@
+// ccmm/exec/backer.hpp
+//
+// The BACKER coherence algorithm of [BFJ+96]: each processor keeps a
+// private cache of location/value lines with dirty bits, backed by a
+// shared main memory. Three primitive actions:
+//   fetch     — copy a line from main memory into a cache (read miss),
+//   reconcile — write a dirty line back to main memory,
+//   flush     — reconcile every dirty line, then empty the cache.
+// Whenever a dag dependency crosses processors, the source processor's
+// cache is reconciled and the target processor's cache is flushed, so
+// the target re-reads through main memory. Luchangco [Luc97] proved that
+// BACKER maintains location consistency; ccmm verifies this post-mortem
+// on every simulated run (experiment BACKER in DESIGN.md).
+//
+// Policy kNone disables the coherence actions; the resulting memory is
+// intentionally broken and is used as a negative control: the LC checker
+// must catch its violations.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "exec/memory.hpp"
+
+namespace ccmm {
+
+enum class BackerPolicy : std::uint8_t {
+  kEdgeSync,    // reconcile source + flush target at cross-processor edges
+  kSourceOnly,  // reconcile source, never flush the target: the receiver
+                // can keep reading stale cached values after a
+                // communication edge — a subtler broken protocol that
+                // violates LC only when staleness matters
+  kNone,        // no coherence actions at all (blunt negative control)
+};
+
+struct BackerConfig {
+  BackerPolicy policy = BackerPolicy::kEdgeSync;
+  /// Cache capacity in lines per processor (SIZE_MAX = unbounded).
+  /// Evictions reconcile-then-drop the least recently used line.
+  std::size_t cache_capacity = SIZE_MAX;
+};
+
+class BackerMemory final : public MemorySystem {
+ public:
+  explicit BackerMemory(BackerConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "backer"; }
+
+  void bind(const Computation& c, std::size_t nprocs) override;
+
+  void sync_edge(ProcId from_proc, NodeId from_node, ProcId to_proc,
+                 NodeId to_node) override;
+
+  [[nodiscard]] NodeId read(ProcId p, NodeId u, Location l) override;
+  void write(ProcId p, NodeId u, Location l) override;
+  [[nodiscard]] NodeId peek(ProcId p, NodeId u, Location l) const override;
+
+  [[nodiscard]] const BackerConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Line {
+    NodeId value = kBottom;
+    bool dirty = false;
+    std::uint64_t last_use = 0;
+  };
+  struct Cache {
+    std::unordered_map<Location, Line> lines;
+  };
+
+  void reconcile_all(ProcId p);
+  void flush(ProcId p);
+  void evict_if_needed(ProcId p);
+  [[nodiscard]] NodeId main_value(Location l) const {
+    const auto it = main_.find(l);
+    return it == main_.end() ? kBottom : it->second;
+  }
+
+  BackerConfig config_;
+  std::vector<Cache> caches_;
+  std::unordered_map<Location, NodeId> main_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace ccmm

@@ -1,0 +1,110 @@
+#include "exec/costed.hpp"
+
+#include <deque>
+#include <optional>
+
+namespace ccmm {
+
+CostedResult run_costed_execution(const Computation& c, std::size_t nprocs,
+                                  Rng& rng, MemorySystem& memory,
+                                  const CostModel& cost) {
+  CCMM_CHECK(nprocs >= 1, "need at least one processor");
+  const std::size_t n = c.node_count();
+  memory.bind(c, nprocs);
+
+  CostedResult result;
+  result.phi = ObserverFunction(n);
+  const std::vector<Location> locs = c.written_locations();
+
+  std::vector<std::size_t> indeg(n);
+  for (NodeId u = 0; u < n; ++u) indeg[u] = c.dag().pred(u).size();
+  std::vector<ProcId> proc_of(n, 0);
+
+  std::vector<std::deque<NodeId>> deques(nprocs);
+  for (NodeId u = 0; u < n; ++u)
+    if (indeg[u] == 0) deques[0].push_back(u);
+
+  struct Running {
+    std::uint64_t finish;
+    NodeId node;
+  };
+  std::vector<std::optional<Running>> running(nprocs);
+  std::uint64_t now = 0;
+  std::size_t done = 0;
+
+  // Executing a node at its start time: fire sync hooks, run its op,
+  // build its observer row, and measure the protocol events it caused.
+  auto execute = [&](ProcId p, NodeId u) -> std::uint64_t {
+    proc_of[u] = p;
+    const MemoryStats before = memory.stats();
+    for (const NodeId v : c.dag().pred(u)) {
+      const ProcId q = proc_of[v];
+      if (q != p) memory.sync_edge(q, v, p, u);
+    }
+    const Op o = c.op(u);
+    NodeId observed = kBottom;
+    if (o.is_read())
+      observed = memory.read(p, u, o.loc);
+    else if (o.is_write())
+      memory.write(p, u, o.loc);
+    for (const Location l : locs) {
+      NodeId v;
+      if (o.writes(l))
+        v = u;
+      else if (o.reads(l))
+        v = observed;
+      else
+        v = memory.peek(p, u, l);
+      if (v != kBottom) result.phi.set(l, u, v);
+    }
+    const MemoryStats after = memory.stats();
+    const std::uint64_t fetches = after.fetches - before.fetches;
+    const std::uint64_t reconciles = after.reconciles - before.reconciles;
+    result.faults += fetches;
+    result.writebacks += reconciles;
+    return 1 + cost.fetch_cost * fetches + cost.reconcile_cost * reconciles;
+  };
+
+  auto try_start = [&](ProcId p) {
+    NodeId u;
+    if (!deques[p].empty()) {
+      u = deques[p].back();
+      deques[p].pop_back();
+    } else {
+      const auto victim = static_cast<ProcId>(rng.below(nprocs));
+      if (victim == p || deques[victim].empty()) return;
+      u = deques[victim].front();
+      deques[victim].pop_front();
+      ++result.steals;
+    }
+    const std::uint64_t duration = execute(p, u);
+    running[p] = Running{now + duration, u};
+  };
+
+  while (done < n) {
+    for (ProcId p = 0; p < nprocs; ++p)
+      if (!running[p].has_value()) try_start(p);
+
+    std::uint64_t next = UINT64_MAX;
+    for (const auto& r : running)
+      if (r.has_value()) next = std::min(next, r->finish);
+    if (next == UINT64_MAX) {
+      ++now;  // every processor whiffed its steal this tick
+      continue;
+    }
+    now = next;
+    for (ProcId p = 0; p < nprocs; ++p) {
+      if (!running[p].has_value() || running[p]->finish != now) continue;
+      const NodeId u = running[p]->node;
+      running[p].reset();
+      ++done;
+      for (const NodeId v : c.dag().succ(u))
+        if (--indeg[v] == 0) deques[p].push_back(v);
+    }
+  }
+  result.makespan = now;
+  result.memory_stats = memory.stats();
+  return result;
+}
+
+}  // namespace ccmm

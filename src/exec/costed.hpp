@@ -1,0 +1,44 @@
+// ccmm/exec/costed.hpp
+//
+// Memory-cost-aware execution: the [BFJ+96a] analysis bounds BACKER's
+// running time by O(T1/P + μ·F_P/P + ...) where μ is the cost of a
+// cache fault and F_P the number of faults. The plain scheduler treats
+// every node as unit time; this driver interleaves work stealing with
+// the memory protocol so each node's duration is
+//     1 + μ · (protocol events it triggers)
+// and faults genuinely slow the schedule down. The result carries both
+// the memory-aware makespan and the fault count, so the μ-sweep in
+// bench/backer_speedup reproduces the shape of the published analysis.
+#pragma once
+
+#include "exec/memory.hpp"
+#include "exec/sim_machine.hpp"
+
+namespace ccmm {
+
+struct CostModel {
+  /// Extra time per fetch (cache fault service).
+  std::uint64_t fetch_cost = 4;
+  /// Extra time per reconcile (write-back).
+  std::uint64_t reconcile_cost = 4;
+};
+
+struct CostedResult {
+  ObserverFunction phi;
+  std::uint64_t makespan = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t faults = 0;       // fetches incurred
+  std::uint64_t writebacks = 0;   // reconciles incurred
+  MemoryStats memory_stats;
+};
+
+/// Work-stealing execution of `c` on `nprocs` simulated processors
+/// against `memory`, with memory events stretching node durations per
+/// `cost`. Memory operations happen at node start in global start
+/// order (a valid serialization of the dag).
+[[nodiscard]] CostedResult run_costed_execution(const Computation& c,
+                                                std::size_t nprocs, Rng& rng,
+                                                MemorySystem& memory,
+                                                const CostModel& cost = {});
+
+}  // namespace ccmm

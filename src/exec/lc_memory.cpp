@@ -1,0 +1,25 @@
+#include "exec/lc_memory.hpp"
+
+namespace ccmm {
+
+void LcOracleMemory::bind(const Computation& c, std::size_t nprocs) {
+  (void)nprocs;
+  stats_ = {};
+  per_location_.clear();
+  Rng rng(seed_);
+  for (const Location l : c.written_locations()) {
+    // An independent linear extension per location (greedy sampling: any
+    // topological sort realizes LC; uniformity is not needed).
+    const std::vector<NodeId> t = greedy_random_topological_sort(c.dag(), rng);
+    ObserverFunction w = last_writer(c, t);
+    // Keep only column l of W_T: the other columns belong to other sorts.
+    ObserverFunction col(c.node_count());
+    for (NodeId u = 0; u < c.node_count(); ++u) {
+      const NodeId v = w.get(l, u);
+      if (v != kBottom) col.set(l, u, v);
+    }
+    per_location_.emplace(l, std::move(col));
+  }
+}
+
+}  // namespace ccmm

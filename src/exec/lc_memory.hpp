@@ -1,0 +1,63 @@
+// ccmm/exec/lc_memory.hpp
+//
+// A reference ("oracle") implementation of location consistency: when
+// bound to a computation, it draws an independent random topological sort
+// T_l per written location and answers every access with the last-writer
+// function W_{T_l} (Definition 13). By Definition 18 the generated
+// observer function is location consistent by construction, and — because
+// the per-location sorts are independent — it routinely falls outside SC,
+// which makes this memory the separator workload for SC vs LC.
+//
+// This is not an online algorithm (it consults the whole computation),
+// which is precisely the paper's point about nonconstructible behaviour
+// sources; ccmm uses it as a specification-level behaviour generator.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/last_writer.hpp"
+#include "dag/topsort.hpp"
+#include "exec/memory.hpp"
+#include "util/rng.hpp"
+
+namespace ccmm {
+
+class LcOracleMemory final : public MemorySystem {
+ public:
+  explicit LcOracleMemory(std::uint64_t seed = 42) : seed_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "lc-oracle"; }
+
+  void bind(const Computation& c, std::size_t nprocs) override;
+
+  [[nodiscard]] NodeId read(ProcId p, NodeId u, Location l) override {
+    (void)p;
+    ++stats_.reads;
+    return lookup(l, u);
+  }
+
+  void write(ProcId p, NodeId u, Location l) override {
+    (void)p;
+    (void)u;
+    (void)l;
+    ++stats_.writes;
+  }
+
+  [[nodiscard]] NodeId peek(ProcId p, NodeId u, Location l) const override {
+    (void)p;
+    return lookup(l, u);
+  }
+
+ private:
+  [[nodiscard]] NodeId lookup(Location l, NodeId u) const {
+    const auto it = per_location_.find(l);
+    if (it == per_location_.end()) return kBottom;
+    return it->second.get(l, u);
+  }
+
+  std::uint64_t seed_;
+  /// Per-location last-writer functions, materialized at bind time.
+  std::unordered_map<Location, ObserverFunction> per_location_;
+};
+
+}  // namespace ccmm

@@ -1,0 +1,5 @@
+// Intentionally small: MemorySystem is an interface; concrete subsystems
+// live in sc_memory.cpp, lc_memory.cpp, backer.cpp and weak_memory.cpp.
+#include "exec/memory.hpp"
+
+namespace ccmm {}  // namespace ccmm

@@ -1,0 +1,71 @@
+// ccmm/exec/memory.hpp
+//
+// The simulated shared-memory subsystems a computation executes against.
+// Every write is tagged with its node id (the "unique value" trick), so
+// an execution directly yields the observer function the memory
+// generated, and post-mortem analysis (trace/postmortem.hpp) can check it
+// against any model — the paper's stated use of computations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/computation.hpp"
+
+namespace ccmm {
+
+using ProcId = std::uint32_t;
+
+struct MemoryStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t fetches = 0;      // cache misses served from main memory
+  std::uint64_t reconciles = 0;   // dirty lines written back
+  std::uint64_t flushes = 0;      // cache-emptying events
+  std::uint64_t evictions = 0;    // capacity evictions
+};
+
+/// Abstract memory subsystem. The driver tells the memory which node is
+/// running where, reports dag edges that cross processors (the points
+/// where coherence actions such as BACKER's reconcile/flush fire), and
+/// asks for each node's viewpoint of every location (peek) to assemble
+/// the observer function.
+class MemorySystem {
+ public:
+  virtual ~MemorySystem() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Prepare for executing computation `c` on `nprocs` processors.
+  /// Clears all state and statistics.
+  virtual void bind(const Computation& c, std::size_t nprocs) = 0;
+
+  /// A dag edge from `from_node` (ran on `from_proc`) into `to_node`
+  /// (about to run on `to_proc`) with from_proc != to_proc. Called before
+  /// to_node executes; coherence protocols synchronize here.
+  virtual void sync_edge(ProcId from_proc, NodeId from_node, ProcId to_proc,
+                         NodeId to_node) {
+    (void)from_proc;
+    (void)from_node;
+    (void)to_proc;
+    (void)to_node;
+  }
+
+  /// Node u on processor p reads location l; returns the id of the write
+  /// whose value it receives (kBottom if the location was never written).
+  [[nodiscard]] virtual NodeId read(ProcId p, NodeId u, Location l) = 0;
+
+  /// Node u on processor p writes location l (the value is u itself).
+  virtual void write(ProcId p, NodeId u, Location l) = 0;
+
+  /// Node u's viewpoint of location l without side effects: the write a
+  /// read would observe right now.
+  [[nodiscard]] virtual NodeId peek(ProcId p, NodeId u, Location l) const = 0;
+
+  [[nodiscard]] const MemoryStats& stats() const noexcept { return stats_; }
+
+ protected:
+  MemoryStats stats_;
+};
+
+}  // namespace ccmm

@@ -1,0 +1,84 @@
+#include "exec/msi.hpp"
+
+namespace ccmm {
+
+void MsiMemory::bind(const Computation& c, std::size_t nprocs) {
+  (void)c;
+  CCMM_CHECK(nprocs >= 1, "need at least one processor");
+  nprocs_ = nprocs;
+  directory_.clear();
+  stats_ = {};
+  msi_stats_ = {};
+}
+
+MsiMemory::Entry& MsiMemory::entry(Location l) {
+  auto [it, fresh] = directory_.try_emplace(l);
+  if (fresh) it->second.copies.resize(nprocs_);
+  return it->second;
+}
+
+const MsiMemory::Entry* MsiMemory::find_entry(Location l) const {
+  const auto it = directory_.find(l);
+  return it == directory_.end() ? nullptr : &it->second;
+}
+
+NodeId MsiMemory::read(ProcId p, NodeId u, Location l) {
+  (void)u;
+  CCMM_ASSERT(p < nprocs_);
+  ++stats_.reads;
+  Entry& e = entry(l);
+  Line& mine = e.copies[p];
+  if (mine.state != State::kInvalid) return mine.value;  // hit (S or M)
+  // Miss: if someone owns a modified copy, it writes back and downgrades.
+  for (ProcId q = 0; q < nprocs_; ++q) {
+    Line& other = e.copies[q];
+    if (other.state == State::kModified) {
+      e.memory = other.value;
+      other.state = State::kShared;
+      ++msi_stats_.writebacks;
+    }
+  }
+  mine = {e.memory, State::kShared};
+  ++stats_.fetches;
+  return mine.value;
+}
+
+void MsiMemory::write(ProcId p, NodeId u, Location l) {
+  CCMM_ASSERT(p < nprocs_);
+  ++stats_.writes;
+  Entry& e = entry(l);
+  Line& mine = e.copies[p];
+  if (mine.state != State::kModified) {
+    // Gain exclusive ownership: invalidate every other copy (writing
+    // back a remote modified copy first, so eviction order is benign).
+    for (ProcId q = 0; q < nprocs_; ++q) {
+      if (q == p) continue;
+      Line& other = e.copies[q];
+      if (other.state == State::kModified) {
+        e.memory = other.value;
+        ++msi_stats_.writebacks;
+      }
+      if (other.state != State::kInvalid) {
+        other.state = State::kInvalid;
+        ++msi_stats_.invalidations;
+      }
+    }
+    ++msi_stats_.ownership_transfers;
+  }
+  mine = {u, State::kModified};
+}
+
+NodeId MsiMemory::peek(ProcId p, NodeId u, Location l) const {
+  (void)u;
+  CCMM_ASSERT(p < nprocs_);
+  const Entry* e = find_entry(l);
+  if (e == nullptr) return kBottom;
+  // What a read would return: the local copy if valid, else the owner's
+  // value, else memory. (Invalidation keeps these globally consistent.)
+  if (e->copies[p].state != State::kInvalid) return e->copies[p].value;
+  for (ProcId q = 0; q < nprocs_; ++q)
+    if (e->copies[q].state == State::kModified) return e->copies[q].value;
+  return e->memory;
+}
+
+}  // namespace ccmm

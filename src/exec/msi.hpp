@@ -1,0 +1,61 @@
+// ccmm/exec/msi.hpp
+//
+// A directory-based MSI invalidation protocol — the "strong" coherence
+// baseline BACKER is implicitly measured against. Every write gains
+// exclusive ownership by invalidating all other copies first, so any
+// point in (simulated) time has one globally latest value per location:
+// the generated observer functions are sequentially consistent. The
+// price is invalidation/ownership traffic on every conflicting access —
+// the cost the paper's lineage built BACKER (and its weaker models) to
+// avoid. bench/backer_vs_msi.cpp quantifies the contrast.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "exec/memory.hpp"
+
+namespace ccmm {
+
+struct MsiStats {
+  std::uint64_t invalidations = 0;  // copies killed by ownership requests
+  std::uint64_t ownership_transfers = 0;
+  std::uint64_t writebacks = 0;  // dirty data pushed to memory on downgrade
+};
+
+class MsiMemory final : public MemorySystem {
+ public:
+  [[nodiscard]] std::string name() const override { return "msi-directory"; }
+
+  void bind(const Computation& c, std::size_t nprocs) override;
+
+  [[nodiscard]] NodeId read(ProcId p, NodeId u, Location l) override;
+  void write(ProcId p, NodeId u, Location l) override;
+  [[nodiscard]] NodeId peek(ProcId p, NodeId u, Location l) const override;
+
+  [[nodiscard]] const MsiStats& msi_stats() const noexcept {
+    return msi_stats_;
+  }
+
+ private:
+  enum class State : std::uint8_t { kInvalid, kShared, kModified };
+
+  struct Line {
+    NodeId value = kBottom;
+    State state = State::kInvalid;
+  };
+  /// Directory entry: per-processor line states plus the memory value.
+  struct Entry {
+    std::vector<Line> copies;  // indexed by processor
+    NodeId memory = kBottom;
+  };
+
+  Entry& entry(Location l);
+  [[nodiscard]] const Entry* find_entry(Location l) const;
+
+  std::size_t nprocs_ = 1;
+  std::unordered_map<Location, Entry> directory_;
+  MsiStats msi_stats_;
+};
+
+}  // namespace ccmm

@@ -1,0 +1,2 @@
+#include "exec/sc_memory.hpp"
+namespace ccmm {}

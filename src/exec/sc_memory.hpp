@@ -1,0 +1,54 @@
+// ccmm/exec/sc_memory.hpp
+//
+// A single serialized store: every access hits one global memory image
+// in execution order. Because the driver executes nodes in a topological
+// order, the generated observer function is the last-writer function of
+// that order — sequential consistency by construction (Definition 17).
+#pragma once
+
+#include <unordered_map>
+
+#include "exec/memory.hpp"
+
+namespace ccmm {
+
+class ScMemory final : public MemorySystem {
+ public:
+  [[nodiscard]] std::string name() const override { return "sc-memory"; }
+
+  void bind(const Computation& c, std::size_t nprocs) override {
+    (void)c;
+    (void)nprocs;
+    store_.clear();
+    stats_ = {};
+  }
+
+  [[nodiscard]] NodeId read(ProcId p, NodeId u, Location l) override {
+    (void)p;
+    (void)u;
+    ++stats_.reads;
+    return peek_store(l);
+  }
+
+  void write(ProcId p, NodeId u, Location l) override {
+    (void)p;
+    ++stats_.writes;
+    store_[l] = u;
+  }
+
+  [[nodiscard]] NodeId peek(ProcId p, NodeId u, Location l) const override {
+    (void)p;
+    (void)u;
+    return peek_store(l);
+  }
+
+ private:
+  [[nodiscard]] NodeId peek_store(Location l) const {
+    const auto it = store_.find(l);
+    return it == store_.end() ? kBottom : it->second;
+  }
+
+  std::unordered_map<Location, NodeId> store_;
+};
+
+}  // namespace ccmm

@@ -1,0 +1,72 @@
+// ccmm/exec/schedule.hpp
+//
+// Schedules: assignments of computation nodes to processors over
+// simulated time. The paper's split between the computation (logical
+// dependencies) and the schedule (which processor happens to run each
+// instruction) is realized here: the same computation can be executed
+// under a serial schedule, a greedy level-by-level schedule, or a
+// randomized work-stealing schedule, against any MemorySystem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/computation.hpp"
+#include "util/rng.hpp"
+
+namespace ccmm {
+
+using ProcId = std::uint32_t;
+
+struct ScheduleEntry {
+  NodeId node;
+  ProcId proc;
+  std::uint64_t start;
+  std::uint64_t finish;
+};
+
+struct Schedule {
+  /// Entries sorted by (start, sequence) — the driver's execution order.
+  std::vector<ScheduleEntry> entries;
+  /// node -> processor.
+  std::vector<ProcId> proc_of;
+  std::size_t nprocs = 1;
+  std::uint64_t makespan = 0;
+  std::uint64_t steals = 0;
+
+  /// Sanity: every node exactly once, dependencies finish before starts,
+  /// and no processor runs two nodes at once.
+  [[nodiscard]] bool valid_for(const Computation& c) const;
+};
+
+/// Everything on processor 0 in canonical topological order (T_1).
+[[nodiscard]] Schedule serial_schedule(const Computation& c,
+                                       const std::vector<std::uint64_t>&
+                                           durations = {});
+
+/// Greedy (Graham/Brent) list scheduling on `nprocs` processors: at every
+/// step, as many ready nodes as possible run on idle processors.
+[[nodiscard]] Schedule greedy_schedule(const Computation& c,
+                                       std::size_t nprocs,
+                                       const std::vector<std::uint64_t>&
+                                           durations = {});
+
+/// Randomized work stealing in the Cilk style: each processor owns a
+/// deque, pushes newly ready nodes to the bottom, pops from the bottom,
+/// and steals from the top of a uniformly random victim when idle.
+[[nodiscard]] Schedule work_stealing_schedule(const Computation& c,
+                                              std::size_t nprocs, Rng& rng,
+                                              const std::vector<std::uint64_t>&
+                                                  durations = {});
+
+/// Work (total duration) and span (critical path) of a computation:
+/// T_1 and T_inf of the Cilk performance model.
+struct WorkSpan {
+  std::uint64_t work = 0;
+  std::uint64_t span = 0;
+};
+[[nodiscard]] WorkSpan work_span(const Computation& c,
+                                 const std::vector<std::uint64_t>& durations
+                                 = {});
+
+}  // namespace ccmm

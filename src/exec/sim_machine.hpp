@@ -1,0 +1,50 @@
+// ccmm/exec/sim_machine.hpp
+//
+// The simulated multiprocessor: executes a computation under a schedule
+// against a MemorySystem, producing the observer function the memory
+// generated plus an execution trace. This is the bridge between the
+// paper's processor-centric world (processors acting on memory) and its
+// computation-centric theory (the observer function we hand to the model
+// checkers).
+#pragma once
+
+#include "core/observer.hpp"
+#include "exec/memory.hpp"
+#include "exec/schedule.hpp"
+
+namespace ccmm {
+
+struct TraceEvent {
+  std::uint64_t seq;   // global execution order
+  std::uint64_t time;  // schedule start time
+  ProcId proc;
+  NodeId node;
+  Op op;
+  NodeId observed;  // for reads: the write observed; else kBottom
+};
+
+struct Trace {
+  std::vector<TraceEvent> events;
+};
+
+struct ExecutionResult {
+  ObserverFunction phi;
+  Trace trace;
+  MemoryStats memory_stats;
+};
+
+/// Execute `c` under `schedule` against `memory`. The schedule's entry
+/// order (already sorted by start time) is the global serialization of
+/// node executions; cross-processor dag edges fire memory.sync_edge
+/// before their target runs. Every node's viewpoint of every written
+/// location is collected via peek, so the result's observer function is
+/// total (and valid by construction — verified by the test suite).
+[[nodiscard]] ExecutionResult run_execution(const Computation& c,
+                                            const Schedule& schedule,
+                                            MemorySystem& memory);
+
+/// Convenience: serial execution against `memory`.
+[[nodiscard]] ExecutionResult run_serial(const Computation& c,
+                                         MemorySystem& memory);
+
+}  // namespace ccmm

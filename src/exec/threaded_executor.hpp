@@ -1,0 +1,26 @@
+// ccmm/exec/threaded_executor.hpp
+//
+// A real-thread work-stealing executor: the computation's nodes run on
+// std::thread workers, so the interleaving — and hence the observer
+// function — is decided by genuine hardware/OS nondeterminism rather
+// than a seeded simulation. Memory-system calls are serialized by a
+// mutex (the MemorySystem implementations are single-threaded state
+// machines); the serialization order is the execution's global order.
+// Post-mortem model checking of these runs is the paper's "verify the
+// system after it has finished executing" scenario, end to end.
+#pragma once
+
+#include "exec/sim_machine.hpp"
+
+namespace ccmm {
+
+/// Execute `c` on `nthreads` OS threads against `memory`. Returns the
+/// generated observer function, the trace (seq = memory serialization
+/// order), and the node -> worker assignment in `proc_of_out` if given.
+[[nodiscard]] ExecutionResult run_threaded(const Computation& c,
+                                           std::size_t nthreads,
+                                           MemorySystem& memory,
+                                           std::vector<ProcId>* proc_of_out
+                                           = nullptr);
+
+}  // namespace ccmm

@@ -1,0 +1,2 @@
+#include "exec/weak_memory.hpp"
+namespace ccmm {}

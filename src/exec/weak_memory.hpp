@@ -1,0 +1,72 @@
+// ccmm/exec/weak_memory.hpp
+//
+// An adversarial memory: a read may observe ANY write to the location
+// that has already executed, chosen pseudo-randomly — including writes
+// long since overwritten. The generated observer function is always
+// *valid* (Definition 2: only past writes are returned, so no node
+// observes its own future), but it routinely violates every model in the
+// paper's hierarchy, including WW. It exists to exercise the checkers'
+// rejection paths and the post-mortem tooling.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "exec/memory.hpp"
+#include "util/rng.hpp"
+
+namespace ccmm {
+
+class WeakMemory final : public MemorySystem {
+ public:
+  explicit WeakMemory(std::uint64_t seed = 7) : seed_(seed), rng_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "weak-adversary"; }
+
+  void bind(const Computation& c, std::size_t nprocs) override {
+    (void)c;
+    (void)nprocs;
+    history_.clear();
+    stats_ = {};
+    rng_.reseed(seed_);
+  }
+
+  [[nodiscard]] NodeId read(ProcId p, NodeId u, Location l) override {
+    (void)p;
+    (void)u;
+    ++stats_.reads;
+    return pick(l);
+  }
+
+  void write(ProcId p, NodeId u, Location l) override {
+    (void)p;
+    ++stats_.writes;
+    history_[l].push_back(u);
+  }
+
+  [[nodiscard]] NodeId peek(ProcId p, NodeId u, Location l) const override {
+    (void)p;
+    (void)u;
+    // peek must be side-effect free: derive the choice from a hash of the
+    // current state rather than advancing the generator.
+    const auto it = history_.find(l);
+    if (it == history_.end() || it->second.empty()) return kBottom;
+    Rng probe(seed_ ^ (std::uint64_t{l} << 32) ^ it->second.size());
+    const std::uint64_t k = probe.below(it->second.size() + 1);
+    return k == it->second.size() ? kBottom : it->second[k];
+  }
+
+ private:
+  [[nodiscard]] NodeId pick(Location l) {
+    const auto it = history_.find(l);
+    if (it == history_.end() || it->second.empty()) return kBottom;
+    const std::uint64_t k = rng_.below(it->second.size());
+    return it->second[k];
+  }
+
+  std::uint64_t seed_;
+  Rng rng_;
+  std::unordered_map<Location, std::vector<NodeId>> history_;
+};
+
+}  // namespace ccmm

@@ -1,0 +1,55 @@
+// ccmm/exec/workload.hpp
+//
+// Workload computations: memory-access dags in the shapes the paper's
+// intro motivates (Cilk-style divide and conquer, stencils, contended
+// counters) plus random op assignment over arbitrary dags. Every
+// workload yields a plain Computation, so the same instance drives the
+// checkers, the simulators and the benchmarks.
+#pragma once
+
+#include "core/computation.hpp"
+#include "dag/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ccmm::workload {
+
+/// Assign random ops over `dag`: each node is a read with probability
+/// read_frac, a write with probability write_frac, else a no-op;
+/// locations uniform over [0, nlocations).
+[[nodiscard]] Computation random_ops(const Dag& dag, std::size_t nlocations,
+                                     double read_frac, double write_frac,
+                                     Rng& rng);
+
+/// Parallel divide-and-conquer reduction over `leaves` inputs: leaf i
+/// writes location i; each combine step reads its two operand locations
+/// and writes a fresh output location. The returned computation is
+/// race-free (every location has one writer, and readers depend on it).
+[[nodiscard]] Computation reduction(std::size_t leaves);
+
+/// Iterated 1-D stencil: `width` cells, `steps` timesteps. Cell (t, i)
+/// reads cells (t-1, i-1), (t-1, i), (t-1, i+1) (clamped) and writes its
+/// own location; locations are double-buffered per step parity. Race-free.
+[[nodiscard]] Computation stencil(std::size_t width, std::size_t steps);
+
+/// A contended counter: `increments` concurrent read-then-write pairs on
+/// one location, each pair internally ordered, pairs mutually unordered.
+/// Maximally racy — the workload where the models differ most.
+[[nodiscard]] Computation contended_counter(std::size_t increments);
+
+/// Blocked matrix multiply C = A * B on an n x n grid of blocks: for
+/// each output block (i, j), a chain over k of
+///   read A(i,k); read B(k,j); read C(i,j); write C(i,j)
+/// with the writes of one output block chained (race-free: each C block
+/// has a totally ordered writer chain, and reads hang off it). Distinct
+/// (i, j) chains are mutually parallel. Location layout: A, B, C blocks
+/// each occupy n*n consecutive locations.
+[[nodiscard]] Computation matmul(std::size_t n);
+
+/// Fork/join tree of `depth` with `branching`, whose leaves alternate
+/// writes and reads over `nlocations` locations (round-robin). Models a
+/// Cilk procedure updating a shared array.
+[[nodiscard]] Computation fork_join_array(std::size_t branching,
+                                          std::size_t depth,
+                                          std::size_t nlocations);
+
+}  // namespace ccmm::workload

@@ -1,0 +1,53 @@
+#include "io/dot.hpp"
+
+#include "util/str.hpp"
+
+namespace ccmm::io {
+
+std::string to_dot(const Computation& c, const ObserverFunction* phi,
+                   const DotOptions& options) {
+  std::string out = format("digraph %s {\n", options.name.c_str());
+  out += "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    std::string label = format("%u: %s", u, c.op(u).to_string().c_str());
+    if (phi != nullptr) {
+      for (const Location l : phi->active_locations()) {
+        const NodeId v = phi->get(l, u);
+        if (v == kBottom)
+          label += format("\\nΦ(%u)=⊥", l);
+        else
+          label += format("\\nΦ(%u)=%u", l, v);
+      }
+    }
+    out += format("  n%u [label=\"%s\"];\n", u, label.c_str());
+  }
+  for (const auto& e : c.dag().edges())
+    out += format("  n%u -> n%u;\n", e.from, e.to);
+  if (phi != nullptr && options.reads_from_edges) {
+    for (NodeId u = 0; u < c.node_count(); ++u) {
+      const Op o = c.op(u);
+      if (!o.is_read()) continue;
+      const NodeId v = phi->get(o.loc, u);
+      if (v != kBottom && v != u)
+        out += format(
+            "  n%u -> n%u [style=dashed, color=gray, dir=back, "
+            "label=\"rf\"];\n",
+            v, u);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const Dag& dag, const DotOptions& options) {
+  std::string out = format("digraph %s {\n", options.name.c_str());
+  out += "  rankdir=TB;\n  node [shape=circle];\n";
+  for (NodeId u = 0; u < dag.node_count(); ++u)
+    out += format("  n%u [label=\"%u\"];\n", u, u);
+  for (const auto& e : dag.edges())
+    out += format("  n%u -> n%u;\n", e.from, e.to);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ccmm::io

@@ -1,0 +1,29 @@
+// ccmm/io/dot.hpp
+//
+// Graphviz export: render computations (and optionally an observer
+// function) for papers, debugging, and teaching. Nodes show "id: op";
+// with an observer function, each node also shows its observed write
+// per active location, and reads-from edges are drawn dashed.
+#pragma once
+
+#include <string>
+
+#include "core/observer.hpp"
+
+namespace ccmm::io {
+
+struct DotOptions {
+  /// Draw dashed reads-from edges (read node -> observed write).
+  bool reads_from_edges = true;
+  /// Graph name.
+  std::string name = "computation";
+};
+
+[[nodiscard]] std::string to_dot(const Computation& c,
+                                 const ObserverFunction* phi = nullptr,
+                                 const DotOptions& options = {});
+
+[[nodiscard]] std::string to_dot(const Dag& dag,
+                                 const DotOptions& options = {});
+
+}  // namespace ccmm::io

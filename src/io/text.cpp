@@ -1,0 +1,204 @@
+#include "io/text.hpp"
+
+#include <istream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/str.hpp"
+
+namespace ccmm::io {
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& what) {
+  throw std::runtime_error(format("ccmm text parse error, line %zu: %s",
+                                  line, what.c_str()));
+}
+
+/// Tokenized directive lines with line numbers; skips comments/blanks.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  /// Next directive as tokens; empty vector at end of stream.
+  std::vector<std::string> next() {
+    std::string raw;
+    while (std::getline(in_, raw)) {
+      ++line_;
+      const auto hash = raw.find('#');
+      if (hash != std::string::npos) raw.erase(hash);
+      std::istringstream ss(raw);
+      std::vector<std::string> tokens;
+      std::string tok;
+      while (ss >> tok) tokens.push_back(tok);
+      if (!tokens.empty()) return tokens;
+    }
+    return {};
+  }
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::istream& in_;
+  std::size_t line_ = 0;
+};
+
+std::uint64_t parse_number(const LineReader& r, const std::string& tok,
+                           std::uint64_t max) {
+  std::uint64_t value = 0;
+  if (tok.empty()) parse_error(r.line(), "expected a number");
+  for (const char ch : tok) {
+    if (ch < '0' || ch > '9')
+      parse_error(r.line(), "expected a number, got '" + tok + "'");
+    value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+    if (value > max)
+      parse_error(r.line(), "number out of range: " + tok);
+  }
+  return value;
+}
+
+Computation read_computation_body(LineReader& r) {
+  auto header = r.next();
+  if (header.empty() || header[0] != "computation")
+    parse_error(r.line(), "expected 'computation'");
+
+  std::optional<std::size_t> n;
+  std::vector<Op> ops;
+  std::vector<Edge> edges;
+  for (;;) {
+    const auto t = r.next();
+    if (t.empty()) parse_error(r.line(), "unexpected end of input");
+    if (t[0] == "end") break;
+    if (t[0] == "nodes") {
+      if (t.size() != 2) parse_error(r.line(), "usage: nodes <n>");
+      n = static_cast<std::size_t>(parse_number(r, t[1], 100000));
+      ops.assign(*n, Op::nop());
+    } else if (t[0] == "op") {
+      if (!n.has_value()) parse_error(r.line(), "'op' before 'nodes'");
+      if (t.size() < 3) parse_error(r.line(), "usage: op <id> N|R|W [loc]");
+      const auto id =
+          static_cast<NodeId>(parse_number(r, t[1], *n > 0 ? *n - 1 : 0));
+      if (t[2] == "N") {
+        if (t.size() != 3) parse_error(r.line(), "N takes no location");
+        ops[id] = Op::nop();
+      } else if (t[2] == "R" || t[2] == "W") {
+        if (t.size() != 4) parse_error(r.line(), "R/W need a location");
+        const auto loc = static_cast<Location>(parse_number(r, t[3], 1u << 30));
+        ops[id] = t[2] == "R" ? Op::read(loc) : Op::write(loc);
+      } else {
+        parse_error(r.line(), "unknown op kind '" + t[2] + "'");
+      }
+    } else if (t[0] == "edge") {
+      if (!n.has_value()) parse_error(r.line(), "'edge' before 'nodes'");
+      if (t.size() != 3) parse_error(r.line(), "usage: edge <from> <to>");
+      const auto max_id = *n > 0 ? *n - 1 : 0;
+      edges.push_back({static_cast<NodeId>(parse_number(r, t[1], max_id)),
+                       static_cast<NodeId>(parse_number(r, t[2], max_id))});
+    } else {
+      parse_error(r.line(), "unknown directive '" + t[0] + "'");
+    }
+  }
+  if (!n.has_value()) parse_error(r.line(), "missing 'nodes'");
+  Dag dag(*n, edges);
+  if (!dag.is_acyclic()) parse_error(r.line(), "edges form a cycle");
+  return Computation(std::move(dag), std::move(ops));
+}
+
+ObserverFunction read_observer_body(LineReader& r, std::size_t node_count) {
+  auto header = r.next();
+  if (header.empty() || header[0] != "observer")
+    parse_error(r.line(), "expected 'observer'");
+  ObserverFunction phi(node_count);
+  for (;;) {
+    const auto t = r.next();
+    if (t.empty()) parse_error(r.line(), "unexpected end of input");
+    if (t[0] == "end") break;
+    if (t[0] != "phi")
+      parse_error(r.line(), "unknown directive '" + t[0] + "'");
+    if (t.size() != 4)
+      parse_error(r.line(), "usage: phi <loc> <node> <observed|_>");
+    const auto loc = static_cast<Location>(parse_number(r, t[1], 1u << 30));
+    const auto max_id = node_count > 0 ? node_count - 1 : 0;
+    const auto u = static_cast<NodeId>(parse_number(r, t[2], max_id));
+    const NodeId v = t[3] == "_"
+                         ? kBottom
+                         : static_cast<NodeId>(parse_number(r, t[3], max_id));
+    phi.set(loc, u, v);
+  }
+  return phi;
+}
+
+}  // namespace
+
+std::string write_computation(const Computation& c) {
+  std::string out = "computation\n";
+  out += format("nodes %zu\n", c.node_count());
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const Op o = c.op(u);
+    if (o.is_nop()) continue;  // N is the default
+    out += format("op %u %s %u\n", u, o.is_read() ? "R" : "W", o.loc);
+  }
+  for (const auto& e : c.dag().edges())
+    out += format("edge %u %u\n", e.from, e.to);
+  out += "end\n";
+  return out;
+}
+
+Computation read_computation(std::istream& in) {
+  LineReader r(in);
+  return read_computation_body(r);
+}
+
+std::string write_observer(const ObserverFunction& phi) {
+  std::string out = "observer\n";
+  for (const Location l : phi.active_locations())
+    for (NodeId u = 0; u < phi.node_count(); ++u) {
+      const NodeId v = phi.get(l, u);
+      if (v != kBottom) out += format("phi %u %u %u\n", l, u, v);
+    }
+  out += "end\n";
+  return out;
+}
+
+ObserverFunction read_observer(std::istream& in, std::size_t node_count) {
+  LineReader r(in);
+  return read_observer_body(r, node_count);
+}
+
+std::string write_pair(const Computation& c, const ObserverFunction& phi) {
+  return write_computation(c) + write_observer(phi);
+}
+
+TextPair read_pair(std::istream& in) {
+  LineReader r(in);
+  TextPair pair;
+  pair.c = read_computation_body(r);
+  // Optional observer block: peek for the header.
+  const auto t = r.next();
+  if (t.empty()) return pair;
+  if (t[0] != "observer")
+    parse_error(r.line(), "expected 'observer' or end of file");
+  // Re-run the body loop inline (header already consumed).
+  ObserverFunction phi(pair.c.node_count());
+  for (;;) {
+    const auto u = r.next();
+    if (u.empty()) parse_error(r.line(), "unexpected end of input");
+    if (u[0] == "end") break;
+    if (u[0] != "phi")
+      parse_error(r.line(), "unknown directive '" + u[0] + "'");
+    if (u.size() != 4)
+      parse_error(r.line(), "usage: phi <loc> <node> <observed|_>");
+    const auto loc = static_cast<Location>(parse_number(r, u[1], 1u << 30));
+    const auto max_id =
+        pair.c.node_count() > 0 ? pair.c.node_count() - 1 : 0;
+    const auto node = static_cast<NodeId>(parse_number(r, u[2], max_id));
+    const NodeId v = u[3] == "_"
+                         ? kBottom
+                         : static_cast<NodeId>(parse_number(r, u[3], max_id));
+    phi.set(loc, node, v);
+  }
+  pair.phi = std::move(phi);
+  return pair;
+}
+
+}  // namespace ccmm::io

@@ -1,0 +1,49 @@
+// ccmm/io/text.hpp
+//
+// A line-oriented text format for computations and observer functions,
+// so instances can be stored in files, shipped in bug reports, and fed
+// to the ccmm_check command-line tool. Grammar (one directive per line,
+// '#' comments, blank lines ignored):
+//
+//   computation
+//   nodes <n>
+//   op <id> N            |  op <id> R <loc>  |  op <id> W <loc>
+//   edge <from> <to>
+//   end
+//
+//   observer
+//   phi <loc> <node> <observed-node | _>     (_ = ⊥)
+//   end
+//
+// Unlisted ops default to N; unlisted phi entries default to ⊥.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/observer.hpp"
+
+namespace ccmm::io {
+
+/// Render / parse a computation. Parsing throws std::runtime_error with
+/// a line number on malformed input.
+[[nodiscard]] std::string write_computation(const Computation& c);
+[[nodiscard]] Computation read_computation(std::istream& in);
+
+/// Render / parse an observer function (node_count taken from the
+/// paired computation when parsing).
+[[nodiscard]] std::string write_observer(const ObserverFunction& phi);
+[[nodiscard]] ObserverFunction read_observer(std::istream& in,
+                                             std::size_t node_count);
+
+/// A pair file is a computation block followed by an optional observer
+/// block.
+struct TextPair {
+  Computation c;
+  std::optional<ObserverFunction> phi;
+};
+[[nodiscard]] std::string write_pair(const Computation& c,
+                                     const ObserverFunction& phi);
+[[nodiscard]] TextPair read_pair(std::istream& in);
+
+}  // namespace ccmm::io

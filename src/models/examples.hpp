@@ -1,0 +1,40 @@
+// ccmm/models/examples.hpp
+//
+// The paper's example (computation, observer function) pairs, with their
+// expected memberships across the six models. Figures 2 and 3 are
+// reconstructed to the memberships the prose states (the anomalies that
+// separate NW from WN); the LC-but-not-SC pair realizes the strictness
+// of SC ⊊ LC, which requires two locations.
+#pragma once
+
+#include "core/observer.hpp"
+
+namespace ccmm::examples {
+
+struct ExamplePair {
+  const char* name;
+  Computation c;
+  ObserverFunction phi;
+  // Expected memberships.
+  bool in_nn, in_nw, in_wn, in_ww, in_lc, in_sc;
+};
+
+/// Figure 2: in WW and NW but not WN or NN. One location. Nodes:
+/// 0 = A: W, 1 = B: W, 2 = C: R, 3 = D: R; edges A->C, C->D;
+/// Φ: A->A, B->B, C->B, D->A. The WN-forbidden triple is (A, C, D).
+[[nodiscard]] ExamplePair figure2();
+
+/// Figure 3: in WW and WN but not NW or NN. Nodes: 0 = A: W, 1 = C: R,
+/// 2 = B: W, 3 = D: R; edges C->B, B->D; Φ: A->A, C->A, B->B, D->A.
+/// The NW-forbidden triple is (C, B, D).
+[[nodiscard]] ExamplePair figure3();
+
+/// Four mutually unordered nodes over two locations whose observations
+/// force the cyclic serialization A < C < B < D < A: location consistent
+/// but not sequentially consistent.
+[[nodiscard]] ExamplePair lc_not_sc();
+
+/// All three, for table-driven consumers.
+[[nodiscard]] std::vector<ExamplePair> all();
+
+}  // namespace ccmm::examples

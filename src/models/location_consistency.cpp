@@ -1,0 +1,149 @@
+#include "models/location_consistency.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ccmm {
+namespace {
+
+/// Blocks of Φ(l,·): block 0 is B_⊥ (possibly empty); block i >= 1 is the
+/// block of the i-th distinct observed write. block_of[u] gives a node's
+/// block; writer_of[i] gives block i's writer (kBottom for block 0).
+struct Blocks {
+  std::vector<std::size_t> block_of;
+  std::vector<NodeId> writer_of;
+};
+
+Blocks make_blocks(const Computation& c, const ObserverFunction& phi,
+                   Location l) {
+  Blocks b;
+  b.block_of.assign(c.node_count(), 0);
+  b.writer_of.push_back(kBottom);
+  std::unordered_map<NodeId, std::size_t> index_of;
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const NodeId x = phi.get(l, u);
+    if (x == kBottom) continue;
+    auto [it, fresh] = index_of.try_emplace(x, b.writer_of.size());
+    if (fresh) b.writer_of.push_back(x);
+    b.block_of[u] = it->second;
+  }
+  return b;
+}
+
+/// Does the block quotient graph admit a topological order with B_⊥ first?
+/// `order_out`, if non-null, receives such a block order.
+bool quotient_sortable(const Computation& c, const Blocks& b,
+                       std::vector<std::size_t>* order_out) {
+  const std::size_t nb = b.writer_of.size();
+  // Quotient adjacency + indegrees from dag edges crossing blocks.
+  std::vector<std::vector<std::size_t>> qsucc(nb);
+  std::vector<std::size_t> indeg(nb, 0);
+  for (const auto& e : c.dag().edges()) {
+    const std::size_t bu = b.block_of[e.from];
+    const std::size_t bv = b.block_of[e.to];
+    if (bu == bv) continue;
+    qsucc[bu].push_back(bv);
+    ++indeg[bv];
+  }
+  // B_⊥ must be first: it may have no incoming edges (when nonempty; an
+  // empty B_⊥ has no dag nodes, hence no incoming edges anyway).
+  if (indeg[0] != 0) return false;
+  // Kahn with block 0 forced first, then any order.
+  std::vector<std::size_t> order;
+  order.reserve(nb);
+  std::vector<std::size_t> stack;
+  stack.push_back(0);
+  std::vector<char> emitted(nb, 0);
+  emitted[0] = 1;
+  while (!stack.empty()) {
+    const std::size_t x = stack.back();
+    stack.pop_back();
+    order.push_back(x);
+    for (const std::size_t y : qsucc[x]) {
+      if (--indeg[y] == 0 && !emitted[y]) {
+        emitted[y] = 1;
+        stack.push_back(y);
+      }
+    }
+    if (stack.empty()) {
+      // Seed any remaining zero-indegree blocks (disconnected pieces).
+      for (std::size_t y = 1; y < nb; ++y)
+        if (!emitted[y] && indeg[y] == 0) {
+          emitted[y] = 1;
+          stack.push_back(y);
+        }
+    }
+  }
+  if (order.size() != nb) return false;  // quotient cycle
+  if (order_out != nullptr) *order_out = std::move(order);
+  return true;
+}
+
+}  // namespace
+
+bool location_consistent_at(const Computation& c, const ObserverFunction& phi,
+                            Location l) {
+  const Blocks b = make_blocks(c, phi, l);
+  return quotient_sortable(c, b, nullptr);
+}
+
+bool location_consistent(const Computation& c, const ObserverFunction& phi) {
+  if (!is_valid_observer(c, phi)) return false;
+  for (const Location l : phi.active_locations())
+    if (!location_consistent_at(c, phi, l)) return false;
+  return true;
+}
+
+std::optional<std::vector<NodeId>> lc_witness(const Computation& c,
+                                              const ObserverFunction& phi,
+                                              Location l) {
+  if (!is_valid_observer(c, phi)) return std::nullopt;
+  const Blocks b = make_blocks(c, phi, l);
+  std::vector<std::size_t> block_order;
+  if (!quotient_sortable(c, b, &block_order)) return std::nullopt;
+
+  // Emit blocks in order; within a block, writer first, then the rest in a
+  // linear extension of the induced subgraph (Kahn restricted to block).
+  std::vector<std::size_t> rank(b.writer_of.size());
+  for (std::size_t i = 0; i < block_order.size(); ++i)
+    rank[block_order[i]] = i;
+
+  // Sort key: (block rank, canonical topological position). Sorting the
+  // canonical order stably by block rank keeps intra-block dag order.
+  std::vector<NodeId> order = c.dag().topological_order();
+  std::stable_sort(order.begin(), order.end(), [&](NodeId x, NodeId y) {
+    return rank[b.block_of[x]] < rank[b.block_of[y]];
+  });
+  // The writer leads its block automatically: nothing in B_x precedes x
+  // (observer condition 2.2), and a write to l precedes every member of
+  // its block that it is dag-ordered with; but dag-unordered members
+  // could sort before it, so rotate the writer to the front of its block.
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const std::size_t blk = b.block_of[order[i]];
+    std::size_t j = i;
+    while (j < order.size() && b.block_of[order[j]] == blk) ++j;
+    const NodeId writer = b.writer_of[blk];
+    if (writer != kBottom) {
+      const auto it = std::find(order.begin() + static_cast<std::ptrdiff_t>(i),
+                                order.begin() + static_cast<std::ptrdiff_t>(j),
+                                writer);
+      CCMM_ASSERT(it != order.begin() + static_cast<std::ptrdiff_t>(j));
+      std::rotate(order.begin() + static_cast<std::ptrdiff_t>(i), it, it + 1);
+    }
+    i = j;
+  }
+  return order;
+}
+
+}  // namespace ccmm
+
+namespace ccmm {
+
+std::shared_ptr<const LocationConsistencyModel>
+LocationConsistencyModel::instance() {
+  static const auto m = std::make_shared<const LocationConsistencyModel>();
+  return m;
+}
+
+}  // namespace ccmm

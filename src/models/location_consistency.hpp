@@ -1,0 +1,48 @@
+// ccmm/models/location_consistency.hpp
+//
+// Definition 18: location consistency (often called coherence).
+//   LC = { (C, Φ) : ∀l ∃T ∈ TS(C) ∀u. Φ(l, u) = W_T(l, u) }
+// Each location may be serialized by its own topological sort.
+//
+// Membership is decided in polynomial time by a block-quotient argument:
+// for location l, Φ(l,·) partitions V into B_⊥ = Φ⁻¹(⊥) and B_x = Φ⁻¹(x)
+// per observed write x. A witnessing T exists iff the quotient graph on
+// blocks (edges inherited from the dag) is acyclic and B_⊥ can be placed
+// first. Observer validity (2.2/2.3) guarantees each block's writer can
+// lead its block, so no further condition is needed. See DESIGN.md.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/memory_model.hpp"
+
+namespace ccmm {
+
+/// Is (c, phi) location consistent? O(L·(V+E)) after closure.
+[[nodiscard]] bool location_consistent(const Computation& c,
+                                       const ObserverFunction& phi);
+
+/// Is location l of (c, phi) serializable? (phi must be valid.)
+[[nodiscard]] bool location_consistent_at(const Computation& c,
+                                          const ObserverFunction& phi,
+                                          Location l);
+
+/// A topological sort T of c with W_T(l,·) = Φ(l,·), if one exists —
+/// the per-location witness demanded by Definition 18.
+[[nodiscard]] std::optional<std::vector<NodeId>> lc_witness(
+    const Computation& c, const ObserverFunction& phi, Location l);
+
+class LocationConsistencyModel final : public MemoryModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "LC"; }
+  [[nodiscard]] bool contains(const Computation& c,
+                              const ObserverFunction& phi) const override {
+    return location_consistent(c, phi);
+  }
+
+  [[nodiscard]] static std::shared_ptr<const LocationConsistencyModel>
+  instance();
+};
+
+}  // namespace ccmm

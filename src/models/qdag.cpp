@@ -1,0 +1,210 @@
+#include "models/qdag.hpp"
+
+#include <unordered_map>
+
+#include "util/str.hpp"
+
+namespace ccmm {
+
+const char* dag_pred_name(DagPred p) {
+  switch (p) {
+    case DagPred::kNN:
+      return "NN";
+    case DagPred::kNW:
+      return "NW";
+    case DagPred::kWN:
+      return "WN";
+    case DagPred::kWW:
+      return "WW";
+  }
+  return "?";
+}
+
+std::string QDagViolation::to_string() const {
+  std::string us = (u == kBottom) ? "_" : format("%u", u);
+  return format("Q-dag violation at location %u: u=%s, v=%u, w=%u", loc,
+                us.c_str(), v, w);
+}
+
+namespace {
+
+void report(QDagViolation* out, Location l, NodeId u, NodeId v, NodeId w) {
+  if (out != nullptr) *out = {l, u, v, w};
+}
+
+/// Named-predicate check for one location.
+///
+/// For a pair v ≺ w with x = Φ(l,w) ≠ Φ(l,v), a violation needs some
+/// u ∈ anc(v) ∪ {⊥} with Φ(l,u) = x and Q(l,u,v,w):
+///  * NN: any such u; u = ⊥ qualifies whenever x = ⊥.
+///  * NW: same u condition but only pairs where v writes l.
+///  * WN: Q forces u to write l, and a writer observes itself, so u = x;
+///        the condition collapses to x ≠ ⊥ ∧ x ≺ v.
+///  * WW: the WN collapse restricted to pairs where v writes l.
+bool check_location(const Computation& c, const ObserverFunction& phi,
+                    DagPred pred, Location l, QDagViolation* violation) {
+  const Dag& dag = c.dag();
+  const std::size_t n = c.node_count();
+
+  // Φ⁻¹(x) bitsets for each observed write x (needed for NN/NW only).
+  const bool need_sets = pred == DagPred::kNN || pred == DagPred::kNW;
+  std::unordered_map<NodeId, DynBitset> observers_of;
+  if (need_sets) {
+    for (NodeId u = 0; u < n; ++u) {
+      const NodeId x = phi.get(l, u);
+      if (x == kBottom) continue;
+      auto [it, fresh] = observers_of.try_emplace(x, DynBitset(n));
+      (void)fresh;
+      it->second.set(u);
+    }
+  }
+
+  const bool v_must_write = pred == DagPred::kNW || pred == DagPred::kWW;
+  const bool u_must_write = pred == DagPred::kWN || pred == DagPred::kWW;
+
+  for (NodeId w = 0; w < n; ++w) {
+    const NodeId x = phi.get(l, w);
+    const DynBitset& anc_w = dag.ancestors(w);
+    bool bad = false;
+    anc_w.for_each([&](std::size_t vi) {
+      if (bad) return;
+      const auto v = static_cast<NodeId>(vi);
+      if (phi.get(l, v) == x) return;
+      if (v_must_write && !c.op(v).writes(l)) return;
+      if (u_must_write) {
+        // u must be a writer observing x, hence u = x itself.
+        if (x != kBottom && dag.precedes(x, v)) {
+          report(violation, l, x, v, w);
+          bad = true;
+        }
+        return;
+      }
+      // u unconstrained: u = ⊥ works when x = ⊥ (⊥ ≺ v always).
+      if (x == kBottom) {
+        report(violation, l, kBottom, v, w);
+        bad = true;
+        return;
+      }
+      const auto it = observers_of.find(x);
+      CCMM_ASSERT(it != observers_of.end());  // w itself observes x
+      const DynBitset& anc_v = dag.ancestors(v);
+      if (anc_v.intersects(it->second)) {
+        if (violation != nullptr) {
+          DynBitset inter = anc_v;
+          inter &= it->second;
+          report(violation, l, static_cast<NodeId>(inter.find_first()), v, w);
+        }
+        bad = true;
+      }
+    });
+    if (bad) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool qdag_consistent(const Computation& c, const ObserverFunction& phi,
+                     DagPred pred, QDagViolation* violation) {
+  if (!is_valid_observer(c, phi)) return false;
+  for (const Location l : phi.active_locations())
+    if (!check_location(c, phi, pred, l, violation)) return false;
+  return true;
+}
+
+bool qdag_consistent_custom(const Computation& c, const ObserverFunction& phi,
+                            const QPredicate& q, QDagViolation* violation) {
+  if (!is_valid_observer(c, phi)) return false;
+  const Dag& dag = c.dag();
+  const std::size_t n = c.node_count();
+  for (const Location l : phi.active_locations()) {
+    for (NodeId w = 0; w < n; ++w) {
+      const NodeId x = phi.get(l, w);
+      for (NodeId v = 0; v < n; ++v) {
+        if (!dag.precedes(v, w)) continue;
+        if (phi.get(l, v) == x) continue;
+        // u ranges over ancestors of v plus ⊥.
+        if (x == kBottom && q(c, l, kBottom, v, w)) {
+          report(violation, l, kBottom, v, w);
+          return false;
+        }
+        for (NodeId u = 0; u < n; ++u) {
+          if (!dag.precedes(u, v)) continue;
+          if (phi.get(l, u) != x) continue;
+          if (q(c, l, u, v, w)) {
+            report(violation, l, u, v, w);
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::string cube_name(CubeSpec spec) {
+  std::string out = "Q[";
+  out += spec.u_writes ? 'W' : 'N';
+  out += spec.v_writes ? 'W' : 'N';
+  out += spec.w_writes ? 'W' : 'N';
+  out += ']';
+  return out;
+}
+
+bool cube_consistent(const Computation& c, const ObserverFunction& phi,
+                     CubeSpec spec) {
+  if (!spec.w_writes) {
+    // The w-independent corners are the paper's named models.
+    if (!spec.u_writes && !spec.v_writes)
+      return qdag_consistent(c, phi, DagPred::kNN);
+    if (!spec.u_writes && spec.v_writes)
+      return qdag_consistent(c, phi, DagPred::kNW);
+    if (spec.u_writes && !spec.v_writes)
+      return qdag_consistent(c, phi, DagPred::kWN);
+    return qdag_consistent(c, phi, DagPred::kWW);
+  }
+  const QPredicate q = [spec](const Computation& comp, Location l, NodeId u,
+                              NodeId v, NodeId w) {
+    if (spec.u_writes && (u == kBottom || !comp.op(u).writes(l)))
+      return false;
+    if (spec.v_writes && !comp.op(v).writes(l)) return false;
+    if (spec.w_writes && !comp.op(w).writes(l)) return false;
+    return true;
+  };
+  return qdag_consistent_custom(c, phi, q);
+}
+
+std::shared_ptr<const MemoryModel> cube_model(CubeSpec spec) {
+  return std::make_shared<PredicateModel>(
+      cube_name(spec),
+      [spec](const Computation& c, const ObserverFunction& phi) {
+        return cube_consistent(c, phi, spec);
+      });
+}
+
+std::vector<CubeSpec> all_cube_corners() {
+  std::vector<CubeSpec> out;
+  for (const bool u : {false, true})
+    for (const bool v : {false, true})
+      for (const bool w : {false, true}) out.push_back({u, v, w});
+  return out;
+}
+
+std::shared_ptr<const QDagModel> QDagModel::nn() {
+  static const auto m = std::make_shared<const QDagModel>(DagPred::kNN);
+  return m;
+}
+std::shared_ptr<const QDagModel> QDagModel::nw() {
+  static const auto m = std::make_shared<const QDagModel>(DagPred::kNW);
+  return m;
+}
+std::shared_ptr<const QDagModel> QDagModel::wn() {
+  static const auto m = std::make_shared<const QDagModel>(DagPred::kWN);
+  return m;
+}
+std::shared_ptr<const QDagModel> QDagModel::ww() {
+  static const auto m = std::make_shared<const QDagModel>(DagPred::kWW);
+  return m;
+}
+
+}  // namespace ccmm

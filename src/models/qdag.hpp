@@ -1,0 +1,123 @@
+// ccmm/models/qdag.hpp
+//
+// Definition 20: Q-dag consistency. For a predicate Q on (l, u, v, w),
+// the model contains (C, Φ) iff Φ is an observer function for C and for
+// all l and u ≺ v ≺ w with Q(l, u, v, w):
+//     Φ(l, u) = Φ(l, w)  ⇒  Φ(l, v) = Φ(l, u).
+// Here u ranges over V ∪ {⊥} (⊥ precedes every node; a predicate that
+// inspects op(u) is false at ⊥). The four named predicates of the paper:
+//     NN: true            NW: op(v) = W(l)
+//     WN: op(u) = W(l)    WW: op(u) = W(l) ∧ op(v) = W(l)
+// NN is the strongest dag-consistent model (Theorem 21); WW is the
+// original dag consistency of [BFJ+96b]; WN the revision of [BFJ+96a].
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/memory_model.hpp"
+
+namespace ccmm {
+
+enum class DagPred : std::uint8_t { kNN, kNW, kWN, kWW };
+
+[[nodiscard]] const char* dag_pred_name(DagPred p);
+
+/// A witnessing violation of Condition 20.1, for diagnostics.
+struct QDagViolation {
+  Location loc;
+  NodeId u;  // may be kBottom
+  NodeId v;
+  NodeId w;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Membership test for the four named predicates (bitset-accelerated).
+/// If `violation` is non-null and the pair is not in the model, it
+/// receives one witnessing triple. Precondition: phi is a valid observer
+/// function for c (checked; returns false otherwise).
+[[nodiscard]] bool qdag_consistent(const Computation& c,
+                                   const ObserverFunction& phi, DagPred pred,
+                                   QDagViolation* violation = nullptr);
+
+/// A custom predicate Q(c, l, u, v, w); u may be kBottom.
+using QPredicate = std::function<bool(const Computation&, Location, NodeId,
+                                      NodeId, NodeId)>;
+
+/// Membership test for an arbitrary predicate (cubic triple scan).
+[[nodiscard]] bool qdag_consistent_custom(const Computation& c,
+                                          const ObserverFunction& phi,
+                                          const QPredicate& q,
+                                          QDagViolation* violation = nullptr);
+
+/// Q-dag consistency as a MemoryModel.
+class QDagModel final : public MemoryModel {
+ public:
+  explicit QDagModel(DagPred pred) : pred_(pred) {}
+
+  [[nodiscard]] std::string name() const override {
+    return dag_pred_name(pred_);
+  }
+  [[nodiscard]] bool contains(const Computation& c,
+                              const ObserverFunction& phi) const override {
+    return qdag_consistent(c, phi, pred_);
+  }
+  [[nodiscard]] DagPred pred() const { return pred_; }
+
+  [[nodiscard]] static std::shared_ptr<const QDagModel> nn();
+  [[nodiscard]] static std::shared_ptr<const QDagModel> nw();
+  [[nodiscard]] static std::shared_ptr<const QDagModel> wn();
+  [[nodiscard]] static std::shared_ptr<const QDagModel> ww();
+
+ private:
+  DagPred pred_;
+};
+
+/// The full predicate cube: Definition 20 lets Q inspect all of
+/// (u, v, w); the paper's named predicates are the w-independent corner
+/// (NN = [NNN], NW = [NWN], WN = [WNN], WW = [WWN]). CubeSpec names a
+/// conjunction of "must write l" constraints per coordinate; the
+/// remaining four corners ([NNW], [NWW], [WNW], [WWW]) complete the cube
+/// the paper's "symmetry suggests we also consider NW" remark opens.
+struct CubeSpec {
+  bool u_writes = false;
+  bool v_writes = false;
+  bool w_writes = false;
+  [[nodiscard]] bool operator==(const CubeSpec&) const = default;
+};
+
+/// "Q[XYZ]" with X/Y/Z ∈ {N, W} for the u/v/w constraints.
+[[nodiscard]] std::string cube_name(CubeSpec spec);
+
+/// The Q-dag model for a cube corner (shares the named fast paths where
+/// they exist, the cubic checker otherwise).
+[[nodiscard]] std::shared_ptr<const MemoryModel> cube_model(CubeSpec spec);
+
+/// Membership test for a cube corner.
+[[nodiscard]] bool cube_consistent(const Computation& c,
+                                   const ObserverFunction& phi, CubeSpec spec);
+
+/// All eight corners in lexicographic order (NNN first).
+[[nodiscard]] std::vector<CubeSpec> all_cube_corners();
+
+/// Q-dag consistency for a user-supplied predicate.
+class CustomQDagModel final : public MemoryModel {
+ public:
+  CustomQDagModel(std::string name, QPredicate q)
+      : name_(std::move(name)), q_(std::move(q)) {
+    CCMM_CHECK(q_ != nullptr, "null predicate");
+  }
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] bool contains(const Computation& c,
+                              const ObserverFunction& phi) const override {
+    return qdag_consistent_custom(c, phi, q_);
+  }
+
+ private:
+  std::string name_;
+  QPredicate q_;
+};
+
+}  // namespace ccmm

@@ -1,0 +1,63 @@
+// ccmm/models/relations.hpp
+//
+// Comparing memory models extensionally (Definition 4: Δ is stronger than
+// Δ' iff Δ ⊆ Δ'). The theory's inclusions are verified mechanically by
+// evaluating both membership predicates over a universe of (computation,
+// observer function) pairs produced by the enumeration layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/memory_model.hpp"
+
+namespace ccmm {
+
+/// One (computation, observer function) pair of a universe.
+struct CPhi {
+  Computation c;
+  ObserverFunction phi;
+};
+
+enum class ModelRelation : std::uint8_t {
+  kEqual,
+  kStrictlyStronger,  // A ⊊ B (A admits strictly fewer behaviours)
+  kStrictlyWeaker,    // A ⊋ B
+  kIncomparable,
+};
+
+[[nodiscard]] const char* relation_name(ModelRelation r);
+
+struct ComparisonResult {
+  ModelRelation relation = ModelRelation::kEqual;
+  std::size_t in_a = 0;         // |A ∩ U|
+  std::size_t in_b = 0;         // |B ∩ U|
+  std::size_t in_both = 0;      // |A ∩ B ∩ U|
+  std::size_t universe = 0;     // |U|
+  /// A pair in A \ B (resp. B \ A) if any; indexes into the universe.
+  std::size_t witness_a_minus_b = SIZE_MAX;
+  std::size_t witness_b_minus_a = SIZE_MAX;
+};
+
+/// Evaluate both models on every pair of `universe` and classify the
+/// relation *restricted to that universe*.
+[[nodiscard]] ComparisonResult compare_models(const MemoryModel& a,
+                                              const MemoryModel& b,
+                                              const std::vector<CPhi>& universe);
+
+/// Membership counts for several models over a universe (one pass).
+[[nodiscard]] std::vector<std::size_t> membership_counts(
+    const std::vector<const MemoryModel*>& models,
+    const std::vector<CPhi>& universe);
+
+/// Is `model` monotonic on this universe? (Definition 5: membership must
+/// survive edge deletion.) Checks every pair against every one-edge
+/// relaxation; returns false with a witness index if violated.
+struct MonotonicityResult {
+  bool monotonic = true;
+  std::size_t witness = SIZE_MAX;  // universe index of a violating pair
+};
+[[nodiscard]] MonotonicityResult check_monotonicity(
+    const MemoryModel& model, const std::vector<CPhi>& universe);
+
+}  // namespace ccmm

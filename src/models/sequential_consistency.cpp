@@ -1,0 +1,151 @@
+#include "models/sequential_consistency.hpp"
+
+#include <unordered_set>
+
+#include "models/location_consistency.hpp"
+
+namespace ccmm {
+namespace {
+
+struct ScSearch {
+  const Computation& c;
+  const ObserverFunction& phi;
+  std::vector<Location> locs;          // active locations
+  std::vector<std::size_t> loc_index;  // location -> index in locs
+  std::vector<std::size_t> indeg;
+  DynBitset placed;
+  std::vector<NodeId> cur;  // current last writer per active location
+  std::vector<NodeId> order;
+  std::vector<NodeId> witness;          // filled at the success leaf
+  std::unordered_set<std::string> dead;  // exact encodings of failed states
+  std::size_t budget;
+  bool memoize;
+  std::size_t expanded = 0;
+
+  ScSearch(const Computation& comp, const ObserverFunction& f, std::size_t b,
+           bool use_memo)
+      : c(comp),
+        phi(f),
+        placed(comp.node_count()),
+        budget(b),
+        memoize(use_memo) {
+    locs = phi.active_locations();
+    Location max_loc = 0;
+    for (const Location l : locs) max_loc = std::max(max_loc, l);
+    loc_index.assign(locs.empty() ? 0 : max_loc + 1, SIZE_MAX);
+    for (std::size_t i = 0; i < locs.size(); ++i) loc_index[locs[i]] = i;
+    indeg.resize(c.node_count());
+    for (NodeId u = 0; u < c.node_count(); ++u)
+      indeg[u] = c.dag().pred(u).size();
+    cur.assign(locs.size(), kBottom);
+    order.reserve(c.node_count());
+  }
+
+  /// Exact state key (placed set + current writers): memoizing on a
+  /// hash alone would make a collision flip the answer.
+  [[nodiscard]] std::string state_key() const {
+    std::string key;
+    key.reserve(placed.word_count() * 8 + cur.size() * 4);
+    for (std::size_t w = 0; w < placed.word_count(); ++w) {
+      const auto word = placed.word(w);
+      for (int b = 0; b < 8; ++b)
+        key.push_back(static_cast<char>((word >> (8 * b)) & 0xff));
+    }
+    for (const NodeId w : cur)
+      for (int b = 0; b < 4; ++b)
+        key.push_back(static_cast<char>((w >> (8 * b)) & 0xff));
+    return key;
+  }
+
+  /// Can node u be the next element of T in the current state?
+  [[nodiscard]] bool placeable(NodeId u) const {
+    if (placed.test(u) || indeg[u] != 0) return false;
+    const Op o = c.op(u);
+    for (std::size_t i = 0; i < locs.size(); ++i) {
+      const Location l = locs[i];
+      if (o.writes(l)) continue;  // a write is its own last writer
+      if (phi.get(l, u) != cur[i]) return false;
+    }
+    return true;
+  }
+
+  SearchStatus run() {
+    if (++expanded > budget) return SearchStatus::kExhausted;
+    if (order.size() == c.node_count()) {
+      witness = order;
+      return SearchStatus::kYes;
+    }
+    const std::string key = memoize ? state_key() : std::string();
+    if (memoize && dead.contains(key)) return SearchStatus::kNo;
+
+    bool exhausted = false;
+    for (NodeId u = 0; u < c.node_count(); ++u) {
+      if (!placeable(u)) continue;
+      // Place u.
+      placed.set(u);
+      const std::size_t saved_indeg = indeg[u];
+      indeg[u] = SIZE_MAX;
+      for (const NodeId v : c.dag().succ(u)) --indeg[v];
+      order.push_back(u);
+      const Op o = c.op(u);
+      NodeId saved_cur = kBottom;
+      std::size_t li = SIZE_MAX;
+      if (o.is_write() && o.loc < loc_index.size() &&
+          loc_index[o.loc] != SIZE_MAX) {
+        li = loc_index[o.loc];
+        saved_cur = cur[li];
+        cur[li] = u;
+      }
+      const SearchStatus s = run();
+      // Undo.
+      if (li != SIZE_MAX) cur[li] = saved_cur;
+      order.pop_back();
+      for (const NodeId v : c.dag().succ(u)) ++indeg[v];
+      indeg[u] = saved_indeg;
+      placed.reset(u);
+
+      if (s == SearchStatus::kYes) return s;
+      if (s == SearchStatus::kExhausted) exhausted = true;
+    }
+    if (exhausted) return SearchStatus::kExhausted;
+    if (memoize) dead.insert(key);
+    return SearchStatus::kNo;
+  }
+};
+
+}  // namespace
+
+ScResult sc_check_with(const Computation& c, const ObserverFunction& phi,
+                       const ScOptions& options) {
+  ScResult result;
+  if (!is_valid_observer(c, phi)) {
+    result.status = SearchStatus::kNo;
+    return result;
+  }
+  // SC ⊆ LC and the LC test is linear: a cheap complete rejection filter.
+  if (options.lc_prefilter && !location_consistent(c, phi)) {
+    result.status = SearchStatus::kNo;
+    return result;
+  }
+  ScSearch search(c, phi, options.budget, options.memoize_dead_states);
+  result.status = search.run();
+  result.expanded = search.expanded;
+  if (result.status == SearchStatus::kYes)
+    result.witness = std::move(search.witness);
+  return result;
+}
+
+ScResult sc_check(const Computation& c, const ObserverFunction& phi,
+                  std::size_t budget) {
+  ScOptions options;
+  options.budget = budget;
+  return sc_check_with(c, phi, options);
+}
+
+std::shared_ptr<const SequentialConsistencyModel>
+SequentialConsistencyModel::instance() {
+  static const auto m = std::make_shared<const SequentialConsistencyModel>();
+  return m;
+}
+
+}  // namespace ccmm

@@ -1,0 +1,71 @@
+// ccmm/models/sequential_consistency.hpp
+//
+// Definition 17: sequential consistency, computation-centrically:
+//   SC = { (C, Φ) : ∃T ∈ TS(C) ∀l ∀u. Φ(l, u) = W_T(l, u) }
+// One topological sort must explain every location at once.
+//
+// With a known observer function this is the VSC-read problem, which is
+// NP-complete in general (Gibbons & Korach 1994), so membership is a
+// backtracking search: we grow T one node at a time; a node is placeable
+// iff its dag predecessors are placed and, for every location, its
+// observed write equals the most recently placed writer. Dead
+// (placed-set, current-writer-vector) states are memoized.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/memory_model.hpp"
+
+namespace ccmm {
+
+enum class SearchStatus : std::uint8_t { kYes, kNo, kExhausted };
+
+struct ScResult {
+  SearchStatus status = SearchStatus::kNo;
+  /// Witnessing topological sort when status == kYes.
+  std::optional<std::vector<NodeId>> witness;
+  /// Search nodes expanded.
+  std::size_t expanded = 0;
+};
+
+/// Tuning knobs, used by the ablation benchmark to quantify what the
+/// memoization and the LC prefilter buy (both default on).
+struct ScOptions {
+  std::size_t budget = SIZE_MAX;
+  bool memoize_dead_states = true;
+  bool lc_prefilter = true;
+};
+
+/// Decide (c, phi) ∈ SC. `budget` bounds the number of search states
+/// expanded; on exhaustion the status is kExhausted (answer unknown).
+[[nodiscard]] ScResult sc_check(const Computation& c,
+                                const ObserverFunction& phi,
+                                std::size_t budget = SIZE_MAX);
+
+/// Fully parameterized variant.
+[[nodiscard]] ScResult sc_check_with(const Computation& c,
+                                     const ObserverFunction& phi,
+                                     const ScOptions& options);
+
+[[nodiscard]] inline bool sequentially_consistent(const Computation& c,
+                                                  const ObserverFunction& phi) {
+  return sc_check(c, phi).status == SearchStatus::kYes;
+}
+
+class SequentialConsistencyModel final : public MemoryModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "SC"; }
+  [[nodiscard]] bool contains(const Computation& c,
+                              const ObserverFunction& phi) const override {
+    const auto r = sc_check(c, phi);
+    CCMM_CHECK(r.status != SearchStatus::kExhausted,
+               "SC search budget exhausted");
+    return r.status == SearchStatus::kYes;
+  }
+
+  [[nodiscard]] static std::shared_ptr<const SequentialConsistencyModel>
+  instance();
+};
+
+}  // namespace ccmm

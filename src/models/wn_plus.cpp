@@ -1,0 +1,35 @@
+#include "models/wn_plus.hpp"
+
+namespace ccmm {
+
+bool observer_is_fresh(const Computation& c, const ObserverFunction& phi) {
+  if (phi.node_count() != c.node_count()) return false;
+  const Dag& dag = c.dag();
+  for (const Location l : c.written_locations()) {
+    // Union of descendants of all writers: the nodes a write precedes.
+    DynBitset shadow(c.node_count());
+    for (const NodeId w : c.writers(l)) shadow |= dag.descendants(w);
+    bool ok = true;
+    shadow.for_each([&](std::size_t u) {
+      if (phi.get(l, static_cast<NodeId>(u)) == kBottom) ok = false;
+    });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool wn_plus_consistent(const Computation& c, const ObserverFunction& phi) {
+  return observer_is_fresh(c, phi) && qdag_consistent(c, phi, DagPred::kWN);
+}
+
+std::shared_ptr<const WnPlusModel> WnPlusModel::instance() {
+  static const auto m = std::make_shared<const WnPlusModel>();
+  return m;
+}
+
+std::shared_ptr<const NnPlusModel> NnPlusModel::instance() {
+  static const auto m = std::make_shared<const NnPlusModel>();
+  return m;
+}
+
+}  // namespace ccmm

@@ -1,0 +1,54 @@
+// ccmm/models/wn_plus.hpp
+//
+// WN⁺: WN-dag consistency strengthened with a freshness axiom:
+//   if some write to l precedes u in the dag, then Φ(l, u) ≠ ⊥.
+// Motivation: under the paper's exact Definition 20, WN answers every
+// one-node extension by valuing the new node at ⊥ (see EXPERIMENTS.md),
+// which makes WN constructible — contradicting the paper's prose claim
+// that only WW among the four dag models is constructible. The prose
+// refers to the strengthened dag consistency of [BFJ+96a], which rules
+// out "a read sees nothing although a write already happened before
+// it". WN⁺ is that natural strengthening; ccmm uses it to study how
+// the freshness axiom changes the constructibility landscape (bench
+// fig4_nonconstructibility and open_problem_probe report on it).
+#pragma once
+
+#include <memory>
+
+#include "models/qdag.hpp"
+
+namespace ccmm {
+
+/// The freshness axiom alone: ∀l, u: (∃ write w to l with w ≺ u) ⇒
+/// Φ(l, u) ≠ ⊥.
+[[nodiscard]] bool observer_is_fresh(const Computation& c,
+                                     const ObserverFunction& phi);
+
+/// Membership in WN⁺ = WN ∩ freshness.
+[[nodiscard]] bool wn_plus_consistent(const Computation& c,
+                                      const ObserverFunction& phi);
+
+class WnPlusModel final : public MemoryModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "WN+"; }
+  [[nodiscard]] bool contains(const Computation& c,
+                              const ObserverFunction& phi) const override {
+    return wn_plus_consistent(c, phi);
+  }
+
+  [[nodiscard]] static std::shared_ptr<const WnPlusModel> instance();
+};
+
+/// NN ∩ freshness, for symmetry (the strongest "fresh" dag model).
+class NnPlusModel final : public MemoryModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "NN+"; }
+  [[nodiscard]] bool contains(const Computation& c,
+                              const ObserverFunction& phi) const override {
+    return observer_is_fresh(c, phi) && qdag_consistent(c, phi, DagPred::kNN);
+  }
+
+  [[nodiscard]] static std::shared_ptr<const NnPlusModel> instance();
+};
+
+}  // namespace ccmm

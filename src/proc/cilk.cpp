@@ -1,0 +1,98 @@
+#include "proc/cilk.hpp"
+
+#include <algorithm>
+
+namespace ccmm::proc {
+
+CilkProgram::CilkProgram() { strands_.push_back({}); }
+
+NodeId CilkProgram::append(std::size_t strand, Op o,
+                           std::vector<NodeId> preds) {
+  CCMM_CHECK(!finished_, "program already finished");
+  StrandState& s = strands_[strand];
+  if (s.current != kBottom) preds.push_back(s.current);
+  const NodeId u = c_.add_node(o, preds);
+  s.current = u;
+  return u;
+}
+
+std::size_t CilkProgram::spawn_from(std::size_t strand) {
+  CCMM_CHECK(!finished_, "program already finished");
+  StrandState child;
+  child.parent = strand;
+  // The child's first node hangs off the parent's position at spawn time
+  // (the anchor). If the parent has no node yet, the child starts as a
+  // source. The anchor also tells sync whether the child ever ran.
+  child.current = strands_[strand].current;
+  child.anchor = strands_[strand].current;
+  const std::size_t index = strands_.size();
+  strands_.push_back(child);
+  strands_[strand].outstanding.push_back(index);
+  return index;
+}
+
+void CilkProgram::sync_strand(std::size_t strand) {
+  StrandState& s = strands_[strand];
+  if (s.outstanding.empty()) return;
+  std::vector<NodeId> preds;
+  bool any_child_ran = false;
+  for (const std::size_t child : s.outstanding) {
+    // Children are synced first (finish() guarantees it bottom-up; an
+    // explicit parent sync adopts each child's chain end).
+    sync_strand(child);
+    const NodeId last = strands_[child].current;
+    if (last != strands_[child].anchor) {  // the child actually ran
+      preds.push_back(last);
+      any_child_ran = true;
+    }
+  }
+  s.outstanding.clear();
+  if (!any_child_ran) return;  // nothing to join with
+  append(strand, Op::nop(), std::move(preds));
+}
+
+CilkProgram::Strand& CilkProgram::Strand::op(Op o) {
+  program_->append(index_, o, {});
+  return *this;
+}
+
+CilkProgram::Strand CilkProgram::Strand::spawn() {
+  return Strand(program_, program_->spawn_from(index_));
+}
+
+void CilkProgram::adopt_child(std::size_t strand, std::size_t child) {
+  CCMM_CHECK(!finished_, "program already finished");
+  CCMM_CHECK(strands_[child].parent == strand,
+             "adopt requires a direct child of this strand");
+  auto& outstanding = strands_[strand].outstanding;
+  const auto it = std::find(outstanding.begin(), outstanding.end(), child);
+  CCMM_CHECK(it != outstanding.end(), "child already synced or adopted");
+  sync_strand(child);  // close the callee's own sync scope first
+  outstanding.erase(it);
+  if (strands_[child].current != strands_[child].anchor)
+    strands_[strand].current = strands_[child].current;
+}
+
+CilkProgram::Strand& CilkProgram::Strand::adopt(Strand& callee) {
+  program_->adopt_child(index_, callee.index_);
+  return *this;
+}
+
+CilkProgram::Strand& CilkProgram::Strand::sync() {
+  CCMM_CHECK(!program_->finished_, "program already finished");
+  program_->sync_strand(index_);
+  return *this;
+}
+
+NodeId CilkProgram::Strand::position() const {
+  return program_->strands_[index_].current;
+}
+
+Computation CilkProgram::finish() {
+  CCMM_CHECK(!finished_, "program already finished");
+  sync_strand(0);  // recursively joins the whole spawn tree
+  finished_ = true;
+  return std::move(c_);
+}
+
+}  // namespace ccmm::proc

@@ -1,0 +1,95 @@
+// ccmm/proc/cilk.hpp
+//
+// A Cilk-style front end — the language the paper's computations came
+// from ("a computation could be generated using a multithreaded language
+// with fork/join parallelism, such as Cilk"). A CilkProgram builds the
+// dag a Cilk execution unfolds into, with the real Cilk edge semantics:
+//
+//  * each strand (procedure instance) is a serial chain of instructions;
+//  * spawn() forks a child strand off the parent's current position —
+//    the parent's *continuation* runs concurrently with the child;
+//  * sync() joins the parent with every child it spawned since its last
+//    sync (a no-op node with edges from the parent chain and each
+//    child's last node);
+//  * finishing the program implicitly syncs every strand bottom-up.
+//
+// The result is an ordinary Computation, so the whole library applies:
+// determinacy-race detection answers "is this Cilk program
+// deterministic?" (the Nondeterminator question), and the BACKER
+// simulator runs it exactly as the Cilk system would have.
+#pragma once
+
+#include <memory>
+
+#include "core/computation.hpp"
+
+namespace ccmm::proc {
+
+class CilkProgram {
+ public:
+  /// A handle to one strand (procedure instance). Handles stay valid for
+  /// the lifetime of the program; operations append to the strand's
+  /// serial chain.
+  class Strand {
+   public:
+    /// Append an instruction to this strand.
+    Strand& op(Op o);
+    Strand& read(Location l) { return op(Op::read(l)); }
+    Strand& write(Location l) { return op(Op::write(l)); }
+    Strand& nop() { return op(Op::nop()); }
+
+    /// Fork a child strand at the current position. The continuation of
+    /// this strand is concurrent with the child until sync().
+    [[nodiscard]] Strand spawn();
+
+    /// Join with every child spawned since the last sync (adds a no-op
+    /// sync node). No-op if there are no outstanding children.
+    Strand& sync();
+
+    /// Model a plain (non-spawn) procedure call: `callee` must be a
+    /// child of this strand; it is synced, then this strand's chain
+    /// continues serially from the callee's end (no join node). Use
+    /// spawn() + adopt() where Cilk code would simply call a function —
+    /// the callee gets its own sync scope without forking parallelism.
+    Strand& adopt(Strand& callee);
+
+    /// The node id of this strand's current position (kBottom if the
+    /// strand has no nodes yet and no parent anchor).
+    [[nodiscard]] NodeId position() const;
+
+   private:
+    friend class CilkProgram;
+    Strand(CilkProgram* program, std::size_t index)
+        : program_(program), index_(index) {}
+    CilkProgram* program_;
+    std::size_t index_;
+  };
+
+  CilkProgram();
+
+  /// The root strand (the program's main procedure).
+  [[nodiscard]] Strand root() { return Strand(this, 0); }
+
+  /// Finalize: implicitly sync every strand (children before parents)
+  /// and return the computation. The program may not be mutated after.
+  [[nodiscard]] Computation finish();
+
+ private:
+  struct StrandState {
+    NodeId current = kBottom;          // last node of the serial chain
+    NodeId anchor = kBottom;           // parent's position at spawn time
+    std::size_t parent = SIZE_MAX;     // spawning strand, SIZE_MAX = root
+    std::vector<std::size_t> outstanding;  // unsynced children (indices)
+  };
+
+  NodeId append(std::size_t strand, Op o, std::vector<NodeId> extra_preds);
+  void sync_strand(std::size_t strand);
+  std::size_t spawn_from(std::size_t strand);
+  void adopt_child(std::size_t strand, std::size_t child);
+
+  Computation c_;
+  std::vector<StrandState> strands_;
+  bool finished_ = false;
+};
+
+}  // namespace ccmm::proc

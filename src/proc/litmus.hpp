@@ -1,0 +1,53 @@
+// ccmm/proc/litmus.hpp
+//
+// Classic litmus tests, asked computation-centrically. A litmus test is
+// a program plus observed read results (which write each read returned,
+// ⊥ for the initial value); the question "is this outcome allowed under
+// model Δ?" becomes "does the reads-only partial observer function
+// admit a completion in Δ?" — the paper's post-mortem analysis applied
+// to the scenarios the memory-model literature is organized around.
+//
+// The suite encodes the standard verdicts: coherence (= LC) allows
+// store buffering, message passing without synchronization, load
+// buffering and IRIW, all of which SC forbids; both forbid CoRR
+// (reading a location's writes out of order); adding synchronization
+// edges to message passing makes the stale outcome disappear even
+// under LC.
+#pragma once
+
+#include <string>
+
+#include "proc/program.hpp"
+#include "trace/postmortem.hpp"
+
+namespace ccmm::proc {
+
+struct Litmus {
+  std::string name;
+  std::string description;
+  Program program;
+  /// Observed reads: read position -> position of the write observed
+  /// (nullopt = the read returned the initial value ⊥).
+  std::vector<std::pair<Pos, std::optional<Pos>>> observed;
+  /// Expected verdicts.
+  bool sc_allowed;
+  bool lc_allowed;
+};
+
+/// The reads-only partial observer function encoding the observation.
+[[nodiscard]] ObserverFunction observation_observer(
+    const Litmus& litmus, const ProgramComputation& pc);
+
+struct LitmusVerdict {
+  bool sc_allowed;
+  bool lc_allowed;
+  bool matches_expectation;
+};
+
+/// Decide the outcome under SC and LC by completion search.
+[[nodiscard]] LitmusVerdict run_litmus(const Litmus& litmus);
+
+/// The classic suite: SB, MP, MP+sync, LB, IRIW, CoRR, CoWW-ish 2+2W.
+[[nodiscard]] std::vector<Litmus> classic_suite();
+
+}  // namespace ccmm::proc

@@ -1,0 +1,74 @@
+// ccmm/proc/locks.hpp
+//
+// Lock-augmented computations — the paper's named open direction
+// ("models such as release consistency require computations to be
+// augmented with locks, and how to do this is a matter of active
+// research", Section 7). ccmm's take: a critical section is a set of
+// computation nodes holding a lock; the memory model quantifies over
+// *serializations* — total orders of each lock's critical sections,
+// realized as added dag edges — and the lock-aware model accepts a pair
+// iff some serialization lands it in the base model.
+#pragma once
+
+#include <functional>
+
+#include "core/memory_model.hpp"
+
+namespace ccmm::proc {
+
+using LockId = std::uint32_t;
+
+/// A critical section: the nodes executed while holding `lock`. The
+/// nodes need not be contiguous in the dag, but no node may appear in
+/// two sections of the same lock.
+struct CriticalSection {
+  LockId lock;
+  std::vector<NodeId> nodes;
+};
+
+/// A computation plus its critical sections.
+struct LockedComputation {
+  Computation c;
+  std::vector<CriticalSection> sections;
+};
+
+/// Enumerate the serializations of `lc`: every combination of total
+/// orders of each lock's sections that, together with the dag, stays
+/// acyclic. Each visit receives the computation with the mutual-
+/// exclusion edges added (every node of the earlier section precedes
+/// every node of the later one). visit returns false to stop; returns
+/// true if enumeration ran to completion.
+bool for_each_serialization(
+    const LockedComputation& lc,
+    const std::function<bool(const Computation&)>& visit);
+
+/// Does some serialization of `lc` put (serialized c, phi) in `model`?
+/// Note phi stays the same function (node ids are unchanged).
+[[nodiscard]] bool lock_aware_contains(const MemoryModel& model,
+                                       const LockedComputation& lc,
+                                       const ObserverFunction& phi);
+
+/// The lock-aware lift of a base model, as a MemoryModel over the plain
+/// computation (the critical sections are fixed at construction).
+class LockAwareModel final : public MemoryModel {
+ public:
+  LockAwareModel(std::shared_ptr<const MemoryModel> base,
+                 std::vector<CriticalSection> sections)
+      : base_(std::move(base)), sections_(std::move(sections)) {
+    CCMM_CHECK(base_ != nullptr, "null base model");
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return base_->name() + "+locks";
+  }
+  [[nodiscard]] bool contains(const Computation& c,
+                              const ObserverFunction& phi) const override {
+    return lock_aware_contains(*base_, {c, sections_}, phi);
+  }
+
+ private:
+  std::shared_ptr<const MemoryModel> base_;
+  std::vector<CriticalSection> sections_;
+};
+
+}  // namespace ccmm::proc

@@ -1,0 +1,57 @@
+// ccmm/proc/program.hpp
+//
+// The processor-centric bridge. The paper contrasts computation-centric
+// models with the traditional view of sequential programs running on
+// processors; this module converts multiprocessor programs (one op
+// sequence per thread, plus optional cross-thread synchronization
+// edges) into computations, so the classic processor-centric questions
+// — litmus tests, coherence vs. sequential consistency — can be asked
+// of the computation-centric checkers.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/computation.hpp"
+
+namespace ccmm::proc {
+
+/// A position in a program: thread index and instruction index.
+struct Pos {
+  std::size_t thread;
+  std::size_t index;
+  [[nodiscard]] bool operator==(const Pos&) const = default;
+};
+
+/// A multithreaded program: per-thread instruction sequences plus
+/// explicit synchronization edges (e.g. post/wait, barrier legs).
+struct Program {
+  std::vector<std::vector<Op>> threads;
+  std::vector<std::pair<Pos, Pos>> sync_edges;
+
+  /// Append an op; returns its position.
+  Pos add(std::size_t thread, Op o);
+  /// Add a synchronization edge from one position to another.
+  void sync(Pos from, Pos to) { sync_edges.emplace_back(from, to); }
+};
+
+/// The computation a program unfolds into: each thread becomes a chain
+/// (program order), sync edges become dag edges. node_of maps program
+/// positions to computation nodes.
+struct ProgramComputation {
+  Computation c;
+  std::vector<std::vector<NodeId>> node_of;
+
+  [[nodiscard]] NodeId node(Pos p) const {
+    CCMM_CHECK(p.thread < node_of.size() &&
+                   p.index < node_of[p.thread].size(),
+               "position out of range");
+    return node_of[p.thread][p.index];
+  }
+};
+
+/// Unfold a program into its computation (Definition 1 instance).
+[[nodiscard]] ProgramComputation unfold(const Program& program);
+
+}  // namespace ccmm::proc

@@ -1,0 +1,113 @@
+#include "trace/postmortem.hpp"
+
+#include "enumerate/observer_enum.hpp"
+#include "util/str.hpp"
+
+namespace ccmm {
+
+PostmortemReport verify_execution(const Computation& c,
+                                  const ObserverFunction& phi,
+                                  const MemoryModel& model) {
+  PostmortemReport report;
+  const ValidityResult validity = validate_observer(c, phi);
+  report.valid_observer = validity.ok;
+  if (!validity.ok) {
+    report.detail = "invalid observer function: " + validity.reason;
+    return report;
+  }
+  report.in_model = model.contains(c, phi);
+  report.detail = report.in_model
+                      ? format("execution is %s", model.name().c_str())
+                      : format("execution violates %s", model.name().c_str());
+  return report;
+}
+
+ObserverFunction reads_only_projection(const Computation& c,
+                                       const ObserverFunction& phi) {
+  ObserverFunction out(c.node_count());
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const Op o = c.op(u);
+    if (!o.is_read()) continue;
+    const NodeId v = phi.get(o.loc, u);
+    if (v != kBottom) out.set(o.loc, u, v);
+  }
+  return out;
+}
+
+ObserverFunction reads_from_trace(const Computation& c, const Trace& trace) {
+  ObserverFunction out(c.node_count());
+  for (const auto& e : trace.events) {
+    if (!e.op.is_read() || e.observed == kBottom) continue;
+    out.set(e.op.loc, e.node, e.observed);
+  }
+  return out;
+}
+
+CompletionResult find_model_completion(const Computation& c,
+                                       const ObserverFunction& reads,
+                                       const MemoryModel& model,
+                                       std::size_t budget) {
+  CompletionResult result;
+
+  // Free slots: per written location, every node that neither writes the
+  // location (forced to itself) nor is a read fixed by `reads`. A read
+  // whose recorded observation is kBottom is also free — ⊥ is already a
+  // legal value for it, but so is any non-preceding write... except the
+  // machine really returned "no write", so we pin it to ⊥.
+  struct Slot {
+    Location loc;
+    NodeId node;
+    std::vector<NodeId> choices;
+  };
+  std::vector<Slot> slots;
+  ObserverFunction base(c.node_count());
+  for (const Location l : c.written_locations()) {
+    const std::vector<NodeId> ws = c.writers(l);
+    for (NodeId u = 0; u < c.node_count(); ++u) {
+      const Op o = c.op(u);
+      if (o.writes(l)) {
+        base.set(l, u, u);
+        continue;
+      }
+      if (o.reads(l)) {
+        const NodeId v = reads.get(l, u);
+        if (v != kBottom) base.set(l, u, v);
+        continue;  // pinned (possibly to ⊥)
+      }
+      Slot s{l, u, {kBottom}};
+      for (const NodeId w : ws)
+        if (!c.precedes(u, w)) s.choices.push_back(w);
+      slots.push_back(std::move(s));
+    }
+  }
+
+  if (!is_valid_observer(c, base) && slots.empty()) {
+    // No freedom and already invalid: nothing to search.
+    return result;
+  }
+
+  std::vector<std::size_t> odometer(slots.size(), 0);
+  ObserverFunction phi = base;
+  for (;;) {
+    for (std::size_t i = 0; i < slots.size(); ++i)
+      phi.set(slots[i].loc, slots[i].node, slots[i].choices[odometer[i]]);
+    ++result.tried;
+    if (model.contains(c, phi)) {
+      result.completion = phi;
+      return result;
+    }
+    if (result.tried >= budget) {
+      result.exhausted = true;
+      return result;
+    }
+    std::size_t i = 0;
+    while (i < slots.size()) {
+      if (++odometer[i] < slots[i].choices.size()) break;
+      odometer[i] = 0;
+      ++i;
+    }
+    if (i == slots.size()) return result;  // search space exhausted
+  }
+}
+
+}  // namespace ccmm

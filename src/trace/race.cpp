@@ -1,0 +1,39 @@
+#include "trace/race.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ccmm {
+
+std::vector<Race> find_races(const Computation& c) {
+  std::vector<Race> races;
+  // Group accessors per location, then test pairs for dag-incomparability
+  // with the reachability bitsets.
+  std::unordered_map<Location, std::vector<NodeId>> accessors;
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const Op o = c.op(u);
+    if (!o.is_nop()) accessors[o.loc].push_back(u);
+  }
+  for (const auto& [l, nodes] : accessors) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        const NodeId a = nodes[i];
+        const NodeId b = nodes[j];
+        const bool aw = c.op(a).is_write();
+        const bool bw = c.op(b).is_write();
+        if (!aw && !bw) continue;  // read/read never races
+        if (c.precedes(a, b) || c.precedes(b, a)) continue;
+        races.push_back(
+            {a, b, l, aw && bw ? RaceKind::kWriteWrite : RaceKind::kReadWrite});
+      }
+    }
+  }
+  std::sort(races.begin(), races.end(), [](const Race& x, const Race& y) {
+    if (x.a != y.a) return x.a < y.a;
+    if (x.b != y.b) return x.b < y.b;
+    return x.loc < y.loc;
+  });
+  return races;
+}
+
+}  // namespace ccmm

@@ -1,0 +1,33 @@
+// ccmm/trace/race.hpp
+//
+// Determinacy-race detection on computations: two nodes race iff they
+// are incomparable in the dag, access the same location, and at least
+// one writes. Race-free computations behave identically under every
+// model in the paper's hierarchy (every valid observer function is the
+// last-writer function of every topological sort), which the test suite
+// verifies; races are where the models start to differ.
+#pragma once
+
+#include <vector>
+
+#include "core/computation.hpp"
+
+namespace ccmm {
+
+enum class RaceKind : std::uint8_t { kWriteWrite, kReadWrite };
+
+struct Race {
+  NodeId a;  // a < b
+  NodeId b;
+  Location loc;
+  RaceKind kind;
+};
+
+/// All races, ordered by (a, b, loc).
+[[nodiscard]] std::vector<Race> find_races(const Computation& c);
+
+[[nodiscard]] inline bool is_race_free(const Computation& c) {
+  return find_races(c).empty();
+}
+
+}  // namespace ccmm

@@ -1,0 +1,45 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "dag/topsort.hpp"
+#include "util/str.hpp"
+
+namespace ccmm {
+
+std::vector<NodeId> trace_order(const Trace& trace) {
+  std::vector<const TraceEvent*> sorted;
+  sorted.reserve(trace.events.size());
+  for (const auto& e : trace.events) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              return a->seq < b->seq;
+            });
+  std::vector<NodeId> order;
+  order.reserve(sorted.size());
+  for (const auto* e : sorted) order.push_back(e->node);
+  return order;
+}
+
+bool trace_consistent_with(const Trace& trace, const Computation& c) {
+  if (trace.events.size() != c.node_count()) return false;
+  for (const auto& e : trace.events) {
+    if (e.node >= c.node_count()) return false;
+    if (!(e.op == c.op(e.node))) return false;
+  }
+  return is_topological_sort(c.dag(), trace_order(trace));
+}
+
+std::string trace_to_string(const Trace& trace) {
+  TextTable t({"seq", "time", "proc", "node", "op", "observed"});
+  for (const auto& e : trace.events) {
+    t.add_row({format("%llu", static_cast<unsigned long long>(e.seq)),
+               format("%llu", static_cast<unsigned long long>(e.time)),
+               format("%u", e.proc), format("%u", e.node),
+               e.op.to_string(),
+               e.observed == kBottom ? "_" : format("%u", e.observed)});
+  }
+  return t.render();
+}
+
+}  // namespace ccmm

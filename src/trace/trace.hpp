@@ -1,0 +1,22 @@
+// ccmm/trace/trace.hpp
+//
+// Execution-trace utilities on top of exec/sim_machine.hpp's Trace:
+// sanity checks and conversions used by post-mortem analysis.
+#pragma once
+
+#include "exec/sim_machine.hpp"
+
+namespace ccmm {
+
+/// The nodes in trace order (the execution's global serialization).
+[[nodiscard]] std::vector<NodeId> trace_order(const Trace& trace);
+
+/// Sanity: one event per node, ops agree with the computation, and the
+/// trace order is a topological sort of the dag.
+[[nodiscard]] bool trace_consistent_with(const Trace& trace,
+                                         const Computation& c);
+
+/// Render the trace as a table (time, proc, node, op, observed).
+[[nodiscard]] std::string trace_to_string(const Trace& trace);
+
+}  // namespace ccmm

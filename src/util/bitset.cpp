@@ -1,0 +1,93 @@
+#include "util/bitset.hpp"
+
+namespace ccmm {
+
+std::size_t DynBitset::count() const noexcept {
+  std::size_t n = 0;
+  for (const auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+  return n;
+}
+
+bool DynBitset::none() const noexcept {
+  for (const auto w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
+std::size_t DynBitset::find_first() const noexcept {
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    if (words_[wi] != 0)
+      return wi * kWordBits + static_cast<std::size_t>(__builtin_ctzll(words_[wi]));
+  }
+  return nbits_;
+}
+
+std::size_t DynBitset::find_next(std::size_t i) const noexcept {
+  ++i;
+  if (i >= nbits_) return nbits_;
+  std::size_t wi = i / kWordBits;
+  word_type w = words_[wi] >> (i % kWordBits);
+  if (w != 0) return i + static_cast<std::size_t>(__builtin_ctzll(w));
+  for (++wi; wi < words_.size(); ++wi) {
+    if (words_[wi] != 0)
+      return wi * kWordBits + static_cast<std::size_t>(__builtin_ctzll(words_[wi]));
+  }
+  return nbits_;
+}
+
+DynBitset& DynBitset::operator|=(const DynBitset& o) {
+  CCMM_ASSERT(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+DynBitset& DynBitset::operator&=(const DynBitset& o) {
+  CCMM_ASSERT(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+DynBitset& DynBitset::operator^=(const DynBitset& o) {
+  CCMM_ASSERT(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+DynBitset& DynBitset::and_not(const DynBitset& o) {
+  CCMM_ASSERT(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  return *this;
+}
+
+bool DynBitset::intersects(const DynBitset& o) const noexcept {
+  const std::size_t n = words_.size() < o.words_.size() ? words_.size() : o.words_.size();
+  for (std::size_t i = 0; i < n; ++i)
+    if ((words_[i] & o.words_[i]) != 0) return true;
+  return false;
+}
+
+bool DynBitset::is_subset_of(const DynBitset& o) const noexcept {
+  CCMM_ASSERT(nbits_ == o.nbits_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if ((words_[i] & ~o.words_[i]) != 0) return false;
+  return true;
+}
+
+std::size_t DynBitset::hash() const noexcept {
+  std::size_t h = 1469598103934665603ull;
+  for (const auto w : words_) {
+    h ^= static_cast<std::size_t>(w);
+    h *= 1099511628211ull;
+  }
+  h ^= nbits_;
+  return h;
+}
+
+std::vector<std::size_t> DynBitset::to_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+}  // namespace ccmm

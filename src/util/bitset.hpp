@@ -1,0 +1,129 @@
+// ccmm/util/bitset.hpp
+//
+// DynBitset: a dynamically sized bitset used throughout ccmm for node
+// sets and reachability rows. Unlike std::vector<bool> it supports fast
+// word-level boolean algebra (|=, &=, and-not, intersection tests) which
+// dominates the inner loops of the dag-consistency checkers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ccmm {
+
+class DynBitset {
+ public:
+  using word_type = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  DynBitset() = default;
+
+  /// Construct a bitset of `nbits` bits, all zero.
+  explicit DynBitset(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + kWordBits - 1) / kWordBits, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return nbits_; }
+  [[nodiscard]] bool empty() const noexcept { return nbits_ == 0; }
+
+  /// Number of words backing the set (for word-level iteration).
+  [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
+  [[nodiscard]] word_type word(std::size_t i) const { return words_[i]; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    CCMM_ASSERT(i < nbits_);
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+  [[nodiscard]] bool operator[](std::size_t i) const { return test(i); }
+
+  void set(std::size_t i) {
+    CCMM_ASSERT(i < nbits_);
+    words_[i / kWordBits] |= word_type{1} << (i % kWordBits);
+  }
+  void reset(std::size_t i) {
+    CCMM_ASSERT(i < nbits_);
+    words_[i / kWordBits] &= ~(word_type{1} << (i % kWordBits));
+  }
+  void assign(std::size_t i, bool v) { v ? set(i) : reset(i); }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+  void set_all() {
+    for (auto& w : words_) w = ~word_type{0};
+    trim();
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  /// True if no bit is set.
+  [[nodiscard]] bool none() const noexcept;
+  [[nodiscard]] bool any() const noexcept { return !none(); }
+
+  /// Index of the lowest set bit, or size() if none.
+  [[nodiscard]] std::size_t find_first() const noexcept;
+  /// Index of the lowest set bit > i, or size() if none.
+  [[nodiscard]] std::size_t find_next(std::size_t i) const noexcept;
+
+  DynBitset& operator|=(const DynBitset& o);
+  DynBitset& operator&=(const DynBitset& o);
+  DynBitset& operator^=(const DynBitset& o);
+  /// this &= ~o (set difference).
+  DynBitset& and_not(const DynBitset& o);
+
+  [[nodiscard]] friend DynBitset operator|(DynBitset a, const DynBitset& b) {
+    a |= b;
+    return a;
+  }
+  [[nodiscard]] friend DynBitset operator&(DynBitset a, const DynBitset& b) {
+    a &= b;
+    return a;
+  }
+
+  /// True if this ∩ o ≠ ∅ — without materializing the intersection.
+  [[nodiscard]] bool intersects(const DynBitset& o) const noexcept;
+  /// True if this ⊆ o.
+  [[nodiscard]] bool is_subset_of(const DynBitset& o) const noexcept;
+
+  [[nodiscard]] bool operator==(const DynBitset& o) const noexcept {
+    return nbits_ == o.nbits_ && words_ == o.words_;
+  }
+
+  /// Iterate set bits: f(std::size_t index).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      word_type w = words_[wi];
+      while (w != 0) {
+        const auto bit = static_cast<std::size_t>(__builtin_ctzll(w));
+        f(wi * kWordBits + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// FNV-style hash for use in unordered containers.
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+  /// Collect the indices of the set bits.
+  [[nodiscard]] std::vector<std::size_t> to_indices() const;
+
+ private:
+  void trim() {
+    const std::size_t extra = words_.size() * kWordBits - nbits_;
+    if (extra > 0 && !words_.empty())
+      words_.back() &= ~word_type{0} >> extra;
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<word_type> words_;
+};
+
+struct DynBitsetHash {
+  std::size_t operator()(const DynBitset& b) const noexcept { return b.hash(); }
+};
+
+}  // namespace ccmm

@@ -1,0 +1,42 @@
+// ccmm/util/check.hpp
+//
+// Always-on precondition checking. Library entry points validate their
+// arguments with CCMM_CHECK, which throws std::logic_error on violation;
+// internal invariants use CCMM_ASSERT, which compiles to nothing in
+// release builds with CCMM_NO_ASSERT defined.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ccmm {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::string what = "ccmm check failed: ";
+  what += cond;
+  what += " at ";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  if (!msg.empty()) {
+    what += " — ";
+    what += msg;
+  }
+  throw std::logic_error(what);
+}
+
+}  // namespace ccmm
+
+// Precondition check for public API boundaries. Always enabled.
+#define CCMM_CHECK(cond, msg)                                   \
+  do {                                                          \
+    if (!(cond)) ::ccmm::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+// Internal invariant. Disabled when CCMM_NO_ASSERT is defined.
+#ifdef CCMM_NO_ASSERT
+#define CCMM_ASSERT(cond) ((void)0)
+#else
+#define CCMM_ASSERT(cond) CCMM_CHECK(cond, "internal invariant")
+#endif

@@ -1,0 +1,51 @@
+// ccmm/util/rng.hpp
+//
+// Deterministic, seedable PRNG (xoshiro256**). All randomized components
+// of ccmm (dag generators, samplers, the adversarial memory, the
+// work-stealing simulator) take an explicit Rng so experiments are
+// reproducible bit-for-bit from a seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ccmm {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Reset the stream from a 64-bit seed (SplitMix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  /// Next 64 uniform random bits.
+  result_type next();
+
+  result_type operator()() { return next(); }
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Split off an independent child stream (for per-worker determinism).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace ccmm

@@ -1,0 +1,74 @@
+#include "util/str.hpp"
+
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace ccmm {
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  CCMM_CHECK(needed >= 0, "vsnprintf failed");
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  CCMM_CHECK(row.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+
+  auto pad = [](const std::string& s, std::size_t w) {
+    std::string out = s;
+    out.append(w - s.size(), ' ');
+    return out;
+  };
+
+  std::string out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += pad(header_[c], width[c]);
+    out += (c + 1 < header_.size()) ? "  " : "";
+  }
+  out += '\n';
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += pad(row[c], width[c]);
+      out += (c + 1 < row.size()) ? "  " : "";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ccmm

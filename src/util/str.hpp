@@ -1,0 +1,35 @@
+// ccmm/util/str.hpp
+//
+// Minimal string formatting helpers (GCC 12 lacks <format>). Provides a
+// printf-checked format() plus table rendering used by the figure/table
+// reproduction binaries.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace ccmm {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string format(const char* fmt, ...);
+
+/// Join `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// A simple fixed-column text table for experiment output.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with aligned columns and a header rule.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ccmm

@@ -1,0 +1,87 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+#include "util/check.hpp"
+
+namespace ccmm {
+
+ThreadPool::ThreadPool(std::size_t nthreads) {
+  if (nthreads == 0) {
+    nthreads = std::thread::hardware_concurrency();
+    if (nthreads == 0) nthreads = 2;
+  }
+  workers_.reserve(nthreads);
+  for (std::size_t i = 0; i < nthreads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lk(mu_);
+    CCMM_CHECK(!stop_, "submit after shutdown");
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& f) {
+  if (n == 0) return;
+  const std::size_t nchunks = std::min(n, size() * 4);
+  std::atomic<std::size_t> next{0};
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    submit([&, n, nchunks] {
+      // Dynamic chunk claiming: each task repeatedly grabs the next block.
+      for (;;) {
+        const std::size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= nchunks) return;
+        const std::size_t lo = chunk * n / nchunks;
+        const std::size_t hi = (chunk + 1) * n / nchunks;
+        for (std::size_t i = lo; i < hi; ++i) f(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lk(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ccmm

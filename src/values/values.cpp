@@ -1,0 +1,50 @@
+#include "values/values.hpp"
+
+#include "enumerate/observer_enum.hpp"
+
+namespace ccmm {
+
+Execution execute_values(const Computation& c, const ObserverFunction& phi,
+                         const ValueAssignment& values) {
+  Execution out;
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const Op o = c.op(u);
+    if (!o.is_read()) continue;
+    out[u] = values.of(phi.get(o.loc, u));
+  }
+  return out;
+}
+
+bool observationally_equivalent(const Computation& c,
+                                const ObserverFunction& phi1,
+                                const ObserverFunction& phi2,
+                                const ValueAssignment& values) {
+  return execute_values(c, phi1, values) == execute_values(c, phi2, values);
+}
+
+std::vector<ObserverFunction> explanations(const Computation& c,
+                                           const Execution& observed,
+                                           const ValueAssignment& values,
+                                           const MemoryModel& model,
+                                           std::size_t limit) {
+  std::vector<ObserverFunction> out;
+  for_each_observer(c, [&](const ObserverFunction& phi) {
+    // Reads must reproduce the observation...
+    for (NodeId u = 0; u < c.node_count(); ++u) {
+      const Op o = c.op(u);
+      if (!o.is_read()) continue;
+      const auto it = observed.find(u);
+      const Value want = it == observed.end() ? kInitialValue : it->second;
+      if (values.of(phi.get(o.loc, u)) != want) return true;
+    }
+    // ...and the whole function must lie in the model.
+    if (model.contains(c, phi)) {
+      out.push_back(phi);
+      if (out.size() >= limit) return false;
+    }
+    return true;
+  });
+  return out;
+}
+
+}  // namespace ccmm

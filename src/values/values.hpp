@@ -1,0 +1,76 @@
+// ccmm/values/values.hpp
+//
+// Concrete data values. The paper abstracts them away ("we abstract
+// away the actual data, and consider a memory to be characterized by L
+// and O, using values only for concrete examples") and notes that the
+// observer-function formalism "may distinguish two observer functions
+// that produce the same execution". This module makes both remarks
+// executable:
+//
+//  * a ValueAssignment gives each write a concrete value (locations
+//    start holding kInitialValue);
+//  * the execution of (C, Φ) under a value assignment is what a user
+//    sees: the value every read returns;
+//  * two observer functions are observationally equivalent when they
+//    produce the same execution — distinct Φ can be equivalent exactly
+//    when values collide (or on non-read nodes);
+//  * explanations() inverts the abstraction: given an observed value
+//    per read, enumerate the observer functions of a model that explain
+//    it — post-mortem analysis when writes are NOT uniquely tagged.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/memory_model.hpp"
+
+namespace ccmm {
+
+using Value = std::int64_t;
+
+/// The value a location holds before any write is observed.
+inline constexpr Value kInitialValue = 0;
+
+/// Values carried by writes. Writes without an explicit entry default
+/// to 1 + their node id (the "unique tag" convention of the simulators).
+class ValueAssignment {
+ public:
+  ValueAssignment() = default;
+
+  void set(NodeId writer, Value v) { values_[writer] = v; }
+
+  [[nodiscard]] Value of(NodeId writer) const {
+    if (writer == kBottom) return kInitialValue;
+    const auto it = values_.find(writer);
+    return it == values_.end() ? static_cast<Value>(writer) + 1 : it->second;
+  }
+
+ private:
+  std::unordered_map<NodeId, Value> values_;
+};
+
+/// The execution of (c, phi) under `values`: the value each read
+/// returns, indexed by read node id.
+using Execution = std::unordered_map<NodeId, Value>;
+
+[[nodiscard]] Execution execute_values(const Computation& c,
+                                       const ObserverFunction& phi,
+                                       const ValueAssignment& values);
+
+/// Do phi1 and phi2 produce the same execution (same value at every
+/// read)? Per the paper, this can hold for distinct observer functions.
+[[nodiscard]] bool observationally_equivalent(const Computation& c,
+                                              const ObserverFunction& phi1,
+                                              const ObserverFunction& phi2,
+                                              const ValueAssignment& values);
+
+/// All observer functions of `model` whose execution matches `observed`
+/// (read node -> value), up to `limit` results. Exhaustive over the
+/// valid-observer space of c — intended for small computations.
+[[nodiscard]] std::vector<ObserverFunction> explanations(
+    const Computation& c, const Execution& observed,
+    const ValueAssignment& values, const MemoryModel& model,
+    std::size_t limit = 64);
+
+}  // namespace ccmm

@@ -1,0 +1,137 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ccmm {
+namespace {
+
+TEST(DynBitset, StartsEmpty) {
+  DynBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynBitset, SetResetAssign) {
+  DynBitset b(130);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  b.assign(64, true);
+  EXPECT_TRUE(b.test(64));
+  b.assign(64, false);
+  EXPECT_FALSE(b.test(64));
+}
+
+TEST(DynBitset, SetAllRespectsSize) {
+  DynBitset b(70);
+  b.set_all();
+  EXPECT_EQ(b.count(), 70u);
+  b.clear();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DynBitset, FindFirstAndNext) {
+  DynBitset b(200);
+  EXPECT_EQ(b.find_first(), 200u);
+  b.set(3);
+  b.set(64);
+  b.set(199);
+  EXPECT_EQ(b.find_first(), 3u);
+  EXPECT_EQ(b.find_next(3), 64u);
+  EXPECT_EQ(b.find_next(64), 199u);
+  EXPECT_EQ(b.find_next(199), 200u);
+}
+
+TEST(DynBitset, BooleanAlgebra) {
+  DynBitset a(100), b(100);
+  a.set(1);
+  a.set(50);
+  b.set(50);
+  b.set(99);
+
+  DynBitset u = a | b;
+  EXPECT_EQ(u.count(), 3u);
+  DynBitset i = a & b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(50));
+
+  DynBitset d = a;
+  d.and_not(b);
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(1));
+
+  DynBitset x = a;
+  x ^= b;
+  EXPECT_EQ(x.count(), 2u);
+  EXPECT_TRUE(x.test(1));
+  EXPECT_TRUE(x.test(99));
+}
+
+TEST(DynBitset, IntersectsAndSubset) {
+  DynBitset a(64), b(64), c(64);
+  a.set(10);
+  b.set(10);
+  b.set(20);
+  c.set(30);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+}
+
+TEST(DynBitset, ForEachVisitsExactlySetBits) {
+  DynBitset b(300);
+  std::vector<std::size_t> want = {0, 63, 64, 65, 128, 299};
+  for (const auto i : want) b.set(i);
+  EXPECT_EQ(b.to_indices(), want);
+}
+
+TEST(DynBitset, EqualityAndHash) {
+  DynBitset a(100), b(100);
+  a.set(42);
+  b.set(42);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(43);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DynBitset, RandomizedAgainstReference) {
+  Rng rng(123);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.below(200);
+    DynBitset b(n);
+    std::vector<bool> ref(n, false);
+    for (int k = 0; k < 100; ++k) {
+      const std::size_t i = rng.below(n);
+      if (rng.chance(0.5)) {
+        b.set(i);
+        ref[i] = true;
+      } else {
+        b.reset(i);
+        ref[i] = false;
+      }
+    }
+    std::size_t want = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(b.test(i), ref[i]);
+      want += ref[i] ? 1 : 0;
+    }
+    EXPECT_EQ(b.count(), want);
+  }
+}
+
+}  // namespace
+}  // namespace ccmm

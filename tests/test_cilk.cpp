@@ -1,0 +1,234 @@
+// The Cilk front end: spawn/continuation/sync dag semantics, and the
+// Nondeterminator question (is this Cilk program deterministic?) asked
+// through the race detector.
+#include "proc/cilk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exec/backer.hpp"
+#include "exec/sim_machine.hpp"
+#include "helpers.hpp"
+#include "trace/race.hpp"
+
+namespace ccmm::proc {
+namespace {
+
+TEST(Cilk, SerialChainWithoutSpawns) {
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0).read(0).write(1);
+  const Computation c = p.finish();
+  EXPECT_EQ(c.node_count(), 3u);
+  EXPECT_TRUE(c.precedes(0, 2));
+  EXPECT_EQ(c.dag().edge_count(), 2u);
+}
+
+TEST(Cilk, ContinuationRunsConcurrentlyWithChild) {
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0);                       // node 0
+  auto child = main.spawn();
+  child.read(0);                       // node 1, pred = node 0 (spawn edge)
+  main.read(0);                        // node 2 — the continuation
+  main.sync();                         // node 3 joins child and continuation
+  const Computation c = p.finish();
+  ASSERT_EQ(c.node_count(), 4u);
+  // Spawn edge and continuation both hang off the write.
+  EXPECT_TRUE(c.precedes(0, 1));
+  EXPECT_TRUE(c.precedes(0, 2));
+  // Continuation and child are concurrent.
+  EXPECT_FALSE(c.precedes(1, 2));
+  EXPECT_FALSE(c.precedes(2, 1));
+  // The sync node joins both.
+  EXPECT_TRUE(c.precedes(1, 3));
+  EXPECT_TRUE(c.precedes(2, 3));
+  EXPECT_TRUE(c.op(3).is_nop());
+}
+
+TEST(Cilk, FinishImpliesSync) {
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0);
+  auto child = main.spawn();
+  child.write(1);
+  main.read(0);
+  // No explicit sync: finish() joins the spawn tree.
+  const Computation c = p.finish();
+  const auto sinks = c.dag().sinks();
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_TRUE(c.op(sinks[0]).is_nop());
+}
+
+TEST(Cilk, SyncWithNoChildrenIsNoOp) {
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0).sync();  // nothing outstanding
+  const Computation c = p.finish();
+  EXPECT_EQ(c.node_count(), 1u);
+}
+
+TEST(Cilk, ChildThatNeverRanIsSkippedAtSync) {
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0);
+  (void)main.spawn();  // spawned, never used
+  main.read(0);
+  main.sync();
+  const Computation c = p.finish();
+  // No join node needed: only the serial chain exists.
+  EXPECT_EQ(c.node_count(), 2u);
+}
+
+TEST(Cilk, NestedSpawnsJoinBottomUp) {
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0);
+  auto child = main.spawn();
+  child.read(0);
+  auto grandchild = child.spawn();
+  grandchild.read(0);
+  main.read(0);
+  const Computation c = p.finish();
+  // Everything reaches the final sink.
+  const auto sinks = c.dag().sinks();
+  ASSERT_EQ(sinks.size(), 1u);
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    if (u != sinks[0]) {
+      EXPECT_TRUE(c.precedes(u, sinks[0])) << u;
+    }
+  }
+  // Grandchild and main's continuation are concurrent.
+  EXPECT_FALSE(c.precedes(3, 4) || c.precedes(4, 3));
+}
+
+TEST(Cilk, RacyProgramDetectedByNondeterminatorQuestion) {
+  // Two spawned children increment the same location: a determinacy race.
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0);
+  auto a = main.spawn();
+  a.read(0).write(0);
+  auto bb = main.spawn();
+  bb.read(0).write(0);
+  main.sync();
+  main.read(0);
+  const Computation c = p.finish();
+  EXPECT_FALSE(is_race_free(c));
+  const auto races = find_races(c);
+  EXPECT_GE(races.size(), 3u);  // rw, wr, ww between the two children
+}
+
+TEST(Cilk, SyncedProgramIsRaceFree) {
+  // The same increments serialized by sync between them: race-free.
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0);
+  auto a = main.spawn();
+  a.read(0).write(0);
+  main.sync();
+  auto bb = main.spawn();
+  bb.read(0).write(0);
+  main.sync();
+  main.read(0);
+  const Computation c = p.finish();
+  EXPECT_TRUE(is_race_free(c));
+}
+
+TEST(Cilk, RunsOnBackerAndStaysLC) {
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0);
+  for (int i = 0; i < 4; ++i) {
+    auto child = main.spawn();
+    child.read(0).write(static_cast<Location>(i + 1));
+  }
+  main.sync();
+  for (Location l = 1; l <= 4; ++l) main.read(l);
+  const Computation c = p.finish();
+
+  Rng rng(3);
+  BackerMemory mem;
+  const ExecutionResult r =
+      run_execution(c, work_stealing_schedule(c, 4, rng), mem);
+  EXPECT_TRUE(location_consistent(c, r.phi));
+  // Race-free program: the post-sync reads see the children's writes.
+  EXPECT_TRUE(is_race_free(c));
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const Op o = c.op(u);
+    if (o.is_read() && o.loc >= 1) {
+      EXPECT_NE(r.phi.get(o.loc, u), kBottom);
+    }
+  }
+}
+
+TEST(Cilk, AdoptModelsPlainCalls) {
+  // caller: W0; callee (plain call): W1 W2; caller continues: R2.
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0);
+  auto callee = main.spawn();
+  callee.write(1).write(2);
+  main.adopt(callee);
+  main.read(2);
+  const Computation c = p.finish();
+  EXPECT_EQ(c.node_count(), 4u);
+  // Fully serial: W0 ≺ W1 ≺ W2 ≺ R2, no join node.
+  EXPECT_TRUE(c.precedes(0, 1));
+  EXPECT_TRUE(c.precedes(2, 3));
+  EXPECT_TRUE(is_race_free(c));
+  EXPECT_EQ(c.dag().sinks().size(), 1u);
+}
+
+TEST(Cilk, AdoptScopesCalleeSyncs) {
+  // The callee spawns and syncs internally; the caller's own spawned
+  // child stays outstanding across the adopt and joins at the caller's
+  // sync — the procedure-frame scoping real Cilk gives sync.
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0);
+  auto forked = main.spawn();
+  forked.write(1);
+  auto callee = main.spawn();
+  auto inner = callee.spawn();
+  inner.write(2);
+  callee.write(3);
+  callee.sync();  // joins only `inner`
+  main.adopt(callee);
+  main.sync();  // joins only `forked`
+  const Computation c = p.finish();
+  // forked's write (node 1) must be joined by the FINAL sync, i.e. it
+  // has a successor; inner's write joined by the callee's sync.
+  const NodeId forked_write = 1;
+  EXPECT_FALSE(c.dag().succ(forked_write).empty());
+  // Exactly two sync nop nodes exist.
+  std::size_t nops = 0;
+  for (NodeId u = 0; u < c.node_count(); ++u)
+    nops += c.op(u).is_nop() ? 1 : 0;
+  EXPECT_EQ(nops, 2u);
+}
+
+TEST(Cilk, AdoptValidation) {
+  CilkProgram p;
+  auto main = p.root();
+  auto child = main.spawn();
+  child.write(0);
+  auto grandchild = child.spawn();
+  grandchild.write(1);
+  // Adopting a non-child is rejected.
+  EXPECT_THROW(main.adopt(grandchild), std::logic_error);
+  main.adopt(child);
+  // Double adopt is rejected.
+  EXPECT_THROW(main.adopt(child), std::logic_error);
+}
+
+TEST(Cilk, MutationAfterFinishRejected) {
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0);
+  (void)p.finish();
+  EXPECT_THROW(main.read(0), std::logic_error);
+  EXPECT_THROW((void)p.finish(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ccmm::proc

@@ -1,0 +1,184 @@
+#include "core/computation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccmm {
+namespace {
+
+TEST(Op, Predicates) {
+  EXPECT_TRUE(Op::read(3).reads(3));
+  EXPECT_FALSE(Op::read(3).reads(4));
+  EXPECT_TRUE(Op::write(3).writes(3));
+  EXPECT_FALSE(Op::write(3).reads(3));
+  EXPECT_TRUE(Op::nop().is_nop());
+  EXPECT_TRUE(Op::read(2).accesses(2));
+  EXPECT_FALSE(Op::nop().accesses(0));
+}
+
+TEST(Op, ToString) {
+  EXPECT_EQ(Op::nop().to_string(), "N");
+  EXPECT_EQ(Op::read(1).to_string(), "R(1)");
+  EXPECT_EQ(Op::write(0).to_string(), "W(0)");
+}
+
+TEST(Op, Alphabet) {
+  const auto a = op_alphabet(2);
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_EQ(a[0], Op::nop());
+  EXPECT_EQ(a[1], Op::read(0));
+  EXPECT_EQ(a[2], Op::write(0));
+  EXPECT_EQ(a[3], Op::read(1));
+  EXPECT_EQ(a[4], Op::write(1));
+}
+
+TEST(Computation, EmptyComputation) {
+  const Computation c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.node_count(), 0u);
+  EXPECT_TRUE(c.written_locations().empty());
+}
+
+TEST(Computation, BuilderAndAccessors) {
+  ComputationBuilder b;
+  const NodeId w = b.write(0);
+  const NodeId r = b.read(0, {w});
+  const NodeId n = b.nop({r});
+  const Computation c = std::move(b).build();
+  EXPECT_EQ(c.node_count(), 3u);
+  EXPECT_EQ(c.op(w), Op::write(0));
+  EXPECT_EQ(c.op(r), Op::read(0));
+  EXPECT_EQ(c.op(n), Op::nop());
+  EXPECT_TRUE(c.precedes(w, n));
+  EXPECT_EQ(c.writers(0), std::vector<NodeId>{w});
+  EXPECT_EQ(c.readers(0), std::vector<NodeId>{r});
+  EXPECT_EQ(c.written_locations(), std::vector<Location>{0});
+}
+
+TEST(Computation, AddNodeRejectsForwardPreds) {
+  Computation c;
+  c.add_node(Op::nop());
+  EXPECT_THROW(c.add_node(Op::nop(), {5}), std::logic_error);
+}
+
+TEST(Computation, RejectsCyclicDag) {
+  Dag d(2);
+  d.add_edge(0, 1);
+  d.add_edge(1, 0);
+  EXPECT_THROW(Computation(d, {Op::nop(), Op::nop()}), std::logic_error);
+}
+
+TEST(Computation, RejectsSizeMismatch) {
+  EXPECT_THROW(Computation(Dag(2), {Op::nop()}), std::logic_error);
+}
+
+TEST(Computation, PrefixSemantics) {
+  ComputationBuilder b;
+  const NodeId x = b.write(0);
+  const NodeId y = b.read(0, {x});
+  const Computation small = std::move(b).build();
+
+  Computation big = small;
+  big.add_node(Op::nop(), {y});
+  EXPECT_TRUE(small.is_prefix_of(big));
+  EXPECT_TRUE(big.is_prefix_of(big));
+  EXPECT_FALSE(big.is_prefix_of(small));
+
+  // Downward closure: an edge from the new node back into the prefix
+  // cannot arise with add_node, but a mismatched op or edge set breaks
+  // prefix-ness.
+  ComputationBuilder b2;
+  b2.write(1);  // different op at node 0
+  b2.read(0, {0});
+  const Computation other = std::move(b2).build();
+  EXPECT_FALSE(other.is_prefix_of(big));
+
+  // Missing induced edge: prefix must inherit x -> y.
+  Computation no_edge;
+  no_edge.add_node(Op::write(0));
+  no_edge.add_node(Op::read(0));
+  EXPECT_FALSE(no_edge.is_prefix_of(big));
+}
+
+TEST(Computation, EmptyIsPrefixOfEverything) {
+  const Computation empty;
+  Computation c;
+  c.add_node(Op::write(0));
+  EXPECT_TRUE(empty.is_prefix_of(c));
+  EXPECT_TRUE(empty.is_prefix_of(empty));
+}
+
+TEST(Computation, RelaxationSemantics) {
+  ComputationBuilder b;
+  const NodeId x = b.write(0);
+  const NodeId y = b.read(0, {x});
+  b.nop({y});
+  const Computation full = std::move(b).build();
+
+  Dag fewer(3);
+  fewer.add_edge(0, 1);
+  const Computation relaxed(fewer, full.ops());
+  EXPECT_TRUE(relaxed.is_relaxation_of(full));
+  EXPECT_FALSE(full.is_relaxation_of(relaxed));
+
+  const Computation different_ops(fewer,
+                                  {Op::write(1), Op::read(0), Op::nop()});
+  EXPECT_FALSE(different_ops.is_relaxation_of(full));
+}
+
+TEST(Computation, ExtendAppendsOneNode) {
+  Computation c;
+  c.add_node(Op::write(0));
+  const Computation ext = c.extend(Op::read(0), {0});
+  EXPECT_EQ(ext.node_count(), 2u);
+  EXPECT_TRUE(c.is_prefix_of(ext));
+  EXPECT_TRUE(ext.precedes(0, 1));
+  EXPECT_EQ(c.node_count(), 1u);  // original untouched
+}
+
+TEST(Computation, AugmentSucceedsAllNodes) {
+  ComputationBuilder b;
+  b.write(0);
+  b.read(0);
+  b.nop();
+  const Computation c = std::move(b).build();
+  const Computation aug = c.augment(Op::read(0));
+  EXPECT_EQ(aug.node_count(), 4u);
+  const NodeId f = c.final_node_id();
+  EXPECT_EQ(f, 3u);
+  for (NodeId u = 0; u < 3; ++u) EXPECT_TRUE(aug.precedes(u, f));
+  EXPECT_TRUE(c.is_prefix_of(aug));
+  // Any extension by the same op is a relaxation of the augmentation.
+  const Computation ext = c.extend(Op::read(0), {1});
+  EXPECT_TRUE(ext.is_relaxation_of(aug));
+}
+
+TEST(Computation, InducedSubcomputation) {
+  ComputationBuilder b;
+  const NodeId w = b.write(0);
+  const NodeId r = b.read(0, {w});
+  b.nop({r});
+  const Computation c = std::move(b).build();
+  DynBitset keep(3);
+  keep.set(w);
+  keep.set(r);
+  std::vector<NodeId> map;
+  const Computation sub = c.induced(keep, &map);
+  EXPECT_EQ(sub.node_count(), 2u);
+  EXPECT_EQ(sub.op(0), Op::write(0));
+  EXPECT_EQ(sub.op(1), Op::read(0));
+  EXPECT_TRUE(sub.precedes(0, 1));
+  EXPECT_TRUE(sub.is_prefix_of(c));  // downward-closed induced = prefix
+}
+
+TEST(Computation, AccessedVsWrittenLocations) {
+  ComputationBuilder b;
+  b.write(2);
+  b.read(5);
+  b.nop();
+  const Computation c = std::move(b).build();
+  EXPECT_EQ(c.written_locations(), std::vector<Location>{2});
+  EXPECT_EQ(c.accessed_locations(), (std::vector<Location>{2, 5}));
+}
+
+}  // namespace
+}  // namespace ccmm

@@ -1,0 +1,81 @@
+// The memory-cost-aware simulator: faults stretch the schedule, LC is
+// preserved, and zero-cost runs agree with the unit-time model.
+#include "exec/costed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exec/backer.hpp"
+#include "exec/msi.hpp"
+#include "exec/sc_memory.hpp"
+#include "exec/workload.hpp"
+#include "helpers.hpp"
+
+namespace ccmm {
+namespace {
+
+TEST(Costed, ExecutesEveryNodeAndStaysLC) {
+  Rng rng(1);
+  for (const Computation& c :
+       {workload::reduction(16), workload::matmul(3),
+        workload::contended_counter(8)}) {
+    BackerMemory mem;
+    Rng srng(7);
+    const CostedResult r = run_costed_execution(c, 4, srng, mem);
+    EXPECT_TRUE(is_valid_observer(c, r.phi));
+    EXPECT_TRUE(location_consistent(c, r.phi));
+    EXPECT_GE(r.makespan, work_span(c).span);
+  }
+  (void)rng;
+}
+
+TEST(Costed, ZeroCostMatchesUnitTimeMakespanBounds) {
+  const Computation c = workload::reduction(32);
+  const WorkSpan ws = work_span(c);
+  BackerMemory mem;
+  Rng rng(3);
+  CostModel free_memory{0, 0};
+  const CostedResult r = run_costed_execution(c, 4, rng, mem, free_memory);
+  // With zero memory cost every node takes unit time: greedy-ish bound.
+  EXPECT_LE(r.makespan, 4 * (ws.work / 4 + ws.span) + 8);
+  EXPECT_GE(r.makespan, ws.work / 4);
+}
+
+TEST(Costed, FaultsStretchTheMakespan) {
+  const Computation c = workload::matmul(4);
+  Rng r1(5), r2(5);
+  BackerMemory m1, m2;
+  const CostedResult cheap =
+      run_costed_execution(c, 4, r1, m1, CostModel{0, 0});
+  const CostedResult expensive =
+      run_costed_execution(c, 4, r2, m2, CostModel{50, 50});
+  EXPECT_GT(expensive.makespan, cheap.makespan);
+}
+
+TEST(Costed, FaultCountsMatchMemoryStats) {
+  const Computation c = workload::stencil(8, 4);
+  BackerMemory mem;
+  Rng rng(9);
+  const CostedResult r = run_costed_execution(c, 4, rng, mem);
+  EXPECT_EQ(r.faults, r.memory_stats.fetches);
+  EXPECT_EQ(r.writebacks, r.memory_stats.reconciles);
+}
+
+TEST(Costed, SingleProcessorSerialises) {
+  const Computation c = workload::contended_counter(4);
+  ScMemory mem;
+  Rng rng(11);
+  const CostedResult r = run_costed_execution(c, 1, rng, mem);
+  EXPECT_EQ(r.steals, 0u);
+  EXPECT_TRUE(sequentially_consistent(c, r.phi));
+}
+
+TEST(Costed, MsiUnderCostStaysSC) {
+  const Computation c = workload::reduction(8);
+  MsiMemory mem;
+  Rng rng(13);
+  const CostedResult r = run_costed_execution(c, 4, rng, mem);
+  EXPECT_TRUE(sequentially_consistent(c, r.phi));
+}
+
+}  // namespace
+}  // namespace ccmm

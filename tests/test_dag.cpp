@@ -1,0 +1,201 @@
+#include "dag/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ccmm {
+namespace {
+
+Dag diamond4() {
+  Dag d(4);
+  d.add_edge(0, 1);
+  d.add_edge(0, 2);
+  d.add_edge(1, 3);
+  d.add_edge(2, 3);
+  return d;
+}
+
+TEST(Dag, EmptyGraph) {
+  Dag d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.node_count(), 0u);
+  EXPECT_EQ(d.edge_count(), 0u);
+  EXPECT_TRUE(d.is_acyclic());
+  EXPECT_TRUE(d.topological_order().empty());
+}
+
+TEST(Dag, AddEdgeIsIdempotent) {
+  Dag d(2);
+  d.add_edge(0, 1);
+  d.add_edge(0, 1);
+  EXPECT_EQ(d.edge_count(), 1u);
+}
+
+TEST(Dag, RejectsSelfLoopAndOutOfRange) {
+  Dag d(2);
+  EXPECT_THROW(d.add_edge(0, 0), std::logic_error);
+  EXPECT_THROW(d.add_edge(0, 5), std::logic_error);
+}
+
+TEST(Dag, PrecedesIsTransitiveClosure) {
+  const Dag d = diamond4();
+  EXPECT_TRUE(d.precedes(0, 3));
+  EXPECT_TRUE(d.precedes(0, 1));
+  EXPECT_FALSE(d.precedes(1, 2));
+  EXPECT_FALSE(d.precedes(3, 0));
+  EXPECT_FALSE(d.precedes(1, 1));  // strict
+  EXPECT_TRUE(d.preceq(1, 1));
+}
+
+TEST(Dag, BottomPrecedesEverything) {
+  const Dag d = diamond4();
+  EXPECT_TRUE(d.precedes(kBottom, 0));
+  EXPECT_TRUE(d.precedes(kBottom, 3));
+  EXPECT_FALSE(d.precedes(0, kBottom));
+  EXPECT_FALSE(d.precedes(kBottom, kBottom));
+}
+
+TEST(Dag, DescendantsAndAncestors) {
+  const Dag d = diamond4();
+  EXPECT_EQ(d.descendants(0).count(), 3u);
+  EXPECT_EQ(d.ancestors(3).count(), 3u);
+  EXPECT_EQ(d.descendants(3).count(), 0u);
+  EXPECT_EQ(d.ancestors(0).count(), 0u);
+  EXPECT_TRUE(d.descendants(1).test(3));
+}
+
+TEST(Dag, BetweenIsOpenInterval) {
+  Dag d(4);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(2, 3);
+  const DynBitset mid = d.between(0, 3);
+  EXPECT_EQ(mid.count(), 2u);
+  EXPECT_TRUE(mid.test(1));
+  EXPECT_TRUE(mid.test(2));
+  // ⊥ as the lower end: every strict ancestor of the upper end.
+  EXPECT_EQ(d.between(kBottom, 3).count(), 3u);
+}
+
+TEST(Dag, CycleDetection) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  EXPECT_TRUE(d.is_acyclic());
+  d.add_edge(2, 0);
+  EXPECT_FALSE(d.is_acyclic());
+  EXPECT_THROW(d.topological_order(), std::logic_error);
+}
+
+TEST(Dag, SourcesAndSinks) {
+  const Dag d = diamond4();
+  EXPECT_EQ(d.sources(), std::vector<NodeId>{0});
+  EXPECT_EQ(d.sinks(), std::vector<NodeId>{3});
+}
+
+TEST(Dag, TopologicalOrderIsCanonicalAndValid) {
+  const Dag d = diamond4();
+  const auto order = d.topological_order();
+  EXPECT_EQ(order, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(Dag, DownwardClosedSets) {
+  const Dag d = diamond4();
+  DynBitset keep(4);
+  keep.set(0);
+  keep.set(1);
+  EXPECT_TRUE(d.is_downward_closed(keep));
+  DynBitset bad(4);
+  bad.set(3);
+  EXPECT_FALSE(d.is_downward_closed(bad));
+  DynBitset empty(4);
+  EXPECT_TRUE(d.is_downward_closed(empty));
+}
+
+TEST(Dag, InducedSubgraphRemapsIds) {
+  const Dag d = diamond4();
+  DynBitset keep(4);
+  keep.set(0);
+  keep.set(2);
+  keep.set(3);
+  std::vector<NodeId> map;
+  const Dag sub = d.induced(keep, &map);
+  EXPECT_EQ(sub.node_count(), 3u);
+  EXPECT_EQ(map[0], 0u);
+  EXPECT_EQ(map[1], kBottom);
+  EXPECT_EQ(map[2], 1u);
+  EXPECT_EQ(map[3], 2u);
+  EXPECT_TRUE(sub.has_edge(0, 1));  // 0 -> 2
+  EXPECT_TRUE(sub.has_edge(1, 2));  // 2 -> 3
+  EXPECT_EQ(sub.edge_count(), 2u);  // the 1 -> 3 edge is dropped with 1
+}
+
+TEST(Dag, RelaxationChecks) {
+  const Dag full = diamond4();
+  Dag fewer(4);
+  fewer.add_edge(0, 1);
+  EXPECT_TRUE(fewer.is_relaxation_of(full));
+  EXPECT_FALSE(full.is_relaxation_of(fewer));
+  EXPECT_TRUE(full.is_relaxation_of(full));
+  Dag other(3);
+  EXPECT_FALSE(other.is_relaxation_of(full));
+}
+
+TEST(Dag, TransitiveReductionRemovesImpliedEdges) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(0, 2);  // implied
+  const Dag r = d.transitive_reduction();
+  EXPECT_EQ(r.edge_count(), 2u);
+  EXPECT_FALSE(r.has_edge(0, 2));
+  // Reduction preserves reachability.
+  EXPECT_TRUE(r.precedes(0, 2));
+}
+
+TEST(Dag, TransitiveClosureAddsAllReachableEdges) {
+  Dag d(4);
+  d.add_edge(0, 1);
+  d.add_edge(1, 2);
+  d.add_edge(2, 3);
+  const Dag cl = d.transitive_closure();
+  EXPECT_EQ(cl.edge_count(), 6u);
+  EXPECT_TRUE(cl.has_edge(0, 3));
+}
+
+TEST(Dag, ClosureSurvivesMutation) {
+  Dag d(3);
+  d.add_edge(0, 1);
+  EXPECT_TRUE(d.precedes(0, 1));
+  EXPECT_FALSE(d.precedes(0, 2));
+  d.add_edge(1, 2);  // invalidates the cache
+  EXPECT_TRUE(d.precedes(0, 2));
+}
+
+TEST(Dag, RandomizedClosureAgainstDfs) {
+  Rng rng(99);
+  for (int round = 0; round < 10; ++round) {
+    const Dag d = gen::random_dag(30, 0.1, rng);
+    // Reference reachability by DFS.
+    for (NodeId s = 0; s < 30; s += 7) {
+      std::vector<bool> seen(30, false);
+      std::vector<NodeId> stack = {s};
+      while (!stack.empty()) {
+        const NodeId u = stack.back();
+        stack.pop_back();
+        for (const NodeId v : d.succ(u))
+          if (!seen[v]) {
+            seen[v] = true;
+            stack.push_back(v);
+          }
+      }
+      for (NodeId t = 0; t < 30; ++t)
+        EXPECT_EQ(d.precedes(s, t), seen[t]) << s << " -> " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccmm

@@ -1,0 +1,166 @@
+// Differential fuzzing: the optimized checkers against their brute-force
+// definitions on randomly sampled instances beyond exhaustive reach.
+#include <gtest/gtest.h>
+
+#include "core/last_writer.hpp"
+#include "dag/topsort.hpp"
+#include "enumerate/sampling.hpp"
+#include "exec/workload.hpp"
+#include "helpers.hpp"
+
+namespace ccmm {
+namespace {
+
+/// Brute-force Definition 18 (per-location topological-sort search).
+bool lc_by_definition(const Computation& c, const ObserverFunction& phi) {
+  if (!is_valid_observer(c, phi)) return false;
+  for (const Location l : phi.active_locations()) {
+    bool found = false;
+    for_each_topological_sort(c.dag(), [&](const std::vector<NodeId>& t) {
+      const ObserverFunction w = last_writer(c, t);
+      for (NodeId u = 0; u < c.node_count(); ++u)
+        if (w.get(l, u) != phi.get(l, u)) return true;
+      found = true;
+      return false;
+    });
+    if (!found) return false;
+  }
+  return true;
+}
+
+/// Brute-force Definition 17 (global topological-sort search).
+bool sc_by_definition(const Computation& c, const ObserverFunction& phi) {
+  if (!is_valid_observer(c, phi)) return false;
+  bool found = false;
+  for_each_topological_sort(c.dag(), [&](const std::vector<NodeId>& t) {
+    if (last_writer(c, t) == phi) {
+      found = true;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+/// Literal Condition 20.1 for the named predicates (quadruple loop).
+bool qdag_by_definition(const Computation& c, const ObserverFunction& phi,
+                        DagPred pred) {
+  if (!is_valid_observer(c, phi)) return false;
+  const std::size_t n = c.node_count();
+  const auto q = [&](Location l, NodeId u, NodeId v) {
+    const bool uw = u != kBottom && c.op(u).writes(l);
+    const bool vw = c.op(v).writes(l);
+    switch (pred) {
+      case DagPred::kNN:
+        return true;
+      case DagPred::kNW:
+        return vw;
+      case DagPred::kWN:
+        return uw;
+      case DagPred::kWW:
+        return uw && vw;
+    }
+    return false;
+  };
+  for (const Location l : phi.active_locations()) {
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId w = 0; w < n; ++w) {
+        if (!c.precedes(v, w)) continue;
+        // u over V ∪ {⊥}.
+        for (NodeId u = 0; u <= n; ++u) {
+          const NodeId uu = (u == n) ? kBottom : u;
+          if (uu != kBottom && !c.precedes(uu, v)) continue;
+          if (!q(l, uu, v)) continue;
+          if (phi.get(l, uu) == phi.get(l, w) &&
+              phi.get(l, v) != phi.get(l, uu))
+            return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+TEST(Differential, QDagCheckersAgreeWithLiteralDefinition) {
+  Rng rng(1);
+  std::size_t members = 0, nonmembers = 0;
+  for (int round = 0; round < 80; ++round) {
+    const Dag d = gen::random_dag(7, 0.3, rng);
+    const Computation c = workload::random_ops(d, 2, 0.4, 0.4, rng);
+    for (int s = 0; s < 10; ++s) {
+      const ObserverFunction phi = random_observer(c, rng);
+      for (const DagPred p :
+           {DagPred::kNN, DagPred::kNW, DagPred::kWN, DagPred::kWW}) {
+        const bool fast = qdag_consistent(c, phi, p);
+        ASSERT_EQ(fast, qdag_by_definition(c, phi, p))
+            << dag_pred_name(p) << "\n"
+            << c.to_string() << phi.to_string();
+        (fast ? members : nonmembers) += 1;
+      }
+    }
+  }
+  EXPECT_GT(members, 100u);
+  EXPECT_GT(nonmembers, 100u);
+}
+
+TEST(Differential, LcAgreesWithDefinitionOnSampledInstances) {
+  Rng rng(2);
+  std::size_t members = 0;
+  for (int round = 0; round < 120; ++round) {
+    const Dag d = gen::random_dag(6, 0.35, rng);
+    const Computation c = workload::random_ops(d, 2, 0.4, 0.4, rng);
+    for (int s = 0; s < 6; ++s) {
+      const ObserverFunction phi = random_observer(c, rng);
+      const bool fast = location_consistent(c, phi);
+      ASSERT_EQ(fast, lc_by_definition(c, phi))
+          << c.to_string() << phi.to_string();
+      members += fast ? 1 : 0;
+    }
+  }
+  EXPECT_GT(members, 10u);
+}
+
+TEST(Differential, ScAgreesWithDefinitionOnSampledInstances) {
+  Rng rng(3);
+  std::size_t members = 0;
+  for (int round = 0; round < 100; ++round) {
+    const Dag d = gen::random_dag(6, 0.3, rng);
+    const Computation c = workload::random_ops(d, 2, 0.4, 0.4, rng);
+    for (int s = 0; s < 4; ++s) {
+      const ObserverFunction phi = random_observer(c, rng);
+      const bool fast = sequentially_consistent(c, phi);
+      ASSERT_EQ(fast, sc_by_definition(c, phi))
+          << c.to_string() << phi.to_string();
+      members += fast ? 1 : 0;
+    }
+  }
+  EXPECT_GT(members, 5u);
+}
+
+TEST(Differential, LcWitnessIsSelfCertifying) {
+  // Whenever the fast LC checker says yes, the witness sort it can
+  // produce must reproduce the column exactly — at sizes the brute force
+  // could not enumerate.
+  Rng rng(4);
+  std::size_t verified = 0;
+  for (int round = 0; round < 40; ++round) {
+    const Dag d = gen::random_dag(24, 0.12, rng);
+    const Computation c = workload::random_ops(d, 2, 0.4, 0.4, rng);
+    const ObserverFunction phi =
+        last_writer(c, greedy_random_topological_sort(c.dag(), rng));
+    ASSERT_TRUE(location_consistent(c, phi));
+    for (const Location l : c.written_locations()) {
+      const auto t = lc_witness(c, phi, l);
+      ASSERT_TRUE(t.has_value());
+      ASSERT_TRUE(is_topological_sort(c.dag(), *t));
+      const ObserverFunction w = last_writer(c, *t);
+      for (NodeId u = 0; u < c.node_count(); ++u)
+        ASSERT_EQ(w.get(l, u), phi.get(l, u));
+      ++verified;
+    }
+  }
+  EXPECT_GT(verified, 40u);
+}
+
+}  // namespace
+}  // namespace ccmm

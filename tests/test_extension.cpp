@@ -1,0 +1,122 @@
+#include "construct/extension.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "enumerate/universe.hpp"
+
+namespace ccmm {
+namespace {
+
+Computation two_writes() {
+  ComputationBuilder b;
+  b.write(0);
+  b.write(0);
+  return std::move(b).build();
+}
+
+TEST(Extension, EnumeratesOpsTimesSubsets) {
+  const Computation c = two_writes();
+  const auto alphabet = op_alphabet(1);  // N, R(0), W(0)
+  std::size_t n = 0;
+  for_each_one_node_extension(c, alphabet, /*dedupe=*/false,
+                              [&](const Computation& ext) {
+                                EXPECT_EQ(ext.node_count(), 3u);
+                                EXPECT_TRUE(c.is_prefix_of(ext));
+                                ++n;
+                                return true;
+                              });
+  EXPECT_EQ(n, one_node_extension_count(c, alphabet));
+  EXPECT_EQ(n, 12u);  // 3 ops × 2^2 subsets
+}
+
+TEST(Extension, DedupeCollapsesClosureEquivalentSubsets) {
+  // Chain 0 -> 1: predecessor sets {1} and {0,1} have the same closure.
+  ComputationBuilder b;
+  const NodeId x = b.write(0);
+  b.read(0, {x});
+  const Computation c = std::move(b).build();
+  const auto alphabet = op_alphabet(1);
+  std::size_t all = 0, deduped = 0;
+  for_each_one_node_extension(c, alphabet, false, [&](const Computation&) {
+    ++all;
+    return true;
+  });
+  for_each_one_node_extension(c, alphabet, true, [&](const Computation&) {
+    ++deduped;
+    return true;
+  });
+  EXPECT_EQ(all, 12u);
+  EXPECT_EQ(deduped, 9u);  // closures: {}, {0}, {0,1} per op
+}
+
+TEST(Extension, EarlyStop) {
+  const Computation c = two_writes();
+  int visits = 0;
+  for_each_one_node_extension(c, op_alphabet(1), false,
+                              [&](const Computation&) {
+                                ++visits;
+                                return visits < 5;
+                              });
+  EXPECT_EQ(visits, 5);
+}
+
+TEST(ExtensionObserver, EnumeratesNewNodeChoicesOnly) {
+  const Computation c = two_writes();
+  ObserverFunction base(2);
+  base.set(0, 0, 0);
+  base.set(0, 1, 1);
+  const Computation ext = c.extend(Op::read(0), {0});
+  std::set<std::string> seen;
+  for_each_extension_observer(ext, base, [&](const ObserverFunction& phi) {
+    EXPECT_TRUE(phi.extends(base));
+    EXPECT_TRUE(is_valid_observer(ext, phi));
+    seen.insert(encode_observer(phi));
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 3u);  // new read: {⊥, w0, w1}
+}
+
+TEST(ExtensionObserver, WriteExtensionIsForced) {
+  const Computation c = two_writes();
+  ObserverFunction base(2);
+  base.set(0, 0, 0);
+  base.set(0, 1, 1);
+  const Computation ext = c.extend(Op::write(0), {});
+  std::size_t n = 0;
+  for_each_extension_observer(ext, base, [&](const ObserverFunction& phi) {
+    EXPECT_EQ(phi.get(0, 2), 2u);  // the new write observes itself
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(ExtensionObserver, FreshLocationActivatedByNewWrite) {
+  ComputationBuilder b;
+  b.nop();
+  const Computation c = std::move(b).build();
+  const ObserverFunction base(1);  // all ⊥
+  const Computation ext = c.extend(Op::write(3), {0});
+  std::size_t n = 0;
+  for_each_extension_observer(ext, base, [&](const ObserverFunction& phi) {
+    EXPECT_EQ(phi.get(3, 1), 1u);
+    EXPECT_EQ(phi.get(3, 0), kBottom);
+    ++n;
+    return true;
+  });
+  EXPECT_EQ(n, 1u);
+}
+
+TEST(ExtensionObserver, RejectsNonExtension) {
+  const Computation c = two_writes();
+  ObserverFunction base(2);
+  EXPECT_THROW(
+      for_each_extension_observer(c, base,
+                                  [](const ObserverFunction&) { return true; }),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace ccmm

@@ -1,0 +1,165 @@
+// Theorem 23: LC = NN*, verified by computing the bounded greatest
+// fixpoint Δ* of NN and comparing with LC per size class.
+#include "construct/fixpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "construct/extension.hpp"
+#include "construct/witness.hpp"
+#include "helpers.hpp"
+
+namespace ccmm {
+namespace {
+
+UniverseSpec thin_spec(std::size_t max_nodes) {
+  UniverseSpec spec;
+  spec.max_nodes = max_nodes;
+  spec.nlocations = 1;
+  spec.include_nop = false;
+  spec.max_writes_per_location = 2;
+  return spec;
+}
+
+TEST(BoundedModelSet, RestrictionCountsMembers) {
+  const auto spec = thin_spec(3);
+  const BoundedModelSet lc =
+      BoundedModelSet::restrict_model(*LocationConsistencyModel::instance(),
+                                      spec);
+  const BoundedModelSet nn =
+      BoundedModelSet::restrict_model(*QDagModel::nn(), spec);
+  EXPECT_GT(lc.live_count(), 0u);
+  EXPECT_GE(nn.live_count(), lc.live_count());  // LC ⊆ NN (Theorem 22)
+  EXPECT_EQ(lc.live_count_at_size(0), 1u);      // (ε, Φ_ε)
+}
+
+TEST(BoundedModelSet, ContainsPairAgreesWithModel) {
+  const auto spec = thin_spec(3);
+  const BoundedModelSet lc =
+      BoundedModelSet::restrict_model(*LocationConsistencyModel::instance(),
+                                      spec);
+  std::size_t live = 0;
+  lc.for_each_live([&](const Computation& c, const ObserverFunction& phi) {
+    EXPECT_TRUE(lc.contains_pair(c, phi));
+    EXPECT_TRUE(LocationConsistencyModel::instance()->contains(c, phi));
+    ++live;
+    return true;
+  });
+  EXPECT_EQ(live, lc.live_count());
+}
+
+TEST(Fixpoint, Theorem23_NNStarCollapsesToLC) {
+  // Horizon 5 decides all sizes <= 4 (size-5 pairs are boundary).
+  const auto spec = thin_spec(5);
+  FixpointStats stats;
+  const BoundedModelSet nn_star =
+      constructible_version(*QDagModel::nn(), spec, &stats);
+  EXPECT_GT(stats.pruned, 0u);  // NN \ LC pairs exist at size 4 and die
+  EXPECT_LT(stats.final_pairs, stats.initial_pairs);
+
+  const auto cmp =
+      compare_with_model(nn_star, *LocationConsistencyModel::instance());
+  for (const auto& row : cmp) {
+    if (row.size >= 5) continue;  // boundary sizes carry no information
+    EXPECT_TRUE(row.equal) << "NN* != LC at size " << row.size << " ("
+                           << row.fixpoint_pairs << " vs "
+                           << row.reference_pairs << ")";
+  }
+}
+
+TEST(Fixpoint, Figure4PairIsPruned) {
+  // The NN \ LC witness pair must be dead in the fixpoint.
+  const auto spec = thin_spec(5);
+  const BoundedModelSet nn_star =
+      constructible_version(*QDagModel::nn(), spec);
+  const NonconstructibilityWitness w = figure4_witness();
+  EXPECT_TRUE(QDagModel::nn()->contains(w.c, w.phi));
+  EXPECT_FALSE(nn_star.contains_pair(w.c, w.phi));
+  // while its LC siblings survive: the last-writer observer does.
+  const auto lw = LocationConsistencyModel::instance()->any_observer(w.c);
+  ASSERT_TRUE(lw.has_value());
+  EXPECT_TRUE(nn_star.contains_pair(w.c, *lw));
+}
+
+TEST(Fixpoint, ConstructibleModelIsItsOwnFixpoint) {
+  // LC is constructible (Theorem 19): nothing may be pruned.
+  const auto spec = thin_spec(4);
+  FixpointStats stats;
+  const BoundedModelSet lc_star = constructible_version(
+      *LocationConsistencyModel::instance(), spec, &stats);
+  EXPECT_EQ(stats.pruned, 0u);
+  EXPECT_EQ(stats.initial_pairs, stats.final_pairs);
+  const auto cmp =
+      compare_with_model(lc_star, *LocationConsistencyModel::instance());
+  for (const auto& row : cmp) EXPECT_TRUE(row.equal) << row.size;
+}
+
+TEST(Fixpoint, Theorem9_FixpointIsSelfSupporting) {
+  // 9.1: Δ* ⊆ Δ (by construction of restrict+prune, checked anyway);
+  // 9.2: every live pair below the boundary answers every in-universe
+  // extension with a live pair — the defining fixpoint property.
+  const auto spec = thin_spec(4);
+  const BoundedModelSet nn_star =
+      constructible_version(*QDagModel::nn(), spec);
+  const std::vector<Op> alphabet = op_alphabet(spec.nlocations);
+  nn_star.for_each_live([&](const Computation& c,
+                            const ObserverFunction& phi) {
+    EXPECT_TRUE(QDagModel::nn()->contains(c, phi));  // 9.1
+    if (c.node_count() >= spec.max_nodes) return true;
+    bool all_answered = true;
+    for_each_one_node_extension(
+        c, alphabet, /*dedupe=*/false, [&](const Computation& ext) {
+          // Extensions filtered out of the universe are unconstraining.
+          bool in_universe = true;
+          std::vector<std::size_t> writes(spec.nlocations, 0);
+          for (NodeId u = 0; u < ext.node_count(); ++u) {
+            const Op o = ext.op(u);
+            if (o.is_nop() && !spec.include_nop) in_universe = false;
+            if (o.is_write() &&
+                ++writes[o.loc] > spec.max_writes_per_location)
+              in_universe = false;
+          }
+          if (!in_universe) return true;
+          bool answered = false;
+          for_each_extension_observer(
+              ext, phi, [&](const ObserverFunction& phi2) {
+                if (nn_star.contains_pair(ext, phi2)) {
+                  answered = true;
+                  return false;
+                }
+                return true;
+              });
+          if (!answered) all_answered = false;
+          return all_answered;
+        });
+    EXPECT_TRUE(all_answered);
+    return true;
+  });
+}
+
+TEST(Fixpoint, ParallelJacobiMatchesSequential) {
+  const auto spec = thin_spec(5);
+  ThreadPool pool(4);
+  const BoundedModelSet seq = constructible_version(*QDagModel::nn(), spec);
+  FixpointStats pstats;
+  const BoundedModelSet par =
+      constructible_version_parallel(*QDagModel::nn(), spec, pool, &pstats);
+  EXPECT_EQ(seq.live_count(), par.live_count());
+  for (std::size_t n = 0; n <= spec.max_nodes; ++n)
+    EXPECT_EQ(seq.live_count_at_size(n), par.live_count_at_size(n)) << n;
+  // Identical live sets, pair by pair.
+  seq.for_each_live([&](const Computation& c, const ObserverFunction& phi) {
+    EXPECT_TRUE(par.contains_pair(c, phi));
+    return true;
+  });
+  EXPECT_EQ(pstats.final_pairs, seq.live_count());
+}
+
+TEST(Fixpoint, StatsRoundsAreReported) {
+  const auto spec = thin_spec(3);
+  FixpointStats stats;
+  (void)constructible_version(*QDagModel::nn(), spec, &stats);
+  EXPECT_GE(stats.rounds, 1u);
+}
+
+}  // namespace
+}  // namespace ccmm

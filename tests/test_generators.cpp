@@ -1,0 +1,110 @@
+#include "dag/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccmm {
+namespace {
+
+TEST(Generators, Chain) {
+  const Dag d = gen::chain(5);
+  EXPECT_EQ(d.node_count(), 5u);
+  EXPECT_EQ(d.edge_count(), 4u);
+  EXPECT_TRUE(d.precedes(0, 4));
+  EXPECT_EQ(d.sources().size(), 1u);
+  EXPECT_EQ(d.sinks().size(), 1u);
+}
+
+TEST(Generators, Antichain) {
+  const Dag d = gen::antichain(5);
+  EXPECT_EQ(d.edge_count(), 0u);
+  EXPECT_EQ(d.sources().size(), 5u);
+}
+
+TEST(Generators, Diamond) {
+  const Dag d = gen::diamond(4);
+  EXPECT_EQ(d.node_count(), 6u);
+  EXPECT_EQ(d.edge_count(), 8u);
+  EXPECT_TRUE(d.precedes(0, 5));
+  for (NodeId b = 1; b <= 4; ++b) {
+    EXPECT_TRUE(d.precedes(0, b));
+    EXPECT_TRUE(d.precedes(b, 5));
+  }
+  EXPECT_FALSE(d.precedes(1, 2));
+}
+
+TEST(Generators, RandomDagIsAcyclicAndIdSorted) {
+  Rng rng(1);
+  for (double p : {0.0, 0.3, 1.0}) {
+    const Dag d = gen::random_dag(15, p, rng);
+    EXPECT_TRUE(d.is_acyclic());
+    for (const auto& e : d.edges()) EXPECT_LT(e.from, e.to);
+  }
+}
+
+TEST(Generators, RandomDagDensityExtremes) {
+  Rng rng(2);
+  EXPECT_EQ(gen::random_dag(10, 0.0, rng).edge_count(), 0u);
+  EXPECT_EQ(gen::random_dag(10, 1.0, rng).edge_count(), 45u);
+}
+
+TEST(Generators, LayeredEveryNonFirstLayerNodeHasPred) {
+  Rng rng(3);
+  const Dag d = gen::layered({3, 4, 2}, 0.2, rng);
+  EXPECT_EQ(d.node_count(), 9u);
+  EXPECT_TRUE(d.is_acyclic());
+  for (NodeId u = 3; u < 9; ++u) EXPECT_FALSE(d.pred(u).empty()) << u;
+}
+
+TEST(Generators, ForkJoinStructure) {
+  const Dag d = gen::fork_join(2, 2);
+  // depth-2 binary: 1 fork + 2*(1 fork + 2 leaves + 1 join) + 1 join = 10.
+  EXPECT_EQ(d.node_count(), 10u);
+  EXPECT_TRUE(d.is_acyclic());
+  EXPECT_EQ(d.sources().size(), 1u);
+  EXPECT_EQ(d.sinks().size(), 1u);
+  // Single source precedes everything; sink succeeds everything.
+  const NodeId src = d.sources()[0];
+  const NodeId snk = d.sinks()[0];
+  for (NodeId u = 0; u < d.node_count(); ++u) {
+    if (u != src) {
+      EXPECT_TRUE(d.precedes(src, u));
+    }
+    if (u != snk) {
+      EXPECT_TRUE(d.precedes(u, snk));
+    }
+  }
+}
+
+TEST(Generators, ForkJoinDepthZeroIsSingleNode) {
+  const Dag d = gen::fork_join(3, 0);
+  EXPECT_EQ(d.node_count(), 1u);
+}
+
+TEST(Generators, SeriesParallelSingleSourceSink) {
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    const Dag d = gen::series_parallel(20, rng);
+    EXPECT_TRUE(d.is_acyclic());
+    EXPECT_EQ(d.sources().size(), 1u);
+    EXPECT_EQ(d.sinks().size(), 1u);
+    EXPECT_GE(d.node_count(), 20u);
+  }
+}
+
+TEST(Generators, FaninTreeReducesToOneRoot) {
+  const Dag d = gen::fanin_tree(8);
+  EXPECT_EQ(d.node_count(), 15u);  // 8 + 4 + 2 + 1
+  EXPECT_EQ(d.sinks().size(), 1u);
+  EXPECT_EQ(d.sources().size(), 8u);
+  const NodeId root = d.sinks()[0];
+  for (NodeId leaf = 0; leaf < 8; ++leaf) EXPECT_TRUE(d.precedes(leaf, root));
+}
+
+TEST(Generators, FaninTreeOddLeaves) {
+  const Dag d = gen::fanin_tree(5);
+  EXPECT_EQ(d.sinks().size(), 1u);
+  EXPECT_TRUE(d.is_acyclic());
+}
+
+}  // namespace
+}  // namespace ccmm

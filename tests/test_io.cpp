@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "construct/witness.hpp"
+#include "io/dot.hpp"
+#include "io/text.hpp"
+#include "models/examples.hpp"
+
+namespace ccmm::io {
+namespace {
+
+TEST(TextIo, ComputationRoundTrip) {
+  const auto p = examples::figure2();
+  const std::string text = write_computation(p.c);
+  std::istringstream in(text);
+  const Computation back = read_computation(in);
+  EXPECT_EQ(back, p.c);
+}
+
+TEST(TextIo, ObserverRoundTrip) {
+  const auto p = examples::figure2();
+  const std::string text = write_observer(p.phi);
+  std::istringstream in(text);
+  const ObserverFunction back = read_observer(in, p.c.node_count());
+  EXPECT_EQ(back, p.phi);
+}
+
+TEST(TextIo, PairRoundTrip) {
+  for (const auto& p : examples::all()) {
+    std::istringstream in(write_pair(p.c, p.phi));
+    const TextPair back = read_pair(in);
+    EXPECT_EQ(back.c, p.c) << p.name;
+    ASSERT_TRUE(back.phi.has_value()) << p.name;
+    EXPECT_EQ(*back.phi, p.phi) << p.name;
+  }
+}
+
+TEST(TextIo, PairWithoutObserver) {
+  const auto p = examples::figure3();
+  std::istringstream in(write_computation(p.c));
+  const TextPair back = read_pair(in);
+  EXPECT_EQ(back.c, p.c);
+  EXPECT_FALSE(back.phi.has_value());
+}
+
+TEST(TextIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n\ncomputation\n nodes 2 # trailing\n"
+      "op 0 W 3\nedge 0 1\nend\n";
+  std::istringstream in(text);
+  const Computation c = read_computation(in);
+  EXPECT_EQ(c.node_count(), 2u);
+  EXPECT_EQ(c.op(0), Op::write(3));
+  EXPECT_EQ(c.op(1), Op::nop());  // default
+  EXPECT_TRUE(c.precedes(0, 1));
+}
+
+TEST(TextIo, BottomSpelledAsUnderscore) {
+  const std::string text = "observer\nphi 0 1 _\nphi 0 0 0\nend\n";
+  std::istringstream in(text);
+  const ObserverFunction phi = read_observer(in, 2);
+  EXPECT_EQ(phi.get(0, 1), kBottom);
+  EXPECT_EQ(phi.get(0, 0), 0u);
+}
+
+TEST(TextIo, ParseErrorsCarryLineNumbers) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& needle) {
+    std::istringstream in(text);
+    try {
+      (void)read_computation(in);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("bogus\n", "expected 'computation'");
+  expect_error("computation\nop 0 W 0\nend\n", "'op' before 'nodes'");
+  expect_error("computation\nnodes 2\nop 0 X\nend\n", "unknown op kind");
+  expect_error("computation\nnodes 2\nedge 0 9\nend\n", "out of range");
+  expect_error("computation\nnodes 1\n", "unexpected end");
+  expect_error("computation\nnodes 2\nedge 0 1\nedge 1 0\nend\n", "cycle");
+}
+
+TEST(TextIo, Figure4WitnessRoundTripsThroughText) {
+  const NonconstructibilityWitness w = figure4_witness();
+  std::istringstream in(write_pair(w.c, w.phi));
+  const TextPair back = read_pair(in);
+  EXPECT_EQ(back.c, w.c);
+  EXPECT_EQ(*back.phi, w.phi);
+}
+
+TEST(DotIo, ContainsNodesEdgesAndObserver) {
+  const auto p = examples::figure2();
+  const std::string dot = to_dot(p.c, &p.phi);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("0: W(0)"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n2"), std::string::npos);
+  EXPECT_NE(dot.find("rf"), std::string::npos);  // reads-from edge
+  EXPECT_NE(dot.find("Φ(0)="), std::string::npos);
+}
+
+TEST(DotIo, PlainDag) {
+  Dag d(2);
+  d.add_edge(0, 1);
+  const std::string dot = to_dot(d);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccmm::io

@@ -1,0 +1,115 @@
+// Theorems 14, 15, 16: the last-writer function exists uniquely per
+// topological sort, satisfies the sandwich property, and is an observer
+// function.
+#include "core/last_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/generators.hpp"
+#include "dag/topsort.hpp"
+#include "exec/workload.hpp"
+
+namespace ccmm {
+namespace {
+
+Computation sample_computation() {
+  // 0: W(0), 1: W(0), 2: R(0), 3: W(1), 4: R(1), chain-ish dag.
+  ComputationBuilder b;
+  const NodeId a = b.write(0);
+  const NodeId bb = b.write(0, {a});
+  const NodeId c = b.read(0, {bb});
+  const NodeId d = b.write(1, {a});
+  b.read(1, {c, d});
+  return std::move(b).build();
+}
+
+TEST(LastWriter, FollowsSortOrder) {
+  const Computation c = sample_computation();
+  const auto order = c.dag().topological_order();
+  const ObserverFunction w = last_writer(c, order);
+  EXPECT_EQ(w.get(0, 0), 0u);
+  EXPECT_EQ(w.get(0, 1), 1u);  // 13.2: a write is its own last writer
+  EXPECT_EQ(w.get(0, 2), 1u);
+  EXPECT_EQ(w.get(1, 0), kBottom);  // before the write to location 1
+  EXPECT_EQ(w.get(1, 4), 3u);
+}
+
+TEST(LastWriter, RequiresTopologicalSort) {
+  const Computation c = sample_computation();
+  EXPECT_THROW(last_writer(c, {4, 3, 2, 1, 0}), std::logic_error);
+}
+
+TEST(LastWriter, PointQueryAgreesWithFullFunction) {
+  const Computation c = sample_computation();
+  Rng rng(1);
+  for (int i = 0; i < 5; ++i) {
+    const auto t = random_topological_sort(c.dag(), rng);
+    const ObserverFunction w = last_writer(c, t);
+    for (const Location l : c.written_locations())
+      for (NodeId u = 0; u < c.node_count(); ++u)
+        EXPECT_EQ(last_writer_at(c, t, l, u), w.get(l, u));
+  }
+  EXPECT_EQ(last_writer_at(c, c.dag().topological_order(), 0, kBottom),
+            kBottom);
+}
+
+// Theorem 16: W_T is an observer function, for every computation and sort.
+TEST(LastWriter, Theorem16_IsObserverFunction) {
+  Rng rng(2);
+  for (int round = 0; round < 30; ++round) {
+    const Dag d = gen::random_dag(8, 0.3, rng);
+    const Computation c = workload::random_ops(d, 2, 0.4, 0.4, rng);
+    const auto t = greedy_random_topological_sort(c.dag(), rng);
+    const ObserverFunction w = last_writer(c, t);
+    const auto validity = validate_observer(c, w);
+    EXPECT_TRUE(validity.ok) << validity.reason;
+  }
+}
+
+// Theorem 15: if W_T(l,u) ≺_T v ≼_T u then W_T(l,v) = W_T(l,u).
+TEST(LastWriter, Theorem15_SandwichProperty) {
+  Rng rng(3);
+  for (int round = 0; round < 20; ++round) {
+    const Dag d = gen::random_dag(7, 0.3, rng);
+    const Computation c = workload::random_ops(d, 2, 0.3, 0.5, rng);
+    const auto t = greedy_random_topological_sort(c.dag(), rng);
+    const auto pos = position_index(t);
+    const ObserverFunction w = last_writer(c, t);
+    for (const Location l : c.written_locations()) {
+      for (NodeId u = 0; u < c.node_count(); ++u) {
+        const NodeId lw = w.get(l, u);
+        if (lw == kBottom) continue;
+        for (NodeId v = 0; v < c.node_count(); ++v) {
+          if (pos[lw] < pos[v] && pos[v] <= pos[u]) {
+            EXPECT_EQ(w.get(l, v), lw);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Theorem 14 (uniqueness): the function is fully determined by T — two
+// computations of it must agree; we exercise this by recomputing.
+TEST(LastWriter, Theorem14_Deterministic) {
+  const Computation c = sample_computation();
+  const auto t = c.dag().topological_order();
+  EXPECT_EQ(last_writer(c, t), last_writer(c, t));
+}
+
+TEST(LastWriter, NoWritesGivesAllBottom) {
+  ComputationBuilder b;
+  b.read(0);
+  b.nop();
+  const Computation c = std::move(b).build();
+  const ObserverFunction w = last_writer(c, c.dag().topological_order());
+  EXPECT_TRUE(w.active_locations().empty());
+}
+
+TEST(LastWriter, EmptyComputation) {
+  const ObserverFunction w = last_writer(Computation(), {});
+  EXPECT_EQ(w.node_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ccmm

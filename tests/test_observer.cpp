@@ -1,0 +1,154 @@
+#include "core/observer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccmm {
+namespace {
+
+Computation write_read_chain() {
+  ComputationBuilder b;
+  const NodeId w = b.write(0);
+  b.read(0, {w});
+  return std::move(b).build();
+}
+
+TEST(ObserverFunction, DefaultsToBottom) {
+  ObserverFunction phi(3);
+  EXPECT_EQ(phi.get(0, 0), kBottom);
+  EXPECT_EQ(phi.get(7, 2), kBottom);
+  EXPECT_EQ(phi.get(0, kBottom), kBottom);  // Φ(l, ⊥) = ⊥
+  EXPECT_TRUE(phi.active_locations().empty());
+}
+
+TEST(ObserverFunction, SetAndGet) {
+  ObserverFunction phi(3);
+  phi.set(1, 2, 0);
+  EXPECT_EQ(phi.get(1, 2), 0u);
+  EXPECT_EQ(phi.get(1, 0), kBottom);
+  EXPECT_EQ(phi.active_locations(), std::vector<Location>{1});
+  phi.set(1, 2, kBottom);
+  EXPECT_TRUE(phi.active_locations().empty());
+}
+
+TEST(ObserverFunction, EqualityIgnoresAllBottomColumns) {
+  ObserverFunction a(2), b(2);
+  a.set(5, 0, kBottom);  // creates an all-⊥ column
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  a.set(5, 0, 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ObserverFunction, EqualityDifferentSizes) {
+  EXPECT_FALSE(ObserverFunction(2) == ObserverFunction(3));
+}
+
+TEST(ObserverFunction, RestrictionAndExtends) {
+  ObserverFunction big(3);
+  big.set(0, 0, 0);
+  big.set(0, 1, 0);
+  big.set(0, 2, 2);
+  const ObserverFunction small = big.restricted(2);
+  EXPECT_EQ(small.node_count(), 2u);
+  EXPECT_EQ(small.get(0, 0), 0u);
+  EXPECT_EQ(small.get(0, 1), 0u);
+  EXPECT_TRUE(big.extends(small));
+
+  ObserverFunction other(2);
+  other.set(0, 1, 1);
+  EXPECT_FALSE(big.extends(other));
+}
+
+TEST(ObserverFunction, OutOfRangeThrows) {
+  ObserverFunction phi(2);
+  EXPECT_THROW(phi.set(0, 5, 0), std::logic_error);
+  EXPECT_THROW(phi.set(0, 0, 9), std::logic_error);
+  EXPECT_THROW((void)phi.get(0, 5), std::logic_error);
+}
+
+// Definition 2 validation.
+
+TEST(ValidateObserver, AcceptsLastWriterStyleAssignment) {
+  const Computation c = write_read_chain();
+  ObserverFunction phi(2);
+  phi.set(0, 0, 0);
+  phi.set(0, 1, 0);
+  EXPECT_TRUE(is_valid_observer(c, phi));
+}
+
+TEST(ValidateObserver, Condition21_ObservedMustWriteThatLocation) {
+  const Computation c = write_read_chain();
+  ObserverFunction phi(2);
+  phi.set(0, 0, 0);
+  phi.set(0, 1, 1);  // node 1 is a read, not a write
+  const auto r = validate_observer(c, phi);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("2.1"), std::string::npos);
+}
+
+TEST(ValidateObserver, Condition21_WrongLocation) {
+  ComputationBuilder b;
+  b.write(0);
+  b.nop();
+  const Computation c = std::move(b).build();
+  ObserverFunction phi(2);
+  phi.set(0, 0, 0);
+  phi.set(1, 1, 0);  // node 0 writes location 0, not 1
+  EXPECT_FALSE(is_valid_observer(c, phi));
+}
+
+TEST(ValidateObserver, Condition22_NoObservingTheFuture) {
+  ComputationBuilder b;
+  const NodeId r = b.read(0);
+  b.write(0, {r});  // read precedes the write
+  const Computation c = std::move(b).build();
+  ObserverFunction phi(2);
+  phi.set(0, 1, 1);
+  phi.set(0, 0, 1);  // the read observes its own successor
+  const auto res = validate_observer(c, phi);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.reason.find("2.2"), std::string::npos);
+}
+
+TEST(ValidateObserver, ConcurrentWriteMayBeObserved) {
+  // Observing a dag-unrelated ("future-in-time but concurrent") write is
+  // legal: condition 2.2 only forbids observing a *successor*.
+  ComputationBuilder b;
+  b.read(0);
+  b.write(0);
+  const Computation c = std::move(b).build();
+  ObserverFunction phi(2);
+  phi.set(0, 1, 1);
+  phi.set(0, 0, 1);
+  EXPECT_TRUE(is_valid_observer(c, phi));
+}
+
+TEST(ValidateObserver, Condition23_WriteObservesItself) {
+  const Computation c = write_read_chain();
+  ObserverFunction phi(2);
+  // Write node 0 left at ⊥.
+  phi.set(0, 1, 0);
+  const auto r = validate_observer(c, phi);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.reason.find("2.3"), std::string::npos);
+}
+
+TEST(ValidateObserver, SizeMismatchRejected) {
+  const Computation c = write_read_chain();
+  EXPECT_FALSE(is_valid_observer(c, ObserverFunction(3)));
+}
+
+TEST(ValidateObserver, AllBottomIsValidWhenNothingWritten) {
+  ComputationBuilder b;
+  b.read(0);
+  b.nop();
+  const Computation c = std::move(b).build();
+  EXPECT_TRUE(is_valid_observer(c, ObserverFunction(2)));
+}
+
+TEST(ValidateObserver, EmptyComputation) {
+  EXPECT_TRUE(is_valid_observer(Computation(), ObserverFunction(0)));
+}
+
+}  // namespace
+}  // namespace ccmm

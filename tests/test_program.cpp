@@ -1,0 +1,76 @@
+#include "proc/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ccmm::proc {
+namespace {
+
+TEST(Program, UnfoldsThreadsIntoChains) {
+  Program p;
+  const Pos a = p.add(0, Op::write(0));
+  const Pos b = p.add(0, Op::read(0));
+  const Pos c = p.add(1, Op::write(1));
+  const ProgramComputation pc = unfold(p);
+  EXPECT_EQ(pc.c.node_count(), 3u);
+  EXPECT_TRUE(pc.c.precedes(pc.node(a), pc.node(b)));
+  EXPECT_FALSE(pc.c.precedes(pc.node(a), pc.node(c)));
+  EXPECT_FALSE(pc.c.precedes(pc.node(c), pc.node(a)));
+  EXPECT_EQ(pc.c.op(pc.node(a)), Op::write(0));
+  EXPECT_EQ(pc.c.op(pc.node(c)), Op::write(1));
+}
+
+TEST(Program, SyncEdgesCrossThreads) {
+  Program p;
+  const Pos w = p.add(0, Op::write(0));
+  const Pos r = p.add(1, Op::read(0));
+  p.sync(w, r);
+  const ProgramComputation pc = unfold(p);
+  EXPECT_TRUE(pc.c.precedes(pc.node(w), pc.node(r)));
+}
+
+TEST(Program, SyncCycleRejected) {
+  Program p;
+  const Pos a = p.add(0, Op::nop());
+  const Pos b = p.add(0, Op::nop());
+  const Pos c = p.add(1, Op::nop());
+  const Pos d = p.add(1, Op::nop());
+  p.sync(b, c);
+  p.sync(d, a);  // closes a cycle a->b->c->d->a
+  EXPECT_THROW((void)unfold(p), std::logic_error);
+}
+
+TEST(Program, OutOfRangeSyncRejected) {
+  Program p;
+  p.add(0, Op::nop());
+  p.sync({0, 0}, {5, 0});
+  EXPECT_THROW((void)unfold(p), std::logic_error);
+}
+
+TEST(Program, EmptyProgram) {
+  const ProgramComputation pc = unfold(Program{});
+  EXPECT_TRUE(pc.c.empty());
+}
+
+TEST(Program, UnevenThreadLengths) {
+  Program p;
+  p.add(0, Op::nop());
+  p.add(0, Op::nop());
+  p.add(0, Op::nop());
+  p.add(1, Op::nop());
+  const ProgramComputation pc = unfold(p);
+  EXPECT_EQ(pc.c.node_count(), 4u);
+  EXPECT_EQ(pc.node_of[0].size(), 3u);
+  EXPECT_EQ(pc.node_of[1].size(), 1u);
+  // Program order within thread 0 holds.
+  EXPECT_TRUE(pc.c.precedes(pc.node_of[0][0], pc.node_of[0][2]));
+}
+
+TEST(Program, PositionLookupValidated) {
+  Program p;
+  p.add(0, Op::nop());
+  const ProgramComputation pc = unfold(p);
+  EXPECT_THROW((void)pc.node({3, 0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ccmm::proc

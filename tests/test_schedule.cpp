@@ -1,0 +1,126 @@
+#include "exec/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dag/generators.hpp"
+#include "exec/workload.hpp"
+
+namespace ccmm {
+namespace {
+
+Computation sample(std::size_t n, Rng& rng) {
+  const Dag d = gen::random_dag(n, 0.2, rng);
+  return workload::random_ops(d, 2, 0.4, 0.4, rng);
+}
+
+TEST(Schedule, SerialScheduleIsValidAndSequential) {
+  Rng rng(1);
+  const Computation c = sample(12, rng);
+  const Schedule s = serial_schedule(c);
+  EXPECT_TRUE(s.valid_for(c));
+  EXPECT_EQ(s.nprocs, 1u);
+  EXPECT_EQ(s.makespan, 12u);
+  for (std::size_t i = 1; i < s.entries.size(); ++i)
+    EXPECT_EQ(s.entries[i].start, s.entries[i - 1].finish);
+}
+
+TEST(Schedule, GreedyScheduleValidAcrossProcCounts) {
+  Rng rng(2);
+  const Computation c = sample(30, rng);
+  for (const std::size_t p : {1u, 2u, 4u, 8u}) {
+    const Schedule s = greedy_schedule(c, p);
+    EXPECT_TRUE(s.valid_for(c)) << p;
+    EXPECT_LE(s.makespan, 30u);
+  }
+}
+
+TEST(Schedule, GreedyRespectsBrentBound) {
+  // Greedy scheduling: T_P <= T_1/P + T_inf.
+  Rng rng(3);
+  for (int round = 0; round < 10; ++round) {
+    const Computation c = sample(40, rng);
+    const WorkSpan ws = work_span(c);
+    for (const std::size_t p : {2u, 4u}) {
+      const Schedule s = greedy_schedule(c, p);
+      EXPECT_LE(s.makespan, ws.work / p + ws.span)
+          << "round " << round << " P=" << p;
+      EXPECT_GE(s.makespan, ws.span);           // span law
+      EXPECT_GE(s.makespan, ws.work / p);        // work law (unit times)
+    }
+  }
+}
+
+TEST(Schedule, GreedyWithDurations) {
+  Rng rng(4);
+  const Computation c = sample(20, rng);
+  std::vector<std::uint64_t> dur(20);
+  for (auto& d : dur) d = 1 + rng.below(9);
+  const Schedule s = greedy_schedule(c, 3, dur);
+  EXPECT_TRUE(s.valid_for(c));
+  const WorkSpan ws = work_span(c, dur);
+  EXPECT_GE(s.makespan, ws.span);
+}
+
+TEST(Schedule, WorkStealingValidAndDeterministicPerSeed) {
+  Rng rng(5);
+  const Computation c = sample(50, rng);
+  Rng s1(77), s2(77), s3(78);
+  const Schedule a = work_stealing_schedule(c, 4, s1);
+  const Schedule b = work_stealing_schedule(c, 4, s2);
+  EXPECT_TRUE(a.valid_for(c));
+  EXPECT_EQ(a.proc_of, b.proc_of);  // same seed, same schedule
+  EXPECT_EQ(a.makespan, b.makespan);
+  const Schedule d = work_stealing_schedule(c, 4, s3);
+  EXPECT_TRUE(d.valid_for(c));
+}
+
+TEST(Schedule, WorkStealingActuallySteals) {
+  // A wide fork/join on several processors must migrate work.
+  Rng rng(6);
+  const Dag d = gen::fork_join(4, 3);
+  const Computation c(d, std::vector<Op>(d.node_count(), Op::nop()));
+  const Schedule s = work_stealing_schedule(c, 4, rng);
+  EXPECT_TRUE(s.valid_for(c));
+  EXPECT_GT(s.steals, 0u);
+  std::set<ProcId> used(s.proc_of.begin(), s.proc_of.end());
+  EXPECT_GT(used.size(), 1u);
+}
+
+TEST(Schedule, SingleProcessorWorkStealingMatchesSerialWork) {
+  Rng rng(7);
+  const Computation c = sample(15, rng);
+  const Schedule s = work_stealing_schedule(c, 1, rng);
+  EXPECT_TRUE(s.valid_for(c));
+  EXPECT_EQ(s.steals, 0u);
+  EXPECT_EQ(s.makespan, 15u);
+}
+
+TEST(Schedule, WorkSpanOfKnownShapes) {
+  // Chain: work = span = n.
+  const Computation chain(gen::chain(6), std::vector<Op>(6, Op::nop()));
+  EXPECT_EQ(work_span(chain).work, 6u);
+  EXPECT_EQ(work_span(chain).span, 6u);
+  // Diamond(4): work 6, span 3.
+  const Computation dia(gen::diamond(4), std::vector<Op>(6, Op::nop()));
+  EXPECT_EQ(work_span(dia).work, 6u);
+  EXPECT_EQ(work_span(dia).span, 3u);
+}
+
+TEST(Schedule, ValidityCatchesViolations) {
+  Rng rng(8);
+  const Computation c = sample(6, rng);
+  Schedule s = serial_schedule(c);
+  Schedule broken = s;
+  broken.entries[0].node = broken.entries[1].node;  // duplicate node
+  EXPECT_FALSE(broken.valid_for(c));
+  Schedule overlap = s;
+  if (overlap.entries.size() >= 2) {
+    overlap.entries[1].start = overlap.entries[0].start;  // same proc overlap
+    EXPECT_FALSE(overlap.valid_for(c));
+  }
+}
+
+}  // namespace
+}  // namespace ccmm

@@ -1,0 +1,78 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exec/sc_memory.hpp"
+#include "exec/workload.hpp"
+
+namespace ccmm {
+namespace {
+
+ExecutionResult sample_run(const Computation& c) {
+  ScMemory mem;
+  return run_serial(c, mem);
+}
+
+TEST(Trace, OrderFollowsSequenceNumbers) {
+  const Computation c = workload::reduction(4);
+  const ExecutionResult r = sample_run(c);
+  const auto order = trace_order(r.trace);
+  EXPECT_EQ(order.size(), c.node_count());
+  // Serial schedule = canonical topological order.
+  EXPECT_EQ(order, c.dag().topological_order());
+}
+
+TEST(Trace, OrderSortsShuffledEvents) {
+  Trace t;
+  t.events.push_back({2, 2, 0, 7, Op::nop(), kBottom});
+  t.events.push_back({0, 0, 0, 3, Op::nop(), kBottom});
+  t.events.push_back({1, 1, 0, 5, Op::nop(), kBottom});
+  EXPECT_EQ(trace_order(t), (std::vector<NodeId>{3, 5, 7}));
+}
+
+TEST(Trace, ConsistencyChecker) {
+  const Computation c = workload::contended_counter(3);
+  const ExecutionResult r = sample_run(c);
+  EXPECT_TRUE(trace_consistent_with(r.trace, c));
+
+  // Wrong size.
+  Trace shorter = r.trace;
+  shorter.events.pop_back();
+  EXPECT_FALSE(trace_consistent_with(shorter, c));
+
+  // Wrong op recorded.
+  Trace wrong_op = r.trace;
+  wrong_op.events[0].op = Op::read(9);
+  EXPECT_FALSE(trace_consistent_with(wrong_op, c));
+
+  // Non-topological order: swap seq of a dependent pair.
+  Trace reordered = r.trace;
+  // init (node 0) must precede everything; give it the largest seq.
+  for (auto& e : reordered.events)
+    if (e.node == 0) e.seq = 1000;
+  EXPECT_FALSE(trace_consistent_with(reordered, c));
+
+  // Duplicate node.
+  Trace dup = r.trace;
+  dup.events[1].node = dup.events[0].node;
+  EXPECT_FALSE(trace_consistent_with(dup, c));
+}
+
+TEST(Trace, RenderingMentionsOpsAndObservations) {
+  const Computation c = workload::contended_counter(2);
+  const ExecutionResult r = sample_run(c);
+  const std::string s = trace_to_string(r.trace);
+  EXPECT_NE(s.find("W(0)"), std::string::npos);
+  EXPECT_NE(s.find("R(0)"), std::string::npos);
+  EXPECT_NE(s.find("seq"), std::string::npos);
+}
+
+TEST(Trace, EmptyTrace) {
+  Trace t;
+  EXPECT_TRUE(trace_order(t).empty());
+  EXPECT_TRUE(trace_consistent_with(t, Computation()));
+  EXPECT_FALSE(trace_consistent_with(t, workload::reduction(2)));
+}
+
+}  // namespace
+}  // namespace ccmm

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/str.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ccmm {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, SplitIsIndependent) {
+  Rng parent(5);
+  Rng child = parent.split();
+  // The child stream should not simply replay the parent.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next() == child.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Format, BasicSubstitution) {
+  EXPECT_EQ(format("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+  EXPECT_EQ(format("%u", 7u), "7");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(Join, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "n"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "100"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("alpha  1"), std::string::npos);
+  EXPECT_NE(s.find("b      100"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> n{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&n] { n.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(n.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace ccmm

@@ -1,0 +1,123 @@
+#include "exec/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/race.hpp"
+
+namespace ccmm {
+namespace {
+
+TEST(Workload, RandomOpsRespectsFractions) {
+  Rng rng(1);
+  const Dag d = gen::antichain(1000);
+  const Computation c = workload::random_ops(d, 4, 0.5, 0.3, rng);
+  std::size_t reads = 0, writes = 0, nops = 0;
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const Op o = c.op(u);
+    reads += o.is_read();
+    writes += o.is_write();
+    nops += o.is_nop();
+    if (!o.is_nop()) {
+      EXPECT_LT(o.loc, 4u);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / 1000, 0.5, 0.06);
+  EXPECT_NEAR(static_cast<double>(writes) / 1000, 0.3, 0.06);
+  EXPECT_NEAR(static_cast<double>(nops) / 1000, 0.2, 0.06);
+}
+
+TEST(Workload, RandomOpsValidatesArguments) {
+  Rng rng(2);
+  const Dag d = gen::antichain(3);
+  EXPECT_THROW((void)workload::random_ops(d, 0, 0.5, 0.3, rng),
+               std::logic_error);
+  EXPECT_THROW((void)workload::random_ops(d, 1, 0.8, 0.4, rng),
+               std::logic_error);
+}
+
+TEST(Workload, ReductionIsRaceFree) {
+  for (const std::size_t leaves : {1u, 2u, 5u, 8u, 16u}) {
+    const Computation c = workload::reduction(leaves);
+    EXPECT_TRUE(is_race_free(c)) << leaves;
+    EXPECT_TRUE(c.dag().is_acyclic());
+  }
+}
+
+TEST(Workload, ReductionShape) {
+  const Computation c = workload::reduction(4);
+  // 4 leaves + 3 combines × (2 reads + 1 write) = 13 nodes.
+  EXPECT_EQ(c.node_count(), 13u);
+  // Every location written exactly once.
+  for (const Location l : c.written_locations())
+    EXPECT_EQ(c.writers(l).size(), 1u);
+  // Every read's location has a writer preceding it.
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const Op o = c.op(u);
+    if (!o.is_read()) continue;
+    const auto ws = c.writers(o.loc);
+    ASSERT_EQ(ws.size(), 1u);
+    EXPECT_TRUE(c.precedes(ws[0], u));
+  }
+}
+
+TEST(Workload, StencilIsRaceFree) {
+  for (const auto& [w, s] :
+       std::initializer_list<std::pair<std::size_t, std::size_t>>{
+           {1, 2}, {3, 3}, {5, 4}, {8, 2}}) {
+    const Computation c = workload::stencil(w, s);
+    EXPECT_TRUE(is_race_free(c)) << w << "x" << s;
+  }
+}
+
+TEST(Workload, StencilUsesDoubleBuffer) {
+  const Computation c = workload::stencil(4, 3);
+  const auto locs = c.accessed_locations();
+  EXPECT_LE(locs.size(), 8u);  // two buffers of four
+}
+
+TEST(Workload, ContendedCounterIsMaximallyRacy) {
+  const Computation c = workload::contended_counter(4);
+  const auto races = find_races(c);
+  EXPECT_FALSE(races.empty());
+  // All increments race pairwise: 4 writes × (reads + writes of others).
+  std::size_t ww = 0;
+  for (const auto& r : races)
+    if (r.kind == RaceKind::kWriteWrite) ++ww;
+  EXPECT_EQ(ww, 6u);  // C(4,2) write/write races
+}
+
+TEST(Workload, MatmulIsRaceFreeAndWellShaped) {
+  for (const std::size_t n : {1u, 2u, 3u}) {
+    const Computation c = workload::matmul(n);
+    // 2n^2 input writes + n^2 chains of (1 zero-write + 4n nodes).
+    EXPECT_EQ(c.node_count(), 2 * n * n + n * n * (1 + 4 * n)) << n;
+    EXPECT_TRUE(is_race_free(c)) << n;
+    EXPECT_TRUE(c.dag().is_acyclic());
+  }
+}
+
+TEST(Workload, MatmulReadsSeeTheirProducers) {
+  const Computation c = workload::matmul(2);
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const Op o = c.op(u);
+    if (!o.is_read()) continue;
+    // Race-free: exactly one writer of the location precedes each read
+    // maximally (the chain guarantees a unique latest one).
+    bool has_preceding_writer = false;
+    for (const NodeId w : c.writers(o.loc))
+      if (c.precedes(w, u)) has_preceding_writer = true;
+    EXPECT_TRUE(has_preceding_writer) << u;
+  }
+}
+
+TEST(Workload, ForkJoinArrayShape) {
+  const Computation c = workload::fork_join_array(2, 3, 4);
+  EXPECT_TRUE(c.dag().is_acyclic());
+  EXPECT_FALSE(c.written_locations().empty());
+  // Scaffolding nodes (source fork / final join) are nops.
+  EXPECT_TRUE(c.op(c.dag().sources()[0]).is_nop());
+  EXPECT_TRUE(c.op(c.dag().sinks()[0]).is_nop());
+}
+
+}  // namespace
+}  // namespace ccmm

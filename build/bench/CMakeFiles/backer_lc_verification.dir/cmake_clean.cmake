@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backer_lc_verification.dir/backer_lc_verification.cpp.o"
+  "CMakeFiles/backer_lc_verification.dir/backer_lc_verification.cpp.o.d"
+  "backer_lc_verification"
+  "backer_lc_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backer_lc_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backer_speedup.dir/backer_speedup.cpp.o"
+  "CMakeFiles/backer_speedup.dir/backer_speedup.cpp.o.d"
+  "backer_speedup"
+  "backer_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backer_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

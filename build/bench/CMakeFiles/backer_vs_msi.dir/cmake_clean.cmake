@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backer_vs_msi.dir/backer_vs_msi.cpp.o"
+  "CMakeFiles/backer_vs_msi.dir/backer_vs_msi.cpp.o.d"
+  "backer_vs_msi"
+  "backer_vs_msi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backer_vs_msi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backer.dir/bench_backer.cpp.o"
+  "CMakeFiles/bench_backer.dir/bench_backer.cpp.o.d"
+  "bench_backer"
+  "bench_backer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_backer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checkers.dir/bench_checkers.cpp.o"
+  "CMakeFiles/bench_checkers.dir/bench_checkers.cpp.o.d"
+  "bench_checkers"
+  "bench_checkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

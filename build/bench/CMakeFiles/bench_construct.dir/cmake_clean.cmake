@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_construct.dir/bench_construct.cpp.o"
+  "CMakeFiles/bench_construct.dir/bench_construct.cpp.o.d"
+  "bench_construct"
+  "bench_construct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_construct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sc_search.dir/bench_sc_search.cpp.o"
+  "CMakeFiles/bench_sc_search.dir/bench_sc_search.cpp.o.d"
+  "bench_sc_search"
+  "bench_sc_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sc_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

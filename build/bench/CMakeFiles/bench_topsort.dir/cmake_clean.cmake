@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topsort.dir/bench_topsort.cpp.o"
+  "CMakeFiles/bench_topsort.dir/bench_topsort.cpp.o.d"
+  "bench_topsort"
+  "bench_topsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

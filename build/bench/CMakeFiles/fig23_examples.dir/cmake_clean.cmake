@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_examples.dir/fig23_examples.cpp.o"
+  "CMakeFiles/fig23_examples.dir/fig23_examples.cpp.o.d"
+  "fig23_examples"
+  "fig23_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_nonconstructibility.dir/fig4_nonconstructibility.cpp.o"
+  "CMakeFiles/fig4_nonconstructibility.dir/fig4_nonconstructibility.cpp.o.d"
+  "fig4_nonconstructibility"
+  "fig4_nonconstructibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_nonconstructibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_hardware.dir/litmus_hardware.cpp.o"
+  "CMakeFiles/litmus_hardware.dir/litmus_hardware.cpp.o.d"
+  "litmus_hardware"
+  "litmus_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_suite.dir/litmus_suite.cpp.o"
+  "CMakeFiles/litmus_suite.dir/litmus_suite.cpp.o.d"
+  "litmus_suite"
+  "litmus_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimal_separators.dir/minimal_separators.cpp.o"
+  "CMakeFiles/minimal_separators.dir/minimal_separators.cpp.o.d"
+  "minimal_separators"
+  "minimal_separators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimal_separators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

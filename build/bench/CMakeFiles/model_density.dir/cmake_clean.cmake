@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_density.dir/model_density.cpp.o"
+  "CMakeFiles/model_density.dir/model_density.cpp.o.d"
+  "model_density"
+  "model_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

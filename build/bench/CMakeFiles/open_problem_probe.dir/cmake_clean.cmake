@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_problem_probe.dir/open_problem_probe.cpp.o"
+  "CMakeFiles/open_problem_probe.dir/open_problem_probe.cpp.o.d"
+  "open_problem_probe"
+  "open_problem_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_problem_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_cube.dir/predicate_cube.cpp.o"
+  "CMakeFiles/predicate_cube.dir/predicate_cube.cpp.o.d"
+  "predicate_cube"
+  "predicate_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

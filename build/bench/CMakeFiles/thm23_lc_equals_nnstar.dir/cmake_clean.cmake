@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm23_lc_equals_nnstar.dir/thm23_lc_equals_nnstar.cpp.o"
+  "CMakeFiles/thm23_lc_equals_nnstar.dir/thm23_lc_equals_nnstar.cpp.o.d"
+  "thm23_lc_equals_nnstar"
+  "thm23_lc_equals_nnstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm23_lc_equals_nnstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for thm23_lc_equals_nnstar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for thm23_lc_equals_nnstar.
+# This may be replaced when dependencies are built.

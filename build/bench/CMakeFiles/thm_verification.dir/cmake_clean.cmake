@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm_verification.dir/thm_verification.cpp.o"
+  "CMakeFiles/thm_verification.dir/thm_verification.cpp.o.d"
+  "thm_verification"
+  "thm_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backer_simulation.dir/backer_simulation.cpp.o"
+  "CMakeFiles/backer_simulation.dir/backer_simulation.cpp.o.d"
+  "backer_simulation"
+  "backer_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backer_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmm_check.dir/ccmm_check.cpp.o"
+  "CMakeFiles/ccmm_check.dir/ccmm_check.cpp.o.d"
+  "ccmm_check"
+  "ccmm_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmm_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

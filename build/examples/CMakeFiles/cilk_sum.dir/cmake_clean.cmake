@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cilk_sum.dir/cilk_sum.cpp.o"
+  "CMakeFiles/cilk_sum.dir/cilk_sum.cpp.o.d"
+  "cilk_sum"
+  "cilk_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cilk_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

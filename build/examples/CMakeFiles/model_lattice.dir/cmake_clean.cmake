@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_lattice.dir/model_lattice.cpp.o"
+  "CMakeFiles/model_lattice.dir/model_lattice.cpp.o.d"
+  "model_lattice"
+  "model_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

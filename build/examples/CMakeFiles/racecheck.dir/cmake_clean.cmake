@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/racecheck.dir/racecheck.cpp.o"
+  "CMakeFiles/racecheck.dir/racecheck.cpp.o.d"
+  "racecheck"
+  "racecheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/racecheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

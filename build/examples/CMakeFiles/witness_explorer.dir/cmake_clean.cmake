@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witness_explorer.dir/witness_explorer.cpp.o"
+  "CMakeFiles/witness_explorer.dir/witness_explorer.cpp.o.d"
+  "witness_explorer"
+  "witness_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witness_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/construct/constructibility.cpp" "src/CMakeFiles/ccmm_construct.dir/construct/constructibility.cpp.o" "gcc" "src/CMakeFiles/ccmm_construct.dir/construct/constructibility.cpp.o.d"
+  "/root/repo/src/construct/extension.cpp" "src/CMakeFiles/ccmm_construct.dir/construct/extension.cpp.o" "gcc" "src/CMakeFiles/ccmm_construct.dir/construct/extension.cpp.o.d"
+  "/root/repo/src/construct/fixpoint.cpp" "src/CMakeFiles/ccmm_construct.dir/construct/fixpoint.cpp.o" "gcc" "src/CMakeFiles/ccmm_construct.dir/construct/fixpoint.cpp.o.d"
+  "/root/repo/src/construct/online.cpp" "src/CMakeFiles/ccmm_construct.dir/construct/online.cpp.o" "gcc" "src/CMakeFiles/ccmm_construct.dir/construct/online.cpp.o.d"
+  "/root/repo/src/construct/witness.cpp" "src/CMakeFiles/ccmm_construct.dir/construct/witness.cpp.o" "gcc" "src/CMakeFiles/ccmm_construct.dir/construct/witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccmm_enumerate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmm_construct.dir/construct/constructibility.cpp.o"
+  "CMakeFiles/ccmm_construct.dir/construct/constructibility.cpp.o.d"
+  "CMakeFiles/ccmm_construct.dir/construct/extension.cpp.o"
+  "CMakeFiles/ccmm_construct.dir/construct/extension.cpp.o.d"
+  "CMakeFiles/ccmm_construct.dir/construct/fixpoint.cpp.o"
+  "CMakeFiles/ccmm_construct.dir/construct/fixpoint.cpp.o.d"
+  "CMakeFiles/ccmm_construct.dir/construct/online.cpp.o"
+  "CMakeFiles/ccmm_construct.dir/construct/online.cpp.o.d"
+  "CMakeFiles/ccmm_construct.dir/construct/witness.cpp.o"
+  "CMakeFiles/ccmm_construct.dir/construct/witness.cpp.o.d"
+  "libccmm_construct.a"
+  "libccmm_construct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmm_construct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/computation.cpp" "src/CMakeFiles/ccmm_core.dir/core/computation.cpp.o" "gcc" "src/CMakeFiles/ccmm_core.dir/core/computation.cpp.o.d"
+  "/root/repo/src/core/last_writer.cpp" "src/CMakeFiles/ccmm_core.dir/core/last_writer.cpp.o" "gcc" "src/CMakeFiles/ccmm_core.dir/core/last_writer.cpp.o.d"
+  "/root/repo/src/core/memory_model.cpp" "src/CMakeFiles/ccmm_core.dir/core/memory_model.cpp.o" "gcc" "src/CMakeFiles/ccmm_core.dir/core/memory_model.cpp.o.d"
+  "/root/repo/src/core/observer.cpp" "src/CMakeFiles/ccmm_core.dir/core/observer.cpp.o" "gcc" "src/CMakeFiles/ccmm_core.dir/core/observer.cpp.o.d"
+  "/root/repo/src/core/op.cpp" "src/CMakeFiles/ccmm_core.dir/core/op.cpp.o" "gcc" "src/CMakeFiles/ccmm_core.dir/core/op.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccmm_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmm_core.dir/core/computation.cpp.o"
+  "CMakeFiles/ccmm_core.dir/core/computation.cpp.o.d"
+  "CMakeFiles/ccmm_core.dir/core/last_writer.cpp.o"
+  "CMakeFiles/ccmm_core.dir/core/last_writer.cpp.o.d"
+  "CMakeFiles/ccmm_core.dir/core/memory_model.cpp.o"
+  "CMakeFiles/ccmm_core.dir/core/memory_model.cpp.o.d"
+  "CMakeFiles/ccmm_core.dir/core/observer.cpp.o"
+  "CMakeFiles/ccmm_core.dir/core/observer.cpp.o.d"
+  "CMakeFiles/ccmm_core.dir/core/op.cpp.o"
+  "CMakeFiles/ccmm_core.dir/core/op.cpp.o.d"
+  "libccmm_core.a"
+  "libccmm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/dag.cpp" "src/CMakeFiles/ccmm_dag.dir/dag/dag.cpp.o" "gcc" "src/CMakeFiles/ccmm_dag.dir/dag/dag.cpp.o.d"
+  "/root/repo/src/dag/generators.cpp" "src/CMakeFiles/ccmm_dag.dir/dag/generators.cpp.o" "gcc" "src/CMakeFiles/ccmm_dag.dir/dag/generators.cpp.o.d"
+  "/root/repo/src/dag/topsort.cpp" "src/CMakeFiles/ccmm_dag.dir/dag/topsort.cpp.o" "gcc" "src/CMakeFiles/ccmm_dag.dir/dag/topsort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccmm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmm_dag.dir/dag/dag.cpp.o"
+  "CMakeFiles/ccmm_dag.dir/dag/dag.cpp.o.d"
+  "CMakeFiles/ccmm_dag.dir/dag/generators.cpp.o"
+  "CMakeFiles/ccmm_dag.dir/dag/generators.cpp.o.d"
+  "CMakeFiles/ccmm_dag.dir/dag/topsort.cpp.o"
+  "CMakeFiles/ccmm_dag.dir/dag/topsort.cpp.o.d"
+  "libccmm_dag.a"
+  "libccmm_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmm_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

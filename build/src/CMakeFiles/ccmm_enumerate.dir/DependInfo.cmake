@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enumerate/dag_enum.cpp" "src/CMakeFiles/ccmm_enumerate.dir/enumerate/dag_enum.cpp.o" "gcc" "src/CMakeFiles/ccmm_enumerate.dir/enumerate/dag_enum.cpp.o.d"
+  "/root/repo/src/enumerate/isomorphism.cpp" "src/CMakeFiles/ccmm_enumerate.dir/enumerate/isomorphism.cpp.o" "gcc" "src/CMakeFiles/ccmm_enumerate.dir/enumerate/isomorphism.cpp.o.d"
+  "/root/repo/src/enumerate/labeling_enum.cpp" "src/CMakeFiles/ccmm_enumerate.dir/enumerate/labeling_enum.cpp.o" "gcc" "src/CMakeFiles/ccmm_enumerate.dir/enumerate/labeling_enum.cpp.o.d"
+  "/root/repo/src/enumerate/observer_enum.cpp" "src/CMakeFiles/ccmm_enumerate.dir/enumerate/observer_enum.cpp.o" "gcc" "src/CMakeFiles/ccmm_enumerate.dir/enumerate/observer_enum.cpp.o.d"
+  "/root/repo/src/enumerate/sampling.cpp" "src/CMakeFiles/ccmm_enumerate.dir/enumerate/sampling.cpp.o" "gcc" "src/CMakeFiles/ccmm_enumerate.dir/enumerate/sampling.cpp.o.d"
+  "/root/repo/src/enumerate/separators.cpp" "src/CMakeFiles/ccmm_enumerate.dir/enumerate/separators.cpp.o" "gcc" "src/CMakeFiles/ccmm_enumerate.dir/enumerate/separators.cpp.o.d"
+  "/root/repo/src/enumerate/universe.cpp" "src/CMakeFiles/ccmm_enumerate.dir/enumerate/universe.cpp.o" "gcc" "src/CMakeFiles/ccmm_enumerate.dir/enumerate/universe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccmm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

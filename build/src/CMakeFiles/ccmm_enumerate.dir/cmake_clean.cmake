@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmm_enumerate.dir/enumerate/dag_enum.cpp.o"
+  "CMakeFiles/ccmm_enumerate.dir/enumerate/dag_enum.cpp.o.d"
+  "CMakeFiles/ccmm_enumerate.dir/enumerate/isomorphism.cpp.o"
+  "CMakeFiles/ccmm_enumerate.dir/enumerate/isomorphism.cpp.o.d"
+  "CMakeFiles/ccmm_enumerate.dir/enumerate/labeling_enum.cpp.o"
+  "CMakeFiles/ccmm_enumerate.dir/enumerate/labeling_enum.cpp.o.d"
+  "CMakeFiles/ccmm_enumerate.dir/enumerate/observer_enum.cpp.o"
+  "CMakeFiles/ccmm_enumerate.dir/enumerate/observer_enum.cpp.o.d"
+  "CMakeFiles/ccmm_enumerate.dir/enumerate/sampling.cpp.o"
+  "CMakeFiles/ccmm_enumerate.dir/enumerate/sampling.cpp.o.d"
+  "CMakeFiles/ccmm_enumerate.dir/enumerate/separators.cpp.o"
+  "CMakeFiles/ccmm_enumerate.dir/enumerate/separators.cpp.o.d"
+  "CMakeFiles/ccmm_enumerate.dir/enumerate/universe.cpp.o"
+  "CMakeFiles/ccmm_enumerate.dir/enumerate/universe.cpp.o.d"
+  "libccmm_enumerate.a"
+  "libccmm_enumerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmm_enumerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/backer.cpp" "src/CMakeFiles/ccmm_exec.dir/exec/backer.cpp.o" "gcc" "src/CMakeFiles/ccmm_exec.dir/exec/backer.cpp.o.d"
+  "/root/repo/src/exec/costed.cpp" "src/CMakeFiles/ccmm_exec.dir/exec/costed.cpp.o" "gcc" "src/CMakeFiles/ccmm_exec.dir/exec/costed.cpp.o.d"
+  "/root/repo/src/exec/lc_memory.cpp" "src/CMakeFiles/ccmm_exec.dir/exec/lc_memory.cpp.o" "gcc" "src/CMakeFiles/ccmm_exec.dir/exec/lc_memory.cpp.o.d"
+  "/root/repo/src/exec/memory.cpp" "src/CMakeFiles/ccmm_exec.dir/exec/memory.cpp.o" "gcc" "src/CMakeFiles/ccmm_exec.dir/exec/memory.cpp.o.d"
+  "/root/repo/src/exec/msi.cpp" "src/CMakeFiles/ccmm_exec.dir/exec/msi.cpp.o" "gcc" "src/CMakeFiles/ccmm_exec.dir/exec/msi.cpp.o.d"
+  "/root/repo/src/exec/sc_memory.cpp" "src/CMakeFiles/ccmm_exec.dir/exec/sc_memory.cpp.o" "gcc" "src/CMakeFiles/ccmm_exec.dir/exec/sc_memory.cpp.o.d"
+  "/root/repo/src/exec/schedule.cpp" "src/CMakeFiles/ccmm_exec.dir/exec/schedule.cpp.o" "gcc" "src/CMakeFiles/ccmm_exec.dir/exec/schedule.cpp.o.d"
+  "/root/repo/src/exec/sim_machine.cpp" "src/CMakeFiles/ccmm_exec.dir/exec/sim_machine.cpp.o" "gcc" "src/CMakeFiles/ccmm_exec.dir/exec/sim_machine.cpp.o.d"
+  "/root/repo/src/exec/threaded_executor.cpp" "src/CMakeFiles/ccmm_exec.dir/exec/threaded_executor.cpp.o" "gcc" "src/CMakeFiles/ccmm_exec.dir/exec/threaded_executor.cpp.o.d"
+  "/root/repo/src/exec/weak_memory.cpp" "src/CMakeFiles/ccmm_exec.dir/exec/weak_memory.cpp.o" "gcc" "src/CMakeFiles/ccmm_exec.dir/exec/weak_memory.cpp.o.d"
+  "/root/repo/src/exec/workload.cpp" "src/CMakeFiles/ccmm_exec.dir/exec/workload.cpp.o" "gcc" "src/CMakeFiles/ccmm_exec.dir/exec/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

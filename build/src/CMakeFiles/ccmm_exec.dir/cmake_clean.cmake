@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmm_exec.dir/exec/backer.cpp.o"
+  "CMakeFiles/ccmm_exec.dir/exec/backer.cpp.o.d"
+  "CMakeFiles/ccmm_exec.dir/exec/costed.cpp.o"
+  "CMakeFiles/ccmm_exec.dir/exec/costed.cpp.o.d"
+  "CMakeFiles/ccmm_exec.dir/exec/lc_memory.cpp.o"
+  "CMakeFiles/ccmm_exec.dir/exec/lc_memory.cpp.o.d"
+  "CMakeFiles/ccmm_exec.dir/exec/memory.cpp.o"
+  "CMakeFiles/ccmm_exec.dir/exec/memory.cpp.o.d"
+  "CMakeFiles/ccmm_exec.dir/exec/msi.cpp.o"
+  "CMakeFiles/ccmm_exec.dir/exec/msi.cpp.o.d"
+  "CMakeFiles/ccmm_exec.dir/exec/sc_memory.cpp.o"
+  "CMakeFiles/ccmm_exec.dir/exec/sc_memory.cpp.o.d"
+  "CMakeFiles/ccmm_exec.dir/exec/schedule.cpp.o"
+  "CMakeFiles/ccmm_exec.dir/exec/schedule.cpp.o.d"
+  "CMakeFiles/ccmm_exec.dir/exec/sim_machine.cpp.o"
+  "CMakeFiles/ccmm_exec.dir/exec/sim_machine.cpp.o.d"
+  "CMakeFiles/ccmm_exec.dir/exec/threaded_executor.cpp.o"
+  "CMakeFiles/ccmm_exec.dir/exec/threaded_executor.cpp.o.d"
+  "CMakeFiles/ccmm_exec.dir/exec/weak_memory.cpp.o"
+  "CMakeFiles/ccmm_exec.dir/exec/weak_memory.cpp.o.d"
+  "CMakeFiles/ccmm_exec.dir/exec/workload.cpp.o"
+  "CMakeFiles/ccmm_exec.dir/exec/workload.cpp.o.d"
+  "libccmm_exec.a"
+  "libccmm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

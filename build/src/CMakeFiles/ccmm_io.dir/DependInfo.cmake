@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/dot.cpp" "src/CMakeFiles/ccmm_io.dir/io/dot.cpp.o" "gcc" "src/CMakeFiles/ccmm_io.dir/io/dot.cpp.o.d"
+  "/root/repo/src/io/text.cpp" "src/CMakeFiles/ccmm_io.dir/io/text.cpp.o" "gcc" "src/CMakeFiles/ccmm_io.dir/io/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmm_io.dir/io/dot.cpp.o"
+  "CMakeFiles/ccmm_io.dir/io/dot.cpp.o.d"
+  "CMakeFiles/ccmm_io.dir/io/text.cpp.o"
+  "CMakeFiles/ccmm_io.dir/io/text.cpp.o.d"
+  "libccmm_io.a"
+  "libccmm_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmm_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

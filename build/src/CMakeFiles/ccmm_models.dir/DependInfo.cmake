@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/examples.cpp" "src/CMakeFiles/ccmm_models.dir/models/examples.cpp.o" "gcc" "src/CMakeFiles/ccmm_models.dir/models/examples.cpp.o.d"
+  "/root/repo/src/models/location_consistency.cpp" "src/CMakeFiles/ccmm_models.dir/models/location_consistency.cpp.o" "gcc" "src/CMakeFiles/ccmm_models.dir/models/location_consistency.cpp.o.d"
+  "/root/repo/src/models/qdag.cpp" "src/CMakeFiles/ccmm_models.dir/models/qdag.cpp.o" "gcc" "src/CMakeFiles/ccmm_models.dir/models/qdag.cpp.o.d"
+  "/root/repo/src/models/relations.cpp" "src/CMakeFiles/ccmm_models.dir/models/relations.cpp.o" "gcc" "src/CMakeFiles/ccmm_models.dir/models/relations.cpp.o.d"
+  "/root/repo/src/models/sequential_consistency.cpp" "src/CMakeFiles/ccmm_models.dir/models/sequential_consistency.cpp.o" "gcc" "src/CMakeFiles/ccmm_models.dir/models/sequential_consistency.cpp.o.d"
+  "/root/repo/src/models/wn_plus.cpp" "src/CMakeFiles/ccmm_models.dir/models/wn_plus.cpp.o" "gcc" "src/CMakeFiles/ccmm_models.dir/models/wn_plus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

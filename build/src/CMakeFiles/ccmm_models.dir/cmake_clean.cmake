@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmm_models.dir/models/examples.cpp.o"
+  "CMakeFiles/ccmm_models.dir/models/examples.cpp.o.d"
+  "CMakeFiles/ccmm_models.dir/models/location_consistency.cpp.o"
+  "CMakeFiles/ccmm_models.dir/models/location_consistency.cpp.o.d"
+  "CMakeFiles/ccmm_models.dir/models/qdag.cpp.o"
+  "CMakeFiles/ccmm_models.dir/models/qdag.cpp.o.d"
+  "CMakeFiles/ccmm_models.dir/models/relations.cpp.o"
+  "CMakeFiles/ccmm_models.dir/models/relations.cpp.o.d"
+  "CMakeFiles/ccmm_models.dir/models/sequential_consistency.cpp.o"
+  "CMakeFiles/ccmm_models.dir/models/sequential_consistency.cpp.o.d"
+  "CMakeFiles/ccmm_models.dir/models/wn_plus.cpp.o"
+  "CMakeFiles/ccmm_models.dir/models/wn_plus.cpp.o.d"
+  "libccmm_models.a"
+  "libccmm_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmm_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccmm_models.a"
+)

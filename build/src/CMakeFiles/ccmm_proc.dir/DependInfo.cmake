@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proc/cilk.cpp" "src/CMakeFiles/ccmm_proc.dir/proc/cilk.cpp.o" "gcc" "src/CMakeFiles/ccmm_proc.dir/proc/cilk.cpp.o.d"
+  "/root/repo/src/proc/litmus.cpp" "src/CMakeFiles/ccmm_proc.dir/proc/litmus.cpp.o" "gcc" "src/CMakeFiles/ccmm_proc.dir/proc/litmus.cpp.o.d"
+  "/root/repo/src/proc/locks.cpp" "src/CMakeFiles/ccmm_proc.dir/proc/locks.cpp.o" "gcc" "src/CMakeFiles/ccmm_proc.dir/proc/locks.cpp.o.d"
+  "/root/repo/src/proc/program.cpp" "src/CMakeFiles/ccmm_proc.dir/proc/program.cpp.o" "gcc" "src/CMakeFiles/ccmm_proc.dir/proc/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccmm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

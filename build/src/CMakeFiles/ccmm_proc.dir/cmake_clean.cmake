@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmm_proc.dir/proc/cilk.cpp.o"
+  "CMakeFiles/ccmm_proc.dir/proc/cilk.cpp.o.d"
+  "CMakeFiles/ccmm_proc.dir/proc/litmus.cpp.o"
+  "CMakeFiles/ccmm_proc.dir/proc/litmus.cpp.o.d"
+  "CMakeFiles/ccmm_proc.dir/proc/locks.cpp.o"
+  "CMakeFiles/ccmm_proc.dir/proc/locks.cpp.o.d"
+  "CMakeFiles/ccmm_proc.dir/proc/program.cpp.o"
+  "CMakeFiles/ccmm_proc.dir/proc/program.cpp.o.d"
+  "libccmm_proc.a"
+  "libccmm_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmm_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

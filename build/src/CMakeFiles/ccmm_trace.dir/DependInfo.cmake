@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/postmortem.cpp" "src/CMakeFiles/ccmm_trace.dir/trace/postmortem.cpp.o" "gcc" "src/CMakeFiles/ccmm_trace.dir/trace/postmortem.cpp.o.d"
+  "/root/repo/src/trace/race.cpp" "src/CMakeFiles/ccmm_trace.dir/trace/race.cpp.o" "gcc" "src/CMakeFiles/ccmm_trace.dir/trace/race.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/ccmm_trace.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/ccmm_trace.dir/trace/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccmm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmm_trace.dir/trace/postmortem.cpp.o"
+  "CMakeFiles/ccmm_trace.dir/trace/postmortem.cpp.o.d"
+  "CMakeFiles/ccmm_trace.dir/trace/race.cpp.o"
+  "CMakeFiles/ccmm_trace.dir/trace/race.cpp.o.d"
+  "CMakeFiles/ccmm_trace.dir/trace/trace.cpp.o"
+  "CMakeFiles/ccmm_trace.dir/trace/trace.cpp.o.d"
+  "libccmm_trace.a"
+  "libccmm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmm_util.dir/util/bitset.cpp.o"
+  "CMakeFiles/ccmm_util.dir/util/bitset.cpp.o.d"
+  "CMakeFiles/ccmm_util.dir/util/rng.cpp.o"
+  "CMakeFiles/ccmm_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/ccmm_util.dir/util/str.cpp.o"
+  "CMakeFiles/ccmm_util.dir/util/str.cpp.o.d"
+  "CMakeFiles/ccmm_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/ccmm_util.dir/util/thread_pool.cpp.o.d"
+  "libccmm_util.a"
+  "libccmm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

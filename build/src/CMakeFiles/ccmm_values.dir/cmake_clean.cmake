@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccmm_values.dir/values/values.cpp.o"
+  "CMakeFiles/ccmm_values.dir/values/values.cpp.o.d"
+  "libccmm_values.a"
+  "libccmm_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccmm_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backer.dir/test_backer.cpp.o"
+  "CMakeFiles/test_backer.dir/test_backer.cpp.o.d"
+  "test_backer"
+  "test_backer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cilk.dir/test_cilk.cpp.o"
+  "CMakeFiles/test_cilk.dir/test_cilk.cpp.o.d"
+  "test_cilk"
+  "test_cilk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cilk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

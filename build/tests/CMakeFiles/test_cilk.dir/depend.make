@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cilk.
+# This may be replaced when dependencies are built.

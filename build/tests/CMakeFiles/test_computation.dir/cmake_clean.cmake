@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_computation.dir/test_computation.cpp.o"
+  "CMakeFiles/test_computation.dir/test_computation.cpp.o.d"
+  "test_computation"
+  "test_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constructibility.dir/test_constructibility.cpp.o"
+  "CMakeFiles/test_constructibility.dir/test_constructibility.cpp.o.d"
+  "test_constructibility"
+  "test_constructibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constructibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

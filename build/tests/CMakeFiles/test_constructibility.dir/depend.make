@@ -1,0 +1,2 @@
+# Empty dependencies file for test_constructibility.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costed.dir/test_costed.cpp.o"
+  "CMakeFiles/test_costed.dir/test_costed.cpp.o.d"
+  "test_costed"
+  "test_costed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cube.dir/test_cube.cpp.o"
+  "CMakeFiles/test_cube.dir/test_cube.cpp.o.d"
+  "test_cube"
+  "test_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enumeration.dir/test_enumeration.cpp.o"
+  "CMakeFiles/test_enumeration.dir/test_enumeration.cpp.o.d"
+  "test_enumeration"
+  "test_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixpoint.dir/test_fixpoint.cpp.o"
+  "CMakeFiles/test_fixpoint.dir/test_fixpoint.cpp.o.d"
+  "test_fixpoint"
+  "test_fixpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

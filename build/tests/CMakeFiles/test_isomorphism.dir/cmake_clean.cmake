@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isomorphism.dir/test_isomorphism.cpp.o"
+  "CMakeFiles/test_isomorphism.dir/test_isomorphism.cpp.o.d"
+  "test_isomorphism"
+  "test_isomorphism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isomorphism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_last_writer.dir/test_last_writer.cpp.o"
+  "CMakeFiles/test_last_writer.dir/test_last_writer.cpp.o.d"
+  "test_last_writer"
+  "test_last_writer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_last_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lc.dir/test_lc.cpp.o"
+  "CMakeFiles/test_lc.dir/test_lc.cpp.o.d"
+  "test_lc"
+  "test_lc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

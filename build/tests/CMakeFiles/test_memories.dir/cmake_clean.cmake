@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memories.dir/test_memories.cpp.o"
+  "CMakeFiles/test_memories.dir/test_memories.cpp.o.d"
+  "test_memories"
+  "test_memories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

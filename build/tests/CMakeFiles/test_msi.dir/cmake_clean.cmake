@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msi.dir/test_msi.cpp.o"
+  "CMakeFiles/test_msi.dir/test_msi.cpp.o.d"
+  "test_msi"
+  "test_msi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

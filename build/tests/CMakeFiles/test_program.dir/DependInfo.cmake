@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_program.cpp" "tests/CMakeFiles/test_program.dir/test_program.cpp.o" "gcc" "tests/CMakeFiles/test_program.dir/test_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccmm_construct.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_values.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_enumerate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ccmm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

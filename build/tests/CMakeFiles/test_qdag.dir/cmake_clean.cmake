@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qdag.dir/test_qdag.cpp.o"
+  "CMakeFiles/test_qdag.dir/test_qdag.cpp.o.d"
+  "test_qdag"
+  "test_qdag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qdag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relations.dir/test_relations.cpp.o"
+  "CMakeFiles/test_relations.dir/test_relations.cpp.o.d"
+  "test_relations"
+  "test_relations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

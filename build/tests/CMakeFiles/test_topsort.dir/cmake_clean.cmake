@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topsort.dir/test_topsort.cpp.o"
+  "CMakeFiles/test_topsort.dir/test_topsort.cpp.o.d"
+  "test_topsort"
+  "test_topsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

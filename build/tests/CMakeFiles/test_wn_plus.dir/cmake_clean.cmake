@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wn_plus.dir/test_wn_plus.cpp.o"
+  "CMakeFiles/test_wn_plus.dir/test_wn_plus.cpp.o.d"
+  "test_wn_plus"
+  "test_wn_plus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wn_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

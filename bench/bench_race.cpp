@@ -1,0 +1,93 @@
+// Pairwise vs SP-bags race detection. The pairwise engine pays for the
+// dag's transitive closure (O(n·m/64) bitset build) plus a probe per
+// same-location pair; SP-bags replays the series-parallel parse with a
+// disjoint-set union — near-linear, no closure. "Cold" rebuilds the
+// computation each iteration (what a caller starting from a fresh trace
+// pays); "warm" reuses a cached closure (the engine's steady state).
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "proc/random_program.hpp"
+#include "analyze/sp_bags.hpp"
+#include "trace/race.hpp"
+
+namespace {
+
+using namespace ccmm;
+
+struct Case {
+  Computation sp;            // carries the SP parse
+  std::vector<Edge> edges;   // raw material to rebuild without a closure
+  std::vector<Op> ops;
+  Computation warm;          // closure prebuilt, no SP parse
+  std::size_t races = 0;
+};
+
+const Case& case_for(std::size_t n) {
+  static std::map<std::size_t, Case> cache;
+  const auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  Rng rng(0xC11Cu + n);
+  proc::RandomCilkOptions options;
+  options.target_ops = n;
+  options.nlocations = std::max<std::size_t>(4, n / 8);
+  options.spawn_prob = 0.20;
+  options.call_prob = 0.05;
+  options.sync_prob = 0.12;
+  options.write_prob = 0.35;
+  options.max_live_strands = 256;
+  Case c;
+  c.sp = proc::random_cilk(options, rng);
+  c.edges = c.sp.dag().edges();
+  c.ops = c.sp.ops();
+  c.warm = Computation(Dag(c.sp.node_count(), c.edges), c.ops);
+  c.warm.dag().ensure_closure();
+  c.races = find_races_pairwise(c.warm).size();
+  return cache.emplace(n, std::move(c)).first->second;
+}
+
+void BM_FindRacesPairwiseCold(benchmark::State& state) {
+  const Case& c = case_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Computation fresh(Dag(c.ops.size(), c.edges), c.ops);
+    benchmark::DoNotOptimize(find_races_pairwise(fresh));
+  }
+  state.counters["races"] = static_cast<double>(c.races);
+}
+
+void BM_FindRacesPairwiseWarm(benchmark::State& state) {
+  const Case& c = case_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(find_races_pairwise(c.warm));
+  state.counters["races"] = static_cast<double>(c.races);
+}
+
+void BM_FindRacesSpBags(benchmark::State& state) {
+  const Case& c = case_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analyze::find_races_sp(c.sp));
+  state.counters["races"] = static_cast<double>(c.races);
+}
+
+void BM_HasRaceSpBags(benchmark::State& state) {
+  const Case& c = case_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analyze::has_race_sp(c.sp));
+}
+
+void BM_HasRacePairwise(benchmark::State& state) {
+  const Case& c = case_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Computation fresh(Dag(c.ops.size(), c.edges), c.ops);
+    benchmark::DoNotOptimize(has_race(fresh));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_FindRacesPairwiseCold)->Arg(256)->Arg(1024)->Arg(4096)->Arg(10000);
+BENCHMARK(BM_FindRacesPairwiseWarm)->Arg(256)->Arg(1024)->Arg(4096)->Arg(10000);
+BENCHMARK(BM_FindRacesSpBags)->Arg(256)->Arg(1024)->Arg(4096)->Arg(10000);
+BENCHMARK(BM_HasRaceSpBags)->Arg(10000);
+BENCHMARK(BM_HasRacePairwise)->Arg(10000);

@@ -1,0 +1,90 @@
+#include "analyze/anomaly.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "enumerate/observer_enum.hpp"
+#include "models/location_consistency.hpp"
+#include "models/qdag.hpp"
+#include "models/sequential_consistency.hpp"
+
+namespace ccmm::analyze {
+
+Computation race_witness(const Computation& c, NodeId a, NodeId b, NodeId* wa,
+                         NodeId* wb) {
+  CCMM_CHECK(a < c.node_count() && b < c.node_count(), "race node out of range");
+  DynBitset keep = c.dag().ancestors(a);
+  keep |= c.dag().ancestors(b);
+  keep.set(a);
+  keep.set(b);
+  if (c.op(a).is_write() && c.op(b).is_write()) {
+    // Two parallel writes are indistinguishable to every model until
+    // somebody reads the location: keep the earliest read that can see
+    // either write (any read not already preceding the race).
+    for (NodeId r : c.readers(c.op(a).loc)) {
+      if (keep.test(r)) continue;
+      keep |= c.dag().ancestors(r);
+      keep.set(r);
+      break;
+    }
+  }
+  std::vector<NodeId> old_to_new;
+  Computation w = c.induced(keep, &old_to_new);
+  if (wa != nullptr) *wa = old_to_new[a];
+  if (wb != nullptr) *wb = old_to_new[b];
+  return w;
+}
+
+namespace {
+
+constexpr std::size_t kModels = 6;
+constexpr std::array<const char*, kModels> kModelNames = {"SC", "LC", "NN",
+                                                          "NW", "WN", "WW"};
+
+}  // namespace
+
+std::optional<ModelSplit> classify_race(const Computation& c, const Race& r,
+                                        const AnomalyOptions& opt) {
+  const Computation w = race_witness(c, r.a, r.b);
+  if (w.node_count() > opt.witness_node_cap) return std::nullopt;
+  if (observer_count(w) > opt.observer_budget) return std::nullopt;
+
+  ModelSplit split;
+  // accepted[m][i]: model m accepts the i-th enumerated observer.
+  std::array<std::vector<bool>, kModels> accepted;
+  bool sc_exhausted = false;
+  const bool completed = for_each_observer(w, [&](const ObserverFunction& phi) {
+    const auto sc = sc_check(w, phi, opt.sc_budget);
+    if (sc.status == SearchStatus::kExhausted) sc_exhausted = true;
+    const std::array<bool, kModels> in = {
+        sc.status == SearchStatus::kYes,
+        location_consistent(w, phi),
+        qdag_consistent(w, phi, DagPred::kNN),
+        qdag_consistent(w, phi, DagPred::kNW),
+        qdag_consistent(w, phi, DagPred::kWN),
+        qdag_consistent(w, phi, DagPred::kWW),
+    };
+    for (std::size_t m = 0; m < kModels; ++m) accepted[m].push_back(in[m]);
+    return true;
+  });
+  split.observers = accepted[0].size();
+  split.truncated = !completed || sc_exhausted;
+
+  // Group models with identical accepted sets into behaviour classes.
+  std::vector<std::size_t> cls(kModels, SIZE_MAX);
+  for (std::size_t m = 0; m < kModels; ++m) {
+    if (cls[m] != SIZE_MAX) continue;
+    cls[m] = split.classes.size();
+    split.classes.push_back({kModelNames[m]});
+    split.accepted.push_back(static_cast<std::size_t>(
+        std::count(accepted[m].begin(), accepted[m].end(), true)));
+    for (std::size_t o = m + 1; o < kModels; ++o)
+      if (cls[o] == SIZE_MAX && accepted[o] == accepted[m]) {
+        cls[o] = cls[m];
+        split.classes[cls[m]].push_back(kModelNames[o]);
+      }
+  }
+  return split;
+}
+
+}  // namespace ccmm::analyze

@@ -1,0 +1,83 @@
+#include "analyze/diagnostics.hpp"
+
+#include <algorithm>
+
+#include "util/str.hpp"
+
+namespace ccmm::analyze {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string ModelSplit::to_string() const {
+  if (agree()) {
+    return format("all models agree (%llu observer function(s))",
+                  static_cast<unsigned long long>(observers));
+  }
+  std::string out =
+      format("models split into %zu behaviour classes%s: ", classes.size(),
+             truncated ? " (enumeration truncated)" : "");
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (i > 0) out += " vs ";
+    out += '{';
+    for (std::size_t j = 0; j < classes[i].size(); ++j) {
+      if (j > 0) out += ',';
+      out += classes[i][j];
+    }
+    out += format("}=%zu", accepted[i]);
+  }
+  return out;
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out = format("%s [%s] %s", severity_name(severity),
+                           pass.c_str(), message.c_str());
+  if (split.has_value()) out += "\n  " + split->to_string();
+  return out;
+}
+
+std::string render_report(const std::vector<Diagnostic>& diags) {
+  std::vector<const Diagnostic*> order;
+  order.reserve(diags.size());
+  for (const Diagnostic& d : diags) order.push_back(&d);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Diagnostic* x, const Diagnostic* y) {
+                     return static_cast<int>(x->severity) >
+                            static_cast<int>(y->severity);
+                   });
+  std::string out;
+  for (const Diagnostic* d : order) out += d->to_string() + '\n';
+  const DiagnosticCounts n = count_severities(diags);
+  out += format("%zu error(s), %zu warning(s), %zu note(s)\n", n.errors,
+                n.warnings, n.infos);
+  return out;
+}
+
+DiagnosticCounts count_severities(const std::vector<Diagnostic>& diags) {
+  DiagnosticCounts n;
+  for (const Diagnostic& d : diags) {
+    switch (d.severity) {
+      case Severity::kError:
+        ++n.errors;
+        break;
+      case Severity::kWarning:
+        ++n.warnings;
+        break;
+      case Severity::kInfo:
+        ++n.infos;
+        break;
+    }
+  }
+  return n;
+}
+
+}  // namespace ccmm::analyze

@@ -1,0 +1,100 @@
+#include "analyze/passes.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "trace/race.hpp"
+#include "util/str.hpp"
+
+namespace ccmm::analyze {
+namespace {
+
+void race_pass(const Computation& c, const AnalysisOptions& options,
+               std::vector<Diagnostic>& out) {
+  const std::vector<Race> races = find_races(c);
+  const char* pass =
+      c.sp_structure() != nullptr ? "sp-bags-race" : "pairwise-race";
+  const std::size_t reported =
+      std::min(races.size(), options.max_race_diagnostics);
+  for (std::size_t i = 0; i < reported; ++i) {
+    const Race& r = races[i];
+    Diagnostic d;
+    d.pass = pass;
+    d.a = r.a;
+    d.b = r.b;
+    d.loc = r.loc;
+    d.message = format(
+        "determinacy race on location %u: nodes %u (%s) and %u (%s) are "
+        "unordered and at least one writes",
+        r.loc, r.a, c.op(r.a).to_string().c_str(), r.b,
+        c.op(r.b).to_string().c_str());
+    d.witness = race_witness(c, r.a, r.b, &d.witness_a, &d.witness_b);
+    if (options.classify_anomalies)
+      d.split = classify_race(c, r, options.anomaly);
+    // A race the whole hierarchy agrees on (e.g. two parallel writes
+    // nobody reads) cannot produce model-dependent values — warn. A
+    // race with split behaviour, or one too large to classify, is an
+    // error: executions may observe model-specific values.
+    d.severity = d.split.has_value() && d.split->agree() && !d.split->truncated
+                     ? Severity::kWarning
+                     : Severity::kError;
+    out.push_back(std::move(d));
+  }
+  if (reported < races.size()) {
+    Diagnostic d;
+    d.severity = Severity::kInfo;
+    d.pass = pass;
+    d.message = format("%zu further race(s) suppressed (cap %zu)",
+                       races.size() - reported, options.max_race_diagnostics);
+    out.push_back(std::move(d));
+  }
+}
+
+void memory_lint_pass(const Computation& c, std::vector<Diagnostic>& out) {
+  std::unordered_set<Location> written;
+  std::unordered_set<Location> read;
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const Op o = c.op(u);
+    if (o.is_write()) written.insert(o.loc);
+    if (o.is_read()) read.insert(o.loc);
+  }
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const Op o = c.op(u);
+    if (o.is_read() && !written.contains(o.loc)) {
+      Diagnostic d;
+      d.severity = Severity::kInfo;
+      d.pass = "uninitialized-read";
+      d.a = u;
+      d.loc = o.loc;
+      d.message = format(
+          "node %u reads location %u which no node writes: every model "
+          "forces the read to observe ⊥",
+          u, o.loc);
+      out.push_back(std::move(d));
+    }
+    if (o.is_write() && !read.contains(o.loc)) {
+      Diagnostic d;
+      d.severity = Severity::kInfo;
+      d.pass = "dead-write";
+      d.a = u;
+      d.loc = o.loc;
+      d.message = format(
+          "node %u writes location %u which no node reads: the write is "
+          "unobservable",
+          u, o.loc);
+      out.push_back(std::move(d));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> analyze_computation(const Computation& c,
+                                            const AnalysisOptions& options) {
+  std::vector<Diagnostic> out;
+  race_pass(c, options, out);
+  if (options.lint) memory_lint_pass(c, out);
+  return out;
+}
+
+}  // namespace ccmm::analyze

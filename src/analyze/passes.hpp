@@ -1,0 +1,44 @@
+// ccmm/analyze/passes.hpp
+//
+// The analysis driver: one entry point that runs every static-analysis
+// pass over a computation and returns the combined diagnostics, in the
+// spirit of the consistency-algorithm frameworks (Chini & Saivasan)
+// that package per-model checks behind a single reusable driver.
+//
+// Passes:
+//  * race detection — SP-bags when the computation carries its
+//    series-parallel parse (near-linear), pairwise otherwise; every
+//    race becomes a diagnostic with a shrunk witness prefix;
+//  * anomaly classification — which models of SC/LC/NN/NW/WN/WW can
+//    actually disagree on each race's witness (analyze/anomaly.hpp).
+//    Races every model agrees on (e.g. two parallel writes nobody
+//    reads) are downgraded to warnings; observable ones are errors;
+//  * memory lints — reads of never-written locations (the read can
+//    only observe ⊥) and writes to never-read locations (dead stores),
+//    reported as notes.
+#pragma once
+
+#include <vector>
+
+#include "analyze/anomaly.hpp"
+#include "analyze/diagnostics.hpp"
+
+namespace ccmm::analyze {
+
+struct AnalysisOptions {
+  /// Run the model-anomaly classification on each race's witness.
+  bool classify_anomalies = true;
+  /// Run the memory lints (uninitialized reads, dead writes).
+  bool lint = true;
+  /// Keep at most this many race diagnostics (a summary note reports
+  /// how many were suppressed).
+  std::size_t max_race_diagnostics = 64;
+  AnomalyOptions anomaly;
+};
+
+/// Run all passes; diagnostics are returned in pass order (races first,
+/// then lints), unsorted — render_report sorts by severity.
+[[nodiscard]] std::vector<Diagnostic> analyze_computation(
+    const Computation& c, const AnalysisOptions& options = {});
+
+}  // namespace ccmm::analyze

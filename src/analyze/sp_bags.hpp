@@ -1,0 +1,43 @@
+// ccmm/analyze/sp_bags.hpp
+//
+// SP-bags determinacy-race detection (Feng & Leiserson, "Detecting Races
+// in Cilk Programs" — the Nondeterminator idiom). The pairwise detector
+// in trace/race.cpp tests every same-location access pair against the
+// dag's transitive closure: O(n²) pairs on top of an O(n·m/64) closure
+// build. For computations that carry their series-parallel parse
+// (core/sp_structure.hpp, recorded by proc::CilkProgram), we instead
+// replay the parse in serial-elision order — a child strand executes
+// entirely at its spawn point, then the continuation — maintaining
+// disjoint sets of strand ids partitioned into S-bags (serially before
+// the currently executing instruction) and P-bags (logically parallel
+// with it). The Feng–Leiserson invariant is that a previously executed
+// access is parallel with the current one iff its strand's set is a
+// P-bag, so:
+//
+//  * has_race_sp answers "is there any race?" with the classic
+//    constant-size shadow (one reader + one writer per location) in
+//    O(n·α(n)) time and stops at the first hit;
+//  * find_races_sp reports the exact race set of the pairwise detector
+//    (each same-location pair is membership-tested with one find()),
+//    which is near-linear when races are sparse and locations spread,
+//    and output-bound otherwise — never a closure build.
+#pragma once
+
+#include <vector>
+
+#include "core/computation.hpp"
+#include "trace/race.hpp"
+
+namespace ccmm::analyze {
+
+/// All races of a computation carrying an SP structure, ordered exactly
+/// like trace::find_races (by (a, b, loc), a < b). CCMM_CHECKs that the
+/// computation has an attached, matching SP structure.
+[[nodiscard]] std::vector<Race> find_races_sp(const Computation& c);
+
+/// True iff the computation has at least one determinacy race; stops at
+/// the first detection (classic SP-bags shadow memory). Same
+/// precondition as find_races_sp.
+[[nodiscard]] bool has_race_sp(const Computation& c);
+
+}  // namespace ccmm::analyze

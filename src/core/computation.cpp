@@ -14,6 +14,7 @@ Computation::Computation(Dag dag, std::vector<Op> ops)
 }
 
 NodeId Computation::add_node(Op o, const std::vector<NodeId>& preds) {
+  sp_.reset();  // the recorded parse no longer describes the graph
   const NodeId u = dag_.add_nodes(1);
   ops_.push_back(o);
   for (const NodeId p : preds) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/op.hpp"
+#include "core/sp_structure.hpp"
 #include "dag/dag.hpp"
 
 namespace ccmm {
@@ -81,8 +82,25 @@ class Computation {
     return static_cast<NodeId>(node_count());
   }
 
+  /// Structural equality (the SP annotation below is advisory metadata
+  /// and deliberately does not participate).
   [[nodiscard]] bool operator==(const Computation& o) const {
     return ops_ == o.ops_ && dag_ == o.dag_;
+  }
+
+  /// The series-parallel parse this computation unfolded from, when a
+  /// front end (proc::CilkProgram) recorded one; nullptr otherwise.
+  /// Carrying the parse lets trace::find_races use the near-linear
+  /// SP-bags detector instead of the pairwise scan. Any mutation
+  /// (add_node, and therefore extend/augment) drops the annotation,
+  /// since the parse no longer describes the graph.
+  [[nodiscard]] const SpStructurePtr& sp_structure() const noexcept {
+    return sp_;
+  }
+  void set_sp_structure(SpStructurePtr sp) {
+    CCMM_CHECK(sp == nullptr || sp->node_count == node_count(),
+               "SP structure does not match this computation");
+    sp_ = std::move(sp);
   }
 
   /// Human-readable multi-line dump (nodes, ops, edges).
@@ -91,6 +109,7 @@ class Computation {
  private:
   Dag dag_;
   std::vector<Op> ops_;
+  SpStructurePtr sp_;
 };
 
 /// Convenience builder for tests and examples: build nodes fluently.

@@ -1,23 +1,31 @@
 #include "proc/cilk.hpp"
 
 #include <algorithm>
+#include <memory>
 
 namespace ccmm::proc {
 
-CilkProgram::CilkProgram() { strands_.push_back({}); }
+CilkProgram::CilkProgram() {
+  strands_.push_back({});
+  events_.push_back({});
+}
 
-NodeId CilkProgram::append(std::size_t strand, Op o,
-                           std::vector<NodeId> preds) {
+NodeId CilkProgram::append(std::size_t strand, Op o, std::vector<NodeId> preds,
+                           bool record) {
   CCMM_CHECK(!finished_, "program already finished");
   StrandState& s = strands_[strand];
+  CCMM_CHECK(!s.closed, "strand already joined by a sync or adopt");
   if (s.current != kBottom) preds.push_back(s.current);
   const NodeId u = c_.add_node(o, preds);
   s.current = u;
+  if (record) events_[strand].push_back({SpEvent::Kind::kNode, u, 0});
   return u;
 }
 
 std::size_t CilkProgram::spawn_from(std::size_t strand) {
   CCMM_CHECK(!finished_, "program already finished");
+  CCMM_CHECK(!strands_[strand].closed,
+             "strand already joined by a sync or adopt");
   StrandState child;
   child.parent = strand;
   // The child's first node hangs off the parent's position at spawn time
@@ -27,6 +35,9 @@ std::size_t CilkProgram::spawn_from(std::size_t strand) {
   child.anchor = strands_[strand].current;
   const std::size_t index = strands_.size();
   strands_.push_back(child);
+  events_.push_back({});
+  events_[strand].push_back(
+      {SpEvent::Kind::kSpawn, kBottom, static_cast<std::uint32_t>(index)});
   strands_[strand].outstanding.push_back(index);
   return index;
 }
@@ -40,6 +51,7 @@ void CilkProgram::sync_strand(std::size_t strand) {
     // Children are synced first (finish() guarantees it bottom-up; an
     // explicit parent sync adopts each child's chain end).
     sync_strand(child);
+    strands_[child].closed = true;
     const NodeId last = strands_[child].current;
     if (last != strands_[child].anchor) {  // the child actually ran
       preds.push_back(last);
@@ -47,8 +59,10 @@ void CilkProgram::sync_strand(std::size_t strand) {
     }
   }
   s.outstanding.clear();
-  if (!any_child_ran) return;  // nothing to join with
-  append(strand, Op::nop(), std::move(preds));
+  NodeId join = kBottom;
+  if (any_child_ran)
+    join = append(strand, Op::nop(), std::move(preds), /*record=*/false);
+  events_[strand].push_back({SpEvent::Kind::kSync, join, 0});
 }
 
 CilkProgram::Strand& CilkProgram::Strand::op(Op o) {
@@ -67,10 +81,18 @@ void CilkProgram::adopt_child(std::size_t strand, std::size_t child) {
   auto& outstanding = strands_[strand].outstanding;
   const auto it = std::find(outstanding.begin(), outstanding.end(), child);
   CCMM_CHECK(it != outstanding.end(), "child already synced or adopted");
+  // A plain call keeps the caller suspended: its chain may not have moved
+  // since the spawn, or the serial call semantics (callee precedes every
+  // later caller instruction) would not hold.
+  CCMM_CHECK(strands_[strand].current == strands_[child].anchor,
+             "adopt requires no caller instruction between spawn and adopt");
   sync_strand(child);  // close the callee's own sync scope first
+  strands_[child].closed = true;
   outstanding.erase(it);
   if (strands_[child].current != strands_[child].anchor)
     strands_[strand].current = strands_[child].current;
+  events_[strand].push_back(
+      {SpEvent::Kind::kAdopt, kBottom, static_cast<std::uint32_t>(child)});
 }
 
 CilkProgram::Strand& CilkProgram::Strand::adopt(Strand& callee) {
@@ -80,6 +102,8 @@ CilkProgram::Strand& CilkProgram::Strand::adopt(Strand& callee) {
 
 CilkProgram::Strand& CilkProgram::Strand::sync() {
   CCMM_CHECK(!program_->finished_, "program already finished");
+  CCMM_CHECK(!program_->strands_[index_].closed,
+             "strand already joined by a sync or adopt");
   program_->sync_strand(index_);
   return *this;
 }
@@ -92,6 +116,10 @@ Computation CilkProgram::finish() {
   CCMM_CHECK(!finished_, "program already finished");
   sync_strand(0);  // recursively joins the whole spawn tree
   finished_ = true;
+  auto sp = std::make_shared<SpStructure>();
+  sp->strands = std::move(events_);
+  sp->node_count = c_.node_count();
+  c_.set_sp_structure(std::move(sp));
   return std::move(c_);
 }
 

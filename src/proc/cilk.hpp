@@ -17,6 +17,12 @@
 // determinacy-race detection answers "is this Cilk program
 // deterministic?" (the Nondeterminator question), and the BACKER
 // simulator runs it exactly as the Cilk system would have.
+//
+// While building, the program also records its series-parallel parse
+// (per-strand event streams, see core/sp_structure.hpp); finish()
+// attaches it to the returned Computation, which lets trace::find_races
+// switch from the quadratic pairwise scan to the near-linear SP-bags
+// detector in analyze/.
 #pragma once
 
 #include <memory>
@@ -51,6 +57,9 @@ class CilkProgram {
     /// continues serially from the callee's end (no join node). Use
     /// spawn() + adopt() where Cilk code would simply call a function —
     /// the callee gets its own sync scope without forking parallelism.
+    /// Call semantics require that this strand appended no instruction
+    /// between the spawn and the adopt (a caller cannot run while a
+    /// plain call is outstanding); violations throw.
     Strand& adopt(Strand& callee);
 
     /// The node id of this strand's current position (kBottom if the
@@ -79,16 +88,19 @@ class CilkProgram {
     NodeId current = kBottom;          // last node of the serial chain
     NodeId anchor = kBottom;           // parent's position at spawn time
     std::size_t parent = SIZE_MAX;     // spawning strand, SIZE_MAX = root
+    bool closed = false;               // joined by a parent sync / adopted
     std::vector<std::size_t> outstanding;  // unsynced children (indices)
   };
 
-  NodeId append(std::size_t strand, Op o, std::vector<NodeId> extra_preds);
+  NodeId append(std::size_t strand, Op o, std::vector<NodeId> extra_preds,
+                bool record = true);
   void sync_strand(std::size_t strand);
   std::size_t spawn_from(std::size_t strand);
   void adopt_child(std::size_t strand, std::size_t child);
 
   Computation c_;
   std::vector<StrandState> strands_;
+  std::vector<std::vector<SpEvent>> events_;  // SP parse, per strand
   bool finished_ = false;
 };
 

@@ -1,0 +1,85 @@
+#include "proc/random_program.hpp"
+
+#include "proc/cilk.hpp"
+
+namespace ccmm::proc {
+namespace {
+
+struct LiveStrand {
+  CilkProgram::Strand strand;
+  std::size_t depth;
+  std::vector<std::size_t> open_children;  // indices into the registry
+  bool alive = true;
+};
+
+// A parent sync joins its whole outstanding subtree, so every strand
+// below the synced one becomes untouchable.
+void deactivate_subtree(std::vector<LiveStrand>& reg, std::size_t s) {
+  for (const std::size_t child : reg[s].open_children) {
+    deactivate_subtree(reg, child);
+    reg[child].alive = false;
+  }
+  reg[s].open_children.clear();
+}
+
+Op random_op(const RandomCilkOptions& options, Rng& rng) {
+  const auto l = static_cast<Location>(rng.below(options.nlocations));
+  return rng.chance(options.write_prob) ? Op::write(l) : Op::read(l);
+}
+
+}  // namespace
+
+Computation random_cilk(const RandomCilkOptions& options, Rng& rng) {
+  CCMM_CHECK(options.nlocations > 0, "need at least one location");
+  CilkProgram p;
+  std::vector<LiveStrand> reg;
+  reg.push_back({p.root(), 0, {}, true});
+  std::vector<std::size_t> alive{0};
+
+  const auto refresh_alive = [&] {
+    alive.clear();
+    for (std::size_t i = 0; i < reg.size(); ++i)
+      if (reg[i].alive) alive.push_back(i);
+  };
+
+  std::size_t ops = 0;
+  while (ops < options.target_ops) {
+    const std::size_t s = alive[rng.below(alive.size())];
+    const double r = rng.uniform();
+    if (r < options.spawn_prob && reg[s].depth < options.max_depth &&
+        alive.size() < options.max_live_strands) {
+      const std::size_t child = reg.size();
+      reg.push_back({reg[s].strand.spawn(), reg[s].depth + 1, {}, true});
+      reg[s].open_children.push_back(child);
+      alive.push_back(child);
+    } else if (r < options.spawn_prob + options.call_prob) {
+      // A plain call: the callee runs a short serial body (possibly with
+      // its own fork/join) and is adopted back without the caller moving.
+      CilkProgram::Strand callee = reg[s].strand.spawn();
+      const std::size_t body = 1 + rng.below(4);
+      for (std::size_t i = 0; i < body && ops < options.target_ops; ++i) {
+        callee.op(random_op(options, rng));
+        ++ops;
+      }
+      if (rng.chance(0.5) && ops < options.target_ops) {
+        CilkProgram::Strand inner = callee.spawn();
+        inner.op(random_op(options, rng));
+        ++ops;
+        if (rng.chance(0.5)) callee.sync();
+      }
+      reg[s].strand.adopt(callee);
+    } else if (r < options.spawn_prob + options.call_prob +
+                       options.sync_prob &&
+               !reg[s].open_children.empty()) {
+      reg[s].strand.sync();
+      deactivate_subtree(reg, s);
+      refresh_alive();
+    } else {
+      reg[s].strand.op(random_op(options, rng));
+      ++ops;
+    }
+  }
+  return p.finish();
+}
+
+}  // namespace ccmm::proc

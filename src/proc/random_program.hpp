@@ -1,0 +1,41 @@
+// ccmm/proc/random_program.hpp
+//
+// Randomized Cilk-style programs: fork/join computations built by random
+// interleavings of op/spawn/sync/plain-call actions across all live
+// strands. The result carries its series-parallel parse (see
+// core/sp_structure.hpp), so the same computation can be fed to both the
+// SP-bags and the pairwise race detectors — the differential property
+// tests and the race benchmark are the customers. Interleaving actions
+// across strands (rather than finishing each strand in turn) matters:
+// it decorrelates node-id order from serial-elision order, which is
+// exactly the regime the SP-bags replay has to get right.
+#pragma once
+
+#include "core/computation.hpp"
+#include "util/rng.hpp"
+
+namespace ccmm::proc {
+
+struct RandomCilkOptions {
+  /// Memory instructions (reads + writes) to emit.
+  std::size_t target_ops = 64;
+  /// Locations are drawn uniformly from [0, nlocations).
+  std::size_t nlocations = 8;
+  /// Per-step probabilities of structural actions (the remainder emits
+  /// a memory instruction on a random live strand).
+  double spawn_prob = 0.15;
+  double call_prob = 0.06;  // spawn + serial body + adopt (a plain call)
+  double sync_prob = 0.10;
+  /// Probability an emitted instruction is a write (else a read).
+  double write_prob = 0.5;
+  /// Bounds keeping the spawn tree from degenerating.
+  std::size_t max_depth = 24;
+  std::size_t max_live_strands = 64;
+};
+
+/// Build a random program; the returned computation carries its SP
+/// structure. Deterministic in (options, rng state).
+[[nodiscard]] Computation random_cilk(const RandomCilkOptions& options,
+                                      Rng& rng);
+
+}  // namespace ccmm::proc

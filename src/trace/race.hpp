@@ -6,6 +6,14 @@
 // model in the paper's hierarchy (every valid observer function is the
 // last-writer function of every topological sort), which the test suite
 // verifies; races are where the models start to differ.
+//
+// Two engines share this interface. The pairwise engine tests every
+// same-location access pair against the dag's reachability closure and
+// works on any computation. When the computation carries its
+// series-parallel parse (core/sp_structure.hpp, recorded by
+// proc::CilkProgram), find_races and has_race dispatch to the SP-bags
+// engine in analyze/sp_bags.hpp instead: near-linear disjoint-set
+// replay in the Feng–Leiserson Nondeterminator style, no closure build.
 #pragma once
 
 #include <vector>
@@ -21,13 +29,25 @@ struct Race {
   NodeId b;
   Location loc;
   RaceKind kind;
+
+  [[nodiscard]] bool operator==(const Race&) const = default;
 };
 
-/// All races, ordered by (a, b, loc).
+/// All races, ordered by (a, b, loc), deduplicated. Uses the SP-bags
+/// engine when c carries an SP structure, the pairwise engine otherwise.
 [[nodiscard]] std::vector<Race> find_races(const Computation& c);
 
+/// The pairwise engine, callable directly (differential tests and the
+/// race benchmark compare the two engines explicitly).
+[[nodiscard]] std::vector<Race> find_races_pairwise(const Computation& c);
+
+/// True iff c has at least one race. Stops at the first race found —
+/// it never materializes the race vector — so race-freedom checks are
+/// output-independent.
+[[nodiscard]] bool has_race(const Computation& c);
+
 [[nodiscard]] inline bool is_race_free(const Computation& c) {
-  return find_races(c).empty();
+  return !has_race(c);
 }
 
 }  // namespace ccmm

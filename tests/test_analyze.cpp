@@ -1,0 +1,427 @@
+// The static-analysis subsystem: SP-bags race detection (differential
+// against the pairwise engine on randomized series-parallel programs),
+// the diagnostics framework, the model-anomaly classifier, and the
+// race-engine dispatch in trace/race.hpp.
+#include "analyze/passes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analyze/anomaly.hpp"
+#include "analyze/sp_bags.hpp"
+#include "helpers.hpp"
+#include "proc/cilk.hpp"
+#include "proc/random_program.hpp"
+#include "trace/race.hpp"
+
+namespace ccmm {
+namespace {
+
+using analyze::find_races_sp;
+using analyze::has_race_sp;
+using proc::CilkProgram;
+using proc::RandomCilkOptions;
+using proc::random_cilk;
+
+// ---------------------------------------------------------------------
+// SP structure plumbing.
+
+TEST(SpStructure, CilkProgramsCarryTheirParse) {
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0);
+  auto child = main.spawn();
+  child.read(0);
+  const Computation c = p.finish();
+  ASSERT_NE(c.sp_structure(), nullptr);
+  EXPECT_EQ(c.sp_structure()->node_count, c.node_count());
+  EXPECT_GE(c.sp_structure()->strands.size(), 2u);
+}
+
+TEST(SpStructure, MutationDropsTheParse) {
+  CilkProgram p;
+  p.root().write(0);
+  Computation c = p.finish();
+  ASSERT_NE(c.sp_structure(), nullptr);
+  c.add_node(Op::read(0), {0});
+  EXPECT_EQ(c.sp_structure(), nullptr);
+}
+
+TEST(SpStructure, DerivedComputationsDropTheParse) {
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0);
+  auto child = main.spawn();
+  child.write(0);
+  const Computation c = p.finish();
+  EXPECT_EQ(c.extend(Op::read(0), {}).sp_structure(), nullptr);
+  EXPECT_EQ(c.augment(Op::nop()).sp_structure(), nullptr);
+}
+
+TEST(SpStructure, MismatchedStructureRejected) {
+  CilkProgram p;
+  p.root().write(0);
+  const Computation c = p.finish();
+  ComputationBuilder b;
+  b.write(0);
+  b.write(0);
+  Computation other = std::move(b).build();
+  EXPECT_THROW(other.set_sp_structure(c.sp_structure()), std::logic_error);
+}
+
+TEST(SpStructure, DetectorRequiresStructure) {
+  ComputationBuilder b;
+  b.write(0);
+  b.write(0);
+  const Computation c = std::move(b).build();
+  EXPECT_THROW((void)find_races_sp(c), std::logic_error);
+  EXPECT_THROW((void)has_race_sp(c), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// SP-bags vs pairwise: adversarial edge cases.
+
+TEST(SpBags, EmptyProgram) {
+  CilkProgram p;
+  const Computation c = p.finish();
+  EXPECT_EQ(c.node_count(), 0u);
+  ASSERT_NE(c.sp_structure(), nullptr);
+  EXPECT_TRUE(find_races_sp(c).empty());
+  EXPECT_FALSE(has_race_sp(c));
+}
+
+TEST(SpBags, SingleNode) {
+  CilkProgram p;
+  p.root().write(0);
+  const Computation c = p.finish();
+  EXPECT_TRUE(find_races_sp(c).empty());
+  EXPECT_FALSE(has_race_sp(c));
+}
+
+TEST(SpBags, AllReadsNeverRace) {
+  CilkProgram p;
+  auto main = p.root();
+  for (int i = 0; i < 6; ++i) {
+    auto child = main.spawn();
+    child.read(0).read(1).read(0);
+  }
+  main.sync();
+  const Computation c = p.finish();
+  EXPECT_TRUE(find_races_sp(c).empty());
+  EXPECT_FALSE(has_race_sp(c));
+  EXPECT_TRUE(find_races_pairwise(c).empty());
+}
+
+TEST(SpBags, WriteOnlyFanOutRacesCompletely) {
+  // k parallel writers to one location: all C(k,2) pairs race.
+  constexpr std::size_t k = 7;
+  CilkProgram p;
+  auto main = p.root();
+  for (std::size_t i = 0; i < k; ++i) {
+    auto child = main.spawn();
+    child.write(0);
+  }
+  main.sync();
+  const Computation c = p.finish();
+  const auto sp = find_races_sp(c);
+  EXPECT_EQ(sp.size(), k * (k - 1) / 2);
+  for (const Race& r : sp) EXPECT_EQ(r.kind, RaceKind::kWriteWrite);
+  EXPECT_EQ(sp, find_races_pairwise(c));
+  EXPECT_TRUE(has_race_sp(c));
+}
+
+TEST(SpBags, SyncSerializesAndAdoptIsSerial) {
+  // Increments serialized by sync: race-free.
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0);
+  auto a = main.spawn();
+  a.read(0).write(0);
+  main.sync();
+  auto b = main.spawn();
+  b.read(0).write(0);
+  main.sync();
+  const Computation c = p.finish();
+  EXPECT_TRUE(find_races_sp(c).empty());
+  EXPECT_FALSE(has_race_sp(c));
+
+  // A plain call is serial with the caller on both sides.
+  CilkProgram q;
+  auto qm = q.root();
+  qm.write(0);
+  auto callee = qm.spawn();
+  callee.read(0).write(0);
+  qm.adopt(callee);
+  qm.read(0);
+  const Computation d = q.finish();
+  EXPECT_TRUE(find_races_sp(d).empty());
+}
+
+TEST(SpBags, OutstandingSpawnRacesWithAdoptedCall) {
+  // A spawned child stays parallel across a later plain call: the
+  // callee's accesses race with the child's, but not with the caller's.
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0);
+  auto forked = main.spawn();
+  forked.write(1);
+  auto callee = main.spawn();
+  callee.write(1);
+  main.adopt(callee);
+  main.read(1);  // serial after the callee, parallel with forked
+  main.sync();
+  const Computation c = p.finish();
+  const auto sp = find_races_sp(c);
+  EXPECT_EQ(sp, find_races_pairwise(c));
+  // forked's W(1) races with the callee's W(1) and with the caller's
+  // post-call R(1); the callee/caller pair is serial.
+  EXPECT_EQ(sp.size(), 2u);
+  EXPECT_TRUE(has_race_sp(c));
+}
+
+TEST(SpBags, AdoptAfterCallerMovedRejected) {
+  CilkProgram p;
+  auto main = p.root();
+  auto callee = main.spawn();
+  callee.write(0);
+  main.write(1);  // the caller may not run while a plain call is out
+  EXPECT_THROW(main.adopt(callee), std::logic_error);
+}
+
+TEST(SpBags, ClosedStrandsRejectUse) {
+  CilkProgram p;
+  auto main = p.root();
+  auto child = main.spawn();
+  child.write(0);
+  main.sync();
+  EXPECT_THROW(child.write(1), std::logic_error);
+  EXPECT_THROW((void)child.spawn(), std::logic_error);
+}
+
+TEST(SpBags, DeepSpawnSpineDoesNotOverflow) {
+  // 2000-deep spawn chain, each strand writing its own location:
+  // race-free; exercises the iterative replay.
+  CilkProgram p;
+  std::vector<CilkProgram::Strand> chain{p.root()};
+  for (Location i = 0; i < 2000; ++i) {
+    chain.back().write(i);
+    chain.push_back(chain.back().spawn());
+  }
+  chain.back().write(2000);
+  const Computation c = p.finish();
+  EXPECT_TRUE(find_races_sp(c).empty());
+  EXPECT_FALSE(has_race_sp(c));
+}
+
+// ---------------------------------------------------------------------
+// Differential property test: the two engines agree exactly.
+
+TEST(SpBagsDifferential, AgreesWithPairwiseOnRandomPrograms) {
+  Rng rng(2026);
+  std::size_t total_races = 0;
+  std::size_t racy = 0;
+  for (int trial = 0; trial < 1200; ++trial) {
+    RandomCilkOptions options;
+    options.target_ops = 1 + rng.below(80);
+    options.nlocations = 1 + rng.below(8);
+    options.spawn_prob = 0.05 + rng.uniform() * 0.30;
+    options.call_prob = rng.uniform() * 0.15;
+    options.sync_prob = rng.uniform() * 0.25;
+    options.write_prob = 0.2 + rng.uniform() * 0.6;
+    const Computation c = random_cilk(options, rng);
+    ASSERT_NE(c.sp_structure(), nullptr);
+    const auto sp = find_races_sp(c);
+    const auto pw = find_races_pairwise(c);
+    ASSERT_EQ(sp, pw) << "trial " << trial << "\n" << c.to_string();
+    ASSERT_EQ(has_race_sp(c), !pw.empty()) << "trial " << trial;
+    total_races += sp.size();
+    racy += sp.empty() ? 0 : 1;
+  }
+  // The family must actually exercise both racy and race-free regimes.
+  EXPECT_GT(total_races, 1000u);
+  EXPECT_GT(racy, 100u);
+  EXPECT_LT(racy, 1200u);
+}
+
+TEST(SpBagsDifferential, DispatchUsesSpEngine) {
+  Rng rng(7);
+  RandomCilkOptions options;
+  options.target_ops = 40;
+  const Computation c = random_cilk(options, rng);
+  // find_races / has_race route through SP-bags when the parse is
+  // attached and must agree with the pairwise engine either way.
+  EXPECT_EQ(find_races(c), find_races_pairwise(c));
+  EXPECT_EQ(has_race(c), !find_races_pairwise(c).empty());
+  EXPECT_EQ(is_race_free(c), find_races_pairwise(c).empty());
+}
+
+// ---------------------------------------------------------------------
+// Witness shrinking.
+
+TEST(Anomaly, WitnessIsDownwardClosedAndKeepsTheRace) {
+  Rng rng(11);
+  RandomCilkOptions options;
+  options.target_ops = 50;
+  options.nlocations = 2;
+  options.write_prob = 0.7;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Computation c = random_cilk(options, rng);
+    for (const Race& r : find_races_sp(c)) {
+      NodeId wa = kBottom;
+      NodeId wb = kBottom;
+      const Computation w = analyze::race_witness(c, r.a, r.b, &wa, &wb);
+      ASSERT_LT(wa, w.node_count());
+      ASSERT_LT(wb, w.node_count());
+      EXPECT_EQ(w.op(wa), c.op(r.a));
+      EXPECT_EQ(w.op(wb), c.op(r.b));
+      // Still incomparable: the witness preserves the race.
+      EXPECT_FALSE(w.precedes(wa, wb));
+      EXPECT_FALSE(w.precedes(wb, wa));
+      EXPECT_LE(w.node_count(), c.node_count());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Model-anomaly classification.
+
+TEST(Anomaly, UnobservedWriteWriteRaceLeavesModelsAgreeing) {
+  ComputationBuilder b;
+  b.write(0);
+  b.write(0);
+  const Computation c = std::move(b).build();
+  const auto races = find_races_pairwise(c);
+  ASSERT_EQ(races.size(), 1u);
+  const auto split = analyze::classify_race(c, races[0]);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_TRUE(split->agree());
+  EXPECT_FALSE(split->truncated);
+}
+
+TEST(Anomaly, Figure2RaceSplitsTheHierarchy) {
+  // Figure 2's computation is racy, and its anomalies are exactly what
+  // separate the dag models: some race's witness must split them.
+  const Computation c = test::figure2_pair().c;
+  bool split_found = false;
+  for (const Race& r : find_races_pairwise(c)) {
+    const auto split = analyze::classify_race(c, r);
+    if (split.has_value() && !split->agree()) split_found = true;
+  }
+  EXPECT_TRUE(split_found);
+}
+
+TEST(Anomaly, CapsReturnNullopt) {
+  ComputationBuilder b;
+  b.write(0);
+  b.write(0);
+  const Computation c = std::move(b).build();
+  const auto races = find_races_pairwise(c);
+  ASSERT_FALSE(races.empty());
+  analyze::AnomalyOptions tight;
+  tight.witness_node_cap = 1;
+  EXPECT_FALSE(analyze::classify_race(c, races[0], tight).has_value());
+}
+
+// ---------------------------------------------------------------------
+// The pass driver and diagnostics.
+
+TEST(AnalyzeDriver, RaceFreeProgramIsClean) {
+  CilkProgram p;
+  auto main = p.root();
+  main.write(0);
+  auto child = main.spawn();
+  child.read(0).write(1);
+  main.sync();
+  main.read(1);
+  const Computation c = p.finish();
+  const auto diags = analyze::analyze_computation(c);
+  const auto n = analyze::count_severities(diags);
+  EXPECT_EQ(n.errors, 0u);
+  EXPECT_EQ(n.warnings, 0u);
+}
+
+TEST(AnalyzeDriver, ObservableRaceIsErrorUnobservableIsWarning) {
+  // Parallel write/write with a subsequent read: observable → error.
+  CilkProgram p;
+  auto main = p.root();
+  auto a = main.spawn();
+  a.write(0);
+  auto b = main.spawn();
+  b.write(0);
+  main.sync();
+  main.read(0);
+  const auto diags = analyze::analyze_computation(p.finish());
+  EXPECT_GE(analyze::count_severities(diags).errors, 1u);
+
+  // Parallel write/write nobody reads: every model agrees → warning.
+  CilkProgram q;
+  auto qm = q.root();
+  auto qa = qm.spawn();
+  qa.write(0);
+  auto qb = qm.spawn();
+  qb.write(0);
+  qm.sync();
+  const auto qdiags = analyze::analyze_computation(q.finish());
+  const auto qn = analyze::count_severities(qdiags);
+  EXPECT_EQ(qn.errors, 0u);
+  EXPECT_EQ(qn.warnings, 1u);
+}
+
+TEST(AnalyzeDriver, MemoryLintsFire) {
+  ComputationBuilder b;
+  const NodeId w = b.write(3);
+  b.read(5, {w});
+  const auto diags = analyze::analyze_computation(std::move(b).build());
+  bool dead_write = false;
+  bool uninit_read = false;
+  for (const auto& d : diags) {
+    if (d.pass == "dead-write") dead_write = true;
+    if (d.pass == "uninitialized-read") uninit_read = true;
+  }
+  EXPECT_TRUE(dead_write);
+  EXPECT_TRUE(uninit_read);
+}
+
+TEST(AnalyzeDriver, RaceCapSummarizes) {
+  CilkProgram p;
+  auto main = p.root();
+  for (int i = 0; i < 8; ++i) {
+    auto child = main.spawn();
+    child.write(0);
+  }
+  main.sync();
+  analyze::AnalysisOptions options;
+  options.max_race_diagnostics = 3;
+  options.classify_anomalies = false;
+  const auto diags = analyze::analyze_computation(p.finish(), options);
+  std::size_t race_diags = 0;
+  bool summary = false;
+  for (const auto& d : diags) {
+    if (d.pass == "sp-bags-race" && d.severity != analyze::Severity::kInfo)
+      ++race_diags;
+    if (d.message.find("suppressed") != std::string::npos) summary = true;
+  }
+  EXPECT_EQ(race_diags, 3u);
+  EXPECT_TRUE(summary);
+}
+
+TEST(AnalyzeDriver, ReportRendersAllSeverities) {
+  CilkProgram p;
+  auto main = p.root();
+  auto a = main.spawn();
+  a.write(0);
+  auto b = main.spawn();
+  b.write(0);
+  main.sync();
+  main.read(0);
+  main.read(9);
+  const auto diags = analyze::analyze_computation(p.finish());
+  const std::string report = analyze::render_report(diags);
+  EXPECT_NE(report.find("error"), std::string::npos);
+  EXPECT_NE(report.find("uninitialized-read"), std::string::npos);
+  EXPECT_NE(report.find("behaviour classes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccmm

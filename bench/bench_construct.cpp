@@ -7,6 +7,7 @@
 #include "construct/extension.hpp"
 #include "dag/generators.hpp"
 #include "construct/fixpoint.hpp"
+#include "enumerate/canonical.hpp"
 #include "enumerate/isomorphism.hpp"
 #include "models/location_consistency.hpp"
 #include "models/qdag.hpp"
@@ -28,6 +29,7 @@ void BM_WitnessSearchNN(benchmark::State& state) {
   options.spec.max_nodes = static_cast<std::size_t>(state.range(0));
   options.spec.nlocations = 1;
   options.spec.include_nop = false;
+  options.quotient = false;  // labeled baseline
   for (auto _ : state) {
     const auto w =
         find_nonconstructibility_witness(*QDagModel::nn(), options);
@@ -36,11 +38,26 @@ void BM_WitnessSearchNN(benchmark::State& state) {
 }
 BENCHMARK(BM_WitnessSearchNN)->Arg(3)->Arg(4);
 
+void BM_WitnessSearchNNQuotient(benchmark::State& state) {
+  WitnessSearchOptions options;
+  options.spec.max_nodes = static_cast<std::size_t>(state.range(0));
+  options.spec.nlocations = 1;
+  options.spec.include_nop = false;
+  options.quotient = true;  // one representative per class
+  for (auto _ : state) {
+    const auto w =
+        find_nonconstructibility_witness(*QDagModel::nn(), options);
+    benchmark::DoNotOptimize(w.has_value());
+  }
+}
+BENCHMARK(BM_WitnessSearchNNQuotient)->Arg(3)->Arg(4);
+
 void BM_WitnessSearchLcComesUpEmpty(benchmark::State& state) {
   WitnessSearchOptions options;
   options.spec.max_nodes = static_cast<std::size_t>(state.range(0));
   options.spec.nlocations = 1;
   options.spec.include_nop = false;
+  options.quotient = false;  // labeled baseline
   for (auto _ : state) {
     const auto w = find_nonconstructibility_witness(
         *LocationConsistencyModel::instance(), options);
@@ -70,7 +87,44 @@ void BM_FixpointSequential(benchmark::State& state) {
     state.counters["pruned"] = static_cast<double>(stats.pruned);
   }
 }
-BENCHMARK(BM_FixpointSequential)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+// Arg(6) is the headline before/after comparison with
+// BM_FixpointQuotient/6 (~70s labeled vs ~10s quotient on one core);
+// CI's quick smoke filters it out.
+BENCHMARK(BM_FixpointSequential)
+    ->Arg(4)
+    ->Arg(5)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RestrictModelQuotient(benchmark::State& state) {
+  const auto spec = thin_spec(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto set =
+        BoundedModelSet::restrict_model_quotient(*QDagModel::nn(), spec);
+    benchmark::DoNotOptimize(set.live_count());
+  }
+}
+BENCHMARK(BM_RestrictModelQuotient)
+    ->Arg(4)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FixpointQuotient(benchmark::State& state) {
+  const auto spec = thin_spec(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    FixpointStats stats;
+    const auto set =
+        constructible_version_quotient(*QDagModel::nn(), spec, &stats);
+    benchmark::DoNotOptimize(set.live_count());
+    state.counters["pairs"] = static_cast<double>(stats.initial_pairs);
+    state.counters["pruned"] = static_cast<double>(stats.pruned);
+  }
+}
+BENCHMARK(BM_FixpointQuotient)
+    ->Arg(4)
+    ->Arg(5)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FixpointParallel(benchmark::State& state) {
   const auto spec = thin_spec(static_cast<std::size_t>(state.range(0)));
@@ -119,6 +173,22 @@ void BM_CanonicalEncoding(benchmark::State& state) {
     benchmark::DoNotOptimize(canonical_encoding(c));
 }
 BENCHMARK(BM_CanonicalEncoding)->Arg(5)->Arg(7);
+
+void BM_CanonicalFormRefined(benchmark::State& state) {
+  // Same inputs as BM_CanonicalEncoding where ranges overlap; the
+  // refinement-based canonicalizer also handles sizes far beyond the
+  // factorial oracle's 9-node ceiling.
+  Rng rng(2);
+  const Dag d = gen::random_dag(static_cast<std::size_t>(state.range(0)),
+                                0.4, rng);
+  std::vector<Op> ops;
+  for (NodeId u = 0; u < d.node_count(); ++u)
+    ops.push_back(u % 2 == 0 ? Op::read(0) : Op::write(0));
+  const Computation c(d, ops);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(canonical_form(c).encoding);
+}
+BENCHMARK(BM_CanonicalFormRefined)->Arg(5)->Arg(7)->Arg(12)->Arg(16);
 
 }  // namespace
 }  // namespace ccmm

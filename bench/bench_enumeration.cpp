@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "dag/generators.hpp"
+#include "enumerate/canonical.hpp"
 #include "enumerate/dag_enum.hpp"
 #include "enumerate/universe.hpp"
 #include "models/qdag.hpp"
@@ -58,6 +59,50 @@ void BM_PairEnumerationWithNNCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_PairEnumerationWithNNCheck)->Arg(3)->Arg(4);
 
+void BM_PairEnumerationUpToIso(benchmark::State& state) {
+  UniverseSpec spec;
+  spec.max_nodes = static_cast<std::size_t>(state.range(0));
+  spec.nlocations = 1;
+  spec.include_nop = false;
+  for (auto _ : state) {
+    std::size_t reps = 0;
+    std::uint64_t labeled = 0;
+    for_each_pair_up_to_iso(
+        spec, [&](const Computation&, const ObserverFunction&,
+                  std::uint64_t mult) {
+          ++reps;
+          labeled += mult;
+          return true;
+        });
+    benchmark::DoNotOptimize(reps);
+    state.counters["rep_pairs"] = static_cast<double>(reps);
+    state.counters["labeled_pairs"] = static_cast<double>(labeled);
+  }
+}
+BENCHMARK(BM_PairEnumerationUpToIso)->Arg(3)->Arg(4);
+
+void BM_PairEnumerationWithNNCheckUpToIso(benchmark::State& state) {
+  // The quotient counterpart of BM_PairEnumerationWithNNCheck: one
+  // membership query per isomorphism class, census restored by orbit
+  // multiplicities (counters match the labeled benchmark's).
+  UniverseSpec spec;
+  spec.max_nodes = static_cast<std::size_t>(state.range(0));
+  spec.nlocations = 1;
+  spec.include_nop = false;
+  for (auto _ : state) {
+    std::uint64_t members = 0;
+    for_each_pair_up_to_iso(
+        spec, [&](const Computation& c, const ObserverFunction& f,
+                  std::uint64_t mult) {
+          if (qdag_consistent(c, f, DagPred::kNN)) members += mult;
+          return true;
+        });
+    benchmark::DoNotOptimize(members);
+    state.counters["nn_members"] = static_cast<double>(members);
+  }
+}
+BENCHMARK(BM_PairEnumerationWithNNCheckUpToIso)->Arg(3)->Arg(4);
+
 void BM_ObserverCounting(benchmark::State& state) {
   UniverseSpec spec;
   spec.max_nodes = static_cast<std::size_t>(state.range(0));
@@ -75,6 +120,19 @@ void BM_EncodeComputation(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(encode_computation(c));
 }
 BENCHMARK(BM_EncodeComputation)->Arg(8)->Arg(16);
+
+void BM_CanonicalForm(benchmark::State& state) {
+  // canonical_form on the same inputs as BM_EncodeComputation: the gap
+  // between the two is the cost of refinement + leaf search on top of a
+  // plain encoding.
+  Rng rng(1);
+  const Dag d = gen::random_dag(static_cast<std::size_t>(state.range(0)),
+                                0.3, rng);
+  std::vector<Op> ops(d.node_count(), Op::read(0));
+  const Computation c(d, ops);
+  for (auto _ : state) benchmark::DoNotOptimize(canonical_form(c).encoding);
+}
+BENCHMARK(BM_CanonicalForm)->Arg(8)->Arg(16);
 
 }  // namespace
 }  // namespace ccmm

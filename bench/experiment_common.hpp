@@ -1,9 +1,15 @@
 // bench/experiment_common.hpp — tiny harness shared by the experiment
-// reproducers: PASS/FAIL bookkeeping and section headers.
+// reproducers: PASS/FAIL bookkeeping, section headers, named metrics,
+// and an optional machine-readable JSON report (satellite of the
+// quotient-engine PR; tools/run_benches.sh merges these reports into
+// BENCH_ccmm.json).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/str.hpp"
 
@@ -11,9 +17,9 @@ namespace ccmm::experiment {
 
 class Harness {
  public:
-  explicit Harness(std::string title) {
+  explicit Harness(std::string title) : title_(std::move(title)) {
     std::printf("==============================================\n");
-    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", title_.c_str());
     std::printf("==============================================\n");
   }
 
@@ -29,15 +35,71 @@ class Harness {
     ++checks_;
   }
 
-  /// Print the summary; returns the process exit code.
+  /// Record a named numeric metric (timings, counts, speedups). Printed
+  /// immediately and included in the JSON report.
+  void metric(const std::string& name, double value,
+              const std::string& unit = "") {
+    std::printf("[metric] %s = %g%s%s\n", name.c_str(), value,
+                unit.empty() ? "" : " ", unit.c_str());
+    metrics_.push_back({name, value, unit});
+  }
+
+  /// Print the summary; returns the process exit code. When the
+  /// CCMM_EXPERIMENT_JSON environment variable names a file, also write
+  /// {title, checks, failures, metrics} there as JSON.
   int finish() {
     std::printf("\n%zu checks, %zu failures\n", checks_, failures_);
+    if (const char* path = std::getenv("CCMM_EXPERIMENT_JSON");
+        path != nullptr && *path != '\0')
+      write_json(path);
     return failures_ == 0 ? 0 : 1;
   }
 
  private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    for (const char ch : s) {
+      if (ch == '"' || ch == '\\') {
+        out.push_back('\\');
+        out.push_back(ch);
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        out += format("\\u%04x", ch);
+      } else {
+        out.push_back(ch);
+      }
+    }
+    return out;
+  }
+
+  void write_json(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write experiment JSON to %s\n", path);
+      return;
+    }
+    std::fprintf(f, "{\n  \"title\": \"%s\",\n  \"checks\": %zu,\n",
+                 json_escape(title_).c_str(), checks_);
+    std::fprintf(f, "  \"failures\": %zu,\n  \"metrics\": [", failures_);
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"value\": %.17g, "
+                      "\"unit\": \"%s\"}",
+                   i == 0 ? "" : ",", json_escape(metrics_[i].name).c_str(),
+                   metrics_[i].value, json_escape(metrics_[i].unit).c_str());
+    }
+    std::fprintf(f, "%s]\n}\n", metrics_.empty() ? "" : "\n  ");
+    std::fclose(f);
+  }
+
+  std::string title_;
   std::size_t checks_ = 0;
   std::size_t failures_ = 0;
+  std::vector<Metric> metrics_;
 };
 
 }  // namespace ccmm::experiment

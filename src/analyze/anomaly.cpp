@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <array>
 
+#include "enumerate/canonical.hpp"
 #include "enumerate/observer_enum.hpp"
 #include "models/location_consistency.hpp"
 #include "models/qdag.hpp"
 #include "models/sequential_consistency.hpp"
+#include "util/memo_cache.hpp"
+#include "util/str.hpp"
 
 namespace ccmm::analyze {
 
@@ -41,6 +44,18 @@ constexpr std::size_t kModels = 6;
 constexpr std::array<const char*, kModels> kModelNames = {"SC", "LC", "NN",
                                                           "NW", "WN", "WW"};
 
+/// Race classifications keyed by the canonical form of the minimal
+/// witness plus the budgets that shape the answer. Different races in
+/// different programs routinely reduce to isomorphic witnesses, so the
+/// hit rate on real passes is high. The split is isomorphism-invariant
+/// except for sc_budget truncation effects, which already depend on the
+/// witness labeling in the uncached path; caching by canonical key just
+/// pins one labeling's answer per class.
+ShardedMemoCache<ModelSplit>& split_cache() {
+  static ShardedMemoCache<ModelSplit> cache(16, 1u << 14);
+  return cache;
+}
+
 }  // namespace
 
 std::optional<ModelSplit> classify_race(const Computation& c, const Race& r,
@@ -48,6 +63,11 @@ std::optional<ModelSplit> classify_race(const Computation& c, const Race& r,
   const Computation w = race_witness(c, r.a, r.b);
   if (w.node_count() > opt.witness_node_cap) return std::nullopt;
   if (observer_count(w) > opt.observer_budget) return std::nullopt;
+
+  std::string key = canonical_key(w);
+  key += format("\x1f%zu\x1f%llu", opt.sc_budget,
+                static_cast<unsigned long long>(opt.observer_budget));
+  if (auto hit = split_cache().lookup(key)) return *hit;
 
   ModelSplit split;
   // accepted[m][i]: model m accepts the i-th enumerated observer.
@@ -84,6 +104,7 @@ std::optional<ModelSplit> classify_race(const Computation& c, const Race& r,
         split.classes[cls[m]].push_back(kModelNames[o]);
       }
   }
+  split_cache().insert(key, split);
   return split;
 }
 

@@ -1,6 +1,8 @@
 #include "construct/constructibility.hpp"
 
 #include "construct/extension.hpp"
+#include "enumerate/canonical.hpp"
+#include "enumerate/observer_enum.hpp"
 #include "util/str.hpp"
 
 namespace ccmm {
@@ -44,7 +46,8 @@ std::optional<NonconstructibilityWitness> search_at_exact_size(
   const std::vector<Op> alphabet = op_alphabet(spec.nlocations);
   std::optional<NonconstructibilityWitness> witness;
 
-  for_each_pair(spec, [&](const Computation& c, const ObserverFunction& phi) {
+  const auto check_pair = [&](const Computation& c,
+                              const ObserverFunction& phi) {
     if (c.node_count() != size) return true;  // exact-size pass
     if (!model.contains(c, phi)) return true;
 
@@ -70,7 +73,23 @@ std::optional<NonconstructibilityWitness> search_at_exact_size(
           return true;
         });
     return ok;
-  });
+  };
+
+  if (options.quotient) {
+    // One representative per isomorphism class; answerability is
+    // isomorphism-invariant, so this scan is complete.
+    for_each_computation_up_to_iso(
+        spec, [&](const Computation& rep, std::uint64_t) {
+          bool keep = true;
+          for_each_observer(rep, [&](const ObserverFunction& phi) {
+            keep = check_pair(rep, phi);
+            return keep;
+          });
+          return keep;
+        });
+  } else {
+    for_each_pair(spec, check_pair);
+  }
   return witness;
 }
 

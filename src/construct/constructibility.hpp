@@ -36,6 +36,13 @@ struct WitnessSearchOptions {
   /// Only test augmented computations (valid for monotonic models,
   /// Theorem 12); much cheaper.
   bool augment_only = false;
+  /// Scan one computation per isomorphism class instead of the whole
+  /// labeled universe (enumerate/canonical.hpp). Unanswerability of an
+  /// extension is isomorphism-invariant for the paper's models, so the
+  /// quotient scan is complete: a witness exists iff one exists at a
+  /// canonical representative. The returned witness may differ from the
+  /// labeled scan's by a relabeling.
+  bool quotient = true;
 };
 
 /// Search the bounded universe for a nonconstructibility witness.

@@ -1,6 +1,8 @@
 #include "construct/fixpoint.hpp"
 
 #include "construct/extension.hpp"
+#include "enumerate/canonical.hpp"
+#include "enumerate/observer_enum.hpp"
 
 namespace ccmm {
 
@@ -21,10 +23,36 @@ BoundedModelSet BoundedModelSet::restrict_model(const MemoryModel& model,
   return out;
 }
 
+BoundedModelSet BoundedModelSet::restrict_model_quotient(
+    const MemoryModel& model, const UniverseSpec& spec) {
+  BoundedModelSet out;
+  out.spec_ = spec;
+  out.quotient_ = true;
+  for_each_computation_up_to_iso(
+      spec, [&](const Computation& rep, std::uint64_t mult) {
+        // Representatives arrive in canonical layout, so their plain
+        // encoding doubles as the canonical class key.
+        auto [it, fresh] = out.entries_.try_emplace(encode_computation(rep));
+        CCMM_ASSERT(fresh);
+        it->second.c = rep;
+        it->second.multiplicity = mult;
+        for_each_observer(rep, [&](const ObserverFunction& phi) {
+          if (model.contains(rep, phi)) {
+            it->second.phis.push_back(phi);
+            it->second.alive.push_back(1);
+          }
+          return true;
+        });
+        return true;
+      });
+  return out;
+}
+
 std::size_t BoundedModelSet::live_count() const {
   std::size_t n = 0;
   for (const auto& [key, e] : entries_)
-    for (const char a : e.alive) n += static_cast<std::size_t>(a);
+    for (const char a : e.alive)
+      if (a) n += static_cast<std::size_t>(e.multiplicity);
   return n;
 }
 
@@ -32,13 +60,25 @@ std::size_t BoundedModelSet::live_count_at_size(std::size_t n) const {
   std::size_t total = 0;
   for (const auto& [key, e] : entries_) {
     if (e.c.node_count() != n) continue;
-    for (const char a : e.alive) total += static_cast<std::size_t>(a);
+    for (const char a : e.alive)
+      if (a) total += static_cast<std::size_t>(e.multiplicity);
   }
   return total;
 }
 
 bool BoundedModelSet::contains_pair(const Computation& c,
                                     const ObserverFunction& phi) const {
+  if (quotient_) {
+    if (phi.node_count() != c.node_count()) return false;
+    const CanonicalForm cf = canonical_form(c);
+    const auto it = entries_.find(cf.encoding);
+    if (it == entries_.end()) return false;
+    const Entry& e = it->second;
+    const ObserverFunction t = transport_observer(phi, cf.map);
+    for (std::size_t i = 0; i < e.phis.size(); ++i)
+      if (e.alive[i] && e.phis[i] == t) return true;
+    return false;
+  }
   const auto it = entries_.find(encode_computation(c));
   if (it == entries_.end()) return false;
   const Entry& e = it->second;
@@ -201,6 +241,152 @@ BoundedModelSet constructible_version_parallel(const MemoryModel& model,
   return set;
 }
 
+namespace {
+
+/// One precomputed in-universe one-node extension of a representative:
+/// the extended computation, the entry holding its isomorphism class,
+/// and the relabeling onto that class's representative.
+struct QuotientExt {
+  Computation ext;
+  const BoundedModelSet::Entry* target;
+  std::vector<NodeId> map;
+};
+
+BoundedModelSet constructible_version_quotient_impl(const MemoryModel& model,
+                                                    const UniverseSpec& spec,
+                                                    ThreadPool* pool,
+                                                    FixpointStats* stats) {
+  BoundedModelSet set = BoundedModelSet::restrict_model_quotient(model, spec);
+  const std::vector<Op> alphabet = op_alphabet(spec.nlocations);
+
+  FixpointStats local;
+  local.initial_pairs = set.live_count();
+
+  // Stage 1: canonicalize each representative's one-node extensions,
+  // once. The labeled driver re-encodes every extension for every
+  // (pair, round). Entry pointers are stable below (no inserts after
+  // restriction).
+  std::unordered_map<const BoundedModelSet::Entry*, std::vector<QuotientExt>>
+      ext_tables;
+  std::unordered_map<const BoundedModelSet::Entry*,
+                     std::unordered_map<std::string, std::uint32_t>>
+      phi_index;  // encode_observer -> index into target->phis
+  struct Task {
+    BoundedModelSet::Entry* entry;
+    std::size_t phi_index;
+    const std::vector<QuotientExt>* exts;
+    // answers[j]: indices into exts[j].target->phis that extend this
+    // pair's observer on extension j. Computed once; a pair is
+    // answerable on j at any round iff some listed index is still live.
+    std::vector<std::vector<std::uint32_t>> answers;
+  };
+  std::vector<Task> tasks;
+  for (auto& [key, e] : set.entries()) {
+    e.c.dag().ensure_closure();
+    if (e.c.node_count() >= spec.max_nodes) continue;
+    auto& exts = ext_tables[&e];
+    for_each_one_node_extension(
+        e.c, alphabet, /*dedupe_by_closure=*/false,
+        [&](const Computation& ext) {
+          CanonicalForm cf = canonical_form(ext);
+          const auto jt = set.entries().find(cf.encoding);
+          // Extensions leave the universe only through the labeling
+          // filter (e.g. max_writes_per_location); unconstraining.
+          if (jt == set.entries().end()) return true;
+          exts.push_back({ext, &jt->second, std::move(cf.map)});
+          auto& index = phi_index[&jt->second];
+          if (index.empty())
+            for (std::size_t k = 0; k < jt->second.phis.size(); ++k)
+              index.emplace(encode_observer(jt->second.phis[k]),
+                            static_cast<std::uint32_t>(k));
+          return true;
+        });
+    for (std::size_t i = 0; i < e.phis.size(); ++i)
+      tasks.push_back({&e, i, &exts, {}});
+  }
+
+  // Stage 2: resolve every (pair, extension) to the target observer
+  // indices that answer it — model membership of a candidate answer is
+  // exactly presence in the target's initial phi list. Pure reads of
+  // shared state, so tasks fan out across the pool.
+  auto resolve = [&](std::size_t t) {
+    Task& task = tasks[t];
+    const ObserverFunction& phi = task.entry->phis[task.phi_index];
+    task.answers.resize(task.exts->size());
+    for (std::size_t j = 0; j < task.exts->size(); ++j) {
+      const QuotientExt& qe = (*task.exts)[j];
+      const auto& index = phi_index.find(qe.target)->second;
+      for_each_extension_observer(
+          qe.ext, phi, [&](const ObserverFunction& phi2) {
+            const auto hit =
+                index.find(encode_observer(transport_observer(phi2, qe.map)));
+            if (hit != index.end()) task.answers[j].push_back(hit->second);
+            return true;
+          });
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(tasks.size(), [&](std::size_t t) { resolve(t); });
+  } else {
+    for (std::size_t t = 0; t < tasks.size(); ++t) resolve(t);
+  }
+
+  // Stage 3: Jacobi rounds over the index lists — judge everyone
+  // against the round-start snapshot, apply kills serially. After the
+  // one-time resolution above, each round is a pure liveness scan.
+  bool changed = true;
+  while (changed) {
+    ++local.rounds;
+    std::vector<char> kill(tasks.size(), 0);
+    auto judge = [&](std::size_t t) {
+      const Task& task = tasks[t];
+      if (!task.entry->alive[task.phi_index]) return;
+      for (std::size_t j = 0; j < task.answers.size(); ++j) {
+        const auto& alive = (*task.exts)[j].target->alive;
+        bool answered = false;
+        for (const std::uint32_t k : task.answers[j])
+          if (alive[k]) {
+            answered = true;
+            break;
+          }
+        if (!answered) {
+          kill[t] = 1;
+          return;
+        }
+      }
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(tasks.size(), judge);
+    } else {
+      for (std::size_t t = 0; t < tasks.size(); ++t) judge(t);
+    }
+    changed = false;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (!kill[t]) continue;
+      tasks[t].entry->alive[tasks[t].phi_index] = 0;
+      local.pruned += static_cast<std::size_t>(tasks[t].entry->multiplicity);
+      changed = true;
+    }
+  }
+  local.final_pairs = set.live_count();
+  if (stats != nullptr) *stats = local;
+  return set;
+}
+
+}  // namespace
+
+BoundedModelSet constructible_version_quotient(const MemoryModel& model,
+                                               const UniverseSpec& spec,
+                                               FixpointStats* stats) {
+  return constructible_version_quotient_impl(model, spec, nullptr, stats);
+}
+
+BoundedModelSet constructible_version_quotient_parallel(
+    const MemoryModel& model, const UniverseSpec& spec, ThreadPool& pool,
+    FixpointStats* stats) {
+  return constructible_version_quotient_impl(model, spec, &pool, stats);
+}
+
 std::vector<SizeClassComparison> compare_with_model(
     const BoundedModelSet& fixpoint, const MemoryModel& reference) {
   std::vector<SizeClassComparison> out(fixpoint.spec().max_nodes + 1);
@@ -209,11 +395,15 @@ std::vector<SizeClassComparison> compare_with_model(
   std::vector<bool> mismatch(out.size(), false);
   for (const auto& [key, e] : fixpoint.entries()) {
     const std::size_t n = e.c.node_count();
+    // On quotient sets each representative pair stands for `multiplicity`
+    // labeled pairs; membership is isomorphism-invariant, so weighting
+    // reproduces the labeled census exactly.
+    const auto weight = static_cast<std::size_t>(e.multiplicity);
     for (std::size_t i = 0; i < e.phis.size(); ++i) {
       const bool live = e.alive[i] != 0;
       const bool ref = reference.contains(e.c, e.phis[i]);
-      if (live) ++out[n].fixpoint_pairs;
-      if (ref) ++out[n].reference_pairs;
+      if (live) out[n].fixpoint_pairs += weight;
+      if (ref) out[n].reference_pairs += weight;
       if (live != ref) mismatch[n] = true;
     }
     // Pairs rejected by the *initial* model restriction never appear in

@@ -22,29 +22,54 @@ namespace ccmm {
 
 /// An extensional (finite) set of pairs, grouped by computation, with
 /// per-pair liveness. Also usable as a MemoryModel over its universe.
+///
+/// Two storage modes share this type. The *labeled* mode (restrict_model)
+/// holds every computation of the universe, keyed by encode_computation.
+/// The *quotient* mode (restrict_model_quotient) holds one canonical
+/// representative per isomorphism class, keyed by its canonical
+/// encoding, with the orbit multiplicity on the entry; census queries
+/// (live_count, compare_with_model) weight by multiplicity, and
+/// contains_pair canonicalizes the query and transports the observer
+/// onto the representative, so the quotient set answers for the whole
+/// labeled universe.
 class BoundedModelSet {
  public:
   struct Entry {
     Computation c;
     std::vector<ObserverFunction> phis;
     std::vector<char> alive;
+    /// Orbit size of c's class in the labeled universe (1 in labeled
+    /// mode).
+    std::uint64_t multiplicity = 1;
   };
 
   /// Materialize model ∩ universe(spec).
   static BoundedModelSet restrict_model(const MemoryModel& model,
                                         const UniverseSpec& spec);
 
-  [[nodiscard]] const UniverseSpec& spec() const noexcept { return spec_; }
+  /// Materialize the isomorphism quotient of model ∩ universe(spec):
+  /// one entry per class, orbit multiplicities attached.
+  static BoundedModelSet restrict_model_quotient(const MemoryModel& model,
+                                                 const UniverseSpec& spec);
 
-  /// Number of live pairs (optionally only those with exactly n nodes).
+  [[nodiscard]] const UniverseSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] bool quotient() const noexcept { return quotient_; }
+
+  /// Number of live pairs in the labeled universe (optionally only
+  /// those with exactly n nodes). Quotient sets weight each live
+  /// representative by its orbit multiplicity, so both modes report the
+  /// same census.
   [[nodiscard]] std::size_t live_count() const;
   [[nodiscard]] std::size_t live_count_at_size(std::size_t n) const;
 
   /// Membership among live pairs. Pairs outside the universe are absent.
+  /// On a quotient set, any labeled (c, phi) of the universe may be
+  /// queried: the pair is canonicalized and transported first.
   [[nodiscard]] bool contains_pair(const Computation& c,
                                    const ObserverFunction& phi) const;
 
-  /// Iterate live pairs; visit returns false to stop.
+  /// Iterate live pairs; visit returns false to stop. On a quotient set
+  /// this visits representatives only (once per class).
   void for_each_live(const std::function<bool(const Computation&,
                                               const ObserverFunction&)>& visit)
       const;
@@ -59,7 +84,9 @@ class BoundedModelSet {
 
  private:
   UniverseSpec spec_;
-  std::unordered_map<std::string, Entry> entries_;  // key: encode_computation
+  bool quotient_ = false;
+  // key: encode_computation (labeled) / canonical encoding (quotient)
+  std::unordered_map<std::string, Entry> entries_;
 };
 
 struct FixpointStats {
@@ -82,6 +109,24 @@ struct FixpointStats {
 /// greatest fixpoint as the sequential (chaotic) iteration, possibly in
 /// a different number of rounds.
 [[nodiscard]] BoundedModelSet constructible_version_parallel(
+    const MemoryModel& model, const UniverseSpec& spec, ThreadPool& pool,
+    FixpointStats* stats = nullptr);
+
+/// Quotient fixpoint: one representative per isomorphism class, one-node
+/// extension answers transported along the canonical relabelings. The
+/// greatest fixpoint is a union of orbits (answerability is
+/// isomorphism-invariant), so the result is the exact quotient of the
+/// labeled fixpoint: contains_pair / live_count / compare_with_model
+/// agree with constructible_version on every labeled query. Stats count
+/// labeled pairs (multiplicity-weighted); rounds follow the Jacobi
+/// schedule, so they may differ from the sequential labeled driver.
+[[nodiscard]] BoundedModelSet constructible_version_quotient(
+    const MemoryModel& model, const UniverseSpec& spec,
+    FixpointStats* stats = nullptr);
+
+/// Pool-parallel variant of the quotient fixpoint (same Jacobi rounds,
+/// judged in parallel).
+[[nodiscard]] BoundedModelSet constructible_version_quotient_parallel(
     const MemoryModel& model, const UniverseSpec& spec, ThreadPool& pool,
     FixpointStats* stats = nullptr);
 

@@ -1,0 +1,45 @@
+#include "enumerate/cached_model.hpp"
+
+#include "util/memo_cache.hpp"
+
+namespace ccmm {
+namespace {
+
+/// Above this size, canonicalization costs more than most membership
+/// checks save; fall through to the inner model.
+constexpr std::size_t kCacheNodeCap = 24;
+
+}  // namespace
+
+CachedModel::CachedModel(std::shared_ptr<const MemoryModel> inner)
+    : inner_(std::move(inner)) {
+  CCMM_CHECK(inner_ != nullptr, "null model");
+  tag_ = inner_->name();
+  tag_.push_back('\x1e');
+}
+
+bool CachedModel::contains(const Computation& c,
+                           const ObserverFunction& phi) const {
+  // Oversized computations and malformed observers (models reject the
+  // latter themselves) bypass the cache.
+  if (c.node_count() > kCacheNodeCap || phi.node_count() != c.node_count())
+    return inner_->contains(c, phi);
+  const CanonicalForm cf = canonical_form(c);
+  std::string key = tag_;
+  key += cf.encoding;
+  key.push_back('\x1f');
+  key += encode_observer(transport_observer(phi, cf.map));
+  if (const auto hit = membership_cache().lookup(key)) return *hit;
+  // Membership is isomorphism-invariant, so answering on the original
+  // labeling and caching under the canonical key is sound.
+  const bool member = inner_->contains(c, phi);
+  membership_cache().insert(key, member);
+  return member;
+}
+
+std::shared_ptr<const MemoryModel> cached(
+    std::shared_ptr<const MemoryModel> inner) {
+  return std::make_shared<CachedModel>(std::move(inner));
+}
+
+}  // namespace ccmm

@@ -1,0 +1,101 @@
+// ccmm/enumerate/canonical.hpp
+//
+// The isomorphism-quotient engine. Every model in this repository is
+// isomorphism-invariant, so the exhaustive checkers may range over one
+// representative per isomorphism class instead of every labeled
+// computation (543 labeled vs 31 unlabeled dags already at n = 4, OEIS
+// A003024 / A003087 — the gap widens super-exponentially). This module
+// provides the machinery:
+//
+//  * canonical_form(c): a refinement-based canonicalizer — iterated
+//    color refinement on (depth level, op label, neighborhood color
+//    multisets), with targeted individualization only on refinement
+//    ties, run per weakly-connected component and glued by sorted
+//    component encodings. Near-linear on the structured dags the
+//    enumeration layer produces, versus the factorial
+//    minimum-over-all-relabelings canonical_encoding (which is kept in
+//    enumerate/isomorphism.hpp purely as a test oracle).
+//  * orbit transport: the relabeling map comes back with the form, and
+//    transport_observer carries an ObserverFunction along it, so an
+//    answer computed on a representative serves the whole orbit.
+//  * orbit_size(c): how many labeled (id-topologically-sorted)
+//    computations the universe enumeration visits in c's class —
+//    linear extensions of the dag divided by |Aut(c)|.
+//  * for_each_computation_up_to_iso / for_each_pair_up_to_iso: the
+//    quotient quantifier ranges, yielding canonical representatives
+//    with orbit multiplicities so census counts over the labeled
+//    universe are recovered exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "enumerate/universe.hpp"
+
+namespace ccmm {
+
+/// The canonical form of a computation: a relabeling map onto a fixed
+/// class representative, that representative's byte encoding, and the
+/// automorphism count discovered along the way.
+struct CanonicalForm {
+  /// encode_computation of the canonical relabeling; equal for two
+  /// computations iff they are isomorphic.
+  std::string encoding;
+  /// map[old_id] = canonical id. Applying it (apply_relabeling) yields
+  /// the computation the encoding describes.
+  std::vector<NodeId> map;
+  /// |Aut(c)|: label- and edge-preserving self-bijections.
+  std::uint64_t automorphisms = 1;
+};
+
+/// Canonicalize `c`. Node ids of the input need not be topologically
+/// sorted; the output relabeling always is.
+[[nodiscard]] CanonicalForm canonical_form(const Computation& c);
+
+/// Just the encoding (same string as canonical_form(c).encoding).
+[[nodiscard]] std::string canonical_key(const Computation& c);
+
+/// Apply a node relabeling map (map[old] = new, a bijection onto
+/// 0..n-1). The map must be topologically admissible: every edge must
+/// map to an increasing id pair.
+[[nodiscard]] Computation apply_relabeling(const Computation& c,
+                                           const std::vector<NodeId>& map);
+
+/// Transport an observer function along a relabeling map:
+/// Φ'(l, map[u]) = map[Φ(l, u)]. Model membership is invariant under
+/// transport for every isomorphism-invariant model, which is what makes
+/// orbit-level memoization sound.
+[[nodiscard]] ObserverFunction transport_observer(const ObserverFunction& phi,
+                                                  const std::vector<NodeId>& map);
+
+/// Number of linear extensions of the dag (downset dynamic program;
+/// limited to <= 20 nodes, where the count still fits in 64 bits).
+[[nodiscard]] std::uint64_t linear_extension_count(const Dag& dag);
+
+/// Number of distinct id-topologically-sorted labeled computations
+/// isomorphic to c — the size of c's orbit inside the enumeration
+/// universe: linear_extension_count(dag) / |Aut(c)|.
+[[nodiscard]] std::uint64_t orbit_size(const Computation& c);
+
+/// Enumerate one canonical representative per isomorphism class of the
+/// universe, together with its orbit size (so that summing the
+/// multiplicities recovers computation_count(spec) exactly). The
+/// representative is in canonical layout: encode_computation(rep) is
+/// its canonical encoding. visit returns false to stop; returns true on
+/// full enumeration.
+bool for_each_computation_up_to_iso(
+    const UniverseSpec& spec,
+    const std::function<bool(const Computation&, std::uint64_t)>& visit);
+
+/// Enumerate (representative, observer) pairs with the representative's
+/// orbit multiplicity. Observer functions are in bijection across a
+/// class's members, so for any isomorphism-invariant predicate P,
+///   Σ multiplicity · |{Φ of rep : P}|  =  |{(C, Φ) in universe : P}|.
+bool for_each_pair_up_to_iso(
+    const UniverseSpec& spec,
+    const std::function<bool(const Computation&, const ObserverFunction&,
+                             std::uint64_t)>& visit);
+
+}  // namespace ccmm

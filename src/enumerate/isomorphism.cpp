@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "enumerate/canonical.hpp"
 #include "enumerate/dag_enum.hpp"
 
 namespace ccmm {
@@ -62,23 +63,24 @@ bool are_isomorphic(const Computation& a, const Computation& b) {
     return v;
   };
   if (degrees_of(a) != degrees_of(b)) return false;
-  return canonical_encoding(a) == canonical_encoding(b);
+  return canonical_key(a) == canonical_key(b);
 }
 
 std::uint64_t computation_count_up_to_iso(const UniverseSpec& spec) {
-  std::unordered_set<std::string> classes;
-  for_each_computation(spec, [&](const Computation& c) {
-    classes.insert(canonical_encoding(c));
-    return true;
-  });
-  return classes.size();
+  std::uint64_t classes = 0;
+  for_each_computation_up_to_iso(spec,
+                                 [&](const Computation&, std::uint64_t) {
+                                   ++classes;
+                                   return true;
+                                 });
+  return classes;
 }
 
 std::uint64_t unlabeled_dag_count(std::size_t n) {
   std::unordered_set<std::string> classes;
   for_each_topo_dag(n, [&](const Dag& d) {
     const Computation c(d, std::vector<Op>(n, Op::nop()));
-    classes.insert(canonical_encoding(c));
+    classes.insert(canonical_key(c));
     return true;
   });
   return classes.size();

@@ -16,14 +16,15 @@
 namespace ccmm {
 
 /// Are a and b isomorphic as computations (edge- and label-preserving
-/// node bijection)? Exponential worst case with degree/label pruning;
-/// intended for the small instances the enumeration layer produces.
+/// node bijection)? Cheap invariant prechecks, then comparison of the
+/// refinement-based canonical forms (enumerate/canonical.hpp).
 [[nodiscard]] bool are_isomorphic(const Computation& a, const Computation& b);
 
-/// A canonical encoding: equal for two computations iff they are
-/// isomorphic. Computed as the lexicographically smallest
-/// encode_computation over all admissible (id-topologically-sorted)
-/// relabelings.
+/// TEST ORACLE ONLY: the lexicographically smallest encode_computation
+/// over all admissible (id-topologically-sorted) relabelings, found by
+/// trying every permutation — factorial, hence the <= 9 node limit.
+/// Production code uses canonical_form (enumerate/canonical.hpp); the
+/// tests cross-validate the fast canonicalizer against this one.
 [[nodiscard]] std::string canonical_encoding(const Computation& c);
 
 /// Number of isomorphism classes of computations in the universe.

@@ -1,0 +1,13 @@
+#include "util/memo_cache.hpp"
+
+namespace ccmm {
+
+ShardedMemoCache<bool>& membership_cache() {
+  // 64 shards: enough to keep the pool-parallel fixpoint drivers off
+  // each other's locks; ~128k entries per shard bounds the cache at a
+  // few hundred MB of small keys even under adversarial workloads.
+  static ShardedMemoCache<bool> cache(64, 1u << 17);
+  return cache;
+}
+
+}  // namespace ccmm

@@ -1,0 +1,112 @@
+// ccmm/util/memo_cache.hpp
+//
+// A sharded, thread-safe memoization cache keyed by byte strings. The
+// quotient engine keys model-membership answers by the canonical
+// (computation, observer) encoding, so every checker that consults the
+// cache answers repeated isomorphic queries in O(1) regardless of which
+// labeled representative the caller holds. Shards keep lock contention
+// low under the pool-parallel drivers; a full shard is flushed
+// wholesale (epoch eviction), which bounds memory without the
+// bookkeeping of an LRU.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace ccmm {
+
+template <typename Value>
+class ShardedMemoCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;  // whole-shard flushes
+    std::size_t entries = 0;
+  };
+
+  explicit ShardedMemoCache(std::size_t nshards = 16,
+                            std::size_t max_entries_per_shard = 1u << 17)
+      : nshards_(nshards),
+        cap_(max_entries_per_shard),
+        shards_(std::make_unique<Shard[]>(nshards)) {
+    CCMM_CHECK(nshards > 0 && max_entries_per_shard > 0,
+               "memo cache needs at least one shard and one slot");
+  }
+
+  [[nodiscard]] std::optional<Value> lookup(const std::string& key) const {
+    Shard& s = shard_for(key);
+    std::lock_guard lk(s.mu);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+
+  void insert(const std::string& key, Value value) {
+    Shard& s = shard_for(key);
+    std::lock_guard lk(s.mu);
+    if (s.map.size() >= cap_) {
+      s.map.clear();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    s.map.insert_or_assign(key, std::move(value));
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < nshards_; ++i) {
+      std::lock_guard lk(shards_[i].mu);
+      shards_[i].map.clear();
+    }
+  }
+
+  [[nodiscard]] Stats stats() const {
+    Stats st;
+    st.hits = hits_.load(std::memory_order_relaxed);
+    st.misses = misses_.load(std::memory_order_relaxed);
+    st.insertions = insertions_.load(std::memory_order_relaxed);
+    st.evictions = evictions_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < nshards_; ++i) {
+      std::lock_guard lk(shards_[i].mu);
+      st.entries += shards_[i].map.size();
+    }
+    return st;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Value> map;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& key) const {
+    return shards_[std::hash<std::string>{}(key) % nshards_];
+  }
+
+  std::size_t nshards_;
+  std::size_t cap_;
+  std::unique_ptr<Shard[]> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// The global model-membership cache shared by every CachedModel
+/// wrapper (enumerate/cached_model.hpp). Keys are
+/// "model-name \x1e canonical-C \x1f transported-Φ".
+[[nodiscard]] ShardedMemoCache<bool>& membership_cache();
+
+}  // namespace ccmm

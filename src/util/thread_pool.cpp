@@ -1,12 +1,29 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <cstdlib>
 
 #include "util/check.hpp"
 
 namespace ccmm {
+namespace {
+
+/// Worker count from the CCMM_THREADS environment variable, or 0 when
+/// unset/invalid. Values outside [1, 1024] are ignored rather than
+/// trusted (a typo'd export should not spawn a million threads).
+std::size_t threads_from_env() {
+  const char* s = std::getenv("CCMM_THREADS");
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s, &end, 10);
+  if (end == s || *end != '\0' || v < 1 || v > 1024) return 0;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t nthreads) {
+  if (nthreads == 0) nthreads = threads_from_env();
   if (nthreads == 0) {
     nthreads = std::thread::hardware_concurrency();
     if (nthreads == 0) nthreads = 2;

@@ -17,7 +17,9 @@ namespace ccmm {
 
 class ThreadPool {
  public:
-  /// Spawn `nthreads` workers (0 means std::thread::hardware_concurrency()).
+  /// Spawn `nthreads` workers. 0 means: the CCMM_THREADS environment
+  /// variable if set to an integer in [1, 1024], else
+  /// std::thread::hardware_concurrency().
   explicit ThreadPool(std::size_t nthreads = 0);
   ~ThreadPool();
 

@@ -1,0 +1,192 @@
+// The isomorphism-quotient engine: the refinement canonicalizer is
+// cross-validated against the factorial test oracle
+// (enumerate/isomorphism.hpp) over entire small universes, orbit
+// multiplicities are checked against the labeled census, and observer
+// transport / memoized membership are checked for soundness.
+#include "enumerate/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "enumerate/cached_model.hpp"
+#include "enumerate/isomorphism.hpp"
+#include "enumerate/observer_enum.hpp"
+#include "models/location_consistency.hpp"
+#include "models/qdag.hpp"
+#include "util/memo_cache.hpp"
+
+namespace ccmm {
+namespace {
+
+UniverseSpec small_spec(std::size_t max_nodes, std::size_t nlocations = 1,
+                        bool include_nop = false) {
+  UniverseSpec spec;
+  spec.max_nodes = max_nodes;
+  spec.nlocations = nlocations;
+  spec.include_nop = include_nop;
+  return spec;
+}
+
+TEST(Canonical, MatchesFactorialOracleOnWholeUniverse) {
+  // Group every computation of the universe by the factorial oracle's
+  // canonical encoding and by the fast canonicalizer's. The two
+  // partitions must coincide: equal fast keys iff isomorphic.
+  for (const UniverseSpec& spec :
+       {small_spec(4), small_spec(3, 2, /*include_nop=*/true)}) {
+    std::map<std::string, std::string> oracle_to_fast;
+    std::unordered_map<std::string, std::string> fast_to_oracle;
+    for_each_computation(spec, [&](const Computation& c) {
+      const std::string oracle = canonical_encoding(c);
+      const std::string fast = canonical_key(c);
+      const auto [it, fresh] = oracle_to_fast.try_emplace(oracle, fast);
+      EXPECT_EQ(it->second, fast) << "oracle class split by fast key";
+      const auto [jt, fresh2] = fast_to_oracle.try_emplace(fast, oracle);
+      EXPECT_EQ(jt->second, oracle) << "fast key merges oracle classes";
+      return true;
+    });
+    EXPECT_EQ(oracle_to_fast.size(), fast_to_oracle.size());
+  }
+}
+
+TEST(Canonical, RepresentativesAreInCanonicalLayout) {
+  for_each_computation_up_to_iso(
+      small_spec(4), [&](const Computation& rep, std::uint64_t) {
+        const CanonicalForm cf = canonical_form(rep);
+        EXPECT_EQ(encode_computation(rep), cf.encoding);
+        for (NodeId u = 0; u < rep.node_count(); ++u)
+          EXPECT_EQ(cf.map[u], u) << "canonicalization must be idempotent";
+        return true;
+      });
+}
+
+TEST(Canonical, OrbitSizesSumToLabeledCensus) {
+  for (const UniverseSpec& spec :
+       {small_spec(4), small_spec(3, 2, /*include_nop=*/true)}) {
+    std::uint64_t labeled = 0;
+    for_each_computation_up_to_iso(
+        spec, [&](const Computation& rep, std::uint64_t mult) {
+          EXPECT_EQ(mult, orbit_size(rep));
+          labeled += mult;
+          return true;
+        });
+    EXPECT_EQ(labeled, computation_count(spec));
+  }
+}
+
+TEST(Canonical, ClassCountsArePinned) {
+  // Regression pins (validated against the factorial oracle above).
+  EXPECT_EQ(computation_count_up_to_iso(small_spec(2)), 10u);
+  EXPECT_EQ(computation_count_up_to_iso(small_spec(3)), 50u);
+  EXPECT_EQ(computation_count_up_to_iso(small_spec(4)), 470u);
+  EXPECT_EQ(computation_count_up_to_iso(small_spec(3, 2, true)), 606u);
+}
+
+TEST(Canonical, LinearExtensionCount) {
+  Dag chain(4);
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 2);
+  chain.add_edge(2, 3);
+  EXPECT_EQ(linear_extension_count(chain), 1u);
+
+  const Dag antichain(4);
+  EXPECT_EQ(linear_extension_count(antichain), 24u);
+
+  Dag vee(3);  // 0 -> 2, 1 -> 2: two sources, one sink.
+  vee.add_edge(0, 2);
+  vee.add_edge(1, 2);
+  EXPECT_EQ(linear_extension_count(vee), 2u);
+
+  EXPECT_EQ(linear_extension_count(Dag(0)), 1u);
+}
+
+TEST(Canonical, AutomorphismOrbitFormulaOnKnownShapes) {
+  // An antichain of k identical ops has |Aut| = k! and a single labeled
+  // layout, so its orbit size is e(G)/|Aut| = k!/k! = 1.
+  const Computation antichain(Dag(4), std::vector<Op>(4, Op::read(0)));
+  EXPECT_EQ(canonical_form(antichain).automorphisms, 24u);
+  EXPECT_EQ(orbit_size(antichain), 1u);
+
+  // Distinct ops kill the symmetry: orbit = all topo-sorted labelings.
+  const Computation mixed(
+      Dag(3), {Op::read(0), Op::write(0), Op::read(1)});
+  EXPECT_EQ(canonical_form(mixed).automorphisms, 1u);
+  EXPECT_EQ(orbit_size(mixed), 6u);
+}
+
+TEST(Canonical, TransportPreservesMembership) {
+  // For every pair and every class representative: (c, phi) is in a
+  // model iff the transported pair is. This is the soundness fact the
+  // quotient fixpoint and the membership cache rely on.
+  const auto lc = LocationConsistencyModel::instance();
+  const auto nn = QDagModel::nn();
+  const UniverseSpec spec = small_spec(3);
+  for_each_pair(spec, [&](const Computation& c, const ObserverFunction& phi) {
+    const CanonicalForm cf = canonical_form(c);
+    const Computation rep = apply_relabeling(c, cf.map);
+    const ObserverFunction t = transport_observer(phi, cf.map);
+    EXPECT_TRUE(is_valid_observer(rep, t));
+    EXPECT_EQ(lc->contains(c, phi), lc->contains(rep, t));
+    EXPECT_EQ(nn->contains(c, phi), nn->contains(rep, t));
+    return true;
+  });
+}
+
+TEST(Canonical, PairQuotientWeightsReproduceLabeledModelCensus) {
+  const auto nn = QDagModel::nn();
+  const UniverseSpec spec = small_spec(4);
+  std::uint64_t labeled = 0, quotient = 0;
+  for_each_pair(spec, [&](const Computation& c, const ObserverFunction& phi) {
+    if (nn->contains(c, phi)) ++labeled;
+    return true;
+  });
+  for_each_pair_up_to_iso(
+      spec, [&](const Computation& rep, const ObserverFunction& phi,
+                std::uint64_t mult) {
+        if (nn->contains(rep, phi)) quotient += mult;
+        return true;
+      });
+  EXPECT_EQ(labeled, quotient);
+}
+
+TEST(Canonical, CachedModelAgreesAndHits) {
+  membership_cache().clear();
+  const auto plain = QDagModel::nn();
+  const auto memo = cached(plain);
+  EXPECT_EQ(memo->name(), plain->name());
+
+  const UniverseSpec spec = small_spec(3);
+  for_each_pair(spec, [&](const Computation& c, const ObserverFunction& phi) {
+    EXPECT_EQ(memo->contains(c, phi), plain->contains(c, phi));
+    return true;
+  });
+  const auto first = membership_cache().stats();
+  EXPECT_GT(first.insertions, 0u);
+  // Second sweep: every query is isomorphic to a cached one.
+  for_each_pair(spec, [&](const Computation& c, const ObserverFunction& phi) {
+    EXPECT_EQ(memo->contains(c, phi), plain->contains(c, phi));
+    return true;
+  });
+  const auto second = membership_cache().stats();
+  EXPECT_GE(second.hits, first.misses);
+  EXPECT_EQ(second.misses, first.misses);
+}
+
+TEST(Canonical, ComponentDecompositionHandlesParallelChains) {
+  // k disjoint identical chains: the factorial oracle would need (2k)!
+  // permutations; the component-aware canonicalizer multiplies k! for
+  // interchangeable components. Orbit size = e(G)/k! =
+  // (multinomial)/k!.
+  Dag d(8);
+  for (NodeId u = 0; u < 8; u += 2) d.add_edge(u, u + 1);
+  const Computation c(d, std::vector<Op>(8, Op::write(0)));
+  const CanonicalForm cf = canonical_form(c);
+  EXPECT_EQ(cf.automorphisms, 24u);  // 4 interchangeable chain components
+  // e(G) = 8!/2^4 = 2520; orbit = 2520/24.
+  EXPECT_EQ(linear_extension_count(d), 2520u);
+  EXPECT_EQ(orbit_size(c), 105u);
+}
+
+}  // namespace
+}  // namespace ccmm

@@ -139,5 +139,33 @@ TEST(Constructibility, ValidateWitnessRejectsBogusWitnesses) {
   EXPECT_FALSE(validate_witness(*QDagModel::nn(), bogus));
 }
 
+TEST(Constructibility, QuotientSearchAgreesWithLabeledSearch) {
+  // The per-class scan must find a witness exactly when the labeled scan
+  // does, of the same minimal size, and it must validate.
+  WitnessSearchOptions labeled, quotient;
+  labeled.spec.nlocations = quotient.spec.nlocations = 1;
+  labeled.spec.include_nop = quotient.spec.include_nop = false;
+  labeled.spec.max_nodes = quotient.spec.max_nodes = 4;
+  labeled.quotient = false;
+  quotient.quotient = true;
+
+  struct Row {
+    const MemoryModel* model;
+    bool expect;
+  };
+  const auto nn = QDagModel::nn();
+  const auto lc = LocationConsistencyModel::instance();
+  for (const Row& row : {Row{nn.get(), true}, Row{lc.get(), false}}) {
+    const auto a = find_nonconstructibility_witness(*row.model, labeled);
+    const auto b = find_nonconstructibility_witness(*row.model, quotient);
+    EXPECT_EQ(a.has_value(), row.expect);
+    EXPECT_EQ(b.has_value(), row.expect);
+    if (a.has_value() && b.has_value()) {
+      EXPECT_EQ(a->c.node_count(), b->c.node_count());
+      EXPECT_TRUE(validate_witness(*row.model, *b));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ccmm

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "construct/extension.hpp"
 #include "construct/witness.hpp"
 #include "helpers.hpp"
@@ -159,6 +161,88 @@ TEST(Fixpoint, StatsRoundsAreReported) {
   FixpointStats stats;
   (void)constructible_version(*QDagModel::nn(), spec, &stats);
   EXPECT_GE(stats.rounds, 1u);
+}
+
+/// Serialize the full labeled membership a fixpoint stands for: every
+/// labeled pair of the universe it contains, in sorted encoding order.
+/// Labeled and quotient results must serialize byte-identically.
+std::string labeled_image(const BoundedModelSet& set, const UniverseSpec& spec) {
+  std::vector<std::string> lines;
+  for_each_pair(spec, [&](const Computation& c, const ObserverFunction& phi) {
+    if (set.contains_pair(c, phi))
+      lines.push_back(encode_computation(c) + '\x1f' + encode_observer(phi));
+    return true;
+  });
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+TEST(Fixpoint, QuotientMatchesLabeledByteForByte) {
+  // The acceptance check of the quotient engine: identical Δ*
+  // membership over the whole labeled universe, identical
+  // multiplicity-weighted censuses, identical pruning stats.
+  for (const UniverseSpec& spec : {thin_spec(3), thin_spec(4)}) {
+    FixpointStats lstats, qstats;
+    const BoundedModelSet labeled =
+        constructible_version(*QDagModel::nn(), spec, &lstats);
+    const BoundedModelSet quotient =
+        constructible_version_quotient(*QDagModel::nn(), spec, &qstats);
+    EXPECT_TRUE(quotient.quotient());
+    EXPECT_EQ(lstats.initial_pairs, qstats.initial_pairs);
+    EXPECT_EQ(lstats.final_pairs, qstats.final_pairs);
+    EXPECT_EQ(lstats.pruned, qstats.pruned);
+    for (std::size_t n = 0; n <= spec.max_nodes; ++n)
+      EXPECT_EQ(labeled.live_count_at_size(n),
+                quotient.live_count_at_size(n))
+          << n;
+    EXPECT_EQ(labeled_image(labeled, spec), labeled_image(quotient, spec));
+  }
+}
+
+TEST(Fixpoint, QuotientMatchesLabeledWithWriteCapUnset) {
+  // Same check on a universe without the write-per-location filter, so
+  // no extension ever leaves the universe (a different code path: every
+  // extension constrains).
+  UniverseSpec spec;
+  spec.max_nodes = 3;
+  spec.nlocations = 2;
+  FixpointStats lstats, qstats;
+  const BoundedModelSet labeled =
+      constructible_version(*QDagModel::nn(), spec, &lstats);
+  const BoundedModelSet quotient =
+      constructible_version_quotient(*QDagModel::nn(), spec, &qstats);
+  EXPECT_EQ(lstats.final_pairs, qstats.final_pairs);
+  EXPECT_EQ(lstats.pruned, qstats.pruned);
+  EXPECT_EQ(labeled_image(labeled, spec), labeled_image(quotient, spec));
+}
+
+TEST(Fixpoint, QuotientParallelMatchesSequentialQuotient) {
+  const auto spec = thin_spec(4);
+  ThreadPool pool(4);
+  FixpointStats qstats, pstats;
+  const BoundedModelSet seq =
+      constructible_version_quotient(*QDagModel::nn(), spec, &qstats);
+  const BoundedModelSet par =
+      constructible_version_quotient_parallel(*QDagModel::nn(), spec, pool,
+                                              &pstats);
+  EXPECT_EQ(qstats.final_pairs, pstats.final_pairs);
+  EXPECT_EQ(labeled_image(seq, spec), labeled_image(par, spec));
+}
+
+TEST(Fixpoint, QuotientConstructibleModelIsItsOwnFixpoint) {
+  const auto spec = thin_spec(4);
+  FixpointStats stats;
+  const BoundedModelSet lc_star = constructible_version_quotient(
+      *LocationConsistencyModel::instance(), spec, &stats);
+  EXPECT_EQ(stats.pruned, 0u);
+  const auto cmp =
+      compare_with_model(lc_star, *LocationConsistencyModel::instance());
+  for (const auto& row : cmp) EXPECT_TRUE(row.equal) << row.size;
 }
 
 }  // namespace

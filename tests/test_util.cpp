@@ -3,6 +3,7 @@
 #include <atomic>
 #include <set>
 
+#include "util/memo_cache.hpp"
 #include "util/rng.hpp"
 #include "util/str.hpp"
 #include "util/thread_pool.hpp"
@@ -114,6 +115,53 @@ TEST(ThreadPool, ParallelForCoversRange) {
 TEST(ThreadPool, ParallelForEmptyRange) {
   ThreadPool pool(2);
   pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ShardedMemoCache, LookupInsertAndStats) {
+  ShardedMemoCache<int> cache(4, 8);
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  cache.insert("a", 1);
+  cache.insert("b", 2);
+  ASSERT_TRUE(cache.lookup("a").has_value());
+  EXPECT_EQ(*cache.lookup("a"), 1);
+  EXPECT_EQ(*cache.lookup("b"), 2);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.insertions, 2u);
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  cache.clear();
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ShardedMemoCache, EvictsFullShardsInsteadOfGrowing) {
+  // One shard, capacity 4: the 5th insert clears the shard first.
+  ShardedMemoCache<int> cache(1, 4);
+  for (int i = 0; i < 5; ++i) cache.insert(std::string(1, char('a' + i)), i);
+  const auto s = cache.stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LE(s.entries, 4u);
+  ASSERT_TRUE(cache.lookup("e").has_value());  // the newest key survives
+  EXPECT_EQ(*cache.lookup("e"), 4);
+}
+
+TEST(ShardedMemoCache, ConcurrentMixedAccess) {
+  ShardedMemoCache<int> cache(8, 1024);
+  ThreadPool pool(4);
+  pool.parallel_for(2000, [&](std::size_t i) {
+    const std::string key = format("k%zu", i % 64);
+    if (const auto hit = cache.lookup(key)) {
+      EXPECT_EQ(*hit, static_cast<int>(i % 64));
+    } else {
+      cache.insert(key, static_cast<int>(i % 64));
+    }
+  });
+  for (std::size_t k = 0; k < 64; ++k) {
+    const auto hit = cache.lookup(format("k%zu", k));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, static_cast<int>(k));
+  }
 }
 
 }  // namespace

@@ -1,0 +1,168 @@
+#!/usr/bin/env bash
+# Run the benchmark suite and merge everything into BENCH_ccmm.json.
+#
+# Covers the four microbenchmark binaries (bench_construct,
+# bench_enumeration, bench_sc_search, bench_race) via google-benchmark's
+# JSON reporter, plus the two experiment reproducers that export
+# quotient-engine metrics (thm_verification, fig4_nonconstructibility)
+# via CCMM_EXPERIMENT_JSON.  The merged file records, for every
+# labeled/quotient benchmark pair, the wall-clock speedup of the
+# isomorphism-quotient engine.
+#
+# Usage: tools/run_benches.sh [--quick] [--build-dir DIR] [--out FILE]
+#   --quick      CI smoke budget: tiny min_time and the expensive args
+#                (the /6 fixpoint universes, the 10000-node race scans)
+#                filtered out.  Full mode includes the headline
+#                BM_FixpointSequential/6 vs BM_FixpointQuotient/6 run.
+#   --build-dir  CMake build tree holding bench/ binaries (default: build).
+#   --out        Output JSON path (default: BENCH_ccmm.json in repo root).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+out_file="$repo_root/BENCH_ccmm.json"
+mode=full
+# NOTE: this benchmark library predates the "1x" iteration syntax; the
+# flag takes plain seconds.
+min_time=0.1
+filter=''
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) mode=quick; shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --out) out_file="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [[ $mode == quick ]]; then
+  min_time=0.01
+  # Negative filter: drop the minute-scale args, keep everything else.
+  filter='-(.*/6$|.*/10000$|BM_FixpointParallel.*)'
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run_bench() {  # run_bench <binary> <out.json> [filter]
+  local bin="$1" out="$2" flt="${3-}"
+  local args=("--benchmark_out=$out" "--benchmark_out_format=json"
+              "--benchmark_min_time=$min_time")
+  [[ -n $flt ]] && args+=("--benchmark_filter=$flt")
+  "$bin" "${args[@]}"
+}
+
+benches=(bench_construct bench_enumeration bench_sc_search bench_race)
+for b in "${benches[@]}"; do
+  bin="$build_dir/bench/$b"
+  if [[ ! -x $bin ]]; then
+    echo "missing benchmark binary: $bin (build the 'bench' targets first)" >&2
+    exit 1
+  fi
+  echo "== $b =="
+  if [[ $mode == full && $b == bench_construct ]]; then
+    # The minute-scale /6 fixpoint universes go in a separate process:
+    # the first allocation-heavy iteration right after them reads ~100x
+    # slow (page reclaim after the gfp frees gigabytes), which would
+    # poison whatever cheap benchmark happens to be measured next.
+    run_bench "$bin" "$tmp/$b.json" '-(.*/6$)'
+    run_bench "$bin" "$tmp/$b.part2.json" '.*/6$'
+  else
+    run_bench "$bin" "$tmp/$b.json" "$filter"
+  fi
+done
+
+experiments=(thm_verification fig4_nonconstructibility)
+for e in "${experiments[@]}"; do
+  bin="$build_dir/bench/$e"
+  if [[ ! -x $bin ]]; then
+    echo "missing experiment binary: $bin" >&2
+    exit 1
+  fi
+  echo "== $e =="
+  CCMM_EXPERIMENT_JSON="$tmp/$e.json" "$bin"
+done
+
+python3 - "$tmp" "$out_file" "$mode" <<'PY'
+import json, sys
+
+tmp, out_file, mode = sys.argv[1], sys.argv[2], sys.argv[3]
+benches = ["bench_construct", "bench_enumeration", "bench_sc_search",
+           "bench_race"]
+experiments = ["thm_verification", "fig4_nonconstructibility"]
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+merged = {"generated_by": "tools/run_benches.sh", "mode": mode,
+          "benchmarks": {}, "experiments": {}, "quotient_speedup": []}
+
+by_name = {}
+for b in benches:
+    raw = load(f"{tmp}/{b}.json")
+    part2 = f"{tmp}/{b}.part2.json"
+    try:
+        raw["benchmarks"] = raw.get("benchmarks", []) + \
+            load(part2).get("benchmarks", [])
+    except FileNotFoundError:
+        pass
+    rows = []
+    for r in raw.get("benchmarks", []):
+        if r.get("run_type") == "aggregate":
+            continue
+        row = {"name": r["name"],
+               "real_time": r["real_time"],
+               "cpu_time": r["cpu_time"],
+               "time_unit": r.get("time_unit", "ns"),
+               "iterations": r.get("iterations")}
+        counters = {k: v for k, v in r.items()
+                    if k not in row and isinstance(v, (int, float))
+                    and k not in ("repetition_index", "family_index",
+                                  "per_family_instance_index",
+                                  "threads")}
+        if counters:
+            row["counters"] = counters
+        rows.append(row)
+        ns = r["real_time"] * UNIT_NS.get(r.get("time_unit", "ns"), 1.0)
+        by_name[r["name"]] = ns
+    merged["benchmarks"][b] = rows
+
+for e in experiments:
+    merged["experiments"][e] = load(f"{tmp}/{e}.json")
+
+# Labeled baseline -> quotient counterpart, compared per matching arg.
+PAIRS = [
+    ("BM_FixpointSequential", "BM_FixpointQuotient"),
+    ("BM_RestrictModel", "BM_RestrictModelQuotient"),
+    ("BM_PairEnumeration", "BM_PairEnumerationUpToIso"),
+    ("BM_PairEnumerationWithNNCheck", "BM_PairEnumerationWithNNCheckUpToIso"),
+    ("BM_WitnessSearchNN", "BM_WitnessSearchNNQuotient"),
+    ("BM_CanonicalEncoding", "BM_CanonicalFormRefined"),
+]
+for labeled, quotient in PAIRS:
+    for name, ns in sorted(by_name.items()):
+        if not name.startswith(labeled + "/"):
+            continue
+        arg = name[len(labeled):]
+        qname = quotient + arg
+        if qname not in by_name or by_name[qname] == 0:
+            continue
+        merged["quotient_speedup"].append({
+            "labeled": name, "quotient": qname,
+            "labeled_ms": ns / 1e6, "quotient_ms": by_name[qname] / 1e6,
+            "speedup": ns / by_name[qname],
+        })
+
+with open(out_file, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+print(f"wrote {out_file}")
+for row in merged["quotient_speedup"]:
+    print(f"  {row['labeled']:45s} -> {row['quotient']:50s} "
+          f"{row['speedup']:.2f}x")
+PY

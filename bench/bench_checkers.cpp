@@ -8,6 +8,8 @@
 #include "exec/workload.hpp"
 #include "models/location_consistency.hpp"
 #include "models/qdag.hpp"
+#include "models/sequential_consistency.hpp"
+#include "models/suite.hpp"
 
 namespace ccmm {
 namespace {
@@ -17,15 +19,47 @@ struct Instance {
   ObserverFunction phi;
 };
 
-Instance make_instance(std::size_t nodes, bool lc_shaped) {
-  Rng rng(nodes * 31 + (lc_shaped ? 7 : 0));
+/// Observer shapes for the classification sweep. The three shapes
+/// exercise different depths of the strength lattice: a member observer
+/// runs every checker, a WW-breaking one lets the pruned suite stop
+/// after a single scan, an SC-breaking one passes the cheap checkers
+/// and spends its time in the backtracking search.
+enum class Shape { kMember, kWwBreaking, kScBreaking };
+
+Instance make_instance(std::size_t nodes, Shape shape) {
+  Rng rng(nodes * 31 + (shape == Shape::kMember ? 7 : 0));
   const Dag d = gen::random_dag(nodes, 8.0 / static_cast<double>(nodes), rng);
   Computation c = workload::random_ops(d, 4, 0.4, 0.4, rng);
   c.dag().ensure_closure();
-  if (lc_shaped) {
+  if (shape != Shape::kScBreaking) {
     // A member observer: last-writer of a random sort.
     ObserverFunction phi =
         last_writer(c, greedy_random_topological_sort(c.dag(), rng));
+    if (shape == Shape::kWwBreaking) {
+      // Redirect one read to the earliest of a write-sandwich pair of
+      // its ancestor writers: still a valid observer (the observed
+      // write precedes the read), but some writer now sits strictly
+      // between observed write and reader, which every Q-dag model
+      // down to WW rejects.
+      for (NodeId u = c.node_count(); u-- > 0;) {
+        const Op o = c.op(u);
+        if (!o.is_read()) continue;
+        const Location l = o.loc;
+        NodeId early = kBottom;
+        for (const NodeId x : c.writers(l)) {
+          if (!c.precedes(x, u)) continue;
+          for (const NodeId w : c.writers(l))
+            if (c.precedes(x, w) && c.precedes(w, u)) {
+              early = x;
+              break;
+            }
+          if (early != kBottom) break;
+        }
+        if (early == kBottom) continue;
+        phi.set(l, u, early);
+        break;
+      }
+    }
     return {std::move(c), std::move(phi)};
   }
   // A likely non-member: per-location independent sorts, then perturbed.
@@ -37,6 +71,10 @@ Instance make_instance(std::size_t nodes, bool lc_shaped) {
       if (w.get(l, u) != kBottom) phi.set(l, u, w.get(l, u));
   }
   return {std::move(c), std::move(phi)};
+}
+
+Instance make_instance(std::size_t nodes, bool lc_shaped) {
+  return make_instance(nodes, lc_shaped ? Shape::kMember : Shape::kScBreaking);
 }
 
 void BM_ValidateObserver(benchmark::State& state) {
@@ -90,6 +128,78 @@ BENCHMARK(BM_LocationConsistency)
     ->Args({256, 1})
     ->Args({1024, 1})
     ->Args({256, 0});
+
+void BM_Prepare(benchmark::State& state) {
+  const Instance in =
+      make_instance(static_cast<std::size_t>(state.range(0)), Shape::kMember);
+  CheckContext ctx;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ctx.prepare(in.c, in.phi).valid());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Prepare)->Arg(16)->Arg(64)->Arg(256);
+
+// The headline refactor pair: classify one (C, Φ) against all six core
+// models. The legacy arm makes six independent checker calls, each
+// re-validating the observer and rebuilding its own per-location
+// indices; the prepared arm pays one preparation and one lattice-pruned
+// suite sweep. Arg layout: {nodes, shape}.
+constexpr std::size_t kClassifyScBudget = 200'000;
+
+void BM_ClassifyAllSixLegacy(benchmark::State& state) {
+  const Instance in = make_instance(static_cast<std::size_t>(state.range(0)),
+                                    static_cast<Shape>(state.range(1)));
+  ScOptions sc_opt;
+  sc_opt.budget = kClassifyScBudget;
+  for (auto _ : state) {
+    std::uint32_t mask = 0;
+    if (sc_check_with(in.c, in.phi, sc_opt).status == SearchStatus::kYes)
+      mask |= kSuiteSC;
+    if (location_consistent(in.c, in.phi)) mask |= kSuiteLC;
+    if (qdag_consistent(in.c, in.phi, DagPred::kNN)) mask |= kSuiteNN;
+    if (qdag_consistent(in.c, in.phi, DagPred::kNW)) mask |= kSuiteNW;
+    if (qdag_consistent(in.c, in.phi, DagPred::kWN)) mask |= kSuiteWN;
+    if (qdag_consistent(in.c, in.phi, DagPred::kWW)) mask |= kSuiteWW;
+    benchmark::DoNotOptimize(mask);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 6);
+}
+BENCHMARK(BM_ClassifyAllSixLegacy)
+    ->Args({16, 0})
+    ->Args({64, 0})
+    ->Args({256, 0})
+    ->Args({16, 1})
+    ->Args({64, 1})
+    ->Args({256, 1})
+    ->Args({16, 2})
+    ->Args({64, 2})
+    ->Args({256, 2});
+
+void BM_ClassifyAllSixPrepared(benchmark::State& state) {
+  const Instance in = make_instance(static_cast<std::size_t>(state.range(0)),
+                                    static_cast<Shape>(state.range(1)));
+  SuiteOptions opt;
+  opt.sc_budget = kClassifyScBudget;
+  opt.include_plus = false;
+  CheckContext ctx;
+  for (auto _ : state) {
+    const std::uint32_t mask =
+        ModelSuite::classify(ctx.prepare(in.c, in.phi), opt);
+    benchmark::DoNotOptimize(mask);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 6);
+}
+BENCHMARK(BM_ClassifyAllSixPrepared)
+    ->Args({16, 0})
+    ->Args({64, 0})
+    ->Args({256, 0})
+    ->Args({16, 1})
+    ->Args({64, 1})
+    ->Args({256, 1})
+    ->Args({16, 2})
+    ->Args({64, 2})
+    ->Args({256, 2});
 
 void BM_LastWriter(benchmark::State& state) {
   Rng rng(4);

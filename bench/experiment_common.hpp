@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/memo_cache.hpp"
 #include "util/str.hpp"
 
 namespace ccmm::experiment {
@@ -101,5 +102,24 @@ class Harness {
   std::size_t failures_ = 0;
   std::vector<Metric> metrics_;
 };
+
+/// Emit the process-lifetime counters of the global memo caches as
+/// metrics, prefixed "membership_cache_" / "classification_cache_".
+/// Call just before Harness::finish() so the counters land in the
+/// CCMM_EXPERIMENT_JSON report (tools/run_benches.sh merges them into
+/// BENCH_ccmm.json alongside the timing pairs).
+inline void report_cache_metrics(Harness& h) {
+  const auto emit = [&h](const char* prefix, const auto& st) {
+    h.metric(std::string(prefix) + "hits", static_cast<double>(st.hits));
+    h.metric(std::string(prefix) + "misses", static_cast<double>(st.misses));
+    h.metric(std::string(prefix) + "insertions",
+             static_cast<double>(st.insertions));
+    h.metric(std::string(prefix) + "evictions",
+             static_cast<double>(st.evictions));
+    h.metric(std::string(prefix) + "entries", static_cast<double>(st.entries));
+  };
+  emit("membership_cache_", membership_cache().stats());
+  emit("classification_cache_", classification_cache().stats());
+}
 
 }  // namespace ccmm::experiment

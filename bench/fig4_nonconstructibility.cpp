@@ -149,6 +149,7 @@ int run() {
              static_cast<double>(after.misses - before.misses));
   }
 
+  experiment::report_cache_metrics(h);
   return h.finish();
 }
 

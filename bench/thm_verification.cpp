@@ -7,6 +7,7 @@
 #include "construct/constructibility.hpp"
 #include "core/last_writer.hpp"
 #include "dag/topsort.hpp"
+#include "enumerate/cached_model.hpp"
 #include "enumerate/canonical.hpp"
 #include "enumerate/universe.hpp"
 #include "exec/workload.hpp"
@@ -186,6 +187,40 @@ int run() {
       h.metric("t22_quotient_speedup", labeled_ms / quotient_ms, "x");
   }
 
+  h.section("classification cache: one bitmask per orbit");
+  {
+    // Sweep the labeled 4-node universe through cached_classification:
+    // the cold pass already hits for every non-canonical member of an
+    // orbit, and a warm pass answers everything from the cache.
+    UniverseSpec spec;
+    spec.max_nodes = 4;
+    spec.nlocations = 1;
+    spec.include_nop = false;
+    SuiteOptions sopt;
+    const auto census = [&] {
+      std::size_t in_any = 0;
+      for_each_pair(spec,
+                    [&](const Computation& c, const ObserverFunction& f) {
+                      if (cached_classification(c, f, sopt) != 0) ++in_any;
+                      return true;
+                    });
+      return in_any;
+    };
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t cold = census();
+    const double cold_ms = ms_since(t0);
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::size_t warm = census();
+    const double warm_ms = ms_since(t1);
+    h.check(cold == warm,
+            format("warm pass reproduces the cold census (%zu valid pairs)",
+                   cold));
+    h.metric("classify_cold_sweep_ms", cold_ms, "ms");
+    h.metric("classify_warm_sweep_ms", warm_ms, "ms");
+    if (warm_ms > 0)
+      h.metric("classify_cache_speedup", cold_ms / warm_ms, "x");
+  }
+
   h.section("quotient ceiling: class census at sizes beyond the sweeps");
   {
     // The labeled universe at 5 nodes (1 location, no nops) is already
@@ -214,6 +249,7 @@ int run() {
                    static_cast<unsigned long long>(labeled)));
   }
 
+  experiment::report_cache_metrics(h);
   return h.finish();
 }
 

@@ -6,6 +6,7 @@
 //   $ ./ccmm_check instance.txt           # classify the pair
 //   $ ./ccmm_check instance.txt --dot     # also emit graphviz
 //   $ ./ccmm_check --example > demo.txt   # write a sample instance
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -76,32 +77,55 @@ int main(int argc, char** argv) {
   }
 
   const ObserverFunction& phi = *pair.phi;
-  const auto validity = validate_observer(pair.c, phi);
-  if (!validity.ok) {
-    std::printf("observer function INVALID: %s\n", validity.reason.c_str());
+  using clock = std::chrono::steady_clock;
+  const auto us_since = [](clock::time_point t0) {
+    return std::chrono::duration<double, std::micro>(clock::now() - t0)
+        .count();
+  };
+
+  // One shared preparation (validity verdict, frozen reachability, per-
+  // location write blocks) serves every model check below.
+  CheckContext ctx;
+  const auto tp = clock::now();
+  const PreparedPair p = ctx.prepare(pair.c, phi);
+  const double prep_us = us_since(tp);
+  if (!p.valid()) {
+    std::printf("observer function INVALID: %s\n", p.validity().reason.c_str());
     return 1;
   }
-  std::printf("observer function: valid (Definition 2)\n\nmemberships:\n");
+  std::printf("observer function: valid (Definition 2)\n");
+  std::printf("shared preparation: %.1f us (paid once for all models)\n",
+              prep_us);
+  std::printf("\nmemberships:      check time\n");
 
-  const auto row = [&](const char* name, bool member) {
-    std::printf("  %-4s %s\n", name, member ? "yes" : "no");
+  const auto row = [&](const char* name, auto&& check) {
+    const auto t0 = clock::now();
+    const bool member = check();
+    std::printf("  %-4s %-3s %10.1f us\n", name, member ? "yes" : "no",
+                us_since(t0));
+    return member;
   };
-  const auto sc = sc_check(pair.c, phi, 5'000'000);
-  row("SC", sc.status == SearchStatus::kYes);
+  ScOptions sc_opt;
+  sc_opt.budget = 5'000'000;
+  ScResult sc;
+  row("SC", [&] {
+    sc = sc_check_prepared(p, sc_opt);
+    return sc.status == SearchStatus::kYes;
+  });
   if (sc.status == SearchStatus::kExhausted)
     std::printf("       (search budget exhausted: SC verdict unknown)\n");
-  row("LC", location_consistent(pair.c, phi));
-  row("NN", qdag_consistent(pair.c, phi, DagPred::kNN));
-  row("NW", qdag_consistent(pair.c, phi, DagPred::kNW));
-  row("WN", qdag_consistent(pair.c, phi, DagPred::kWN));
-  row("WN+", wn_plus_consistent(pair.c, phi));
-  row("WW", qdag_consistent(pair.c, phi, DagPred::kWW));
+  row("LC", [&] { return location_consistent_prepared(p); });
+  row("NN", [&] { return qdag_consistent_prepared(p, DagPred::kNN); });
+  row("NW", [&] { return qdag_consistent_prepared(p, DagPred::kNW); });
+  row("WN", [&] { return qdag_consistent_prepared(p, DagPred::kWN); });
+  row("WN+", [&] { return wn_plus_consistent_prepared(p); });
+  row("WW", [&] { return qdag_consistent_prepared(p, DagPred::kWW); });
 
   // Diagnostics for the strongest failing dag model.
   QDagViolation v;
-  if (!qdag_consistent(pair.c, phi, DagPred::kWW, &v))
+  if (!qdag_consistent_prepared(p, DagPred::kWW, &v))
     std::printf("\nWW violation: %s\n", v.to_string().c_str());
-  else if (!qdag_consistent(pair.c, phi, DagPred::kNN, &v))
+  else if (!qdag_consistent_prepared(p, DagPred::kNN, &v))
     std::printf("\nNN violation: %s\n", v.to_string().c_str());
 
   if (sc.status == SearchStatus::kYes && sc.witness.has_value()) {

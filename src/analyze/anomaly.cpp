@@ -5,9 +5,7 @@
 
 #include "enumerate/canonical.hpp"
 #include "enumerate/observer_enum.hpp"
-#include "models/location_consistency.hpp"
-#include "models/qdag.hpp"
-#include "models/sequential_consistency.hpp"
+#include "models/suite.hpp"
 #include "util/memo_cache.hpp"
 #include "util/str.hpp"
 
@@ -70,19 +68,24 @@ std::optional<ModelSplit> classify_race(const Computation& c, const Race& r,
   if (auto hit = split_cache().lookup(key)) return *hit;
 
   ModelSplit split;
-  // accepted[m][i]: model m accepts the i-th enumerated observer.
+  // accepted[m][i]: model m accepts the i-th enumerated observer. One
+  // shared preparation + lattice-pruned suite sweep replaces the six
+  // independent checker calls per observer.
   std::array<std::vector<bool>, kModels> accepted;
   bool sc_exhausted = false;
+  CheckContext ctx;
+  SuiteOptions sopt;
+  sopt.sc_budget = opt.sc_budget;
+  sopt.include_plus = false;  // the split reports the six core models
   const bool completed = for_each_observer(w, [&](const ObserverFunction& phi) {
-    const auto sc = sc_check(w, phi, opt.sc_budget);
-    if (sc.status == SearchStatus::kExhausted) sc_exhausted = true;
+    bool exhausted = false;
+    const std::uint32_t mask =
+        ModelSuite::classify(ctx.prepare(w, phi), sopt, &exhausted);
+    if (exhausted) sc_exhausted = true;
     const std::array<bool, kModels> in = {
-        sc.status == SearchStatus::kYes,
-        location_consistent(w, phi),
-        qdag_consistent(w, phi, DagPred::kNN),
-        qdag_consistent(w, phi, DagPred::kNW),
-        qdag_consistent(w, phi, DagPred::kWN),
-        qdag_consistent(w, phi, DagPred::kWW),
+        (mask & kSuiteSC) != 0, (mask & kSuiteLC) != 0,
+        (mask & kSuiteNN) != 0, (mask & kSuiteNW) != 0,
+        (mask & kSuiteWN) != 0, (mask & kSuiteWW) != 0,
     };
     for (std::size_t m = 0; m < kModels; ++m) accepted[m].push_back(in[m]);
     return true;

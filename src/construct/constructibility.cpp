@@ -25,11 +25,13 @@ std::string NonconstructibilityWitness::to_string() const {
 namespace {
 
 /// Does some observer function of `ext` extend `phi` within the model?
+/// The candidates share ext, so one context amortizes the per-candidate
+/// preparation (the closure freeze is paid once for the whole sweep).
 bool extension_answerable(const MemoryModel& model, const Computation& ext,
-                          const ObserverFunction& phi) {
+                          const ObserverFunction& phi, CheckContext& ctx) {
   bool answered = false;
   for_each_extension_observer(ext, phi, [&](const ObserverFunction& phi2) {
-    if (model.contains(ext, phi2)) {
+    if (model.contains_prepared(ctx.prepare(ext, phi2))) {
       answered = true;
       return false;  // stop
     }
@@ -45,16 +47,17 @@ std::optional<NonconstructibilityWitness> search_at_exact_size(
   spec.max_nodes = size;
   const std::vector<Op> alphabet = op_alphabet(spec.nlocations);
   std::optional<NonconstructibilityWitness> witness;
+  CheckContext ctx;
 
   const auto check_pair = [&](const Computation& c,
                               const ObserverFunction& phi) {
     if (c.node_count() != size) return true;  // exact-size pass
-    if (!model.contains(c, phi)) return true;
+    if (!model.contains_prepared(ctx.prepare(c, phi))) return true;
 
     if (options.augment_only) {
       for (const Op& o : alphabet) {
         const Computation ext = c.augment(o);
-        if (!extension_answerable(model, ext, phi)) {
+        if (!extension_answerable(model, ext, phi, ctx)) {
           witness = {c, phi, ext};
           return false;
         }
@@ -65,7 +68,7 @@ std::optional<NonconstructibilityWitness> search_at_exact_size(
     bool ok = true;
     for_each_one_node_extension(
         c, alphabet, options.dedupe_extensions, [&](const Computation& ext) {
-          if (!extension_answerable(model, ext, phi)) {
+          if (!extension_answerable(model, ext, phi, ctx)) {
             witness = {c, phi, ext};
             ok = false;
             return false;

@@ -10,11 +10,16 @@ BoundedModelSet BoundedModelSet::restrict_model(const MemoryModel& model,
                                                 const UniverseSpec& spec) {
   BoundedModelSet out;
   out.spec_ = spec;
+  CheckContext ctx;
   for_each_pair(spec, [&](const Computation& c, const ObserverFunction& phi) {
+    // prepare() freezes the enumerated computation's reachability closure
+    // before the entry copies it, so entries arrive frozen — the parallel
+    // drivers below assert this before fanning out.
+    const PreparedPair p = ctx.prepare(c, phi);
     const std::string key = encode_computation(c);
     auto [it, fresh] = out.entries_.try_emplace(key);
     if (fresh) it->second.c = c;
-    if (model.contains(c, phi)) {
+    if (model.contains_prepared(p)) {
       it->second.phis.push_back(phi);
       it->second.alive.push_back(1);
     }
@@ -28,8 +33,12 @@ BoundedModelSet BoundedModelSet::restrict_model_quotient(
   BoundedModelSet out;
   out.spec_ = spec;
   out.quotient_ = true;
+  CheckContext ctx;
   for_each_computation_up_to_iso(
       spec, [&](const Computation& rep, std::uint64_t mult) {
+        // Freeze before the entry copies rep so the copy carries the
+        // closure (the parallel drivers assert entries arrive frozen).
+        rep.dag().ensure_closure();
         // Representatives arrive in canonical layout, so their plain
         // encoding doubles as the canonical class key.
         auto [it, fresh] = out.entries_.try_emplace(encode_computation(rep));
@@ -37,7 +46,9 @@ BoundedModelSet BoundedModelSet::restrict_model_quotient(
         it->second.c = rep;
         it->second.multiplicity = mult;
         for_each_observer(rep, [&](const ObserverFunction& phi) {
-          if (model.contains(rep, phi)) {
+          // One preparation per observer; freezing the representative's
+          // closure happens on the first and is free afterwards.
+          if (model.contains_prepared(ctx.prepare(rep, phi))) {
             it->second.phis.push_back(phi);
             it->second.alive.push_back(1);
           }
@@ -200,16 +211,16 @@ BoundedModelSet constructible_version_parallel(const MemoryModel& model,
   FixpointStats local;
   local.initial_pairs = set.live_count();
 
-  // Task list: one slot per live non-boundary pair. Freeze reachability
-  // caches before fanning out (they are lazily built and not thread-safe
-  // while dirty).
+  // Task list: one slot per live non-boundary pair. Reachability caches
+  // must be frozen before fanning out (the lazy build is not thread-safe
+  // while dirty); restrict_model guarantees it, the assertion keeps it.
   struct Task {
     BoundedModelSet::Entry* entry;
     std::size_t phi_index;
   };
   std::vector<Task> tasks;
   for (auto& [key, e] : set.entries()) {
-    e.c.dag().ensure_closure();
+    CCMM_ASSERT(e.c.dag().closure_frozen());
     if (e.c.node_count() >= spec.max_nodes) continue;
     for (std::size_t i = 0; i < e.phis.size(); ++i)
       tasks.push_back({&e, i});
@@ -282,7 +293,7 @@ BoundedModelSet constructible_version_quotient_impl(const MemoryModel& model,
   };
   std::vector<Task> tasks;
   for (auto& [key, e] : set.entries()) {
-    e.c.dag().ensure_closure();
+    CCMM_ASSERT(e.c.dag().closure_frozen());
     if (e.c.node_count() >= spec.max_nodes) continue;
     auto& exts = ext_tables[&e];
     for_each_one_node_extension(
@@ -293,6 +304,10 @@ BoundedModelSet constructible_version_quotient_impl(const MemoryModel& model,
           // Extensions leave the universe only through the labeling
           // filter (e.g. max_writes_per_location); unconstraining.
           if (jt == set.entries().end()) return true;
+          // Tasks sharing this entry resolve against the same stored
+          // extension concurrently in stage 2: freeze it here, while
+          // still single-threaded, so the copy carries the closure.
+          ext.dag().ensure_closure();
           exts.push_back({ext, &jt->second, std::move(cf.map)});
           auto& index = phi_index[&jt->second];
           if (index.empty())
@@ -315,6 +330,7 @@ BoundedModelSet constructible_version_quotient_impl(const MemoryModel& model,
     task.answers.resize(task.exts->size());
     for (std::size_t j = 0; j < task.exts->size(); ++j) {
       const QuotientExt& qe = (*task.exts)[j];
+      CCMM_ASSERT(qe.ext.dag().closure_frozen());  // shared across tasks
       const auto& index = phi_index.find(qe.target)->second;
       for_each_extension_observer(
           qe.ext, phi, [&](const ObserverFunction& phi2) {
@@ -393,6 +409,7 @@ std::vector<SizeClassComparison> compare_with_model(
   for (std::size_t n = 0; n < out.size(); ++n) out[n].size = n;
 
   std::vector<bool> mismatch(out.size(), false);
+  CheckContext ctx;
   for (const auto& [key, e] : fixpoint.entries()) {
     const std::size_t n = e.c.node_count();
     // On quotient sets each representative pair stands for `multiplicity`
@@ -401,7 +418,7 @@ std::vector<SizeClassComparison> compare_with_model(
     const auto weight = static_cast<std::size_t>(e.multiplicity);
     for (std::size_t i = 0; i < e.phis.size(); ++i) {
       const bool live = e.alive[i] != 0;
-      const bool ref = reference.contains(e.c, e.phis[i]);
+      const bool ref = reference.contains_prepared(ctx.prepare(e.c, e.phis[i]));
       if (live) out[n].fixpoint_pairs += weight;
       if (ref) out[n].reference_pairs += weight;
       if (live != ref) mismatch[n] = true;

@@ -28,16 +28,17 @@ bool validate_witness(const MemoryModel& model,
                       const NonconstructibilityWitness& w) {
   if (!w.c.is_prefix_of(w.extension)) return false;
   if (w.extension.node_count() != w.c.node_count() + 1) return false;
-  if (!model.contains(w.c, w.phi)) return false;
+  CheckContext ctx;
+  if (!model.contains_prepared(ctx.prepare(w.c, w.phi))) return false;
   bool answered = false;
-  for_each_extension_observer(w.extension, w.phi,
-                              [&](const ObserverFunction& phi2) {
-                                if (model.contains(w.extension, phi2)) {
-                                  answered = true;
-                                  return false;
-                                }
-                                return true;
-                              });
+  for_each_extension_observer(
+      w.extension, w.phi, [&](const ObserverFunction& phi2) {
+        if (model.contains_prepared(ctx.prepare(w.extension, phi2))) {
+          answered = true;
+          return false;
+        }
+        return true;
+      });
   return !answered;
 }
 

@@ -4,6 +4,16 @@
 
 namespace ccmm {
 
+bool MemoryModel::contains(const Computation& c,
+                           const ObserverFunction& phi) const {
+  return contains_prepared(prepare_pair(c, phi));
+}
+
+bool MemoryModel::contains_prepared(const PreparedPair& p) const {
+  // Legacy bridge for models that only override the two-arg signature.
+  return contains(p.computation(), p.observer());
+}
+
 std::optional<ObserverFunction> MemoryModel::any_observer(
     const Computation& c) const {
   ObserverFunction phi = last_writer(c, c.dag().topological_order());

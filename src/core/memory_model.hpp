@@ -5,6 +5,11 @@
 // ally* as a membership predicate; the enumeration layer materializes the
 // extensional set over bounded universes when the theory quantifies over
 // all pairs (constructibility, Δ*, model comparison).
+//
+// Membership is a two-level API. contains(c, phi) is the historical
+// convenience signature; contains_prepared(PreparedPair) is the hot path
+// batch consumers use to amortize observer validation, closure freezing
+// and Φ⁻¹ block construction across every model probed on one pair.
 #pragma once
 
 #include <functional>
@@ -13,6 +18,7 @@
 #include <string>
 
 #include "core/observer.hpp"
+#include "core/prepared.hpp"
 
 namespace ccmm {
 
@@ -25,8 +31,20 @@ class MemoryModel {
   /// Membership test: (c, phi) ∈ Δ. Implementations must accept the empty
   /// computation with its unique observer function. `phi` is not required
   /// to be pre-validated; models reject invalid observer functions.
+  ///
+  /// The default prepares (c, phi) with a per-thread CheckContext and
+  /// delegates to contains_prepared.
   [[nodiscard]] virtual bool contains(const Computation& c,
-                                      const ObserverFunction& phi) const = 0;
+                                      const ObserverFunction& phi) const;
+
+  /// Membership on a pre-built PreparedPair — same answer as contains()
+  /// on the underlying (c, phi), without repeating the shared setup.
+  ///
+  /// The default bridges back to contains(p.computation(), p.observer())
+  /// so third-party models written against the one-level API keep
+  /// working unchanged. The two defaults call each other: subclasses
+  /// must override at least one.
+  [[nodiscard]] virtual bool contains_prepared(const PreparedPair& p) const;
 
   /// Produce *some* observer function with (c, phi) ∈ Δ, if the
   /// implementation knows how (completeness witness). The default tries
@@ -38,28 +56,42 @@ class MemoryModel {
 
 /// A model defined by an arbitrary predicate — the glue that lets the
 /// constructibility engine treat derived sets (e.g. fixpoint results) as
-/// first-class models.
+/// first-class models. Supports both levels: a plain (c, phi) predicate
+/// (derived sets rarely profit from preparation, so contains() skips it)
+/// or a prepared-pair predicate for checker-backed models.
 class PredicateModel final : public MemoryModel {
  public:
   using Pred = std::function<bool(const Computation&, const ObserverFunction&)>;
+  using PreparedPred = std::function<bool(const PreparedPair&)>;
 
   PredicateModel(std::string name, Pred pred)
       : name_(std::move(name)), pred_(std::move(pred)) {
     CCMM_CHECK(pred_ != nullptr, "null predicate");
   }
+  PredicateModel(std::string name, PreparedPred pred)
+      : name_(std::move(name)), prepared_pred_(std::move(pred)) {
+    CCMM_CHECK(prepared_pred_ != nullptr, "null predicate");
+  }
 
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] bool contains(const Computation& c,
                               const ObserverFunction& phi) const override {
-    return pred_(c, phi);
+    if (pred_) return pred_(c, phi);
+    return MemoryModel::contains(c, phi);  // prepare, then forward
+  }
+  [[nodiscard]] bool contains_prepared(const PreparedPair& p) const override {
+    if (prepared_pred_) return prepared_pred_(p);
+    return pred_(p.computation(), p.observer());
   }
 
  private:
   std::string name_;
   Pred pred_;
+  PreparedPred prepared_pred_;
 };
 
 /// Δ1 ∩ Δ2 (the intersection is the weakest model stronger than both).
+/// One preparation serves both operands.
 class IntersectionModel final : public MemoryModel {
  public:
   IntersectionModel(std::shared_ptr<const MemoryModel> a,
@@ -71,9 +103,8 @@ class IntersectionModel final : public MemoryModel {
   [[nodiscard]] std::string name() const override {
     return a_->name() + " ∩ " + b_->name();
   }
-  [[nodiscard]] bool contains(const Computation& c,
-                              const ObserverFunction& phi) const override {
-    return a_->contains(c, phi) && b_->contains(c, phi);
+  [[nodiscard]] bool contains_prepared(const PreparedPair& p) const override {
+    return a_->contains_prepared(p) && b_->contains_prepared(p);
   }
 
  private:

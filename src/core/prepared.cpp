@@ -1,0 +1,82 @@
+#include "core/prepared.hpp"
+
+#include <algorithm>
+
+#include "core/last_writer.hpp"
+
+namespace ccmm {
+
+std::uint32_t PreparedPair::LocationPrep::block_index(NodeId x) const {
+  const auto it = std::lower_bound(writers.begin(), writers.end(), x);
+  CCMM_ASSERT(it != writers.end() && *it == x);  // validity 2.1
+  return static_cast<std::uint32_t>(it - writers.begin()) + 1;
+}
+
+const PreparedPair::LocationPrep* PreparedPair::location(Location l) const {
+  for (const auto& lp : locs_)
+    if (lp.loc == l) return &lp;
+  return nullptr;
+}
+
+const std::vector<NodeId>& PreparedPair::topological_order() const {
+  if (!topo_valid_) {
+    topo_ = c_->dag().topological_order();
+    topo_valid_ = true;
+  }
+  return topo_;
+}
+
+const ObserverFunction& PreparedPair::canonical_last_writer() const {
+  if (!last_writer_) last_writer_ = last_writer(*c_, topological_order());
+  return *last_writer_;
+}
+
+PreparedPair CheckContext::prepare(const Computation& c,
+                                   const ObserverFunction& phi) {
+  ++stats_.prepared;
+  PreparedPair p;
+  p.c_ = &c;
+  p.phi_ = &phi;
+  p.ctx_ = this;
+  // Freeze reachability before anything else: parallel stages consuming
+  // prepared pairs must never race the lazy closure build.
+  c.dag().ensure_closure();
+  p.validity_ = validate_observer(c, phi);
+  if (!p.validity_.ok) return p;  // checkers reject before touching blocks
+  const std::size_t n = c.node_count();
+  for (const Location l : phi.active_locations()) {
+    PreparedPair::LocationPrep lp;
+    lp.loc = l;
+    lp.writers = c.writers(l);
+    lp.block_of.assign(n, 0);
+    lp.block_sets.assign(lp.writers.size() + 1, DynBitset(n));
+    for (NodeId u = 0; u < n; ++u) {
+      const NodeId x = phi.get(l, u);
+      const std::uint32_t b = (x == kBottom) ? 0 : lp.block_index(x);
+      lp.block_of[u] = b;
+      lp.block_sets[b].set(u);
+    }
+    p.locs_.push_back(std::move(lp));
+  }
+  return p;
+}
+
+DynBitset& CheckContext::scratch_bits(std::size_t nbits) {
+  if (scratch_.size() != nbits)
+    scratch_ = DynBitset(nbits);
+  else
+    scratch_.clear();
+  return scratch_;
+}
+
+std::vector<NodeId>& CheckContext::scratch_nodes() {
+  scratch_nodes_.clear();
+  return scratch_nodes_;
+}
+
+PreparedPair prepare_pair(const Computation& c, const ObserverFunction& phi) {
+  thread_local CheckContext ctx;
+  return ctx.prepare(c, phi);
+}
+
+}  // namespace ccmm

@@ -1,0 +1,135 @@
+// ccmm/core/prepared.hpp
+//
+// Shared preparation for membership checking. Historically every model's
+// contains() paid the same per-call tax: re-validating Definition 2,
+// lazily building dag reachability, and rebuilding the per-location
+// Φ⁻¹ block bitsets from scratch. The batch consumers (FIG1/CUBE sweeps,
+// BoundedModelSet censuses, the Δ* fixpoint's answer judging, analyze's
+// model split) evaluate the SAME (C, Φ) pair under many models, so that
+// work is paid once here and reused by every checker through the
+// two-level MemoryModel API (contains_prepared).
+//
+// A PreparedPair is a non-owning view: the computation and observer
+// function must outlive it. It is meant to be consumed on one thread;
+// build one per task when fanning out.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/observer.hpp"
+#include "util/bitset.hpp"
+
+namespace ccmm {
+
+class CheckContext;
+
+/// The per-(C, Φ) bundle every checker shares: the validity verdict (with
+/// the diagnostic ValidityResult detail, not just the bool), frozen dag
+/// reachability (ensure_closure() is called eagerly so parallel stages
+/// never race the lazy build), per-location writer lists and Φ⁻¹ block
+/// bitsets, and the canonical last-writer function.
+class PreparedPair {
+ public:
+  /// Per-active-location index of Φ: the location's writers, the block
+  /// partition of Φ(l,·) — block 0 is B_⊥ = Φ⁻¹(⊥), block j+1 is the
+  /// j-th writer in id order — and one observer bitset per block. Blocks
+  /// of unobserved writers are empty; checkers never look them up, and
+  /// the LC quotient ignores isolated empty blocks.
+  struct LocationPrep {
+    Location loc = 0;
+    std::vector<NodeId> writers;          // id order
+    std::vector<std::uint32_t> block_of;  // node -> block (0 = ⊥ block)
+    std::vector<DynBitset> block_sets;    // block -> Φ⁻¹ bitset
+
+    /// Block index of writer x (x must write loc).
+    [[nodiscard]] std::uint32_t block_index(NodeId x) const;
+    /// Φ⁻¹(x) for a writer x of this location.
+    [[nodiscard]] const DynBitset& observers_of(NodeId x) const {
+      return block_sets[block_index(x)];
+    }
+    [[nodiscard]] NodeId block_writer(std::uint32_t b) const {
+      return b == 0 ? kBottom : writers[b - 1];
+    }
+    [[nodiscard]] std::size_t block_count() const { return block_sets.size(); }
+  };
+
+  [[nodiscard]] const Computation& computation() const { return *c_; }
+  [[nodiscard]] const ObserverFunction& observer() const { return *phi_; }
+  [[nodiscard]] std::size_t node_count() const { return c_->node_count(); }
+
+  /// Definition 2 verdict, with the failure diagnostic preserved.
+  [[nodiscard]] const ValidityResult& validity() const { return validity_; }
+  [[nodiscard]] bool valid() const { return validity_.ok; }
+
+  /// One LocationPrep per active location of Φ, sorted by location.
+  /// Empty when the observer is invalid (checkers reject first).
+  [[nodiscard]] const std::vector<LocationPrep>& locations() const {
+    return locs_;
+  }
+  /// The prep for location l, or nullptr if l has an all-⊥ column.
+  [[nodiscard]] const LocationPrep* location(Location l) const;
+
+  /// The canonical topological order of the dag (cached on first use).
+  [[nodiscard]] const std::vector<NodeId>& topological_order() const;
+  /// W_T for that order — the paper's last-writer function (cached).
+  [[nodiscard]] const ObserverFunction& canonical_last_writer() const;
+
+  /// The context whose scratch arenas this pair borrows.
+  [[nodiscard]] CheckContext& context() const { return *ctx_; }
+
+ private:
+  friend class CheckContext;
+  PreparedPair() = default;
+
+  const Computation* c_ = nullptr;
+  const ObserverFunction* phi_ = nullptr;
+  CheckContext* ctx_ = nullptr;
+  ValidityResult validity_;
+  std::vector<LocationPrep> locs_;
+  // Lazy, single-thread caches (a PreparedPair is not shared).
+  mutable std::vector<NodeId> topo_;
+  mutable bool topo_valid_ = false;
+  mutable std::optional<ObserverFunction> last_writer_;
+};
+
+/// Factory for PreparedPairs plus the reusable scratch arenas the
+/// checkers borrow (one DynBitset + one node vector, recycled across
+/// calls instead of reallocated per check). One context per thread;
+/// prepare() is not reentrant across threads.
+class CheckContext {
+ public:
+  CheckContext() = default;
+  CheckContext(const CheckContext&) = delete;
+  CheckContext& operator=(const CheckContext&) = delete;
+
+  /// Validate Φ, freeze the dag's reachability closure, and index the
+  /// Φ⁻¹ blocks. The returned pair borrows c, phi and this context.
+  [[nodiscard]] PreparedPair prepare(const Computation& c,
+                                     const ObserverFunction& phi);
+
+  /// Scratch bitset, `nbits` wide, all bits clear. Valid until the next
+  /// scratch_bits() call on this context.
+  [[nodiscard]] DynBitset& scratch_bits(std::size_t nbits);
+  /// Scratch node vector, empty. Valid until the next scratch_nodes()
+  /// call on this context.
+  [[nodiscard]] std::vector<NodeId>& scratch_nodes();
+
+  struct Stats {
+    std::uint64_t prepared = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  DynBitset scratch_;
+  std::vector<NodeId> scratch_nodes_;
+  Stats stats_;
+};
+
+/// Prepare with a per-thread CheckContext — the convenience the base
+/// MemoryModel::contains() bridge uses.
+[[nodiscard]] PreparedPair prepare_pair(const Computation& c,
+                                        const ObserverFunction& phi);
+
+}  // namespace ccmm

@@ -1,0 +1,53 @@
+// ccmm/core/sp_structure.hpp
+//
+// The series-parallel parse of a computation, recorded by front ends
+// that *know* the fork/join structure they unfold (proc::CilkProgram).
+// A computation dag alone says which nodes are ordered; the SP structure
+// additionally says *why*: every node belongs to a strand (procedure
+// instance), and each strand's event stream interleaves its own nodes
+// with the spawns, syncs and plain-call adoptions that relate it to its
+// children. Replaying the streams in serial-elision order (child fully
+// executes at its spawn point, then the continuation) is exactly the
+// serial depth-first execution the SP-bags algorithm of Feng & Leiserson
+// ("Detecting Races in Cilk Programs", the Nondeterminator) requires,
+// which is what analyze/sp_bags.hpp consumes to find determinacy races
+// in near-linear time instead of quadratic pairwise scanning.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dag/dag.hpp"
+
+namespace ccmm {
+
+/// One entry of a strand's event stream.
+struct SpEvent {
+  enum class Kind : std::uint8_t {
+    kNode,   // the strand executed node `node`
+    kSpawn,  // strand `child` forked off at this point
+    kSync,   // join with every outstanding child (`node` = join nop, or
+             // kBottom when no child had run and no join node was needed)
+    kAdopt,  // plain-call return: `child`'s chain continues this strand
+  };
+  Kind kind;
+  NodeId node = kBottom;
+  std::uint32_t child = 0;
+
+  [[nodiscard]] bool operator==(const SpEvent&) const = default;
+};
+
+/// Per-strand event streams; strand 0 is the root procedure. The spawn
+/// forest is implicit: strand s is a child of the strand whose stream
+/// holds its kSpawn event.
+struct SpStructure {
+  std::vector<std::vector<SpEvent>> strands;
+  /// Node count of the computation the structure describes, so consumers
+  /// can reject a structure that drifted from its computation.
+  std::size_t node_count = 0;
+};
+
+using SpStructurePtr = std::shared_ptr<const SpStructure>;
+
+}  // namespace ccmm

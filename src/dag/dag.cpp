@@ -1,12 +1,61 @@
 #include "dag/dag.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace ccmm {
 
 Dag::Dag(std::size_t n, const std::vector<Edge>& edge_list) {
   resize(n);
   for (const auto& e : edge_list) add_edge(e.from, e.to);
+}
+
+Dag::Dag(const Dag& o)
+    : succ_(o.succ_), pred_(o.pred_), nedges_(o.nedges_) {
+  if (o.closure_frozen()) {
+    desc_ = o.desc_;
+    anc_ = o.anc_;
+    closure_valid_.store(true, std::memory_order_release);
+  }
+}
+
+Dag::Dag(Dag&& o) noexcept
+    : succ_(std::move(o.succ_)),
+      pred_(std::move(o.pred_)),
+      nedges_(o.nedges_),
+      desc_(std::move(o.desc_)),
+      anc_(std::move(o.anc_)) {
+  closure_valid_.store(o.closure_frozen(), std::memory_order_release);
+  o.invalidate();
+}
+
+Dag& Dag::operator=(const Dag& o) {
+  if (this == &o) return *this;
+  succ_ = o.succ_;
+  pred_ = o.pred_;
+  nedges_ = o.nedges_;
+  if (o.closure_frozen()) {
+    desc_ = o.desc_;
+    anc_ = o.anc_;
+    closure_valid_.store(true, std::memory_order_release);
+  } else {
+    desc_.clear();
+    anc_.clear();
+    invalidate();
+  }
+  return *this;
+}
+
+Dag& Dag::operator=(Dag&& o) noexcept {
+  if (this == &o) return *this;
+  succ_ = std::move(o.succ_);
+  pred_ = std::move(o.pred_);
+  nedges_ = o.nedges_;
+  desc_ = std::move(o.desc_);
+  anc_ = std::move(o.anc_);
+  closure_valid_.store(o.closure_frozen(), std::memory_order_release);
+  o.invalidate();
+  return *this;
 }
 
 void Dag::resize(std::size_t n) {
@@ -64,7 +113,7 @@ bool Dag::is_acyclic() const {
 }
 
 void Dag::ensure_closure() const {
-  if (closure_valid_) return;
+  if (closure_frozen()) return;
   CCMM_CHECK(is_acyclic(), "reachability requires an acyclic graph");
   const std::size_t n = node_count();
   desc_.assign(n, DynBitset(n));
@@ -97,7 +146,7 @@ void Dag::ensure_closure() const {
   }
   for (NodeId u = 0; u < n; ++u)
     desc_[u].for_each([&](std::size_t v) { anc_[v].set(u); });
-  closure_valid_ = true;
+  closure_valid_.store(true, std::memory_order_release);
 }
 
 bool Dag::precedes(NodeId u, NodeId v) const {

@@ -6,6 +6,7 @@
 // triple queries of the dag-consistency checkers word-parallel.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -35,6 +36,14 @@ class Dag {
 
   /// Build from an explicit edge list over nodes 0..n-1.
   Dag(std::size_t n, const std::vector<Edge>& edges);
+
+  // The atomic freshness flag deletes the implicit copy/move operations;
+  // copies carry the closure along when the source is already frozen
+  // (rebuilding it would dwarf the copy itself).
+  Dag(const Dag& o);
+  Dag(Dag&& o) noexcept;
+  Dag& operator=(const Dag& o);
+  Dag& operator=(Dag&& o) noexcept;
 
   [[nodiscard]] std::size_t node_count() const noexcept { return succ_.size(); }
   [[nodiscard]] std::size_t edge_count() const noexcept { return nedges_; }
@@ -108,22 +117,34 @@ class Dag {
   /// Force the reachability cache to be built now (requires acyclicity).
   void ensure_closure() const;
 
+  /// True iff the reachability cache is built and valid. Parallel stages
+  /// assert this on every dag they fan out over: the lazy build is NOT
+  /// thread-safe, so a shared dag must be frozen (ensure_closure) before
+  /// worker threads may query precedence on it.
+  [[nodiscard]] bool closure_frozen() const noexcept {
+    return closure_valid_.load(std::memory_order_acquire);
+  }
+
   [[nodiscard]] bool operator==(const Dag& o) const {
     return succ_ == o.succ_;
   }
 
  private:
   void resize(std::size_t n);
-  void invalidate() noexcept { closure_valid_ = false; }
+  void invalidate() noexcept {
+    closure_valid_.store(false, std::memory_order_release);
+  }
 
   std::vector<std::vector<NodeId>> succ_;
   std::vector<std::vector<NodeId>> pred_;
   std::size_t nedges_ = 0;
 
-  // Reachability cache (strict): desc_[u] bit v <=> u ≺ v.
+  // Reachability cache (strict): desc_[u] bit v <=> u ≺ v. The flag is
+  // atomic so a frozen dag can be probed from any thread; building the
+  // rows themselves is still single-threaded (see closure_frozen()).
   mutable std::vector<DynBitset> desc_;
   mutable std::vector<DynBitset> anc_;
-  mutable bool closure_valid_ = false;
+  mutable std::atomic<bool> closure_valid_{false};
 };
 
 }  // namespace ccmm

@@ -1,6 +1,7 @@
 #include "enumerate/cached_model.hpp"
 
 #include "util/memo_cache.hpp"
+#include "util/str.hpp"
 
 namespace ccmm {
 namespace {
@@ -8,6 +9,22 @@ namespace {
 /// Above this size, canonicalization costs more than most membership
 /// checks save; fall through to the inner model.
 constexpr std::size_t kCacheNodeCap = 24;
+
+/// Builds "prefix \x1e canonical-C \x1f transported-Φ" into a reusable
+/// per-thread buffer. The exhaustive sweeps issue millions of lookups;
+/// reusing one buffer per thread turns the per-call allocation churn of
+/// the old `std::string key = tag_; key += ...` pattern into amortized
+/// zero (the buffer grows to the high-water mark once and stays there).
+const std::string& orbit_key(const std::string& prefix, const Computation& c,
+                             const ObserverFunction& phi) {
+  thread_local std::string key;
+  key.assign(prefix);
+  const CanonicalForm cf = canonical_form(c);
+  key += cf.encoding;
+  key.push_back('\x1f');
+  key += encode_observer(transport_observer(phi, cf.map));
+  return key;
+}
 
 }  // namespace
 
@@ -24,11 +41,7 @@ bool CachedModel::contains(const Computation& c,
   // latter themselves) bypass the cache.
   if (c.node_count() > kCacheNodeCap || phi.node_count() != c.node_count())
     return inner_->contains(c, phi);
-  const CanonicalForm cf = canonical_form(c);
-  std::string key = tag_;
-  key += cf.encoding;
-  key.push_back('\x1f');
-  key += encode_observer(transport_observer(phi, cf.map));
+  const std::string& key = orbit_key(tag_, c, phi);
   if (const auto hit = membership_cache().lookup(key)) return *hit;
   // Membership is isomorphism-invariant, so answering on the original
   // labeling and caching under the canonical key is sound.
@@ -37,9 +50,40 @@ bool CachedModel::contains(const Computation& c,
   return member;
 }
 
+bool CachedModel::contains_prepared(const PreparedPair& p) const {
+  const Computation& c = p.computation();
+  const ObserverFunction& phi = p.observer();
+  if (c.node_count() > kCacheNodeCap || phi.node_count() != c.node_count())
+    return inner_->contains_prepared(p);
+  const std::string& key = orbit_key(tag_, c, phi);
+  if (const auto hit = membership_cache().lookup(key)) return *hit;
+  const bool member = inner_->contains_prepared(p);
+  membership_cache().insert(key, member);
+  return member;
+}
+
 std::shared_ptr<const MemoryModel> cached(
     std::shared_ptr<const MemoryModel> inner) {
   return std::make_shared<CachedModel>(std::move(inner));
+}
+
+std::uint32_t cached_classification(const Computation& c,
+                                    const ObserverFunction& phi,
+                                    const SuiteOptions& opt) {
+  if (c.node_count() > kCacheNodeCap || phi.node_count() != c.node_count())
+    return ModelSuite::classify(c, phi, opt);
+  // short_circuit is answer-preserving (pinned by tests/test_prepared),
+  // so it is deliberately NOT part of the key; the budget and include
+  // flags change which bits can be set and are.
+  const std::string prefix =
+      format("suite\x1e%llu,%d,%d\x1e",
+             static_cast<unsigned long long>(opt.sc_budget),
+             opt.include_sc ? 1 : 0, opt.include_plus ? 1 : 0);
+  const std::string& key = orbit_key(prefix, c, phi);
+  if (const auto hit = classification_cache().lookup(key)) return *hit;
+  const std::uint32_t mask = ModelSuite::classify(c, phi, opt);
+  classification_cache().insert(key, mask);
+  return mask;
 }
 
 }  // namespace ccmm

@@ -11,10 +11,12 @@
 // their exhaustive paths.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "core/memory_model.hpp"
 #include "enumerate/canonical.hpp"
+#include "models/suite.hpp"
 
 namespace ccmm {
 
@@ -28,6 +30,11 @@ class CachedModel final : public MemoryModel {
 
   [[nodiscard]] bool contains(const Computation& c,
                               const ObserverFunction& phi) const override;
+
+  /// Same orbit-keyed memoization; on a miss the prepared pair is handed
+  /// straight to the inner model, so the caller's preparation is not
+  /// wasted on cache bookkeeping.
+  [[nodiscard]] bool contains_prepared(const PreparedPair& p) const override;
 
   [[nodiscard]] std::optional<ObserverFunction> any_observer(
       const Computation& c) const override {
@@ -46,5 +53,15 @@ class CachedModel final : public MemoryModel {
 /// Wrap a model in the global membership cache.
 [[nodiscard]] std::shared_ptr<const MemoryModel> cached(
     std::shared_ptr<const MemoryModel> inner);
+
+/// ModelSuite::classify memoized in classification_cache() under the
+/// same orbit key (plus the option bits that shape the answer: the SC
+/// budget and the include flags). One cached bitmask replaces up to
+/// eight per-model membership entries. Budget exhaustion is folded into
+/// the cached mask exactly as in the uncached call (SC bit left unset),
+/// so hits and misses agree for a fixed budget.
+[[nodiscard]] std::uint32_t cached_classification(const Computation& c,
+                                                  const ObserverFunction& phi,
+                                                  const SuiteOptions& opt = {});
 
 }  // namespace ccmm

@@ -75,9 +75,10 @@ DensityEstimate estimate_density(const MemoryModel& model,
                                  Rng& rng) {
   DensityEstimate out;
   out.samples = samples;
+  CheckContext ctx;  // the samples share c: one context amortizes prep
   for (std::size_t i = 0; i < samples; ++i) {
     const ObserverFunction phi = random_observer(c, rng);
-    if (model.contains(c, phi)) ++out.members;
+    if (model.contains_prepared(ctx.prepare(c, phi))) ++out.members;
   }
   out.density = samples == 0
                     ? 0.0
@@ -94,7 +95,10 @@ std::size_t parallel_member_count(const MemoryModel& model,
   for (const CPhi& p : universe) p.c.dag().ensure_closure();
   std::atomic<std::size_t> members{0};
   pool.parallel_for(universe.size(), [&](std::size_t i) {
-    if (model.contains(universe[i].c, universe[i].phi))
+    CCMM_ASSERT(universe[i].c.dag().closure_frozen());
+    // prepare_pair uses a per-thread context; the shared dag is frozen,
+    // so preparation only reads it.
+    if (model.contains_prepared(prepare_pair(universe[i].c, universe[i].phi)))
       members.fetch_add(1, std::memory_order_relaxed);
   });
   return members.load();

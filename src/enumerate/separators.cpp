@@ -8,13 +8,16 @@ std::optional<CPhi> find_minimal_separator(const MemoryModel& stronger,
                                            const MemoryModel& weaker,
                                            const UniverseSpec& spec) {
   // Scan sizes in increasing order so the first hit has fewest nodes.
+  CheckContext ctx;
   for (std::size_t size = 0; size <= spec.max_nodes; ++size) {
     UniverseSpec s = spec;
     s.max_nodes = size;
     std::optional<CPhi> found;
     for_each_pair(s, [&](const Computation& c, const ObserverFunction& phi) {
       if (c.node_count() != size) return true;
-      if (weaker.contains(c, phi) && !stronger.contains(c, phi)) {
+      // One preparation answers both models.
+      const PreparedPair p = ctx.prepare(c, phi);
+      if (weaker.contains_prepared(p) && !stronger.contains_prepared(p)) {
         found = CPhi{c, phi};
         return false;
       }
@@ -28,10 +31,11 @@ std::optional<CPhi> find_minimal_separator(const MemoryModel& stronger,
 std::optional<Computation> find_incompleteness_witness(
     const MemoryModel& model, const UniverseSpec& spec) {
   std::optional<Computation> witness;
+  CheckContext ctx;
   for_each_computation(spec, [&](const Computation& c) {
     bool has_member = false;
     for_each_observer(c, [&](const ObserverFunction& phi) {
-      if (model.contains(c, phi)) {
+      if (model.contains_prepared(ctx.prepare(c, phi))) {
         has_member = true;
         return false;
       }

@@ -10,7 +10,7 @@ namespace {
 /// block of the i-th distinct observed write. block_of[u] gives a node's
 /// block; writer_of[i] gives block i's writer (kBottom for block 0).
 struct Blocks {
-  std::vector<std::size_t> block_of;
+  std::vector<std::uint32_t> block_of;
   std::vector<NodeId> writer_of;
 };
 
@@ -19,28 +19,40 @@ Blocks make_blocks(const Computation& c, const ObserverFunction& phi,
   Blocks b;
   b.block_of.assign(c.node_count(), 0);
   b.writer_of.push_back(kBottom);
-  std::unordered_map<NodeId, std::size_t> index_of;
+  std::unordered_map<NodeId, std::uint32_t> index_of;
   for (NodeId u = 0; u < c.node_count(); ++u) {
     const NodeId x = phi.get(l, u);
     if (x == kBottom) continue;
-    auto [it, fresh] = index_of.try_emplace(x, b.writer_of.size());
+    auto [it, fresh] = index_of.try_emplace(
+        x, static_cast<std::uint32_t>(b.writer_of.size()));
     if (fresh) b.writer_of.push_back(x);
     b.block_of[u] = it->second;
   }
   return b;
 }
 
-/// Does the block quotient graph admit a topological order with B_⊥ first?
-/// `order_out`, if non-null, receives such a block order.
 bool quotient_sortable(const Computation& c, const Blocks& b,
                        std::vector<std::size_t>* order_out) {
-  const std::size_t nb = b.writer_of.size();
+  return detail::lc_quotient_sortable(c, b.block_of.data(),
+                                      b.writer_of.size(), order_out);
+}
+
+}  // namespace
+
+namespace detail {
+
+/// Does the block quotient graph admit a topological order with B_⊥ first?
+/// `order_out`, if non-null, receives such a block order.
+bool lc_quotient_sortable(const Computation& c, const std::uint32_t* block_of,
+                          std::size_t nblocks,
+                          std::vector<std::size_t>* order_out) {
+  const std::size_t nb = nblocks;
   // Quotient adjacency + indegrees from dag edges crossing blocks.
   std::vector<std::vector<std::size_t>> qsucc(nb);
   std::vector<std::size_t> indeg(nb, 0);
   for (const auto& e : c.dag().edges()) {
-    const std::size_t bu = b.block_of[e.from];
-    const std::size_t bv = b.block_of[e.to];
+    const std::size_t bu = block_of[e.from];
+    const std::size_t bv = block_of[e.to];
     if (bu == bv) continue;
     qsucc[bu].push_back(bv);
     ++indeg[bv];
@@ -79,7 +91,7 @@ bool quotient_sortable(const Computation& c, const Blocks& b,
   return true;
 }
 
-}  // namespace
+}  // namespace detail
 
 bool location_consistent_at(const Computation& c, const ObserverFunction& phi,
                             Location l) {
@@ -91,6 +103,15 @@ bool location_consistent(const Computation& c, const ObserverFunction& phi) {
   if (!is_valid_observer(c, phi)) return false;
   for (const Location l : phi.active_locations())
     if (!location_consistent_at(c, phi, l)) return false;
+  return true;
+}
+
+bool location_consistent_prepared(const PreparedPair& p) {
+  if (!p.valid()) return false;
+  for (const auto& lp : p.locations())
+    if (!detail::lc_quotient_sortable(p.computation(), lp.block_of.data(),
+                                      lp.block_count(), nullptr))
+      return false;
   return true;
 }
 

@@ -23,10 +23,24 @@ namespace ccmm {
 [[nodiscard]] bool location_consistent(const Computation& c,
                                        const ObserverFunction& phi);
 
+/// Same answer on a PreparedPair: reuses the pair's validity verdict and
+/// Φ⁻¹ block partition instead of recomputing both.
+[[nodiscard]] bool location_consistent_prepared(const PreparedPair& p);
+
 /// Is location l of (c, phi) serializable? (phi must be valid.)
 [[nodiscard]] bool location_consistent_at(const Computation& c,
                                           const ObserverFunction& phi,
                                           Location l);
+
+namespace detail {
+/// Shared core of the LC test: does the quotient graph on blocks (node u
+/// in block block_of[u]; block 0 = B_⊥) admit a topological order with
+/// block 0 first? Isolated empty blocks are permitted and harmless.
+[[nodiscard]] bool lc_quotient_sortable(const Computation& c,
+                                        const std::uint32_t* block_of,
+                                        std::size_t nblocks,
+                                        std::vector<std::size_t>* order_out);
+}  // namespace detail
 
 /// A topological sort T of c with W_T(l,·) = Φ(l,·), if one exists —
 /// the per-location witness demanded by Definition 18.
@@ -39,6 +53,9 @@ class LocationConsistencyModel final : public MemoryModel {
   [[nodiscard]] bool contains(const Computation& c,
                               const ObserverFunction& phi) const override {
     return location_consistent(c, phi);
+  }
+  [[nodiscard]] bool contains_prepared(const PreparedPair& p) const override {
+    return location_consistent_prepared(p);
   }
 
   [[nodiscard]] static std::shared_ptr<const LocationConsistencyModel>

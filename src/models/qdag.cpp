@@ -1,5 +1,6 @@
 #include "models/qdag.hpp"
 
+#include <cstdint>
 #include <unordered_map>
 
 #include "util/str.hpp"
@@ -32,7 +33,10 @@ void report(QDagViolation* out, Location l, NodeId u, NodeId v, NodeId w) {
   if (out != nullptr) *out = {l, u, v, w};
 }
 
-/// Named-predicate check for one location.
+/// Named-predicate check for one location (legacy entry point; the
+/// prepared path runs the same scan on the precomputed block partition).
+/// `observers_of(x)` must return Φ⁻¹(x) for any observed write x of this
+/// location (only queried for NN/NW).
 ///
 /// For a pair v ≺ w with x = Φ(l,w) ≠ Φ(l,v), a violation needs some
 /// u ∈ anc(v) ∪ {⊥} with Φ(l,u) = x and Q(l,u,v,w):
@@ -41,23 +45,13 @@ void report(QDagViolation* out, Location l, NodeId u, NodeId v, NodeId w) {
 ///  * WN: Q forces u to write l, and a writer observes itself, so u = x;
 ///        the condition collapses to x ≠ ⊥ ∧ x ≺ v.
 ///  * WW: the WN collapse restricted to pairs where v writes l.
-bool check_location(const Computation& c, const ObserverFunction& phi,
-                    DagPred pred, Location l, QDagViolation* violation) {
+template <typename ObserversOf>
+bool check_location_impl(const Computation& c, const ObserverFunction& phi,
+                         DagPred pred, Location l,
+                         const ObserversOf& observers_of,
+                         QDagViolation* violation) {
   const Dag& dag = c.dag();
   const std::size_t n = c.node_count();
-
-  // Φ⁻¹(x) bitsets for each observed write x (needed for NN/NW only).
-  const bool need_sets = pred == DagPred::kNN || pred == DagPred::kNW;
-  std::unordered_map<NodeId, DynBitset> observers_of;
-  if (need_sets) {
-    for (NodeId u = 0; u < n; ++u) {
-      const NodeId x = phi.get(l, u);
-      if (x == kBottom) continue;
-      auto [it, fresh] = observers_of.try_emplace(x, DynBitset(n));
-      (void)fresh;
-      it->second.set(u);
-    }
-  }
 
   const bool v_must_write = pred == DagPred::kNW || pred == DagPred::kWW;
   const bool u_must_write = pred == DagPred::kWN || pred == DagPred::kWW;
@@ -85,13 +79,12 @@ bool check_location(const Computation& c, const ObserverFunction& phi,
         bad = true;
         return;
       }
-      const auto it = observers_of.find(x);
-      CCMM_ASSERT(it != observers_of.end());  // w itself observes x
+      const DynBitset& phi_inv_x = observers_of(x);
       const DynBitset& anc_v = dag.ancestors(v);
-      if (anc_v.intersects(it->second)) {
+      if (anc_v.intersects(phi_inv_x)) {
         if (violation != nullptr) {
           DynBitset inter = anc_v;
-          inter &= it->second;
+          inter &= phi_inv_x;
           report(violation, l, static_cast<NodeId>(inter.find_first()), v, w);
         }
         bad = true;
@@ -102,19 +95,34 @@ bool check_location(const Computation& c, const ObserverFunction& phi,
   return true;
 }
 
-}  // namespace
+/// Legacy per-call path: builds the Φ⁻¹ bitsets in a fresh map.
+bool check_location(const Computation& c, const ObserverFunction& phi,
+                    DagPred pred, Location l, QDagViolation* violation) {
+  const std::size_t n = c.node_count();
 
-bool qdag_consistent(const Computation& c, const ObserverFunction& phi,
-                     DagPred pred, QDagViolation* violation) {
-  if (!is_valid_observer(c, phi)) return false;
-  for (const Location l : phi.active_locations())
-    if (!check_location(c, phi, pred, l, violation)) return false;
-  return true;
+  // Φ⁻¹(x) bitsets for each observed write x (needed for NN/NW only).
+  const bool need_sets = pred == DagPred::kNN || pred == DagPred::kNW;
+  std::unordered_map<NodeId, DynBitset> observers_of;
+  if (need_sets) {
+    for (NodeId u = 0; u < n; ++u) {
+      const NodeId x = phi.get(l, u);
+      if (x == kBottom) continue;
+      auto [it, fresh] = observers_of.try_emplace(x, DynBitset(n));
+      (void)fresh;
+      it->second.set(u);
+    }
+  }
+  const auto lookup = [&observers_of](NodeId x) -> const DynBitset& {
+    const auto it = observers_of.find(x);
+    CCMM_ASSERT(it != observers_of.end());  // w itself observes x
+    return it->second;
+  };
+  return check_location_impl(c, phi, pred, l, lookup, violation);
 }
 
-bool qdag_consistent_custom(const Computation& c, const ObserverFunction& phi,
-                            const QPredicate& q, QDagViolation* violation) {
-  if (!is_valid_observer(c, phi)) return false;
+/// Shared body of the cubic custom-predicate scan (validity pre-checked).
+bool custom_scan(const Computation& c, const ObserverFunction& phi,
+                 const QPredicate& q, QDagViolation* violation) {
   const Dag& dag = c.dag();
   const std::size_t n = c.node_count();
   for (const Location l : phi.active_locations()) {
@@ -142,6 +150,84 @@ bool qdag_consistent_custom(const Computation& c, const ObserverFunction& phi,
   return true;
 }
 
+}  // namespace
+
+bool qdag_consistent(const Computation& c, const ObserverFunction& phi,
+                     DagPred pred, QDagViolation* violation) {
+  if (!is_valid_observer(c, phi)) return false;
+  for (const Location l : phi.active_locations())
+    if (!check_location(c, phi, pred, l, violation)) return false;
+  return true;
+}
+
+bool qdag_consistent_prepared(const PreparedPair& p, DagPred pred,
+                              QDagViolation* violation) {
+  if (!p.valid()) return false;
+  const Computation& c = p.computation();
+  const Dag& dag = c.dag();
+  const std::size_t n = c.node_count();
+  const bool v_must_write = pred == DagPred::kNW || pred == DagPred::kWW;
+  const bool u_must_write = pred == DagPred::kWN || pred == DagPred::kWW;
+
+  // Same scan as check_location_impl, but on the prepared block
+  // partition: Φ(l,v) = Φ(l,w) iff the two nodes share a block, so the
+  // inner loop compares dense block indices instead of querying Φ (a
+  // per-call column search), and Φ⁻¹(x) is block_sets[bw] directly.
+  for (const auto& lp : p.locations()) {
+    const Location l = lp.loc;
+    const std::uint32_t* block_of = lp.block_of.data();
+    for (NodeId w = 0; w < n; ++w) {
+      const std::uint32_t bw = block_of[w];
+      const NodeId x = lp.block_writer(bw);
+      const DynBitset& anc_w = dag.ancestors(w);
+      bool bad = false;
+      anc_w.for_each([&](std::size_t vi) {
+        if (bad) return;
+        const auto v = static_cast<NodeId>(vi);
+        if (block_of[v] == bw) return;
+        if (v_must_write && !c.op(v).writes(l)) return;
+        if (u_must_write) {
+          if (x != kBottom && dag.precedes(x, v)) {
+            report(violation, l, x, v, w);
+            bad = true;
+          }
+          return;
+        }
+        if (x == kBottom) {
+          report(violation, l, kBottom, v, w);
+          bad = true;
+          return;
+        }
+        const DynBitset& phi_inv_x = lp.block_sets[bw];
+        const DynBitset& anc_v = dag.ancestors(v);
+        if (anc_v.intersects(phi_inv_x)) {
+          if (violation != nullptr) {
+            DynBitset inter = anc_v;
+            inter &= phi_inv_x;
+            report(violation, l, static_cast<NodeId>(inter.find_first()), v,
+                   w);
+          }
+          bad = true;
+        }
+      });
+      if (bad) return false;
+    }
+  }
+  return true;
+}
+
+bool qdag_consistent_custom(const Computation& c, const ObserverFunction& phi,
+                            const QPredicate& q, QDagViolation* violation) {
+  if (!is_valid_observer(c, phi)) return false;
+  return custom_scan(c, phi, q, violation);
+}
+
+bool qdag_consistent_custom_prepared(const PreparedPair& p, const QPredicate& q,
+                                     QDagViolation* violation) {
+  if (!p.valid()) return false;
+  return custom_scan(p.computation(), p.observer(), q, violation);
+}
+
 std::string cube_name(CubeSpec spec) {
   std::string out = "Q[";
   out += spec.u_writes ? 'W' : 'N';
@@ -151,35 +237,49 @@ std::string cube_name(CubeSpec spec) {
   return out;
 }
 
-bool cube_consistent(const Computation& c, const ObserverFunction& phi,
-                     CubeSpec spec) {
-  if (!spec.w_writes) {
-    // The w-independent corners are the paper's named models.
-    if (!spec.u_writes && !spec.v_writes)
-      return qdag_consistent(c, phi, DagPred::kNN);
-    if (!spec.u_writes && spec.v_writes)
-      return qdag_consistent(c, phi, DagPred::kNW);
-    if (spec.u_writes && !spec.v_writes)
-      return qdag_consistent(c, phi, DagPred::kWN);
-    return qdag_consistent(c, phi, DagPred::kWW);
-  }
-  const QPredicate q = [spec](const Computation& comp, Location l, NodeId u,
-                              NodeId v, NodeId w) {
+namespace {
+
+/// The w-independent corners are the paper's named models.
+std::optional<DagPred> named_corner(CubeSpec spec) {
+  if (spec.w_writes) return std::nullopt;
+  if (!spec.u_writes && !spec.v_writes) return DagPred::kNN;
+  if (!spec.u_writes && spec.v_writes) return DagPred::kNW;
+  if (spec.u_writes && !spec.v_writes) return DagPred::kWN;
+  return DagPred::kWW;
+}
+
+QPredicate cube_predicate(CubeSpec spec) {
+  return [spec](const Computation& comp, Location l, NodeId u, NodeId v,
+                NodeId w) {
     if (spec.u_writes && (u == kBottom || !comp.op(u).writes(l)))
       return false;
     if (spec.v_writes && !comp.op(v).writes(l)) return false;
     if (spec.w_writes && !comp.op(w).writes(l)) return false;
     return true;
   };
-  return qdag_consistent_custom(c, phi, q);
+}
+
+}  // namespace
+
+bool cube_consistent(const Computation& c, const ObserverFunction& phi,
+                     CubeSpec spec) {
+  if (const auto pred = named_corner(spec))
+    return qdag_consistent(c, phi, *pred);
+  return qdag_consistent_custom(c, phi, cube_predicate(spec));
+}
+
+bool cube_consistent_prepared(const PreparedPair& p, CubeSpec spec) {
+  if (const auto pred = named_corner(spec))
+    return qdag_consistent_prepared(p, *pred);
+  return qdag_consistent_custom_prepared(p, cube_predicate(spec));
 }
 
 std::shared_ptr<const MemoryModel> cube_model(CubeSpec spec) {
   return std::make_shared<PredicateModel>(
-      cube_name(spec),
-      [spec](const Computation& c, const ObserverFunction& phi) {
-        return cube_consistent(c, phi, spec);
-      });
+      cube_name(spec), PredicateModel::PreparedPred([spec](
+                           const PreparedPair& p) {
+        return cube_consistent_prepared(p, spec);
+      }));
 }
 
 std::vector<CubeSpec> all_cube_corners() {

@@ -41,6 +41,12 @@ struct QDagViolation {
                                    const ObserverFunction& phi, DagPred pred,
                                    QDagViolation* violation = nullptr);
 
+/// Same answer on a PreparedPair: reuses the pair's validity verdict and
+/// Φ⁻¹ block bitsets instead of re-validating and rebuilding them.
+[[nodiscard]] bool qdag_consistent_prepared(const PreparedPair& p,
+                                            DagPred pred,
+                                            QDagViolation* violation = nullptr);
+
 /// A custom predicate Q(c, l, u, v, w); u may be kBottom.
 using QPredicate = std::function<bool(const Computation&, Location, NodeId,
                                       NodeId, NodeId)>;
@@ -50,6 +56,11 @@ using QPredicate = std::function<bool(const Computation&, Location, NodeId,
                                           const ObserverFunction& phi,
                                           const QPredicate& q,
                                           QDagViolation* violation = nullptr);
+
+/// Prepared-pair variant of the cubic scan (skips re-validation).
+[[nodiscard]] bool qdag_consistent_custom_prepared(
+    const PreparedPair& p, const QPredicate& q,
+    QDagViolation* violation = nullptr);
 
 /// Q-dag consistency as a MemoryModel.
 class QDagModel final : public MemoryModel {
@@ -62,6 +73,9 @@ class QDagModel final : public MemoryModel {
   [[nodiscard]] bool contains(const Computation& c,
                               const ObserverFunction& phi) const override {
     return qdag_consistent(c, phi, pred_);
+  }
+  [[nodiscard]] bool contains_prepared(const PreparedPair& p) const override {
+    return qdag_consistent_prepared(p, pred_);
   }
   [[nodiscard]] DagPred pred() const { return pred_; }
 
@@ -98,6 +112,10 @@ struct CubeSpec {
 [[nodiscard]] bool cube_consistent(const Computation& c,
                                    const ObserverFunction& phi, CubeSpec spec);
 
+/// Prepared-pair variant (named fast paths and cubic scan alike).
+[[nodiscard]] bool cube_consistent_prepared(const PreparedPair& p,
+                                            CubeSpec spec);
+
 /// All eight corners in lexicographic order (NNN first).
 [[nodiscard]] std::vector<CubeSpec> all_cube_corners();
 
@@ -113,6 +131,9 @@ class CustomQDagModel final : public MemoryModel {
   [[nodiscard]] bool contains(const Computation& c,
                               const ObserverFunction& phi) const override {
     return qdag_consistent_custom(c, phi, q_);
+  }
+  [[nodiscard]] bool contains_prepared(const PreparedPair& p) const override {
+    return qdag_consistent_custom_prepared(p, q_);
   }
 
  private:

@@ -20,9 +20,11 @@ ComparisonResult compare_models(const MemoryModel& a, const MemoryModel& b,
                                 const std::vector<CPhi>& universe) {
   ComparisonResult r;
   r.universe = universe.size();
+  CheckContext ctx;  // one preparation serves both models per pair
   for (std::size_t i = 0; i < universe.size(); ++i) {
-    const bool ina = a.contains(universe[i].c, universe[i].phi);
-    const bool inb = b.contains(universe[i].c, universe[i].phi);
+    const PreparedPair p = ctx.prepare(universe[i].c, universe[i].phi);
+    const bool ina = a.contains_prepared(p);
+    const bool inb = b.contains_prepared(p);
     if (ina) ++r.in_a;
     if (inb) ++r.in_b;
     if (ina && inb) ++r.in_both;
@@ -46,9 +48,12 @@ std::vector<std::size_t> membership_counts(
     const std::vector<const MemoryModel*>& models,
     const std::vector<CPhi>& universe) {
   std::vector<std::size_t> counts(models.size(), 0);
-  for (const auto& pair : universe)
+  CheckContext ctx;  // one preparation serves every model per pair
+  for (const auto& pair : universe) {
+    const PreparedPair p = ctx.prepare(pair.c, pair.phi);
     for (std::size_t m = 0; m < models.size(); ++m)
-      if (models[m]->contains(pair.c, pair.phi)) ++counts[m];
+      if (models[m]->contains_prepared(p)) ++counts[m];
+  }
   return counts;
 }
 

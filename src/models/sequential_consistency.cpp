@@ -1,5 +1,7 @@
 #include "models/sequential_consistency.hpp"
 
+#include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "models/location_consistency.hpp"
@@ -12,6 +14,16 @@ struct ScSearch {
   const ObserverFunction& phi;
   std::vector<Location> locs;          // active locations
   std::vector<std::size_t> loc_index;  // location -> index in locs
+  std::vector<std::vector<NodeId>> col;  // col[i][u] = Φ(locs[i], u), dense
+  // Block partition of each column (0 = B_⊥) and, per block, how many
+  // unplaced non-writers still have to observe it. A write to locs[i] is
+  // only placeable when the current block is drained: once cur[i] moves
+  // on, an old block's writer never becomes current again, so any
+  // remaining observer of it would be permanently unplaceable — pruning
+  // such placements is sound, not heuristic.
+  std::vector<std::vector<std::uint32_t>> blk;  // blk[i][u], dense
+  std::vector<std::vector<std::size_t>> pending;  // pending[i][block]
+  std::vector<std::uint32_t> cur_blk;             // block of cur[i]
   std::vector<std::size_t> indeg;
   DynBitset placed;
   std::vector<NodeId> cur;  // current last writer per active location
@@ -34,6 +46,32 @@ struct ScSearch {
     for (const Location l : locs) max_loc = std::max(max_loc, l);
     loc_index.assign(locs.empty() ? 0 : max_loc + 1, SIZE_MAX);
     for (std::size_t i = 0; i < locs.size(); ++i) loc_index[locs[i]] = i;
+    // Dense Φ columns: placeable() probes Φ for every active location of
+    // every ready candidate at every expansion, so the per-call column
+    // search inside ObserverFunction::get would dominate the search.
+    col.resize(locs.size());
+    blk.resize(locs.size());
+    pending.resize(locs.size());
+    cur_blk.assign(locs.size(), 0);
+    for (std::size_t i = 0; i < locs.size(); ++i) {
+      col[i].resize(c.node_count());
+      blk[i].resize(c.node_count());
+      std::unordered_map<NodeId, std::uint32_t> block_of_writer;
+      for (NodeId u = 0; u < c.node_count(); ++u) {
+        const NodeId x = phi.get(locs[i], u);
+        col[i][u] = x;
+        blk[i][u] =
+            x == kBottom
+                ? 0
+                : block_of_writer
+                      .try_emplace(x, static_cast<std::uint32_t>(
+                                          block_of_writer.size() + 1))
+                      .first->second;
+      }
+      pending[i].assign(block_of_writer.size() + 1, 0);
+      for (NodeId u = 0; u < c.node_count(); ++u)
+        if (!c.op(u).writes(locs[i])) ++pending[i][blk[i][u]];
+    }
     indeg.resize(c.node_count());
     for (NodeId u = 0; u < c.node_count(); ++u)
       indeg[u] = c.dag().pred(u).size();
@@ -62,9 +100,14 @@ struct ScSearch {
     if (placed.test(u) || indeg[u] != 0) return false;
     const Op o = c.op(u);
     for (std::size_t i = 0; i < locs.size(); ++i) {
-      const Location l = locs[i];
-      if (o.writes(l)) continue;  // a write is its own last writer
-      if (phi.get(l, u) != cur[i]) return false;
+      if (o.writes(locs[i])) continue;  // a write is its own last writer
+      if (col[i][u] != cur[i]) return false;
+    }
+    if (o.is_write() && o.loc < loc_index.size() &&
+        loc_index[o.loc] != SIZE_MAX) {
+      // Don't retire a block that still has unplaced observers.
+      const std::size_t i = loc_index[o.loc];
+      if (pending[i][cur_blk[i]] != 0) return false;
     }
     return true;
   }
@@ -89,16 +132,26 @@ struct ScSearch {
       order.push_back(u);
       const Op o = c.op(u);
       NodeId saved_cur = kBottom;
+      std::uint32_t saved_cur_blk = 0;
       std::size_t li = SIZE_MAX;
       if (o.is_write() && o.loc < loc_index.size() &&
           loc_index[o.loc] != SIZE_MAX) {
         li = loc_index[o.loc];
         saved_cur = cur[li];
         cur[li] = u;
+        saved_cur_blk = cur_blk[li];
+        cur_blk[li] = blk[li][u];  // a writer's block is its own
       }
+      for (std::size_t i = 0; i < locs.size(); ++i)
+        if (!o.writes(locs[i])) --pending[i][blk[i][u]];
       const SearchStatus s = run();
       // Undo.
-      if (li != SIZE_MAX) cur[li] = saved_cur;
+      for (std::size_t i = 0; i < locs.size(); ++i)
+        if (!o.writes(locs[i])) ++pending[i][blk[i][u]];
+      if (li != SIZE_MAX) {
+        cur[li] = saved_cur;
+        cur_blk[li] = saved_cur_blk;
+      }
       order.pop_back();
       for (const NodeId v : c.dag().succ(u)) ++indeg[v];
       indeg[u] = saved_indeg;
@@ -115,24 +168,33 @@ struct ScSearch {
 
 }  // namespace
 
-ScResult sc_check_with(const Computation& c, const ObserverFunction& phi,
-                       const ScOptions& options) {
+namespace {
+
+ScResult sc_search_validated(const Computation& c, const ObserverFunction& phi,
+                             const ScOptions& options) {
   ScResult result;
-  if (!is_valid_observer(c, phi)) {
-    result.status = SearchStatus::kNo;
-    return result;
-  }
-  // SC ⊆ LC and the LC test is linear: a cheap complete rejection filter.
-  if (options.lc_prefilter && !location_consistent(c, phi)) {
-    result.status = SearchStatus::kNo;
-    return result;
-  }
   ScSearch search(c, phi, options.budget, options.memoize_dead_states);
   result.status = search.run();
   result.expanded = search.expanded;
   if (result.status == SearchStatus::kYes)
     result.witness = std::move(search.witness);
   return result;
+}
+
+}  // namespace
+
+ScResult sc_check_with(const Computation& c, const ObserverFunction& phi,
+                       const ScOptions& options) {
+  if (!is_valid_observer(c, phi)) return {};
+  // SC ⊆ LC and the LC test is linear: a cheap complete rejection filter.
+  if (options.lc_prefilter && !location_consistent(c, phi)) return {};
+  return sc_search_validated(c, phi, options);
+}
+
+ScResult sc_check_prepared(const PreparedPair& p, const ScOptions& options) {
+  if (!p.valid()) return {};
+  if (options.lc_prefilter && !location_consistent_prepared(p)) return {};
+  return sc_search_validated(p.computation(), p.observer(), options);
 }
 
 ScResult sc_check(const Computation& c, const ObserverFunction& phi,

@@ -48,6 +48,11 @@ struct ScOptions {
                                      const ObserverFunction& phi,
                                      const ScOptions& options);
 
+/// Same answer on a PreparedPair: skips re-validation and runs the LC
+/// prefilter on the pair's Φ⁻¹ block partition.
+[[nodiscard]] ScResult sc_check_prepared(const PreparedPair& p,
+                                         const ScOptions& options = {});
+
 [[nodiscard]] inline bool sequentially_consistent(const Computation& c,
                                                   const ObserverFunction& phi) {
   return sc_check(c, phi).status == SearchStatus::kYes;
@@ -59,6 +64,12 @@ class SequentialConsistencyModel final : public MemoryModel {
   [[nodiscard]] bool contains(const Computation& c,
                               const ObserverFunction& phi) const override {
     const auto r = sc_check(c, phi);
+    CCMM_CHECK(r.status != SearchStatus::kExhausted,
+               "SC search budget exhausted");
+    return r.status == SearchStatus::kYes;
+  }
+  [[nodiscard]] bool contains_prepared(const PreparedPair& p) const override {
+    const auto r = sc_check_prepared(p);
     CCMM_CHECK(r.status != SearchStatus::kExhausted,
                "SC search budget exhausted");
     return r.status == SearchStatus::kYes;

@@ -1,0 +1,65 @@
+// ccmm/models/suite.hpp
+//
+// ModelSuite: classify one prepared (C, Φ) pair against the whole model
+// family in a single call, returning a membership bitmask instead of
+// running eight independent contains() calls. The strength lattice
+// (Theorem 21 and SC ⊆ LC ⊆ NN ⊆ NW, WN ⊆ WW; NN⁺ ⊆ NN, WN⁺ ⊆ WN)
+// licenses short-circuiting: a pair outside WW is outside everything,
+// NN need only run when both NW and WN admitted the pair, LC only when
+// NN did, and the NP-hard SC search only when the linear LC test passed
+// (exactly the prefilter ScOptions already exploits — the suite then
+// disables the redundant in-search LC re-check). Pruning is
+// answer-preserving; tests/test_prepared pins the ablation.
+#pragma once
+
+#include <cstdint>
+
+#include "models/qdag.hpp"
+#include "models/sequential_consistency.hpp"
+
+namespace ccmm {
+
+/// Membership bits returned by ModelSuite::classify.
+enum SuiteBit : std::uint32_t {
+  kSuiteSC = 1u << 0,
+  kSuiteLC = 1u << 1,
+  kSuiteNN = 1u << 2,
+  kSuiteNW = 1u << 3,
+  kSuiteWN = 1u << 4,
+  kSuiteWW = 1u << 5,
+  kSuiteWNPlus = 1u << 6,
+  kSuiteNNPlus = 1u << 7,
+};
+
+struct SuiteOptions {
+  /// Budget for the SC backtracking search (states expanded).
+  std::size_t sc_budget = SIZE_MAX;
+  /// Lattice pruning; off = run every checker independently (ablation).
+  bool short_circuit = true;
+  /// Run the NP-hard SC membership search at all.
+  bool include_sc = true;
+  /// Classify the freshness-strengthened WN⁺/NN⁺ as well.
+  bool include_plus = true;
+};
+
+class ModelSuite {
+ public:
+  /// Membership bitmask of `p` over the suite. Equals the OR of the
+  /// individual models' contains() answers (pinned by tests). If the SC
+  /// search exhausts `sc_budget`, the SC bit is left unset and
+  /// *sc_exhausted (when non-null) is set to true.
+  [[nodiscard]] static std::uint32_t classify(const PreparedPair& p,
+                                              const SuiteOptions& opt = {},
+                                              bool* sc_exhausted = nullptr);
+
+  /// Convenience overload: prepares (c, phi) with a per-thread context.
+  [[nodiscard]] static std::uint32_t classify(const Computation& c,
+                                              const ObserverFunction& phi,
+                                              const SuiteOptions& opt = {},
+                                              bool* sc_exhausted = nullptr);
+
+  /// "SC" for kSuiteSC etc.; "?" for a non-bit.
+  [[nodiscard]] static const char* bit_name(std::uint32_t bit);
+};
+
+}  // namespace ccmm

@@ -24,9 +24,17 @@ namespace ccmm {
 [[nodiscard]] bool observer_is_fresh(const Computation& c,
                                      const ObserverFunction& phi);
 
+/// Freshness on a PreparedPair: same answer, but the writer-shadow union
+/// reuses the context's scratch bitset instead of allocating per location.
+[[nodiscard]] bool observer_is_fresh_prepared(const PreparedPair& p);
+
 /// Membership in WN⁺ = WN ∩ freshness.
 [[nodiscard]] bool wn_plus_consistent(const Computation& c,
                                       const ObserverFunction& phi);
+[[nodiscard]] bool wn_plus_consistent_prepared(const PreparedPair& p);
+
+/// Membership in NN⁺ = NN ∩ freshness.
+[[nodiscard]] bool nn_plus_consistent_prepared(const PreparedPair& p);
 
 class WnPlusModel final : public MemoryModel {
  public:
@@ -34,6 +42,9 @@ class WnPlusModel final : public MemoryModel {
   [[nodiscard]] bool contains(const Computation& c,
                               const ObserverFunction& phi) const override {
     return wn_plus_consistent(c, phi);
+  }
+  [[nodiscard]] bool contains_prepared(const PreparedPair& p) const override {
+    return wn_plus_consistent_prepared(p);
   }
 
   [[nodiscard]] static std::shared_ptr<const WnPlusModel> instance();
@@ -46,6 +57,9 @@ class NnPlusModel final : public MemoryModel {
   [[nodiscard]] bool contains(const Computation& c,
                               const ObserverFunction& phi) const override {
     return observer_is_fresh(c, phi) && qdag_consistent(c, phi, DagPred::kNN);
+  }
+  [[nodiscard]] bool contains_prepared(const PreparedPair& p) const override {
+    return nn_plus_consistent_prepared(p);
   }
 
   [[nodiscard]] static std::shared_ptr<const NnPlusModel> instance();

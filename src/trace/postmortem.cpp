@@ -9,13 +9,16 @@ PostmortemReport verify_execution(const Computation& c,
                                   const ObserverFunction& phi,
                                   const MemoryModel& model) {
   PostmortemReport report;
-  const ValidityResult validity = validate_observer(c, phi);
-  report.valid_observer = validity.ok;
-  if (!validity.ok) {
-    report.detail = "invalid observer function: " + validity.reason;
+  // One preparation serves both the validity report and the membership
+  // check (the model no longer re-validates internally).
+  CheckContext ctx;
+  const PreparedPair p = ctx.prepare(c, phi);
+  report.valid_observer = p.valid();
+  if (!p.valid()) {
+    report.detail = "invalid observer function: " + p.validity().reason;
     return report;
   }
-  report.in_model = model.contains(c, phi);
+  report.in_model = model.contains_prepared(p);
   report.detail = report.in_model
                       ? format("execution is %s", model.name().c_str())
                       : format("execution violates %s", model.name().c_str());
@@ -88,11 +91,12 @@ CompletionResult find_model_completion(const Computation& c,
 
   std::vector<std::size_t> odometer(slots.size(), 0);
   ObserverFunction phi = base;
+  CheckContext ctx;  // candidates share c: reuse one context's arenas
   for (;;) {
     for (std::size_t i = 0; i < slots.size(); ++i)
       phi.set(slots[i].loc, slots[i].node, slots[i].choices[odometer[i]]);
     ++result.tried;
-    if (model.contains(c, phi)) {
+    if (model.contains_prepared(ctx.prepare(c, phi))) {
       result.completion = phi;
       return result;
     }

@@ -10,4 +10,12 @@ ShardedMemoCache<bool>& membership_cache() {
   return cache;
 }
 
+ShardedMemoCache<std::uint32_t>& classification_cache() {
+  // Classification sweeps are coarser-grained than single-model
+  // membership (one entry answers up to eight models), so a smaller
+  // cache suffices.
+  static ShardedMemoCache<std::uint32_t> cache(16, 1u << 15);
+  return cache;
+}
+
 }  // namespace ccmm

@@ -109,4 +109,9 @@ class ShardedMemoCache {
 /// "model-name \x1e canonical-C \x1f transported-Φ".
 [[nodiscard]] ShardedMemoCache<bool>& membership_cache();
 
+/// The global classification-bitmask cache behind
+/// cached_classification() (enumerate/cached_model.hpp). One uint32_t
+/// mask per orbit replaces up to eight per-model membership entries.
+[[nodiscard]] ShardedMemoCache<std::uint32_t>& classification_cache();
+
 }  // namespace ccmm

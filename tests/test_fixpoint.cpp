@@ -234,6 +234,40 @@ TEST(Fixpoint, QuotientParallelMatchesSequentialQuotient) {
   EXPECT_EQ(labeled_image(seq, spec), labeled_image(par, spec));
 }
 
+TEST(Fixpoint, RestrictedEntriesArriveFrozen) {
+  // The parallel drivers assert this instead of calling ensure_closure()
+  // from worker threads: a dirty lazy closure on a shared dag is a data
+  // race (two tasks building desc_/anc_ concurrently).
+  const auto spec = thin_spec(3);
+  const BoundedModelSet labeled =
+      BoundedModelSet::restrict_model(*QDagModel::nn(), spec);
+  for (const auto& [key, e] : labeled.entries())
+    EXPECT_TRUE(e.c.dag().closure_frozen()) << key;
+  const BoundedModelSet quotient =
+      BoundedModelSet::restrict_model_quotient(*QDagModel::nn(), spec);
+  for (const auto& [key, e] : quotient.entries())
+    EXPECT_TRUE(e.c.dag().closure_frozen()) << key;
+}
+
+TEST(Fixpoint, QuotientParallelTwoLocationStress) {
+  // Exercised under TSan in CI: stage 1 stores shared extension
+  // computations that parallel stage-2 tasks read concurrently; their
+  // closures must be frozen before the fan-out.
+  UniverseSpec spec;
+  spec.max_nodes = 3;
+  spec.nlocations = 2;
+  spec.include_nop = false;
+  ThreadPool pool(8);
+  FixpointStats qstats, pstats;
+  const BoundedModelSet seq =
+      constructible_version_quotient(*QDagModel::nn(), spec, &qstats);
+  const BoundedModelSet par =
+      constructible_version_quotient_parallel(*QDagModel::nn(), spec, pool,
+                                              &pstats);
+  EXPECT_EQ(qstats.final_pairs, pstats.final_pairs);
+  EXPECT_EQ(labeled_image(seq, spec), labeled_image(par, spec));
+}
+
 TEST(Fixpoint, QuotientConstructibleModelIsItsOwnFixpoint) {
   const auto spec = thin_spec(4);
   FixpointStats stats;

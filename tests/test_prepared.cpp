@@ -1,0 +1,243 @@
+// The shared-preparation refactor, pinned three ways:
+//  * contains_prepared answers exactly like the legacy contains() for
+//    every model (six core checkers, WN+/NN+, predicate and
+//    intersection wrappers) over exhaustive small universes;
+//  * ModelSuite::classify equals eight independent membership calls,
+//    with lattice short-circuiting ON and OFF (the ablation);
+//  * the PreparedPair block partition indexes Φ⁻¹ correctly, and
+//    cached_classification memoizes the suite bitmask per orbit.
+#include "core/prepared.hpp"
+
+#include <gtest/gtest.h>
+
+#include "enumerate/cached_model.hpp"
+#include "enumerate/universe.hpp"
+#include "models/wn_plus.hpp"
+#include "helpers.hpp"
+#include "util/memo_cache.hpp"
+
+namespace ccmm {
+namespace {
+
+struct Row {
+  const char* label;
+  std::shared_ptr<const MemoryModel> model;
+};
+
+std::vector<Row> all_models() {
+  const auto nw = QDagModel::nw();
+  const auto wn = QDagModel::wn();
+  std::vector<Row> rows = {
+      {"SC", SequentialConsistencyModel::instance()},
+      {"LC", LocationConsistencyModel::instance()},
+      {"NN", QDagModel::nn()},
+      {"NW", nw},
+      {"WN", wn},
+      {"WW", QDagModel::ww()},
+      {"WN+", WnPlusModel::instance()},
+      {"NN+", NnPlusModel::instance()},
+      // Third-party idioms over the two-level API: a legacy predicate
+      // (exercises the prepared->legacy bridge), a prepared predicate
+      // (exercises the legacy->prepared bridge), and an intersection
+      // (one preparation must serve both operands).
+      {"pred-legacy",
+       std::make_shared<PredicateModel>(
+           "LC-as-pred", PredicateModel::Pred(
+                             [](const Computation& c,
+                                const ObserverFunction& phi) {
+                               return location_consistent(c, phi);
+                             }))},
+      {"pred-prepared",
+       std::make_shared<PredicateModel>(
+           "WN-as-pred", PredicateModel::PreparedPred(
+                             [](const PreparedPair& p) {
+                               return qdag_consistent_prepared(p,
+                                                               DagPred::kWN);
+                             }))},
+      {"NW∩WN", std::make_shared<IntersectionModel>(nw, wn)},
+  };
+  return rows;
+}
+
+void sweep_universe(const UniverseSpec& spec) {
+  const std::vector<Row> rows = all_models();
+  CheckContext ctx;
+  std::size_t pairs = 0;
+  for_each_pair(spec, [&](const Computation& c, const ObserverFunction& phi) {
+    const PreparedPair p = ctx.prepare(c, phi);
+    EXPECT_TRUE(p.valid());
+    for (const Row& row : rows) {
+      const bool legacy = row.model->contains(c, phi);
+      const bool prepared = row.model->contains_prepared(p);
+      EXPECT_EQ(legacy, prepared)
+          << row.label << " diverges on:\n"
+          << c.to_string() << phi.to_string();
+      if (legacy != prepared) return false;  // first divergence is enough
+    }
+    ++pairs;
+    return true;
+  });
+  EXPECT_EQ(pairs, pair_count(spec));
+  EXPECT_EQ(ctx.stats().prepared, pairs);
+}
+
+TEST(PreparedDifferential, FourNodesOneLocation) {
+  UniverseSpec spec;
+  spec.max_nodes = 4;
+  spec.nlocations = 1;
+  spec.include_nop = false;
+  sweep_universe(spec);
+}
+
+TEST(PreparedDifferential, ThreeNodesTwoLocations) {
+  UniverseSpec spec;
+  spec.max_nodes = 3;
+  spec.nlocations = 2;
+  sweep_universe(spec);
+}
+
+TEST(PreparedDifferential, InvalidObserversRejectedEverywhere) {
+  // A read observing a write it precedes (violates Condition 2.2).
+  Dag g1(2);
+  g1.add_edge(0, 1);
+  const Computation c1(g1, {Op::read(0), Op::write(0)});
+  ObserverFunction phi1(2);
+  phi1.set(0, 1, 1);
+  phi1.set(0, 0, 1);
+
+  // A writer observing another writer (violates Condition 2.3).
+  const Computation c2(Dag(2), {Op::write(0), Op::write(0)});
+  ObserverFunction phi2(2);
+  phi2.set(0, 0, 1);
+  phi2.set(0, 1, 1);
+
+  CheckContext ctx;
+  const std::pair<const Computation*, const ObserverFunction*> cases[] = {
+      {&c1, &phi1}, {&c2, &phi2}};
+  for (const auto& [c, phi] : cases) {
+    const PreparedPair p = ctx.prepare(*c, *phi);
+    EXPECT_FALSE(p.valid());
+    EXPECT_FALSE(p.validity().reason.empty());
+    EXPECT_EQ(p.validity().reason, validate_observer(*c, *phi).reason);
+    EXPECT_TRUE(p.locations().empty());
+    for (const Row& row : all_models()) {
+      EXPECT_FALSE(row.model->contains_prepared(p)) << row.label;
+      EXPECT_FALSE(row.model->contains(*c, *phi)) << row.label;
+    }
+    EXPECT_EQ(ModelSuite::classify(p), 0u);
+  }
+}
+
+TEST(PreparedPairStructure, BlockPartitionIndexesObserverInverse) {
+  UniverseSpec spec;
+  spec.max_nodes = 3;
+  spec.nlocations = 2;
+  CheckContext ctx;
+  for_each_pair(spec, [&](const Computation& c, const ObserverFunction& phi) {
+    const PreparedPair p = ctx.prepare(c, phi);
+    for (const auto& lp : p.locations()) {
+      EXPECT_EQ(lp.writers, c.writers(lp.loc));
+      EXPECT_EQ(lp.block_count(), lp.writers.size() + 1);
+      // Every node sits in exactly the block of its observed value.
+      for (NodeId u = 0; u < c.node_count(); ++u) {
+        const NodeId x = phi.get(lp.loc, u);
+        EXPECT_TRUE(lp.block_sets[lp.block_of[u]].test(u));
+        if (x == kBottom) {
+          EXPECT_EQ(lp.block_of[u], 0u);
+        } else {
+          EXPECT_EQ(lp.block_writer(lp.block_of[u]), x);
+          EXPECT_TRUE(lp.observers_of(x).test(u));
+        }
+      }
+    }
+    return true;
+  });
+}
+
+std::uint32_t classify_by_calls(const Computation& c,
+                                const ObserverFunction& phi) {
+  std::uint32_t mask = 0;
+  if (SequentialConsistencyModel::instance()->contains(c, phi))
+    mask |= kSuiteSC;
+  if (location_consistent(c, phi)) mask |= kSuiteLC;
+  if (qdag_consistent(c, phi, DagPred::kNN)) mask |= kSuiteNN;
+  if (qdag_consistent(c, phi, DagPred::kNW)) mask |= kSuiteNW;
+  if (qdag_consistent(c, phi, DagPred::kWN)) mask |= kSuiteWN;
+  if (qdag_consistent(c, phi, DagPred::kWW)) mask |= kSuiteWW;
+  if (wn_plus_consistent(c, phi)) mask |= kSuiteWNPlus;
+  if (observer_is_fresh(c, phi) && qdag_consistent(c, phi, DagPred::kNN))
+    mask |= kSuiteNNPlus;
+  return mask;
+}
+
+TEST(ModelSuiteClassify, EqualsIndependentCallsAndAblation) {
+  UniverseSpec spec;
+  spec.max_nodes = 4;
+  spec.nlocations = 1;
+  spec.include_nop = false;
+  CheckContext ctx;
+  SuiteOptions pruned;  // defaults: short_circuit on
+  SuiteOptions ablated;
+  ablated.short_circuit = false;
+  for_each_pair(spec, [&](const Computation& c, const ObserverFunction& phi) {
+    const std::uint32_t expect = classify_by_calls(c, phi);
+    const PreparedPair p = ctx.prepare(c, phi);
+    EXPECT_EQ(ModelSuite::classify(p, pruned), expect)
+        << c.to_string() << phi.to_string();
+    EXPECT_EQ(ModelSuite::classify(p, ablated), expect)
+        << "ablation diverges on:\n"
+        << c.to_string() << phi.to_string();
+    EXPECT_EQ(ModelSuite::classify(c, phi), expect);  // convenience overload
+    return true;
+  });
+}
+
+TEST(ModelSuiteClassify, RespectsIncludeFlags) {
+  const auto ex = test::lc_not_sc_pair();
+  CheckContext ctx;
+  const PreparedPair p = ctx.prepare(ex.c, ex.phi);
+  SuiteOptions no_sc;
+  no_sc.include_sc = false;
+  EXPECT_EQ(ModelSuite::classify(p, no_sc) & kSuiteSC, 0u);
+  SuiteOptions no_plus;
+  no_plus.include_plus = false;
+  EXPECT_EQ(ModelSuite::classify(p, no_plus) & (kSuiteWNPlus | kSuiteNNPlus),
+            0u);
+}
+
+TEST(CachedClassification, AgreesAndHits) {
+  UniverseSpec spec;
+  spec.max_nodes = 3;
+  spec.nlocations = 1;
+  spec.include_nop = false;
+  const auto before = classification_cache().stats();
+  std::size_t pairs = 0;
+  for_each_pair(spec, [&](const Computation& c, const ObserverFunction& phi) {
+    EXPECT_EQ(cached_classification(c, phi), ModelSuite::classify(c, phi));
+    ++pairs;
+    return true;
+  });
+  // Second pass answers entirely from the cache.
+  for_each_pair(spec, [&](const Computation& c, const ObserverFunction& phi) {
+    EXPECT_EQ(cached_classification(c, phi), ModelSuite::classify(c, phi));
+    return true;
+  });
+  const auto after = classification_cache().stats();
+  EXPECT_GE(after.hits - before.hits, pairs);  // the repeat pass at least
+  EXPECT_GT(after.insertions, before.insertions);
+}
+
+TEST(CheckContextScratch, ArenasAreReusedAndCleared) {
+  CheckContext ctx;
+  DynBitset& a = ctx.scratch_bits(64);
+  a.set(3);
+  DynBitset& b = ctx.scratch_bits(64);
+  EXPECT_FALSE(b.test(3));  // re-request clears
+  EXPECT_EQ(&a, &b);        // ... and reuses the same arena
+  auto& nodes = ctx.scratch_nodes();
+  nodes.push_back(7);
+  EXPECT_TRUE(ctx.scratch_nodes().empty());
+}
+
+}  // namespace
+}  // namespace ccmm

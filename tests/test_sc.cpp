@@ -96,11 +96,25 @@ TEST(SequentialConsistency, WitnessIsAlwaysAnExplainingSort) {
 }
 
 TEST(SequentialConsistency, BudgetExhaustionIsReported) {
-  // A wide racy computation with an adversarial Φ makes the search work;
-  // a budget of 1 must exhaust on any nontrivial instance.
-  const auto p = test::lc_not_sc_pair();
-  const auto r = sc_check(p.c, p.phi, 1);
+  // A member instance forces the search to actually place nodes, so a
+  // budget of 1 exhausts before the witness leaf. (Non-members can now
+  // die at the root without spending budget: the block-drain pruning may
+  // leave no placeable candidate at all.)
+  ComputationBuilder b;
+  const NodeId w = b.write(0);
+  b.read(0, {w});
+  const Computation c = std::move(b).build();
+  ObserverFunction phi(c.node_count());
+  phi.set(0, 0, w);
+  phi.set(0, 1, w);
+  const auto r = sc_check(c, phi, 1);
   EXPECT_EQ(r.status, SearchStatus::kExhausted);
+
+  // The same non-member instance that used to pin this test is now
+  // decided within the smallest budget — pruning reports a definitive
+  // answer, never a bogus one.
+  const auto p = test::lc_not_sc_pair();
+  EXPECT_EQ(sc_check(p.c, p.phi, 1).status, SearchStatus::kNo);
 }
 
 TEST(SequentialConsistency, ScIsStrongerThanLC) {

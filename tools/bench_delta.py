@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Diff two merged benchmark reports (tools/run_benches.sh output).
+
+Prints, for every benchmark name present in both files, the paired
+real-time ratio fresh/baseline, plus the quotient/prepared speedup rows
+side by side.  Intended as a NON-GATING CI step: noisy shared runners
+make hard thresholds flaky, so the default exit code is 0 regardless of
+the deltas; pass --gate RATIO to fail on regressions beyond RATIO (for
+local use on quiet machines).
+
+Usage: tools/bench_delta.py BASELINE.json FRESH.json [--gate 1.5]
+       [--only PREFIX]...
+"""
+import argparse
+import json
+import sys
+
+
+def load_times(report):
+    """name -> real_time in ns, across every bench binary's rows."""
+    out = {}
+    unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    for rows in report.get("benchmarks", {}).values():
+        for r in rows:
+            out[r["name"]] = r["real_time"] * unit_ns.get(
+                r.get("time_unit", "ns"), 1.0)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--gate", type=float, default=None,
+                    help="exit 1 if any paired ratio exceeds this")
+    ap.add_argument("--only", action="append", default=[],
+                    help="restrict to benchmark names with this prefix "
+                         "(repeatable)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        # Missing/corrupt baseline must not gate anything.
+        print(f"bench_delta: cannot compare ({e})", file=sys.stderr)
+        return 0
+
+    bt, ft = load_times(base), load_times(fresh)
+    names = sorted(set(bt) & set(ft))
+    if args.only:
+        names = [n for n in names
+                 if any(n.startswith(p) for p in args.only)]
+    if not names:
+        print("bench_delta: no common benchmark names to compare")
+        return 0
+
+    print(f"{'benchmark':58s} {'baseline':>12s} {'fresh':>12s} {'ratio':>7s}")
+    worst = 0.0
+    for n in names:
+        if bt[n] <= 0:
+            continue
+        ratio = ft[n] / bt[n]
+        worst = max(worst, ratio)
+        flag = "  <-- regression" if ratio > 1.25 else ""
+        print(f"{n:58s} {bt[n] / 1e6:10.3f}ms {ft[n] / 1e6:10.3f}ms "
+              f"{ratio:6.2f}x{flag}")
+
+    for key in ("quotient_speedup", "prepared_speedup"):
+        rows_b = {(r.get("labeled") or r.get("legacy")): r
+                  for r in base.get(key, [])}
+        rows_f = {(r.get("labeled") or r.get("legacy")): r
+                  for r in fresh.get(key, [])}
+        common = sorted(set(rows_b) & set(rows_f))
+        if not common:
+            continue
+        print(f"\n{key} (speedup baseline -> fresh):")
+        for n in common:
+            print(f"  {n:56s} {rows_b[n]['speedup']:6.2f}x -> "
+                  f"{rows_f[n]['speedup']:6.2f}x")
+
+    if args.gate is not None and worst > args.gate:
+        print(f"\nbench_delta: worst ratio {worst:.2f}x exceeds gate "
+              f"{args.gate:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Run the benchmark suite and merge everything into BENCH_ccmm.json.
 #
-# Covers the four microbenchmark binaries (bench_construct,
-# bench_enumeration, bench_sc_search, bench_race) via google-benchmark's
-# JSON reporter, plus the two experiment reproducers that export
-# quotient-engine metrics (thm_verification, fig4_nonconstructibility)
-# via CCMM_EXPERIMENT_JSON.  The merged file records, for every
-# labeled/quotient benchmark pair, the wall-clock speedup of the
-# isomorphism-quotient engine.
+# Covers the microbenchmark binaries (bench_construct,
+# bench_enumeration, bench_sc_search, bench_race, bench_checkers) via
+# google-benchmark's JSON reporter, plus the two experiment reproducers
+# that export quotient-engine metrics (thm_verification,
+# fig4_nonconstructibility) via CCMM_EXPERIMENT_JSON.  The merged file
+# records, for every labeled/quotient benchmark pair, the wall-clock
+# speedup of the isomorphism-quotient engine; for every legacy/prepared
+# pair, the speedup of the shared-preparation classification path; and
+# the global memo-cache counters exported by the experiments.
 #
 # Usage: tools/run_benches.sh [--quick] [--build-dir DIR] [--out FILE]
 #   --quick      CI smoke budget: tiny min_time and the expensive args
@@ -53,7 +55,8 @@ run_bench() {  # run_bench <binary> <out.json> [filter]
   "$bin" "${args[@]}"
 }
 
-benches=(bench_construct bench_enumeration bench_sc_search bench_race)
+benches=(bench_construct bench_enumeration bench_sc_search bench_race
+         bench_checkers)
 for b in "${benches[@]}"; do
   bin="$build_dir/bench/$b"
   if [[ ! -x $bin ]]; then
@@ -62,12 +65,15 @@ for b in "${benches[@]}"; do
   fi
   echo "== $b =="
   if [[ $mode == full && $b == bench_construct ]]; then
-    # The minute-scale /6 fixpoint universes go in a separate process:
+    # The minute-scale /6 fixpoint universes go in separate processes:
     # the first allocation-heavy iteration right after them reads ~100x
     # slow (page reclaim after the gfp frees gigabytes), which would
-    # poison whatever cheap benchmark happens to be measured next.
+    # poison whatever cheap benchmark happens to be measured next —
+    # including the quotient/6 run if it shared a process with the
+    # sequential/6 one.
     run_bench "$bin" "$tmp/$b.json" '-(.*/6$)'
-    run_bench "$bin" "$tmp/$b.part2.json" '.*/6$'
+    run_bench "$bin" "$tmp/$b.part2.json" 'BM_FixpointSequential/6$'
+    run_bench "$bin" "$tmp/$b.part3.json" 'BM_FixpointQuotient/6$'
   else
     run_bench "$bin" "$tmp/$b.json" "$filter"
   fi
@@ -89,7 +95,7 @@ import json, sys
 
 tmp, out_file, mode = sys.argv[1], sys.argv[2], sys.argv[3]
 benches = ["bench_construct", "bench_enumeration", "bench_sc_search",
-           "bench_race"]
+           "bench_race", "bench_checkers"]
 experiments = ["thm_verification", "fig4_nonconstructibility"]
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -99,17 +105,18 @@ def load(path):
         return json.load(f)
 
 merged = {"generated_by": "tools/run_benches.sh", "mode": mode,
-          "benchmarks": {}, "experiments": {}, "quotient_speedup": []}
+          "benchmarks": {}, "experiments": {}, "quotient_speedup": [],
+          "prepared_speedup": [], "cache_counters": {}}
 
 by_name = {}
 for b in benches:
     raw = load(f"{tmp}/{b}.json")
-    part2 = f"{tmp}/{b}.part2.json"
-    try:
-        raw["benchmarks"] = raw.get("benchmarks", []) + \
-            load(part2).get("benchmarks", [])
-    except FileNotFoundError:
-        pass
+    for part in ("part2", "part3"):
+        try:
+            raw["benchmarks"] = raw.get("benchmarks", []) + \
+                load(f"{tmp}/{b}.{part}.json").get("benchmarks", [])
+        except FileNotFoundError:
+            pass
     rows = []
     for r in raw.get("benchmarks", []):
         if r.get("run_type") == "aggregate":
@@ -143,19 +150,38 @@ PAIRS = [
     ("BM_WitnessSearchNN", "BM_WitnessSearchNNQuotient"),
     ("BM_CanonicalEncoding", "BM_CanonicalFormRefined"),
 ]
-for labeled, quotient in PAIRS:
-    for name, ns in sorted(by_name.items()):
-        if not name.startswith(labeled + "/"):
-            continue
-        arg = name[len(labeled):]
-        qname = quotient + arg
-        if qname not in by_name or by_name[qname] == 0:
-            continue
-        merged["quotient_speedup"].append({
-            "labeled": name, "quotient": qname,
-            "labeled_ms": ns / 1e6, "quotient_ms": by_name[qname] / 1e6,
-            "speedup": ns / by_name[qname],
-        })
+def pair_rows(pairs, out, base_key, new_key):
+    for base, new in pairs:
+        for name, ns in sorted(by_name.items()):
+            if not name.startswith(base + "/"):
+                continue
+            arg = name[len(base):]
+            qname = new + arg
+            if qname not in by_name or by_name[qname] == 0:
+                continue
+            out.append({
+                base_key: name, new_key: qname,
+                base_key + "_ms": ns / 1e6,
+                new_key + "_ms": by_name[qname] / 1e6,
+                "speedup": ns / by_name[qname],
+            })
+
+pair_rows(PAIRS, merged["quotient_speedup"], "labeled", "quotient")
+
+# Six-independent-checkers baseline -> shared-preparation ModelSuite.
+PREPARED_PAIRS = [
+    ("BM_ClassifyAllSixLegacy", "BM_ClassifyAllSixPrepared"),
+]
+pair_rows(PREPARED_PAIRS, merged["prepared_speedup"], "legacy", "prepared")
+
+# Surface the memo-cache counters the experiments export (full JSON is
+# under "experiments"; this is the at-a-glance copy).
+for e in experiments:
+    counters = {m["name"]: m["value"]
+                for m in merged["experiments"][e].get("metrics", [])
+                if "_cache_" in m["name"]}
+    if counters:
+        merged["cache_counters"][e] = counters
 
 with open(out_file, "w") as f:
     json.dump(merged, f, indent=2, sort_keys=False)
@@ -164,5 +190,8 @@ with open(out_file, "w") as f:
 print(f"wrote {out_file}")
 for row in merged["quotient_speedup"]:
     print(f"  {row['labeled']:45s} -> {row['quotient']:50s} "
+          f"{row['speedup']:.2f}x")
+for row in merged["prepared_speedup"]:
+    print(f"  {row['legacy']:45s} -> {row['prepared']:50s} "
           f"{row['speedup']:.2f}x")
 PY

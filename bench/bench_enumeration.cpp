@@ -2,6 +2,11 @@
 // every exhaustive verification in this repository.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <memory>
+#include <thread>
+
+#include "construct/fixpoint.hpp"
 #include "dag/generators.hpp"
 #include "enumerate/canonical.hpp"
 #include "enumerate/dag_enum.hpp"
@@ -133,6 +138,34 @@ void BM_CanonicalForm(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(canonical_form(c).encoding);
 }
 BENCHMARK(BM_CanonicalForm)->Arg(8)->Arg(16);
+
+void BM_RestrictModelQuotientParallel(benchmark::State& state) {
+  // Parallel scaling of the pool-parallel quotient enumeration: arg 1 is
+  // the worker count (0 = sequential path, no pool). Dag-class shards
+  // fan out over the pool; per-thread results merge at the end.
+  UniverseSpec spec;
+  spec.max_nodes = static_cast<std::size_t>(state.range(0));
+  spec.nlocations = 1;
+  spec.include_nop = false;
+  spec.max_writes_per_location = 2;
+  const auto nthreads = static_cast<std::size_t>(state.range(1));
+  std::unique_ptr<ThreadPool> pool;
+  if (nthreads > 0) pool = std::make_unique<ThreadPool>(nthreads);
+  for (auto _ : state) {
+    const auto set = BoundedModelSet::restrict_model_quotient(
+        *QDagModel::nn(), spec, pool.get());
+    benchmark::DoNotOptimize(set.live_count());
+    state.counters["entries"] = static_cast<double>(set.entries().size());
+  }
+}
+BENCHMARK(BM_RestrictModelQuotientParallel)
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({5, 2})
+    ->Args({5, std::max(4L, static_cast<long>(
+                            std::thread::hardware_concurrency()))})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace ccmm

@@ -8,6 +8,9 @@
 //  * If fixpoint ⊋ LC, the gap either is real or shrinks with horizon —
 //    the ladder shows the trend, and surviving non-LC pairs are printed
 //    as candidate separators.
+#include <cstdlib>
+#include <cstring>
+
 #include "construct/fixpoint.hpp"
 #include "experiment_common.hpp"
 #include "models/location_consistency.hpp"
@@ -93,6 +96,45 @@ int run() {
       }
     }
   }
+  // Horizon-7 probe, opt-in via CCMM_PROBE_N7=1: the quotient worklist
+  // engine is the first driver that brings n=7 into budget (the labeled
+  // Jacobi engine was hour-scale there). Decides sizes <= 6.
+  if (std::getenv("CCMM_PROBE_N7") != nullptr) {
+    h.section("horizon-7 quotient probe (CCMM_PROBE_N7)");
+    for (const Probe& probe : probes) {
+      if (std::strcmp(probe.name, "NW") != 0 &&
+          std::strcmp(probe.name, "WN") != 0)
+        continue;  // the open problem proper; the + variants re-run free
+      UniverseSpec spec;
+      spec.max_nodes = 7;
+      spec.nlocations = 1;
+      spec.include_nop = false;
+      spec.max_writes_per_location = 2;
+      FixpointStats stats;
+      const BoundedModelSet star =
+          constructible_version_quotient(*probe.model, spec, &stats);
+      h.note(format("%s, horizon 7: %zu pairs, %zu pruned, %zu rounds, "
+                    "%zu support edges, %zu repairs, worklist peak %zu",
+                    probe.name, stats.initial_pairs, stats.pruned,
+                    stats.rounds, stats.support_edges, stats.repairs,
+                    stats.worklist_peak));
+      const auto cmp = compare_with_model(star, *lc);
+      bool all_equal = true;
+      for (const auto& row : cmp) {
+        if (row.size >= 7) continue;
+        if (!row.equal) all_equal = false;
+        t.add_row({probe.name, "7", format("%zu", row.size),
+                   format("%zu", row.fixpoint_pairs),
+                   format("%zu", row.reference_pairs),
+                   format("%zu", row.fixpoint_pairs - row.reference_pairs)});
+      }
+      h.note(all_equal
+                 ? format("[decided] %s* = LC for all sizes < 7", probe.name)
+                 : format("[open]    %s* properly contains LC below 7",
+                          probe.name));
+    }
+  }
+
   h.note(t.render());
   return h.finish();
 }

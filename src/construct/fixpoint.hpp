@@ -11,8 +11,10 @@
 // fixpoint collapses onto LC, equality holds on the bounded universe.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/memory_model.hpp"
 #include "enumerate/universe.hpp"
@@ -43,14 +45,20 @@ class BoundedModelSet {
     std::uint64_t multiplicity = 1;
   };
 
-  /// Materialize model ∩ universe(spec).
+  /// Materialize model ∩ universe(spec). Member observers come from
+  /// model.for_each_member_observer, so models with a pruned enumerator
+  /// (the Q-dag family) skip the generate-and-test bulk.
   static BoundedModelSet restrict_model(const MemoryModel& model,
                                         const UniverseSpec& spec);
 
   /// Materialize the isomorphism quotient of model ∩ universe(spec):
-  /// one entry per class, orbit multiplicities attached.
+  /// one entry per class, orbit multiplicities attached. With a pool,
+  /// the per-labeling canonicalization and membership checks fan out
+  /// across dag-class shards (classes never cross shards, so the merge
+  /// is collision-free); the entry set is identical either way.
   static BoundedModelSet restrict_model_quotient(const MemoryModel& model,
-                                                 const UniverseSpec& spec);
+                                                 const UniverseSpec& spec,
+                                                 ThreadPool* pool = nullptr);
 
   [[nodiscard]] const UniverseSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] bool quotient() const noexcept { return quotient_; }
@@ -89,11 +97,49 @@ class BoundedModelSet {
   std::unordered_map<std::string, Entry> entries_;
 };
 
+/// Schedule knobs shared by the four fixpoint drivers. Every setting
+/// converges to the same greatest fixpoint (kills are monotone, so the
+/// gfp is kill-schedule-independent — see DESIGN.md); the knobs only
+/// trade work for bookkeeping.
+struct FixpointOptions {
+  /// true (default): the semi-naive worklist engine — one full judging
+  /// pass records a support edge per (pair, extension) constraint, then
+  /// only the dependents of killed pairs are re-judged, repairing their
+  /// support from another live answer before killing them. false: the
+  /// legacy Jacobi schedule (every round re-judges every live pair).
+  bool worklist = true;
+  /// Judge one representative per ancestor-closure class of one-node
+  /// extensions instead of all |alphabet| * 2^|V| of them. Sound
+  /// because gfp liveness depends only on the transitive closure (see
+  /// DESIGN.md); the differential tests pin worklist+dedupe against
+  /// Jacobi+no-dedupe byte for byte.
+  bool dedupe_extensions = true;
+  /// Nonzero: shuffle each kill-propagation wave with this seed before
+  /// processing (kill-order-independence test hook). Worklist only.
+  std::uint64_t scramble_seed = 0;
+};
+
 struct FixpointStats {
   std::size_t initial_pairs = 0;
   std::size_t final_pairs = 0;
   std::size_t rounds = 0;
   std::size_t pruned = 0;
+  /// Support edges registered in the reverse dependency index over the
+  /// whole run (initial pass + repairs). Constraints answered by a
+  /// boundary pair need no edge (boundary pairs never die) and are not
+  /// counted. Zero under the Jacobi schedule.
+  std::size_t support_edges = 0;
+  /// Re-judged constraints that found another live answer (and so did
+  /// not propagate the kill). Worklist only.
+  std::size_t repairs = 0;
+  /// Constraint re-judges triggered by kill propagation. Worklist only.
+  std::size_t rejudged_pairs = 0;
+  /// Largest kill-propagation wave. Worklist only.
+  std::size_t worklist_peak = 0;
+  /// Judging volume per round: entry [0] is the initial full pass (all
+  /// non-boundary pairs); later entries are live pairs scanned per
+  /// Jacobi round, or constraints re-judged per propagation wave.
+  std::vector<std::size_t> judged_pairs_per_round;
 };
 
 /// Compute the bounded greatest fixpoint described above, starting from
@@ -102,33 +148,46 @@ struct FixpointStats {
 [[nodiscard]] BoundedModelSet constructible_version(
     const MemoryModel& model, const UniverseSpec& spec,
     FixpointStats* stats = nullptr);
+[[nodiscard]] BoundedModelSet constructible_version(
+    const MemoryModel& model, const UniverseSpec& spec,
+    const FixpointOptions& options, FixpointStats* stats = nullptr);
 
-/// Pool-parallel variant using Jacobi rounds: each round evaluates every
-/// live pair against the *previous* round's liveness snapshot in
-/// parallel, then applies the kills serially. Converges to the same
-/// greatest fixpoint as the sequential (chaotic) iteration, possibly in
-/// a different number of rounds.
+/// Pool-parallel variant: the restriction's membership scan, the
+/// extension/answer resolution, and (Jacobi mode) the per-round judging
+/// fan out across the pool; kills apply serially. Converges to the same
+/// greatest fixpoint, possibly in a different number of rounds.
 [[nodiscard]] BoundedModelSet constructible_version_parallel(
     const MemoryModel& model, const UniverseSpec& spec, ThreadPool& pool,
     FixpointStats* stats = nullptr);
+[[nodiscard]] BoundedModelSet constructible_version_parallel(
+    const MemoryModel& model, const UniverseSpec& spec, ThreadPool& pool,
+    const FixpointOptions& options, FixpointStats* stats = nullptr);
 
 /// Quotient fixpoint: one representative per isomorphism class, one-node
-/// extension answers transported along the canonical relabelings. The
+/// extension answers transported along the canonical relabelings (in
+/// the worklist engine, support edges are likewise orbit-transported:
+/// they connect representative pairs through the relabeling maps). The
 /// greatest fixpoint is a union of orbits (answerability is
 /// isomorphism-invariant), so the result is the exact quotient of the
 /// labeled fixpoint: contains_pair / live_count / compare_with_model
 /// agree with constructible_version on every labeled query. Stats count
-/// labeled pairs (multiplicity-weighted); rounds follow the Jacobi
-/// schedule, so they may differ from the sequential labeled driver.
+/// labeled pairs (multiplicity-weighted); rounds may differ from the
+/// labeled driver.
 [[nodiscard]] BoundedModelSet constructible_version_quotient(
     const MemoryModel& model, const UniverseSpec& spec,
     FixpointStats* stats = nullptr);
+[[nodiscard]] BoundedModelSet constructible_version_quotient(
+    const MemoryModel& model, const UniverseSpec& spec,
+    const FixpointOptions& options, FixpointStats* stats = nullptr);
 
-/// Pool-parallel variant of the quotient fixpoint (same Jacobi rounds,
-/// judged in parallel).
+/// Pool-parallel variant of the quotient fixpoint (parallel restriction
+/// and resolution; kills apply serially).
 [[nodiscard]] BoundedModelSet constructible_version_quotient_parallel(
     const MemoryModel& model, const UniverseSpec& spec, ThreadPool& pool,
     FixpointStats* stats = nullptr);
+[[nodiscard]] BoundedModelSet constructible_version_quotient_parallel(
+    const MemoryModel& model, const UniverseSpec& spec, ThreadPool& pool,
+    const FixpointOptions& options, FixpointStats* stats = nullptr);
 
 /// Compare a fixpoint result with a reference model, per size class:
 /// returns for each n ≤ max_nodes the pair (live in fixpoint, member of

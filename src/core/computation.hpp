@@ -45,6 +45,18 @@ class Computation {
   /// original computation is a prefix of the result.
   NodeId add_node(Op o, const std::vector<NodeId>& preds = {});
 
+  /// Replace the op labels in place, keeping the dag — and its cached
+  /// reachability closure, which op labels cannot affect. The label
+  /// count must match the dag. Bulk enumerators (one dag, many
+  /// labelings) use this to share a single dag copy and closure across
+  /// every labeling. Drops any SP annotation, like every mutation.
+  void set_ops(const std::vector<Op>& ops) {
+    CCMM_CHECK(ops.size() == dag_.node_count(),
+               "set_ops must keep one op per dag node");
+    ops_ = ops;  // copy-assign reuses the existing capacity
+    sp_ = nullptr;
+  }
+
   /// Locations written (resp. read) somewhere in the computation, sorted.
   [[nodiscard]] std::vector<Location> written_locations() const;
   [[nodiscard]] std::vector<Location> accessed_locations() const;

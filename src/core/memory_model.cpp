@@ -1,5 +1,8 @@
 #include "core/memory_model.hpp"
 
+#include <utility>
+#include <vector>
+
 #include "core/last_writer.hpp"
 
 namespace ccmm {
@@ -19,6 +22,51 @@ std::optional<ObserverFunction> MemoryModel::any_observer(
   ObserverFunction phi = last_writer(c, c.dag().topological_order());
   if (contains(c, phi)) return phi;
   return std::nullopt;
+}
+
+bool MemoryModel::for_each_member_observer(
+    const Computation& c,
+    const std::function<bool(const ObserverFunction&)>& visit) const {
+  // Generate-and-test fallback: walk every valid observer function
+  // (Definition 2) and filter through contains_prepared. The choice
+  // structure mirrors enumerate/observer_enum.cpp — writes observe
+  // themselves (2.3), everything else picks ⊥ or a writer it does not
+  // precede (2.1 + 2.2) — duplicated here because core cannot depend on
+  // the enumeration layer. The observer passed to `visit` is reused
+  // across calls; copy it to keep it.
+  struct Slot {
+    Location loc;
+    NodeId node;
+    std::vector<NodeId> choices;
+  };
+  ObserverFunction phi(c.node_count());
+  std::vector<Slot> slots;
+  for (const Location l : c.written_locations()) {
+    const std::vector<NodeId> ws = c.writers(l);
+    for (NodeId u = 0; u < c.node_count(); ++u) {
+      if (c.op(u).writes(l)) {
+        phi.set(l, u, u);
+        continue;
+      }
+      Slot s{l, u, {kBottom}};
+      for (const NodeId w : ws)
+        if (!c.precedes(u, w)) s.choices.push_back(w);
+      slots.push_back(std::move(s));
+    }
+  }
+  std::vector<std::size_t> odometer(slots.size(), 0);
+  for (;;) {
+    for (std::size_t i = 0; i < slots.size(); ++i)
+      phi.set(slots[i].loc, slots[i].node, slots[i].choices[odometer[i]]);
+    if (contains_prepared(prepare_pair(c, phi)) && !visit(phi)) return false;
+    std::size_t i = 0;
+    while (i < slots.size()) {
+      if (++odometer[i] < slots[i].choices.size()) break;
+      odometer[i] = 0;
+      ++i;
+    }
+    if (i == slots.size()) return true;
+  }
 }
 
 }  // namespace ccmm

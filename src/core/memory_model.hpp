@@ -52,6 +52,19 @@ class MemoryModel {
   /// works for every model weaker than sequential consistency.
   [[nodiscard]] virtual std::optional<ObserverFunction> any_observer(
       const Computation& c) const;
+
+  /// Third level of the membership API: enumerate every Φ with
+  /// (c, Φ) ∈ Δ. The universe-restriction layer (BoundedModelSet) is a
+  /// generate-and-test loop over all valid observers by default, but
+  /// models whose violations are detectable on prefixes (the Q-dag
+  /// family) override this with a pruned search that never materializes
+  /// the rejected bulk — the dominant cost of Δ* universe construction.
+  /// visit returns false to stop; returns true on full enumeration.
+  /// Implementations must visit each member exactly once; no order is
+  /// guaranteed and overrides may differ from the default's order.
+  virtual bool for_each_member_observer(
+      const Computation& c,
+      const std::function<bool(const ObserverFunction&)>& visit) const;
 };
 
 /// A model defined by an arbitrary predicate — the glue that lets the
@@ -105,6 +118,16 @@ class IntersectionModel final : public MemoryModel {
   }
   [[nodiscard]] bool contains_prepared(const PreparedPair& p) const override {
     return a_->contains_prepared(p) && b_->contains_prepared(p);
+  }
+  /// Enumerate through the left operand (which may have a pruned search)
+  /// and filter by the right one.
+  bool for_each_member_observer(
+      const Computation& c,
+      const std::function<bool(const ObserverFunction&)>& visit)
+      const override {
+    return a_->for_each_member_observer(c, [&](const ObserverFunction& phi) {
+      return !b_->contains(c, phi) || visit(phi);
+    });
   }
 
  private:

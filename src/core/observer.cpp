@@ -72,9 +72,11 @@ std::size_t ObserverFunction::hash() const {
 ObserverFunction ObserverFunction::restricted(std::size_t n) const {
   CCMM_CHECK(n <= n_, "restriction must shrink the domain");
   ObserverFunction out(n);
+  // Write the columns directly: per the contract, entries may keep
+  // referencing dropped writes (values >= n), which set() would reject.
   for (std::size_t i = 0; i < locs_.size(); ++i)
     for (NodeId u = 0; u < n; ++u)
-      if (cols_[i][u] != kBottom) out.set(locs_[i], u, cols_[i][u]);
+      if (cols_[i][u] != kBottom) out.column(locs_[i])[u] = cols_[i][u];
   return out;
 }
 

@@ -49,6 +49,19 @@ class ObserverFunction {
   /// Multi-line rendering "Φ(l, u) = v" for the active locations.
   [[nodiscard]] std::string to_string() const;
 
+  /// Read-only view of the internal storage, for hot paths that derive
+  /// encodings without materializing intermediate observers (the
+  /// fixpoint's pullback scan). stored_locations() is sorted and may
+  /// include all-⊥ columns (a superset of active_locations());
+  /// stored_column(i) is the dense value column of stored_locations()[i].
+  [[nodiscard]] const std::vector<Location>& stored_locations() const noexcept {
+    return locs_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& stored_column(
+      std::size_t i) const {
+    return cols_[i];
+  }
+
  private:
   [[nodiscard]] std::size_t column_index(Location l) const;  // SIZE_MAX if absent
   std::vector<NodeId>& column(Location l);

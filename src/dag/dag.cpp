@@ -11,7 +11,11 @@ Dag::Dag(std::size_t n, const std::vector<Edge>& edge_list) {
 }
 
 Dag::Dag(const Dag& o)
-    : succ_(o.succ_), pred_(o.pred_), nedges_(o.nedges_) {
+    : succ_(o.succ_),
+      pred_(o.pred_),
+      nedges_(o.nedges_),
+      edges_increase_(o.edges_increase_),
+      acyclic_known_(o.acyclic_known_) {
   if (o.closure_frozen()) {
     desc_ = o.desc_;
     anc_ = o.anc_;
@@ -23,6 +27,8 @@ Dag::Dag(Dag&& o) noexcept
     : succ_(std::move(o.succ_)),
       pred_(std::move(o.pred_)),
       nedges_(o.nedges_),
+      edges_increase_(o.edges_increase_),
+      acyclic_known_(o.acyclic_known_),
       desc_(std::move(o.desc_)),
       anc_(std::move(o.anc_)) {
   closure_valid_.store(o.closure_frozen(), std::memory_order_release);
@@ -34,6 +40,8 @@ Dag& Dag::operator=(const Dag& o) {
   succ_ = o.succ_;
   pred_ = o.pred_;
   nedges_ = o.nedges_;
+  edges_increase_ = o.edges_increase_;
+  acyclic_known_ = o.acyclic_known_;
   if (o.closure_frozen()) {
     desc_ = o.desc_;
     anc_ = o.anc_;
@@ -51,6 +59,8 @@ Dag& Dag::operator=(Dag&& o) noexcept {
   succ_ = std::move(o.succ_);
   pred_ = std::move(o.pred_);
   nedges_ = o.nedges_;
+  edges_increase_ = o.edges_increase_;
+  acyclic_known_ = o.acyclic_known_;
   desc_ = std::move(o.desc_);
   anc_ = std::move(o.anc_);
   closure_valid_.store(o.closure_frozen(), std::memory_order_release);
@@ -77,6 +87,8 @@ void Dag::add_edge(NodeId u, NodeId v) {
   succ_[u].push_back(v);
   pred_[v].push_back(u);
   ++nedges_;
+  if (u >= v) edges_increase_ = false;
+  acyclic_known_ = false;  // a new edge may close a cycle
   invalidate();
 }
 
@@ -95,6 +107,9 @@ std::vector<Edge> Dag::edges() const {
 }
 
 bool Dag::is_acyclic() const {
+  // Fast paths: id-upward edge sets are acyclic outright, and a
+  // positive Kahn verdict holds until the next add_edge.
+  if (edges_increase_ || acyclic_known_) return true;
   // Kahn's algorithm: all nodes drain iff acyclic.
   std::vector<std::size_t> indeg(node_count());
   for (NodeId u = 0; u < node_count(); ++u) indeg[u] = pred_[u].size();
@@ -109,7 +124,8 @@ bool Dag::is_acyclic() const {
     for (const NodeId v : succ_[u])
       if (--indeg[v] == 0) stack.push_back(v);
   }
-  return seen == node_count();
+  acyclic_known_ = seen == node_count();
+  return acyclic_known_;
 }
 
 void Dag::ensure_closure() const {

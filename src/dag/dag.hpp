@@ -68,7 +68,20 @@ class Dag {
 
   [[nodiscard]] std::vector<Edge> edges() const;
 
-  /// True iff the graph has no directed cycle.
+  /// True iff every edge goes id-upward (u < v), i.e. 0..n-1 is already
+  /// a topological order. Holds for everything the enumeration,
+  /// relabeling and extension paths build; lets callers skip topological
+  /// sorting entirely.
+  [[nodiscard]] bool ids_topological() const noexcept {
+    return edges_increase_;
+  }
+
+  /// True iff the graph has no directed cycle. O(1) for the common
+  /// cases: graphs whose edges all go id-upward (everything the
+  /// enumeration, relabeling and extension paths build) are acyclic by
+  /// construction, and a positive answer on any other graph is memoized
+  /// until the next add_edge. Only genuinely unsorted graphs (random
+  /// generators, parsed input) pay the Kahn scan, once.
   [[nodiscard]] bool is_acyclic() const;
 
   /// Strict precedence u ≺ v: a nonempty path from u to v. By the paper's
@@ -138,6 +151,13 @@ class Dag {
   std::vector<std::vector<NodeId>> succ_;
   std::vector<std::vector<NodeId>> pred_;
   std::size_t nedges_ = 0;
+
+  // Acyclicity bookkeeping for is_acyclic(): edges_increase_ tracks
+  // whether every edge so far goes id-upward (trivially acyclic);
+  // acyclic_known_ caches a positive Kahn result and is dropped on
+  // add_edge (a new edge can close a cycle).
+  bool edges_increase_ = true;
+  mutable bool acyclic_known_ = false;
 
   // Reachability cache (strict): desc_[u] bit v <=> u ≺ v. The flag is
   // atomic so a frozen dag can be probed from any thread; building the

@@ -25,8 +25,16 @@ std::uint64_t mul_sat(std::uint64_t a, std::uint64_t b) {
 /// color order double as a relabeling encode_computation accepts.
 std::vector<std::uint32_t> node_levels(const Computation& c) {
   std::vector<std::uint32_t> level(c.node_count(), 0);
-  for (const NodeId u : c.dag().topological_order())
-    for (const NodeId v : c.dag().succ(u))
+  const Dag& d = c.dag();
+  if (d.ids_topological()) {
+    // Ids already form a topological order: one ascending sweep.
+    for (NodeId u = 0; u < c.node_count(); ++u)
+      for (const NodeId v : d.succ(u))
+        level[v] = std::max(level[v], level[u] + 1);
+    return level;
+  }
+  for (const NodeId u : d.topological_order())
+    for (const NodeId v : d.succ(u))
       level[v] = std::max(level[v], level[u] + 1);
   return level;
 }
@@ -175,14 +183,35 @@ class ComponentCanonicalizer {
   void leaf(const ColorVec& color, std::uint64_t weight) {
     CCMM_CHECK(++leaves_ < (1u << 22),
                "canonical_form: pathological symmetry (leaf budget)");
-    std::vector<NodeId> map(n_);
-    for (NodeId u = 0; u < n_; ++u) map[u] = color[u];
-    std::string enc = encode_computation(apply_relabeling(c_, map));
-    if (!best_.has_value() || enc < *best_) {
-      best_ = std::move(enc);
-      best_map_ = std::move(map);
+    // Encode the relabeled computation directly into a scratch buffer —
+    // byte-for-byte what encode_computation(apply_relabeling(c_, color))
+    // would produce, without materializing the relabeled Computation.
+    enc_.assign(1 + 2 * n_ + (n_ * (n_ - 1) / 2 + 7) / 8, '\0');
+    enc_[0] = static_cast<char>(n_);
+    for (NodeId u = 0; u < n_; ++u) {
+      const Op o = c_.op(u);
+      enc_[1 + 2 * static_cast<std::size_t>(color[u])] =
+          static_cast<char>(o.kind);
+      enc_[2 + 2 * static_cast<std::size_t>(color[u])] =
+          static_cast<char>(o.loc & 0xff);
+    }
+    const std::size_t adj = 1 + 2 * n_;
+    for (NodeId u = 0; u < n_; ++u)
+      for (const NodeId v : c_.dag().succ(u)) {
+        const std::size_t i = color[u];
+        const std::size_t j = color[v];
+        CCMM_ASSERT(i < j);  // discrete level-respecting colorings only
+        // Bit index in the row-major i < j upper-triangle stream.
+        const std::size_t b = i * (n_ - 1) - i * (i - 1) / 2 + (j - i - 1);
+        enc_[adj + b / 8] = static_cast<char>(
+            static_cast<unsigned char>(enc_[adj + b / 8]) |
+            (1u << (7 - b % 8)));
+      }
+    if (!best_.has_value() || enc_ < *best_) {
+      best_ = enc_;
+      best_map_.assign(color.begin(), color.end());
       best_weight_ = weight;
-    } else if (enc == *best_) {
+    } else if (enc_ == *best_) {
       // A second minimal leaf differs from the first by an automorphism;
       // the weighted count of minimal leaves is exactly |Aut|.
       best_weight_ += weight;
@@ -196,6 +225,7 @@ class ComponentCanonicalizer {
   std::vector<NodeId> best_map_;
   std::uint64_t best_weight_ = 0;
   std::uint64_t leaves_ = 0;
+  std::string enc_;  // leaf() scratch encoding buffer
   // refine() scratch.
   std::vector<std::vector<std::uint32_t>> sig_;
   std::vector<NodeId> idx_;
@@ -251,24 +281,31 @@ CanonicalForm canonical_form(const Computation& c) {
     while (parent[u] != u) u = parent[u] = parent[parent[u]];
     return u;
   };
-  for (const auto& e : c.dag().edges()) parent[find(e.from)] = find(e.to);
+  for (NodeId u = 0; u < n; ++u)
+    for (const NodeId v : c.dag().succ(u)) parent[find(u)] = find(v);
 
-  std::unordered_map<NodeId, std::size_t> comp_of_root;
-  std::vector<std::vector<NodeId>> members;
-  for (NodeId u = 0; u < n; ++u) {
-    const NodeId r = find(u);
-    const auto [it, fresh] = comp_of_root.try_emplace(r, members.size());
-    if (fresh) members.emplace_back();
-    members[it->second].push_back(u);
-  }
-
-  if (members.size() == 1) {
+  std::size_t ncomps = 0;
+  for (NodeId u = 0; u < n; ++u) ncomps += find(u) == u ? 1 : 0;
+  if (ncomps == 1) {
     // Weakly connected: canonicalize in place, no induced copy.
     auto res = ComponentCanonicalizer(c).run();
     out.encoding = std::move(res.encoding);
     out.map = std::move(res.map);
     out.automorphisms = res.automorphisms;
     return out;
+  }
+
+  // Roots are dense node ids, so a flat vector indexes the components.
+  std::vector<std::size_t> comp_of_root(n, SIZE_MAX);
+  std::vector<std::vector<NodeId>> members;
+  members.reserve(ncomps);
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId r = find(u);
+    if (comp_of_root[r] == SIZE_MAX) {
+      comp_of_root[r] = members.size();
+      members.emplace_back();
+    }
+    members[comp_of_root[r]].push_back(u);
   }
 
   struct Comp {
@@ -350,37 +387,62 @@ std::uint64_t orbit_size(const Computation& c) {
   return e / cf.automorphisms;
 }
 
-bool for_each_computation_up_to_iso(
-    const UniverseSpec& spec,
-    const std::function<bool(const Computation&, std::uint64_t)>& visit) {
-  // Two-level dedup. Level 1 skips dags isomorphic to an earlier dag:
-  // every computation on a skipped dag is isomorphic to a computation on
-  // the retained representative (relabel the ops along the dag
-  // isomorphism), so no class is lost and the expensive per-labeling
-  // canonicalization runs on |dag classes| * |labelings| inputs instead
-  // of |dags| * |labelings|.
-  std::unordered_set<std::string> seen;
+std::vector<DagClassShard> dag_class_shards(const UniverseSpec& spec) {
+  // Level 1 of the two-level dedup: skip dags isomorphic to an earlier
+  // dag. Every computation on a skipped dag is isomorphic to a
+  // computation on the retained representative (relabel the ops along
+  // the dag isomorphism), so no class is lost and the expensive
+  // per-labeling canonicalization runs on |dag classes| * |labelings|
+  // inputs instead of |dags| * |labelings|.
+  std::vector<DagClassShard> out;
   for (std::size_t n = 0; n <= spec.max_nodes; ++n) {
-    const LabelingSpec ls{n, spec.nlocations, spec.include_nop,
-                          spec.max_writes_per_location};
     std::unordered_set<std::string> dag_seen;
-    bool keep_going = true;
     for_each_topo_dag(n, [&](const Dag& dag) {
       const Computation bare(dag, std::vector<Op>(n, Op::nop()));
       if (!dag_seen.insert(canonical_key(bare)).second) return true;
-      const std::uint64_t e = linear_extension_count(dag);
-      for_each_labeling(ls, [&](const std::vector<Op>& ops) {
-        const Computation c(dag, ops);
-        CanonicalForm cf = canonical_form(c);
-        if (!seen.insert(cf.encoding).second) return true;  // class visited
-        CCMM_ASSERT(cf.automorphisms > 0 && e % cf.automorphisms == 0);
-        keep_going = visit(apply_relabeling(c, cf.map), e / cf.automorphisms);
-        return keep_going;
-      });
-      return keep_going;
+      out.push_back({n, dag, linear_extension_count(dag)});
+      return true;
     });
-    if (!keep_going) return false;
   }
+  return out;
+}
+
+bool for_each_class_in_shard(
+    const DagClassShard& shard, const UniverseSpec& spec,
+    const std::function<bool(Computation&&, std::uint64_t)>& visit) {
+  // Level 2: canonicalize every labeling of the shard's dag, one visit
+  // per class. The seen-set is shard-local by design: isomorphic
+  // computations share a dag class, so no class can first appear under
+  // one retained dag and again under another.
+  const LabelingSpec ls{shard.n, spec.nlocations, spec.include_nop,
+                        spec.max_writes_per_location};
+  std::unordered_set<std::string> seen;
+  bool keep_going = true;
+  // One dag copy (and one reachability closure) shared across all the
+  // labelings; only the op labels swap per iteration.
+  Computation c(shard.dag, std::vector<Op>(shard.n, Op::nop()));
+  for_each_labeling(ls, [&](const std::vector<Op>& ops) {
+    c.set_ops(ops);
+    CanonicalForm cf = canonical_form(c);
+    if (!seen.insert(cf.encoding).second) return true;  // class visited
+    CCMM_ASSERT(cf.automorphisms > 0 &&
+                shard.linear_extensions % cf.automorphisms == 0);
+    keep_going = visit(apply_relabeling(c, cf.map),
+                       shard.linear_extensions / cf.automorphisms);
+    return keep_going;
+  });
+  return keep_going;
+}
+
+bool for_each_computation_up_to_iso(
+    const UniverseSpec& spec,
+    const std::function<bool(const Computation&, std::uint64_t)>& visit) {
+  for (const DagClassShard& shard : dag_class_shards(spec))
+    if (!for_each_class_in_shard(shard, spec,
+                                 [&](Computation&& rep, std::uint64_t mult) {
+                                   return visit(rep, mult);
+                                 }))
+      return false;
   return true;
 }
 

@@ -89,6 +89,35 @@ bool for_each_computation_up_to_iso(
     const UniverseSpec& spec,
     const std::function<bool(const Computation&, std::uint64_t)>& visit);
 
+/// One level-1 shard of the quotient enumeration: the retained
+/// representative dag of one dag-isomorphism class, with its
+/// linear-extension count precomputed. Isomorphic labeled computations
+/// have isomorphic bare dags, so every computation class lives entirely
+/// inside one shard — the per-labeling canonicalization of distinct
+/// shards is independent (local seen-sets suffice), which is what makes
+/// the pool-parallel quotient restriction in construct/fixpoint.cpp an
+/// embarrassingly parallel scan.
+struct DagClassShard {
+  std::size_t n = 0;
+  Dag dag;
+  std::uint64_t linear_extensions = 1;
+};
+
+/// The shards of the universe, in enumeration order (sizes ascending,
+/// dag enumeration order within a size).
+[[nodiscard]] std::vector<DagClassShard> dag_class_shards(
+    const UniverseSpec& spec);
+
+/// Enumerate one canonical representative (with orbit multiplicity) per
+/// computation class whose bare dag lies in `shard`. Concatenating over
+/// dag_class_shards(spec) in order reproduces
+/// for_each_computation_up_to_iso exactly. The representative is handed
+/// over by rvalue so bulk consumers (the fixpoint restriction stores
+/// every one of them) can steal the allocation instead of copying.
+bool for_each_class_in_shard(
+    const DagClassShard& shard, const UniverseSpec& spec,
+    const std::function<bool(Computation&&, std::uint64_t)>& visit);
+
 /// Enumerate (representative, observer) pairs with the representative's
 /// orbit multiplicity. Observer functions are in bijection across a
 /// class's members, so for any isomorphism-invariant predicate P,

@@ -290,6 +290,96 @@ std::vector<CubeSpec> all_cube_corners() {
   return out;
 }
 
+bool QDagModel::for_each_member_observer(
+    const Computation& c,
+    const std::function<bool(const ObserverFunction&)>& visit) const {
+  const Dag& dag = c.dag();
+  const std::size_t n = c.node_count();
+  const std::vector<NodeId> topo = dag.topological_order();
+  const bool v_must_write = pred_ == DagPred::kNW || pred_ == DagPred::kWW;
+  const bool u_must_write = pred_ == DagPred::kWN || pred_ == DagPred::kWW;
+
+  // One backtracking state per written location (Condition 20.1 and
+  // Definition 2 both constrain the columns independently, so members
+  // are exactly the cross product of per-location consistent columns).
+  struct LocState {
+    Location loc;
+    std::vector<std::vector<NodeId>> choices;  // per topo position
+    std::vector<NodeId> val;                   // by node id; kBottom if unset
+    std::vector<DynBitset> phi_inv;            // Φ⁻¹(x) by writer node id
+  };
+  std::vector<LocState> locs;
+  for (const Location l : c.written_locations()) {
+    LocState st;
+    st.loc = l;
+    st.val.assign(n, kBottom);
+    st.phi_inv.assign(n, DynBitset(n));
+    st.choices.resize(n);
+    const std::vector<NodeId> ws = c.writers(l);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      const NodeId u = topo[pos];
+      if (c.op(u).writes(l)) {
+        st.choices[pos] = {u};  // condition 2.3: writes observe themselves
+        continue;
+      }
+      st.choices[pos].push_back(kBottom);
+      for (const NodeId w : ws)
+        if (!c.precedes(u, w)) st.choices[pos].push_back(w);  // 2.1 + 2.2
+    }
+    locs.push_back(std::move(st));
+  }
+
+  // Would assigning Φ(l, w) = x violate 20.1? Every triple u ≺ v ≺ w is
+  // checked when its maximum w is assigned; all of anc(w) already holds
+  // final values then, so a failing prefix has no consistent completion
+  // and the subtree is pruned. Same per-v logic as check_location_impl,
+  // with phi_inv maintained incrementally instead of precomputed.
+  const auto violates = [&](const LocState& st, NodeId w, NodeId x) {
+    bool bad = false;
+    dag.ancestors(w).for_each([&](std::size_t vi) {
+      if (bad) return;
+      const auto v = static_cast<NodeId>(vi);
+      if (st.val[v] == x) return;
+      if (v_must_write && !c.op(v).writes(st.loc)) return;
+      if (u_must_write) {
+        bad = x != kBottom && dag.precedes(x, v);
+        return;
+      }
+      if (x == kBottom) {
+        bad = true;
+        return;
+      }
+      bad = dag.ancestors(v).intersects(st.phi_inv[x]);
+    });
+    return bad;
+  };
+
+  ObserverFunction phi(n);
+  // Depth-first over (location, topo position); reaching past the last
+  // location means every column is complete and consistent. Returns
+  // false iff visit stopped the enumeration.
+  std::function<bool(std::size_t, std::size_t)> dfs =
+      [&](std::size_t li, std::size_t pos) -> bool {
+    if (li == locs.size()) return visit(phi);
+    LocState& st = locs[li];
+    if (pos == n) return dfs(li + 1, 0);
+    const NodeId u = topo[pos];
+    for (const NodeId x : st.choices[pos]) {
+      if (violates(st, u, x)) continue;
+      st.val[u] = x;
+      if (x != kBottom) st.phi_inv[x].set(u);
+      phi.set(st.loc, u, x);
+      const bool go_on = dfs(li, pos + 1);
+      st.val[u] = kBottom;
+      if (x != kBottom) st.phi_inv[x].reset(u);
+      phi.set(st.loc, u, kBottom);
+      if (!go_on) return false;
+    }
+    return true;
+  };
+  return dfs(0, 0);
+}
+
 std::shared_ptr<const QDagModel> QDagModel::nn() {
   static const auto m = std::make_shared<const QDagModel>(DagPred::kNN);
   return m;

@@ -77,6 +77,16 @@ class QDagModel final : public MemoryModel {
   [[nodiscard]] bool contains_prepared(const PreparedPair& p) const override {
     return qdag_consistent_prepared(p, pred_);
   }
+  /// Pruned member enumeration: Condition 20.1 constrains each location
+  /// column independently and every violating triple u ≺ v ≺ w lies
+  /// inside anc(w) ∪ {w}, so a backtracking search that assigns Φ(l, ·)
+  /// in topological order detects dead prefixes at the node that
+  /// completes the triple and never expands them. Orders of magnitude
+  /// fewer candidates than generate-and-test on write-heavy universes.
+  bool for_each_member_observer(
+      const Computation& c,
+      const std::function<bool(const ObserverFunction&)>& visit)
+      const override;
   [[nodiscard]] DagPred pred() const { return pred_; }
 
   [[nodiscard]] static std::shared_ptr<const QDagModel> nn();

@@ -3,21 +3,25 @@
 namespace ccmm {
 
 std::size_t DynBitset::count() const noexcept {
+  const word_type* w = data();
   std::size_t n = 0;
-  for (const auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+  for (std::size_t i = 0; i < nwords_; ++i)
+    n += static_cast<std::size_t>(__builtin_popcountll(w[i]));
   return n;
 }
 
 bool DynBitset::none() const noexcept {
-  for (const auto w : words_)
-    if (w != 0) return false;
+  const word_type* w = data();
+  for (std::size_t i = 0; i < nwords_; ++i)
+    if (w[i] != 0) return false;
   return true;
 }
 
 std::size_t DynBitset::find_first() const noexcept {
-  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-    if (words_[wi] != 0)
-      return wi * kWordBits + static_cast<std::size_t>(__builtin_ctzll(words_[wi]));
+  const word_type* w = data();
+  for (std::size_t wi = 0; wi < nwords_; ++wi) {
+    if (w[wi] != 0)
+      return wi * kWordBits + static_cast<std::size_t>(__builtin_ctzll(w[wi]));
   }
   return nbits_;
 }
@@ -25,58 +29,73 @@ std::size_t DynBitset::find_first() const noexcept {
 std::size_t DynBitset::find_next(std::size_t i) const noexcept {
   ++i;
   if (i >= nbits_) return nbits_;
+  const word_type* words = data();
   std::size_t wi = i / kWordBits;
-  word_type w = words_[wi] >> (i % kWordBits);
+  word_type w = words[wi] >> (i % kWordBits);
   if (w != 0) return i + static_cast<std::size_t>(__builtin_ctzll(w));
-  for (++wi; wi < words_.size(); ++wi) {
-    if (words_[wi] != 0)
-      return wi * kWordBits + static_cast<std::size_t>(__builtin_ctzll(words_[wi]));
+  for (++wi; wi < nwords_; ++wi) {
+    if (words[wi] != 0)
+      return wi * kWordBits +
+             static_cast<std::size_t>(__builtin_ctzll(words[wi]));
   }
   return nbits_;
 }
 
 DynBitset& DynBitset::operator|=(const DynBitset& o) {
   CCMM_ASSERT(nbits_ == o.nbits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  word_type* a = data();
+  const word_type* b = o.data();
+  for (std::size_t i = 0; i < nwords_; ++i) a[i] |= b[i];
   return *this;
 }
 
 DynBitset& DynBitset::operator&=(const DynBitset& o) {
   CCMM_ASSERT(nbits_ == o.nbits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  word_type* a = data();
+  const word_type* b = o.data();
+  for (std::size_t i = 0; i < nwords_; ++i) a[i] &= b[i];
   return *this;
 }
 
 DynBitset& DynBitset::operator^=(const DynBitset& o) {
   CCMM_ASSERT(nbits_ == o.nbits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  word_type* a = data();
+  const word_type* b = o.data();
+  for (std::size_t i = 0; i < nwords_; ++i) a[i] ^= b[i];
   return *this;
 }
 
 DynBitset& DynBitset::and_not(const DynBitset& o) {
   CCMM_ASSERT(nbits_ == o.nbits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+  word_type* a = data();
+  const word_type* b = o.data();
+  for (std::size_t i = 0; i < nwords_; ++i) a[i] &= ~b[i];
   return *this;
 }
 
 bool DynBitset::intersects(const DynBitset& o) const noexcept {
-  const std::size_t n = words_.size() < o.words_.size() ? words_.size() : o.words_.size();
+  const word_type* a = data();
+  const word_type* b = o.data();
+  const std::size_t n = nwords_ < o.nwords_ ? nwords_ : o.nwords_;
   for (std::size_t i = 0; i < n; ++i)
-    if ((words_[i] & o.words_[i]) != 0) return true;
+    if ((a[i] & b[i]) != 0) return true;
   return false;
 }
 
 bool DynBitset::is_subset_of(const DynBitset& o) const noexcept {
   CCMM_ASSERT(nbits_ == o.nbits_);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if ((words_[i] & ~o.words_[i]) != 0) return false;
+  const word_type* a = data();
+  const word_type* b = o.data();
+  for (std::size_t i = 0; i < nwords_; ++i)
+    if ((a[i] & ~b[i]) != 0) return false;
   return true;
 }
 
 std::size_t DynBitset::hash() const noexcept {
+  const word_type* w = data();
   std::size_t h = 1469598103934665603ull;
-  for (const auto w : words_) {
-    h ^= static_cast<std::size_t>(w);
+  for (std::size_t i = 0; i < nwords_; ++i) {
+    h ^= static_cast<std::size_t>(w[i]);
     h *= 1099511628211ull;
   }
   h ^= nbits_;

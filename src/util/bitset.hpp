@@ -4,6 +4,13 @@
 // sets and reachability rows. Unlike std::vector<bool> it supports fast
 // word-level boolean algebra (|=, &=, and-not, intersection tests) which
 // dominates the inner loops of the dag-consistency checkers.
+//
+// Storage is small-buffer optimized: sets of up to 64 bits — every node
+// set this repository ever builds, since the bounded universes stop far
+// below 64 nodes — live in an inline word with no heap allocation. The
+// fixpoint restriction stores hundreds of thousands of frozen
+// reachability rows, so the inline path cuts its allocation traffic by
+// an order of magnitude; wider sets transparently spill to a vector.
 #pragma once
 
 #include <cstddef>
@@ -23,36 +30,40 @@ class DynBitset {
 
   /// Construct a bitset of `nbits` bits, all zero.
   explicit DynBitset(std::size_t nbits)
-      : nbits_(nbits), words_((nbits + kWordBits - 1) / kWordBits, 0) {}
+      : nbits_(nbits), nwords_((nbits + kWordBits - 1) / kWordBits) {
+    if (nwords_ > kInlineWords) heap_.assign(nwords_, 0);
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return nbits_; }
   [[nodiscard]] bool empty() const noexcept { return nbits_ == 0; }
 
   /// Number of words backing the set (for word-level iteration).
-  [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
-  [[nodiscard]] word_type word(std::size_t i) const { return words_[i]; }
+  [[nodiscard]] std::size_t word_count() const noexcept { return nwords_; }
+  [[nodiscard]] word_type word(std::size_t i) const { return data()[i]; }
 
   [[nodiscard]] bool test(std::size_t i) const {
     CCMM_ASSERT(i < nbits_);
-    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+    return (data()[i / kWordBits] >> (i % kWordBits)) & 1u;
   }
   [[nodiscard]] bool operator[](std::size_t i) const { return test(i); }
 
   void set(std::size_t i) {
     CCMM_ASSERT(i < nbits_);
-    words_[i / kWordBits] |= word_type{1} << (i % kWordBits);
+    data()[i / kWordBits] |= word_type{1} << (i % kWordBits);
   }
   void reset(std::size_t i) {
     CCMM_ASSERT(i < nbits_);
-    words_[i / kWordBits] &= ~(word_type{1} << (i % kWordBits));
+    data()[i / kWordBits] &= ~(word_type{1} << (i % kWordBits));
   }
   void assign(std::size_t i, bool v) { v ? set(i) : reset(i); }
 
   void clear() {
-    for (auto& w : words_) w = 0;
+    word_type* w = data();
+    for (std::size_t i = 0; i < nwords_; ++i) w[i] = 0;
   }
   void set_all() {
-    for (auto& w : words_) w = ~word_type{0};
+    word_type* w = data();
+    for (std::size_t i = 0; i < nwords_; ++i) w[i] = ~word_type{0};
     trim();
   }
 
@@ -89,14 +100,20 @@ class DynBitset {
   [[nodiscard]] bool is_subset_of(const DynBitset& o) const noexcept;
 
   [[nodiscard]] bool operator==(const DynBitset& o) const noexcept {
-    return nbits_ == o.nbits_ && words_ == o.words_;
+    if (nbits_ != o.nbits_) return false;
+    const word_type* a = data();
+    const word_type* b = o.data();
+    for (std::size_t i = 0; i < nwords_; ++i)
+      if (a[i] != b[i]) return false;
+    return true;
   }
 
   /// Iterate set bits: f(std::size_t index).
   template <typename F>
   void for_each(F&& f) const {
-    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-      word_type w = words_[wi];
+    const word_type* words = data();
+    for (std::size_t wi = 0; wi < nwords_; ++wi) {
+      word_type w = words[wi];
       while (w != 0) {
         const auto bit = static_cast<std::size_t>(__builtin_ctzll(w));
         f(wi * kWordBits + bit);
@@ -112,14 +129,25 @@ class DynBitset {
   [[nodiscard]] std::vector<std::size_t> to_indices() const;
 
  private:
+  static constexpr std::size_t kInlineWords = 1;
+
+  [[nodiscard]] word_type* data() noexcept {
+    return nwords_ <= kInlineWords ? inline_ : heap_.data();
+  }
+  [[nodiscard]] const word_type* data() const noexcept {
+    return nwords_ <= kInlineWords ? inline_ : heap_.data();
+  }
+
   void trim() {
-    const std::size_t extra = words_.size() * kWordBits - nbits_;
-    if (extra > 0 && !words_.empty())
-      words_.back() &= ~word_type{0} >> extra;
+    if (nwords_ == 0) return;
+    const std::size_t extra = nwords_ * kWordBits - nbits_;
+    if (extra > 0) data()[nwords_ - 1] &= ~word_type{0} >> extra;
   }
 
   std::size_t nbits_ = 0;
-  std::vector<word_type> words_;
+  std::size_t nwords_ = 0;
+  word_type inline_[kInlineWords] = {0};
+  std::vector<word_type> heap_;  // engaged only when nwords_ > kInlineWords
 };
 
 struct DynBitsetHash {

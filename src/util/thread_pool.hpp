@@ -29,12 +29,22 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueue a task; tasks must not throw (std::terminate otherwise).
+  /// Must not be called from one of this pool's own workers: a worker
+  /// that submits and then blocks in wait_idle() (as parallel_for does)
+  /// can deadlock the pool once every worker is blocked the same way.
+  /// Debug builds assert on such reentrant submission instead of
+  /// deadlocking silently.
   void submit(std::function<void()> task);
 
   /// Block until every submitted task has finished.
   void wait_idle();
 
-  /// Run f(i) for i in [0, n), static block partitioning, blocking.
+  /// Run f(i) for i in [0, n), blocking. Work-stealing schedule: workers
+  /// repeatedly claim the next grain-sized index range off a shared
+  /// atomic counter, so skewed per-index costs rebalance instead of
+  /// serializing on the unluckiest static block. Degenerate cases (n <=
+  /// 1, single-worker pools) run inline on the caller; at most min(n,
+  /// size()) tasks are ever spawned, none with an empty range.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
 
  private:

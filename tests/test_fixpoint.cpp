@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "construct/extension.hpp"
 #include "construct/witness.hpp"
@@ -266,6 +268,148 @@ TEST(Fixpoint, QuotientParallelTwoLocationStress) {
                                               &pstats);
   EXPECT_EQ(qstats.final_pairs, pstats.final_pairs);
   EXPECT_EQ(labeled_image(seq, spec), labeled_image(par, spec));
+}
+
+/// Serialize a result's entry table exactly: key, multiplicity, per-pair
+/// liveness, and every stored observer, in sorted key order. Two engines
+/// produce "byte-identical results" iff these strings match.
+std::string entries_signature(const BoundedModelSet& set) {
+  std::vector<std::string> lines;
+  for (const auto& [key, e] : set.entries()) {
+    std::string line = key;
+    line += '\x1e';
+    line += std::to_string(e.multiplicity);
+    for (std::size_t i = 0; i < e.phis.size(); ++i) {
+      line += '\x1f';
+      line.push_back(e.alive[i] ? '1' : '0');
+      line += encode_observer(e.phis[i]);
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+/// The six models of the paper's hierarchy (Figure 1).
+std::vector<std::pair<const char*, std::shared_ptr<const MemoryModel>>>
+six_models() {
+  return {{"SC", SequentialConsistencyModel::instance()},
+          {"LC", LocationConsistencyModel::instance()},
+          {"NN", QDagModel::nn()},
+          {"NW", QDagModel::nw()},
+          {"WN", QDagModel::wn()},
+          {"WW", QDagModel::ww()}};
+}
+
+TEST(Fixpoint, WorklistMatchesJacobiSixModelsQuotient) {
+  // The tentpole differential: semi-naive worklist (+ extension dedupe)
+  // against the legacy Jacobi schedule (no dedupe), byte-identical
+  // entries/liveness/multiplicities, all six models, exhaustive n<=5.
+  const auto spec = thin_spec(5);
+  FixpointOptions worklist;  // defaults: worklist + dedupe
+  FixpointOptions jacobi;
+  jacobi.worklist = false;
+  jacobi.dedupe_extensions = false;
+  for (const auto& [name, model] : six_models()) {
+    FixpointStats ws, js;
+    const BoundedModelSet w =
+        constructible_version_quotient(*model, spec, worklist, &ws);
+    const BoundedModelSet j =
+        constructible_version_quotient(*model, spec, jacobi, &js);
+    EXPECT_EQ(ws.final_pairs, js.final_pairs) << name;
+    EXPECT_EQ(ws.pruned, js.pruned) << name;
+    EXPECT_EQ(entries_signature(w), entries_signature(j)) << name;
+    // The worklist engine's counters must be populated whenever work
+    // happened; Jacobi must leave them zero.
+    if (ws.pruned > 0) EXPECT_GT(ws.support_edges, 0u) << name;
+    EXPECT_EQ(js.support_edges, 0u) << name;
+    EXPECT_EQ(js.repairs, 0u) << name;
+  }
+}
+
+TEST(Fixpoint, WorklistMatchesJacobiSixModelsLabeled) {
+  // Same differential through the labeled driver (no quotient): n<=4
+  // keeps the full-universe runs in test budget while still crossing
+  // the pruning threshold (the NN \ LC witnesses die at size 4).
+  const auto spec = thin_spec(4);
+  FixpointOptions worklist;
+  FixpointOptions jacobi;
+  jacobi.worklist = false;
+  jacobi.dedupe_extensions = false;
+  for (const auto& [name, model] : six_models()) {
+    FixpointStats ws, js;
+    const BoundedModelSet w =
+        constructible_version(*model, spec, worklist, &ws);
+    const BoundedModelSet j = constructible_version(*model, spec, jacobi, &js);
+    EXPECT_EQ(ws.final_pairs, js.final_pairs) << name;
+    EXPECT_EQ(ws.pruned, js.pruned) << name;
+    EXPECT_EQ(entries_signature(w), entries_signature(j)) << name;
+  }
+}
+
+TEST(Fixpoint, WorklistKillOrderIndependence) {
+  // The gfp is kill-schedule-independent (kills are monotone), so
+  // scrambling every propagation wave must not change the result.
+  const auto spec = thin_spec(5);
+  FixpointOptions base;  // worklist, seed 0 (FIFO order)
+  FixpointStats bs;
+  const BoundedModelSet reference =
+      constructible_version_quotient(*QDagModel::nn(), spec, base, &bs);
+  const std::string ref_sig = entries_signature(reference);
+  EXPECT_GT(bs.pruned, 0u);
+  for (const std::uint64_t seed :
+       {std::uint64_t{1}, std::uint64_t{7}, std::uint64_t{12345},
+        std::uint64_t{0xdeadbeefULL}}) {
+    FixpointOptions opt;
+    opt.scramble_seed = seed;
+    FixpointStats ss;
+    const BoundedModelSet scrambled =
+        constructible_version_quotient(*QDagModel::nn(), spec, opt, &ss);
+    EXPECT_EQ(bs.final_pairs, ss.final_pairs) << seed;
+    EXPECT_EQ(bs.pruned, ss.pruned) << seed;
+    EXPECT_EQ(ref_sig, entries_signature(scrambled)) << seed;
+  }
+}
+
+TEST(Fixpoint, ParallelRestrictQuotientMatchesSequential) {
+  // The pool-parallel shard enumeration must build the exact entry
+  // table the sequential path builds (classes never cross dag shards,
+  // so the merge is collision-free).
+  const auto spec = thin_spec(4);
+  ThreadPool pool(4);
+  const BoundedModelSet seq =
+      BoundedModelSet::restrict_model_quotient(*QDagModel::nn(), spec);
+  const BoundedModelSet par =
+      BoundedModelSet::restrict_model_quotient(*QDagModel::nn(), spec, &pool);
+  EXPECT_EQ(seq.entries().size(), par.entries().size());
+  EXPECT_EQ(entries_signature(seq), entries_signature(par));
+}
+
+TEST(Fixpoint, WorklistQuotientParallelStressMatches) {
+  // TSan CI target (the *Parallel* filter): the worklist engine under a
+  // wide pool on a two-location universe, against the sequential
+  // worklist result. Stage-1 stores shared frozen computations that
+  // stage-2 tasks judge concurrently; support-edge recording and kill
+  // propagation stay serial.
+  UniverseSpec spec;
+  spec.max_nodes = 3;
+  spec.nlocations = 2;
+  spec.include_nop = false;
+  ThreadPool pool(8);
+  FixpointOptions worklist;  // defaults
+  FixpointStats ss, ps;
+  const BoundedModelSet seq =
+      constructible_version_quotient(*QDagModel::nn(), spec, worklist, &ss);
+  const BoundedModelSet par = constructible_version_quotient_parallel(
+      *QDagModel::nn(), spec, pool, worklist, &ps);
+  EXPECT_EQ(ss.final_pairs, ps.final_pairs);
+  EXPECT_EQ(ss.pruned, ps.pruned);
+  EXPECT_EQ(entries_signature(seq), entries_signature(par));
 }
 
 TEST(Fixpoint, QuotientConstructibleModelIsItsOwnFixpoint) {

@@ -8,11 +8,21 @@ make hard thresholds flaky, so the default exit code is 0 regardless of
 the deltas; pass --gate RATIO to fail on regressions beyond RATIO (for
 local use on quiet machines).
 
+Two gate forms are accepted (repeatable, combinable):
+  --gate 1.5
+      global worst-ratio gate: fail if any paired ratio exceeds 1.5x.
+  --gate "BM_FixpointQuotient/6<=baseline*1.05"
+      targeted expression gate: fail if the named benchmark's fresh time
+      exceeds its baseline time by more than the factor.  A name missing
+      from either report does NOT gate (new or renamed benchmarks must
+      not break CI) — it is reported and skipped.
+
 Usage: tools/bench_delta.py BASELINE.json FRESH.json [--gate 1.5]
-       [--only PREFIX]...
+       [--gate "NAME<=baseline*1.05"]... [--only PREFIX]...
 """
 import argparse
 import json
+import re
 import sys
 
 
@@ -27,16 +37,39 @@ def load_times(report):
     return out
 
 
+GATE_EXPR = re.compile(
+    r"^(?P<name>[^<>=]+?)\s*<=\s*baseline\s*\*\s*(?P<factor>[0-9.]+)$")
+
+
+def parse_gates(specs):
+    """Split --gate values into (global_ratio | None, [(name, factor)])."""
+    ratio, exprs = None, []
+    for spec in specs:
+        m = GATE_EXPR.match(spec)
+        if m:
+            exprs.append((m.group("name").strip(), float(m.group("factor"))))
+            continue
+        try:
+            ratio = float(spec)
+        except ValueError:
+            print(f"bench_delta: bad --gate {spec!r} (want a ratio or "
+                  f"'NAME<=baseline*F')", file=sys.stderr)
+            sys.exit(2)
+    return ratio, exprs
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
     ap.add_argument("fresh")
-    ap.add_argument("--gate", type=float, default=None,
-                    help="exit 1 if any paired ratio exceeds this")
+    ap.add_argument("--gate", action="append", default=[],
+                    help="a global worst-ratio bound (e.g. 1.5) or a "
+                         "targeted 'NAME<=baseline*F' expression; repeatable")
     ap.add_argument("--only", action="append", default=[],
                     help="restrict to benchmark names with this prefix "
                          "(repeatable)")
     args = ap.parse_args()
+    gate_ratio, gate_exprs = parse_gates(args.gate)
 
     try:
         with open(args.baseline) as f:
@@ -53,25 +86,25 @@ def main():
     if args.only:
         names = [n for n in names
                  if any(n.startswith(p) for p in args.only)]
+    worst = 0.0
     if not names:
         print("bench_delta: no common benchmark names to compare")
-        return 0
+    else:
+        print(f"{'benchmark':58s} {'baseline':>12s} {'fresh':>12s} "
+              f"{'ratio':>7s}")
+        for n in names:
+            if bt[n] <= 0:
+                continue
+            ratio = ft[n] / bt[n]
+            worst = max(worst, ratio)
+            flag = "  <-- regression" if ratio > 1.25 else ""
+            print(f"{n:58s} {bt[n] / 1e6:10.3f}ms {ft[n] / 1e6:10.3f}ms "
+                  f"{ratio:6.2f}x{flag}")
 
-    print(f"{'benchmark':58s} {'baseline':>12s} {'fresh':>12s} {'ratio':>7s}")
-    worst = 0.0
-    for n in names:
-        if bt[n] <= 0:
-            continue
-        ratio = ft[n] / bt[n]
-        worst = max(worst, ratio)
-        flag = "  <-- regression" if ratio > 1.25 else ""
-        print(f"{n:58s} {bt[n] / 1e6:10.3f}ms {ft[n] / 1e6:10.3f}ms "
-              f"{ratio:6.2f}x{flag}")
-
-    for key in ("quotient_speedup", "prepared_speedup"):
-        rows_b = {(r.get("labeled") or r.get("legacy")): r
+    for key in ("quotient_speedup", "prepared_speedup", "worklist_speedup"):
+        rows_b = {(r.get("labeled") or r.get("legacy") or r.get("jacobi")): r
                   for r in base.get(key, [])}
-        rows_f = {(r.get("labeled") or r.get("legacy")): r
+        rows_f = {(r.get("labeled") or r.get("legacy") or r.get("jacobi")): r
                   for r in fresh.get(key, [])}
         common = sorted(set(rows_b) & set(rows_f))
         if not common:
@@ -81,11 +114,25 @@ def main():
             print(f"  {n:56s} {rows_b[n]['speedup']:6.2f}x -> "
                   f"{rows_f[n]['speedup']:6.2f}x")
 
-    if args.gate is not None and worst > args.gate:
+    failed = False
+    if gate_ratio is not None and worst > gate_ratio:
         print(f"\nbench_delta: worst ratio {worst:.2f}x exceeds gate "
-              f"{args.gate:.2f}x", file=sys.stderr)
-        return 1
-    return 0
+              f"{gate_ratio:.2f}x", file=sys.stderr)
+        failed = True
+    for name, factor in gate_exprs:
+        if name not in bt or name not in ft:
+            print(f"bench_delta: gate '{name}' not present in both reports "
+                  f"(skipped, not gating)")
+            continue
+        bound = bt[name] * factor
+        verdict = "OK" if ft[name] <= bound else "FAIL"
+        print(f"gate {name}: fresh {ft[name] / 1e6:.3f}ms vs bound "
+              f"{bound / 1e6:.3f}ms (baseline*{factor:g}) ... {verdict}")
+        if ft[name] > bound:
+            print(f"bench_delta: {name} exceeds baseline*{factor:g}",
+                  file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -8,7 +8,9 @@
 # fig4_nonconstructibility) via CCMM_EXPERIMENT_JSON.  The merged file
 # records, for every labeled/quotient benchmark pair, the wall-clock
 # speedup of the isomorphism-quotient engine; for every legacy/prepared
-# pair, the speedup of the shared-preparation classification path; and
+# pair, the speedup of the shared-preparation classification path; for
+# every Jacobi/worklist pair, the speedup of the semi-naive worklist
+# schedule (with its support/repair counters on the benchmark rows); and
 # the global memo-cache counters exported by the experiments.
 #
 # Usage: tools/run_benches.sh [--quick] [--build-dir DIR] [--out FILE]
@@ -74,6 +76,10 @@ for b in "${benches[@]}"; do
     run_bench "$bin" "$tmp/$b.json" '-(.*/6$)'
     run_bench "$bin" "$tmp/$b.part2.json" 'BM_FixpointSequential/6$'
     run_bench "$bin" "$tmp/$b.part3.json" 'BM_FixpointQuotient/6$'
+    # The headline worklist-vs-Jacobi pair at n=6 (each in its own
+    # process, same page-reclaim reasoning as above).
+    run_bench "$bin" "$tmp/$b.part4.json" 'BM_FixpointWorklistQuotient/6$'
+    run_bench "$bin" "$tmp/$b.part5.json" 'BM_FixpointJacobiQuotient/6$'
   else
     run_bench "$bin" "$tmp/$b.json" "$filter"
   fi
@@ -106,12 +112,13 @@ def load(path):
 
 merged = {"generated_by": "tools/run_benches.sh", "mode": mode,
           "benchmarks": {}, "experiments": {}, "quotient_speedup": [],
-          "prepared_speedup": [], "cache_counters": {}}
+          "prepared_speedup": [], "worklist_speedup": [],
+          "cache_counters": {}}
 
 by_name = {}
 for b in benches:
     raw = load(f"{tmp}/{b}.json")
-    for part in ("part2", "part3"):
+    for part in ("part2", "part3", "part4", "part5"):
         try:
             raw["benchmarks"] = raw.get("benchmarks", []) + \
                 load(f"{tmp}/{b}.{part}.json").get("benchmarks", [])
@@ -174,6 +181,15 @@ PREPARED_PAIRS = [
 ]
 pair_rows(PREPARED_PAIRS, merged["prepared_speedup"], "legacy", "prepared")
 
+# Legacy Jacobi full-rescan schedule -> semi-naive worklist engine. The
+# worklist rows also carry the support/repair counters (see "counters"
+# on the BM_FixpointWorklist* benchmark entries above).
+WORKLIST_PAIRS = [
+    ("BM_FixpointJacobi", "BM_FixpointWorklist"),
+    ("BM_FixpointJacobiQuotient", "BM_FixpointWorklistQuotient"),
+]
+pair_rows(WORKLIST_PAIRS, merged["worklist_speedup"], "jacobi", "worklist")
+
 # Surface the memo-cache counters the experiments export (full JSON is
 # under "experiments"; this is the at-a-glance copy).
 for e in experiments:
@@ -193,5 +209,8 @@ for row in merged["quotient_speedup"]:
           f"{row['speedup']:.2f}x")
 for row in merged["prepared_speedup"]:
     print(f"  {row['legacy']:45s} -> {row['prepared']:50s} "
+          f"{row['speedup']:.2f}x")
+for row in merged["worklist_speedup"]:
+    print(f"  {row['jacobi']:45s} -> {row['worklist']:50s} "
           f"{row['speedup']:.2f}x")
 PY

@@ -1,0 +1,159 @@
+// Microbenchmarks for the large-trace postmortem pipeline: precedence
+// oracle construction and point queries, and the streaming per-location
+// checker against the closure-based prepared path. The headline pair is
+// BM_VerifyClosureLC vs BM_LargeCheckLC at the largest closure-feasible
+// size; BM_LargeCheckLC/1048576 is the million-node target the closure
+// path cannot reach at all (the n²/4-byte bitsets alone would be 256GB
+// of scans per check).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/last_writer.hpp"
+#include "core/prepared.hpp"
+#include "dag/precedence_oracle.hpp"
+#include "models/location_consistency.hpp"
+#include "proc/random_program.hpp"
+#include "trace/large_check.hpp"
+#include "util/rng.hpp"
+
+namespace ccmm {
+namespace {
+
+struct Instance {
+  Computation c;
+  ObserverFunction phi;
+};
+
+/// A fork/join program of ~n memory instructions with a last-writer
+/// observer from a topological sort — a member of every model in the
+/// suite, i.e. the worst case for a checker (nothing short-circuits).
+Instance make_cilk_instance(std::size_t n) {
+  Rng rng(n * 13 + 5);
+  proc::RandomCilkOptions opt;
+  opt.target_ops = n;
+  opt.nlocations = 16;  // enough shards for the pool, realistic sharing
+  Computation c = proc::random_cilk(opt, rng);
+  std::vector<NodeId> order(c.node_count());
+  if (c.dag().ids_topological()) {
+    std::iota(order.begin(), order.end(), NodeId{0});
+  } else {
+    order = c.dag().topological_order();
+  }
+  ObserverFunction phi = last_writer(c, order);
+  return {std::move(c), std::move(phi)};
+}
+
+void BM_OracleBuildSpOrder(benchmark::State& state) {
+  const Instance in = make_cilk_instance(static_cast<std::size_t>(
+      state.range(0)));
+  for (auto _ : state) {
+    auto oracle = make_sp_order_oracle(*in.c.sp_structure());
+    benchmark::DoNotOptimize(oracle);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.c.node_count()));
+}
+BENCHMARK(BM_OracleBuildSpOrder)->Arg(4096)->Arg(65536)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OracleBuildChain(benchmark::State& state) {
+  const Instance in = make_cilk_instance(static_cast<std::size_t>(
+      state.range(0)));
+  std::size_t chains = 0;
+  for (auto _ : state) {
+    const ChainDecompositionOracle oracle(in.c.dag());
+    chains = oracle.chain_count();
+    benchmark::DoNotOptimize(chains);
+  }
+  state.counters["chains"] = static_cast<double>(chains);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.c.node_count()));
+}
+BENCHMARK(BM_OracleBuildChain)->Arg(4096)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OracleQuerySpOrder(benchmark::State& state) {
+  const Instance in = make_cilk_instance(static_cast<std::size_t>(
+      state.range(0)));
+  const auto oracle = make_sp_order_oracle(*in.c.sp_structure());
+  Rng rng(7);
+  const auto n = static_cast<NodeId>(in.c.node_count());
+  std::vector<NodeId> us(1024), vs(1024);
+  for (std::size_t i = 0; i < us.size(); ++i) {
+    us[i] = static_cast<NodeId>(rng.below(n));
+    vs[i] = static_cast<NodeId>(rng.below(n));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle->precedes(us[i], vs[i]));
+    i = (i + 1) & (us.size() - 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OracleQuerySpOrder)->Arg(65536)->Arg(1 << 20);
+
+/// The pre-oracle path: freeze the n²-bit transitive closure, then run
+/// the prepared LC check. The per-iteration copy keeps the closure
+/// build inside the timed region (a frozen dag would make every
+/// iteration after the first nearly free, which is not how a postmortem
+/// run ever executes).
+void BM_VerifyClosureLC(benchmark::State& state) {
+  const Instance in = make_cilk_instance(static_cast<std::size_t>(
+      state.range(0)));
+  for (auto _ : state) {
+    Computation c = in.c;
+    CheckContext ctx;
+    const PreparedPair p = ctx.prepare(c, in.phi);
+    benchmark::DoNotOptimize(
+        p.valid() && LocationConsistencyModel::instance()->contains_prepared(
+                         p));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.c.node_count()));
+  state.counters["closure_bytes"] =
+      static_cast<double>(in.c.node_count()) *
+      static_cast<double>(in.c.node_count()) / 4.0;
+}
+BENCHMARK(BM_VerifyClosureLC)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+/// The streaming path at matching and million-node sizes. Oracle build
+/// is part of every iteration, as in a real postmortem run.
+void BM_LargeCheckLC(benchmark::State& state) {
+  const Instance in = make_cilk_instance(static_cast<std::size_t>(
+      state.range(0)));
+  LargeCheckOptions opt;
+  opt.models = kSuiteLC;
+  std::size_t oracle_bytes = 0;
+  for (auto _ : state) {
+    const LargeCheckReport r = large_check(in.c, in.phi, opt);
+    oracle_bytes = r.oracle_memory_bytes;
+    benchmark::DoNotOptimize(r.satisfied);
+  }
+  state.counters["oracle_bytes"] = static_cast<double>(oracle_bytes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.c.node_count()));
+}
+BENCHMARK(BM_LargeCheckLC)->Arg(4096)->Arg(16384)->Arg(65536)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+/// All five decomposable models in one streaming pass — the full
+/// postmortem verdict at scale.
+void BM_LargeCheckAllModels(benchmark::State& state) {
+  const Instance in = make_cilk_instance(static_cast<std::size_t>(
+      state.range(0)));
+  LargeCheckOptions opt;
+  opt.models = kLargeCheckAll;
+  for (auto _ : state) {
+    const LargeCheckReport r = large_check(in.c, in.phi, opt);
+    benchmark::DoNotOptimize(r.satisfied);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.c.node_count()));
+}
+BENCHMARK(BM_LargeCheckAllModels)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ccmm

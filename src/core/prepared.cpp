@@ -41,6 +41,16 @@ PreparedPair CheckContext::prepare(const Computation& c,
   // Freeze reachability before anything else: parallel stages consuming
   // prepared pairs must never race the lazy closure build.
   c.dag().ensure_closure();
+  if (const SpStructurePtr& sp = c.sp_structure(); sp != nullptr) {
+    if (sp != oracle_key_) {
+      sp_oracle_ = make_sp_order_oracle(*sp);
+      oracle_key_ = sp;
+      ++stats_.oracle_builds;
+    } else {
+      ++stats_.oracle_reuses;
+    }
+    p.oracle_ = sp_oracle_.get();
+  }
   p.validity_ = validate_observer(c, phi);
   if (!p.validity_.ok) return p;  // checkers reject before touching blocks
   const std::size_t n = c.node_count();

@@ -15,10 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/observer.hpp"
+#include "dag/precedence_oracle.hpp"
 #include "util/bitset.hpp"
 
 namespace ccmm {
@@ -79,6 +81,18 @@ class PreparedPair {
   /// The context whose scratch arenas this pair borrows.
   [[nodiscard]] CheckContext& context() const { return *ctx_; }
 
+  /// Strict precedence u ≺ v, answered by the context's SP-order oracle
+  /// when the computation carries a series-parallel parse (two integer
+  /// compares instead of a closure-row probe), the frozen closure
+  /// otherwise. Checkers with point queries (the WN/WW collapse) route
+  /// through this.
+  [[nodiscard]] bool precedes(NodeId u, NodeId v) const {
+    return oracle_ != nullptr ? oracle_->precedes(u, v)
+                              : c_->dag().precedes(u, v);
+  }
+  /// The oracle backing precedes(), or nullptr when it is the closure.
+  [[nodiscard]] const PrecedenceOracle* oracle() const { return oracle_; }
+
  private:
   friend class CheckContext;
   PreparedPair() = default;
@@ -86,6 +100,7 @@ class PreparedPair {
   const Computation* c_ = nullptr;
   const ObserverFunction* phi_ = nullptr;
   CheckContext* ctx_ = nullptr;
+  const PrecedenceOracle* oracle_ = nullptr;  // owned by the context
   ValidityResult validity_;
   std::vector<LocationPrep> locs_;
   // Lazy, single-thread caches (a PreparedPair is not shared).
@@ -118,12 +133,19 @@ class CheckContext {
 
   struct Stats {
     std::uint64_t prepared = 0;
+    std::uint64_t oracle_builds = 0;  // SP-order label constructions
+    std::uint64_t oracle_reuses = 0;  // pairs served by a cached oracle
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
   DynBitset scratch_;
   std::vector<NodeId> scratch_nodes_;
+  // SP-order oracle cached per parse: batch consumers prepare many Φ
+  // against one computation, so the labels are built once. Keyed by the
+  // owning SpStructurePtr (held alive here, so no pointer reuse).
+  SpStructurePtr oracle_key_;
+  std::unique_ptr<SpOrderOracle> sp_oracle_;
   Stats stats_;
 };
 

@@ -187,7 +187,9 @@ bool qdag_consistent_prepared(const PreparedPair& p, DagPred pred,
         if (block_of[v] == bw) return;
         if (v_must_write && !c.op(v).writes(l)) return;
         if (u_must_write) {
-          if (x != kBottom && dag.precedes(x, v)) {
+          // Point query: the pair's oracle (SP labels on Cilk-generated
+          // computations, closure otherwise).
+          if (x != kBottom && p.precedes(x, v)) {
             report(violation, l, x, v, w);
             bad = true;
           }

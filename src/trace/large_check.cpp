@@ -1,0 +1,418 @@
+#include "trace/large_check.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <numeric>
+
+#include "util/str.hpp"
+
+namespace ccmm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double millis_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// One unit of sharded work: a location plus its dense Φ column (nullptr
+/// when the observer stores no column for it, i.e. the column is all-⊥).
+struct LocTask {
+  Location loc = 0;
+  const std::vector<NodeId>* col = nullptr;
+};
+
+NodeId column_get(const LocTask& t, NodeId u) {
+  return t.col == nullptr ? kBottom : (*t.col)[u];
+}
+
+const char* pred_label(std::uint32_t bit) { return ModelSuite::bit_name(bit); }
+
+/// Check one location. `topo` is a topological order of the dag (node
+/// ids, every node once). Everything here is read-only on the shared
+/// computation/oracle and writes only to `out`, so tasks for different
+/// locations run concurrently without synchronization.
+void check_location(const Computation& c, const std::vector<NodeId>& topo,
+                    const PrecedenceOracle& oracle, std::uint32_t models,
+                    const LocTask& task, LocationCheck& out) {
+  const auto t0 = Clock::now();
+  const std::size_t n = c.node_count();
+  const Location l = task.loc;
+  out.loc = l;
+
+  const std::vector<NodeId> writers = c.writers(l);
+  out.writers = writers.size();
+  const auto writer_block = [&](NodeId x) -> std::uint32_t {
+    // Block j+1 is the j-th writer in id order (block 0 = B_⊥);
+    // writers is sorted, so a binary search recovers the index.
+    const auto it = std::lower_bound(writers.begin(), writers.end(), x);
+    if (it == writers.end() || *it != x) return 0;  // not a writer of l
+    return static_cast<std::uint32_t>(it - writers.begin()) + 1;
+  };
+
+  // --- Definition 2 validity for this column + the block partition. ---
+  std::vector<std::uint32_t> block_of(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId x = column_get(task, u);
+    if (x == kBottom) {
+      if (c.op(u).writes(l)) {  // 2.3
+        out.valid = false;
+        out.detail = format("write %u does not observe itself at location %u",
+                            u, l);
+        break;
+      }
+      continue;
+    }
+    const std::uint32_t b = x < n ? writer_block(x) : 0;
+    if (b == 0) {  // 2.1
+      out.valid = false;
+      out.detail = format(
+          "Φ(%u, %u) = %u, which is not a write to location %u", l, u, x, l);
+      break;
+    }
+    if (c.op(u).writes(l) && x != u) {  // 2.3
+      out.valid = false;
+      out.detail = format("write %u does not observe itself at location %u",
+                          u, l);
+      break;
+    }
+    if (oracle.precedes(u, x)) {  // 2.2 — the oracle's production use
+      out.valid = false;
+      out.detail = format(
+          "node %u precedes its observed write %u at location %u", u, x, l);
+      break;
+    }
+    block_of[u] = b;
+  }
+  if (!out.valid) {
+    out.millis = millis_since(t0);
+    return;
+  }
+  const std::size_t nblocks = writers.size() + 1;
+  const Dag& dag = c.dag();
+
+  const auto record = [&](std::uint32_t bit, std::string detail) {
+    out.violated |= bit;
+    if (out.detail.empty()) out.detail = std::move(detail);
+  };
+
+  // --- LC: the block-quotient Kahn scan (same semantics as
+  // detail::lc_quotient_sortable, on deduplicated cross-block edges). ---
+  if ((models & kSuiteLC) != 0) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> qedges;
+    for (NodeId u = 0; u < n; ++u) {
+      const std::uint32_t bu = block_of[u];
+      for (const NodeId s : dag.succ(u))
+        if (block_of[s] != bu) qedges.emplace_back(bu, block_of[s]);
+    }
+    std::sort(qedges.begin(), qedges.end());
+    qedges.erase(std::unique(qedges.begin(), qedges.end()), qedges.end());
+
+    std::vector<std::uint32_t> indeg(nblocks, 0);
+    std::vector<std::uint32_t> head(nblocks + 1, 0);
+    for (const auto& [bu, bv] : qedges) {
+      ++head[bu + 1];
+      ++indeg[bv];
+    }
+    for (std::size_t b = 0; b < nblocks; ++b) head[b + 1] += head[b];
+
+    bool ok = indeg[0] == 0;  // B_⊥ must be placeable first
+    if (ok) {
+      std::vector<std::uint32_t> stack;
+      std::vector<char> emitted(nblocks, 0);
+      stack.push_back(0);
+      emitted[0] = 1;
+      std::size_t drained = 0;
+      while (!stack.empty()) {
+        const std::uint32_t b = stack.back();
+        stack.pop_back();
+        ++drained;
+        for (std::uint32_t i = head[b]; i < head[b + 1]; ++i) {
+          const std::uint32_t y = qedges[i].second;
+          if (--indeg[y] == 0 && emitted[y] == 0) {
+            emitted[y] = 1;
+            stack.push_back(y);
+          }
+        }
+        if (stack.empty()) {
+          for (std::uint32_t y = 1; y < nblocks; ++y)
+            if (emitted[y] == 0 && indeg[y] == 0) {
+              emitted[y] = 1;
+              stack.push_back(y);
+            }
+        }
+      }
+      ok = drained == nblocks;
+    }
+    if (!ok)
+      record(kSuiteLC,
+             format("LC violated at location %u: the Φ-block quotient admits "
+                    "no serialization with B_⊥ first",
+                    l));
+  }
+
+  // --- NN/NW/WN/WW: per-node block masks, 64 blocks per sweep. For a
+  // block b with writer x (b ≥ 1) and a candidate v ∉ B_b:
+  //   WN breaks iff x ≺ v and some member of B_b succeeds v;
+  //   NN breaks iff some member of B_b both precedes and succeeds v
+  //       (plus the u = ⊥ branch for b = 0: any v ∉ B_⊥ with a
+  //       ⊥-observing node after it);
+  //   NW/WW are the same with v restricted to writers of l.
+  // So with A[v]/D[v]/W[v] = the blocks with a member strictly before v /
+  // a member strictly after v / their writer strictly before v, the
+  // violation tests are pure mask arithmetic — no precedence queries. ---
+  std::uint32_t remaining =
+      models & (kSuiteNN | kSuiteNW | kSuiteWN | kSuiteWW);
+  if (remaining != 0) {
+    const bool need_anc = (remaining & (kSuiteNN | kSuiteNW)) != 0;
+    const bool need_wri = (remaining & (kSuiteWN | kSuiteWW)) != 0;
+    const std::size_t ngroups = (nblocks + 63) / 64;
+    std::vector<std::uint64_t> anc_mask(need_anc ? n : 0);
+    std::vector<std::uint64_t> wri_mask(need_wri ? n : 0);
+    std::vector<std::uint64_t> desc_mask(n);
+
+    for (std::size_t g = 0; g < ngroups && remaining != 0; ++g) {
+      const std::uint32_t base = static_cast<std::uint32_t>(g) * 64;
+      const auto member_bit = [&](NodeId p) -> std::uint64_t {
+        const std::uint32_t b = block_of[p];
+        return b - base < 64 ? std::uint64_t{1} << (b - base) : 0;
+      };
+      // Forward sweep: which of this group's blocks have a member (resp.
+      // their writer — a writer always sits in its own block) strictly
+      // before v.
+      for (const NodeId v : topo) {
+        std::uint64_t a = 0;
+        std::uint64_t w = 0;
+        for (const NodeId p : dag.pred(v)) {
+          const std::uint64_t mb = member_bit(p);
+          if (need_anc) a |= anc_mask[p] | mb;
+          if (need_wri) w |= wri_mask[p] | (c.op(p).writes(l) ? mb : 0);
+        }
+        if (need_anc) anc_mask[v] = a;
+        if (need_wri) wri_mask[v] = w;
+      }
+      // Backward sweep: which blocks have a member strictly after v.
+      for (std::size_t i = n; i-- > 0;) {
+        const NodeId v = topo[i];
+        std::uint64_t d = 0;
+        for (const NodeId s : dag.succ(v)) d |= desc_mask[s] | member_bit(s);
+        desc_mask[v] = d;
+      }
+      const std::uint64_t bot_bit = g == 0 ? std::uint64_t{1} : 0;
+      for (NodeId v = 0; v < n && remaining != 0; ++v) {
+        const std::uint64_t not_self = ~member_bit(v);
+        const std::uint64_t d = desc_mask[v];
+        if (need_wri) {
+          const std::uint64_t bad = wri_mask[v] & d & not_self;
+          if (bad != 0) {
+            const std::uint32_t b =
+                base + static_cast<std::uint32_t>(std::countr_zero(bad));
+            const NodeId x = writers[b - 1];
+            if ((remaining & kSuiteWN) != 0)
+              record(kSuiteWN,
+                     format("WN violated at location %u: u=%u, v=%u (the "
+                            "write precedes v, Φ⁻¹(%u) reaches past it)",
+                            l, x, v, x));
+            if ((remaining & kSuiteWW) != 0 && c.op(v).writes(l))
+              record(kSuiteWW,
+                     format("WW violated at location %u: u=%u, v=%u", l, x,
+                            v));
+            remaining &= ~(out.violated & kSuiteWN);
+            remaining &= ~(out.violated & kSuiteWW);
+          }
+        }
+        if ((remaining & (kSuiteNN | kSuiteNW)) != 0) {
+          const std::uint64_t bad = (anc_mask[v] | bot_bit) & d & not_self;
+          if (bad != 0) {
+            const std::uint32_t b =
+                base + static_cast<std::uint32_t>(std::countr_zero(bad));
+            const std::string u_str =
+                b == 0 ? std::string("_") : format("%u", writers[b - 1]);
+            if ((remaining & kSuiteNN) != 0)
+              record(kSuiteNN,
+                     format("NN violated at location %u: u=%s, v=%u (v sits "
+                            "between members of the same Φ-block)",
+                            l, u_str.c_str(), v));
+            if ((remaining & kSuiteNW) != 0 && c.op(v).writes(l))
+              record(kSuiteNW,
+                     format("NW violated at location %u: u=%s, v=%u", l,
+                            u_str.c_str(), v));
+            remaining &= ~(out.violated & kSuiteNN);
+            remaining &= ~(out.violated & kSuiteNW);
+          }
+        }
+      }
+    }
+  }
+  out.millis = millis_since(t0);
+}
+
+}  // namespace
+
+LargeCheckReport large_check(const Computation& c, const ObserverFunction& phi,
+                             const LargeCheckOptions& options) {
+  const auto t0 = Clock::now();
+  LargeCheckReport report;
+  report.checked = options.models & kLargeCheckAll;
+  const std::size_t n = c.node_count();
+  if (phi.node_count() != n) {
+    report.detail = "observer function and computation disagree on node count";
+    report.total_millis = millis_since(t0);
+    return report;
+  }
+
+  const auto t_oracle = Clock::now();
+  const std::unique_ptr<PrecedenceOracle> oracle =
+      make_oracle(c.dag(), c.sp_structure().get(), options.oracle);
+  report.oracle_kind = oracle->kind();
+  report.oracle_memory_bytes = oracle->memory_bytes();
+  report.oracle_build_millis = millis_since(t_oracle);
+
+  std::vector<NodeId> topo;
+  if (c.dag().ids_topological()) {
+    topo.resize(n);
+    std::iota(topo.begin(), topo.end(), NodeId{0});
+  } else {
+    topo = c.dag().topological_order();
+  }
+
+  // Worklist: written locations (an absent column fails 2.3 there) plus
+  // every stored column with a non-⊥ entry (an unexpected observation
+  // must fail 2.1, so it cannot be skipped either).
+  std::vector<LocTask> tasks;
+  {
+    const std::vector<Location> written = c.written_locations();
+    const std::vector<Location>& stored = phi.stored_locations();
+    std::size_t si = 0;
+    const auto stored_task = [&](std::size_t i) {
+      return LocTask{stored[i], &phi.stored_column(i)};
+    };
+    for (const Location l : written) {
+      while (si < stored.size() && stored[si] < l) {
+        const LocTask t = stored_task(si++);
+        if (std::any_of(t.col->begin(), t.col->end(),
+                        [](NodeId x) { return x != kBottom; }))
+          tasks.push_back(t);
+      }
+      if (si < stored.size() && stored[si] == l)
+        tasks.push_back(stored_task(si++));
+      else
+        tasks.push_back(LocTask{l, nullptr});
+    }
+    for (; si < stored.size(); ++si) {
+      const LocTask t = stored_task(si);
+      if (std::any_of(t.col->begin(), t.col->end(),
+                      [](NodeId x) { return x != kBottom; }))
+        tasks.push_back(t);
+    }
+  }
+
+  report.locations.resize(tasks.size());
+  const auto run_one = [&](std::size_t i) {
+    check_location(c, topo, *oracle, report.checked, tasks[i],
+                   report.locations[i]);
+  };
+  ThreadPool& pool = options.pool != nullptr ? *options.pool : global_pool();
+  if (options.parallel && tasks.size() > 1 && pool.size() > 1) {
+    pool.parallel_for(tasks.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < tasks.size(); ++i) run_one(i);
+  }
+
+  report.valid_observer = true;
+  std::uint32_t violated = 0;
+  for (const LocationCheck& lc : report.locations) {
+    if (!lc.valid) report.valid_observer = false;
+    violated |= lc.violated;
+    if (report.detail.empty() && !lc.detail.empty()) report.detail = lc.detail;
+  }
+  report.satisfied = report.valid_observer ? (report.checked & ~violated) : 0;
+  report.total_millis = millis_since(t0);
+  return report;
+}
+
+std::string LargeCheckReport::to_string() const {
+  std::string out;
+  out += format("oracle: %s (%zu bytes, built in %.2f ms)\n",
+                oracle_kind.c_str(), oracle_memory_bytes, oracle_build_millis);
+  out += format("observer: %s\n", valid_observer ? "valid" : "INVALID");
+  if (valid_observer) {
+    for (std::uint32_t bit = 1; bit != 0 && bit <= checked; bit <<= 1) {
+      if ((checked & bit) == 0) continue;
+      out += format("  %-3s %s\n", ModelSuite::bit_name(bit),
+                    (satisfied & bit) != 0 ? "holds" : "VIOLATED");
+    }
+  }
+  if (!detail.empty()) out += "  " + detail + "\n";
+  TextTable t({"loc", "writers", "valid", "violated", "ms"});
+  for (const LocationCheck& lc : locations) {
+    std::string v;
+    for (std::uint32_t bit = 1; bit != 0 && bit <= lc.violated; bit <<= 1)
+      if ((lc.violated & bit) != 0) {
+        if (!v.empty()) v += ",";
+        v += pred_label(bit);
+      }
+    t.add_row({format("%u", lc.loc), format("%zu", lc.writers),
+               lc.valid ? "yes" : "no", v.empty() ? "-" : v,
+               format("%.2f", lc.millis)});
+  }
+  out += t.render();
+  out += format("total: %.2f ms over %zu locations\n", total_millis,
+                locations.size());
+  return out;
+}
+
+ObserverFunction observer_from_trace(const Computation& c, const Trace& trace) {
+  const std::size_t n = c.node_count();
+  ObserverFunction phi(n);
+  const std::vector<Location> locs = c.written_locations();
+
+  std::vector<const TraceEvent*> order;
+  order.reserve(trace.events.size());
+  for (const TraceEvent& e : trace.events)
+    if (e.node < n) order.push_back(&e);
+  std::sort(order.begin(), order.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              return a->seq < b->seq;
+            });
+
+  // One pass in execution order, carrying the last write per location:
+  // recorded observations win, writes self-observe (2.3), everything
+  // else gets the carried write — the value the node would have seen.
+  std::vector<NodeId> last(locs.size(), kBottom);
+  for (const TraceEvent* e : order) {
+    const NodeId u = e->node;
+    const Op o = c.op(u);
+    for (std::size_t i = 0; i < locs.size(); ++i) {
+      if (o.reads(locs[i]) || o.writes(locs[i])) continue;  // handled below
+      if (last[i] != kBottom) phi.set(locs[i], u, last[i]);
+    }
+    if (o.is_write()) {
+      phi.set(o.loc, u, u);
+      const auto it = std::lower_bound(locs.begin(), locs.end(), o.loc);
+      if (it != locs.end() && *it == o.loc)
+        last[static_cast<std::size_t>(it - locs.begin())] = u;
+    } else if (o.is_read() && e->observed != kBottom && e->observed < n) {
+      phi.set(o.loc, e->node, e->observed);
+    }
+  }
+  // Writes self-observe even when the trace omits their event entirely.
+  for (NodeId u = 0; u < n; ++u)
+    if (c.op(u).is_write()) phi.set(c.op(u).loc, u, u);
+  return phi;
+}
+
+LargeCheckReport large_check_trace(const Computation& c, const Trace& trace,
+                                   const LargeCheckOptions& options) {
+  std::string why;
+  if (!trace_consistent_with(trace, c, &why)) {
+    LargeCheckReport report;
+    report.checked = options.models & kLargeCheckAll;
+    report.detail = "trace does not fit the computation: " + why;
+    return report;
+  }
+  return large_check(c, observer_from_trace(c, trace), options);
+}
+
+}  // namespace ccmm

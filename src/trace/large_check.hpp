@@ -1,0 +1,116 @@
+// ccmm/trace/large_check.hpp
+//
+// Streaming post-mortem checking for large traces. The classic pipeline
+// (CheckContext::prepare → contains_prepared) is exact but leans on the
+// O(n²)-bit transitive closure and O(n·writers)-bit Φ⁻¹ block bitsets,
+// which caps verify_execution at toy sizes. large_check() decides the
+// same per-location-decomposable memberships — LC and the four dag
+// consistency models NN/NW/WN/WW — by streaming the computation in
+// topological order:
+//
+//  * observer validity (Definition 2) with the precedence-oracle layer
+//    (dag/precedence_oracle.hpp): one O(1) point query per observation
+//    instead of a closure row;
+//  * LC via the block-quotient Kahn scan, O(n+m) per location;
+//  * NN/NW/WN/WW via three per-node block masks computed in one forward
+//    and one backward sweep per group of 64 Φ⁻¹ blocks — A[v] (blocks
+//    with a member strictly before v), D[v] (blocks with a member
+//    strictly after v) and W[v] (blocks whose writer is strictly before
+//    v) — which re-express the Q(l,u,v,w) violation scan with zero
+//    precedence queries (see DESIGN.md for the derivation);
+//  * locations sharded across the ThreadPool, each with O(n)-word
+//    transient scratch. Peak memory is O(n·⌈writers/64⌉) words per
+//    in-flight location, never O(n²) bits.
+//
+// Verdicts are pinned byte-identical to the prepared checkers by
+// tests/test_large_check.cpp.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dag/precedence_oracle.hpp"
+#include "models/suite.hpp"
+#include "trace/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ccmm {
+
+/// The per-location-decomposable suite bits large_check can decide.
+inline constexpr std::uint32_t kLargeCheckAll =
+    kSuiteLC | kSuiteNN | kSuiteNW | kSuiteWN | kSuiteWW;
+
+struct LargeCheckOptions {
+  /// Which models to decide (subset of kLargeCheckAll).
+  std::uint32_t models = kSuiteLC;
+  /// Oracle selection for the validity point queries (kAuto: SP labels
+  /// when the computation carries a parse, closure when small, chains
+  /// otherwise).
+  OracleOptions oracle;
+  /// Shard per-location work across this pool (nullptr = global_pool()).
+  ThreadPool* pool = nullptr;
+  bool parallel = true;
+};
+
+/// Outcome for one checked location.
+struct LocationCheck {
+  Location loc = 0;
+  bool valid = true;            // this column passes Definition 2
+  std::uint32_t violated = 0;   // requested models this location breaks
+  std::size_t writers = 0;      // |writers(l)| = block count - 1
+  double millis = 0.0;
+  std::string detail;           // first witness / validity failure
+};
+
+struct LargeCheckReport {
+  bool valid_observer = false;
+  std::uint32_t checked = 0;    // the requested model mask
+  std::uint32_t satisfied = 0;  // subset of `checked` that hold
+  std::string detail;           // first failure across locations
+  std::string oracle_kind;
+  std::size_t oracle_memory_bytes = 0;
+  double oracle_build_millis = 0.0;
+  double total_millis = 0.0;
+  std::vector<LocationCheck> locations;  // sorted by location
+
+  /// Same meaning as MemoryModel::contains for the given suite bit:
+  /// valid observer and no location violates the model.
+  [[nodiscard]] bool in_model(std::uint32_t bit) const {
+    return valid_observer && (checked & bit) != 0 && (satisfied & bit) != 0;
+  }
+
+  /// Multi-line human summary (overall verdicts + per-location table).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Decide the requested models for (c, phi) without materializing the
+/// transitive closure. Agrees with validate_observer + the models'
+/// contains() on every input (differentially tested).
+[[nodiscard]] LargeCheckReport large_check(const Computation& c,
+                                           const ObserverFunction& phi,
+                                           const LargeCheckOptions& options
+                                           = {});
+
+/// The total observer a trace induces: every read observes its recorded
+/// write (⊥ included — the machine really saw no write), every write
+/// observes itself (condition 2.3 forces this), and every unrecorded
+/// slot observes the last write to that location the trace ran strictly
+/// before the node's event (⊥ if none). The completion is what makes
+/// membership meaningful — the paper's Φ is total, and leaving
+/// unrecorded slots at ⊥ would order every block after B_⊥'s stragglers
+/// and fail LC even on a serial SC execution. Because the trace order
+/// is a linear extension of the dag, the completed entries always
+/// satisfy condition 2.2.
+[[nodiscard]] ObserverFunction observer_from_trace(const Computation& c,
+                                                   const Trace& trace);
+
+/// Trace entry point: sanity-check the trace against `c` (reporting the
+/// first mismatching event on failure), build the trace observer, and
+/// stream-check it.
+[[nodiscard]] LargeCheckReport large_check_trace(const Computation& c,
+                                                 const Trace& trace,
+                                                 const LargeCheckOptions&
+                                                     options = {});
+
+}  // namespace ccmm

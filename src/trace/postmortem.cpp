@@ -1,9 +1,24 @@
 #include "trace/postmortem.hpp"
 
 #include "enumerate/observer_enum.hpp"
+#include "trace/large_check.hpp"
 #include "util/str.hpp"
 
 namespace ccmm {
+namespace {
+
+/// Suite bit for the per-location-decomposable models the streaming
+/// checker can produce a violation witness for; 0 otherwise.
+std::uint32_t suite_bit_for(const std::string& name) {
+  if (name == "LC") return kSuiteLC;
+  if (name == "NN") return kSuiteNN;
+  if (name == "NW") return kSuiteNW;
+  if (name == "WN") return kSuiteWN;
+  if (name == "WW") return kSuiteWW;
+  return 0;
+}
+
+}  // namespace
 
 PostmortemReport verify_execution(const Computation& c,
                                   const ObserverFunction& phi,
@@ -22,6 +37,17 @@ PostmortemReport verify_execution(const Computation& c,
   report.detail = report.in_model
                       ? format("execution is %s", model.name().c_str())
                       : format("execution violates %s", model.name().c_str());
+  if (!report.in_model) {
+    // For the decomposable models the streaming checker names a concrete
+    // per-location witness; surface it instead of the bare verdict.
+    if (const std::uint32_t bit = suite_bit_for(model.name()); bit != 0) {
+      LargeCheckOptions opt;
+      opt.models = bit;
+      opt.parallel = false;
+      const LargeCheckReport lr = large_check(c, phi, opt);
+      if (!lr.detail.empty()) report.detail += ": " + lr.detail;
+    }
+  }
   return report;
 }
 
@@ -37,10 +63,24 @@ ObserverFunction reads_only_projection(const Computation& c,
   return out;
 }
 
-ObserverFunction reads_from_trace(const Computation& c, const Trace& trace) {
+ObserverFunction reads_from_trace(const Computation& c, const Trace& trace,
+                                  std::string* issue) {
   ObserverFunction out(c.node_count());
   for (const auto& e : trace.events) {
     if (!e.op.is_read() || e.observed == kBottom) continue;
+    if (e.observed >= c.node_count()) {
+      if (issue != nullptr && issue->empty())
+        *issue = format("read %u (seq=%llu) observed unknown node %u", e.node,
+                        static_cast<unsigned long long>(e.seq), e.observed);
+      continue;  // cannot be stored; the observer domain is 0..n-1
+    }
+    if (issue != nullptr && issue->empty() &&
+        !c.op(e.observed).writes(e.op.loc))
+      *issue = format("read %u (seq=%llu) observed node %u, which is %s, "
+                      "not a write to location %u",
+                      e.node, static_cast<unsigned long long>(e.seq),
+                      e.observed, c.op(e.observed).to_string().c_str(),
+                      e.op.loc);
     out.set(e.op.loc, e.node, e.observed);
   }
   return out;

@@ -1,8 +1,10 @@
 #include "trace/trace.hpp"
 
 #include <algorithm>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
 
-#include "dag/topsort.hpp"
 #include "util/str.hpp"
 
 namespace ccmm {
@@ -21,25 +23,185 @@ std::vector<NodeId> trace_order(const Trace& trace) {
   return order;
 }
 
-bool trace_consistent_with(const Trace& trace, const Computation& c) {
-  if (trace.events.size() != c.node_count()) return false;
+bool trace_consistent_with(const Trace& trace, const Computation& c,
+                           std::string* why) {
+  const auto fail = [&](std::string reason) {
+    if (why != nullptr) *why = std::move(reason);
+    return false;
+  };
+  if (trace.events.size() != c.node_count())
+    return fail(format("trace has %zu events for %zu nodes",
+                       trace.events.size(), c.node_count()));
   for (const auto& e : trace.events) {
-    if (e.node >= c.node_count()) return false;
-    if (!(e.op == c.op(e.node))) return false;
+    if (e.node >= c.node_count())
+      return fail(format("event seq=%llu names unknown node %u",
+                         static_cast<unsigned long long>(e.seq), e.node));
+    if (!(e.op == c.op(e.node)))
+      return fail(format("node %u executed %s but is labelled %s", e.node,
+                         e.op.to_string().c_str(),
+                         c.op(e.node).to_string().c_str()));
   }
-  return is_topological_sort(c.dag(), trace_order(trace));
+  // One event per node, and the seq order must be a linear extension:
+  // pos[u] = position of u's event; then every dag edge must go forward.
+  const std::vector<NodeId> order = trace_order(trace);
+  std::vector<std::size_t> pos(c.node_count(), SIZE_MAX);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (pos[order[i]] != SIZE_MAX)
+      return fail(format("node %u appears in more than one event", order[i]));
+    pos[order[i]] = i;
+  }
+  for (NodeId u = 0; u < c.node_count(); ++u)
+    for (const NodeId v : c.dag().succ(u))
+      if (pos[u] >= pos[v])
+        return fail(format(
+            "trace order flips dag edge %u -> %u (node %u ran first)", u, v,
+            v));
+  return true;
 }
 
-std::string trace_to_string(const Trace& trace) {
-  TextTable t({"seq", "time", "proc", "node", "op", "observed"});
-  for (const auto& e : trace.events) {
-    t.add_row({format("%llu", static_cast<unsigned long long>(e.seq)),
-               format("%llu", static_cast<unsigned long long>(e.time)),
-               format("%u", e.proc), format("%u", e.node),
-               e.op.to_string(),
-               e.observed == kBottom ? "_" : format("%u", e.observed)});
+std::string trace_to_string(const Trace& trace, std::size_t max_rows) {
+  const std::size_t nrows = std::min(trace.events.size(), max_rows);
+  const auto digits = [](unsigned long long v) {
+    std::size_t d = 1;
+    while (v >= 10) {
+      v /= 10;
+      ++d;
+    }
+    return d;
+  };
+  // Column widths from the numeric values directly — no per-cell string
+  // materialization, and one reserve for the whole render.
+  const char* headers[6] = {"seq", "time", "proc", "node", "op", "observed"};
+  std::size_t w[6];
+  for (std::size_t i = 0; i < 6; ++i) w[i] = std::char_traits<char>::length(headers[i]);
+  for (std::size_t i = 0; i < nrows; ++i) {
+    const TraceEvent& e = trace.events[i];
+    w[0] = std::max(w[0], digits(e.seq));
+    w[1] = std::max(w[1], digits(e.time));
+    w[2] = std::max(w[2], digits(e.proc));
+    w[3] = std::max(w[3], digits(e.node));
+    w[4] = std::max(w[4], e.op.is_nop() ? std::size_t{1}
+                                        : 3 + digits(e.op.loc));
+    w[5] = std::max(w[5], e.observed == kBottom ? std::size_t{1}
+                                                : digits(e.observed));
   }
-  return t.render();
+  std::size_t row_width = 1;  // newline
+  for (std::size_t i = 0; i < 6; ++i) row_width += w[i] + 2;
+
+  std::string out;
+  out.reserve((nrows + 3) * row_width + 64);
+  const auto pad_to = [&](std::size_t mark, std::size_t width, bool last) {
+    const std::size_t written = out.size() - mark;
+    if (written < width) out.append(width - written, ' ');
+    if (!last) out.append(2, ' ');
+  };
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::size_t mark = out.size();
+    out += headers[i];
+    pad_to(mark, w[i], i == 5);
+  }
+  out += '\n';
+  out.append(row_width - 1, '-');
+  out += '\n';
+
+  char buf[32];
+  const auto cell = [&](std::size_t i, unsigned long long v, bool last) {
+    const std::size_t mark = out.size();
+    out.append(buf, static_cast<std::size_t>(
+                        std::snprintf(buf, sizeof buf, "%llu", v)));
+    pad_to(mark, w[i], last);
+  };
+  for (std::size_t i = 0; i < nrows; ++i) {
+    const TraceEvent& e = trace.events[i];
+    cell(0, e.seq, false);
+    cell(1, e.time, false);
+    cell(2, e.proc, false);
+    cell(3, e.node, false);
+    {
+      const std::size_t mark = out.size();
+      out += e.op.to_string();
+      pad_to(mark, w[4], false);
+    }
+    if (e.observed == kBottom) {
+      const std::size_t mark = out.size();
+      out += '_';
+      pad_to(mark, w[5], true);
+    } else {
+      cell(5, e.observed, true);
+    }
+    out += '\n';
+  }
+  if (nrows < trace.events.size())
+    out += format("... (%zu more events elided; raise max_rows to render)\n",
+                  trace.events.size() - nrows);
+  return out;
+}
+
+std::string write_trace(const Trace& trace) {
+  std::string out;
+  out.reserve(trace.events.size() * 24 + 64);
+  out += "# ccmm trace: seq time proc node observed (_ = no write seen)\n";
+  char buf[96];
+  for (const TraceEvent& e : trace.events) {
+    int len;
+    if (e.observed == kBottom) {
+      len = std::snprintf(buf, sizeof buf, "%llu %llu %u %u _\n",
+                          static_cast<unsigned long long>(e.seq),
+                          static_cast<unsigned long long>(e.time),
+                          static_cast<unsigned>(e.proc), e.node);
+    } else {
+      len = std::snprintf(buf, sizeof buf, "%llu %llu %u %u %u\n",
+                          static_cast<unsigned long long>(e.seq),
+                          static_cast<unsigned long long>(e.time),
+                          static_cast<unsigned>(e.proc), e.node, e.observed);
+    }
+    out.append(buf, static_cast<std::size_t>(len));
+  }
+  return out;
+}
+
+Trace read_trace(std::istream& in, const Computation& c) {
+  Trace trace;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream row(line);
+    unsigned long long seq = 0;
+    unsigned long long time = 0;
+    unsigned proc = 0;
+    unsigned long long node = 0;
+    std::string observed;
+    if (!(row >> seq >> time >> proc >> node >> observed))
+      throw std::runtime_error(format(
+          "trace line %zu: expected `seq time proc node observed`", lineno));
+    if (node >= c.node_count())
+      throw std::runtime_error(format(
+          "trace line %zu: node %llu out of range (computation has %zu "
+          "nodes)",
+          lineno, node, c.node_count()));
+    TraceEvent e;
+    e.seq = seq;
+    e.time = time;
+    e.proc = static_cast<ProcId>(proc);
+    e.node = static_cast<NodeId>(node);
+    e.op = c.op(e.node);
+    if (observed == "_") {
+      e.observed = kBottom;
+    } else {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(observed.c_str(), &end, 10);
+      if (end == observed.c_str() || *end != '\0' || v >= c.node_count())
+        throw std::runtime_error(format(
+            "trace line %zu: bad observed node `%s`", lineno,
+            observed.c_str()));
+      e.observed = static_cast<NodeId>(v);
+    }
+    trace.events.push_back(e);
+  }
+  return trace;
 }
 
 }  // namespace ccmm

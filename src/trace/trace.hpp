@@ -4,6 +4,8 @@
 // sanity checks and conversions used by post-mortem analysis.
 #pragma once
 
+#include <string>
+
 #include "exec/sim_machine.hpp"
 
 namespace ccmm {
@@ -12,11 +14,28 @@ namespace ccmm {
 [[nodiscard]] std::vector<NodeId> trace_order(const Trace& trace);
 
 /// Sanity: one event per node, ops agree with the computation, and the
-/// trace order is a topological sort of the dag.
+/// trace order is a topological sort of the dag. When `why` is non-null
+/// and the check fails, it receives a message naming the offending
+/// event/node (size mismatch, unknown node, op disagreement, duplicate,
+/// or the first dag edge the order flips).
 [[nodiscard]] bool trace_consistent_with(const Trace& trace,
-                                         const Computation& c);
+                                         const Computation& c,
+                                         std::string* why = nullptr);
 
-/// Render the trace as a table (time, proc, node, op, observed).
-[[nodiscard]] std::string trace_to_string(const Trace& trace);
+/// Render the trace as a table (time, proc, node, op, observed). Only
+/// the first `max_rows` events are rendered — million-node traces would
+/// otherwise allocate hundreds of MB of text — with a trailing note
+/// giving the elided count.
+[[nodiscard]] std::string trace_to_string(const Trace& trace,
+                                          std::size_t max_rows = 10000);
+
+/// Plain-text trace format: one `seq proc node observed` line per
+/// event (`_` for a ⊥ observation), `#` comments and blank lines
+/// ignored. Ops are not serialized — they are looked up in the
+/// computation on read, which is also why reading needs `c`.
+/// read_trace throws std::runtime_error on malformed lines or node ids
+/// outside the computation.
+[[nodiscard]] std::string write_trace(const Trace& trace);
+[[nodiscard]] Trace read_trace(std::istream& in, const Computation& c);
 
 }  // namespace ccmm

@@ -1,0 +1,270 @@
+#include "trace/large_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exec/lc_memory.hpp"
+#include "exec/sc_memory.hpp"
+#include "exec/weak_memory.hpp"
+#include "exec/workload.hpp"
+#include "models/location_consistency.hpp"
+#include "models/qdag.hpp"
+#include "proc/random_program.hpp"
+#include "trace/postmortem.hpp"
+#include "util/rng.hpp"
+
+namespace ccmm {
+namespace {
+
+/// The streaming report must agree bit-for-bit with the prepared
+/// checkers on every model it claims to decide.
+void expect_matches_models(const Computation& c, const ObserverFunction& phi,
+                           const LargeCheckOptions& base) {
+  LargeCheckOptions opt = base;
+  opt.models = kLargeCheckAll;
+  const LargeCheckReport r = large_check(c, phi, opt);
+
+  const ValidityResult validity = validate_observer(c, phi);
+  ASSERT_EQ(r.valid_observer, validity.ok) << validity.reason << "\n"
+                                           << r.detail;
+  EXPECT_EQ(r.in_model(kSuiteLC), location_consistent(c, phi)) << r.detail;
+  EXPECT_EQ(r.in_model(kSuiteNN), qdag_consistent(c, phi, DagPred::kNN));
+  EXPECT_EQ(r.in_model(kSuiteNW), qdag_consistent(c, phi, DagPred::kNW));
+  EXPECT_EQ(r.in_model(kSuiteWN), qdag_consistent(c, phi, DagPred::kWN));
+  EXPECT_EQ(r.in_model(kSuiteWW), qdag_consistent(c, phi, DagPred::kWW));
+  if (r.valid_observer) {
+    const bool any_violated =
+        (r.satisfied & kLargeCheckAll) != kLargeCheckAll;
+    EXPECT_EQ(any_violated, !r.detail.empty());
+  }
+}
+
+std::vector<Computation> small_workloads() {
+  std::vector<Computation> out;
+  out.push_back(workload::reduction(4));
+  out.push_back(workload::stencil(4, 3));
+  out.push_back(workload::contended_counter(5));
+  out.push_back(workload::matmul(2));
+  out.push_back(workload::fork_join_array(2, 3, 4));
+  Rng rng(17);
+  for (int i = 0; i < 6; ++i)
+    out.push_back(workload::random_ops(gen::random_dag(14, 0.2, rng), 3, 0.4,
+                                       0.4, rng));
+  return out;
+}
+
+TEST(LargeCheck, MatchesPreparedCheckersOnExecutions) {
+  Rng rng(23);
+  for (const Computation& c : small_workloads()) {
+    {
+      ScMemory mem;
+      expect_matches_models(c, run_serial(c, mem).phi, {});
+    }
+    {
+      WeakMemory mem(5);
+      const Schedule s = greedy_schedule(c, 3);
+      expect_matches_models(c, run_execution(c, s, mem).phi, {});
+    }
+    {
+      LcOracleMemory mem(11);
+      const Schedule s = work_stealing_schedule(c, 2, rng);
+      expect_matches_models(c, run_execution(c, s, mem).phi, {});
+    }
+  }
+}
+
+TEST(LargeCheck, MatchesPreparedCheckersOnPerturbedObservers) {
+  // Random corruptions cover invalid observers and model-breaking ones;
+  // the verdicts must track the reference checkers through all of them.
+  Rng rng(31);
+  for (const Computation& c : small_workloads()) {
+    WeakMemory mem(3);
+    const Schedule s = greedy_schedule(c, 2);
+    const ObserverFunction base = run_execution(c, s, mem).phi;
+    const std::vector<Location> locs = c.written_locations();
+    if (locs.empty()) continue;
+    for (int trial = 0; trial < 20; ++trial) {
+      ObserverFunction phi = base;
+      for (int k = 0; k < 3; ++k) {
+        const Location l = locs[rng.below(locs.size())];
+        const auto u = static_cast<NodeId>(rng.below(c.node_count()));
+        const std::vector<NodeId> ws = c.writers(l);
+        const NodeId v = rng.chance(0.25)
+                             ? kBottom
+                             : ws[rng.below(ws.size())];
+        phi.set(l, u, v);
+      }
+      expect_matches_models(c, phi, {});
+    }
+  }
+}
+
+TEST(LargeCheck, MatchesOnCilkPrograms) {
+  Rng rng(47);
+  for (int trial = 0; trial < 30; ++trial) {
+    proc::RandomCilkOptions opt;
+    opt.target_ops = 24 + trial;
+    opt.nlocations = 4;
+    const Computation c = proc::random_cilk(opt, rng);
+    WeakMemory mem(trial);
+    const Schedule s = greedy_schedule(c, 3);
+    const ObserverFunction phi = run_execution(c, s, mem).phi;
+    LargeCheckOptions base;
+    expect_matches_models(c, phi, base);
+    // The SP parse should be picked up automatically.
+    const LargeCheckReport r = large_check(c, phi, base);
+    EXPECT_EQ(r.oracle_kind, "sp-order");
+  }
+}
+
+TEST(LargeCheck, TraceEntryAgreesWithVerifyExecution) {
+  Rng rng(3);
+  for (const Computation& c : small_workloads()) {
+    WeakMemory mem(9);
+    const Schedule s = greedy_schedule(c, 2);
+    const ExecutionResult run = run_execution(c, s, mem);
+    LargeCheckOptions opt;
+    opt.models = kSuiteLC;
+    const LargeCheckReport r = large_check_trace(c, run.trace, opt);
+    const ObserverFunction phi = observer_from_trace(c, run.trace);
+    const PostmortemReport ref =
+        verify_execution(c, phi, *LocationConsistencyModel::instance());
+    ASSERT_EQ(r.valid_observer, ref.valid_observer) << r.detail;
+    EXPECT_EQ(r.in_model(kSuiteLC), ref.in_model) << r.detail;
+  }
+}
+
+TEST(LargeCheck, SerialTraceIsMemberOfEverything) {
+  // A serial execution is sequentially consistent, so its completed
+  // trace observer must land in every model of the suite — this pins
+  // the last-write completion in observer_from_trace (an all-⊥
+  // completion would fail LC on any trace with a post-write nop).
+  Rng rng(83);
+  for (const Computation& c : small_workloads()) {
+    ScMemory mem;
+    const ExecutionResult run = run_serial(c, mem);
+    LargeCheckOptions opt;
+    opt.models = kLargeCheckAll;
+    const LargeCheckReport r = large_check_trace(c, run.trace, opt);
+    ASSERT_TRUE(r.valid_observer) << r.detail;
+    EXPECT_EQ(r.satisfied, kLargeCheckAll) << r.detail;
+  }
+  proc::RandomCilkOptions copt;
+  copt.target_ops = 400;
+  const Computation c = proc::random_cilk(copt, rng);
+  ScMemory mem;
+  const ExecutionResult run = run_serial(c, mem);
+  const LargeCheckReport r = large_check_trace(c, run.trace, {});
+  EXPECT_TRUE(r.valid_observer);
+  EXPECT_EQ(r.satisfied & kSuiteLC, kSuiteLC) << r.detail;
+}
+
+TEST(LargeCheck, RejectsBrokenTraces) {
+  const Computation c = workload::reduction(3);
+  ScMemory mem;
+  const ExecutionResult run = run_serial(c, mem);
+
+  Trace shorter = run.trace;
+  shorter.events.pop_back();
+  const LargeCheckReport r = large_check_trace(c, shorter, {});
+  EXPECT_FALSE(r.valid_observer);
+  EXPECT_NE(r.detail.find("trace does not fit"), std::string::npos);
+
+  Trace reordered = run.trace;
+  for (auto& e : reordered.events)
+    if (e.node == 0) e.seq = 1u << 20;
+  EXPECT_FALSE(large_check_trace(c, reordered, {}).valid_observer);
+}
+
+TEST(LargeCheck, ReportsUsableDetailAndTimings) {
+  // A stale read past an intervening write: w0 -> w1 -> r0 with r0
+  // observing w0 breaks every model here (the quotient cycles for LC,
+  // and u=w0 ≺ v=w1 ≺ w=r0 witnesses all four Q-dag predicates).
+  ComputationBuilder b;
+  const NodeId w0 = b.write(0);
+  const NodeId w1 = b.write(0, {w0});
+  const NodeId r0 = b.read(0, {w1});
+  const Computation c = std::move(b).build();
+  ObserverFunction phi(c.node_count());
+  phi.set(0, w0, w0);
+  phi.set(0, w1, w1);
+  phi.set(0, r0, w0);
+
+  LargeCheckOptions opt;
+  opt.models = kLargeCheckAll;
+  const LargeCheckReport r = large_check(c, phi, opt);
+  EXPECT_TRUE(r.valid_observer);
+  EXPECT_EQ(r.satisfied, 0u);
+  EXPECT_FALSE(r.detail.empty());
+  ASSERT_EQ(r.locations.size(), 1u);
+  EXPECT_EQ(r.locations[0].writers, 2u);
+  EXPECT_EQ(r.locations[0].violated, kLargeCheckAll);
+  const std::string rendered = r.to_string();
+  EXPECT_NE(rendered.find("oracle"), std::string::npos);
+  EXPECT_NE(rendered.find("loc"), std::string::npos);
+}
+
+TEST(LargeCheck, ObserverFromTracePinsReadsAndWrites) {
+  const Computation c = workload::contended_counter(3);
+  ScMemory mem;
+  const ExecutionResult run = run_serial(c, mem);
+  const ObserverFunction phi = observer_from_trace(c, run.trace);
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const Op o = c.op(u);
+    if (o.is_write()) {
+      EXPECT_EQ(phi.get(o.loc, u), u);
+    }
+  }
+  for (const TraceEvent& e : run.trace.events) {
+    if (e.op.is_read()) {
+      EXPECT_EQ(phi.get(e.op.loc, e.node), e.observed);
+    }
+  }
+}
+
+TEST(LargeCheckParallel, ShardedPipelineMatchesSequential) {
+  // Many-location workloads sharded across the global pool must agree
+  // with the sequential run of the same checks (and be TSan-clean).
+  Rng rng(61);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Computation c = workload::random_ops(
+        gen::layered({6, 8, 8, 6}, 0.3, rng), 12, 0.45, 0.45, rng);
+    WeakMemory mem(trial);
+    const Schedule s = greedy_schedule(c, 4);
+    const ObserverFunction phi = run_execution(c, s, mem).phi;
+
+    LargeCheckOptions par;
+    par.models = kLargeCheckAll;
+    par.parallel = true;
+    LargeCheckOptions seq = par;
+    seq.parallel = false;
+    const LargeCheckReport a = large_check(c, phi, par);
+    const LargeCheckReport b = large_check(c, phi, seq);
+    ASSERT_EQ(a.valid_observer, b.valid_observer);
+    EXPECT_EQ(a.satisfied, b.satisfied);
+    ASSERT_EQ(a.locations.size(), b.locations.size());
+    for (std::size_t i = 0; i < a.locations.size(); ++i) {
+      EXPECT_EQ(a.locations[i].loc, b.locations[i].loc);
+      EXPECT_EQ(a.locations[i].violated, b.locations[i].violated);
+      EXPECT_EQ(a.locations[i].valid, b.locations[i].valid);
+    }
+  }
+}
+
+TEST(LargeCheckParallel, ConcurrentReportsShareNothing) {
+  // Two checks over the same computation running back to back on the
+  // pool: the second must be unaffected by the first (regression against
+  // shared mutable scratch).
+  Rng rng(71);
+  const Computation c = workload::stencil(8, 6);
+  ScMemory mem;
+  const ObserverFunction phi = run_serial(c, mem).phi;
+  LargeCheckOptions opt;
+  opt.models = kLargeCheckAll;
+  const LargeCheckReport first = large_check(c, phi, opt);
+  const LargeCheckReport second = large_check(c, phi, opt);
+  EXPECT_EQ(first.satisfied, second.satisfied);
+  EXPECT_EQ(first.valid_observer, second.valid_observer);
+}
+
+}  // namespace
+}  // namespace ccmm

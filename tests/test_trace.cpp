@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+
 #include "exec/sc_memory.hpp"
 #include "exec/workload.hpp"
 
@@ -65,6 +68,57 @@ TEST(Trace, RenderingMentionsOpsAndObservations) {
   EXPECT_NE(s.find("W(0)"), std::string::npos);
   EXPECT_NE(s.find("R(0)"), std::string::npos);
   EXPECT_NE(s.find("seq"), std::string::npos);
+}
+
+TEST(Trace, ConsistencyCheckerNamesTheProblem) {
+  const Computation c = workload::contended_counter(3);
+  const ExecutionResult r = sample_run(c);
+  std::string why;
+
+  Trace shorter = r.trace;
+  shorter.events.pop_back();
+  EXPECT_FALSE(trace_consistent_with(shorter, c, &why));
+  EXPECT_NE(why.find("events"), std::string::npos);
+
+  Trace wrong_op = r.trace;
+  wrong_op.events[0].op = Op::read(9);
+  EXPECT_FALSE(trace_consistent_with(wrong_op, c, &why));
+  EXPECT_NE(why.find("R(9)"), std::string::npos);
+
+  Trace reordered = r.trace;
+  for (auto& e : reordered.events)
+    if (e.node == 0) e.seq = 1000;
+  EXPECT_FALSE(trace_consistent_with(reordered, c, &why));
+  EXPECT_NE(why.find("flips dag edge"), std::string::npos);
+}
+
+TEST(Trace, RenderingElidesLongTraces) {
+  const Computation c = workload::contended_counter(6);
+  const ExecutionResult r = sample_run(c);
+  const std::string s = trace_to_string(r.trace, 3);
+  EXPECT_NE(s.find("more events elided"), std::string::npos);
+  // 3 rows + header + rule + elision note.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 6);
+}
+
+TEST(Trace, TextRoundTrip) {
+  const Computation c = workload::contended_counter(4);
+  const ExecutionResult r = sample_run(c);
+  std::istringstream in(write_trace(r.trace));
+  const Trace back = read_trace(in, c);
+  ASSERT_EQ(back.events.size(), r.trace.events.size());
+  for (std::size_t i = 0; i < back.events.size(); ++i) {
+    EXPECT_EQ(back.events[i].seq, r.trace.events[i].seq);
+    EXPECT_EQ(back.events[i].node, r.trace.events[i].node);
+    EXPECT_EQ(back.events[i].observed, r.trace.events[i].observed);
+    EXPECT_TRUE(back.events[i].op == r.trace.events[i].op);
+  }
+  EXPECT_TRUE(trace_consistent_with(back, c));
+
+  std::istringstream junk("1 0 0 not-a-node _\n");
+  EXPECT_THROW((void)read_trace(junk, c), std::runtime_error);
+  std::istringstream bad_node("1 0 0 99999 _\n");
+  EXPECT_THROW((void)read_trace(bad_node, c), std::runtime_error);
 }
 
 TEST(Trace, EmptyTrace) {

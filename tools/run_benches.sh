@@ -43,7 +43,10 @@ done
 if [[ $mode == quick ]]; then
   min_time=0.01
   # Negative filter: drop the minute-scale args, keep everything else.
-  filter='-(.*/6$|.*/10000$|BM_FixpointParallel.*)'
+  # The /1048576 trace runs and the 16384-node closure build are
+  # second-scale per iteration; the 16384 streaming run stays in so the
+  # BM_LargeCheckLC/16384 gate still binds on CI.
+  filter='-(.*/6$|.*/10000$|.*/1048576$|BM_VerifyClosureLC/16384$|BM_FixpointParallel.*)'
 fi
 
 tmp="$(mktemp -d)"
@@ -58,7 +61,7 @@ run_bench() {  # run_bench <binary> <out.json> [filter]
 }
 
 benches=(bench_construct bench_enumeration bench_sc_search bench_race
-         bench_checkers)
+         bench_checkers bench_trace)
 for b in "${benches[@]}"; do
   bin="$build_dir/bench/$b"
   if [[ ! -x $bin ]]; then
@@ -101,7 +104,7 @@ import json, sys
 
 tmp, out_file, mode = sys.argv[1], sys.argv[2], sys.argv[3]
 benches = ["bench_construct", "bench_enumeration", "bench_sc_search",
-           "bench_race", "bench_checkers"]
+           "bench_race", "bench_checkers", "bench_trace"]
 experiments = ["thm_verification", "fig4_nonconstructibility"]
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -113,7 +116,7 @@ def load(path):
 merged = {"generated_by": "tools/run_benches.sh", "mode": mode,
           "benchmarks": {}, "experiments": {}, "quotient_speedup": [],
           "prepared_speedup": [], "worklist_speedup": [],
-          "cache_counters": {}}
+          "trace_speedup": [], "cache_counters": {}}
 
 by_name = {}
 for b in benches:
@@ -190,6 +193,14 @@ WORKLIST_PAIRS = [
 ]
 pair_rows(WORKLIST_PAIRS, merged["worklist_speedup"], "jacobi", "worklist")
 
+# Closure-based prepared LC check -> streaming oracle-backed checker,
+# per matching computation size (only the closure-feasible args pair
+# up; BM_LargeCheckLC/1048576 has no closure counterpart by design).
+TRACE_PAIRS = [
+    ("BM_VerifyClosureLC", "BM_LargeCheckLC"),
+]
+pair_rows(TRACE_PAIRS, merged["trace_speedup"], "closure", "streaming")
+
 # Surface the memo-cache counters the experiments export (full JSON is
 # under "experiments"; this is the at-a-glance copy).
 for e in experiments:
@@ -212,5 +223,8 @@ for row in merged["prepared_speedup"]:
           f"{row['speedup']:.2f}x")
 for row in merged["worklist_speedup"]:
     print(f"  {row['jacobi']:45s} -> {row['worklist']:50s} "
+          f"{row['speedup']:.2f}x")
+for row in merged["trace_speedup"]:
+    print(f"  {row['closure']:45s} -> {row['streaming']:50s} "
           f"{row['speedup']:.2f}x")
 PY

@@ -1,14 +1,18 @@
-// Pairwise vs SP-bags race detection. The pairwise engine pays for the
-// dag's transitive closure (O(n·m/64) bitset build) plus a probe per
-// same-location pair; SP-bags replays the series-parallel parse with a
-// disjoint-set union — near-linear, no closure. "Cold" rebuilds the
-// computation each iteration (what a caller starting from a fresh trace
-// pays); "warm" reuses a cached closure (the engine's steady state).
+// Pairwise vs SP-bags vs oracle race detection. The pairwise engine
+// pays for the dag's transitive closure (O(n·m/64) bitset build) plus a
+// probe per same-location pair; SP-bags replays the series-parallel
+// parse with a disjoint-set union — near-linear, no closure; the oracle
+// engine (analyze/race_oracle.hpp) proves per-location total orders
+// with O(1) precedence queries and only enumerates the racy locations.
+// "Cold" rebuilds the computation each iteration (what a caller
+// starting from a fresh trace pays); "warm" reuses a cached closure
+// (the engine's steady state).
 #include <benchmark/benchmark.h>
 
 #include <map>
 
 #include "proc/random_program.hpp"
+#include "analyze/race_oracle.hpp"
 #include "analyze/sp_bags.hpp"
 #include "trace/race.hpp"
 
@@ -24,11 +28,7 @@ struct Case {
   std::size_t races = 0;
 };
 
-const Case& case_for(std::size_t n) {
-  static std::map<std::size_t, Case> cache;
-  const auto it = cache.find(n);
-  if (it != cache.end()) return it->second;
-  Rng rng(0xC11Cu + n);
+proc::RandomCilkOptions case_options(std::size_t n) {
   proc::RandomCilkOptions options;
   options.target_ops = n;
   options.nlocations = std::max<std::size_t>(4, n / 8);
@@ -37,13 +37,43 @@ const Case& case_for(std::size_t n) {
   options.sync_prob = 0.12;
   options.write_prob = 0.35;
   options.max_live_strands = 256;
+  return options;
+}
+
+const Case& case_for(std::size_t n) {
+  static std::map<std::size_t, Case> cache;
+  const auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  Rng rng(0xC11Cu + n);
   Case c;
-  c.sp = proc::random_cilk(options, rng);
+  c.sp = proc::random_cilk(case_options(n), rng);
   c.edges = c.sp.dag().edges();
   c.ops = c.sp.ops();
   c.warm = Computation(Dag(c.sp.node_count(), c.edges), c.ops);
   c.warm.dag().ensure_closure();
   c.races = find_races_pairwise(c.warm).size();
+  return cache.emplace(n, std::move(c)).first->second;
+}
+
+/// The oracle engine's cases must scale to n = 2²⁰, where neither the
+/// closure (O(n²) bits) nor the exhaustive pairwise count is buildable
+/// — same generator profile as case_for, nothing precomputed.
+struct OracleCase {
+  Computation sp;       // carries the SP parse (sp-order oracle)
+  Computation general;  // same dag, parse dropped (auto: closure/chain)
+  std::size_t races = 0;
+};
+
+const OracleCase& oracle_case_for(std::size_t n) {
+  static std::map<std::size_t, OracleCase> cache;
+  const auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  Rng rng(0xC11Cu + n);
+  OracleCase c;
+  c.sp = proc::random_cilk(case_options(n), rng);
+  c.general =
+      Computation(Dag(c.sp.node_count(), c.sp.dag().edges()), c.sp.ops());
+  c.races = analyze::find_races_oracle(c.sp).size();
   return cache.emplace(n, std::move(c)).first->second;
 }
 
@@ -84,6 +114,31 @@ void BM_HasRacePairwise(benchmark::State& state) {
   }
 }
 
+/// The tentpole path: SP-order oracle, per-location total-order proofs,
+/// enumeration only where phase 1 failed. The 2²⁰-node case is the
+/// million-node headline — the closure engines cannot run it at all.
+void BM_FindRacesOracle(benchmark::State& state) {
+  const OracleCase& c = oracle_case_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analyze::find_races_oracle(c.sp));
+  state.counters["races"] = static_cast<double>(c.races);
+}
+
+/// Same scan on the parse-less rebuild: make_oracle falls back to the
+/// closure/chain tier, the general-dag regime.
+void BM_FindRacesOracleGeneral(benchmark::State& state) {
+  const OracleCase& c = oracle_case_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analyze::find_races_oracle(c.general));
+  state.counters["races"] = static_cast<double>(c.races);
+}
+
+void BM_FindFirstRaceOracle(benchmark::State& state) {
+  const OracleCase& c = oracle_case_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analyze::find_first_race(c.sp));
+}
+
 }  // namespace
 
 BENCHMARK(BM_FindRacesPairwiseCold)->Arg(256)->Arg(1024)->Arg(4096)->Arg(10000);
@@ -91,3 +146,6 @@ BENCHMARK(BM_FindRacesPairwiseWarm)->Arg(256)->Arg(1024)->Arg(4096)->Arg(10000);
 BENCHMARK(BM_FindRacesSpBags)->Arg(256)->Arg(1024)->Arg(4096)->Arg(10000);
 BENCHMARK(BM_HasRaceSpBags)->Arg(10000);
 BENCHMARK(BM_HasRacePairwise)->Arg(10000);
+BENCHMARK(BM_FindRacesOracle)->Arg(16384)->Arg(1048576);
+BENCHMARK(BM_FindRacesOracleGeneral)->Arg(16384);
+BENCHMARK(BM_FindFirstRaceOracle)->Arg(1048576);

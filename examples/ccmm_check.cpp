@@ -9,6 +9,7 @@
 //   $ ./ccmm_check --fixpoint 5           # worklist vs Jacobi Δ* stats
 //   $ ./ccmm_check instance.txt --trace t.txt  # stream-check a trace
 //   $ ./ccmm_check --trace-demo 1000000   # million-node streaming demo
+//   $ ./ccmm_check --trace-demo 500 --emit run   # + write run.txt/run.trace
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,7 +28,7 @@
 #include "models/sequential_consistency.hpp"
 #include "models/wn_plus.hpp"
 #include "proc/random_program.hpp"
-#include "trace/large_check.hpp"
+#include "trace/lint_pipeline.hpp"
 #include "trace/race.hpp"
 
 using namespace ccmm;
@@ -79,9 +80,11 @@ int fixpoint_report(std::size_t max_nodes) {
   return a == b ? 0 : 1;
 }
 
-/// Stream-check a recorded trace against the instance's computation:
-/// the oracle-backed per-location pipeline, no transitive closure. The
-/// report names the oracle it picked and times every location shard.
+/// Run the full streaming lint pipeline on a recorded trace: model
+/// verdicts for the trace's observer, the oracle-backed race scan with
+/// bounded witnesses, trace-sharpened lints, and the DRF ⇒ agreement
+/// certificate when the scan comes back clean. No transitive closure
+/// anywhere on this path.
 int trace_report(const Computation& c, const char* trace_path) {
   std::ifstream in(trace_path);
   if (!in) {
@@ -95,18 +98,21 @@ int trace_report(const Computation& c, const char* trace_path) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
-  LargeCheckOptions opt;
-  opt.models = kLargeCheckAll;
-  const LargeCheckReport r = large_check_trace(c, trace, opt);
+  const analyze::TraceLintResult r = analyze::analyze_trace(c, trace, {});
   std::printf("%s", r.to_string().c_str());
-  return r.valid_observer && (r.satisfied & kSuiteLC) != 0 ? 0 : 1;
+  const bool lc_ok = r.report.has_value() && r.report->in_model(kSuiteLC);
+  const bool no_errors = analyze::count_severities(r.diagnostics).errors == 0;
+  return r.trace_ok && lc_ok && no_errors ? 0 : 1;
 }
 
 /// Self-contained scale demo: synthesize a fork/join program of ~n
 /// memory instructions, execute it, and stream-check the recorded
 /// trace. At n = 1'000'000 the closure path would need ~250 GB of
 /// reachability bitsets; the SP-order oracle uses 8 bytes per node.
-int trace_demo(std::size_t n) {
+/// With `emit_prefix`, the run's binary-of-record artifacts are written
+/// to PREFIX.txt (instance) and PREFIX.trace — consumable by
+/// `ccmm_lint <PREFIX>.txt --trace <PREFIX>.trace`.
+int trace_demo(std::size_t n, const char* emit_prefix) {
   Rng rng(2026);
   proc::RandomCilkOptions opt;
   opt.target_ops = n;
@@ -116,12 +122,22 @@ int trace_demo(std::size_t n) {
   std::printf("executing (%zu nodes)...\n", c.node_count());
   ScMemory mem;
   const ExecutionResult run = run_serial(c, mem);
-  std::printf("stream-checking the trace:\n");
-  LargeCheckOptions check;
-  check.models = kLargeCheckAll;
-  const LargeCheckReport r = large_check_trace(c, run.trace, check);
+  if (emit_prefix != nullptr) {
+    const std::string base = emit_prefix;
+    std::ofstream ci(base + ".txt"), ct(base + ".trace");
+    ci << io::write_computation(c);
+    ct << write_trace(run.trace);
+    if (!ci || !ct) {
+      std::fprintf(stderr, "cannot write %s.{txt,trace}\n", emit_prefix);
+      return 2;
+    }
+    std::printf("wrote %s.txt and %s.trace\n", emit_prefix, emit_prefix);
+  }
+  std::printf("streaming lint pipeline on the trace:\n");
+  const analyze::TraceLintResult r = analyze::analyze_trace(c, run.trace, {});
   std::printf("%s", r.to_string().c_str());
-  return r.valid_observer ? 0 : 1;
+  return r.trace_ok && r.report.has_value() && r.report->valid_observer ? 0
+                                                                        : 1;
 }
 
 int emit_example() {
@@ -148,7 +164,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--trace-demo") == 0) {
       const std::size_t n =
           i + 1 < argc ? std::strtoul(argv[i + 1], nullptr, 10) : 0;
-      return trace_demo(n == 0 ? 1'000'000 : n);
+      const char* emit = nullptr;
+      for (int j = i + 1; j + 1 < argc; ++j)
+        if (std::strcmp(argv[j], "--emit") == 0) emit = argv[j + 1];
+      return trace_demo(n == 0 ? 1'000'000 : n, emit);
     }
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
@@ -167,8 +186,10 @@ int main(int argc, char** argv) {
                  "       ccmm_check --example     (print a sample instance)\n"
                  "       ccmm_check --fixpoint N  (worklist vs Jacobi Δ* "
                  "schedule report)\n"
-                 "       ccmm_check --trace-demo N  (synthesize, execute, "
-                 "and stream-check ~N ops)\n");
+                 "       ccmm_check --trace-demo N [--emit PREFIX]\n"
+                 "           (synthesize, execute and stream-check ~N ops;\n"
+                 "            --emit writes PREFIX.txt + PREFIX.trace for\n"
+                 "            ccmm_lint --trace)\n");
     return 2;
   }
 

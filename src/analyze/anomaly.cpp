@@ -11,29 +11,37 @@
 
 namespace ccmm::analyze {
 
-Computation race_witness(const Computation& c, NodeId a, NodeId b, NodeId* wa,
-                         NodeId* wb) {
+std::optional<Computation> race_witness_capped(const Computation& c, NodeId a,
+                                               NodeId b, std::size_t node_cap,
+                                               NodeId* wa, NodeId* wb) {
   CCMM_CHECK(a < c.node_count() && b < c.node_count(), "race node out of range");
-  DynBitset keep = c.dag().ancestors(a);
-  keep |= c.dag().ancestors(b);
-  keep.set(a);
-  keep.set(b);
+  std::vector<NodeId> seeds = {a, b};
   if (c.op(a).is_write() && c.op(b).is_write()) {
     // Two parallel writes are indistinguishable to every model until
     // somebody reads the location: keep the earliest read that can see
     // either write (any read not already preceding the race).
-    for (NodeId r : c.readers(c.op(a).loc)) {
-      if (keep.test(r)) continue;
-      keep |= c.dag().ancestors(r);
-      keep.set(r);
+    std::optional<DynBitset> base =
+        bounded_ancestor_closure(c.dag(), seeds, node_cap);
+    if (!base.has_value()) return std::nullopt;
+    for (const NodeId r : c.readers(c.op(a).loc)) {
+      if (base->test(r)) continue;
+      seeds.push_back(r);
       break;
     }
   }
+  const std::optional<DynBitset> keep =
+      bounded_ancestor_closure(c.dag(), seeds, node_cap);
+  if (!keep.has_value()) return std::nullopt;
   std::vector<NodeId> old_to_new;
-  Computation w = c.induced(keep, &old_to_new);
+  Computation w = c.induced(*keep, &old_to_new);
   if (wa != nullptr) *wa = old_to_new[a];
   if (wb != nullptr) *wb = old_to_new[b];
   return w;
+}
+
+Computation race_witness(const Computation& c, NodeId a, NodeId b, NodeId* wa,
+                         NodeId* wb) {
+  return *race_witness_capped(c, a, b, SIZE_MAX, wa, wb);
 }
 
 namespace {
@@ -58,8 +66,12 @@ ShardedMemoCache<ModelSplit>& split_cache() {
 
 std::optional<ModelSplit> classify_race(const Computation& c, const Race& r,
                                         const AnomalyOptions& opt) {
-  const Computation w = race_witness(c, r.a, r.b);
-  if (w.node_count() > opt.witness_node_cap) return std::nullopt;
+  // The capped build bails during the BFS, so an oversized witness
+  // costs O(witness_node_cap) — not O(ancestors) — on huge dags.
+  const std::optional<Computation> witness =
+      race_witness_capped(c, r.a, r.b, opt.witness_node_cap);
+  if (!witness.has_value()) return std::nullopt;
+  const Computation& w = *witness;
   if (observer_count(w) > opt.observer_budget) return std::nullopt;
 
   std::string key = canonical_key(w);

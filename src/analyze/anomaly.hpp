@@ -44,6 +44,16 @@ struct AnomalyOptions {
                                        NodeId b, NodeId* wa = nullptr,
                                        NodeId* wb = nullptr);
 
+/// race_witness with a node budget: nullopt as soon as the witness
+/// closure would exceed `node_cap` nodes. Built by bounded reverse BFS
+/// (dag/bounded_ancestor_closure) — no transitive closure — so shrunk
+/// witnesses stay cheap on million-node computations where
+/// Dag::ancestors() is unaffordable. race_witness delegates here with
+/// an unbounded cap.
+[[nodiscard]] std::optional<Computation> race_witness_capped(
+    const Computation& c, NodeId a, NodeId b, std::size_t node_cap,
+    NodeId* wa = nullptr, NodeId* wb = nullptr);
+
 /// Classify how SC/LC/NN/NW/WN/WW split on the race's minimal witness.
 /// Returns nullopt when the witness exceeds the options' caps.
 [[nodiscard]] std::optional<ModelSplit> classify_race(

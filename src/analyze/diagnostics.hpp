@@ -70,6 +70,15 @@ struct Diagnostic {
 /// sorted most severe first, with a summary footer.
 [[nodiscard]] std::string render_report(const std::vector<Diagnostic>& diags);
 
+/// Machine-readable report for CI and external tooling: one JSON object
+/// with a "diagnostics" array (sorted most severe first, same order as
+/// render_report) and a "counts" summary. Witness computations are
+/// reported by size only; node ids / locations are omitted when absent.
+[[nodiscard]] std::string render_json(const std::vector<Diagnostic>& diags);
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
 /// Counts by severity, e.g. to decide a lint exit code.
 struct DiagnosticCounts {
   std::size_t errors = 0;

@@ -3,17 +3,51 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "analyze/sp_bags.hpp"
 #include "trace/race.hpp"
 #include "util/str.hpp"
 
 namespace ccmm::analyze {
 namespace {
 
+const char* race_pass_name(RaceEngine engine) {
+  switch (engine) {
+    case RaceEngine::kSpBags:
+      return "sp-bags-race";
+    case RaceEngine::kOracle:
+      return "oracle-race";
+    default:
+      return "pairwise-race";
+  }
+}
+
 void race_pass(const Computation& c, const AnalysisOptions& options,
-               std::vector<Diagnostic>& out) {
-  const std::vector<Race> races = find_races(c);
-  const char* pass =
-      c.sp_structure() != nullptr ? "sp-bags-race" : "pairwise-race";
+               std::vector<Diagnostic>& out, AnalyzeStats& stats) {
+  const RaceEngine engine = options.engine == RaceEngine::kAuto
+                                ? select_race_engine(c)
+                                : options.engine;
+  stats.engine = engine;
+  std::vector<Race> races;
+  switch (engine) {
+    case RaceEngine::kSpBags:
+      races = find_races_sp(c);
+      break;
+    case RaceEngine::kOracle:
+      races = find_races_oracle(c, options.scan, &stats.scan);
+      break;
+    default:
+      races = find_races_pairwise(c);
+      break;
+  }
+  stats.races = races.size();
+  const char* pass = race_pass_name(engine);
+  // Witness builds stay bounded on the oracle engine's huge dags: cap
+  // the stored witness well above the classification cap so shrunk
+  // witnesses survive, without ever walking an unbounded closure.
+  const std::size_t witness_cap =
+      engine == RaceEngine::kOracle
+          ? std::max<std::size_t>(options.anomaly.witness_node_cap, 32)
+          : SIZE_MAX;
   const std::size_t reported =
       std::min(races.size(), options.max_race_diagnostics);
   for (std::size_t i = 0; i < reported; ++i) {
@@ -28,7 +62,9 @@ void race_pass(const Computation& c, const AnalysisOptions& options,
         "unordered and at least one writes",
         r.loc, r.a, c.op(r.a).to_string().c_str(), r.b,
         c.op(r.b).to_string().c_str());
-    d.witness = race_witness(c, r.a, r.b, &d.witness_a, &d.witness_b);
+    d.witness =
+        race_witness_capped(c, r.a, r.b, witness_cap, &d.witness_a, &d.witness_b);
+    if (!d.witness.has_value()) d.witness_a = d.witness_b = kBottom;
     if (options.classify_anomalies)
       d.split = classify_race(c, r, options.anomaly);
     // A race the whole hierarchy agrees on (e.g. two parallel writes
@@ -90,10 +126,20 @@ void memory_lint_pass(const Computation& c, std::vector<Diagnostic>& out) {
 }  // namespace
 
 std::vector<Diagnostic> analyze_computation(const Computation& c,
-                                            const AnalysisOptions& options) {
+                                            const AnalysisOptions& options,
+                                            AnalyzeStats* stats) {
   std::vector<Diagnostic> out;
-  race_pass(c, options, out);
+  AnalyzeStats local;
+  race_pass(c, options, out, local);
   if (options.lint) memory_lint_pass(c, out);
+  if (stats != nullptr) *stats = std::move(local);
+  return out;
+}
+
+std::string AnalyzeStats::to_string() const {
+  std::string out =
+      format("race engine: %s, %zu race(s)\n", race_engine_name(engine), races);
+  if (engine == RaceEngine::kOracle) out += scan.to_string();
   return out;
 }
 

@@ -18,14 +18,23 @@
 //    reported as notes.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "analyze/anomaly.hpp"
 #include "analyze/diagnostics.hpp"
+#include "analyze/race_oracle.hpp"
 
 namespace ccmm::analyze {
 
 struct AnalysisOptions {
+  /// Race engine. kAuto resolves via select_race_engine: SP-bags when
+  /// the parse is recorded, pairwise below kPairwiseNodeCutoff nodes,
+  /// the oracle engine on large general dags. Forcing kSpBags on a
+  /// computation without a parse is a caller error.
+  RaceEngine engine = RaceEngine::kAuto;
+  /// Oracle-engine tuning when that engine runs.
+  RaceScanOptions scan;
   /// Run the model-anomaly classification on each race's witness.
   bool classify_anomalies = true;
   /// Run the memory lints (uninitialized reads, dead writes).
@@ -36,9 +45,21 @@ struct AnalysisOptions {
   AnomalyOptions anomaly;
 };
 
+/// What the driver actually did — the engine it resolved to and the
+/// race scan's cost profile (oracle-engine fields are zero for the
+/// other engines).
+struct AnalyzeStats {
+  RaceEngine engine = RaceEngine::kAuto;  // resolved, never kAuto on output
+  std::size_t races = 0;
+  RaceScanStats scan;  // populated by the oracle engine only
+
+  [[nodiscard]] std::string to_string() const;
+};
+
 /// Run all passes; diagnostics are returned in pass order (races first,
 /// then lints), unsorted — render_report sorts by severity.
 [[nodiscard]] std::vector<Diagnostic> analyze_computation(
-    const Computation& c, const AnalysisOptions& options = {});
+    const Computation& c, const AnalysisOptions& options = {},
+    AnalyzeStats* stats = nullptr);
 
 }  // namespace ccmm::analyze

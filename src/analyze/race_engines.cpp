@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "analyze/race_oracle.hpp"
 #include "analyze/sp_bags.hpp"
 
 namespace ccmm {
@@ -51,13 +52,46 @@ std::vector<Race> find_races_pairwise(const Computation& c) {
   return races;
 }
 
+const char* race_engine_name(RaceEngine e) {
+  switch (e) {
+    case RaceEngine::kAuto:
+      return "auto";
+    case RaceEngine::kSpBags:
+      return "sp-bags";
+    case RaceEngine::kPairwise:
+      return "pairwise";
+    case RaceEngine::kOracle:
+      return "oracle";
+  }
+  return "?";
+}
+
+RaceEngine select_race_engine(const Computation& c) {
+  if (c.sp_structure() != nullptr) return RaceEngine::kSpBags;
+  if (c.node_count() <= kPairwiseNodeCutoff) return RaceEngine::kPairwise;
+  return RaceEngine::kOracle;
+}
+
 std::vector<Race> find_races(const Computation& c) {
-  if (c.sp_structure() != nullptr) return analyze::find_races_sp(c);
-  return find_races_pairwise(c);
+  switch (select_race_engine(c)) {
+    case RaceEngine::kSpBags:
+      return analyze::find_races_sp(c);
+    case RaceEngine::kOracle:
+      return analyze::find_races_oracle(c);
+    default:
+      return find_races_pairwise(c);
+  }
 }
 
 bool has_race(const Computation& c) {
-  if (c.sp_structure() != nullptr) return analyze::has_race_sp(c);
+  switch (select_race_engine(c)) {
+    case RaceEngine::kSpBags:
+      return analyze::has_race_sp(c);
+    case RaceEngine::kOracle:
+      return analyze::has_race_oracle(c);
+    default:
+      break;
+  }
   for (const auto& [l, nodes] : accessors_by_location(c)) {
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       for (std::size_t j = i + 1; j < nodes.size(); ++j) {

@@ -1,0 +1,394 @@
+#include "analyze/race_oracle.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <climits>
+#include <functional>
+#include <numeric>
+
+#include "trace/loc_kernel.hpp"
+#include "util/str.hpp"
+
+namespace ccmm::analyze {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double millis_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+bool race_less(const Race& x, const Race& y) {
+  if (x.a != y.a) return x.a < y.a;
+  if (x.b != y.b) return x.b < y.b;
+  return x.loc < y.loc;
+}
+
+Race make_race(const Computation& c, NodeId x, NodeId y, Location l) {
+  const bool ww = c.op(x).is_write() && c.op(y).is_write();
+  if (x > y) std::swap(x, y);
+  return Race{x, y, l, ww ? RaceKind::kWriteWrite : RaceKind::kReadWrite};
+}
+
+/// Phase 1 for one location: prove the total order or return a race.
+///
+/// With accessors sorted by topological rank, the location is race-free
+/// iff the writers form a chain w₁ ≺ … ≺ w_k and every reader sits
+/// between its rank-neighbouring writers (transitivity covers all the
+/// other writer pairs). Any failed query (x, y) has rank(x) < rank(y),
+/// and ranks respect the dag, so y ≺ x is impossible — the failure IS
+/// dag-incomparability, a concrete race, with no second probe.
+/// `rank` is nullptr when node ids are already a topological order.
+std::optional<Race> location_first_race(const Computation& c,
+                                        const PrecedenceOracle& oracle,
+                                        const LocationAccess& g,
+                                        const std::vector<std::uint32_t>* rank,
+                                        std::size_t& queries) {
+  std::vector<NodeId> wbuf;
+  std::vector<NodeId> abuf;
+  const std::vector<NodeId>* ws = &g.writers;
+  const std::vector<NodeId>* as = &g.accessors;
+  if (rank != nullptr) {
+    wbuf = g.writers;
+    abuf = g.accessors;
+    const auto by_rank = [&](NodeId x, NodeId y) {
+      return (*rank)[x] < (*rank)[y];
+    };
+    std::sort(wbuf.begin(), wbuf.end(), by_rank);
+    std::sort(abuf.begin(), abuf.end(), by_rank);
+    ws = &wbuf;
+    as = &abuf;
+  }
+  for (std::size_t i = 0; i + 1 < ws->size(); ++i) {
+    ++queries;
+    if (!oracle.precedes((*ws)[i], (*ws)[i + 1]))
+      return make_race(c, (*ws)[i], (*ws)[i + 1], g.loc);
+  }
+  std::size_t j = 0;  // writers at-or-before the current accessor
+  for (const NodeId v : *as) {
+    if (c.op(v).is_write()) {
+      ++j;
+      continue;
+    }
+    if (j > 0) {
+      ++queries;
+      if (!oracle.precedes((*ws)[j - 1], v))
+        return make_race(c, (*ws)[j - 1], v, g.loc);
+    }
+    if (j < ws->size()) {
+      ++queries;
+      if (!oracle.precedes(v, (*ws)[j])) return make_race(c, v, (*ws)[j], g.loc);
+    }
+  }
+  return std::nullopt;
+}
+
+/// Shared scan context: groups that can race at all, the topological
+/// rank view, and the oracle.
+struct ScanSetup {
+  std::vector<LocationAccess> groups;
+  std::vector<NodeId> topo;
+  std::vector<std::uint32_t> rank;  // empty when ids are topological
+  std::unique_ptr<PrecedenceOracle> oracle;
+};
+
+ScanSetup scan_setup(const Computation& c, const RaceScanOptions& options,
+                     RaceScanStats& st) {
+  ScanSetup s;
+  s.groups = group_location_accesses(c);
+  std::erase_if(s.groups, [](const LocationAccess& g) {
+    return g.writers.empty() || g.accessors.size() < 2;
+  });
+  st.locations = s.groups.size();
+  if (s.groups.empty()) return s;
+
+  const std::size_t n = c.node_count();
+  if (c.dag().ids_topological()) {
+    s.topo.resize(n);
+    std::iota(s.topo.begin(), s.topo.end(), NodeId{0});
+  } else {
+    s.topo = c.dag().topological_order();
+    s.rank.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      s.rank[s.topo[i]] = static_cast<std::uint32_t>(i);
+  }
+
+  const auto t_oracle = Clock::now();
+  s.oracle = make_oracle(c.dag(), c.sp_structure().get(), options.oracle);
+  st.oracle_kind = s.oracle->kind();
+  st.oracle_memory_bytes = s.oracle->memory_bytes();
+  st.oracle_build_millis = millis_since(t_oracle);
+  return s;
+}
+
+void run_sharded(const RaceScanOptions& options, std::size_t ntasks,
+                 const std::function<void(std::size_t)>& run_one) {
+  ThreadPool& pool = options.pool != nullptr ? *options.pool : global_pool();
+  if (options.parallel && ntasks > 1 && pool.size() > 1) {
+    pool.parallel_for(ntasks, run_one);
+  } else {
+    for (std::size_t i = 0; i < ntasks; ++i) run_one(i);
+  }
+}
+
+/// One 64-anchor sweep chunk: anchors[lo, hi) sorted by (location,
+/// node id), member lookup by binary search over the id-sorted view.
+struct MaskChunk {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+
+struct Anchor {
+  NodeId node = kBottom;
+  std::uint32_t group = 0;  // index into the mask-location list
+};
+
+constexpr std::uint64_t low_bits(std::size_t k) {
+  return k >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << k) - 1;
+}
+
+/// Races-remaining budget shared by the enumeration tasks. Signed and
+/// decremented with plain fetch_sub: a transient overshoot below zero
+/// is fine (the merge step truncates exactly), underflow would need
+/// ~2⁶³ decrements.
+using SoftCap = std::atomic<long long>;
+
+void scan_mask_chunk(const Computation& c, const std::vector<NodeId>& topo,
+                     const std::vector<const LocationAccess*>& masky,
+                     const std::vector<Anchor>& anchors, const MaskChunk& ch,
+                     SoftCap& soft_cap, std::vector<Race>& out) {
+  // A hit race cap skips the whole chunk — the sweeps are the expensive
+  // part, and once truncation is certain their output is unwanted.
+  if (soft_cap.load(std::memory_order_relaxed) <= 0) return;
+
+  const std::size_t n = c.node_count();
+  const std::size_t width = ch.hi - ch.lo;
+
+  // Member table sorted by node id (anchors within the chunk ascend per
+  // location, not globally).
+  std::vector<std::pair<NodeId, std::uint8_t>> members(width);
+  for (std::size_t i = 0; i < width; ++i)
+    members[i] = {anchors[ch.lo + i].node, static_cast<std::uint8_t>(i)};
+  std::sort(members.begin(), members.end());
+  const auto member_bit = [&](NodeId v) -> std::uint64_t {
+    std::size_t lo = 0;
+    std::size_t hi = width;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (members[mid].first < v)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo < width && members[lo].first == v
+               ? std::uint64_t{1} << members[lo].second
+               : 0;
+  };
+
+  std::vector<std::uint64_t> fwd(n);
+  std::vector<std::uint64_t> bwd(n);
+  sweep_reach_forward(c.dag(), topo, member_bit, fwd.data());
+  sweep_reach_backward(c.dag(), topo, member_bit, bwd.data());
+
+  // Walk the chunk's per-location slices (anchors of one location are
+  // consecutive and id-ascending).
+  for (std::size_t s = 0; s < width;) {
+    std::size_t e = s + 1;
+    while (e < width &&
+           anchors[ch.lo + e].group == anchors[ch.lo + s].group)
+      ++e;
+    const LocationAccess& g = *masky[anchors[ch.lo + s].group];
+    const std::uint64_t slice_mask = low_bits(e - s) << s;
+    for (const NodeId v : g.accessors) {
+      std::uint64_t cand = slice_mask & ~(fwd[v] | bwd[v]);
+      if (cand == 0) continue;
+      if (c.op(v).is_write()) {
+        // Writer/writer dedupe across chunks and slices: v emits only
+        // partners with a smaller node id; the partner's own scan (or
+        // chunk) covers the other order.
+        std::size_t lt = s;
+        std::size_t hi2 = e;
+        while (lt < hi2) {
+          const std::size_t mid = (lt + hi2) / 2;
+          if (anchors[ch.lo + mid].node < v)
+            lt = mid + 1;
+          else
+            hi2 = mid;
+        }
+        cand &= low_bits(lt - s) << s;
+        if (cand == 0) continue;
+      }
+      if (soft_cap.load(std::memory_order_relaxed) <= 0) return;
+      long long emitted = 0;
+      for (std::uint64_t m = cand; m != 0; m &= m - 1) {
+        const std::size_t bit = static_cast<std::size_t>(std::countr_zero(m));
+        out.push_back(make_race(c, v, anchors[ch.lo + bit].node, g.loc));
+        ++emitted;
+      }
+      soft_cap.fetch_sub(emitted, std::memory_order_relaxed);
+    }
+    s = e;
+  }
+}
+
+void scan_direct_location(const Computation& c, const PrecedenceOracle& oracle,
+                          const LocationAccess& g, SoftCap& soft_cap,
+                          std::size_t& queries, std::vector<Race>& out) {
+  const std::vector<NodeId>& nodes = g.accessors;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (soft_cap.load(std::memory_order_relaxed) <= 0) return;
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      const NodeId a = nodes[i];
+      const NodeId b = nodes[j];
+      const bool aw = c.op(a).is_write();
+      const bool bw = c.op(b).is_write();
+      if (!aw && !bw) continue;
+      ++queries;
+      if (!oracle.incomparable(a, b)) continue;
+      out.push_back(
+          {a, b, g.loc, aw && bw ? RaceKind::kWriteWrite : RaceKind::kReadWrite});
+      soft_cap.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Race> find_races_oracle(const Computation& c,
+                                    const RaceScanOptions& options,
+                                    RaceScanStats* stats) {
+  const auto t0 = Clock::now();
+  RaceScanStats st;
+  ScanSetup s = scan_setup(c, options, st);
+  std::vector<Race> races;
+  if (!s.groups.empty()) {
+    const std::vector<std::uint32_t>* rank =
+        s.rank.empty() ? nullptr : &s.rank;
+
+    // Phase 1: the per-location total-order proof.
+    std::vector<char> racy(s.groups.size(), 0);
+    std::vector<std::size_t> queries(s.groups.size(), 0);
+    run_sharded(options, s.groups.size(), [&](std::size_t i) {
+      racy[i] = location_first_race(c, *s.oracle, s.groups[i], rank, queries[i])
+                    .has_value()
+                    ? 1
+                    : 0;
+    });
+    for (const std::size_t q : queries) st.oracle_queries += q;
+
+    // Phases 2+3: enumerate the racy locations' candidate pairs.
+    std::vector<const LocationAccess*> direct;
+    std::vector<const LocationAccess*> masky;
+    for (std::size_t i = 0; i < s.groups.size(); ++i) {
+      if (racy[i] == 0) continue;
+      const LocationAccess& g = s.groups[i];
+      const std::size_t pairs = g.writers.size() * (g.accessors.size() - 1);
+      (pairs <= options.direct_pair_threshold ? direct : masky).push_back(&g);
+    }
+    st.racy_locations = direct.size() + masky.size();
+    st.direct_locations = direct.size();
+    st.mask_locations = masky.size();
+
+    std::vector<Anchor> anchors;
+    for (std::size_t gi = 0; gi < masky.size(); ++gi)
+      for (const NodeId w : masky[gi]->writers)
+        anchors.push_back({w, static_cast<std::uint32_t>(gi)});
+    const std::size_t nchunks = (anchors.size() + 63) / 64;
+    st.mask_groups = nchunks;
+
+    const std::size_t ntasks = direct.size() + nchunks;
+    std::vector<std::vector<Race>> found(ntasks);
+    std::vector<std::size_t> equeries(ntasks, 0);
+    SoftCap soft_cap{static_cast<long long>(
+        std::min<std::size_t>(options.max_races, LLONG_MAX))};
+    run_sharded(options, ntasks, [&](std::size_t i) {
+      if (i < direct.size()) {
+        scan_direct_location(c, *s.oracle, *direct[i], soft_cap, equeries[i],
+                             found[i]);
+      } else {
+        const std::size_t k = i - direct.size();
+        const MaskChunk ch{k * 64,
+                           std::min(anchors.size(), k * 64 + 64)};
+        scan_mask_chunk(c, s.topo, masky, anchors, ch, soft_cap, found[i]);
+      }
+    });
+    for (const std::size_t q : equeries) st.oracle_queries += q;
+
+    std::size_t total = 0;
+    for (const auto& f : found) total += f.size();
+    races.reserve(total);
+    for (auto& f : found)
+      races.insert(races.end(), f.begin(), f.end());
+    std::sort(races.begin(), races.end(), race_less);
+    races.erase(std::unique(races.begin(), races.end()), races.end());
+    if (soft_cap.load(std::memory_order_relaxed) <= 0 ||
+        races.size() > options.max_races) {
+      st.truncated = true;
+      if (races.size() > options.max_races) races.resize(options.max_races);
+    }
+  }
+  st.races = races.size();
+  st.scan_millis = millis_since(t0);
+  if (stats != nullptr) *stats = std::move(st);
+  return races;
+}
+
+std::optional<Race> find_first_race(const Computation& c,
+                                    const RaceScanOptions& options,
+                                    RaceScanStats* stats) {
+  const auto t0 = Clock::now();
+  RaceScanStats st;
+  ScanSetup s = scan_setup(c, options, st);
+  std::optional<Race> best;
+  if (!s.groups.empty()) {
+    const std::vector<std::uint32_t>* rank =
+        s.rank.empty() ? nullptr : &s.rank;
+    std::vector<std::optional<Race>> first(s.groups.size());
+    std::vector<std::size_t> queries(s.groups.size(), 0);
+    run_sharded(options, s.groups.size(), [&](std::size_t i) {
+      first[i] = location_first_race(c, *s.oracle, s.groups[i], rank,
+                                     queries[i]);
+    });
+    for (std::size_t i = 0; i < s.groups.size(); ++i) {
+      st.oracle_queries += queries[i];
+      if (!first[i].has_value()) continue;
+      ++st.racy_locations;
+      if (!best.has_value() || race_less(*first[i], *best)) best = first[i];
+    }
+  }
+  st.races = best.has_value() ? 1 : 0;
+  st.scan_millis = millis_since(t0);
+  if (stats != nullptr) *stats = std::move(st);
+  return best;
+}
+
+bool has_race_oracle(const Computation& c, const RaceScanOptions& options) {
+  RaceScanStats st;
+  ScanSetup s = scan_setup(c, options, st);
+  if (s.groups.empty()) return false;
+  const std::vector<std::uint32_t>* rank = s.rank.empty() ? nullptr : &s.rank;
+  std::atomic<bool> found{false};
+  run_sharded(options, s.groups.size(), [&](std::size_t i) {
+    if (found.load(std::memory_order_relaxed)) return;
+    std::size_t q = 0;
+    if (location_first_race(c, *s.oracle, s.groups[i], rank, q).has_value())
+      found.store(true, std::memory_order_relaxed);
+  });
+  return found.load(std::memory_order_relaxed);
+}
+
+std::string RaceScanStats::to_string() const {
+  std::string out = format(
+      "oracle: %s (%zu bytes, built in %.2f ms)\n"
+      "scan: %.2f ms, %zu locations (%zu racy: %zu direct, %zu via %zu "
+      "mask groups), %zu oracle queries\n",
+      oracle_kind.c_str(), oracle_memory_bytes, oracle_build_millis,
+      scan_millis, locations, racy_locations, direct_locations, mask_locations,
+      mask_groups, oracle_queries);
+  out += format("races: %zu%s\n", races, truncated ? " (cap hit)" : "");
+  return out;
+}
+
+}  // namespace ccmm::analyze

@@ -300,4 +300,30 @@ Dag Dag::transitive_closure() const {
   return out;
 }
 
+std::optional<DynBitset> bounded_ancestor_closure(
+    const Dag& dag, const std::vector<NodeId>& seeds, std::size_t node_cap) {
+  const std::size_t n = dag.node_count();
+  DynBitset keep(n);
+  std::size_t kept = 0;
+  std::vector<NodeId> frontier;
+  const auto push = [&](NodeId u) {
+    CCMM_ASSERT(u < n);
+    if (keep.test(u)) return true;
+    if (kept == node_cap) return false;
+    keep.set(u);
+    ++kept;
+    frontier.push_back(u);
+    return true;
+  };
+  for (const NodeId s : seeds)
+    if (!push(s)) return std::nullopt;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.back();
+    frontier.pop_back();
+    for (const NodeId p : dag.pred(u))
+      if (!push(p)) return std::nullopt;
+  }
+  return keep;
+}
+
 }  // namespace ccmm

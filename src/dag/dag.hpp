@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "util/bitset.hpp"
@@ -166,5 +167,15 @@ class Dag {
   mutable std::vector<DynBitset> anc_;
   mutable std::atomic<bool> closure_valid_{false};
 };
+
+/// The ancestor closure of `seeds` (seeds included), computed by a
+/// reverse BFS over the predecessor lists — no reachability cache, so
+/// it is safe on million-node dags where the O(n²)-bit closure is not.
+/// Returns nullopt as soon as the closure exceeds `node_cap` nodes,
+/// making it usable as a bounded witness-shrinking primitive: callers
+/// that need "the minimal prefix containing these nodes, if small" pay
+/// O(cap + edges touched) regardless of dag size.
+[[nodiscard]] std::optional<DynBitset> bounded_ancestor_closure(
+    const Dag& dag, const std::vector<NodeId>& seeds, std::size_t node_cap);
 
 }  // namespace ccmm

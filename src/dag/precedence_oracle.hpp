@@ -52,6 +52,13 @@ class PrecedenceOracle {
     return u == v ? u != kBottom : precedes(u, v);
   }
 
+  /// Dag-incomparability u ∥ v — the race engines' query shape. The
+  /// default costs two precedes() probes; implementations whose labels
+  /// answer both directions at once (SP-order) override it.
+  [[nodiscard]] virtual bool incomparable(NodeId u, NodeId v) const {
+    return u != v && !precedes(u, v) && !precedes(v, u);
+  }
+
   /// Approximate bytes held by the oracle's own tables (excludes the
   /// dag). Lets auto-selection pick the cheaper structure.
   [[nodiscard]] virtual std::size_t memory_bytes() const noexcept = 0;
@@ -105,6 +112,13 @@ class SpOrderOracle final : public PrecedenceOracle {
     if (v == kBottom || u == v) return false;
     CCMM_ASSERT(u < english_.size() && v < english_.size());
     return english_[u] < english_[v] && hebrew_[u] < hebrew_[v];
+  }
+  [[nodiscard]] bool incomparable(NodeId u, NodeId v) const override {
+    // Two linear extensions: u ∥ v iff the extensions disagree on the
+    // pair's order. One comparison per extension, no second probe.
+    if (u == kBottom || v == kBottom || u == v) return false;
+    CCMM_ASSERT(u < english_.size() && v < english_.size());
+    return (english_[u] < english_[v]) != (hebrew_[u] < hebrew_[v]);
   }
   [[nodiscard]] std::size_t memory_bytes() const noexcept override {
     return 2 * english_.size() * sizeof(std::uint32_t);

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <numeric>
 
+#include "trace/loc_kernel.hpp"
 #include "util/str.hpp"
 
 namespace ccmm {
@@ -16,11 +17,14 @@ double millis_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
-/// One unit of sharded work: a location plus its dense Φ column (nullptr
-/// when the observer stores no column for it, i.e. the column is all-⊥).
+/// One unit of sharded work: a location, its dense Φ column (nullptr
+/// when the observer stores no column for it, i.e. the column is all-⊥)
+/// and its writers in id order (from the one-pass location grouping —
+/// never a per-task Computation::writers() rescan).
 struct LocTask {
   Location loc = 0;
   const std::vector<NodeId>* col = nullptr;
+  const std::vector<NodeId>* writers = nullptr;
 };
 
 NodeId column_get(const LocTask& t, NodeId u) {
@@ -41,7 +45,7 @@ void check_location(const Computation& c, const std::vector<NodeId>& topo,
   const Location l = task.loc;
   out.loc = l;
 
-  const std::vector<NodeId> writers = c.writers(l);
+  const std::vector<NodeId>& writers = *task.writers;
   out.writers = writers.size();
   const auto writer_block = [&](NodeId x) -> std::uint32_t {
     // Block j+1 is the j-th writer in id order (block 0 = B_⊥);
@@ -178,27 +182,24 @@ void check_location(const Computation& c, const std::vector<NodeId>& topo,
         const std::uint32_t b = block_of[p];
         return b - base < 64 ? std::uint64_t{1} << (b - base) : 0;
       };
-      // Forward sweep: which of this group's blocks have a member (resp.
-      // their writer — a writer always sits in its own block) strictly
-      // before v.
-      for (const NodeId v : topo) {
-        std::uint64_t a = 0;
-        std::uint64_t w = 0;
-        for (const NodeId p : dag.pred(v)) {
-          const std::uint64_t mb = member_bit(p);
-          if (need_anc) a |= anc_mask[p] | mb;
-          if (need_wri) w |= wri_mask[p] | (c.op(p).writes(l) ? mb : 0);
-        }
-        if (need_anc) anc_mask[v] = a;
-        if (need_wri) wri_mask[v] = w;
+      const auto writer_bit = [&](NodeId p) -> std::uint64_t {
+        // A writer always sits in its own block.
+        return c.op(p).writes(l) ? member_bit(p) : 0;
+      };
+      // Reflexive reach masks from the shared kernel (trace/loc_kernel):
+      // which of this group's blocks have a member (resp. their writer)
+      // at-or-before / at-or-after v. Every violation test below masks
+      // out v's own block bit, and for foreign blocks reflexive reach
+      // equals the strict reach the derivation is stated over.
+      if (need_anc && need_wri) {
+        sweep_reach_forward2(dag, topo, member_bit, writer_bit,
+                             anc_mask.data(), wri_mask.data());
+      } else if (need_anc) {
+        sweep_reach_forward(dag, topo, member_bit, anc_mask.data());
+      } else {
+        sweep_reach_forward(dag, topo, writer_bit, wri_mask.data());
       }
-      // Backward sweep: which blocks have a member strictly after v.
-      for (std::size_t i = n; i-- > 0;) {
-        const NodeId v = topo[i];
-        std::uint64_t d = 0;
-        for (const NodeId s : dag.succ(v)) d |= desc_mask[s] | member_bit(s);
-        desc_mask[v] = d;
-      }
+      sweep_reach_backward(dag, topo, member_bit, desc_mask.data());
       const std::uint64_t bot_bit = g == 0 ? std::uint64_t{1} : 0;
       for (NodeId v = 0; v < n && remaining != 0; ++v) {
         const std::uint64_t not_self = ~member_bit(v);
@@ -279,16 +280,27 @@ LargeCheckReport large_check(const Computation& c, const ObserverFunction& phi,
 
   // Worklist: written locations (an absent column fails 2.3 there) plus
   // every stored column with a non-⊥ entry (an unexpected observation
-  // must fail 2.1, so it cannot be skipped either).
+  // must fail 2.1, so it cannot be skipped either). The grouping pass
+  // hands every task its writers up front — one O(n) scan total instead
+  // of one per location.
+  const std::vector<LocationAccess> groups = group_location_accesses(c);
+  static const std::vector<NodeId> kNoWriters;
+  const auto writers_of = [&](Location l) -> const std::vector<NodeId>* {
+    const auto it = std::lower_bound(
+        groups.begin(), groups.end(), l,
+        [](const LocationAccess& g, Location x) { return g.loc < x; });
+    return it != groups.end() && it->loc == l ? &it->writers : &kNoWriters;
+  };
   std::vector<LocTask> tasks;
   {
-    const std::vector<Location> written = c.written_locations();
     const std::vector<Location>& stored = phi.stored_locations();
     std::size_t si = 0;
     const auto stored_task = [&](std::size_t i) {
-      return LocTask{stored[i], &phi.stored_column(i)};
+      return LocTask{stored[i], &phi.stored_column(i), writers_of(stored[i])};
     };
-    for (const Location l : written) {
+    for (const LocationAccess& g : groups) {
+      if (g.writers.empty()) continue;  // read-only: no column required
+      const Location l = g.loc;
       while (si < stored.size() && stored[si] < l) {
         const LocTask t = stored_task(si++);
         if (std::any_of(t.col->begin(), t.col->end(),
@@ -298,7 +310,7 @@ LargeCheckReport large_check(const Computation& c, const ObserverFunction& phi,
       if (si < stored.size() && stored[si] == l)
         tasks.push_back(stored_task(si++));
       else
-        tasks.push_back(LocTask{l, nullptr});
+        tasks.push_back(LocTask{l, nullptr, &g.writers});
     }
     for (; si < stored.size(); ++si) {
       const LocTask t = stored_task(si);

@@ -1,0 +1,155 @@
+#include "trace/lint_pipeline.hpp"
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/str.hpp"
+
+namespace ccmm::analyze {
+namespace {
+
+Diagnostic error_diag(const char* pass, std::string message) {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.pass = pass;
+  d.message = std::move(message);
+  return d;
+}
+
+/// Trace-sharpened memory lints. The static pass (analyze/passes.cpp)
+/// reports reads of never-written locations and writes of never-read
+/// locations; with a trace in hand we can be sharper: a read that
+/// observed ⊥ *despite* the location having writers means every one of
+/// those writes was scheduled around it, and a write no other node's
+/// viewpoint contains was invisible in this execution even if the
+/// location is read elsewhere.
+void trace_lint_pass(const Computation& c, const Trace& trace,
+                     const ObserverFunction& phi,
+                     std::vector<Diagnostic>& out) {
+  std::unordered_set<Location> location_written;
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const Op o = c.op(u);
+    if (o.is_write()) location_written.insert(o.loc);
+  }
+  for (const TraceEvent& e : trace.events) {
+    if (!e.op.is_read() || e.observed != kBottom) continue;
+    if (!location_written.contains(e.op.loc)) continue;  // static lint covers it
+    Diagnostic d;
+    d.severity = Severity::kInfo;
+    d.pass = "trace-uninit-read";
+    d.a = e.node;
+    d.loc = e.op.loc;
+    d.message = format(
+        "node %u read ⊥ from location %u in this execution although the "
+        "location has writers",
+        e.node, e.op.loc);
+    out.push_back(std::move(d));
+  }
+  // A write is live in this execution iff some *other* node's viewpoint
+  // observed it (the trace observer is total, so viewpoints of non-read
+  // nodes count too — the weakest notion of "someone saw it").
+  std::vector<bool> observed(c.node_count(), false);
+  const std::vector<Location>& locs = phi.stored_locations();
+  for (std::size_t i = 0; i < locs.size(); ++i) {
+    const std::vector<NodeId>& col = phi.stored_column(i);
+    for (NodeId u = 0; u < col.size(); ++u) {
+      if (col[u] != kBottom && col[u] != u) observed[col[u]] = true;
+    }
+  }
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const Op o = c.op(u);
+    if (!o.is_write() || observed[u]) continue;
+    Diagnostic d;
+    d.severity = Severity::kInfo;
+    d.pass = "trace-dead-write";
+    d.a = u;
+    d.loc = o.loc;
+    d.message = format(
+        "write %u to location %u was observed by no other node in this "
+        "execution",
+        u, o.loc);
+    out.push_back(std::move(d));
+  }
+}
+
+}  // namespace
+
+TraceLintResult analyze_trace(const Computation& c, const Trace& trace,
+                              const TraceLintOptions& options) {
+  TraceLintResult result;
+
+  std::string why;
+  if (!trace_consistent_with(trace, c, &why)) {
+    result.diagnostics.push_back(
+        error_diag("trace", format("trace does not fit the computation: %s",
+                                   why.c_str())));
+    return result;
+  }
+  result.trace_ok = true;
+
+  // Stream the trace's observer through large_check — no closure, ever.
+  const ObserverFunction phi = observer_from_trace(c, trace);
+  LargeCheckOptions lopt;
+  lopt.models = options.models;
+  lopt.oracle = options.analysis.scan.oracle;
+  lopt.pool = options.analysis.scan.pool;
+  lopt.parallel = options.analysis.scan.parallel;
+  result.report = large_check(c, phi, lopt);
+  const LargeCheckReport& report = *result.report;
+  if (!report.valid_observer) {
+    result.diagnostics.push_back(error_diag(
+        "observer", format("trace observer violates Definition 2: %s",
+                           report.detail.c_str())));
+  } else {
+    const std::uint32_t violated = report.checked & ~report.satisfied;
+    for (std::uint32_t bit = 1; bit != 0 && bit <= violated; bit <<= 1) {
+      if ((violated & bit) == 0) continue;
+      Diagnostic d;
+      d.severity = Severity::kWarning;
+      d.pass = "model";
+      d.message =
+          format("execution is not %s: %s", ModelSuite::bit_name(bit),
+                 report.detail.c_str());
+      result.diagnostics.push_back(std::move(d));
+    }
+  }
+
+  // Race scan + anomaly classification on the oracle engine (the
+  // static lints are replaced by the trace-sharpened ones below).
+  AnalysisOptions aopt = options.analysis;
+  aopt.engine = RaceEngine::kOracle;
+  aopt.lint = false;
+  std::vector<Diagnostic> analysis =
+      analyze_computation(c, aopt, &result.stats);
+  for (Diagnostic& d : analysis) result.diagnostics.push_back(std::move(d));
+
+  if (options.analysis.lint) trace_lint_pass(c, trace, phi, result.diagnostics);
+
+  // Race-free ⇒ the paper's agreement theorem applies: certify it.
+  if (options.certify && result.stats.races == 0 && !result.stats.scan.truncated) {
+    CertifyOptions copt = options.certificate;
+    copt.scan = options.analysis.scan;
+    result.certificate = make_drf_certificate(c, copt, &why);
+    if (!result.certificate.has_value()) {
+      result.diagnostics.push_back(error_diag(
+          "certificate",
+          format("DRF certificate construction failed: %s", why.c_str())));
+    }
+  }
+  return result;
+}
+
+std::string TraceLintResult::to_string() const {
+  std::string out;
+  if (report.has_value()) out += report->to_string();
+  out += stats.to_string();
+  out += render_report(diagnostics);
+  if (certificate.has_value())
+    out += "race-free: " + certificate->to_string() + "\n";
+  else if (trace_ok)
+    out += "no DRF certificate (races present or certification disabled)\n";
+  return out;
+}
+
+}  // namespace ccmm::analyze

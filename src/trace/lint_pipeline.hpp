@@ -1,0 +1,79 @@
+// ccmm/trace/lint_pipeline.hpp
+//
+// The streaming lint pipeline: one entry point that takes the
+// binary-of-record artifacts — a computation plus a recorded trace —
+// and produces the full diagnostic story without materializing any
+// transitive closure:
+//
+//  * determinacy races from the oracle-backed engine
+//    (analyze/race_oracle.hpp), each with a bounded shrunk witness and
+//    a model-split classification where the witness is small enough;
+//  * trace-sharpened memory lints: reads that observed ⊥ in THIS
+//    execution and writes no other node observed in THIS execution —
+//    strictly sharper than the static may-analysis lints;
+//  * the streaming model verdicts (trace/large_check.hpp) for the
+//    trace's induced observer, surfaced as diagnostics when a model is
+//    violated;
+//  * when the scan proves race-freedom, the DRF ⇒ agreement
+//    certificate (analyze/certificate.hpp).
+//
+// Lives in the trace library (it composes large_check with the analyze
+// passes; ccmm_trace already links ccmm_analyze) but reports in the
+// analyze namespace — the diagnostics currency is the same.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analyze/certificate.hpp"
+#include "analyze/passes.hpp"
+#include "trace/large_check.hpp"
+#include "trace/trace.hpp"
+
+namespace ccmm::analyze {
+
+struct TraceLintOptions {
+  /// Race scan + anomaly/lint configuration. The engine field is
+  /// ignored: the pipeline always scans with the oracle engine (that
+  /// is the point of the trace path). Unlike the library default, the
+  /// pipeline caps the enumerated race set (constructor below): on
+  /// heavily racy million-node inputs the full set is output-bound and
+  /// useless for diagnostics — the scan stops sweeping once the cap is
+  /// hit and reports truncation. Raise scan.max_races to re-enable the
+  /// exact enumeration.
+  AnalysisOptions analysis;
+  /// Models to stream-check on the trace's observer.
+  std::uint32_t models = kLargeCheckAll;
+  /// Emit the DRF certificate when the scan proves race-freedom.
+  bool certify = true;
+  CertifyOptions certificate;
+
+  TraceLintOptions() { analysis.scan.max_races = std::size_t{1} << 16; }
+};
+
+struct TraceLintResult {
+  /// True when the trace fits the computation (one event per node, ops
+  /// matching); when false only the one kError "trace" diagnostic is
+  /// produced.
+  bool trace_ok = false;
+  std::vector<Diagnostic> diagnostics;
+  AnalyzeStats stats;
+  /// The streaming model verdicts for the trace's observer.
+  std::optional<LargeCheckReport> report;
+  /// Present iff the computation is race-free and certify was set.
+  std::optional<DrfCertificate> certificate;
+
+  /// Human-readable rollup: model verdicts, diagnostics, certificate.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Run the pipeline. Exact on races (the oracle engine's race set is
+/// byte-identical to the pairwise engine's); the trace-sharpened lints
+/// and model verdicts are properties of this execution.
+[[nodiscard]] TraceLintResult analyze_trace(const Computation& c,
+                                            const Trace& trace,
+                                            const TraceLintOptions& options
+                                            = {});
+
+}  // namespace ccmm::analyze

@@ -1,0 +1,116 @@
+// ccmm/trace/loc_kernel.hpp
+//
+// The shared per-location kernel: the two ingredients every streaming
+// per-location analysis needs, factored out of trace/large_check.cpp so
+// the oracle-backed race engine (analyze/race_oracle.hpp) and the
+// model checkers stream the same machinery.
+//
+//  * group_location_accesses — one O(n + accesses) pass that buckets
+//    every accessing node by location, replacing the per-location
+//    Computation::writers()/readers() O(n) rescans (O(n·locations)
+//    total, which is quadratic at a million nodes with n/8 locations);
+//  * reflexive 64-bit reach-mask sweeps — given ≤ 64 marked "anchor"
+//    nodes, one forward and one backward O(n + m) sweep compute, for
+//    every node v, the anchors with a path to v / from v (v's own mark
+//    included). Reflexive on purpose: the consumers' violation tests
+//    all mask out v's own anchor bit (`& ~member_bit(v)`), and for any
+//    anchor a ≠ v reflexive reach equals strict reach, so one kernel
+//    serves both the large_check block masks and the race engine's
+//    candidate pruning without a per-edge membership lookup.
+//
+// Header-only: ccmm_trace links ccmm_analyze (race engines live there),
+// so a .cpp here would hand the analyze library an upward dependency.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/computation.hpp"
+
+namespace ccmm {
+
+/// Every node touching one location, in increasing node-id order.
+/// `accessors` holds readers and writers both; `writers` just the
+/// writers (a subset, same order).
+struct LocationAccess {
+  Location loc = 0;
+  std::vector<NodeId> writers;
+  std::vector<NodeId> accessors;
+};
+
+/// Bucket the computation's accesses by location in one pass; the
+/// result is sorted by location. Node ids within each bucket ascend
+/// because the pass scans ids in order.
+[[nodiscard]] inline std::vector<LocationAccess> group_location_accesses(
+    const Computation& c) {
+  std::vector<LocationAccess> groups;
+  std::unordered_map<Location, std::size_t> index;
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    const Op o = c.op(u);
+    if (o.is_nop()) continue;
+    const auto [it, fresh] = index.try_emplace(o.loc, groups.size());
+    if (fresh) {
+      groups.emplace_back();
+      groups.back().loc = o.loc;
+    }
+    LocationAccess& g = groups[it->second];
+    g.accessors.push_back(u);
+    if (o.is_write()) g.writers.push_back(u);
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const LocationAccess& a, const LocationAccess& b) {
+              return a.loc < b.loc;
+            });
+  return groups;
+}
+
+/// Forward reach sweep: out[v] = member_bit(v) | OR over predecessors'
+/// out. After the sweep, bit i of out[v] is set iff the i-th anchor
+/// reflexively reaches v. `topo` is any topological order covering
+/// every node once; `out` must hold node_count() words (overwritten).
+template <class MemberBit>
+inline void sweep_reach_forward(const Dag& dag, const std::vector<NodeId>& topo,
+                                MemberBit&& member_bit, std::uint64_t* out) {
+  for (const NodeId v : topo) {
+    std::uint64_t m = member_bit(v);
+    for (const NodeId p : dag.pred(v)) m |= out[p];
+    out[v] = m;
+  }
+}
+
+/// Forward sweep carrying two anchor channels at once (large_check's
+/// member + writer masks); one pass over the edges instead of two.
+template <class MemberBit, class SecondBit>
+inline void sweep_reach_forward2(const Dag& dag,
+                                 const std::vector<NodeId>& topo,
+                                 MemberBit&& member_bit, SecondBit&& second_bit,
+                                 std::uint64_t* out, std::uint64_t* out2) {
+  for (const NodeId v : topo) {
+    std::uint64_t m = member_bit(v);
+    std::uint64_t s = second_bit(v);
+    for (const NodeId p : dag.pred(v)) {
+      m |= out[p];
+      s |= out2[p];
+    }
+    out[v] = m;
+    out2[v] = s;
+  }
+}
+
+/// Backward reach sweep: bit i of out[v] is set iff v reflexively
+/// reaches the i-th anchor.
+template <class MemberBit>
+inline void sweep_reach_backward(const Dag& dag,
+                                 const std::vector<NodeId>& topo,
+                                 MemberBit&& member_bit, std::uint64_t* out) {
+  for (std::size_t i = topo.size(); i-- > 0;) {
+    const NodeId v = topo[i];
+    std::uint64_t m = member_bit(v);
+    for (const NodeId s : dag.succ(v)) m |= out[s];
+    out[v] = m;
+  }
+}
+
+}  // namespace ccmm

@@ -33,8 +33,24 @@ struct Race {
   [[nodiscard]] bool operator==(const Race&) const = default;
 };
 
-/// All races, ordered by (a, b, loc), deduplicated. Uses the SP-bags
-/// engine when c carries an SP structure, the pairwise engine otherwise.
+/// The engines behind find_races/has_race. kAuto resolves via
+/// select_race_engine: SP-bags when the computation carries its parse,
+/// the closure-backed pairwise walk below kPairwiseNodeCutoff nodes,
+/// and the oracle engine (analyze/race_oracle.hpp — precedence-oracle
+/// fast path + mask sweeps, no closure) for large general dags.
+enum class RaceEngine : std::uint8_t { kAuto, kSpBags, kPairwise, kOracle };
+
+[[nodiscard]] const char* race_engine_name(RaceEngine e);
+
+/// Node count at which kAuto abandons the pairwise engine: past this
+/// the O(n²)-bit closure dominates everything else the scan does.
+inline constexpr std::size_t kPairwiseNodeCutoff = 2048;
+
+/// The engine kAuto resolves to for this computation.
+[[nodiscard]] RaceEngine select_race_engine(const Computation& c);
+
+/// All races, ordered by (a, b, loc), deduplicated. Dispatches through
+/// select_race_engine; every engine returns the identical race set.
 [[nodiscard]] std::vector<Race> find_races(const Computation& c);
 
 /// The pairwise engine, callable directly (differential tests and the

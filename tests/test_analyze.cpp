@@ -423,5 +423,55 @@ TEST(AnalyzeDriver, ReportRendersAllSeverities) {
   EXPECT_NE(report.find("behaviour classes"), std::string::npos);
 }
 
+TEST(AnalyzeDriver, JsonReportIsWellFormed) {
+  CilkProgram p;
+  auto main = p.root();
+  auto a = main.spawn();
+  a.write(0);
+  auto b = main.spawn();
+  b.write(0);
+  main.sync();
+  main.read(0);
+  const auto diags = analyze::analyze_computation(p.finish());
+  ASSERT_FALSE(diags.empty());
+  const std::string json = analyze::render_json(diags);
+  // Structural smoke: one object per diagnostic, the severity/pass keys
+  // present, quotes balanced. (ccmm_lint --json is consumed by CI, so
+  // the shape is part of the contract.)
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"diagnostics\":["), std::string::npos);
+  EXPECT_NE(json.find("\"severity\""), std::string::npos);
+  EXPECT_NE(json.find("\"pass\""), std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(json.begin(), json.end(), '{')),
+            static_cast<std::size_t>(
+                std::count(json.begin(), json.end(), '}')));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+}
+
+TEST(AnalyzeDriver, StatsReportResolvedEngine) {
+  // kAuto must never leak into the output stats: the driver records the
+  // engine it actually ran.
+  CilkProgram p;
+  auto main = p.root();
+  auto a = main.spawn();
+  a.write(0);
+  main.write(0);
+  main.sync();
+  const Computation c = p.finish();
+  analyze::AnalyzeStats stats;
+  analyze::AnalysisOptions options;
+  options.classify_anomalies = false;
+  (void)analyze::analyze_computation(c, options, &stats);
+  EXPECT_EQ(stats.engine, RaceEngine::kSpBags);  // parse present
+  EXPECT_GT(stats.races, 0u);
+
+  options.engine = RaceEngine::kOracle;
+  (void)analyze::analyze_computation(c, options, &stats);
+  EXPECT_EQ(stats.engine, RaceEngine::kOracle);
+  EXPECT_NE(stats.to_string().find("oracle"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ccmm

@@ -8,13 +8,16 @@
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <sstream>
 
 #include "core/last_writer.hpp"
 #include "core/prepared.hpp"
 #include "dag/precedence_oracle.hpp"
+#include "exec/sc_memory.hpp"
 #include "models/location_consistency.hpp"
 #include "proc/random_program.hpp"
 #include "trace/large_check.hpp"
+#include "trace/trace_binary.hpp"
 #include "util/rng.hpp"
 
 namespace ccmm {
@@ -126,17 +129,28 @@ void BM_LargeCheckLC(benchmark::State& state) {
   LargeCheckOptions opt;
   opt.models = kSuiteLC;
   std::size_t oracle_bytes = 0;
+  double bytes_per_node = 0.0;
+  std::size_t peak_rss = 0;
   for (auto _ : state) {
     const LargeCheckReport r = large_check(in.c, in.phi, opt);
     oracle_bytes = r.oracle_memory_bytes;
+    bytes_per_node = r.bytes_per_node;
+    peak_rss = r.peak_rss_bytes;
     benchmark::DoNotOptimize(r.satisfied);
   }
   state.counters["oracle_bytes"] = static_cast<double>(oracle_bytes);
+  state.counters["bytes_per_node"] = bytes_per_node;
+  state.counters["peak_rss_mb"] =
+      static_cast<double>(peak_rss) / (1024.0 * 1024.0);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(in.c.node_count()));
 }
+// The 1<<24 arg is the data-plane headline: a 16M-node streaming check,
+// single-digit seconds per iteration, with the bytes-per-node budget on
+// the row. run_benches.sh keeps it out of --quick and gives it its own
+// process in full mode.
 BENCHMARK(BM_LargeCheckLC)->Arg(4096)->Arg(16384)->Arg(65536)->Arg(1 << 20)
-    ->Unit(benchmark::kMillisecond);
+    ->Arg(1 << 24)->Unit(benchmark::kMillisecond);
 
 /// All five decomposable models in one streaming pass — the full
 /// postmortem verdict at scale.
@@ -153,6 +167,136 @@ void BM_LargeCheckAllModels(benchmark::State& state) {
                           static_cast<std::int64_t>(in.c.node_count()));
 }
 BENCHMARK(BM_LargeCheckAllModels)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// The trace data plane: text parse vs mmap-style binary decode, and the
+// end-to-end postmortem pipelines those feed. The serialized images are
+// built once per benchmark; the timed region is exactly what a CLI run
+// spends after the file is in the page cache.
+// ---------------------------------------------------------------------
+
+struct TraceInstance {
+  Computation c;
+  Trace trace;
+  std::string text;    // write_trace output
+  std::string binary;  // write_trace_binary output
+};
+
+TraceInstance make_trace_instance(std::size_t n) {
+  Rng rng(n * 29 + 3);
+  proc::RandomCilkOptions opt;
+  opt.target_ops = n;
+  opt.nlocations = 16;
+  TraceInstance in;
+  in.c = proc::random_cilk(opt, rng);
+  ScMemory mem;
+  in.trace = run_serial(in.c, mem).trace;
+  {
+    std::ostringstream out;
+    write_trace(in.trace, out);
+    in.text = out.str();
+  }
+  {
+    std::ostringstream out(std::ios::binary);
+    write_trace_binary(in.trace, out);
+    in.binary = out.str();
+  }
+  return in;
+}
+
+void BM_TraceReadText(benchmark::State& state) {
+  const TraceInstance in =
+      make_trace_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::istringstream is(in.text);
+    const Trace t = read_trace(is, in.c);
+    benchmark::DoNotOptimize(t.events.data());
+  }
+  state.counters["file_bytes"] = static_cast<double>(in.text.size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.trace.events.size()));
+}
+BENCHMARK(BM_TraceReadText)->Arg(65536)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TraceReadBinary(benchmark::State& state) {
+  const TraceInstance in =
+      make_trace_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const Trace t =
+        read_trace_binary(in.binary.data(), in.binary.size(), in.c);
+    benchmark::DoNotOptimize(t.events.data());
+  }
+  state.counters["file_bytes"] = static_cast<double>(in.binary.size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.trace.events.size()));
+}
+BENCHMARK(BM_TraceReadBinary)->Arg(65536)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+/// The zero-copy validation alone — what the checker actually needs
+/// before it can stream a mapped file (no Trace materialization).
+void BM_TraceValidateBinary(benchmark::State& state) {
+  const TraceInstance in =
+      make_trace_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const BinaryTraceView v =
+        validate_trace_binary(in.binary.data(), in.binary.size(), in.c);
+    benchmark::DoNotOptimize(v.count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.trace.events.size()));
+}
+BENCHMARK(BM_TraceValidateBinary)->Arg(65536)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+/// The pre-data-plane pipeline: parse the text trace, then stream-check
+/// LC with the kernels pinned scalar and no sharding — what a
+/// postmortem cost before this plane existed. LC keeps both pipelines
+/// near-linear so the pair scales to the 16M arg (the four mask-sweep
+/// models are O(n·writers/256) per location — benchmarked separately at
+/// sizes where that is sane). Paired against BM_PostmortemDataPlane by
+/// run_benches.sh (the ≥4x acceptance row).
+void BM_PostmortemNaive(benchmark::State& state) {
+  const TraceInstance in =
+      make_trace_instance(static_cast<std::size_t>(state.range(0)));
+  LargeCheckOptions opt;
+  opt.models = kSuiteLC;
+  opt.parallel = false;
+  opt.simd = SimdLevel::kScalar;
+  for (auto _ : state) {
+    std::istringstream is(in.text);
+    const Trace t = read_trace(is, in.c);
+    const LargeCheckReport r = large_check_trace(in.c, t, opt);
+    benchmark::DoNotOptimize(r.satisfied);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.trace.events.size()));
+}
+BENCHMARK(BM_PostmortemNaive)->Arg(65536)->Arg(1 << 24)
+    ->Unit(benchmark::kMillisecond);
+
+/// The full data plane: binary decode + dispatched SIMD sweeps + shard
+/// pipeline. Verdicts are bit-identical to BM_PostmortemNaive's.
+void BM_PostmortemDataPlane(benchmark::State& state) {
+  const TraceInstance in =
+      make_trace_instance(static_cast<std::size_t>(state.range(0)));
+  LargeCheckOptions opt;
+  opt.models = kSuiteLC;
+  double bytes_per_node = 0.0;
+  for (auto _ : state) {
+    const Trace t =
+        read_trace_binary(in.binary.data(), in.binary.size(), in.c);
+    const LargeCheckReport r = large_check_trace(in.c, t, opt);
+    bytes_per_node = r.bytes_per_node;
+    benchmark::DoNotOptimize(r.satisfied);
+  }
+  state.counters["bytes_per_node"] = bytes_per_node;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.trace.events.size()));
+}
+BENCHMARK(BM_PostmortemDataPlane)->Arg(65536)->Arg(1 << 24)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

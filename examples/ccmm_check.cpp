@@ -7,9 +7,11 @@
 //   $ ./ccmm_check instance.txt --dot     # also emit graphviz
 //   $ ./ccmm_check --example > demo.txt   # write a sample instance
 //   $ ./ccmm_check --fixpoint 5           # worklist vs Jacobi Δ* stats
-//   $ ./ccmm_check instance.txt --trace t.txt  # stream-check a trace
+//   $ ./ccmm_check instance.txt --trace t.txt    # stream-check a trace
+//   $ ./ccmm_check instance.txt --trace t.tbin   # binary traces auto-detect
 //   $ ./ccmm_check --trace-demo 1000000   # million-node streaming demo
-//   $ ./ccmm_check --trace-demo 500 --emit run   # + write run.txt/run.trace
+//   $ ./ccmm_check --trace-demo 500 --emit run
+//       # + write run.txt/run.trace/run.tbin (text + mmap-able binary)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +32,7 @@
 #include "proc/random_program.hpp"
 #include "trace/lint_pipeline.hpp"
 #include "trace/race.hpp"
+#include "trace/trace_binary.hpp"
 
 using namespace ccmm;
 
@@ -86,14 +89,14 @@ int fixpoint_report(std::size_t max_nodes) {
 /// certificate when the scan comes back clean. No transitive closure
 /// anywhere on this path.
 int trace_report(const Computation& c, const char* trace_path) {
-  std::ifstream in(trace_path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", trace_path);
-    return 2;
-  }
+  // load_trace sniffs the magic: binary traces are mmapped and decoded
+  // zero-copy, text traces go through the line parser.
   Trace trace;
   try {
-    trace = read_trace(in, c);
+    trace = load_trace(trace_path, c);
+  } catch (const TraceReadError& e) {
+    std::fprintf(stderr, "%s: %s\n", trace_path, e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
@@ -109,9 +112,10 @@ int trace_report(const Computation& c, const char* trace_path) {
 /// memory instructions, execute it, and stream-check the recorded
 /// trace. At n = 1'000'000 the closure path would need ~250 GB of
 /// reachability bitsets; the SP-order oracle uses 8 bytes per node.
-/// With `emit_prefix`, the run's binary-of-record artifacts are written
-/// to PREFIX.txt (instance) and PREFIX.trace — consumable by
-/// `ccmm_lint <PREFIX>.txt --trace <PREFIX>.trace`.
+/// With `emit_prefix`, the run's artifacts are written to PREFIX.txt
+/// (instance), PREFIX.trace (text trace) and PREFIX.tbin (the binary
+/// mmap-able trace) — either trace file is consumable by
+/// `ccmm_lint <PREFIX>.txt --trace <PREFIX>.{trace,tbin}`.
 int trace_demo(std::size_t n, const char* emit_prefix) {
   Rng rng(2026);
   proc::RandomCilkOptions opt;
@@ -124,14 +128,18 @@ int trace_demo(std::size_t n, const char* emit_prefix) {
   const ExecutionResult run = run_serial(c, mem);
   if (emit_prefix != nullptr) {
     const std::string base = emit_prefix;
-    std::ofstream ci(base + ".txt"), ct(base + ".trace");
+    std::ofstream ci(base + ".txt");
+    std::ofstream ct(base + ".trace");
+    std::ofstream cb(base + ".tbin", std::ios::binary);
     ci << io::write_computation(c);
-    ct << write_trace(run.trace);
-    if (!ci || !ct) {
-      std::fprintf(stderr, "cannot write %s.{txt,trace}\n", emit_prefix);
+    write_trace(run.trace, ct);
+    write_trace_binary(run.trace, cb);
+    if (!ci || !ct || !cb) {
+      std::fprintf(stderr, "cannot write %s.{txt,trace,tbin}\n", emit_prefix);
       return 2;
     }
-    std::printf("wrote %s.txt and %s.trace\n", emit_prefix, emit_prefix);
+    std::printf("wrote %s.txt, %s.trace and %s.tbin\n", emit_prefix,
+                emit_prefix, emit_prefix);
   }
   std::printf("streaming lint pipeline on the trace:\n");
   const analyze::TraceLintResult r = analyze::analyze_trace(c, run.trace, {});
@@ -182,14 +190,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: ccmm_check <instance.txt> [--dot]\n"
                  "       ccmm_check <instance.txt> --trace FILE  (stream-"
-                 "check a recorded trace)\n"
+                 "check a recorded trace;\n"
+                 "            text and binary formats are auto-detected)\n"
                  "       ccmm_check --example     (print a sample instance)\n"
                  "       ccmm_check --fixpoint N  (worklist vs Jacobi Δ* "
                  "schedule report)\n"
                  "       ccmm_check --trace-demo N [--emit PREFIX]\n"
                  "           (synthesize, execute and stream-check ~N ops;\n"
-                 "            --emit writes PREFIX.txt + PREFIX.trace for\n"
-                 "            ccmm_lint --trace)\n");
+                 "            --emit writes PREFIX.txt + PREFIX.trace +\n"
+                 "            PREFIX.tbin for ccmm_lint --trace)\n");
     return 2;
   }
 

@@ -5,6 +5,7 @@
 
 #include "analyze/sp_bags.hpp"
 #include "trace/race.hpp"
+#include "util/resource.hpp"
 #include "util/str.hpp"
 
 namespace ccmm::analyze {
@@ -132,6 +133,13 @@ std::vector<Diagnostic> analyze_computation(const Computation& c,
   AnalyzeStats local;
   race_pass(c, options, out, local);
   if (options.lint) memory_lint_pass(c, out);
+  if (local.engine == RaceEngine::kOracle && c.node_count() > 0)
+    local.bytes_per_node =
+        static_cast<double>(local.scan.groups_bytes + local.scan.csr_bytes +
+                            local.scan.scratch_peak_bytes +
+                            local.scan.oracle_memory_bytes) /
+        static_cast<double>(c.node_count());
+  local.peak_rss_bytes = current_peak_rss_bytes();
   if (stats != nullptr) *stats = std::move(local);
   return out;
 }
@@ -139,7 +147,14 @@ std::vector<Diagnostic> analyze_computation(const Computation& c,
 std::string AnalyzeStats::to_string() const {
   std::string out =
       format("race engine: %s, %zu race(s)\n", race_engine_name(engine), races);
-  if (engine == RaceEngine::kOracle) out += scan.to_string();
+  if (engine == RaceEngine::kOracle) {
+    out += scan.to_string();
+    out += format("memory: %.1f B/node scan-owned", bytes_per_node);
+    if (peak_rss_bytes != 0)
+      out += format(", peak rss %.1f MiB",
+                    static_cast<double>(peak_rss_bytes) / (1024.0 * 1024.0));
+    out += "\n";
+  }
   return out;
 }
 

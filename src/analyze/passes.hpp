@@ -53,6 +53,13 @@ struct AnalyzeStats {
   std::size_t races = 0;
   RaceScanStats scan;  // populated by the oracle engine only
 
+  // Data-plane accounting (oracle engine only): bytes the scan itself
+  // held — grouping arena + CSR edge copies + sweep scratch + oracle —
+  // per node, and the process peak RSS after the analysis (getrusage;
+  // includes the computation itself).
+  double bytes_per_node = 0.0;
+  std::size_t peak_rss_bytes = 0;
+
   [[nodiscard]] std::string to_string() const;
 };
 

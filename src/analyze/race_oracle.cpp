@@ -7,7 +7,9 @@
 #include <climits>
 #include <functional>
 #include <numeric>
+#include <span>
 
+#include "dag/sweep.hpp"
 #include "trace/loc_kernel.hpp"
 #include "util/str.hpp"
 
@@ -43,52 +45,55 @@ Race make_race(const Computation& c, NodeId x, NodeId y, Location l) {
 /// `rank` is nullptr when node ids are already a topological order.
 std::optional<Race> location_first_race(const Computation& c,
                                         const PrecedenceOracle& oracle,
-                                        const LocationAccess& g,
+                                        Location loc,
+                                        std::span<const NodeId> writers,
+                                        std::span<const NodeId> accessors,
                                         const std::vector<std::uint32_t>* rank,
                                         std::size_t& queries) {
   std::vector<NodeId> wbuf;
   std::vector<NodeId> abuf;
-  const std::vector<NodeId>* ws = &g.writers;
-  const std::vector<NodeId>* as = &g.accessors;
   if (rank != nullptr) {
-    wbuf = g.writers;
-    abuf = g.accessors;
+    wbuf.assign(writers.begin(), writers.end());
+    abuf.assign(accessors.begin(), accessors.end());
     const auto by_rank = [&](NodeId x, NodeId y) {
       return (*rank)[x] < (*rank)[y];
     };
     std::sort(wbuf.begin(), wbuf.end(), by_rank);
     std::sort(abuf.begin(), abuf.end(), by_rank);
-    ws = &wbuf;
-    as = &abuf;
+    writers = wbuf;
+    accessors = abuf;
   }
-  for (std::size_t i = 0; i + 1 < ws->size(); ++i) {
+  for (std::size_t i = 0; i + 1 < writers.size(); ++i) {
     ++queries;
-    if (!oracle.precedes((*ws)[i], (*ws)[i + 1]))
-      return make_race(c, (*ws)[i], (*ws)[i + 1], g.loc);
+    if (!oracle.precedes(writers[i], writers[i + 1]))
+      return make_race(c, writers[i], writers[i + 1], loc);
   }
   std::size_t j = 0;  // writers at-or-before the current accessor
-  for (const NodeId v : *as) {
+  for (const NodeId v : accessors) {
     if (c.op(v).is_write()) {
       ++j;
       continue;
     }
     if (j > 0) {
       ++queries;
-      if (!oracle.precedes((*ws)[j - 1], v))
-        return make_race(c, (*ws)[j - 1], v, g.loc);
+      if (!oracle.precedes(writers[j - 1], v))
+        return make_race(c, writers[j - 1], v, loc);
     }
-    if (j < ws->size()) {
+    if (j < writers.size()) {
       ++queries;
-      if (!oracle.precedes(v, (*ws)[j])) return make_race(c, v, (*ws)[j], g.loc);
+      if (!oracle.precedes(v, writers[j]))
+        return make_race(c, v, writers[j], loc);
     }
   }
   return std::nullopt;
 }
 
-/// Shared scan context: groups that can race at all, the topological
-/// rank view, and the oracle.
+/// Shared scan context: the location-grouping arena, the indices of
+/// groups that can race at all, the topological rank view, and the
+/// oracle.
 struct ScanSetup {
-  std::vector<LocationAccess> groups;
+  LocationGroups groups;
+  std::vector<std::uint32_t> live;  // groups with a writer + ≥2 accessors
   std::vector<NodeId> topo;
   std::vector<std::uint32_t> rank;  // empty when ids are topological
   std::unique_ptr<PrecedenceOracle> oracle;
@@ -98,11 +103,12 @@ ScanSetup scan_setup(const Computation& c, const RaceScanOptions& options,
                      RaceScanStats& st) {
   ScanSetup s;
   s.groups = group_location_accesses(c);
-  std::erase_if(s.groups, [](const LocationAccess& g) {
-    return g.writers.empty() || g.accessors.size() < 2;
-  });
-  st.locations = s.groups.size();
-  if (s.groups.empty()) return s;
+  st.groups_bytes = s.groups.memory_bytes();
+  for (std::size_t i = 0; i < s.groups.size(); ++i)
+    if (!s.groups.writers(i).empty() && s.groups.accessors(i).size() >= 2)
+      s.live.push_back(static_cast<std::uint32_t>(i));
+  st.locations = s.live.size();
+  if (s.live.empty()) return s;
 
   const std::size_t n = c.node_count();
   if (c.dag().ids_topological()) {
@@ -133,8 +139,8 @@ void run_sharded(const RaceScanOptions& options, std::size_t ntasks,
   }
 }
 
-/// One 64-anchor sweep chunk: anchors[lo, hi) sorted by (location,
-/// node id), member lookup by binary search over the id-sorted view.
+/// One 256-anchor sweep chunk: anchors[lo, hi) sorted by (location,
+/// node id); anchor i holds bit i−lo of the W=4 mask rows.
 struct MaskChunk {
   std::size_t lo = 0;
   std::size_t hi = 0;
@@ -149,16 +155,39 @@ constexpr std::uint64_t low_bits(std::size_t k) {
   return k >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << k) - 1;
 }
 
+/// Bits of word `w` covered by the global bit range [lo, hi). Only
+/// meaningful for words overlapping the range.
+constexpr std::uint64_t range_mask_word(std::size_t lo, std::size_t hi,
+                                        std::size_t w) {
+  const std::size_t base = w * 64;
+  const std::size_t a = lo > base ? lo - base : 0;
+  const std::size_t b = hi > base ? hi - base : 0;
+  return (b >= 64 ? ~std::uint64_t{0} : low_bits(b)) & ~low_bits(a);
+}
+
 /// Races-remaining budget shared by the enumeration tasks. Signed and
 /// decremented with plain fetch_sub: a transient overshoot below zero
 /// is fine (the merge step truncates exactly), underflow would need
 /// ~2⁶³ decrements.
 using SoftCap = std::atomic<long long>;
 
-void scan_mask_chunk(const Computation& c, const std::vector<NodeId>& topo,
-                     const std::vector<const LocationAccess*>& masky,
+/// The per-shard sweep arena: fwd/bwd mask rows (n × kSweepWords each),
+/// reused across every chunk the shard runs.
+struct MaskScratch {
+  std::vector<std::uint64_t> fwd;
+  std::vector<std::uint64_t> bwd;
+
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return (fwd.capacity() + bwd.capacity()) * sizeof(std::uint64_t);
+  }
+};
+
+void scan_mask_chunk(const Computation& c, const ScanSetup& s, const Csr& pred,
+                     const Csr& succ, SimdLevel simd,
+                     const std::vector<std::uint32_t>& masky,
                      const std::vector<Anchor>& anchors, const MaskChunk& ch,
-                     SoftCap& soft_cap, std::vector<Race>& out) {
+                     MaskScratch& scratch, SoftCap& soft_cap,
+                     std::vector<Race>& out) {
   // A hit race cap skips the whole chunk — the sweeps are the expensive
   // part, and once truncation is certain their output is unwanted.
   if (soft_cap.load(std::memory_order_relaxed) <= 0) return;
@@ -166,77 +195,74 @@ void scan_mask_chunk(const Computation& c, const std::vector<NodeId>& topo,
   const std::size_t n = c.node_count();
   const std::size_t width = ch.hi - ch.lo;
 
-  // Member table sorted by node id (anchors within the chunk ascend per
-  // location, not globally).
-  std::vector<std::pair<NodeId, std::uint8_t>> members(width);
-  for (std::size_t i = 0; i < width; ++i)
-    members[i] = {anchors[ch.lo + i].node, static_cast<std::uint8_t>(i)};
-  std::sort(members.begin(), members.end());
-  const auto member_bit = [&](NodeId v) -> std::uint64_t {
-    std::size_t lo = 0;
-    std::size_t hi = width;
-    while (lo < hi) {
-      const std::size_t mid = (lo + hi) / 2;
-      if (members[mid].first < v)
-        lo = mid + 1;
-      else
-        hi = mid;
-    }
-    return lo < width && members[lo].first == v
-               ? std::uint64_t{1} << members[lo].second
-               : 0;
-  };
-
-  std::vector<std::uint64_t> fwd(n);
-  std::vector<std::uint64_t> bwd(n);
-  sweep_reach_forward(c.dag(), topo, member_bit, fwd.data());
-  sweep_reach_backward(c.dag(), topo, member_bit, bwd.data());
+  // Preset each anchor's bit straight into its own row (reflexive
+  // reach): no member table, no per-node binary search in the sweep.
+  scratch.fwd.assign(n * kSweepWords, 0);
+  scratch.bwd.assign(n * kSweepWords, 0);
+  for (std::size_t i = 0; i < width; ++i) {
+    const NodeId u = anchors[ch.lo + i].node;
+    const std::size_t at = u * kSweepWords + (i >> 6);
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    scratch.fwd[at] |= bit;
+    scratch.bwd[at] |= bit;
+  }
+  sweep_forward_w4(pred, s.topo, scratch.fwd.data(), simd);
+  sweep_backward_w4(succ, s.topo, scratch.bwd.data(), simd);
 
   // Walk the chunk's per-location slices (anchors of one location are
   // consecutive and id-ascending).
-  for (std::size_t s = 0; s < width;) {
-    std::size_t e = s + 1;
-    while (e < width &&
-           anchors[ch.lo + e].group == anchors[ch.lo + s].group)
+  for (std::size_t sb = 0; sb < width;) {
+    std::size_t e = sb + 1;
+    while (e < width && anchors[ch.lo + e].group == anchors[ch.lo + sb].group)
       ++e;
-    const LocationAccess& g = *masky[anchors[ch.lo + s].group];
-    const std::uint64_t slice_mask = low_bits(e - s) << s;
-    for (const NodeId v : g.accessors) {
-      std::uint64_t cand = slice_mask & ~(fwd[v] | bwd[v]);
-      if (cand == 0) continue;
+    const std::uint32_t gi = masky[anchors[ch.lo + sb].group];
+    const Location loc = s.groups.locs[gi];
+    for (const NodeId v : s.groups.accessors(gi)) {
+      std::size_t hi_bit = e;
       if (c.op(v).is_write()) {
         // Writer/writer dedupe across chunks and slices: v emits only
         // partners with a smaller node id; the partner's own scan (or
         // chunk) covers the other order.
-        std::size_t lt = s;
-        std::size_t hi2 = e;
-        while (lt < hi2) {
-          const std::size_t mid = (lt + hi2) / 2;
+        std::size_t lt = sb;
+        std::size_t h = e;
+        while (lt < h) {
+          const std::size_t mid = (lt + h) / 2;
           if (anchors[ch.lo + mid].node < v)
             lt = mid + 1;
           else
-            hi2 = mid;
+            h = mid;
         }
-        cand &= low_bits(lt - s) << s;
-        if (cand == 0) continue;
+        hi_bit = lt;
+        if (hi_bit == sb) continue;
       }
-      if (soft_cap.load(std::memory_order_relaxed) <= 0) return;
+      const std::uint64_t* fv = &scratch.fwd[v * kSweepWords];
+      const std::uint64_t* bv = &scratch.bwd[v * kSweepWords];
       long long emitted = 0;
-      for (std::uint64_t m = cand; m != 0; m &= m - 1) {
-        const std::size_t bit = static_cast<std::size_t>(std::countr_zero(m));
-        out.push_back(make_race(c, v, anchors[ch.lo + bit].node, g.loc));
-        ++emitted;
+      for (std::size_t w = sb >> 6; w < (hi_bit + 63) >> 6; ++w) {
+        std::uint64_t cand =
+            range_mask_word(sb, hi_bit, w) & ~(fv[w] | bv[w]);
+        while (cand != 0) {
+          if (emitted == 0 &&
+              soft_cap.load(std::memory_order_relaxed) <= 0)
+            return;
+          const std::size_t bit =
+              w * 64 + static_cast<std::size_t>(std::countr_zero(cand));
+          out.push_back(make_race(c, v, anchors[ch.lo + bit].node, loc));
+          ++emitted;
+          cand &= cand - 1;
+        }
       }
-      soft_cap.fetch_sub(emitted, std::memory_order_relaxed);
+      if (emitted != 0)
+        soft_cap.fetch_sub(emitted, std::memory_order_relaxed);
     }
-    s = e;
+    sb = e;
   }
 }
 
 void scan_direct_location(const Computation& c, const PrecedenceOracle& oracle,
-                          const LocationAccess& g, SoftCap& soft_cap,
-                          std::size_t& queries, std::vector<Race>& out) {
-  const std::vector<NodeId>& nodes = g.accessors;
+                          Location loc, std::span<const NodeId> nodes,
+                          SoftCap& soft_cap, std::size_t& queries,
+                          std::vector<Race>& out) {
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     if (soft_cap.load(std::memory_order_relaxed) <= 0) return;
     for (std::size_t j = i + 1; j < nodes.size(); ++j) {
@@ -248,7 +274,7 @@ void scan_direct_location(const Computation& c, const PrecedenceOracle& oracle,
       ++queries;
       if (!oracle.incomparable(a, b)) continue;
       out.push_back(
-          {a, b, g.loc, aw && bw ? RaceKind::kWriteWrite : RaceKind::kReadWrite});
+          {a, b, loc, aw && bw ? RaceKind::kWriteWrite : RaceKind::kReadWrite});
       soft_cap.fetch_sub(1, std::memory_order_relaxed);
     }
   }
@@ -262,16 +288,21 @@ std::vector<Race> find_races_oracle(const Computation& c,
   const auto t0 = Clock::now();
   RaceScanStats st;
   ScanSetup s = scan_setup(c, options, st);
+  const SimdLevel simd = options.simd.value_or(active_simd_level());
+  st.simd = simd_level_name(simd);
   std::vector<Race> races;
-  if (!s.groups.empty()) {
+  if (!s.live.empty()) {
     const std::vector<std::uint32_t>* rank =
         s.rank.empty() ? nullptr : &s.rank;
 
     // Phase 1: the per-location total-order proof.
-    std::vector<char> racy(s.groups.size(), 0);
-    std::vector<std::size_t> queries(s.groups.size(), 0);
-    run_sharded(options, s.groups.size(), [&](std::size_t i) {
-      racy[i] = location_first_race(c, *s.oracle, s.groups[i], rank, queries[i])
+    std::vector<char> racy(s.live.size(), 0);
+    std::vector<std::size_t> queries(s.live.size(), 0);
+    run_sharded(options, s.live.size(), [&](std::size_t i) {
+      const std::uint32_t g = s.live[i];
+      racy[i] = location_first_race(c, *s.oracle, s.groups.locs[g],
+                                    s.groups.writers(g), s.groups.accessors(g),
+                                    rank, queries[i])
                     .has_value()
                     ? 1
                     : 0;
@@ -279,13 +310,14 @@ std::vector<Race> find_races_oracle(const Computation& c,
     for (const std::size_t q : queries) st.oracle_queries += q;
 
     // Phases 2+3: enumerate the racy locations' candidate pairs.
-    std::vector<const LocationAccess*> direct;
-    std::vector<const LocationAccess*> masky;
-    for (std::size_t i = 0; i < s.groups.size(); ++i) {
+    std::vector<std::uint32_t> direct;
+    std::vector<std::uint32_t> masky;
+    for (std::size_t i = 0; i < s.live.size(); ++i) {
       if (racy[i] == 0) continue;
-      const LocationAccess& g = s.groups[i];
-      const std::size_t pairs = g.writers.size() * (g.accessors.size() - 1);
-      (pairs <= options.direct_pair_threshold ? direct : masky).push_back(&g);
+      const std::uint32_t g = s.live[i];
+      const std::size_t pairs =
+          s.groups.writers(g).size() * (s.groups.accessors(g).size() - 1);
+      (pairs <= options.direct_pair_threshold ? direct : masky).push_back(g);
     }
     st.racy_locations = direct.size() + masky.size();
     st.direct_locations = direct.size();
@@ -293,28 +325,60 @@ std::vector<Race> find_races_oracle(const Computation& c,
 
     std::vector<Anchor> anchors;
     for (std::size_t gi = 0; gi < masky.size(); ++gi)
-      for (const NodeId w : masky[gi]->writers)
+      for (const NodeId w : s.groups.writers(masky[gi]))
         anchors.push_back({w, static_cast<std::uint32_t>(gi)});
-    const std::size_t nchunks = (anchors.size() + 63) / 64;
+    const std::size_t nchunks = (anchors.size() + kSweepBits - 1) / kSweepBits;
     st.mask_groups = nchunks;
 
-    const std::size_t ntasks = direct.size() + nchunks;
+    // The sweeps walk flattened edge arrays; build them once, only when
+    // any chunk will run. Chunks are packed onto O(threads) shards that
+    // each own one fwd/bwd arena for their whole run.
+    Csr pred;
+    Csr succ;
+    if (nchunks > 0) {
+      pred = make_pred_csr(c.dag());
+      succ = make_succ_csr(c.dag());
+      st.csr_bytes = (pred.head.capacity() + succ.head.capacity()) *
+                         sizeof(std::uint32_t) +
+                     (pred.tgt.capacity() + succ.tgt.capacity()) *
+                         sizeof(NodeId);
+    }
+    ThreadPool& pool = options.pool != nullptr ? *options.pool : global_pool();
+    const std::size_t nshards =
+        (!options.parallel || pool.size() <= 1)
+            ? (nchunks > 0 ? 1 : 0)
+            : std::min(nchunks, pool.size() * 2);
+
+    const std::size_t ntasks = direct.size() + nshards;
     std::vector<std::vector<Race>> found(ntasks);
     std::vector<std::size_t> equeries(ntasks, 0);
+    std::vector<std::size_t> shard_bytes(nshards, 0);
     SoftCap soft_cap{static_cast<long long>(
         std::min<std::size_t>(options.max_races, LLONG_MAX))};
     run_sharded(options, ntasks, [&](std::size_t i) {
       if (i < direct.size()) {
-        scan_direct_location(c, *s.oracle, *direct[i], soft_cap, equeries[i],
+        const std::uint32_t g = direct[i];
+        scan_direct_location(c, *s.oracle, s.groups.locs[g],
+                             s.groups.accessors(g), soft_cap, equeries[i],
                              found[i]);
       } else {
-        const std::size_t k = i - direct.size();
-        const MaskChunk ch{k * 64,
-                           std::min(anchors.size(), k * 64 + 64)};
-        scan_mask_chunk(c, s.topo, masky, anchors, ch, soft_cap, found[i]);
+        const std::size_t sh = i - direct.size();
+        MaskScratch scratch;
+        for (std::size_t k = sh * nchunks / nshards;
+             k < (sh + 1) * nchunks / nshards; ++k) {
+          const MaskChunk ch{
+              k * kSweepBits,
+              std::min(anchors.size(), (k + 1) * kSweepBits)};
+          scan_mask_chunk(c, s, pred, succ, simd, masky, anchors, ch, scratch,
+                          soft_cap, found[i]);
+        }
+        shard_bytes[sh] = scratch.bytes();
       }
     });
     for (const std::size_t q : equeries) st.oracle_queries += q;
+    if (!shard_bytes.empty())
+      st.scratch_peak_bytes =
+          *std::max_element(shard_bytes.begin(), shard_bytes.end());
 
     std::size_t total = 0;
     for (const auto& f : found) total += f.size();
@@ -342,16 +406,18 @@ std::optional<Race> find_first_race(const Computation& c,
   RaceScanStats st;
   ScanSetup s = scan_setup(c, options, st);
   std::optional<Race> best;
-  if (!s.groups.empty()) {
+  if (!s.live.empty()) {
     const std::vector<std::uint32_t>* rank =
         s.rank.empty() ? nullptr : &s.rank;
-    std::vector<std::optional<Race>> first(s.groups.size());
-    std::vector<std::size_t> queries(s.groups.size(), 0);
-    run_sharded(options, s.groups.size(), [&](std::size_t i) {
-      first[i] = location_first_race(c, *s.oracle, s.groups[i], rank,
-                                     queries[i]);
+    std::vector<std::optional<Race>> first(s.live.size());
+    std::vector<std::size_t> queries(s.live.size(), 0);
+    run_sharded(options, s.live.size(), [&](std::size_t i) {
+      const std::uint32_t g = s.live[i];
+      first[i] = location_first_race(c, *s.oracle, s.groups.locs[g],
+                                     s.groups.writers(g),
+                                     s.groups.accessors(g), rank, queries[i]);
     });
-    for (std::size_t i = 0; i < s.groups.size(); ++i) {
+    for (std::size_t i = 0; i < s.live.size(); ++i) {
       st.oracle_queries += queries[i];
       if (!first[i].has_value()) continue;
       ++st.racy_locations;
@@ -367,13 +433,17 @@ std::optional<Race> find_first_race(const Computation& c,
 bool has_race_oracle(const Computation& c, const RaceScanOptions& options) {
   RaceScanStats st;
   ScanSetup s = scan_setup(c, options, st);
-  if (s.groups.empty()) return false;
+  if (s.live.empty()) return false;
   const std::vector<std::uint32_t>* rank = s.rank.empty() ? nullptr : &s.rank;
   std::atomic<bool> found{false};
-  run_sharded(options, s.groups.size(), [&](std::size_t i) {
+  run_sharded(options, s.live.size(), [&](std::size_t i) {
     if (found.load(std::memory_order_relaxed)) return;
     std::size_t q = 0;
-    if (location_first_race(c, *s.oracle, s.groups[i], rank, q).has_value())
+    const std::uint32_t g = s.live[i];
+    if (location_first_race(c, *s.oracle, s.groups.locs[g],
+                            s.groups.writers(g), s.groups.accessors(g), rank,
+                            q)
+            .has_value())
       found.store(true, std::memory_order_relaxed);
   });
   return found.load(std::memory_order_relaxed);
@@ -383,10 +453,14 @@ std::string RaceScanStats::to_string() const {
   std::string out = format(
       "oracle: %s (%zu bytes, built in %.2f ms)\n"
       "scan: %.2f ms, %zu locations (%zu racy: %zu direct, %zu via %zu "
-      "mask groups), %zu oracle queries\n",
+      "mask chunks), %zu oracle queries\n",
       oracle_kind.c_str(), oracle_memory_bytes, oracle_build_millis,
       scan_millis, locations, racy_locations, direct_locations, mask_locations,
       mask_groups, oracle_queries);
+  if (!simd.empty())
+    out += format("data plane: %s kernels, groups %zu B, csr %zu B, "
+                  "sweep scratch peak %zu B\n",
+                  simd.c_str(), groups_bytes, csr_bytes, scratch_peak_bytes);
   out += format("races: %zu%s\n", races, truncated ? " (cap hit)" : "");
   return out;
 }

@@ -15,13 +15,16 @@
 //  2. Racy locations with few candidate pairs enumerate them directly
 //     against the oracle — the same i < j walk as the pairwise engine,
 //     so the output order needs no massaging.
-//  3. Heavy racy locations fall back to 64-anchor reach-mask sweeps
-//     (trace/loc_kernel.hpp): anchors are the racy locations' writers,
-//     64 per group spanning locations; one forward + one backward
-//     O(n + m) sweep per group leaves, at each accessor v, the mask of
-//     anchor writers incomparable with v — the racing partners — with
-//     zero oracle queries. Writer/writer pairs dedupe by emitting only
-//     partners with smaller node id.
+//  3. Heavy racy locations fall back to 256-anchor reach-mask sweeps
+//     (dag/sweep.hpp — the runtime-dispatched AVX2/scalar W=4 kernels):
+//     anchors are the racy locations' writers, 256 per chunk spanning
+//     locations; one forward + one backward O(n + m) sweep per chunk
+//     leaves, at each accessor v, the mask of anchor writers
+//     incomparable with v — the racing partners — with zero oracle
+//     queries. Anchor bits are preset straight into the mask rows, the
+//     chunks run on O(threads) shards that each reuse one fwd/bwd
+//     arena, and writer/writer pairs dedupe by emitting only partners
+//     with smaller node id.
 //
 // The merged result is sorted by (a, b, loc) and deduplicated:
 // byte-identical to find_races_pairwise (differentially tested).
@@ -34,6 +37,7 @@
 #include "core/computation.hpp"
 #include "dag/precedence_oracle.hpp"
 #include "trace/race.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ccmm::analyze {
@@ -54,6 +58,10 @@ struct RaceScanOptions {
   /// Stop collecting once this many races have been merged. The scan
   /// stays exact below the cap; RaceScanStats::truncated reports a hit.
   std::size_t max_races = SIZE_MAX;
+  /// Force a kernel level for the mask sweeps (nullopt = the process
+  /// dispatch). Scalar and SIMD are bit-identical by construction;
+  /// differential tests pin both in one process through this.
+  std::optional<SimdLevel> simd;
 };
 
 struct RaceScanStats {
@@ -65,10 +73,18 @@ struct RaceScanStats {
   std::size_t racy_locations = 0;  // fast-path failures
   std::size_t direct_locations = 0;
   std::size_t mask_locations = 0;
-  std::size_t mask_groups = 0;  // 64-anchor sweep groups run
+  std::size_t mask_groups = 0;  // 256-anchor sweep chunks run
   std::size_t oracle_queries = 0;
   std::size_t races = 0;
   bool truncated = false;  // max_races cap hit
+
+  // Data-plane accounting: the kernel level the sweeps dispatched to,
+  // the grouping arena + shared CSR edge copies, and the widest
+  // per-shard sweep arena (fwd/bwd mask rows).
+  std::string simd;
+  std::size_t groups_bytes = 0;
+  std::size_t csr_bytes = 0;
+  std::size_t scratch_peak_bytes = 0;
 
   [[nodiscard]] std::string to_string() const;
 };

@@ -36,6 +36,15 @@ void ObserverFunction::set(Location l, NodeId u, NodeId v) {
   column(l)[u] = v;
 }
 
+void ObserverFunction::set_column(Location l, std::vector<NodeId> col) {
+  CCMM_CHECK(col.size() == n_, "column size disagrees with node count");
+#ifndef NDEBUG
+  for (const NodeId v : col)
+    CCMM_ASSERT(v == kBottom || v < n_);
+#endif
+  column(l) = std::move(col);
+}
+
 std::vector<Location> ObserverFunction::active_locations() const {
   std::vector<Location> out;
   for (std::size_t i = 0; i < locs_.size(); ++i) {

@@ -30,6 +30,13 @@ class ObserverFunction {
   /// Set Φ(l, u) = v (v may be kBottom). u must be a real node.
   void set(Location l, NodeId u, NodeId v);
 
+  /// Install a whole dense column for `l` at once (moved in), replacing
+  /// any existing column. `col` must have node_count() entries, each a
+  /// real node or kBottom. The bulk path for builders that already hold
+  /// the column — per-entry set() would re-search locs_ for every one
+  /// of the 10⁸ entries a large trace observer carries.
+  void set_column(Location l, std::vector<NodeId> col);
+
   /// Locations with at least one non-⊥ entry, sorted.
   [[nodiscard]] std::vector<Location> active_locations() const;
 

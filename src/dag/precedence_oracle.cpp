@@ -3,14 +3,74 @@
 #include <algorithm>
 #include <limits>
 
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
 // Header-only sidecar describing the SP parse; depending on it here
 // keeps the oracle layer in dag/ without linking against ccmm_core.
 #include "core/sp_structure.hpp"
+#include "util/simd.hpp"
 
 namespace ccmm {
 
 ClosureOracle::ClosureOracle(const Dag& dag) : dag_(&dag) {
   dag.ensure_closure();
+}
+
+namespace {
+
+#if defined(__x86_64__) || defined(_M_X64)
+/// u ≺ v ⇔ english[u] < english[v] ∧ hebrew[u] < hebrew[v], eight pairs
+/// at a time: four 32-bit rank gathers and two signed compares (rank
+/// values are array positions < n, far below the sign bit).
+__attribute__((target("avx2"))) void sp_batch_avx2(
+    const std::uint32_t* eng, const std::uint32_t* heb, const NodeId* us,
+    const NodeId* vs, std::size_t k, std::uint8_t* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= k; i += 8) {
+    const __m256i ui =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(us + i));
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vs + i));
+    const __m256i eu = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(eng), ui, sizeof(std::uint32_t));
+    const __m256i ev = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(eng), vi, sizeof(std::uint32_t));
+    const __m256i hu = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(heb), ui, sizeof(std::uint32_t));
+    const __m256i hv = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(heb), vi, sizeof(std::uint32_t));
+    const __m256i both = _mm256_and_si256(_mm256_cmpgt_epi32(ev, eu),
+                                          _mm256_cmpgt_epi32(hv, hu));
+    const int lanes = _mm256_movemask_ps(_mm256_castsi256_ps(both));
+    for (int j = 0; j < 8; ++j)
+      out[i + static_cast<std::size_t>(j)] =
+          static_cast<std::uint8_t>((lanes >> j) & 1);
+  }
+  for (; i < k; ++i)
+    out[i] = static_cast<std::uint8_t>(eng[us[i]] < eng[vs[i]] &&
+                                       heb[us[i]] < heb[vs[i]]);
+}
+#endif  // x86-64
+
+}  // namespace
+
+void SpOrderOracle::precedes_batch(const NodeId* us, const NodeId* vs,
+                                   std::size_t k, std::uint8_t* out) const {
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < k; ++i)
+    CCMM_ASSERT(us[i] < english_.size() && vs[i] < english_.size());
+#endif
+#if defined(__x86_64__) || defined(_M_X64)
+  if (active_simd_level() == SimdLevel::kAvx2) {
+    sp_batch_avx2(english_.data(), hebrew_.data(), us, vs, k, out);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < k; ++i)
+    out[i] = static_cast<std::uint8_t>(english_[us[i]] < english_[vs[i]] &&
+                                       hebrew_[us[i]] < hebrew_[vs[i]]);
 }
 
 SpOrderOracle::SpOrderOracle(std::vector<std::uint32_t> english,

@@ -59,6 +59,17 @@ class PrecedenceOracle {
     return u != v && !precedes(u, v) && !precedes(v, u);
   }
 
+  /// Batched strict precedence: out[i] = precedes(us[i], vs[i]) for the
+  /// k pairs. Precondition (CCMM_ASSERTed by implementations that
+  /// vectorize): every id is a real node — no kBottom — which the
+  /// streaming validity pass guarantees. The default is the scalar
+  /// loop; SpOrderOracle overrides it with an AVX2 rank-gather when the
+  /// runtime dispatch allows.
+  virtual void precedes_batch(const NodeId* us, const NodeId* vs,
+                              std::size_t k, std::uint8_t* out) const {
+    for (std::size_t i = 0; i < k; ++i) out[i] = precedes(us[i], vs[i]) ? 1 : 0;
+  }
+
   /// Approximate bytes held by the oracle's own tables (excludes the
   /// dag). Lets auto-selection pick the cheaper structure.
   [[nodiscard]] virtual std::size_t memory_bytes() const noexcept = 0;
@@ -123,6 +134,12 @@ class SpOrderOracle final : public PrecedenceOracle {
   [[nodiscard]] std::size_t memory_bytes() const noexcept override {
     return 2 * english_.size() * sizeof(std::uint32_t);
   }
+
+  /// Eight pairs per step via AVX2 rank gathers (falls back to the
+  /// scalar loop under CCMM_NO_SIMD or on non-AVX2 hardware). Requires
+  /// real node ids — see the base-class contract.
+  void precedes_batch(const NodeId* us, const NodeId* vs, std::size_t k,
+                      std::uint8_t* out) const override;
 
   [[nodiscard]] const std::vector<std::uint32_t>& english() const noexcept {
     return english_;

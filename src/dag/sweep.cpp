@@ -1,0 +1,213 @@
+#include "dag/sweep.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace ccmm {
+namespace {
+
+Csr make_csr(const Dag& dag, bool use_pred) {
+  const std::size_t n = dag.node_count();
+  Csr csr;
+  csr.head.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& adj = use_pred ? dag.pred(v) : dag.succ(v);
+    csr.head[v + 1] = static_cast<std::uint32_t>(adj.size());
+  }
+  for (std::size_t v = 0; v < n; ++v) csr.head[v + 1] += csr.head[v];
+  csr.tgt.resize(csr.head[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& adj = use_pred ? dag.pred(v) : dag.succ(v);
+    std::uint32_t at = csr.head[v];
+    for (const NodeId u : adj) csr.tgt[at++] = u;
+  }
+  return csr;
+}
+
+// --- scalar kernels (also the NEON stub — see sweep.hpp) ---
+
+void forward_w4_scalar(const Csr& pred, const std::vector<NodeId>& topo,
+                       std::uint64_t* masks) {
+  const std::uint32_t* head = pred.head.data();
+  const NodeId* tgt = pred.tgt.data();
+  for (const NodeId v : topo) {
+    std::uint64_t* row = masks + std::size_t{v} * kSweepWords;
+    std::uint64_t m0 = row[0];
+    std::uint64_t m1 = row[1];
+    std::uint64_t m2 = row[2];
+    std::uint64_t m3 = row[3];
+    for (std::uint32_t i = head[v]; i < head[v + 1]; ++i) {
+      const std::uint64_t* p = masks + std::size_t{tgt[i]} * kSweepWords;
+      m0 |= p[0];
+      m1 |= p[1];
+      m2 |= p[2];
+      m3 |= p[3];
+    }
+    row[0] = m0;
+    row[1] = m1;
+    row[2] = m2;
+    row[3] = m3;
+  }
+}
+
+void forward2_w4_scalar(const Csr& pred, const std::vector<NodeId>& topo,
+                        std::uint64_t* a, std::uint64_t* b) {
+  const std::uint32_t* head = pred.head.data();
+  const NodeId* tgt = pred.tgt.data();
+  for (const NodeId v : topo) {
+    std::uint64_t* ra = a + std::size_t{v} * kSweepWords;
+    std::uint64_t* rb = b + std::size_t{v} * kSweepWords;
+    std::uint64_t a0 = ra[0], a1 = ra[1], a2 = ra[2], a3 = ra[3];
+    std::uint64_t b0 = rb[0], b1 = rb[1], b2 = rb[2], b3 = rb[3];
+    for (std::uint32_t i = head[v]; i < head[v + 1]; ++i) {
+      const std::size_t p = std::size_t{tgt[i]} * kSweepWords;
+      a0 |= a[p + 0];
+      a1 |= a[p + 1];
+      a2 |= a[p + 2];
+      a3 |= a[p + 3];
+      b0 |= b[p + 0];
+      b1 |= b[p + 1];
+      b2 |= b[p + 2];
+      b3 |= b[p + 3];
+    }
+    ra[0] = a0, ra[1] = a1, ra[2] = a2, ra[3] = a3;
+    rb[0] = b0, rb[1] = b1, rb[2] = b2, rb[3] = b3;
+  }
+}
+
+void backward_w4_scalar(const Csr& succ, const std::vector<NodeId>& topo,
+                        std::uint64_t* masks) {
+  const std::uint32_t* head = succ.head.data();
+  const NodeId* tgt = succ.tgt.data();
+  for (std::size_t k = topo.size(); k-- > 0;) {
+    const NodeId v = topo[k];
+    std::uint64_t* row = masks + std::size_t{v} * kSweepWords;
+    std::uint64_t m0 = row[0];
+    std::uint64_t m1 = row[1];
+    std::uint64_t m2 = row[2];
+    std::uint64_t m3 = row[3];
+    for (std::uint32_t i = head[v]; i < head[v + 1]; ++i) {
+      const std::uint64_t* s = masks + std::size_t{tgt[i]} * kSweepWords;
+      m0 |= s[0];
+      m1 |= s[1];
+      m2 |= s[2];
+      m3 |= s[3];
+    }
+    row[0] = m0;
+    row[1] = m1;
+    row[2] = m2;
+    row[3] = m3;
+  }
+}
+
+// --- AVX2 kernels: identical traversal, one 256-bit OR per row ---
+//
+// target("avx2") lets these compile in a baseline TU; they are only
+// reached when active_simd_level() (or a forced level) says kAvx2, so
+// the baseline build never executes VEX instructions it didn't check
+// for.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+__attribute__((target("avx2"))) void forward_w4_avx2(
+    const Csr& pred, const std::vector<NodeId>& topo, std::uint64_t* masks) {
+  const std::uint32_t* head = pred.head.data();
+  const NodeId* tgt = pred.tgt.data();
+  for (const NodeId v : topo) {
+    auto* row =
+        reinterpret_cast<__m256i*>(masks + std::size_t{v} * kSweepWords);
+    __m256i m = _mm256_loadu_si256(row);
+    for (std::uint32_t i = head[v]; i < head[v + 1]; ++i) {
+      const auto* p = reinterpret_cast<const __m256i*>(
+          masks + std::size_t{tgt[i]} * kSweepWords);
+      m = _mm256_or_si256(m, _mm256_loadu_si256(p));
+    }
+    _mm256_storeu_si256(row, m);
+  }
+}
+
+__attribute__((target("avx2"))) void forward2_w4_avx2(
+    const Csr& pred, const std::vector<NodeId>& topo, std::uint64_t* a,
+    std::uint64_t* b) {
+  const std::uint32_t* head = pred.head.data();
+  const NodeId* tgt = pred.tgt.data();
+  for (const NodeId v : topo) {
+    auto* ra = reinterpret_cast<__m256i*>(a + std::size_t{v} * kSweepWords);
+    auto* rb = reinterpret_cast<__m256i*>(b + std::size_t{v} * kSweepWords);
+    __m256i ma = _mm256_loadu_si256(ra);
+    __m256i mb = _mm256_loadu_si256(rb);
+    for (std::uint32_t i = head[v]; i < head[v + 1]; ++i) {
+      const std::size_t p = std::size_t{tgt[i]} * kSweepWords;
+      ma = _mm256_or_si256(
+          ma, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + p)));
+      mb = _mm256_or_si256(
+          mb, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + p)));
+    }
+    _mm256_storeu_si256(ra, ma);
+    _mm256_storeu_si256(rb, mb);
+  }
+}
+
+__attribute__((target("avx2"))) void backward_w4_avx2(
+    const Csr& succ, const std::vector<NodeId>& topo, std::uint64_t* masks) {
+  const std::uint32_t* head = succ.head.data();
+  const NodeId* tgt = succ.tgt.data();
+  for (std::size_t k = topo.size(); k-- > 0;) {
+    const NodeId v = topo[k];
+    auto* row =
+        reinterpret_cast<__m256i*>(masks + std::size_t{v} * kSweepWords);
+    __m256i m = _mm256_loadu_si256(row);
+    for (std::uint32_t i = head[v]; i < head[v + 1]; ++i) {
+      const auto* s = reinterpret_cast<const __m256i*>(
+          masks + std::size_t{tgt[i]} * kSweepWords);
+      m = _mm256_or_si256(m, _mm256_loadu_si256(s));
+    }
+    _mm256_storeu_si256(row, m);
+  }
+}
+
+#endif  // x86-64
+
+}  // namespace
+
+Csr make_pred_csr(const Dag& dag) { return make_csr(dag, /*use_pred=*/true); }
+Csr make_succ_csr(const Dag& dag) { return make_csr(dag, /*use_pred=*/false); }
+
+void sweep_forward_w4(const Csr& pred, const std::vector<NodeId>& topo,
+                      std::uint64_t* masks, SimdLevel level) {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (level == SimdLevel::kAvx2) {
+    forward_w4_avx2(pred, topo, masks);
+    return;
+  }
+#endif
+  (void)level;  // kNeon: scalar stub
+  forward_w4_scalar(pred, topo, masks);
+}
+
+void sweep_forward2_w4(const Csr& pred, const std::vector<NodeId>& topo,
+                       std::uint64_t* a, std::uint64_t* b, SimdLevel level) {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (level == SimdLevel::kAvx2) {
+    forward2_w4_avx2(pred, topo, a, b);
+    return;
+  }
+#endif
+  (void)level;
+  forward2_w4_scalar(pred, topo, a, b);
+}
+
+void sweep_backward_w4(const Csr& succ, const std::vector<NodeId>& topo,
+                       std::uint64_t* masks, SimdLevel level) {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (level == SimdLevel::kAvx2) {
+    backward_w4_avx2(succ, topo, masks);
+    return;
+  }
+#endif
+  (void)level;
+  backward_w4_scalar(succ, topo, masks);
+}
+
+}  // namespace ccmm

@@ -1,0 +1,69 @@
+// ccmm/dag/sweep.hpp
+//
+// The vectorized reach-mask sweep kernels behind the streaming
+// checkers. A sweep answers, for every node v and a set of ≤ 256
+// "anchor" bits preset into v's mask row, which anchors reflexively
+// reach v (forward) or are reflexively reached from v (backward): one
+// pass over the edges in topological order, OR-ing neighbour rows.
+//
+// Two deliberate design points:
+//
+//  * Rows are kSweepWords = 4 words (256 anchor bits) in BOTH the
+//    scalar and the AVX2 kernel. The two paths share loop structure
+//    exactly — same node order, same OR tree shape per row — and the
+//    OR is associative/commutative over words, so the kernels are
+//    byte-identical by construction, not by testing luck. Dispatch
+//    (util/simd.hpp) only swaps the row-OR instruction sequence.
+//    aarch64 currently takes the scalar loop as the NEON stub; the
+//    dispatch seam is where a real NEON kernel would slot in.
+//
+//  * Edges come from a Csr copy, not Dag's vector<vector> adjacency.
+//    The streaming checkers sweep the same edge set once per anchor
+//    batch per location; a contiguous head/tgt array turns the inner
+//    loop's pointer chase into a linear scan and is built once per
+//    check, O(n + m).
+//
+// The callers preset anchor bits directly into the rows (there is no
+// member-bit callback), which is what lets the inner loop be pure word
+// ORs with no per-node branching.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/dag.hpp"
+#include "util/simd.hpp"
+
+namespace ccmm {
+
+/// Words per mask row = 256 anchor bits per sweep batch.
+inline constexpr std::size_t kSweepWords = 4;
+inline constexpr std::size_t kSweepBits = kSweepWords * 64;
+
+/// Compressed adjacency: neighbours of v are tgt[head[v] .. head[v+1]).
+struct Csr {
+  std::vector<std::uint32_t> head;  // node_count + 1
+  std::vector<NodeId> tgt;
+};
+
+[[nodiscard]] Csr make_pred_csr(const Dag& dag);
+[[nodiscard]] Csr make_succ_csr(const Dag& dag);
+
+/// Forward sweep: row[v] |= OR of row[p] over predecessors p, visiting
+/// `topo` in order. `masks` is node_count × kSweepWords, row-major,
+/// preset with the anchor bits (a node's own anchor bit stays set —
+/// the reach is reflexive; consumers mask out self bits).
+void sweep_forward_w4(const Csr& pred, const std::vector<NodeId>& topo,
+                      std::uint64_t* masks, SimdLevel level);
+
+/// Fused two-channel forward sweep (large_check's member + writer
+/// masks): one pass over the edges updates both row arrays.
+void sweep_forward2_w4(const Csr& pred, const std::vector<NodeId>& topo,
+                       std::uint64_t* a, std::uint64_t* b, SimdLevel level);
+
+/// Backward sweep: row[v] |= OR of row[s] over successors s, visiting
+/// `topo` in reverse.
+void sweep_backward_w4(const Csr& succ, const std::vector<NodeId>& topo,
+                       std::uint64_t* masks, SimdLevel level);
+
+}  // namespace ccmm

@@ -1,5 +1,7 @@
 #include "proc/random_program.hpp"
 
+#include <algorithm>
+
 #include "proc/cilk.hpp"
 
 namespace ccmm::proc {
@@ -36,10 +38,16 @@ Computation random_cilk(const RandomCilkOptions& options, Rng& rng) {
   reg.push_back({p.root(), 0, {}, true});
   std::vector<std::size_t> alive{0};
 
+  // Filter the live list in place rather than rescanning the whole
+  // registry: `alive` is bounded by max_live_strands while the registry
+  // grows with every spawn, so a full rescan per sync is quadratic in
+  // target_ops (it made 16M-node instances take ~40 minutes). Both
+  // versions keep `alive` sorted by registry index, so the generated
+  // computation is unchanged for a given rng state.
   const auto refresh_alive = [&] {
-    alive.clear();
-    for (std::size_t i = 0; i < reg.size(); ++i)
-      if (reg[i].alive) alive.push_back(i);
+    alive.erase(std::remove_if(alive.begin(), alive.end(),
+                               [&](std::size_t i) { return !reg[i].alive; }),
+                alive.end());
   };
 
   std::size_t ops = 0;

@@ -4,8 +4,11 @@
 #include <bit>
 #include <chrono>
 #include <numeric>
+#include <span>
 
+#include "dag/sweep.hpp"
 #include "trace/loc_kernel.hpp"
+#include "util/resource.hpp"
 #include "util/str.hpp"
 
 namespace ccmm {
@@ -17,14 +20,17 @@ double millis_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
+/// Oracle queries per precedes_batch flush during the validity pass.
+constexpr std::size_t kOracleBatch = 4096;
+
 /// One unit of sharded work: a location, its dense Φ column (nullptr
 /// when the observer stores no column for it, i.e. the column is all-⊥)
-/// and its writers in id order (from the one-pass location grouping —
-/// never a per-task Computation::writers() rescan).
+/// and its writers in id order — a slice of the LocationGroups arena,
+/// never a per-task Computation::writers() rescan.
 struct LocTask {
   Location loc = 0;
   const std::vector<NodeId>* col = nullptr;
-  const std::vector<NodeId>* writers = nullptr;
+  std::span<const NodeId> writers;
 };
 
 NodeId column_get(const LocTask& t, NodeId u) {
@@ -33,68 +39,121 @@ NodeId column_get(const LocTask& t, NodeId u) {
 
 const char* pred_label(std::uint32_t bit) { return ModelSuite::bit_name(bit); }
 
-/// Check one location. `topo` is a topological order of the dag (node
-/// ids, every node once). Everything here is read-only on the shared
-/// computation/oracle and writes only to `out`, so tasks for different
-/// locations run concurrently without synchronization.
-void check_location(const Computation& c, const std::vector<NodeId>& topo,
-                    const PrecedenceOracle& oracle, std::uint32_t models,
-                    const LocTask& task, LocationCheck& out) {
-  const auto t0 = Clock::now();
+/// Everything read-only that every location task shares: the dag's
+/// edges flattened into CSR arrays once per check (the sweeps and the
+/// quotient build walk them as linear scans), a topological order, and
+/// the dispatched kernel level.
+struct SharedCtx {
+  const Computation& c;
+  const std::vector<NodeId>& topo;
+  const PrecedenceOracle& oracle;
+  const Csr& pred;
+  const Csr& succ;
+  std::uint32_t models = 0;
+  SimdLevel simd = SimdLevel::kScalar;
+};
+
+/// The per-shard scratch arena. One of these lives for a whole shard's
+/// worth of locations: every vector is sized on first use and reused,
+/// so checking 10⁶ locations costs O(shards) allocations, not O(locs).
+struct LocScratch {
+  std::vector<std::uint32_t> block_of;  // n: node -> its Φ-block
+  std::vector<std::uint32_t> wblock;    // n: writer -> block id, 0 elsewhere
+  std::vector<std::uint32_t> qhead;     // quotient CSR offsets
+  std::vector<std::uint32_t> qcur;      // fill cursors
+  std::vector<std::uint32_t> qtgt;      // quotient edge targets
+  std::vector<std::uint32_t> indeg;     // quotient in-degrees
+  std::vector<std::uint32_t> stack;     // Kahn worklist
+  std::vector<std::uint64_t> anc;       // n × kSweepWords mask rows
+  std::vector<std::uint64_t> wri;
+  std::vector<std::uint64_t> desc;
+  std::vector<NodeId> bus;              // pending 2.2 batch: nodes
+  std::vector<NodeId> bxs;              // pending 2.2 batch: observed writes
+  std::vector<std::uint8_t> bout;       // batch answers
+  std::size_t peak_bytes = 0;
+
+  void note_peak() {
+    const std::size_t words32 =
+        block_of.capacity() + wblock.capacity() + qhead.capacity() +
+        qcur.capacity() + qtgt.capacity() + indeg.capacity() +
+        stack.capacity() + bus.capacity() + bxs.capacity();
+    const std::size_t words64 =
+        anc.capacity() + wri.capacity() + desc.capacity();
+    peak_bytes = std::max(
+        peak_bytes, words32 * sizeof(std::uint32_t) +
+                        words64 * sizeof(std::uint64_t) + bout.capacity());
+  }
+};
+
+/// The location check proper; wblock is already loaded for this task's
+/// writers (and is restored by the caller).
+void run_location(const SharedCtx& ctx, const LocTask& task, LocScratch& s,
+                  LocationCheck& out) {
+  const Computation& c = ctx.c;
   const std::size_t n = c.node_count();
   const Location l = task.loc;
-  out.loc = l;
+  const std::span<const NodeId> writers = task.writers;
 
-  const std::vector<NodeId>& writers = *task.writers;
-  out.writers = writers.size();
-  const auto writer_block = [&](NodeId x) -> std::uint32_t {
-    // Block j+1 is the j-th writer in id order (block 0 = B_⊥);
-    // writers is sorted, so a binary search recovers the index.
-    const auto it = std::lower_bound(writers.begin(), writers.end(), x);
-    if (it == writers.end() || *it != x) return 0;  // not a writer of l
-    return static_cast<std::uint32_t>(it - writers.begin()) + 1;
+  // --- Definition 2 validity for this column + the block partition.
+  // 2.1/2.3 are local and answered inline; the 2.2 precedence queries
+  // are deferred into batches so the oracle can vectorize them. A
+  // pending batch only ever holds nodes earlier than the current one,
+  // so flushing before reporting a local failure preserves the exact
+  // first-failing-node verdict of the scalar scan. ---
+  const auto flush = [&]() -> bool {
+    const std::size_t k = s.bus.size();
+    if (k == 0) return true;
+    s.bout.resize(k);
+    ctx.oracle.precedes_batch(s.bus.data(), s.bxs.data(), k, s.bout.data());
+    for (std::size_t i = 0; i < k; ++i) {
+      if (s.bout[i] != 0) {  // 2.2 — the oracle's production use
+        out.valid = false;
+        out.detail =
+            format("node %u precedes its observed write %u at location %u",
+                   s.bus[i], s.bxs[i], l);
+        return false;
+      }
+    }
+    s.bus.clear();
+    s.bxs.clear();
+    return true;
   };
-
-  // --- Definition 2 validity for this column + the block partition. ---
-  std::vector<std::uint32_t> block_of(n, 0);
-  for (NodeId u = 0; u < n; ++u) {
+  const auto fail = [&](std::string detail) {
+    if (!flush()) return;  // an earlier node's 2.2 failure wins
+    out.valid = false;
+    out.detail = std::move(detail);
+  };
+  for (NodeId u = 0; u < n && out.valid; ++u) {
     const NodeId x = column_get(task, u);
     if (x == kBottom) {
-      if (c.op(u).writes(l)) {  // 2.3
-        out.valid = false;
-        out.detail = format("write %u does not observe itself at location %u",
-                            u, l);
-        break;
-      }
+      s.block_of[u] = 0;
+      if (c.op(u).writes(l))  // 2.3
+        fail(format("write %u does not observe itself at location %u", u, l));
       continue;
     }
-    const std::uint32_t b = x < n ? writer_block(x) : 0;
+    const std::uint32_t b = x < n ? s.wblock[x] : 0;
     if (b == 0) {  // 2.1
-      out.valid = false;
-      out.detail = format(
-          "Φ(%u, %u) = %u, which is not a write to location %u", l, u, x, l);
-      break;
+      fail(format("Φ(%u, %u) = %u, which is not a write to location %u", l, u,
+                  x, l));
+      continue;
     }
     if (c.op(u).writes(l) && x != u) {  // 2.3
-      out.valid = false;
-      out.detail = format("write %u does not observe itself at location %u",
-                          u, l);
-      break;
+      fail(format("write %u does not observe itself at location %u", u, l));
+      continue;
     }
-    if (oracle.precedes(u, x)) {  // 2.2 — the oracle's production use
-      out.valid = false;
-      out.detail = format(
-          "node %u precedes its observed write %u at location %u", u, x, l);
-      break;
+    s.block_of[u] = b;
+    if (x != u) {  // precedes(u, u) is always false; skip self pairs
+      s.bus.push_back(u);
+      s.bxs.push_back(x);
+      if (s.bus.size() >= kOracleBatch && !flush()) break;
     }
-    block_of[u] = b;
   }
-  if (!out.valid) {
-    out.millis = millis_since(t0);
-    return;
-  }
+  if (out.valid) flush();
+  if (!out.valid) return;
+
   const std::size_t nblocks = writers.size() + 1;
-  const Dag& dag = c.dag();
+  const std::uint32_t* succ_head = ctx.succ.head.data();
+  const NodeId* succ_tgt = ctx.succ.tgt.data();
 
   const auto record = [&](std::uint32_t bit, std::string detail) {
     out.violated |= bit;
@@ -102,49 +161,50 @@ void check_location(const Computation& c, const std::vector<NodeId>& topo,
   };
 
   // --- LC: the block-quotient Kahn scan (same semantics as
-  // detail::lc_quotient_sortable, on deduplicated cross-block edges). ---
-  if ((models & kSuiteLC) != 0) {
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> qedges;
+  // detail::lc_quotient_sortable). The quotient is built as a counting
+  // CSR with duplicate edges retained: indeg then counts parallel
+  // edges, each is decremented exactly once during the drain, so every
+  // block still hits zero exactly once — no sort, no dedup, no
+  // emitted[] array. Blocks that never hit zero via edges are exactly
+  // the static roots, pushed up front. ---
+  if ((ctx.models & kSuiteLC) != 0) {
+    s.indeg.assign(nblocks, 0);
+    s.qhead.assign(nblocks + 1, 0);
     for (NodeId u = 0; u < n; ++u) {
-      const std::uint32_t bu = block_of[u];
-      for (const NodeId s : dag.succ(u))
-        if (block_of[s] != bu) qedges.emplace_back(bu, block_of[s]);
-    }
-    std::sort(qedges.begin(), qedges.end());
-    qedges.erase(std::unique(qedges.begin(), qedges.end()), qedges.end());
-
-    std::vector<std::uint32_t> indeg(nblocks, 0);
-    std::vector<std::uint32_t> head(nblocks + 1, 0);
-    for (const auto& [bu, bv] : qedges) {
-      ++head[bu + 1];
-      ++indeg[bv];
-    }
-    for (std::size_t b = 0; b < nblocks; ++b) head[b + 1] += head[b];
-
-    bool ok = indeg[0] == 0;  // B_⊥ must be placeable first
-    if (ok) {
-      std::vector<std::uint32_t> stack;
-      std::vector<char> emitted(nblocks, 0);
-      stack.push_back(0);
-      emitted[0] = 1;
-      std::size_t drained = 0;
-      while (!stack.empty()) {
-        const std::uint32_t b = stack.back();
-        stack.pop_back();
-        ++drained;
-        for (std::uint32_t i = head[b]; i < head[b + 1]; ++i) {
-          const std::uint32_t y = qedges[i].second;
-          if (--indeg[y] == 0 && emitted[y] == 0) {
-            emitted[y] = 1;
-            stack.push_back(y);
-          }
+      const std::uint32_t bu = s.block_of[u];
+      for (std::uint32_t i = succ_head[u]; i < succ_head[u + 1]; ++i) {
+        const std::uint32_t bv = s.block_of[succ_tgt[i]];
+        if (bv != bu) {
+          ++s.qhead[bu + 1];
+          ++s.indeg[bv];
         }
-        if (stack.empty()) {
-          for (std::uint32_t y = 1; y < nblocks; ++y)
-            if (emitted[y] == 0 && indeg[y] == 0) {
-              emitted[y] = 1;
-              stack.push_back(y);
-            }
+      }
+    }
+    for (std::size_t b = 0; b < nblocks; ++b) s.qhead[b + 1] += s.qhead[b];
+
+    bool ok = s.indeg[0] == 0;  // B_⊥ must be placeable first
+    if (ok) {
+      s.qtgt.resize(s.qhead[nblocks]);
+      s.qcur.assign(s.qhead.begin(), s.qhead.end() - 1);
+      for (NodeId u = 0; u < n; ++u) {
+        const std::uint32_t bu = s.block_of[u];
+        for (std::uint32_t i = succ_head[u]; i < succ_head[u + 1]; ++i) {
+          const std::uint32_t bv = s.block_of[succ_tgt[i]];
+          if (bv != bu) s.qtgt[s.qcur[bu]++] = bv;
+        }
+      }
+      s.stack.clear();
+      s.stack.push_back(0);
+      for (std::size_t y = 1; y < nblocks; ++y)
+        if (s.indeg[y] == 0) s.stack.push_back(static_cast<std::uint32_t>(y));
+      std::size_t drained = 0;
+      while (!s.stack.empty()) {
+        const std::uint32_t b = s.stack.back();
+        s.stack.pop_back();
+        ++drained;
+        for (std::uint32_t i = s.qhead[b]; i < s.qhead[b + 1]; ++i) {
+          const std::uint32_t y = s.qtgt[i];
+          if (--s.indeg[y] == 0) s.stack.push_back(y);
         }
       }
       ok = drained == nblocks;
@@ -156,8 +216,8 @@ void check_location(const Computation& c, const std::vector<NodeId>& topo,
                     l));
   }
 
-  // --- NN/NW/WN/WW: per-node block masks, 64 blocks per sweep. For a
-  // block b with writer x (b ≥ 1) and a candidate v ∉ B_b:
+  // --- NN/NW/WN/WW: per-node block masks, 256 blocks per sweep batch.
+  // For a block b with writer x (b ≥ 1) and a candidate v ∉ B_b:
   //   WN breaks iff x ≺ v and some member of B_b succeeds v;
   //   NN breaks iff some member of B_b both precedes and succeeds v
   //       (plus the u = ⊥ branch for b = 0: any v ∉ B_⊥ with a
@@ -165,88 +225,133 @@ void check_location(const Computation& c, const std::vector<NodeId>& topo,
   //   NW/WW are the same with v restricted to writers of l.
   // So with A[v]/D[v]/W[v] = the blocks with a member strictly before v /
   // a member strictly after v / their writer strictly before v, the
-  // violation tests are pure mask arithmetic — no precedence queries. ---
+  // violation tests are pure mask arithmetic — no precedence queries.
+  // Anchor bits are preset straight into the rows; the sweeps are the
+  // shared W=4 kernels; the violation scan walks lanes of 64 blocks in
+  // ascending order, so the first witness matches the old 64-wide scan
+  // bit for bit. ---
   std::uint32_t remaining =
-      models & (kSuiteNN | kSuiteNW | kSuiteWN | kSuiteWW);
+      ctx.models & (kSuiteNN | kSuiteNW | kSuiteWN | kSuiteWW);
   if (remaining != 0) {
     const bool need_anc = (remaining & (kSuiteNN | kSuiteNW)) != 0;
     const bool need_wri = (remaining & (kSuiteWN | kSuiteWW)) != 0;
-    const std::size_t ngroups = (nblocks + 63) / 64;
-    std::vector<std::uint64_t> anc_mask(need_anc ? n : 0);
-    std::vector<std::uint64_t> wri_mask(need_wri ? n : 0);
-    std::vector<std::uint64_t> desc_mask(n);
+    const std::size_t nbatches = (nblocks + kSweepBits - 1) / kSweepBits;
+    s.desc.resize(n * kSweepWords);
+    if (need_anc) s.anc.resize(n * kSweepWords);
+    if (need_wri) s.wri.resize(n * kSweepWords);
 
-    for (std::size_t g = 0; g < ngroups && remaining != 0; ++g) {
-      const std::uint32_t base = static_cast<std::uint32_t>(g) * 64;
-      const auto member_bit = [&](NodeId p) -> std::uint64_t {
-        const std::uint32_t b = block_of[p];
-        return b - base < 64 ? std::uint64_t{1} << (b - base) : 0;
-      };
-      const auto writer_bit = [&](NodeId p) -> std::uint64_t {
-        // A writer always sits in its own block.
-        return c.op(p).writes(l) ? member_bit(p) : 0;
-      };
-      // Reflexive reach masks from the shared kernel (trace/loc_kernel):
-      // which of this group's blocks have a member (resp. their writer)
-      // at-or-before / at-or-after v. Every violation test below masks
-      // out v's own block bit, and for foreign blocks reflexive reach
-      // equals the strict reach the derivation is stated over.
-      if (need_anc && need_wri) {
-        sweep_reach_forward2(dag, topo, member_bit, writer_bit,
-                             anc_mask.data(), wri_mask.data());
-      } else if (need_anc) {
-        sweep_reach_forward(dag, topo, member_bit, anc_mask.data());
-      } else {
-        sweep_reach_forward(dag, topo, writer_bit, wri_mask.data());
+    for (std::size_t g = 0; g < nbatches && remaining != 0; ++g) {
+      const std::uint32_t base = static_cast<std::uint32_t>(g * kSweepBits);
+      if (need_anc) std::fill(s.anc.begin(), s.anc.end(), 0);
+      if (need_wri) std::fill(s.wri.begin(), s.wri.end(), 0);
+      std::fill(s.desc.begin(), s.desc.end(), 0);
+      for (NodeId u = 0; u < n; ++u) {
+        const std::uint32_t b = s.block_of[u];
+        const std::uint32_t rel = b - base;  // unsigned wrap culls b < base
+        if (rel >= kSweepBits) continue;
+        const std::size_t at = u * kSweepWords + (rel >> 6);
+        const std::uint64_t bit = std::uint64_t{1} << (rel & 63);
+        if (need_anc) s.anc[at] |= bit;
+        s.desc[at] |= bit;
+        // A writer always sits in its own block, so the writer bit of
+        // block b belongs to node writers[b-1] and nobody else.
+        if (need_wri && b != 0 && writers[b - 1] == u) s.wri[at] |= bit;
       }
-      sweep_reach_backward(dag, topo, member_bit, desc_mask.data());
-      const std::uint64_t bot_bit = g == 0 ? std::uint64_t{1} : 0;
-      for (NodeId v = 0; v < n && remaining != 0; ++v) {
-        const std::uint64_t not_self = ~member_bit(v);
-        const std::uint64_t d = desc_mask[v];
-        if (need_wri) {
-          const std::uint64_t bad = wri_mask[v] & d & not_self;
-          if (bad != 0) {
-            const std::uint32_t b =
-                base + static_cast<std::uint32_t>(std::countr_zero(bad));
-            const NodeId x = writers[b - 1];
-            if ((remaining & kSuiteWN) != 0)
-              record(kSuiteWN,
-                     format("WN violated at location %u: u=%u, v=%u (the "
-                            "write precedes v, Φ⁻¹(%u) reaches past it)",
-                            l, x, v, x));
-            if ((remaining & kSuiteWW) != 0 && c.op(v).writes(l))
-              record(kSuiteWW,
-                     format("WW violated at location %u: u=%u, v=%u", l, x,
-                            v));
-            remaining &= ~(out.violated & kSuiteWN);
-            remaining &= ~(out.violated & kSuiteWW);
+      if (need_anc && need_wri) {
+        sweep_forward2_w4(ctx.pred, ctx.topo, s.anc.data(), s.wri.data(),
+                          ctx.simd);
+      } else if (need_anc) {
+        sweep_forward_w4(ctx.pred, ctx.topo, s.anc.data(), ctx.simd);
+      } else {
+        sweep_forward_w4(ctx.pred, ctx.topo, s.wri.data(), ctx.simd);
+      }
+      sweep_backward_w4(ctx.succ, ctx.topo, s.desc.data(), ctx.simd);
+
+      for (std::size_t lane = 0; lane < kSweepWords && remaining != 0;
+           ++lane) {
+        const std::uint32_t lbase =
+            base + static_cast<std::uint32_t>(lane * 64);
+        if (lbase >= nblocks) break;
+        const std::uint64_t bot_bit = lbase == 0 ? std::uint64_t{1} : 0;
+        for (NodeId v = 0; v < n && remaining != 0; ++v) {
+          const std::uint32_t rel = s.block_of[v] - lbase;
+          const std::uint64_t not_self =
+              ~(rel < 64 ? std::uint64_t{1} << rel : std::uint64_t{0});
+          const std::uint64_t d = s.desc[v * kSweepWords + lane];
+          if (need_wri) {
+            const std::uint64_t bad =
+                s.wri[v * kSweepWords + lane] & d & not_self;
+            if (bad != 0) {
+              const std::uint32_t b =
+                  lbase + static_cast<std::uint32_t>(std::countr_zero(bad));
+              const NodeId x = writers[b - 1];
+              if ((remaining & kSuiteWN) != 0)
+                record(kSuiteWN,
+                       format("WN violated at location %u: u=%u, v=%u (the "
+                              "write precedes v, Φ⁻¹(%u) reaches past it)",
+                              l, x, v, x));
+              if ((remaining & kSuiteWW) != 0 && c.op(v).writes(l))
+                record(kSuiteWW,
+                       format("WW violated at location %u: u=%u, v=%u", l, x,
+                              v));
+              remaining &= ~(out.violated & kSuiteWN);
+              remaining &= ~(out.violated & kSuiteWW);
+            }
           }
-        }
-        if ((remaining & (kSuiteNN | kSuiteNW)) != 0) {
-          const std::uint64_t bad = (anc_mask[v] | bot_bit) & d & not_self;
-          if (bad != 0) {
-            const std::uint32_t b =
-                base + static_cast<std::uint32_t>(std::countr_zero(bad));
-            const std::string u_str =
-                b == 0 ? std::string("_") : format("%u", writers[b - 1]);
-            if ((remaining & kSuiteNN) != 0)
-              record(kSuiteNN,
-                     format("NN violated at location %u: u=%s, v=%u (v sits "
-                            "between members of the same Φ-block)",
-                            l, u_str.c_str(), v));
-            if ((remaining & kSuiteNW) != 0 && c.op(v).writes(l))
-              record(kSuiteNW,
-                     format("NW violated at location %u: u=%s, v=%u", l,
-                            u_str.c_str(), v));
-            remaining &= ~(out.violated & kSuiteNN);
-            remaining &= ~(out.violated & kSuiteNW);
+          if ((remaining & (kSuiteNN | kSuiteNW)) != 0) {
+            const std::uint64_t bad =
+                (s.anc[v * kSweepWords + lane] | bot_bit) & d & not_self;
+            if (bad != 0) {
+              const std::uint32_t b =
+                  lbase + static_cast<std::uint32_t>(std::countr_zero(bad));
+              const std::string u_str =
+                  b == 0 ? std::string("_") : format("%u", writers[b - 1]);
+              if ((remaining & kSuiteNN) != 0)
+                record(kSuiteNN,
+                       format("NN violated at location %u: u=%s, v=%u (v sits "
+                              "between members of the same Φ-block)",
+                              l, u_str.c_str(), v));
+              if ((remaining & kSuiteNW) != 0 && c.op(v).writes(l))
+                record(kSuiteNW,
+                       format("NW violated at location %u: u=%s, v=%u", l,
+                              u_str.c_str(), v));
+              remaining &= ~(out.violated & kSuiteNN);
+              remaining &= ~(out.violated & kSuiteNW);
+            }
           }
         }
       }
     }
   }
+}
+
+/// Shard-level wrapper: loads the writer→block direct map, runs the
+/// check, restores the map to all-zero via the writers list (never a
+/// full O(n) clear), and records the arena high-water mark.
+void check_location(const SharedCtx& ctx, const LocTask& task, LocScratch& s,
+                    LocationCheck& out) {
+  const auto t0 = Clock::now();
+  const std::size_t n = ctx.c.node_count();
+  out.loc = task.loc;
+  out.writers = task.writers.size();
+
+  if (s.wblock.size() != n) s.wblock.assign(n, 0);
+  if (s.block_of.size() != n) s.block_of.resize(n);
+  for (std::size_t i = 0; i < task.writers.size(); ++i)
+    s.wblock[task.writers[i]] = static_cast<std::uint32_t>(i) + 1;
+
+  run_location(ctx, task, s, out);
+
+  for (const NodeId w : task.writers) s.wblock[w] = 0;
+  s.bus.clear();
+  s.bxs.clear();
+  s.note_peak();
   out.millis = millis_since(t0);
+}
+
+std::size_t csr_bytes_of(const Csr& csr) {
+  return csr.head.capacity() * sizeof(std::uint32_t) +
+         csr.tgt.capacity() * sizeof(NodeId);
 }
 
 }  // namespace
@@ -278,18 +383,32 @@ LargeCheckReport large_check(const Computation& c, const ObserverFunction& phi,
     topo = c.dag().topological_order();
   }
 
+  // Flatten the edges once for every location to share; the sweeps and
+  // the quotient builds then run over contiguous arrays.
+  const bool want_masks =
+      (report.checked & (kSuiteNN | kSuiteNW | kSuiteWN | kSuiteWW)) != 0;
+  const bool want_lc = (report.checked & kSuiteLC) != 0;
+  Csr succ;
+  Csr pred;
+  if (want_lc || want_masks) succ = make_succ_csr(c.dag());
+  if (want_masks) pred = make_pred_csr(c.dag());
+  report.csr_bytes = csr_bytes_of(succ) + csr_bytes_of(pred);
+  const SimdLevel simd = options.simd.value_or(active_simd_level());
+  report.simd = simd_level_name(simd);
+  const SharedCtx ctx{c, topo, *oracle, pred, succ, report.checked, simd};
+
   // Worklist: written locations (an absent column fails 2.3 there) plus
   // every stored column with a non-⊥ entry (an unexpected observation
-  // must fail 2.1, so it cannot be skipped either). The grouping pass
-  // hands every task its writers up front — one O(n) scan total instead
-  // of one per location.
-  const std::vector<LocationAccess> groups = group_location_accesses(c);
-  static const std::vector<NodeId> kNoWriters;
-  const auto writers_of = [&](Location l) -> const std::vector<NodeId>* {
-    const auto it = std::lower_bound(
-        groups.begin(), groups.end(), l,
-        [](const LocationAccess& g, Location x) { return g.loc < x; });
-    return it != groups.end() && it->loc == l ? &it->writers : &kNoWriters;
+  // must fail 2.1, so it cannot be skipped either). The grouping arena
+  // hands every task a slice of its flat writer array — one O(n) scan
+  // and seven allocations total instead of two vectors per location.
+  const LocationGroups groups = group_location_accesses(c);
+  report.groups_bytes = groups.memory_bytes();
+  const auto writers_of = [&](Location l) -> std::span<const NodeId> {
+    const auto it = std::lower_bound(groups.locs.begin(), groups.locs.end(), l);
+    if (it == groups.locs.end() || *it != l) return {};
+    return groups.writers(
+        static_cast<std::size_t>(it - groups.locs.begin()));
   };
   std::vector<LocTask> tasks;
   {
@@ -298,9 +417,10 @@ LargeCheckReport large_check(const Computation& c, const ObserverFunction& phi,
     const auto stored_task = [&](std::size_t i) {
       return LocTask{stored[i], &phi.stored_column(i), writers_of(stored[i])};
     };
-    for (const LocationAccess& g : groups) {
-      if (g.writers.empty()) continue;  // read-only: no column required
-      const Location l = g.loc;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      const std::span<const NodeId> wr = groups.writers(gi);
+      if (wr.empty()) continue;  // read-only: no column required
+      const Location l = groups.locs[gi];
       while (si < stored.size() && stored[si] < l) {
         const LocTask t = stored_task(si++);
         if (std::any_of(t.col->begin(), t.col->end(),
@@ -310,7 +430,7 @@ LargeCheckReport large_check(const Computation& c, const ObserverFunction& phi,
       if (si < stored.size() && stored[si] == l)
         tasks.push_back(stored_task(si++));
       else
-        tasks.push_back(LocTask{l, nullptr, &g.writers});
+        tasks.push_back(LocTask{l, nullptr, wr});
     }
     for (; si < stored.size(); ++si) {
       const LocTask t = stored_task(si);
@@ -319,17 +439,54 @@ LargeCheckReport large_check(const Computation& c, const ObserverFunction& phi,
         tasks.push_back(t);
     }
   }
-
   report.locations.resize(tasks.size());
-  const auto run_one = [&](std::size_t i) {
-    check_location(c, topo, *oracle, report.checked, tasks[i],
-                   report.locations[i]);
-  };
+
+  // Pack tasks onto O(threads) shards in longest-processing-time order;
+  // each shard owns one scratch arena for its whole run. Cost model:
+  // every task pays an O(n) validity/LC pass (1 unit) plus one sweep
+  // per 256-block batch when mask models are requested.
   ThreadPool& pool = options.pool != nullptr ? *options.pool : global_pool();
-  if (options.parallel && tasks.size() > 1 && pool.size() > 1) {
-    pool.parallel_for(tasks.size(), run_one);
-  } else {
-    for (std::size_t i = 0; i < tasks.size(); ++i) run_one(i);
+  const std::size_t nshards =
+      (!options.parallel || pool.size() <= 1 || tasks.size() <= 1)
+          ? (tasks.empty() ? 0 : 1)
+          : std::min(tasks.size(), pool.size() * 2);
+  report.shards = nshards;
+  if (nshards > 0) {
+    std::vector<std::size_t> cost(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      cost[i] = 1 + (want_masks
+                         ? (tasks[i].writers.size() + kSweepBits) / kSweepBits
+                         : 0);
+    std::vector<std::size_t> by_cost(tasks.size());
+    std::iota(by_cost.begin(), by_cost.end(), std::size_t{0});
+    std::stable_sort(by_cost.begin(), by_cost.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return cost[a] > cost[b];
+                     });
+    std::vector<std::vector<std::size_t>> shard_tasks(nshards);
+    std::vector<std::size_t> shard_load(nshards, 0);
+    for (const std::size_t i : by_cost) {
+      const std::size_t s = static_cast<std::size_t>(
+          std::min_element(shard_load.begin(), shard_load.end()) -
+          shard_load.begin());
+      shard_tasks[s].push_back(i);
+      shard_load[s] += cost[i];
+    }
+
+    std::vector<std::size_t> shard_peak(nshards, 0);
+    const auto run_shard = [&](std::size_t s) {
+      LocScratch scratch;
+      for (const std::size_t i : shard_tasks[s])
+        check_location(ctx, tasks[i], scratch, report.locations[i]);
+      shard_peak[s] = scratch.peak_bytes;
+    };
+    if (nshards > 1) {
+      pool.parallel_for(nshards, run_shard);
+    } else {
+      run_shard(0);
+    }
+    report.scratch_peak_bytes =
+        *std::max_element(shard_peak.begin(), shard_peak.end());
   }
 
   report.valid_observer = true;
@@ -340,6 +497,13 @@ LargeCheckReport large_check(const Computation& c, const ObserverFunction& phi,
     if (report.detail.empty() && !lc.detail.empty()) report.detail = lc.detail;
   }
   report.satisfied = report.valid_observer ? (report.checked & ~violated) : 0;
+  report.peak_rss_bytes = current_peak_rss_bytes();
+  if (n > 0)
+    report.bytes_per_node =
+        static_cast<double>(report.csr_bytes + report.groups_bytes +
+                            report.scratch_peak_bytes * report.shards +
+                            report.oracle_memory_bytes) /
+        static_cast<double>(n);
   report.total_millis = millis_since(t0);
   return report;
 }
@@ -348,6 +512,14 @@ std::string LargeCheckReport::to_string() const {
   std::string out;
   out += format("oracle: %s (%zu bytes, built in %.2f ms)\n",
                 oracle_kind.c_str(), oracle_memory_bytes, oracle_build_millis);
+  out += format(
+      "data plane: %s kernels, %zu shards, %.1f B/node "
+      "(csr %zu + groups %zu + scratch %zu x %zu + oracle %zu)\n",
+      simd.c_str(), shards, bytes_per_node, csr_bytes, groups_bytes,
+      scratch_peak_bytes, shards, oracle_memory_bytes);
+  if (peak_rss_bytes != 0)
+    out += format("peak rss: %.1f MiB\n",
+                  static_cast<double>(peak_rss_bytes) / (1024.0 * 1024.0));
   out += format("observer: %s\n", valid_observer ? "valid" : "INVALID");
   if (valid_observer) {
     for (std::uint32_t bit = 1; bit != 0 && bit <= checked; bit <<= 1) {
@@ -380,34 +552,72 @@ ObserverFunction observer_from_trace(const Computation& c, const Trace& trace) {
   ObserverFunction phi(n);
   const std::vector<Location> locs = c.written_locations();
 
-  std::vector<const TraceEvent*> order;
+  // Events in execution order, as indices (events naming unknown nodes
+  // are dropped, as before). Simulator and binary traces are already
+  // seq-sorted; skip the sort for them.
+  std::vector<std::uint32_t> order;
   order.reserve(trace.events.size());
-  for (const TraceEvent& e : trace.events)
-    if (e.node < n) order.push_back(&e);
-  std::sort(order.begin(), order.end(),
-            [](const TraceEvent* a, const TraceEvent* b) {
-              return a->seq < b->seq;
-            });
+  bool sorted = true;
+  std::uint64_t prev_seq = 0;
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& e = trace.events[i];
+    if (e.node >= n) continue;
+    if (!order.empty() && e.seq < prev_seq) sorted = false;
+    prev_seq = e.seq;
+    order.push_back(static_cast<std::uint32_t>(i));
+  }
+  if (!sorted)
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return trace.events[a].seq < trace.events[b].seq;
+                     });
 
-  // One pass in execution order, carrying the last write per location:
-  // recorded observations win, writes self-observe (2.3), everything
-  // else gets the carried write — the value the node would have seen.
-  std::vector<NodeId> last(locs.size(), kBottom);
-  for (const TraceEvent* e : order) {
-    const NodeId u = e->node;
-    const Op o = c.op(u);
-    for (std::size_t i = 0; i < locs.size(); ++i) {
-      if (o.reads(locs[i]) || o.writes(locs[i])) continue;  // handled below
-      if (last[i] != kBottom) phi.set(locs[i], u, last[i]);
+  // Resolve each kept event's accessed location to its index in `locs`
+  // once (kNoLoc for nops and accesses to never-written locations), so
+  // the column fills below never touch the op table or binary-search.
+  constexpr std::uint32_t kNoLoc = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> eloc(order.size(), kNoLoc);
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const Op o = c.op(trace.events[order[k]].node);
+    if (o.is_nop()) continue;
+    const auto it = std::lower_bound(locs.begin(), locs.end(), o.loc);
+    if (it != locs.end() && *it == o.loc)
+      eloc[k] = static_cast<std::uint32_t>(it - locs.begin());
+  }
+
+  // One pass per written location, carrying the last write: recorded
+  // observations win, writes self-observe (2.3), everything else gets
+  // the carried write — the value the node would have seen. This fills
+  // dense columns directly (installed whole via set_column) instead of
+  // per-entry phi.set calls that re-search the location list 10⁸ times
+  // on a large trace.
+  for (std::size_t i = 0; i < locs.size(); ++i) {
+    std::vector<NodeId> col(n, kBottom);
+    NodeId last = kBottom;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const TraceEvent& e = trace.events[order[k]];
+      const NodeId u = e.node;
+      if (eloc[k] != i) {
+        if (last != kBottom) col[u] = last;
+        continue;
+      }
+      if (c.op(u).is_write()) {
+        col[u] = u;
+        last = u;
+      } else if (e.observed != kBottom && e.observed < n) {
+        col[u] = e.observed;
+      }
     }
-    if (o.is_write()) {
-      phi.set(o.loc, u, u);
-      const auto it = std::lower_bound(locs.begin(), locs.end(), o.loc);
-      if (it != locs.end() && *it == o.loc)
-        last[static_cast<std::size_t>(it - locs.begin())] = u;
-    } else if (o.is_read() && e->observed != kBottom && e->observed < n) {
-      phi.set(o.loc, e->node, e->observed);
-    }
+    phi.set_column(locs[i], std::move(col));
+  }
+  // Recorded observations at never-written locations still land in Φ
+  // (they must fail 2.1 later, so they cannot be dropped here).
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    if (eloc[k] != kNoLoc) continue;
+    const TraceEvent& e = trace.events[order[k]];
+    const Op o = c.op(e.node);
+    if (o.is_read() && e.observed != kBottom && e.observed < n)
+      phi.set(o.loc, e.node, e.observed);
   }
   // Writes self-observe even when the trace omits their event entirely.
   for (NodeId u = 0; u < n; ++u)

@@ -11,28 +11,38 @@
 //  * observer validity (Definition 2) with the precedence-oracle layer
 //    (dag/precedence_oracle.hpp): one O(1) point query per observation
 //    instead of a closure row;
-//  * LC via the block-quotient Kahn scan, O(n+m) per location;
+//  * observer validity runs its 2.2 point queries through the oracle's
+//    batched entry point (precedes_batch), 4096 pairs at a time, which
+//    the SP-labels oracle answers with AVX2 gathers;
+//  * LC via the block-quotient Kahn scan, O(n+m) per location, built as
+//    a counting CSR straight into reused scratch (no edge sort);
 //  * NN/NW/WN/WW via three per-node block masks computed in one forward
-//    and one backward sweep per group of 64 Φ⁻¹ blocks — A[v] (blocks
+//    and one backward sweep per batch of 256 Φ⁻¹ blocks — A[v] (blocks
 //    with a member strictly before v), D[v] (blocks with a member
 //    strictly after v) and W[v] (blocks whose writer is strictly before
 //    v) — which re-express the Q(l,u,v,w) violation scan with zero
-//    precedence queries (see DESIGN.md for the derivation);
-//  * locations sharded across the ThreadPool, each with O(n)-word
-//    transient scratch. Peak memory is O(n·⌈writers/64⌉) words per
-//    in-flight location, never O(n²) bits.
+//    precedence queries (see DESIGN.md for the derivation). The sweeps
+//    are the dag/sweep.hpp kernels: 4-word rows, runtime-dispatched
+//    AVX2 with a bit-identical scalar fallback;
+//  * locations packed onto O(threads) shards (longest-processing-time
+//    order), each shard owning ONE reusable scratch arena — block maps,
+//    quotient CSR, mask rows — so a run makes O(shards) allocations,
+//    not O(locations). Peak memory is O(n) words per shard, never
+//    O(n²) bits, and the report carries the measured bytes-per-node.
 //
 // Verdicts are pinned byte-identical to the prepared checkers by
 // tests/test_large_check.cpp.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "dag/precedence_oracle.hpp"
 #include "models/suite.hpp"
 #include "trace/trace.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ccmm {
@@ -51,6 +61,11 @@ struct LargeCheckOptions {
   /// Shard per-location work across this pool (nullptr = global_pool()).
   ThreadPool* pool = nullptr;
   bool parallel = true;
+  /// Force a kernel level for the mask sweeps (nullopt = the process
+  /// dispatch from active_simd_level()). The scalar and SIMD kernels
+  /// are bit-identical by construction; this exists so differential
+  /// tests can run both in one process.
+  std::optional<SimdLevel> simd;
 };
 
 /// Outcome for one checked location.
@@ -73,6 +88,20 @@ struct LargeCheckReport {
   double oracle_build_millis = 0.0;
   double total_millis = 0.0;
   std::vector<LocationCheck> locations;  // sorted by location
+
+  // Data-plane accounting (the perf budget ISSUE 7 tracks): which
+  // kernel level ran, how the per-location work was sharded, and the
+  // bytes the check itself held — shared CSR edge copies plus the
+  // grouping arena plus the widest per-shard scratch arena — divided
+  // by the node count. peak_rss_bytes is the whole-process high-water
+  // mark (getrusage), so it includes the computation and observer too.
+  std::string simd;                      // "scalar" | "neon" | "avx2"
+  std::size_t shards = 0;                // scratch arenas allocated
+  std::size_t csr_bytes = 0;             // shared succ/pred edge copies
+  std::size_t groups_bytes = 0;          // location-grouping arena
+  std::size_t scratch_peak_bytes = 0;    // max per-shard arena
+  std::size_t peak_rss_bytes = 0;        // process peak RSS after check
+  double bytes_per_node = 0.0;           // check-owned bytes / node
 
   /// Same meaning as MemoryModel::contains for the given suite bit:
   /// valid observer and no location violates the model.

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/span_set.hpp"
 #include "util/str.hpp"
 
 namespace ccmm::analyze {
@@ -48,18 +49,22 @@ void trace_lint_pass(const Computation& c, const Trace& trace,
   }
   // A write is live in this execution iff some *other* node's viewpoint
   // observed it (the trace observer is total, so viewpoints of non-read
-  // nodes count too — the weakest notion of "someone saw it").
-  std::vector<bool> observed(c.node_count(), false);
+  // nodes count too — the weakest notion of "someone saw it"). The set
+  // of observed writes is a SpanSet: on a streaming trace most writes
+  // are visible somewhere, so the set sits at (or near) its all-full
+  // representation instead of an n-bit vector.
+  SpanSet observed(c.node_count());
   const std::vector<Location>& locs = phi.stored_locations();
   for (std::size_t i = 0; i < locs.size(); ++i) {
     const std::vector<NodeId>& col = phi.stored_column(i);
     for (NodeId u = 0; u < col.size(); ++u) {
-      if (col[u] != kBottom && col[u] != u) observed[col[u]] = true;
+      if (col[u] != kBottom && col[u] != u) observed.set(col[u]);
     }
   }
+  observed.normalize();
   for (NodeId u = 0; u < c.node_count(); ++u) {
     const Op o = c.op(u);
-    if (!o.is_write() || observed[u]) continue;
+    if (!o.is_write() || observed.test(u)) continue;
     Diagnostic d;
     d.severity = Severity::kInfo;
     d.pass = "trace-dead-write";

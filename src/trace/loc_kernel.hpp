@@ -1,29 +1,28 @@
 // ccmm/trace/loc_kernel.hpp
 //
-// The shared per-location kernel: the two ingredients every streaming
-// per-location analysis needs, factored out of trace/large_check.cpp so
-// the oracle-backed race engine (analyze/race_oracle.hpp) and the
-// model checkers stream the same machinery.
+// The shared per-location grouping kernel behind the streaming
+// analyses (trace/large_check.cpp and analyze/race_oracle.cpp): one
+// O(n) pass bucketing every accessing node by location.
 //
-//  * group_location_accesses — one O(n + accesses) pass that buckets
-//    every accessing node by location, replacing the per-location
-//    Computation::writers()/readers() O(n) rescans (O(n·locations)
-//    total, which is quadratic at a million nodes with n/8 locations);
-//  * reflexive 64-bit reach-mask sweeps — given ≤ 64 marked "anchor"
-//    nodes, one forward and one backward O(n + m) sweep compute, for
-//    every node v, the anchors with a path to v / from v (v's own mark
-//    included). Reflexive on purpose: the consumers' violation tests
-//    all mask out v's own anchor bit (`& ~member_bit(v)`), and for any
-//    anchor a ≠ v reflexive reach equals strict reach, so one kernel
-//    serves both the large_check block masks and the race engine's
-//    candidate pruning without a per-edge membership lookup.
+// The buckets are a CSR arena, not per-location vectors: `acc` and
+// `wri` are two flat arrays sliced by head offsets, so grouping a
+// 100M-node computation costs seven allocations total instead of two
+// per location — the allocation-traffic fix the compressed data plane
+// is built on. Consumers hold std::span slices; the old
+// LocationAccess-of-vectors shape is gone.
 //
-// Header-only: ccmm_trace links ccmm_analyze (race engines live there),
-// so a .cpp here would hand the analyze library an upward dependency.
+// The reach-mask sweep kernels that used to live here moved down to
+// dag/sweep.hpp, where the SIMD dispatch lives and where both the
+// trace and the analyze layers can link them without an upward
+// dependency. Header-only for the same layering reason as before:
+// ccmm_trace links ccmm_analyze, so a .cpp here would hand the analyze
+// library an upward dependency.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <numeric>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -31,86 +30,100 @@
 
 namespace ccmm {
 
-/// Every node touching one location, in increasing node-id order.
-/// `accessors` holds readers and writers both; `writers` just the
-/// writers (a subset, same order).
-struct LocationAccess {
-  Location loc = 0;
-  std::vector<NodeId> writers;
-  std::vector<NodeId> accessors;
+/// All locations' accessors and writers in two flat CSR arrays, sorted
+/// by location; node ids ascend within each slice (the grouping pass
+/// scans ids in order). `writers(i)` ⊆ `accessors(i)`.
+struct LocationGroups {
+  std::vector<Location> locs;           // sorted
+  std::vector<std::uint32_t> acc_head;  // locs.size() + 1
+  std::vector<std::uint32_t> wri_head;  // locs.size() + 1
+  std::vector<NodeId> acc;
+  std::vector<NodeId> wri;
+
+  [[nodiscard]] std::size_t size() const noexcept { return locs.size(); }
+
+  [[nodiscard]] std::span<const NodeId> accessors(std::size_t i) const {
+    return {acc.data() + acc_head[i], acc.data() + acc_head[i + 1]};
+  }
+  [[nodiscard]] std::span<const NodeId> writers(std::size_t i) const {
+    return {wri.data() + wri_head[i], wri.data() + wri_head[i + 1]};
+  }
+
+  /// Bytes held by the arena (for the data-plane accounting).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return locs.capacity() * sizeof(Location) +
+           (acc_head.capacity() + wri_head.capacity()) *
+               sizeof(std::uint32_t) +
+           (acc.capacity() + wri.capacity()) * sizeof(NodeId);
+  }
 };
 
-/// Bucket the computation's accesses by location in one pass; the
-/// result is sorted by location. Node ids within each bucket ascend
-/// because the pass scans ids in order.
-[[nodiscard]] inline std::vector<LocationAccess> group_location_accesses(
+/// Bucket the computation's accesses by location: one discovery pass
+/// (hash per node, counts per location), a sort of the location list,
+/// and one fill pass through the flat arrays.
+[[nodiscard]] inline LocationGroups group_location_accesses(
     const Computation& c) {
-  std::vector<LocationAccess> groups;
-  std::unordered_map<Location, std::size_t> index;
-  for (NodeId u = 0; u < c.node_count(); ++u) {
+  const std::size_t n = c.node_count();
+  constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  // Pass 1: discover locations in first-appearance order, remember each
+  // node's bucket, count accessors/writers per bucket.
+  std::unordered_map<Location, std::uint32_t> index;
+  std::vector<Location> found;
+  std::vector<std::uint32_t> acc_count;
+  std::vector<std::uint32_t> wri_count;
+  std::vector<std::uint32_t> node_bucket(n, kNone);
+  for (NodeId u = 0; u < n; ++u) {
     const Op o = c.op(u);
     if (o.is_nop()) continue;
-    const auto [it, fresh] = index.try_emplace(o.loc, groups.size());
+    const auto [it, fresh] =
+        index.try_emplace(o.loc, static_cast<std::uint32_t>(found.size()));
     if (fresh) {
-      groups.emplace_back();
-      groups.back().loc = o.loc;
+      found.push_back(o.loc);
+      acc_count.push_back(0);
+      wri_count.push_back(0);
     }
-    LocationAccess& g = groups[it->second];
-    g.accessors.push_back(u);
-    if (o.is_write()) g.writers.push_back(u);
+    node_bucket[u] = it->second;
+    ++acc_count[it->second];
+    if (o.is_write()) ++wri_count[it->second];
   }
-  std::sort(groups.begin(), groups.end(),
-            [](const LocationAccess& a, const LocationAccess& b) {
-              return a.loc < b.loc;
-            });
-  return groups;
-}
 
-/// Forward reach sweep: out[v] = member_bit(v) | OR over predecessors'
-/// out. After the sweep, bit i of out[v] is set iff the i-th anchor
-/// reflexively reaches v. `topo` is any topological order covering
-/// every node once; `out` must hold node_count() words (overwritten).
-template <class MemberBit>
-inline void sweep_reach_forward(const Dag& dag, const std::vector<NodeId>& topo,
-                                MemberBit&& member_bit, std::uint64_t* out) {
-  for (const NodeId v : topo) {
-    std::uint64_t m = member_bit(v);
-    for (const NodeId p : dag.pred(v)) m |= out[p];
-    out[v] = m;
-  }
-}
+  // Sort the location list; `pos[b]` sends discovery bucket b to its
+  // sorted slot.
+  const std::size_t nloc = found.size();
+  std::vector<std::uint32_t> order(nloc);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return found[a] < found[b];
+  });
+  std::vector<std::uint32_t> pos(nloc);
+  for (std::uint32_t i = 0; i < nloc; ++i) pos[order[i]] = i;
 
-/// Forward sweep carrying two anchor channels at once (large_check's
-/// member + writer masks); one pass over the edges instead of two.
-template <class MemberBit, class SecondBit>
-inline void sweep_reach_forward2(const Dag& dag,
-                                 const std::vector<NodeId>& topo,
-                                 MemberBit&& member_bit, SecondBit&& second_bit,
-                                 std::uint64_t* out, std::uint64_t* out2) {
-  for (const NodeId v : topo) {
-    std::uint64_t m = member_bit(v);
-    std::uint64_t s = second_bit(v);
-    for (const NodeId p : dag.pred(v)) {
-      m |= out[p];
-      s |= out2[p];
-    }
-    out[v] = m;
-    out2[v] = s;
+  LocationGroups g;
+  g.locs.resize(nloc);
+  g.acc_head.assign(nloc + 1, 0);
+  g.wri_head.assign(nloc + 1, 0);
+  for (std::uint32_t i = 0; i < nloc; ++i) {
+    g.locs[i] = found[order[i]];
+    g.acc_head[i + 1] = g.acc_head[i] + acc_count[order[i]];
+    g.wri_head[i + 1] = g.wri_head[i] + wri_count[order[i]];
   }
-}
+  g.acc.resize(g.acc_head[nloc]);
+  g.wri.resize(g.wri_head[nloc]);
 
-/// Backward reach sweep: bit i of out[v] is set iff v reflexively
-/// reaches the i-th anchor.
-template <class MemberBit>
-inline void sweep_reach_backward(const Dag& dag,
-                                 const std::vector<NodeId>& topo,
-                                 MemberBit&& member_bit, std::uint64_t* out) {
-  for (std::size_t i = topo.size(); i-- > 0;) {
-    const NodeId v = topo[i];
-    std::uint64_t m = member_bit(v);
-    for (const NodeId s : dag.succ(v)) m |= out[s];
-    out[v] = m;
+  // Pass 2: fill. Scanning u ascending keeps every slice id-sorted.
+  std::vector<std::uint32_t> acc_at(g.acc_head.begin(),
+                                    g.acc_head.end() - 1);
+  std::vector<std::uint32_t> wri_at(g.wri_head.begin(),
+                                    g.wri_head.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    const std::uint32_t b = node_bucket[u];
+    if (b == kNone) continue;
+    const std::uint32_t i = pos[b];
+    g.acc[acc_at[i]++] = u;
+    if (c.op(u).is_write()) g.wri[wri_at[i]++] = u;
   }
+  return g;
 }
 
 }  // namespace ccmm

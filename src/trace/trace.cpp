@@ -10,16 +10,28 @@
 namespace ccmm {
 
 std::vector<NodeId> trace_order(const Trace& trace) {
-  std::vector<const TraceEvent*> sorted;
-  sorted.reserve(trace.events.size());
-  for (const auto& e : trace.events) sorted.push_back(&e);
-  std::sort(sorted.begin(), sorted.end(),
+  std::vector<NodeId> order;
+  order.reserve(trace.events.size());
+  // Traces straight from the simulator — and binary files we emitted —
+  // are already seq-sorted; skip the pointer sort for them.
+  bool sorted = true;
+  for (std::size_t i = 1; i < trace.events.size(); ++i)
+    if (trace.events[i - 1].seq > trace.events[i].seq) {
+      sorted = false;
+      break;
+    }
+  if (sorted) {
+    for (const auto& e : trace.events) order.push_back(e.node);
+    return order;
+  }
+  std::vector<const TraceEvent*> view;
+  view.reserve(trace.events.size());
+  for (const auto& e : trace.events) view.push_back(&e);
+  std::sort(view.begin(), view.end(),
             [](const TraceEvent* a, const TraceEvent* b) {
               return a->seq < b->seq;
             });
-  std::vector<NodeId> order;
-  order.reserve(sorted.size());
-  for (const auto* e : sorted) order.push_back(e->node);
+  for (const auto* e : view) order.push_back(e->node);
   return order;
 }
 
@@ -59,7 +71,8 @@ bool trace_consistent_with(const Trace& trace, const Computation& c,
   return true;
 }
 
-std::string trace_to_string(const Trace& trace, std::size_t max_rows) {
+void trace_to_stream(const Trace& trace, std::ostream& out,
+                     std::size_t max_rows) {
   const std::size_t nrows = std::min(trace.events.size(), max_rows);
   const auto digits = [](unsigned long long v) {
     std::size_t d = 1;
@@ -88,27 +101,37 @@ std::string trace_to_string(const Trace& trace, std::size_t max_rows) {
   std::size_t row_width = 1;  // newline
   for (std::size_t i = 0; i < 6; ++i) row_width += w[i] + 2;
 
-  std::string out;
-  out.reserve((nrows + 3) * row_width + 64);
+  // Rows accumulate in a bounded chunk that flushes to the stream: the
+  // render never holds more than ~64 KiB of text however long the
+  // trace, while small tables still reach the stream in one write.
+  std::string chunk;
+  constexpr std::size_t kFlushAt = std::size_t{64} * 1024;
+  chunk.reserve(std::min((nrows + 3) * row_width + 64, kFlushAt + row_width));
+  const auto flush_if_full = [&] {
+    if (chunk.size() >= kFlushAt) {
+      out.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+      chunk.clear();
+    }
+  };
   const auto pad_to = [&](std::size_t mark, std::size_t width, bool last) {
-    const std::size_t written = out.size() - mark;
-    if (written < width) out.append(width - written, ' ');
-    if (!last) out.append(2, ' ');
+    const std::size_t written = chunk.size() - mark;
+    if (written < width) chunk.append(width - written, ' ');
+    if (!last) chunk.append(2, ' ');
   };
   for (std::size_t i = 0; i < 6; ++i) {
-    const std::size_t mark = out.size();
-    out += headers[i];
+    const std::size_t mark = chunk.size();
+    chunk += headers[i];
     pad_to(mark, w[i], i == 5);
   }
-  out += '\n';
-  out.append(row_width - 1, '-');
-  out += '\n';
+  chunk += '\n';
+  chunk.append(row_width - 1, '-');
+  chunk += '\n';
 
   char buf[32];
   const auto cell = [&](std::size_t i, unsigned long long v, bool last) {
-    const std::size_t mark = out.size();
-    out.append(buf, static_cast<std::size_t>(
-                        std::snprintf(buf, sizeof buf, "%llu", v)));
+    const std::size_t mark = chunk.size();
+    chunk.append(buf, static_cast<std::size_t>(
+                          std::snprintf(buf, sizeof buf, "%llu", v)));
     pad_to(mark, w[i], last);
   };
   for (std::size_t i = 0; i < nrows; ++i) {
@@ -118,29 +141,37 @@ std::string trace_to_string(const Trace& trace, std::size_t max_rows) {
     cell(2, e.proc, false);
     cell(3, e.node, false);
     {
-      const std::size_t mark = out.size();
-      out += e.op.to_string();
+      const std::size_t mark = chunk.size();
+      chunk += e.op.to_string();
       pad_to(mark, w[4], false);
     }
     if (e.observed == kBottom) {
-      const std::size_t mark = out.size();
-      out += '_';
+      const std::size_t mark = chunk.size();
+      chunk += '_';
       pad_to(mark, w[5], true);
     } else {
       cell(5, e.observed, true);
     }
-    out += '\n';
+    chunk += '\n';
+    flush_if_full();
   }
   if (nrows < trace.events.size())
-    out += format("... (%zu more events elided; raise max_rows to render)\n",
-                  trace.events.size() - nrows);
-  return out;
+    chunk += format("... (%zu more events elided; raise max_rows to render)\n",
+                    trace.events.size() - nrows);
+  out.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
 }
 
-std::string write_trace(const Trace& trace) {
-  std::string out;
-  out.reserve(trace.events.size() * 24 + 64);
-  out += "# ccmm trace: seq time proc node observed (_ = no write seen)\n";
+std::string trace_to_string(const Trace& trace, std::size_t max_rows) {
+  std::ostringstream out;
+  trace_to_stream(trace, out, max_rows);
+  return std::move(out).str();
+}
+
+void write_trace(const Trace& trace, std::ostream& out) {
+  std::string chunk;
+  constexpr std::size_t kFlushAt = std::size_t{64} * 1024;
+  chunk.reserve(kFlushAt + 96);
+  chunk += "# ccmm trace: seq time proc node observed (_ = no write seen)\n";
   char buf[96];
   for (const TraceEvent& e : trace.events) {
     int len;
@@ -155,9 +186,19 @@ std::string write_trace(const Trace& trace) {
                           static_cast<unsigned long long>(e.time),
                           static_cast<unsigned>(e.proc), e.node, e.observed);
     }
-    out.append(buf, static_cast<std::size_t>(len));
+    chunk.append(buf, static_cast<std::size_t>(len));
+    if (chunk.size() >= kFlushAt) {
+      out.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+      chunk.clear();
+    }
   }
-  return out;
+  out.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+}
+
+std::string write_trace(const Trace& trace) {
+  std::ostringstream out;
+  write_trace(trace, out);
+  return std::move(out).str();
 }
 
 Trace read_trace(std::istream& in, const Computation& c) {

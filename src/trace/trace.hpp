@@ -4,6 +4,7 @@
 // sanity checks and conversions used by post-mortem analysis.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "exec/sim_machine.hpp"
@@ -25,7 +26,10 @@ namespace ccmm {
 /// Render the trace as a table (time, proc, node, op, observed). Only
 /// the first `max_rows` events are rendered — million-node traces would
 /// otherwise allocate hundreds of MB of text — with a trailing note
-/// giving the elided count.
+/// giving the elided count. The ostream overload streams rows through a
+/// fixed-size buffer; the string overload wraps it.
+void trace_to_stream(const Trace& trace, std::ostream& out,
+                     std::size_t max_rows = 10000);
 [[nodiscard]] std::string trace_to_string(const Trace& trace,
                                           std::size_t max_rows = 10000);
 
@@ -35,6 +39,11 @@ namespace ccmm {
 /// computation on read, which is also why reading needs `c`.
 /// read_trace throws std::runtime_error on malformed lines or node ids
 /// outside the computation.
+///
+/// The ostream overload of write_trace streams line chunks, so emitting
+/// a 16M-event trace never holds the ~400 MB text blob in memory; the
+/// string overload remains as a wrapper for small traces.
+void write_trace(const Trace& trace, std::ostream& out);
 [[nodiscard]] std::string write_trace(const Trace& trace);
 [[nodiscard]] Trace read_trace(std::istream& in, const Computation& c);
 

@@ -1,0 +1,294 @@
+#include "trace/trace_binary.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "util/str.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define CCMM_HAS_MMAP 1
+#else
+#define CCMM_HAS_MMAP 0
+#endif
+
+namespace ccmm {
+namespace {
+
+constexpr bool kHostLittle = std::endian::native == std::endian::little;
+
+std::uint32_t load_le32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  if constexpr (!kHostLittle) v = __builtin_bswap32(v);
+  return v;
+}
+
+std::uint64_t load_le64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  if constexpr (!kHostLittle) v = __builtin_bswap64(v);
+  return v;
+}
+
+void store_le32(unsigned char* p, std::uint32_t v) {
+  if constexpr (!kHostLittle) v = __builtin_bswap32(v);
+  std::memcpy(p, &v, sizeof v);
+}
+
+void store_le64(unsigned char* p, std::uint64_t v) {
+  if constexpr (!kHostLittle) v = __builtin_bswap64(v);
+  std::memcpy(p, &v, sizeof v);
+}
+
+/// Validate the 32-byte header and return the event count. Shared by
+/// the zero-copy and the portable reader.
+std::size_t check_header(const unsigned char* p, std::size_t size) {
+  if (size < kTraceBinaryHeaderBytes)
+    throw TraceReadError(
+        format("binary trace truncated: %zu-byte file, 32-byte header", size),
+        size);
+  if (std::memcmp(p, kTraceBinaryMagic, sizeof kTraceBinaryMagic) != 0)
+    throw TraceReadError("binary trace has bad magic (not a CCMMTRC0 file)",
+                         0);
+  const std::uint32_t version = load_le32(p + 8);
+  if (version != kTraceBinaryVersion)
+    throw TraceReadError(
+        format("binary trace version %u unsupported (reader speaks %u)",
+               version, kTraceBinaryVersion),
+        8);
+  const std::uint32_t flags = load_le32(p + 12);
+  if (flags != 0)
+    throw TraceReadError(format("binary trace has unknown flags 0x%x", flags),
+                         12);
+  const std::uint64_t count = load_le64(p + 16);
+  if (load_le64(p + 24) != 0)
+    throw TraceReadError("binary trace reserved header field is nonzero", 24);
+  const std::uint64_t need =
+      kTraceBinaryHeaderBytes + count * kTraceBinaryEventBytes;
+  if (count > (SIZE_MAX - kTraceBinaryHeaderBytes) / kTraceBinaryEventBytes ||
+      need != size)
+    throw TraceReadError(
+        format("binary trace event_count %llu disagrees with file size %zu "
+               "(expected %llu bytes)",
+               static_cast<unsigned long long>(count), size,
+               static_cast<unsigned long long>(need)),
+        16);
+  return static_cast<std::size_t>(count);
+}
+
+/// Range-check one record's node/observed/reserved fields; `at` is the
+/// record's byte offset in the image.
+void check_record(std::uint32_t node, std::uint32_t observed,
+                  std::uint32_t reserved, std::size_t n, std::size_t at) {
+  if (node >= n)
+    throw TraceReadError(
+        format("binary trace event at offset %zu names node %u, but the "
+               "computation has %zu nodes",
+               at, node, n),
+        at + 20);
+  if (observed != 0xFFFFFFFFu && observed >= n)
+    throw TraceReadError(
+        format("binary trace event at offset %zu observes node %u, but the "
+               "computation has %zu nodes",
+               at, observed, n),
+        at + 24);
+  if (reserved != 0)
+    throw TraceReadError(
+        format("binary trace event at offset %zu has a nonzero reserved "
+               "field",
+               at),
+        at + 28);
+}
+
+}  // namespace
+
+void write_trace_binary(const Trace& trace, std::ostream& out) {
+  unsigned char header[kTraceBinaryHeaderBytes] = {0};
+  std::memcpy(header, kTraceBinaryMagic, sizeof kTraceBinaryMagic);
+  store_le32(header + 8, kTraceBinaryVersion);
+  store_le32(header + 12, 0);
+  store_le64(header + 16, trace.events.size());
+  store_le64(header + 24, 0);
+  out.write(reinterpret_cast<const char*>(header), sizeof header);
+
+  // Chunked through a fixed 64 KiB buffer: the serialized image never
+  // exists in memory, whatever the trace size.
+  constexpr std::size_t kChunkEvents = 2048;
+  unsigned char buf[kChunkEvents * kTraceBinaryEventBytes];
+  std::size_t filled = 0;
+  for (const TraceEvent& e : trace.events) {
+    unsigned char* r = buf + filled * kTraceBinaryEventBytes;
+    store_le64(r + 0, e.seq);
+    store_le64(r + 8, e.time);
+    store_le32(r + 16, e.proc);
+    store_le32(r + 20, e.node);
+    store_le32(r + 24, e.observed);  // kBottom is already 0xFFFFFFFF
+    store_le32(r + 28, 0);
+    if (++filled == kChunkEvents) {
+      out.write(reinterpret_cast<const char*>(buf),
+                static_cast<std::streamsize>(filled * kTraceBinaryEventBytes));
+      filled = 0;
+    }
+  }
+  if (filled > 0)
+    out.write(reinterpret_cast<const char*>(buf),
+              static_cast<std::streamsize>(filled * kTraceBinaryEventBytes));
+}
+
+BinaryTraceView validate_trace_binary(const void* data, std::size_t size,
+                                      const Computation& c) {
+  if constexpr (!kHostLittle)
+    throw TraceReadError(
+        "zero-copy binary trace views require a little-endian host; use "
+        "read_trace_binary",
+        0);
+  const auto* p = static_cast<const unsigned char*>(data);
+  const std::size_t count = check_header(p, size);
+  const std::size_t n = c.node_count();
+  const auto* events =
+      reinterpret_cast<const BinaryTraceEvent*>(p + kTraceBinaryHeaderBytes);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t at = kTraceBinaryHeaderBytes + i * kTraceBinaryEventBytes;
+    check_record(events[i].node, events[i].observed, events[i].reserved, n,
+                 at);
+  }
+  return BinaryTraceView{events, count};
+}
+
+Trace trace_from_view(const BinaryTraceView& view, const Computation& c) {
+  Trace trace;
+  trace.events.resize(view.count);
+  for (std::size_t i = 0; i < view.count; ++i) {
+    const BinaryTraceEvent& r = view.events[i];
+    TraceEvent& e = trace.events[i];
+    e.seq = r.seq;
+    e.time = r.time;
+    e.proc = static_cast<ProcId>(r.proc);
+    e.node = static_cast<NodeId>(r.node);
+    e.op = c.op(e.node);
+    e.observed = static_cast<NodeId>(r.observed);
+  }
+  return trace;
+}
+
+Trace read_trace_binary(const void* data, std::size_t size,
+                        const Computation& c) {
+  if constexpr (kHostLittle) {
+    return trace_from_view(validate_trace_binary(data, size, c), c);
+  }
+  const auto* p = static_cast<const unsigned char*>(data);
+  const std::size_t count = check_header(p, size);
+  const std::size_t n = c.node_count();
+  Trace trace;
+  trace.events.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t at = kTraceBinaryHeaderBytes + i * kTraceBinaryEventBytes;
+    const unsigned char* r = p + at;
+    const std::uint32_t node = load_le32(r + 20);
+    const std::uint32_t observed = load_le32(r + 24);
+    check_record(node, observed, load_le32(r + 28), n, at);
+    TraceEvent& e = trace.events[i];
+    e.seq = load_le64(r + 0);
+    e.time = load_le64(r + 8);
+    e.proc = static_cast<ProcId>(load_le32(r + 16));
+    e.node = static_cast<NodeId>(node);
+    e.op = c.op(e.node);
+    e.observed = static_cast<NodeId>(observed);
+  }
+  return trace;
+}
+
+MappedTraceFile::MappedTraceFile(const std::string& path) {
+#if CCMM_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 && st.st_size >= 0) {
+      size_ = static_cast<std::size_t>(st.st_size);
+      if (size_ > 0) {
+        void* m = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (m != MAP_FAILED) map_ = m;
+      } else {
+        map_ = nullptr;  // empty file: data() falls back to buf_ (empty)
+      }
+    }
+    ::close(fd);
+    if (map_ != nullptr || size_ == 0) return;
+  }
+#endif
+  // read() fallback: off-POSIX, unmappable file systems, or open/mmap
+  // failure — one contiguous buffer, same view semantics.
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error(format("cannot open trace file %s", path.c_str()));
+  in.seekg(0, std::ios::end);
+  const std::streamoff len = in.tellg();
+  in.seekg(0, std::ios::beg);
+  buf_.resize(len > 0 ? static_cast<std::size_t>(len) : 0);
+  if (!buf_.empty() &&
+      !in.read(reinterpret_cast<char*>(buf_.data()),
+               static_cast<std::streamsize>(buf_.size())))
+    throw std::runtime_error(format("cannot read trace file %s", path.c_str()));
+  size_ = buf_.size();
+}
+
+MappedTraceFile::~MappedTraceFile() {
+#if CCMM_HAS_MMAP
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+}
+
+MappedTraceFile::MappedTraceFile(MappedTraceFile&& o) noexcept
+    : map_(o.map_), size_(o.size_), buf_(std::move(o.buf_)) {
+  o.map_ = nullptr;
+  o.size_ = 0;
+}
+
+MappedTraceFile& MappedTraceFile::operator=(MappedTraceFile&& o) noexcept {
+  if (this == &o) return *this;
+#if CCMM_HAS_MMAP
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+  map_ = o.map_;
+  size_ = o.size_;
+  buf_ = std::move(o.buf_);
+  o.map_ = nullptr;
+  o.size_ = 0;
+  return *this;
+}
+
+TraceFormat detect_trace_format(const void* data, std::size_t size) noexcept {
+  return size >= sizeof kTraceBinaryMagic &&
+                 std::memcmp(data, kTraceBinaryMagic,
+                             sizeof kTraceBinaryMagic) == 0
+             ? TraceFormat::kBinary
+             : TraceFormat::kText;
+}
+
+TraceFormat detect_trace_format_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error(format("cannot open trace file %s", path.c_str()));
+  char head[sizeof kTraceBinaryMagic] = {0};
+  in.read(head, sizeof head);
+  return detect_trace_format(head, static_cast<std::size_t>(in.gcount()));
+}
+
+Trace load_trace(const std::string& path, const Computation& c) {
+  if (detect_trace_format_file(path) == TraceFormat::kBinary) {
+    const MappedTraceFile file(path);
+    return read_trace_binary(file.data(), file.size(), c);
+  }
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error(format("cannot open trace file %s", path.c_str()));
+  return read_trace(in, c);
+}
+
+}  // namespace ccmm

@@ -1,0 +1,144 @@
+// ccmm/trace/trace_binary.hpp
+//
+// The binary trace format: the mmap-able record of execution the text
+// format (trace.hpp) is the human-readable twin of. A 16M-event text
+// trace costs ~400 MB of digits and a getline/istringstream parse per
+// event; the binary file is exactly 32 bytes per event, validates with
+// two range compares per record, and maps straight into the checker
+// with zero string materialization.
+//
+// Layout (all fields little-endian; the reader byte-swaps on
+// big-endian hosts):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------
+//        0     8  magic "CCMMTRC0"
+//        8     4  version (currently 1)
+//       12     4  flags (reserved, must be 0)
+//       16     8  event_count
+//       24     8  reserved (must be 0)
+//       32   32·k event records:
+//                   +0  u64 seq        +8  u64 time
+//                   +16 u32 proc       +20 u32 node
+//                   +24 u32 observed (0xFFFFFFFF = ⊥)
+//                   +28 u32 reserved (must be 0)
+//
+// Ops are not serialized, mirroring the text format: they are looked
+// up in the computation the trace is checked against, which is also
+// what makes per-record validation (node / observed in range) possible
+// at read time. Malformed input throws TraceReadError carrying the
+// exact byte offset of the first offending field.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace ccmm {
+
+inline constexpr char kTraceBinaryMagic[8] = {'C', 'C', 'M', 'M',
+                                              'T', 'R', 'C', '0'};
+inline constexpr std::uint32_t kTraceBinaryVersion = 1;
+inline constexpr std::size_t kTraceBinaryHeaderBytes = 32;
+inline constexpr std::size_t kTraceBinaryEventBytes = 32;
+
+/// One on-disk event record. Field order and widths match the layout
+/// above exactly; the struct has no padding, so on little-endian hosts
+/// a validated file region can be reinterpreted as an array of these
+/// (the zero-copy path).
+struct BinaryTraceEvent {
+  std::uint64_t seq = 0;
+  std::uint64_t time = 0;
+  std::uint32_t proc = 0;
+  std::uint32_t node = 0;
+  std::uint32_t observed = 0xFFFFFFFFu;  // kBottom sentinel
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(BinaryTraceEvent) == kTraceBinaryEventBytes,
+              "binary trace records must be exactly 32 bytes");
+
+/// Malformed binary input; offset() is the byte position of the first
+/// field that failed validation.
+class TraceReadError : public std::runtime_error {
+ public:
+  TraceReadError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what), offset_(offset) {}
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_ = 0;
+};
+
+/// A validated window into a binary trace image. Non-owning: valid as
+/// long as the underlying buffer (usually a MappedTraceFile) lives.
+struct BinaryTraceView {
+  const BinaryTraceEvent* events = nullptr;
+  std::size_t count = 0;
+};
+
+/// Streamed writer: header + records, chunked through a fixed buffer so
+/// a 16M-event emit never holds the serialized blob in memory.
+void write_trace_binary(const Trace& trace, std::ostream& out);
+
+/// Validate an in-memory image (header magic/version/flags/size, every
+/// record's node and observed against `c`) and return a zero-copy view.
+/// No strings, no allocation proportional to the trace. Throws
+/// TraceReadError with the offending byte offset. On big-endian hosts
+/// the zero-copy reinterpretation is impossible; use read_trace_binary
+/// there (this function throws).
+[[nodiscard]] BinaryTraceView validate_trace_binary(const void* data,
+                                                    std::size_t size,
+                                                    const Computation& c);
+
+/// Materialize a Trace (ops looked up in `c`) from a validated view.
+[[nodiscard]] Trace trace_from_view(const BinaryTraceView& view,
+                                    const Computation& c);
+
+/// Portable whole-image reader: validate + materialize, byte-swapping
+/// on big-endian hosts. The convenience path for tests and small files.
+[[nodiscard]] Trace read_trace_binary(const void* data, std::size_t size,
+                                      const Computation& c);
+
+/// mmap-backed read-only file image, with a plain read() fallback when
+/// mapping fails (or off-POSIX). Movable, non-copyable.
+class MappedTraceFile {
+ public:
+  /// Throws std::runtime_error when the file cannot be opened/read.
+  explicit MappedTraceFile(const std::string& path);
+  ~MappedTraceFile();
+  MappedTraceFile(MappedTraceFile&& o) noexcept;
+  MappedTraceFile& operator=(MappedTraceFile&& o) noexcept;
+  MappedTraceFile(const MappedTraceFile&) = delete;
+  MappedTraceFile& operator=(const MappedTraceFile&) = delete;
+
+  [[nodiscard]] const void* data() const noexcept {
+    return map_ != nullptr ? map_ : static_cast<const void*>(buf_.data());
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// True when the image is an actual mmap (false = read() fallback).
+  [[nodiscard]] bool mapped() const noexcept { return map_ != nullptr; }
+
+ private:
+  void* map_ = nullptr;
+  std::size_t size_ = 0;
+  std::vector<unsigned char> buf_;
+};
+
+enum class TraceFormat : std::uint8_t { kText, kBinary };
+
+/// Sniff a buffer: binary iff it starts with the 8-byte magic.
+[[nodiscard]] TraceFormat detect_trace_format(const void* data,
+                                              std::size_t size) noexcept;
+/// Sniff a file's first 8 bytes. Throws std::runtime_error on IO error.
+[[nodiscard]] TraceFormat detect_trace_format_file(const std::string& path);
+
+/// The CLIs' auto-detecting loader: binary files go through the mmap +
+/// zero-copy validation path, text files through read_trace. Throws
+/// std::runtime_error / TraceReadError on malformed input.
+[[nodiscard]] Trace load_trace(const std::string& path, const Computation& c);
+
+}  // namespace ccmm

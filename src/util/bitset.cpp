@@ -2,6 +2,33 @@
 
 namespace ccmm {
 
+void DynBitset::resize(std::size_t nbits) {
+  const std::size_t new_words = (nbits + kWordBits - 1) / kWordBits;
+  if (new_words > kInlineWords) {
+    if (nwords_ <= kInlineWords) {
+      // Inline -> heap: seed the vector with the inline words.
+      heap_.assign(new_words, 0);
+      for (std::size_t i = 0; i < nwords_; ++i) heap_[i] = inline_[i];
+    } else {
+      heap_.resize(new_words, 0);
+    }
+  } else {
+    if (nwords_ > kInlineWords) {
+      // Heap -> inline: rescue the surviving words before freeing.
+      for (std::size_t i = 0; i < new_words; ++i) inline_[i] = heap_[i];
+      heap_.clear();
+      heap_.shrink_to_fit();
+    }
+    for (std::size_t i = new_words; i < kInlineWords; ++i) inline_[i] = 0;
+  }
+  const bool shrunk = nbits < nbits_;
+  nbits_ = nbits;
+  nwords_ = new_words;
+  // Shrinking can strand set bits above the new size in the (kept) tail
+  // word; a later grow would otherwise resurrect them as ghost bits.
+  if (shrunk) trim();
+}
+
 std::size_t DynBitset::count() const noexcept {
   const word_type* w = data();
   std::size_t n = 0;

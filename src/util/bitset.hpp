@@ -67,6 +67,20 @@ class DynBitset {
     trim();
   }
 
+  /// Resize to `nbits` bits. Bits below min(old, new) size are kept;
+  /// growth zero-fills. Handles the single-word SBO boundary in both
+  /// directions: growing past 64 bits spills the inline word to the
+  /// heap, shrinking to ≤64 bits copies word 0 back inline *before*
+  /// releasing the heap buffer. Shrinking re-trims so stale tail bits
+  /// can never resurface on a later grow.
+  void resize(std::size_t nbits);
+
+  /// Heap bytes owned by this set (0 while on the inline word). The
+  /// streaming paths use this for bytes-per-node accounting.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return heap_.capacity() * sizeof(word_type);
+  }
+
   /// Number of set bits.
   [[nodiscard]] std::size_t count() const noexcept;
 

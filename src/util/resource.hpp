@@ -1,0 +1,33 @@
+// ccmm/util/resource.hpp
+//
+// Process resource accounting for the data-plane reports. Peak RSS is
+// the honest "how much memory did this postmortem actually cost" number
+// — arena high-water marks only cover what we allocate deliberately.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace ccmm {
+
+/// Peak resident set size of this process in bytes, or 0 where the
+/// platform doesn't expose it. Linux reports ru_maxrss in KiB; macOS
+/// in bytes.
+inline std::size_t current_peak_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(ru.ru_maxrss);
+#else
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace ccmm

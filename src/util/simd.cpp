@@ -1,0 +1,41 @@
+#include "util/simd.hpp"
+
+#include <cstdlib>
+
+namespace ccmm {
+namespace {
+
+SimdLevel detect_simd_level() noexcept {
+  const char* env = std::getenv("CCMM_NO_SIMD");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0')
+    return SimdLevel::kScalar;
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  return SimdLevel::kScalar;
+#elif defined(__aarch64__)
+  return SimdLevel::kNeon;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+}  // namespace
+
+SimdLevel active_simd_level() noexcept {
+  static const SimdLevel level = detect_simd_level();
+  return level;
+}
+
+const char* simd_level_name(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+    case SimdLevel::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+}  // namespace ccmm

@@ -1,0 +1,39 @@
+// ccmm/util/simd.hpp
+//
+// Runtime SIMD dispatch for the data-plane kernels. The repo compiles
+// with the portable baseline flags; the AVX2 kernels are isolated in
+// translation units whose hot functions carry
+// __attribute__((target("avx2"))) and are only ever called after a
+// runtime CPUID check. Policy:
+//
+//  * x86-64 with AVX2 present  -> kAvx2
+//  * aarch64                   -> kNeon (kernels are stubs that share
+//                                 the scalar loop today; the dispatch
+//                                 point is in place for real NEON)
+//  * anything else, or CCMM_NO_SIMD=1 in the environment -> kScalar
+//
+// The environment override exists so CI can force the scalar path and
+// diff its verdicts against the dispatched one; tests can also pin a
+// level per call through the options structs (LargeCheckOptions::simd,
+// RaceScanOptions::simd) without touching the environment.
+//
+// Every kernel pair is required to be bit-identical: the SIMD paths
+// only reassociate word-wise ORs/ANDs, never reorder the observable
+// scan. tests/test_trace_binary.cpp pins scalar == avx2 on the full
+// differential suites.
+#pragma once
+
+#include <cstdint>
+
+namespace ccmm {
+
+enum class SimdLevel : std::uint8_t { kScalar = 0, kNeon = 1, kAvx2 = 2 };
+
+/// The dispatched level for this process: CPU detection gated by the
+/// CCMM_NO_SIMD environment variable. Computed once, then cached.
+[[nodiscard]] SimdLevel active_simd_level() noexcept;
+
+/// "scalar", "neon" or "avx2" — for reports and bench counters.
+[[nodiscard]] const char* simd_level_name(SimdLevel level) noexcept;
+
+}  // namespace ccmm

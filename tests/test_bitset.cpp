@@ -108,6 +108,99 @@ TEST(DynBitset, EqualityAndHash) {
   EXPECT_FALSE(a == b);
 }
 
+TEST(DynBitset, ResizeKeepsLowBitsAndZeroFillsGrowth) {
+  DynBitset b(40);
+  b.set(0);
+  b.set(39);
+  b.resize(200);  // inline word -> heap
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(39));
+  EXPECT_EQ(b.count(), 2u);
+  for (std::size_t i = 40; i < 200; ++i) EXPECT_FALSE(b.test(i));
+  b.set(199);
+  b.resize(40);  // heap -> inline word
+  EXPECT_EQ(b.size(), 40u);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(39));
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.memory_bytes(), 0u);
+}
+
+TEST(DynBitset, ResizeAtExactlyOneWord) {
+  // Size exactly 64 must stay on the inline word with no tail mask.
+  DynBitset b(64);
+  b.set_all();
+  EXPECT_EQ(b.count(), 64u);
+  EXPECT_EQ(b.memory_bytes(), 0u);
+  b.resize(65);  // the first size that needs the heap
+  EXPECT_EQ(b.count(), 64u);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_GT(b.memory_bytes(), 0u);
+  b.set(64);
+  b.resize(64);
+  EXPECT_EQ(b.count(), 64u);
+  EXPECT_EQ(b.find_next(62), 63u);
+}
+
+TEST(DynBitset, ShrinkThenGrowLeavesNoGhostBits) {
+  // A stale tail bit surviving a shrink would resurface on regrow;
+  // resize must re-trim. Cover both the in-word tail and whole dropped
+  // words, on both sides of the SBO boundary.
+  for (const std::size_t big : {64u, 70u, 128u, 190u}) {
+    for (const std::size_t small : {1u, 63u, 64u, 65u}) {
+      if (small >= big) continue;
+      DynBitset b(big);
+      b.set_all();
+      b.resize(small);
+      EXPECT_EQ(b.count(), small) << big << "->" << small;
+      b.resize(big);
+      EXPECT_EQ(b.count(), small) << big << "->" << small << "->" << big;
+      for (std::size_t i = small; i < big; ++i)
+        EXPECT_FALSE(b.test(i)) << big << "->" << small << " bit " << i;
+    }
+  }
+}
+
+TEST(DynBitset, ResizeToZeroAndBack) {
+  DynBitset b(100);
+  b.set_all();
+  b.resize(0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.none());
+  b.resize(100);
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(DynBitset, RandomizedResizeAgainstReference) {
+  Rng rng(907);
+  for (int round = 0; round < 10; ++round) {
+    std::size_t n = 1 + rng.below(150);
+    DynBitset b(n);
+    std::vector<bool> ref(n, false);
+    for (int k = 0; k < 60; ++k) {
+      if (rng.chance(0.25)) {
+        const std::size_t m = 1 + rng.below(200);
+        b.resize(m);
+        ref.resize(m, false);
+        n = m;
+      } else {
+        const std::size_t i = rng.below(n);
+        const bool v = rng.chance(0.6);
+        b.assign(i, v);
+        ref[i] = v;
+      }
+      ASSERT_EQ(b.size(), n);
+      std::size_t want = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(b.test(i), ref[i]) << "size " << n << " bit " << i;
+        want += ref[i] ? 1 : 0;
+      }
+      ASSERT_EQ(b.count(), want);
+    }
+  }
+}
+
 TEST(DynBitset, RandomizedAgainstReference) {
   Rng rng(123);
   for (int round = 0; round < 20; ++round) {

@@ -8,7 +8,7 @@ make hard thresholds flaky, so the default exit code is 0 regardless of
 the deltas; pass --gate RATIO to fail on regressions beyond RATIO (for
 local use on quiet machines).
 
-Two gate forms are accepted (repeatable, combinable):
+Three gate forms are accepted (repeatable, combinable):
   --gate 1.5
       global worst-ratio gate: fail if any paired ratio exceeds 1.5x.
   --gate "BM_FixpointQuotient/6<=baseline*1.05"
@@ -16,9 +16,16 @@ Two gate forms are accepted (repeatable, combinable):
       exceeds its baseline time by more than the factor.  A name missing
       from either report does NOT gate (new or renamed benchmarks must
       not break CI) — it is reported and skipped.
+  --gate "BM_LargeCheckLC/65536#bytes_per_node<=128"
+      absolute counter ceiling: fail if the named benchmark row's named
+      counter in the FRESH report exceeds the value.  Counters are
+      machine-independent budgets (bytes per node, shard counts), so
+      unlike times they gate absolutely, no baseline involved.  A
+      missing name or counter is reported and skipped, like above.
 
 Usage: tools/bench_delta.py BASELINE.json FRESH.json [--gate 1.5]
-       [--gate "NAME<=baseline*1.05"]... [--only PREFIX]...
+       [--gate "NAME<=baseline*1.05"]... [--gate "NAME#counter<=VALUE"]...
+       [--only PREFIX]...
 """
 import argparse
 import json
@@ -37,14 +44,30 @@ def load_times(report):
     return out
 
 
+def load_counters(report):
+    """name -> {counter: value} for rows that carry counters."""
+    return {r["name"]: r["counters"]
+            for rows in report.get("benchmarks", {}).values()
+            for r in rows if r.get("counters")}
+
+
 GATE_EXPR = re.compile(
     r"^(?P<name>[^<>=]+?)\s*<=\s*baseline\s*\*\s*(?P<factor>[0-9.]+)$")
+GATE_COUNTER = re.compile(
+    r"^(?P<name>[^<>=#]+?)#(?P<counter>[A-Za-z0-9_]+)\s*<=\s*"
+    r"(?P<value>[0-9.]+)$")
 
 
 def parse_gates(specs):
-    """Split --gate values into (global_ratio | None, [(name, factor)])."""
-    ratio, exprs = None, []
+    """Split --gate values into
+    (global_ratio | None, [(name, factor)], [(name, counter, ceiling)])."""
+    ratio, exprs, counters = None, [], []
     for spec in specs:
+        m = GATE_COUNTER.match(spec)
+        if m:
+            counters.append((m.group("name").strip(), m.group("counter"),
+                             float(m.group("value"))))
+            continue
         m = GATE_EXPR.match(spec)
         if m:
             exprs.append((m.group("name").strip(), float(m.group("factor"))))
@@ -52,10 +75,11 @@ def parse_gates(specs):
         try:
             ratio = float(spec)
         except ValueError:
-            print(f"bench_delta: bad --gate {spec!r} (want a ratio or "
-                  f"'NAME<=baseline*F')", file=sys.stderr)
+            print(f"bench_delta: bad --gate {spec!r} (want a ratio, "
+                  f"'NAME<=baseline*F', or 'NAME#counter<=VALUE')",
+                  file=sys.stderr)
             sys.exit(2)
-    return ratio, exprs
+    return ratio, exprs, counters
 
 
 def main():
@@ -69,7 +93,7 @@ def main():
                     help="restrict to benchmark names with this prefix "
                          "(repeatable)")
     args = ap.parse_args()
-    gate_ratio, gate_exprs = parse_gates(args.gate)
+    gate_ratio, gate_exprs, gate_counters = parse_gates(args.gate)
 
     try:
         with open(args.baseline) as f:
@@ -101,11 +125,13 @@ def main():
             print(f"{n:58s} {bt[n] / 1e6:10.3f}ms {ft[n] / 1e6:10.3f}ms "
                   f"{ratio:6.2f}x{flag}")
 
-    for key in ("quotient_speedup", "prepared_speedup", "worklist_speedup"):
-        rows_b = {(r.get("labeled") or r.get("legacy") or r.get("jacobi")): r
-                  for r in base.get(key, [])}
-        rows_f = {(r.get("labeled") or r.get("legacy") or r.get("jacobi")): r
-                  for r in fresh.get(key, [])}
+    for key in ("quotient_speedup", "prepared_speedup", "worklist_speedup",
+                "trace_speedup", "dataplane_speedup"):
+        def row_key(r):
+            return (r.get("labeled") or r.get("legacy") or r.get("jacobi")
+                    or r.get("closure") or r.get("naive"))
+        rows_b = {row_key(r): r for r in base.get(key, [])}
+        rows_f = {row_key(r): r for r in fresh.get(key, [])}
         common = sorted(set(rows_b) & set(rows_f))
         if not common:
             continue
@@ -130,6 +156,20 @@ def main():
               f"{bound / 1e6:.3f}ms (baseline*{factor:g}) ... {verdict}")
         if ft[name] > bound:
             print(f"bench_delta: {name} exceeds baseline*{factor:g}",
+                  file=sys.stderr)
+            failed = True
+    fc = load_counters(fresh)
+    for name, counter, ceiling in gate_counters:
+        value = fc.get(name, {}).get(counter)
+        if value is None:
+            print(f"bench_delta: gate '{name}#{counter}' not present in the "
+                  f"fresh report (skipped, not gating)")
+            continue
+        verdict = "OK" if value <= ceiling else "FAIL"
+        print(f"gate {name}#{counter}: fresh {value:g} vs ceiling "
+              f"{ceiling:g} ... {verdict}")
+        if value > ceiling:
+            print(f"bench_delta: {name}#{counter} exceeds {ceiling:g}",
                   file=sys.stderr)
             failed = True
     return 1 if failed else 0

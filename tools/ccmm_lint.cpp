@@ -29,6 +29,7 @@
 #include "io/text.hpp"
 #include "proc/cilk.hpp"
 #include "trace/lint_pipeline.hpp"
+#include "trace/trace_binary.hpp"
 #include "util/str.hpp"
 
 using namespace ccmm;
@@ -64,6 +65,7 @@ int usage() {
       "  --no-lint       skip the memory lints (dead writes, ⊥ reads)\n"
       "  --max-races N   cap reported race diagnostics (default 64)\n"
       "  --trace FILE    run the streaming pipeline on a recorded trace\n"
+      "                  (text or binary .tbin, auto-detected)\n"
       "                  (trace-sharpened lints, model verdicts, DRF\n"
       "                  certificate when race-free)\n"
       "  --json          machine-readable JSON on stdout\n"
@@ -128,14 +130,14 @@ int emit_certificate(const std::optional<analyze::DrfCertificate>& cert,
 int lint_trace(const Computation& c, const char* trace_path,
                const analyze::AnalysisOptions& options, bool json,
                const char* certify_path) {
-  std::ifstream in(trace_path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", trace_path);
-    return 2;
-  }
+  // Auto-detects text vs binary by the magic; binary traces are
+  // mmapped and decoded without materializing any text.
   Trace trace;
   try {
-    trace = read_trace(in, c);
+    trace = load_trace(trace_path, c);
+  } catch (const TraceReadError& e) {
+    std::fprintf(stderr, "%s: %s\n", trace_path, e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;

@@ -45,8 +45,9 @@ if [[ $mode == quick ]]; then
   # Negative filter: drop the minute-scale args, keep everything else.
   # The /1048576 trace runs and the 16384-node closure build are
   # second-scale per iteration; the 16384 streaming run stays in so the
-  # BM_LargeCheckLC/16384 gate still binds on CI.
-  filter='-(.*/6$|.*/10000$|.*/1048576$|BM_VerifyClosureLC/16384$|BM_FixpointParallel.*)'
+  # BM_LargeCheckLC/16384 gate still binds on CI. The /16777216 data
+  # plane runs (and their 500 MB text twin) are full-mode only.
+  filter='-(.*/6$|.*/10000$|.*/1048576$|.*/16777216$|BM_VerifyClosureLC/16384$|BM_FixpointParallel.*)'
 fi
 
 tmp="$(mktemp -d)"
@@ -83,6 +84,15 @@ for b in "${benches[@]}"; do
     # process, same page-reclaim reasoning as above).
     run_bench "$bin" "$tmp/$b.part4.json" 'BM_FixpointWorklistQuotient/6$'
     run_bench "$bin" "$tmp/$b.part5.json" 'BM_FixpointJacobiQuotient/6$'
+  elif [[ $mode == full && $b == bench_trace ]]; then
+    # The 16M-node data-plane runs get their own processes: building a
+    # 16M-op program + trace + its ~500 MB text twin would otherwise
+    # leave the allocator and page cache hot (or reclaiming) under the
+    # small benchmarks that follow in the same binary.
+    run_bench "$bin" "$tmp/$b.json" '-(.*/16777216$)'
+    run_bench "$bin" "$tmp/$b.part2.json" 'BM_LargeCheckLC/16777216$'
+    run_bench "$bin" "$tmp/$b.part3.json" 'BM_PostmortemNaive/16777216$'
+    run_bench "$bin" "$tmp/$b.part4.json" 'BM_PostmortemDataPlane/16777216$'
   else
     run_bench "$bin" "$tmp/$b.json" "$filter"
   fi
@@ -116,7 +126,8 @@ def load(path):
 merged = {"generated_by": "tools/run_benches.sh", "mode": mode,
           "benchmarks": {}, "experiments": {}, "quotient_speedup": [],
           "prepared_speedup": [], "worklist_speedup": [],
-          "trace_speedup": [], "cache_counters": {}}
+          "trace_speedup": [], "dataplane_speedup": [],
+          "dataplane_memory": [], "cache_counters": {}}
 
 by_name = {}
 for b in benches:
@@ -201,6 +212,28 @@ TRACE_PAIRS = [
 ]
 pair_rows(TRACE_PAIRS, merged["trace_speedup"], "closure", "streaming")
 
+# Text-parse + forced-scalar postmortem -> binary decode + dispatched
+# SIMD data plane (plus the parse-only pair), per matching size. The
+# 16M-node row is the ISSUE 7 acceptance criterion (>= 4x).
+DATAPLANE_PAIRS = [
+    ("BM_PostmortemNaive", "BM_PostmortemDataPlane"),
+    ("BM_TraceReadText", "BM_TraceReadBinary"),
+]
+pair_rows(DATAPLANE_PAIRS, merged["dataplane_speedup"], "naive", "dataplane")
+
+# The data-plane memory table: bytes-per-node and peak RSS straight off
+# the benchmark counters.
+for b in benches:
+    for row in merged["benchmarks"][b]:
+        counters = row.get("counters", {})
+        if "bytes_per_node" in counters:
+            merged["dataplane_memory"].append({
+                "name": row["name"],
+                "bytes_per_node": counters["bytes_per_node"],
+                **({"peak_rss_mb": counters["peak_rss_mb"]}
+                   if "peak_rss_mb" in counters else {}),
+            })
+
 # Surface the memo-cache counters the experiments export (full JSON is
 # under "experiments"; this is the at-a-glance copy).
 for e in experiments:
@@ -227,4 +260,13 @@ for row in merged["worklist_speedup"]:
 for row in merged["trace_speedup"]:
     print(f"  {row['closure']:45s} -> {row['streaming']:50s} "
           f"{row['speedup']:.2f}x")
+for row in merged["dataplane_speedup"]:
+    print(f"  {row['naive']:45s} -> {row['dataplane']:50s} "
+          f"{row['speedup']:.2f}x")
+if merged["dataplane_memory"]:
+    print("data plane memory:")
+    for row in merged["dataplane_memory"]:
+        rss = (f"  peak rss {row['peak_rss_mb']:8.1f} MiB"
+               if "peak_rss_mb" in row else "")
+        print(f"  {row['name']:45s} {row['bytes_per_node']:8.1f} B/node{rss}")
 PY

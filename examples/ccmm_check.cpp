@@ -12,12 +12,21 @@
 //   $ ./ccmm_check --trace-demo 1000000   # million-node streaming demo
 //   $ ./ccmm_check --trace-demo 500 --emit run
 //       # + write run.txt/run.trace/run.tbin (text + mmap-able binary)
+//   $ ./ccmm_check --list-models          # bundled spec registry + lattice
+//   $ ./ccmm_check instance.txt --spec pack.spec   # classify user models
+//   $ ./ccmm_check instance.txt --model TSO        # one bundled model
+//   $ ./ccmm_check instance.txt --spec pack.spec --trace t.tbin
+//       # stream-decide the pack's models on a recorded trace
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "construct/fixpoint.hpp"
 #include "construct/witness.hpp"
@@ -25,13 +34,16 @@
 #include "exec/schedule.hpp"
 #include "io/dot.hpp"
 #include "io/text.hpp"
+#include "models/compile.hpp"
 #include "models/location_consistency.hpp"
 #include "models/qdag.hpp"
 #include "models/sequential_consistency.hpp"
+#include "models/spec.hpp"
 #include "models/wn_plus.hpp"
 #include "proc/random_program.hpp"
 #include "trace/lint_pipeline.hpp"
 #include "trace/race.hpp"
+#include "trace/spec_check.hpp"
 #include "trace/trace_binary.hpp"
 
 using namespace ccmm;
@@ -88,7 +100,8 @@ int fixpoint_report(std::size_t max_nodes) {
 /// bounded witnesses, trace-sharpened lints, and the DRF ⇒ agreement
 /// certificate when the scan comes back clean. No transitive closure
 /// anywhere on this path.
-int trace_report(const Computation& c, const char* trace_path) {
+int trace_report(const Computation& c, const char* trace_path,
+                 std::vector<std::shared_ptr<const CompiledModel>> models) {
   // load_trace sniffs the magic: binary traces are mmapped and decoded
   // zero-copy, text traces go through the line parser.
   Trace trace;
@@ -101,11 +114,19 @@ int trace_report(const Computation& c, const char* trace_path) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
-  const analyze::TraceLintResult r = analyze::analyze_trace(c, trace, {});
+  analyze::TraceLintOptions topt;
+  topt.spec_models = std::move(models);
+  const analyze::TraceLintResult r = analyze::analyze_trace(c, trace, topt);
   std::printf("%s", r.to_string().c_str());
   const bool lc_ok = r.report.has_value() && r.report->in_model(kSuiteLC);
   const bool no_errors = analyze::count_severities(r.diagnostics).errors == 0;
-  return r.trace_ok && lc_ok && no_errors ? 0 : 1;
+  // A spec model that could not be decided (unstreamable axiom or an
+  // exhausted search) is a failure for gating purposes; a decided
+  // non-membership is an answer, not an error.
+  const bool specs_decided =
+      std::all_of(r.spec_verdicts.begin(), r.spec_verdicts.end(),
+                  [](const SpecModelVerdict& v) { return v.decided; });
+  return r.trace_ok && lc_ok && no_errors && specs_decided ? 0 : 1;
 }
 
 /// Self-contained scale demo: synthesize a fork/join program of ~n
@@ -148,6 +169,76 @@ int trace_demo(std::size_t n, const char* emit_prefix) {
                                                                         : 1;
 }
 
+/// Load every `--spec` pack into (a copy of) the bundled registry.
+/// Returns false (after printing the line-numbered parse error) when a
+/// pack is unreadable or malformed. Names added from the packs are
+/// appended to `added`.
+bool load_spec_packs(ModelRegistry& registry,
+                     const std::vector<const char*>& spec_paths,
+                     std::vector<std::string>& added) {
+  for (const char* sp : spec_paths) {
+    std::ifstream in(sp);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", sp);
+      return false;
+    }
+    try {
+      for (ModelSpec& s : read_model_specs(in)) {
+        added.push_back(s.name);
+        registry.add(std::move(s));
+      }
+    } catch (const SpecParseError& e) {
+      std::fprintf(stderr, "%s: %s\n", sp, e.what());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// --list-models: every registry entry with its surface syntax and the
+/// derived implications classify() prunes with.
+int list_models(const ModelRegistry& registry) {
+  const auto& entries = registry.entries();
+  std::printf("%zu models (8 built-ins + packs):\n", entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    std::printf("%s", entries[i].spec.to_string().c_str());
+    std::string implied;
+    const std::uint64_t row = registry.implies_mask(i);
+    for (std::size_t j = 0; j < entries.size(); ++j) {
+      if (j == i || (row & (std::uint64_t{1} << j)) == 0) continue;
+      if (!implied.empty()) implied += ", ";
+      implied += entries[j].spec.name;
+    }
+    if (!implied.empty())
+      std::printf("# %s => %s\n", entries[i].spec.name.c_str(),
+                  implied.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+/// Resolve the selected model names (every --model, else every model a
+/// --spec pack added) into compiled models. Returns false on an
+/// unknown name.
+bool select_models(const ModelRegistry& registry,
+                   const std::vector<const char*>& model_names,
+                   const std::vector<std::string>& pack_added,
+                   std::vector<std::shared_ptr<const CompiledModel>>& out) {
+  std::vector<std::string> names;
+  for (const char* n : model_names) names.emplace_back(n);
+  if (names.empty()) names = pack_added;
+  for (const std::string& n : names) {
+    const ModelRegistry::Entry* e = registry.find(n);
+    if (e == nullptr) {
+      std::fprintf(stderr,
+                   "unknown model '%s' (try --list-models)\n", n.c_str());
+      return false;
+    }
+    out.push_back(e->model);
+  }
+  return true;
+}
+
 int emit_example() {
   const NonconstructibilityWitness w = figure4_witness();
   std::fputs("# ccmm instance: the paper's Figure-4 pair (in NN, not LC)\n",
@@ -160,8 +251,11 @@ int emit_example() {
 
 int main(int argc, char** argv) {
   bool want_dot = false;
+  bool want_list = false;
   const char* path = nullptr;
   const char* trace_path = nullptr;
+  std::vector<const char*> spec_paths;
+  std::vector<const char*> model_names;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--example") == 0) return emit_example();
     if (std::strcmp(argv[i], "--fixpoint") == 0) {
@@ -181,11 +275,31 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
       continue;
     }
-    if (std::strcmp(argv[i], "--dot") == 0)
+    if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) {
+      spec_paths.push_back(argv[++i]);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      model_names.push_back(argv[++i]);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--list-models") == 0)
+      want_list = true;
+    else if (std::strcmp(argv[i], "--dot") == 0)
       want_dot = true;
     else
       path = argv[i];
   }
+
+  // The compiled-model registry: the eight built-ins + the bundled
+  // pack, extended by every --spec file (replace-by-name).
+  ModelRegistry registry = ModelRegistry::bundled();
+  std::vector<std::string> pack_added;
+  if (!load_spec_packs(registry, spec_paths, pack_added)) return 2;
+  if (want_list) return list_models(registry);
+  std::vector<std::shared_ptr<const CompiledModel>> selected;
+  if (!select_models(registry, model_names, pack_added, selected)) return 2;
+
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: ccmm_check <instance.txt> [--dot]\n"
@@ -198,7 +312,14 @@ int main(int argc, char** argv) {
                  "       ccmm_check --trace-demo N [--emit PREFIX]\n"
                  "           (synthesize, execute and stream-check ~N ops;\n"
                  "            --emit writes PREFIX.txt + PREFIX.trace +\n"
-                 "            PREFIX.tbin for ccmm_lint --trace)\n");
+                 "            PREFIX.tbin for ccmm_lint --trace)\n"
+                 "       ccmm_check --list-models [--spec FILE]\n"
+                 "           (print the compiled-model registry and its\n"
+                 "            derived implication lattice)\n"
+                 "       ccmm_check <instance.txt> --spec FILE [--model NAME]\n"
+                 "           (classify the pair against compiled specs; with\n"
+                 "            --trace the spec models are decided on the\n"
+                 "            streaming path)\n");
     return 2;
   }
 
@@ -215,7 +336,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (trace_path != nullptr) return trace_report(pair.c, trace_path);
+  if (trace_path != nullptr)
+    return trace_report(pair.c, trace_path, std::move(selected));
 
   std::printf("%s", pair.c.to_string().c_str());
   const auto races = find_races(pair.c);
@@ -272,6 +394,21 @@ int main(int argc, char** argv) {
   row("WN", [&] { return qdag_consistent_prepared(p, DagPred::kWN); });
   row("WN+", [&] { return wn_plus_consistent_prepared(p); });
   row("WW", [&] { return qdag_consistent_prepared(p, DagPred::kWW); });
+
+  // Compiled spec models share the same preparation; undecided means a
+  // serialization search ran out of budget.
+  if (!selected.empty()) {
+    std::printf("\ncompiled models:  check time\n");
+    for (const auto& m : selected) {
+      const auto t0 = clock::now();
+      const CompiledVerdict cv = m->check_prepared(p);
+      std::printf("  %-4s %-3s %10.1f us\n", m->name().c_str(),
+                  cv.exhausted ? "?" : (cv.member ? "yes" : "no"),
+                  us_since(t0));
+      if (cv.exhausted)
+        std::printf("       (search budget exhausted: verdict unknown)\n");
+    }
+  }
 
   // Diagnostics for the strongest failing dag model.
   QDagViolation v;

@@ -77,13 +77,21 @@ std::optional<ModelSplit> classify_race(const Computation& c, const Race& r,
   std::string key = canonical_key(w);
   key += format("\x1f%zu\x1f%llu", opt.sc_budget,
                 static_cast<unsigned long long>(opt.observer_budget));
+  // Compiled extras change the split, so their structural digests are
+  // part of the identity of the answer.
+  for (const auto& m : opt.extra_models) key += "\x1f" + m->cache_tag();
   if (auto hit = split_cache().lookup(key)) return *hit;
+
+  const std::size_t nmodels = kModels + opt.extra_models.size();
+  std::vector<std::string> names(kModelNames.begin(), kModelNames.end());
+  for (const auto& m : opt.extra_models) names.push_back(m->name());
 
   ModelSplit split;
   // accepted[m][i]: model m accepts the i-th enumerated observer. One
   // shared preparation + lattice-pruned suite sweep replaces the six
-  // independent checker calls per observer.
-  std::array<std::vector<bool>, kModels> accepted;
+  // independent checker calls per observer; compiled extras reuse the
+  // same preparation.
+  std::vector<std::vector<bool>> accepted(nmodels);
   bool sc_exhausted = false;
   CheckContext ctx;
   SuiteOptions sopt;
@@ -91,8 +99,8 @@ std::optional<ModelSplit> classify_race(const Computation& c, const Race& r,
   sopt.include_plus = false;  // the split reports the six core models
   const bool completed = for_each_observer(w, [&](const ObserverFunction& phi) {
     bool exhausted = false;
-    const std::uint32_t mask =
-        ModelSuite::classify(ctx.prepare(w, phi), sopt, &exhausted);
+    const PreparedPair p = ctx.prepare(w, phi);
+    const std::uint32_t mask = ModelSuite::classify(p, sopt, &exhausted);
     if (exhausted) sc_exhausted = true;
     const std::array<bool, kModels> in = {
         (mask & kSuiteSC) != 0, (mask & kSuiteLC) != 0,
@@ -100,23 +108,28 @@ std::optional<ModelSplit> classify_race(const Computation& c, const Race& r,
         (mask & kSuiteWN) != 0, (mask & kSuiteWW) != 0,
     };
     for (std::size_t m = 0; m < kModels; ++m) accepted[m].push_back(in[m]);
+    for (std::size_t e = 0; e < opt.extra_models.size(); ++e) {
+      const CompiledVerdict v = opt.extra_models[e]->check_prepared(p);
+      if (v.exhausted) sc_exhausted = true;
+      accepted[kModels + e].push_back(v.member);
+    }
     return true;
   });
   split.observers = accepted[0].size();
   split.truncated = !completed || sc_exhausted;
 
   // Group models with identical accepted sets into behaviour classes.
-  std::vector<std::size_t> cls(kModels, SIZE_MAX);
-  for (std::size_t m = 0; m < kModels; ++m) {
+  std::vector<std::size_t> cls(nmodels, SIZE_MAX);
+  for (std::size_t m = 0; m < nmodels; ++m) {
     if (cls[m] != SIZE_MAX) continue;
     cls[m] = split.classes.size();
-    split.classes.push_back({kModelNames[m]});
+    split.classes.push_back({names[m]});
     split.accepted.push_back(static_cast<std::size_t>(
         std::count(accepted[m].begin(), accepted[m].end(), true)));
-    for (std::size_t o = m + 1; o < kModels; ++o)
+    for (std::size_t o = m + 1; o < nmodels; ++o)
       if (cls[o] == SIZE_MAX && accepted[o] == accepted[m]) {
         cls[o] = cls[m];
-        split.classes[cls[m]].push_back(kModelNames[o]);
+        split.classes[cls[m]].push_back(names[o]);
       }
   }
   split_cache().insert(key, split);

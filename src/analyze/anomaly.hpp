@@ -15,9 +15,12 @@
 // difference.
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "analyze/diagnostics.hpp"
+#include "models/compile.hpp"
 #include "trace/race.hpp"
 
 namespace ccmm::analyze {
@@ -30,6 +33,12 @@ struct AnomalyOptions {
   std::size_t witness_node_cap = 12;
   /// Backtracking budget per SC membership query.
   std::size_t sc_budget = 200'000;
+  /// Compiled spec models (models/compile.hpp) classified alongside the
+  /// six core models: the split then also says which user models the
+  /// race can tell apart. Their structural digests are folded into the
+  /// classification cache key, so same-named specs with different
+  /// axioms never share an answer.
+  std::vector<std::shared_ptr<const CompiledModel>> extra_models;
 };
 
 /// The minimal prefix of `c` exhibiting the race between `a` and `b`:

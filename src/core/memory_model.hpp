@@ -28,6 +28,15 @@ class MemoryModel {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Cache identity: the key prefix the orbit-level membership caches
+  /// (enumerate/cached_model.hpp) file this model's answers under. The
+  /// default — the display name — is right for models whose name
+  /// determines their extension (the paper's fixed checkers). Models
+  /// that are *parameterized data*, like compiled specs, must override
+  /// with something structural: two differently-parameterized models
+  /// sharing a display name must not share cache entries.
+  [[nodiscard]] virtual std::string cache_tag() const { return name(); }
+
   /// Membership test: (c, phi) ∈ Δ. Implementations must accept the empty
   /// computation with its unique observer function. `phi` is not required
   /// to be pre-validated; models reject invalid observer functions.

@@ -2,6 +2,8 @@
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <immintrin.h>
+#elif defined(__aarch64__)
+#include <arm_neon.h>
 #endif
 
 namespace ccmm {
@@ -25,7 +27,7 @@ Csr make_csr(const Dag& dag, bool use_pred) {
   return csr;
 }
 
-// --- scalar kernels (also the NEON stub — see sweep.hpp) ---
+// --- scalar kernels (the portable fallback every level diffs against) ---
 
 void forward_w4_scalar(const Csr& pred, const std::vector<NodeId>& topo,
                        std::uint64_t* masks) {
@@ -169,6 +171,80 @@ __attribute__((target("avx2"))) void backward_w4_avx2(
 
 #endif  // x86-64
 
+// --- NEON kernels: identical traversal, two 128-bit ORs per row ---
+//
+// NEON is baseline on aarch64 (no runtime feature check needed), so
+// unlike AVX2 these need no target attribute: the compiler may emit
+// them unconditionally. Each 4-word (256-bit) row is two uint64x2_t;
+// vorrq_u64 only reassociates the word-wise ORs, so the verdicts stay
+// bit-identical to the scalar loop.
+
+#if defined(__aarch64__)
+
+void forward_w4_neon(const Csr& pred, const std::vector<NodeId>& topo,
+                     std::uint64_t* masks) {
+  const std::uint32_t* head = pred.head.data();
+  const NodeId* tgt = pred.tgt.data();
+  for (const NodeId v : topo) {
+    std::uint64_t* row = masks + std::size_t{v} * kSweepWords;
+    uint64x2_t lo = vld1q_u64(row);
+    uint64x2_t hi = vld1q_u64(row + 2);
+    for (std::uint32_t i = head[v]; i < head[v + 1]; ++i) {
+      const std::uint64_t* p = masks + std::size_t{tgt[i]} * kSweepWords;
+      lo = vorrq_u64(lo, vld1q_u64(p));
+      hi = vorrq_u64(hi, vld1q_u64(p + 2));
+    }
+    vst1q_u64(row, lo);
+    vst1q_u64(row + 2, hi);
+  }
+}
+
+void forward2_w4_neon(const Csr& pred, const std::vector<NodeId>& topo,
+                      std::uint64_t* a, std::uint64_t* b) {
+  const std::uint32_t* head = pred.head.data();
+  const NodeId* tgt = pred.tgt.data();
+  for (const NodeId v : topo) {
+    std::uint64_t* ra = a + std::size_t{v} * kSweepWords;
+    std::uint64_t* rb = b + std::size_t{v} * kSweepWords;
+    uint64x2_t alo = vld1q_u64(ra);
+    uint64x2_t ahi = vld1q_u64(ra + 2);
+    uint64x2_t blo = vld1q_u64(rb);
+    uint64x2_t bhi = vld1q_u64(rb + 2);
+    for (std::uint32_t i = head[v]; i < head[v + 1]; ++i) {
+      const std::size_t p = std::size_t{tgt[i]} * kSweepWords;
+      alo = vorrq_u64(alo, vld1q_u64(a + p));
+      ahi = vorrq_u64(ahi, vld1q_u64(a + p + 2));
+      blo = vorrq_u64(blo, vld1q_u64(b + p));
+      bhi = vorrq_u64(bhi, vld1q_u64(b + p + 2));
+    }
+    vst1q_u64(ra, alo);
+    vst1q_u64(ra + 2, ahi);
+    vst1q_u64(rb, blo);
+    vst1q_u64(rb + 2, bhi);
+  }
+}
+
+void backward_w4_neon(const Csr& succ, const std::vector<NodeId>& topo,
+                      std::uint64_t* masks) {
+  const std::uint32_t* head = succ.head.data();
+  const NodeId* tgt = succ.tgt.data();
+  for (std::size_t k = topo.size(); k-- > 0;) {
+    const NodeId v = topo[k];
+    std::uint64_t* row = masks + std::size_t{v} * kSweepWords;
+    uint64x2_t lo = vld1q_u64(row);
+    uint64x2_t hi = vld1q_u64(row + 2);
+    for (std::uint32_t i = head[v]; i < head[v + 1]; ++i) {
+      const std::uint64_t* s = masks + std::size_t{tgt[i]} * kSweepWords;
+      lo = vorrq_u64(lo, vld1q_u64(s));
+      hi = vorrq_u64(hi, vld1q_u64(s + 2));
+    }
+    vst1q_u64(row, lo);
+    vst1q_u64(row + 2, hi);
+  }
+}
+
+#endif  // aarch64
+
 }  // namespace
 
 Csr make_pred_csr(const Dag& dag) { return make_csr(dag, /*use_pred=*/true); }
@@ -181,8 +257,13 @@ void sweep_forward_w4(const Csr& pred, const std::vector<NodeId>& topo,
     forward_w4_avx2(pred, topo, masks);
     return;
   }
+#elif defined(__aarch64__)
+  if (level == SimdLevel::kNeon) {
+    forward_w4_neon(pred, topo, masks);
+    return;
+  }
 #endif
-  (void)level;  // kNeon: scalar stub
+  (void)level;
   forward_w4_scalar(pred, topo, masks);
 }
 
@@ -191,6 +272,11 @@ void sweep_forward2_w4(const Csr& pred, const std::vector<NodeId>& topo,
 #if defined(__x86_64__) || defined(_M_X64)
   if (level == SimdLevel::kAvx2) {
     forward2_w4_avx2(pred, topo, a, b);
+    return;
+  }
+#elif defined(__aarch64__)
+  if (level == SimdLevel::kNeon) {
+    forward2_w4_neon(pred, topo, a, b);
     return;
   }
 #endif
@@ -203,6 +289,11 @@ void sweep_backward_w4(const Csr& succ, const std::vector<NodeId>& topo,
 #if defined(__x86_64__) || defined(_M_X64)
   if (level == SimdLevel::kAvx2) {
     backward_w4_avx2(succ, topo, masks);
+    return;
+  }
+#elif defined(__aarch64__)
+  if (level == SimdLevel::kNeon) {
+    backward_w4_neon(succ, topo, masks);
     return;
   }
 #endif

@@ -13,9 +13,10 @@
 //    exactly — same node order, same OR tree shape per row — and the
 //    OR is associative/commutative over words, so the kernels are
 //    byte-identical by construction, not by testing luck. Dispatch
-//    (util/simd.hpp) only swaps the row-OR instruction sequence.
-//    aarch64 currently takes the scalar loop as the NEON stub; the
-//    dispatch seam is where a real NEON kernel would slot in.
+//    (util/simd.hpp) only swaps the row-OR instruction sequence:
+//    one _mm256_or_si256 on x86-64/AVX2, a vorrq_u64 pair per row on
+//    aarch64/NEON (baseline there, so compiled unguarded), plain word
+//    ORs everywhere else.
 //
 //  * Edges come from a Csr copy, not Dag's vector<vector> adjacency.
 //    The streaming checkers sweep the same edge set once per anchor

@@ -31,7 +31,9 @@ const std::string& orbit_key(const std::string& prefix, const Computation& c,
 CachedModel::CachedModel(std::shared_ptr<const MemoryModel> inner)
     : inner_(std::move(inner)) {
   CCMM_CHECK(inner_ != nullptr, "null model");
-  tag_ = inner_->name();
+  // cache_tag, not name: compiled spec models key by structure, so a
+  // renamed or differently-parameterized spec never aliases an entry.
+  tag_ = inner_->cache_tag();
   tag_.push_back('\x1e');
 }
 

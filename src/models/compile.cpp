@@ -1,0 +1,296 @@
+#include "models/compile.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace ccmm {
+namespace {
+
+/// The w-independent corners are the paper's named predicates with
+/// bitset-accelerated scans; everything else pays the cubic scan.
+std::optional<DagPred> named_corner(CubeSpec q) {
+  if (q.w_writes) return std::nullopt;
+  if (q.u_writes) return q.v_writes ? DagPred::kWW : DagPred::kWN;
+  return q.v_writes ? DagPred::kNW : DagPred::kNN;
+}
+
+std::uint32_t corner_suite_bit(DagPred pred) {
+  switch (pred) {
+    case DagPred::kNN:
+      return kSuiteNN;
+    case DagPred::kNW:
+      return kSuiteNW;
+    case DagPred::kWN:
+      return kSuiteWN;
+    case DagPred::kWW:
+      return kSuiteWW;
+  }
+  return 0;
+}
+
+/// Constraint count orders corner strength: fewer constraints = more
+/// quantified triples = stronger axiom.
+int cube_constraints(CubeSpec q) {
+  return (q.u_writes ? 1 : 0) + (q.v_writes ? 1 : 0) + (q.w_writes ? 1 : 0);
+}
+
+}  // namespace
+
+CompiledModel::CompiledModel(ModelSpec spec, const CompileOptions& options)
+    : spec_(std::move(spec)), options_(options) {
+  spec_.normalize();
+  for (const CubeSpec& q : spec_.axioms) {
+    if (const auto pred = named_corner(q))
+      named_.push_back(*pred);
+    else
+      cubic_.push_back(q);
+  }
+}
+
+std::string CompiledModel::cache_tag() const {
+  return "spec\x1d" + spec_.digest();
+}
+
+CompiledVerdict CompiledModel::check_prepared(const PreparedPair& p) const {
+  CompiledVerdict v;
+  if (!p.valid()) return v;
+  // Cheapest first: the named 64-writer mask scans, the linear
+  // freshness shadow, the cubic corners, then the order axioms with
+  // the budgeted searches last.
+  for (const DagPred pred : named_)
+    if (!qdag_consistent_prepared(p, pred)) return v;
+  if (spec_.freshness && !observer_is_fresh_prepared(p)) return v;
+  for (const CubeSpec& q : cubic_)
+    if (!cube_consistent_prepared(p, q)) return v;
+
+  switch (spec_.order) {
+    case OrderAxiom::kNone:
+      break;
+    case OrderAxiom::kPerLocation:
+      if (!location_consistent_prepared(p)) return v;
+      break;
+    case OrderAxiom::kGlobal: {
+      ScOptions opt;
+      opt.budget = options_.sc_budget;
+      const ScResult r = sc_check_prepared(p, opt);
+      if (r.status == SearchStatus::kExhausted) {
+        v.exhausted = true;
+        return v;
+      }
+      if (r.status != SearchStatus::kYes) return v;
+      break;
+    }
+    case OrderAxiom::kScoped: {
+      const Computation& c = p.computation();
+      const ObserverFunction& phi = p.observer();
+      // Locations outside every scope are singleton scopes: plain LC.
+      for (const Location l : phi.active_locations()) {
+        const bool covered = std::any_of(
+            spec_.scopes.begin(), spec_.scopes.end(), [&](const ScopeSpec& s) {
+              return std::binary_search(s.locations.begin(), s.locations.end(),
+                                        l);
+            });
+        if (!covered && !location_consistent_at(c, phi, l)) return v;
+      }
+      ScOptions opt;
+      opt.budget = options_.sc_budget;
+      for (const ScopeSpec& s : spec_.scopes) {
+        const ScResult r = serialization_check(c, phi, s.locations, opt);
+        if (r.status == SearchStatus::kExhausted) {
+          v.exhausted = true;
+          return v;
+        }
+        if (r.status != SearchStatus::kYes) return v;
+      }
+      break;
+    }
+  }
+  v.member = true;
+  return v;
+}
+
+bool CompiledModel::contains_prepared(const PreparedPair& p) const {
+  const CompiledVerdict v = check_prepared(p);
+  CCMM_CHECK(!v.exhausted, "serialization search budget exhausted");
+  return v.member;
+}
+
+bool CompiledModel::for_each_member_observer(
+    const Computation& c,
+    const std::function<bool(const ObserverFunction&)>& visit) const {
+  // Drive with the strongest named corner's prefix-pruned enumerator:
+  // its member set is the tightest superset of ours we can enumerate
+  // without generate-and-test.
+  const DagPred* best = nullptr;
+  int best_constraints = 4;
+  for (const DagPred& pred : named_) {
+    const int k = cube_constraints(
+        CubeSpec{pred == DagPred::kWN || pred == DagPred::kWW,
+                 pred == DagPred::kNW || pred == DagPred::kWW, false});
+    if (k < best_constraints) {
+      best_constraints = k;
+      best = &pred;
+    }
+  }
+  if (best == nullptr) return MemoryModel::for_each_member_observer(c, visit);
+
+  const std::shared_ptr<const QDagModel> base =
+      *best == DagPred::kNN   ? QDagModel::nn()
+      : *best == DagPred::kNW ? QDagModel::nw()
+      : *best == DagPred::kWN ? QDagModel::wn()
+                              : QDagModel::ww();
+  const bool pure = named_.size() == 1 && cubic_.empty() && !spec_.freshness &&
+                    spec_.order == OrderAxiom::kNone;
+  if (pure) return base->for_each_member_observer(c, visit);
+  // IntersectionModel's pattern: enumerate the corner, filter by the
+  // full plan (the corner re-check inside contains is redundant but
+  // keeps the filter trivially correct).
+  return base->for_each_member_observer(c, [&](const ObserverFunction& phi) {
+    return !contains(c, phi) || visit(phi);
+  });
+}
+
+CompiledModel::StreamingPlan CompiledModel::streaming_plan() const {
+  StreamingPlan plan;
+  for (const DagPred pred : named_) plan.mask |= corner_suite_bit(pred);
+  if (spec_.freshness) plan.mask |= kSuiteFresh;
+  if (!cubic_.empty()) plan.streamable = false;
+  switch (spec_.order) {
+    case OrderAxiom::kNone:
+      break;
+    case OrderAxiom::kPerLocation:
+      plan.mask |= kSuiteLC;
+      break;
+    case OrderAxiom::kScoped:
+      // Uncovered locations are per-location checks, answered by the
+      // LC bit's per-location verdicts; the scopes need searches.
+      plan.mask |= kSuiteLC;
+      plan.scoped = true;
+      break;
+    case OrderAxiom::kGlobal:
+      // LC is SC's complete rejection prefilter and is mask-decidable;
+      // the search only runs on LC-consistent survivors.
+      plan.mask |= kSuiteLC;
+      plan.global = true;
+      break;
+  }
+  return plan;
+}
+
+std::shared_ptr<const CompiledModel> compile_model(
+    ModelSpec spec, const CompileOptions& options) {
+  return std::make_shared<const CompiledModel>(std::move(spec), options);
+}
+
+const ModelRegistry& ModelRegistry::bundled() {
+  static const ModelRegistry registry = [] {
+    ModelRegistry r;
+    for (const ModelSpec& s : builtin_model_specs()) r.add(s);
+    for (ModelSpec& s : bundled_spec_pack()) r.add(std::move(s));
+    return r;
+  }();
+  return registry;
+}
+
+std::size_t ModelRegistry::add(ModelSpec spec, const CompileOptions& options) {
+  spec.normalize();
+  const auto model = compile_model(spec, options);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].spec.name == spec.name) {
+      entries_[i] = Entry{std::move(spec), model};
+      derive();
+      return i;
+    }
+  }
+  CCMM_CHECK(entries_.size() < 64, "registry holds at most 64 models");
+  entries_.push_back(Entry{std::move(spec), model});
+  derive();
+  return entries_.size() - 1;
+}
+
+const ModelRegistry::Entry* ModelRegistry::find(std::string_view name) const {
+  for (const Entry& e : entries_)
+    if (e.spec.name == name) return &e;
+  return nullptr;
+}
+
+void ModelRegistry::derive() {
+  const std::size_t n = entries_.size();
+  implies_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (spec_implies(entries_[i].spec, entries_[j].spec))
+        implies_[i] |= std::uint64_t{1} << j;
+
+  // Weakest-first topological order over *strict* implications (equal
+  // specs — e.g. COH and LC — imply each other; ties break by index).
+  eval_order_.clear();
+  std::vector<bool> placed(n, false);
+  const auto strict_weaker_unplaced = [&](std::size_t i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const bool i_to_j = (implies_[i] >> j) & 1;
+      const bool j_to_i = (implies_[j] >> i) & 1;
+      if (i != j && i_to_j && !j_to_i && !placed[j]) return true;
+    }
+    return false;
+  };
+  for (std::size_t round = 0; round < n; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (placed[i] || strict_weaker_unplaced(i)) continue;
+      eval_order_.push_back(i);
+      placed[i] = true;
+      break;
+    }
+  }
+  CCMM_CHECK(eval_order_.size() == n, "implication lattice is not a preorder");
+}
+
+std::uint64_t ModelRegistry::classify(const PreparedPair& p,
+                                      const RegistryOptions& options,
+                                      bool* exhausted) const {
+  if (exhausted != nullptr) *exhausted = false;
+  if (!p.valid()) return 0;  // every spec model rejects invalid observers
+  std::uint64_t member = 0;
+  std::uint64_t known = 0;  // decided without budget exhaustion
+  for (const std::size_t i : eval_order_) {
+    const std::uint64_t self = std::uint64_t{1} << i;
+    if (options.short_circuit) {
+      // Rejection propagates up the lattice: i ⊆ j and p ∉ j ⇒ p ∉ i.
+      if ((implies_[i] & known & ~member) != 0) {
+        known |= self;
+        continue;
+      }
+      // Acceptance propagates down: j ⊆ i and p ∈ j ⇒ p ∈ i.
+      bool accepted = false;
+      for (std::size_t j = 0; j < entries_.size() && !accepted; ++j)
+        accepted = ((known & member) >> j & 1) != 0 &&
+                   ((implies_[j] >> i) & 1) != 0;
+      if (accepted) {
+        member |= self;
+        known |= self;
+        continue;
+      }
+    }
+    CompileOptions copt;
+    copt.sc_budget = options.sc_budget;
+    // Re-budget only when the entry's own budget differs: the compiled
+    // plan is stateless, so a throwaway twin is cheap and keeps the
+    // registry const.
+    const CompiledModel& m = *entries_[i].model;
+    const CompiledVerdict v =
+        m.options().sc_budget == options.sc_budget
+            ? m.check_prepared(p)
+            : CompiledModel(entries_[i].spec, copt).check_prepared(p);
+    if (v.exhausted) {
+      if (exhausted != nullptr) *exhausted = true;
+      continue;  // unknown: neither member nor usable for pruning
+    }
+    known |= self;
+    if (v.member) member |= self;
+  }
+  return member;
+}
+
+}  // namespace ccmm

@@ -1,0 +1,169 @@
+// ccmm/models/compile.hpp
+//
+// The model compiler: lower a declarative ModelSpec (models/spec.hpp)
+// into a CompiledModel whose contains_prepared plan reuses the whole
+// prepared-pair machinery — the frozen closure and precedence oracle
+// behind PreparedPair::precedes, the Φ⁻¹ block bitsets behind the
+// named Q-dag scans, the per-location writer lists, and the
+// backtracking serialization engine. Lowering rules:
+//
+//   axiom XYZ, w-independent   -> qdag_consistent_prepared (the named
+//                                 64-writer mask fast path)
+//   axiom XYW (w constrained)  -> cube_consistent_prepared cubic scan
+//   fresh                      -> observer_is_fresh_prepared
+//   order location             -> location_consistent_prepared
+//   order global               -> sc_check_prepared (budgeted search)
+//   scope lines                -> serialization_check per scope +
+//                                 location_consistent_at on uncovered
+//                                 locations
+//
+// The plan runs cheapest-first (named scans, freshness, cubic scans,
+// LC, scoped/global search last), so compiled built-ins execute the
+// *same* checker calls as their hand-fused originals — the
+// differential tests pin byte-identity, and the hand-fused paths
+// survive only as the functions the compiler lowers onto.
+//
+// ModelRegistry holds compiled models by name and classifies prepared
+// pairs against all of them with short-circuiting *derived* from
+// spec_implies — the generalization of ModelSuite's hardcoded
+// Theorem 21 gates to arbitrary spec sets (acceptance propagates down
+// the lattice, rejection propagates up).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "models/location_consistency.hpp"
+#include "models/sequential_consistency.hpp"
+#include "models/spec.hpp"
+#include "models/suite.hpp"
+#include "models/wn_plus.hpp"
+
+namespace ccmm {
+
+struct CompileOptions {
+  /// Budget for each serialization search (global or per scope) a
+  /// membership query may run. contains() / contains_prepared() abort
+  /// (CCMM_CHECK) on exhaustion, like the hand-fused SC model;
+  /// check_prepared reports it instead.
+  std::size_t sc_budget = SIZE_MAX;
+};
+
+/// Membership with explicit budget-exhaustion reporting, for callers
+/// (the registry, the anomaly classifier) that must degrade gracefully.
+struct CompiledVerdict {
+  bool member = false;
+  bool exhausted = false;  // a search ran out of budget; member is false
+};
+
+class CompiledModel final : public MemoryModel {
+ public:
+  explicit CompiledModel(ModelSpec spec, const CompileOptions& options = {});
+
+  [[nodiscard]] std::string name() const override { return spec_.name; }
+  /// Structural tag: two compiled models with the same normalized spec
+  /// share cache entries; same-named models with different axioms never
+  /// collide.
+  [[nodiscard]] std::string cache_tag() const override;
+  [[nodiscard]] bool contains_prepared(const PreparedPair& p) const override;
+  /// Pruned enumeration: when the spec carries a named Q-dag axiom the
+  /// enumerator of that corner's QDagModel drives (prefix-pruned
+  /// backtracking over columns), filtered by the full plan — the
+  /// IntersectionModel pattern. Specs without a named axiom fall back
+  /// to generate-and-test, exactly like the hand-fused LC/SC models.
+  bool for_each_member_observer(
+      const Computation& c,
+      const std::function<bool(const ObserverFunction&)>& visit)
+      const override;
+
+  /// contains_prepared with the budget surfaced instead of asserted.
+  [[nodiscard]] CompiledVerdict check_prepared(const PreparedPair& p) const;
+
+  [[nodiscard]] const ModelSpec& spec() const { return spec_; }
+  [[nodiscard]] const CompileOptions& options() const { return options_; }
+
+  /// How the spec lowers onto the streaming large_check path.
+  struct StreamingPlan {
+    /// Suite bits (incl. kSuiteFresh) whose conjunction large_check
+    /// must report for the mask-decidable part of the plan.
+    std::uint32_t mask = 0;
+    /// Scoped order: per-scope serialization searches remain (plus the
+    /// per-location LC verdicts for uncovered locations, folded into
+    /// `mask` via kSuiteLC).
+    bool scoped = false;
+    /// Global order: the full SC search remains after the LC masks.
+    bool global = false;
+    /// False when some axiom has no streaming lowering (a w-constrained
+    /// cube corner needs the cubic scan, which wants the closure).
+    bool streamable = true;
+  };
+  [[nodiscard]] StreamingPlan streaming_plan() const;
+
+ private:
+  ModelSpec spec_;
+  CompileOptions options_;
+  std::vector<DagPred> named_;     // w-independent axioms, fast path
+  std::vector<CubeSpec> cubic_;    // the rest, cubic scan
+};
+
+/// Compile a spec (normalizing a copy first).
+[[nodiscard]] std::shared_ptr<const CompiledModel> compile_model(
+    ModelSpec spec, const CompileOptions& options = {});
+
+struct RegistryOptions {
+  std::size_t sc_budget = SIZE_MAX;
+  /// Derived-lattice pruning; off = evaluate every entry independently
+  /// (the ablation the differential tests run both ways).
+  bool short_circuit = true;
+};
+
+/// A named collection of compiled models plus the implication lattice
+/// spec_implies derives between them. Holds at most 64 entries so a
+/// classification is one bitmask.
+class ModelRegistry {
+ public:
+  struct Entry {
+    ModelSpec spec;
+    std::shared_ptr<const CompiledModel> model;
+  };
+
+  ModelRegistry() = default;
+
+  /// The eight built-in specs followed by the bundled spec pack
+  /// (PC2, COH, TSO) — what --list-models prints before any --spec.
+  [[nodiscard]] static const ModelRegistry& bundled();
+
+  /// Register (or replace, by name) a spec; returns its index. The
+  /// spec is normalized and the implication lattice re-derived.
+  std::size_t add(ModelSpec spec, const CompileOptions& options = {});
+
+  [[nodiscard]] const Entry* find(std::string_view name) const;
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Bit i of the result = (p ∈ entries()[i]). Entries are evaluated
+  /// weakest-first along the derived lattice; with short_circuit a
+  /// rejection by a weaker model decides every stronger one and an
+  /// acceptance by a stronger model decides every weaker one without
+  /// running its checker (answer-preserving — differentially tested
+  /// against the unpruned sweep). Budget-exhausted entries report
+  /// non-membership and set *exhausted.
+  [[nodiscard]] std::uint64_t classify(const PreparedPair& p,
+                                       const RegistryOptions& options = {},
+                                       bool* exhausted = nullptr) const;
+
+  /// spec_implies(entries[i], entries[j]) as a row bitmask — the derived
+  /// lattice classify() walks, exposed for tests and --list-models.
+  [[nodiscard]] std::uint64_t implies_mask(std::size_t i) const {
+    return implies_[i];
+  }
+
+ private:
+  void derive();
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint64_t> implies_;
+  std::vector<std::size_t> eval_order_;  // weakest-first topological
+};
+
+}  // namespace ccmm

@@ -12,7 +12,7 @@ namespace {
 struct ScSearch {
   const Computation& c;
   const ObserverFunction& phi;
-  std::vector<Location> locs;          // active locations
+  std::vector<Location> locs;          // locations the sort must explain
   std::vector<std::size_t> loc_index;  // location -> index in locs
   std::vector<std::vector<NodeId>> col;  // col[i][u] = Φ(locs[i], u), dense
   // Block partition of each column (0 = B_⊥) and, per block, how many
@@ -34,14 +34,14 @@ struct ScSearch {
   bool memoize;
   std::size_t expanded = 0;
 
-  ScSearch(const Computation& comp, const ObserverFunction& f, std::size_t b,
-           bool use_memo)
+  ScSearch(const Computation& comp, const ObserverFunction& f,
+           std::vector<Location> ls, std::size_t b, bool use_memo)
       : c(comp),
         phi(f),
         placed(comp.node_count()),
         budget(b),
         memoize(use_memo) {
-    locs = phi.active_locations();
+    locs = std::move(ls);
     Location max_loc = 0;
     for (const Location l : locs) max_loc = std::max(max_loc, l);
     loc_index.assign(locs.empty() ? 0 : max_loc + 1, SIZE_MAX);
@@ -173,7 +173,8 @@ namespace {
 ScResult sc_search_validated(const Computation& c, const ObserverFunction& phi,
                              const ScOptions& options) {
   ScResult result;
-  ScSearch search(c, phi, options.budget, options.memoize_dead_states);
+  ScSearch search(c, phi, phi.active_locations(), options.budget,
+                  options.memoize_dead_states);
   result.status = search.run();
   result.expanded = search.expanded;
   if (result.status == SearchStatus::kYes)
@@ -182,6 +183,47 @@ ScResult sc_search_validated(const Computation& c, const ObserverFunction& phi,
 }
 
 }  // namespace
+
+ScResult serialization_check(const Computation& c, const ObserverFunction& phi,
+                             const std::vector<Location>& locs,
+                             const ScOptions& options) {
+  // Inactive locations (no writers, all-⊥ column) are explained by any
+  // sort; dropping them keeps the per-expansion placeable() loop tight.
+  std::vector<Location> active;
+  for (const Location l : locs)
+    for (NodeId u = 0; u < c.node_count(); ++u)
+      if (phi.get(l, u) != kBottom) {
+        active.push_back(l);
+        break;
+      }
+  ScResult result;
+  ScSearch search(c, phi, std::move(active), options.budget,
+                  options.memoize_dead_states);
+  result.status = search.run();
+  result.expanded = search.expanded;
+  if (result.status == SearchStatus::kYes)
+    result.witness = std::move(search.witness);
+  return result;
+}
+
+bool order_explains(const Computation& c, const ObserverFunction& phi,
+                    const std::vector<Location>& locs,
+                    const std::vector<NodeId>& order) {
+  if (order.size() != c.node_count()) return false;
+  // One pass per location, carrying the last writer placed so far.
+  for (const Location l : locs) {
+    NodeId cur = kBottom;
+    for (const NodeId u : order) {
+      if (c.op(u).writes(l)) {
+        cur = u;
+        if (phi.get(l, u) != u) return false;  // 2.3, defensively
+      } else if (phi.get(l, u) != cur) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
 
 ScResult sc_check_with(const Computation& c, const ObserverFunction& phi,
                        const ScOptions& options) {

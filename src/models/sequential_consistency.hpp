@@ -53,6 +53,32 @@ struct ScOptions {
 [[nodiscard]] ScResult sc_check_prepared(const PreparedPair& p,
                                          const ScOptions& options = {});
 
+/// The scoped generalization the model compiler lowers partition
+/// consistency onto: one topological sort must explain the columns of
+/// exactly the locations in `locs` (other locations are unconstrained).
+/// SC is the special case locs = phi.active_locations(). The search
+/// core is the same backtracking engine as sc_check — it touches only
+/// the dag's adjacency lists and the requested Φ columns, never the
+/// transitive closure, which is what lets the streaming postmortem path
+/// (trace/spec_check.hpp) run it on million-node traces.
+/// Precondition: phi is a valid observer function for c (callers sit
+/// behind a validity verdict; the LC prefilter option is ignored).
+[[nodiscard]] ScResult serialization_check(const Computation& c,
+                                           const ObserverFunction& phi,
+                                           const std::vector<Location>& locs,
+                                           const ScOptions& options = {});
+
+/// Does the topological order `order` explain the columns of `locs` as
+/// last-writer functions? A cheap O(n·|locs|) *verification* — the
+/// streaming scoped check tries the trace's own execution order first,
+/// which is always a witness for scope-consistent executions, before
+/// paying for any search. Precondition: phi valid, `order` a
+/// permutation of the nodes respecting the dag (not re-checked).
+[[nodiscard]] bool order_explains(const Computation& c,
+                                  const ObserverFunction& phi,
+                                  const std::vector<Location>& locs,
+                                  const std::vector<NodeId>& order);
+
 [[nodiscard]] inline bool sequentially_consistent(const Computation& c,
                                                   const ObserverFunction& phi) {
   return sc_check(c, phi).status == SearchStatus::kYes;

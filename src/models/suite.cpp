@@ -80,6 +80,8 @@ const char* ModelSuite::bit_name(std::uint32_t bit) {
       return "WN+";
     case kSuiteNNPlus:
       return "NN+";
+    case kSuiteFresh:
+      return "FRESH";
   }
   return "?";
 }

@@ -1,8 +1,8 @@
 // ccmm/models/suite.hpp
 //
-// ModelSuite: classify one prepared (C, Φ) pair against the whole model
-// family in a single call, returning a membership bitmask instead of
-// running eight independent contains() calls. The strength lattice
+// ModelSuite: classify one prepared (C, Φ) pair against the built-in
+// model family in a single call, returning a membership bitmask instead
+// of running eight independent contains() calls. The strength lattice
 // (Theorem 21 and SC ⊆ LC ⊆ NN ⊆ NW, WN ⊆ WW; NN⁺ ⊆ NN, WN⁺ ⊆ WN)
 // licenses short-circuiting: a pair outside WW is outside everything,
 // NN need only run when both NW and WN admitted the pair, LC only when
@@ -10,6 +10,16 @@
 // (exactly the prefilter ScOptions already exploits — the suite then
 // disables the redundant in-search LC re-check). Pruning is
 // answer-preserving; tests/test_prepared pins the ablation.
+//
+// Since the model-compiler refactor the eight built-ins are *bundled
+// specs* (models/spec.hpp): every gate hardcoded below is an instance
+// of the derived implication lattice spec_implies computes between
+// builtin_model_specs() (tests/test_compile pins gate-by-gate
+// agreement). ModelSuite survives as the compiler-verified fused
+// specialization of ModelRegistry::classify (models/compile.hpp) for
+// exactly this model set — same bits, no per-entry dispatch — which is
+// what the BM_ClassifyAllSix benchmarks gate in CI. Arbitrary spec
+// sets, including user packs, classify through the registry instead.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +39,11 @@ enum SuiteBit : std::uint32_t {
   kSuiteWW = 1u << 5,
   kSuiteWNPlus = 1u << 6,
   kSuiteNNPlus = 1u << 7,
+  /// The freshness axiom alone (models/wn_plus.hpp): not a model the
+  /// suite classifies, but a first-class bit so compiled specs can
+  /// request it from the streaming large_check path, where WN⁺/NN⁺ are
+  /// decided as WN ∧ FRESH / NN ∧ FRESH.
+  kSuiteFresh = 1u << 8,
 };
 
 struct SuiteOptions {

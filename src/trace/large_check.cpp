@@ -49,7 +49,14 @@ struct SharedCtx {
   const PrecedenceOracle& oracle;
   const Csr& pred;
   const Csr& succ;
+  /// Base bits (⊆ kLargeCheckAll) the scans must decide — includes WN
+  /// when only WN⁺ was requested, etc.
   std::uint32_t models = 0;
+  /// The caller-requested mask (⊆ kLargeCheckExt) the folded verdicts
+  /// are clipped to.
+  std::uint32_t checked = 0;
+  /// Run the per-location freshness shadow pass.
+  bool fresh = false;
   SimdLevel simd = SimdLevel::kScalar;
 };
 
@@ -67,6 +74,7 @@ struct LocScratch {
   std::vector<std::uint64_t> anc;       // n × kSweepWords mask rows
   std::vector<std::uint64_t> wri;
   std::vector<std::uint64_t> desc;
+  std::vector<std::uint8_t> shadow;     // n: node has a writer-ancestor
   std::vector<NodeId> bus;              // pending 2.2 batch: nodes
   std::vector<NodeId> bxs;              // pending 2.2 batch: observed writes
   std::vector<std::uint8_t> bout;       // batch answers
@@ -81,7 +89,8 @@ struct LocScratch {
         anc.capacity() + wri.capacity() + desc.capacity();
     peak_bytes = std::max(
         peak_bytes, words32 * sizeof(std::uint32_t) +
-                        words64 * sizeof(std::uint64_t) + bout.capacity());
+                        words64 * sizeof(std::uint64_t) + bout.capacity() +
+                        shadow.capacity());
   }
 };
 
@@ -216,6 +225,37 @@ void run_location(const SharedCtx& ctx, const LocTask& task, LocScratch& s,
                     l));
   }
 
+  // --- Freshness: one forward pass over the shared pred CSR carrying
+  // "has a writer-ancestor" (strict: a writer shadows its descendants,
+  // not itself). A ⊥-observing node inside the shadow is exactly a
+  // violation of the axiom behind WN⁺/NN⁺ (models/wn_plus.hpp) — no
+  // closure row, no per-location descendant union. ---
+  if (ctx.fresh) {
+    const std::uint32_t* pred_head = ctx.pred.head.data();
+    const NodeId* pred_tgt = ctx.pred.tgt.data();
+    s.shadow.assign(n, 0);
+    bool fresh_bad = false;
+    NodeId fresh_node = 0;
+    for (const NodeId v : ctx.topo) {
+      std::uint8_t sh = 0;
+      for (std::uint32_t i = pred_head[v]; i < pred_head[v + 1] && sh == 0;
+           ++i) {
+        const NodeId u = pred_tgt[i];
+        sh = (s.shadow[u] != 0 || s.wblock[u] != 0) ? 1 : 0;
+      }
+      s.shadow[v] = sh;
+      if (sh != 0 && s.block_of[v] == 0 && !fresh_bad) {
+        fresh_bad = true;
+        fresh_node = v;
+      }
+    }
+    if (fresh_bad)
+      record(kSuiteFresh,
+             format("freshness violated at location %u: node %u observes ⊥ "
+                    "although a write precedes it",
+                    l, fresh_node));
+  }
+
   // --- NN/NW/WN/WW: per-node block masks, 256 blocks per sweep batch.
   // For a block b with writer x (b ≥ 1) and a candidate v ∉ B_b:
   //   WN breaks iff x ≺ v and some member of B_b succeeds v;
@@ -323,6 +363,17 @@ void run_location(const SharedCtx& ctx, const LocTask& task, LocScratch& s,
       }
     }
   }
+
+  // WN⁺/NN⁺ are conjunctions of a base corner and freshness: fold the
+  // scan verdicts, then clip to the caller's mask so an internal base
+  // bit (WN computed only because WN⁺ wanted it) never leaks.
+  if ((ctx.checked & kSuiteWNPlus) != 0 &&
+      (out.violated & (kSuiteWN | kSuiteFresh)) != 0)
+    out.violated |= kSuiteWNPlus;
+  if ((ctx.checked & kSuiteNNPlus) != 0 &&
+      (out.violated & (kSuiteNN | kSuiteFresh)) != 0)
+    out.violated |= kSuiteNNPlus;
+  out.violated &= ctx.checked;
 }
 
 /// Shard-level wrapper: loads the writer→block direct map, runs the
@@ -360,7 +411,7 @@ LargeCheckReport large_check(const Computation& c, const ObserverFunction& phi,
                              const LargeCheckOptions& options) {
   const auto t0 = Clock::now();
   LargeCheckReport report;
-  report.checked = options.models & kLargeCheckAll;
+  report.checked = options.models & kLargeCheckExt;
   const std::size_t n = c.node_count();
   if (phi.node_count() != n) {
     report.detail = "observer function and computation disagree on node count";
@@ -383,19 +434,27 @@ LargeCheckReport large_check(const Computation& c, const ObserverFunction& phi,
     topo = c.dag().topological_order();
   }
 
+  // The composites expand to the base bits their scans decide; the
+  // per-location fold clips back to the requested mask.
+  std::uint32_t base = report.checked & kLargeCheckAll;
+  if ((report.checked & kSuiteWNPlus) != 0) base |= kSuiteWN;
+  if ((report.checked & kSuiteNNPlus) != 0) base |= kSuiteNN;
+  const bool want_fresh = (report.checked & kLargeCheckPlus) != 0;
+
   // Flatten the edges once for every location to share; the sweeps and
   // the quotient builds then run over contiguous arrays.
   const bool want_masks =
-      (report.checked & (kSuiteNN | kSuiteNW | kSuiteWN | kSuiteWW)) != 0;
-  const bool want_lc = (report.checked & kSuiteLC) != 0;
+      (base & (kSuiteNN | kSuiteNW | kSuiteWN | kSuiteWW)) != 0;
+  const bool want_lc = (base & kSuiteLC) != 0;
   Csr succ;
   Csr pred;
   if (want_lc || want_masks) succ = make_succ_csr(c.dag());
-  if (want_masks) pred = make_pred_csr(c.dag());
+  if (want_masks || want_fresh) pred = make_pred_csr(c.dag());
   report.csr_bytes = csr_bytes_of(succ) + csr_bytes_of(pred);
   const SimdLevel simd = options.simd.value_or(active_simd_level());
   report.simd = simd_level_name(simd);
-  const SharedCtx ctx{c, topo, *oracle, pred, succ, report.checked, simd};
+  const SharedCtx ctx{c,    topo,           *oracle,    pred, succ,
+                      base, report.checked, want_fresh, simd};
 
   // Worklist: written locations (an absent column fails 2.3 there) plus
   // every stored column with a non-⊥ entry (an unexpected observation
@@ -630,7 +689,7 @@ LargeCheckReport large_check_trace(const Computation& c, const Trace& trace,
   std::string why;
   if (!trace_consistent_with(trace, c, &why)) {
     LargeCheckReport report;
-    report.checked = options.models & kLargeCheckAll;
+    report.checked = options.models & kLargeCheckExt;
     report.detail = "trace does not fit the computation: " + why;
     return report;
   }

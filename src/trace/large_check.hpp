@@ -51,8 +51,18 @@ namespace ccmm {
 inline constexpr std::uint32_t kLargeCheckAll =
     kSuiteLC | kSuiteNN | kSuiteNW | kSuiteWN | kSuiteWW;
 
+/// Also decidable streaming, kept out of kLargeCheckAll so existing
+/// callers' reports are unchanged: the freshness axiom (one forward
+/// writer-shadow pass per location, O(n+m), no closure) and the
+/// composites WN⁺ = WN ∧ FRESH, NN⁺ = NN ∧ FRESH. Compiled specs
+/// (models/compile.hpp) request these via their streaming plans.
+inline constexpr std::uint32_t kLargeCheckPlus =
+    kSuiteFresh | kSuiteWNPlus | kSuiteNNPlus;
+inline constexpr std::uint32_t kLargeCheckExt = kLargeCheckAll |
+                                               kLargeCheckPlus;
+
 struct LargeCheckOptions {
-  /// Which models to decide (subset of kLargeCheckAll).
+  /// Which models to decide (subset of kLargeCheckExt).
   std::uint32_t models = kSuiteLC;
   /// Oracle selection for the validity point queries (kAuto: SP labels
   /// when the computation carries a parse, closure when small, chains

@@ -94,20 +94,36 @@ TraceLintResult analyze_trace(const Computation& c, const Trace& trace,
   result.trace_ok = true;
 
   // Stream the trace's observer through large_check — no closure, ever.
+  // Compiled spec models piggyback on the same pass: spec_check unions
+  // their plans with the requested suite bits and finishes the scoped/
+  // global order axioms with the trace order as the witness hint.
   const ObserverFunction phi = observer_from_trace(c, trace);
   LargeCheckOptions lopt;
   lopt.models = options.models;
   lopt.oracle = options.analysis.scan.oracle;
   lopt.pool = options.analysis.scan.pool;
   lopt.parallel = options.analysis.scan.parallel;
-  result.report = large_check(c, phi, lopt);
+  if (options.spec_models.empty()) {
+    result.report = large_check(c, phi, lopt);
+  } else {
+    SpecCheckOptions sopt;
+    sopt.large = lopt;
+    sopt.search_budget = options.spec_search_budget;
+    sopt.hint_order = trace_order(trace);
+    SpecCheckReport sr = spec_check(c, phi, options.spec_models, sopt);
+    result.report = std::move(sr.base);
+    result.spec_verdicts = std::move(sr.models);
+  }
   const LargeCheckReport& report = *result.report;
   if (!report.valid_observer) {
     result.diagnostics.push_back(error_diag(
         "observer", format("trace observer violates Definition 2: %s",
                            report.detail.c_str())));
   } else {
-    const std::uint32_t violated = report.checked & ~report.satisfied;
+    // Clip to the caller's mask: the spec plans may have widened
+    // `checked` with bits (FRESH, extra corners) nobody asked to see.
+    const std::uint32_t violated =
+        report.checked & options.models & ~report.satisfied;
     for (std::uint32_t bit = 1; bit != 0 && bit <= violated; bit <<= 1) {
       if ((violated & bit) == 0) continue;
       Diagnostic d;
@@ -118,6 +134,18 @@ TraceLintResult analyze_trace(const Computation& c, const Trace& trace,
                  report.detail.c_str());
       result.diagnostics.push_back(std::move(d));
     }
+    for (const SpecModelVerdict& v : result.spec_verdicts) {
+      if (v.decided && v.member) continue;
+      Diagnostic d;
+      d.severity = v.decided ? Severity::kWarning : Severity::kInfo;
+      d.pass = "model";
+      d.message = v.decided
+                      ? format("execution is not %s: %s", v.name.c_str(),
+                               v.detail.c_str())
+                      : format("%s undecided: %s", v.name.c_str(),
+                               v.detail.c_str());
+      result.diagnostics.push_back(std::move(d));
+    }
   }
 
   // Race scan + anomaly classification on the oracle engine (the
@@ -125,6 +153,9 @@ TraceLintResult analyze_trace(const Computation& c, const Trace& trace,
   AnalysisOptions aopt = options.analysis;
   aopt.engine = RaceEngine::kOracle;
   aopt.lint = false;
+  // The spec models join the race classifier's behaviour split.
+  for (const auto& m : options.spec_models)
+    aopt.anomaly.extra_models.push_back(m);
   std::vector<Diagnostic> analysis =
       analyze_computation(c, aopt, &result.stats);
   for (Diagnostic& d : analysis) result.diagnostics.push_back(std::move(d));
@@ -148,6 +179,13 @@ TraceLintResult analyze_trace(const Computation& c, const Trace& trace,
 std::string TraceLintResult::to_string() const {
   std::string out;
   if (report.has_value()) out += report->to_string();
+  for (const SpecModelVerdict& v : spec_verdicts) {
+    out += format("  %-12s %s", v.name.c_str(),
+                  !v.decided ? "undecided" : (v.member ? "yes" : "no"));
+    if (!v.detail.empty() && !(v.decided && v.member))
+      out += "  (" + v.detail + ")";
+    out += '\n';
+  }
   out += stats.to_string();
   out += render_report(diagnostics);
   if (certificate.has_value())

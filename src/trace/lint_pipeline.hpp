@@ -29,6 +29,7 @@
 #include "analyze/certificate.hpp"
 #include "analyze/passes.hpp"
 #include "trace/large_check.hpp"
+#include "trace/spec_check.hpp"
 #include "trace/trace.hpp"
 
 namespace ccmm::analyze {
@@ -45,6 +46,16 @@ struct TraceLintOptions {
   AnalysisOptions analysis;
   /// Models to stream-check on the trace's observer.
   std::uint32_t models = kLargeCheckAll;
+  /// Compiled spec models (models/compile.hpp) decided alongside the
+  /// suite bits. They share ONE streaming pass with `models` (the spec
+  /// plans and the suite mask are unioned), the trace's execution order
+  /// is used as the serialization witness hint, and each verdict is
+  /// surfaced as a diagnostic when the model is violated or undecided.
+  /// The same models also join the race classifier's split
+  /// (AnomalyOptions::extra_models is populated from here).
+  std::vector<std::shared_ptr<const CompiledModel>> spec_models;
+  /// Budget per scoped/global serialization search a spec model needs.
+  std::size_t spec_search_budget = 5'000'000;
   /// Emit the DRF certificate when the scan proves race-freedom.
   bool certify = true;
   CertifyOptions certificate;
@@ -61,6 +72,8 @@ struct TraceLintResult {
   AnalyzeStats stats;
   /// The streaming model verdicts for the trace's observer.
   std::optional<LargeCheckReport> report;
+  /// Per-spec-model verdicts (parallel to options.spec_models).
+  std::vector<SpecModelVerdict> spec_verdicts;
   /// Present iff the computation is race-free and certify was set.
   std::optional<DrfCertificate> certificate;
 

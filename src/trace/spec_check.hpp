@@ -1,0 +1,83 @@
+// ccmm/trace/spec_check.hpp
+//
+// Streaming membership for *compiled model specs* (models/compile.hpp):
+// the bridge between the model compiler and the large_check data plane.
+// Each spec's StreamingPlan names the suite bits (LC, the four named
+// corners, freshness) its mask-decidable part needs; spec_check unions
+// the plans of every requested model into ONE large_check run — the
+// closure-free validity/LC/sweep/shadow passes execute once, however
+// many models are being decided — and then finishes the order axioms
+// the masks cannot express:
+//
+//  * scoped order: one serialization witness per scope. A trace's
+//    execution order is tried first (order_explains, O(n+m) per scope —
+//    a scope-consistent serial execution is always explained by its own
+//    order), falling back to the budgeted backtracking search;
+//  * global order: the same two-step on all active locations.
+//
+// A model whose plan is not streamable (a w-constrained cube axiom
+// needs the cubic closure scan) or whose search exhausts its budget is
+// reported `decided = false` rather than guessed — callers fall back to
+// the prepared path or enlarge the budget. Verdicts are pinned
+// byte-identical to CompiledModel::contains_prepared by
+// tests/test_spec_check.cpp.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/compile.hpp"
+#include "trace/large_check.hpp"
+
+namespace ccmm {
+
+struct SpecCheckOptions {
+  /// The underlying streaming run. `large.models` is unioned with the
+  /// requested models' plans, so a caller (the lint pipeline) can fold
+  /// its own suite verdicts into the one shared pass.
+  LargeCheckOptions large;
+  /// Budget (states expanded) for each scoped/global serialization
+  /// search that the mask verdicts leave undecided.
+  std::size_t search_budget = SIZE_MAX;
+  /// Optional witness hint: a topological order (typically the trace's
+  /// execution order) tried with order_explains before any search runs.
+  std::vector<NodeId> hint_order;
+};
+
+/// Verdict for one requested model.
+struct SpecModelVerdict {
+  std::string name;
+  bool decided = false;  // false: not streamable / budget exhausted
+  bool member = false;   // meaningful only when decided
+  std::string detail;    // first violation, or why undecided
+};
+
+struct SpecCheckReport {
+  /// The shared streaming run (validity verdict, per-location table,
+  /// data-plane accounting). `base.checked` is the union of the plans.
+  LargeCheckReport base;
+  std::vector<SpecModelVerdict> models;  // one per requested model
+
+  /// All models decided and members.
+  [[nodiscard]] bool all_members() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Decide every model in `models` for (c, phi) via one shared
+/// large_check run plus per-scope serialization searches.
+[[nodiscard]] SpecCheckReport spec_check(
+    const Computation& c, const ObserverFunction& phi,
+    const std::vector<std::shared_ptr<const CompiledModel>>& models,
+    const SpecCheckOptions& options = {});
+
+/// Trace entry point: sanity-check the trace, build its total observer
+/// (observer_from_trace), and run spec_check with the trace's execution
+/// order as the witness hint — for scope-consistent serial executions
+/// the scoped searches then never backtrack.
+[[nodiscard]] SpecCheckReport spec_check_trace(
+    const Computation& c, const Trace& trace,
+    const std::vector<std::shared_ptr<const CompiledModel>>& models,
+    const SpecCheckOptions& options = {});
+
+}  // namespace ccmm

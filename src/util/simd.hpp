@@ -7,9 +7,10 @@
 // runtime CPUID check. Policy:
 //
 //  * x86-64 with AVX2 present  -> kAvx2
-//  * aarch64                   -> kNeon (kernels are stubs that share
-//                                 the scalar loop today; the dispatch
-//                                 point is in place for real NEON)
+//  * aarch64                   -> kNeon (real vorrq_u64 kernels in
+//                                 dag/sweep.cpp; NEON is baseline on
+//                                 aarch64, so no feature probe and no
+//                                 target attribute are needed)
 //  * anything else, or CCMM_NO_SIMD=1 in the environment -> kScalar
 //
 // The environment override exists so CI can force the scalar path and

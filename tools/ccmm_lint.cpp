@@ -22,11 +22,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analyze/certificate.hpp"
 #include "io/text.hpp"
+#include "models/compile.hpp"
+#include "models/spec.hpp"
 #include "proc/cilk.hpp"
 #include "trace/lint_pipeline.hpp"
 #include "trace/trace_binary.hpp"
@@ -68,6 +72,12 @@ int usage() {
       "                  (text or binary .tbin, auto-detected)\n"
       "                  (trace-sharpened lints, model verdicts, DRF\n"
       "                  certificate when race-free)\n"
+      "  --spec FILE     compile a model-spec pack (models/spec.hpp\n"
+      "                  surface syntax); its models are decided on the\n"
+      "                  streaming path with --trace and join the race\n"
+      "                  classifier's model split\n"
+      "  --model NAME    restrict to one compiled model (bundled registry\n"
+      "                  or a --spec pack; repeatable)\n"
       "  --json          machine-readable JSON on stdout\n"
       "  --certify FILE  prove race-freedom and write the DRF certificate\n"
       "  --verify-cert FILE  re-check a DRF certificate against the input\n");
@@ -128,8 +138,9 @@ int emit_certificate(const std::optional<analyze::DrfCertificate>& cert,
 }
 
 int lint_trace(const Computation& c, const char* trace_path,
-               const analyze::AnalysisOptions& options, bool json,
-               const char* certify_path) {
+               const analyze::AnalysisOptions& options,
+               std::vector<std::shared_ptr<const CompiledModel>> spec_models,
+               bool json, const char* certify_path) {
   // Auto-detects text vs binary by the magic; binary traces are
   // mmapped and decoded without materializing any text.
   Trace trace;
@@ -144,6 +155,7 @@ int lint_trace(const Computation& c, const char* trace_path,
   }
   analyze::TraceLintOptions topt;
   topt.analysis = options;
+  topt.spec_models = std::move(spec_models);
   const analyze::TraceLintResult r = analyze::analyze_trace(c, trace, topt);
   if (json) {
     std::string out = format("{\"trace_ok\":%s", r.trace_ok ? "true" : "false");
@@ -151,6 +163,18 @@ int lint_trace(const Computation& c, const char* trace_path,
       out += format(",\"valid_observer\":%s,\"checked\":%u,\"satisfied\":%u",
                     r.report->valid_observer ? "true" : "false",
                     r.report->checked, r.report->satisfied);
+    }
+    if (!r.spec_verdicts.empty()) {
+      out += ",\"spec_models\":[";
+      for (std::size_t i = 0; i < r.spec_verdicts.size(); ++i) {
+        const SpecModelVerdict& v = r.spec_verdicts[i];
+        if (i > 0) out += ",";
+        out += format("{\"name\":\"%s\",\"decided\":%s,\"member\":%s}",
+                      analyze::json_escape(v.name).c_str(),
+                      v.decided ? "true" : "false",
+                      v.member ? "true" : "false");
+      }
+      out += "]";
     }
     out += format(",\"engine\":\"%s\",\"races\":%zu",
                   race_engine_name(r.stats.engine), r.stats.races);
@@ -181,6 +205,8 @@ int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   const char* certify_path = nullptr;
   const char* verify_path = nullptr;
+  std::vector<const char*> spec_paths;
+  std::vector<const char*> model_names;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
@@ -192,6 +218,10 @@ int main(int argc, char** argv) {
       json = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) {
+      spec_paths.push_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      model_names.push_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--certify") == 0 && i + 1 < argc) {
       certify_path = argv[++i];
     } else if (std::strcmp(argv[i], "--verify-cert") == 0 && i + 1 < argc) {
@@ -206,6 +236,48 @@ int main(int argc, char** argv) {
     }
   }
   if (demo == (path != nullptr)) return usage();
+
+  // Compile the requested spec models: every --spec pack's models, or
+  // the --model selections out of the bundled registry + packs. Parse
+  // errors carry 1-based line numbers.
+  ModelRegistry registry = ModelRegistry::bundled();
+  std::vector<std::string> pack_added;
+  for (const char* sp : spec_paths) {
+    std::ifstream in(sp);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", sp);
+      return 2;
+    }
+    try {
+      for (ModelSpec& s : read_model_specs(in)) {
+        pack_added.push_back(s.name);
+        registry.add(std::move(s));
+      }
+    } catch (const SpecParseError& e) {
+      std::fprintf(stderr, "%s: %s\n", sp, e.what());
+      return 2;
+    }
+  }
+  std::vector<std::shared_ptr<const CompiledModel>> spec_models;
+  {
+    std::vector<std::string> names;
+    for (const char* n : model_names) names.emplace_back(n);
+    if (names.empty()) names = pack_added;
+    for (const std::string& n : names) {
+      const ModelRegistry::Entry* e = registry.find(n);
+      if (e == nullptr) {
+        std::fprintf(stderr, "unknown model '%s'\n", n.c_str());
+        return 2;
+      }
+      spec_models.push_back(e->model);
+    }
+  }
+  // On the static path (no trace) the compiled models still join the
+  // race classifier's split; on the trace path analyze_trace threads
+  // them itself.
+  if (trace_path == nullptr)
+    for (const auto& m : spec_models)
+      options.anomaly.extra_models.push_back(m);
 
   Computation c;
   if (demo) {
@@ -226,7 +298,8 @@ int main(int argc, char** argv) {
 
   if (verify_path != nullptr) return verify_certificate(c, verify_path, json);
   if (trace_path != nullptr)
-    return lint_trace(c, trace_path, options, json, certify_path);
+    return lint_trace(c, trace_path, options, std::move(spec_models), json,
+                      certify_path);
 
   analyze::AnalyzeStats stats;
   const auto diags = analyze::analyze_computation(c, options, &stats);

@@ -131,26 +131,37 @@ void BM_LargeCheckLC(benchmark::State& state) {
   std::size_t oracle_bytes = 0;
   double bytes_per_node = 0.0;
   std::size_t peak_rss = 0;
+  double ingest_ms = 0.0, build_ms = 0.0, kernel_ms = 0.0, oracle_ms = 0.0;
   for (auto _ : state) {
     const LargeCheckReport r = large_check(in.c, in.phi, opt);
     oracle_bytes = r.oracle_memory_bytes;
     bytes_per_node = r.bytes_per_node;
     peak_rss = r.peak_rss_bytes;
+    ingest_ms = r.ingest_millis;
+    build_ms = r.group_build_millis;
+    kernel_ms = r.kernel_millis;
+    oracle_ms = r.oracle_build_millis;
     benchmark::DoNotOptimize(r.satisfied);
   }
   state.counters["oracle_bytes"] = static_cast<double>(oracle_bytes);
   state.counters["bytes_per_node"] = bytes_per_node;
   state.counters["peak_rss_mb"] =
       static_cast<double>(peak_rss) / (1024.0 * 1024.0);
+  state.counters["ingest_ms"] = ingest_ms;
+  state.counters["build_ms"] = build_ms;
+  state.counters["kernel_ms"] = kernel_ms;
+  state.counters["oracle_build_ms"] = oracle_ms;
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(in.c.node_count()));
 }
 // The 1<<24 arg is the data-plane headline: a 16M-node streaming check,
 // single-digit seconds per iteration, with the bytes-per-node budget on
-// the row. run_benches.sh keeps it out of --quick and gives it its own
-// process in full mode.
+// the row. The 1<<27 arg is the 128M-node tripwire — minutes per
+// iteration and tens of GiB of instance, so run_benches.sh keeps both
+// big rows out of --quick, gives each its own process in full mode, and
+// runs 1<<27 only in --nightly.
 BENCHMARK(BM_LargeCheckLC)->Arg(4096)->Arg(16384)->Arg(65536)->Arg(1 << 20)
-    ->Arg(1 << 24)->Unit(benchmark::kMillisecond);
+    ->Arg(1 << 24)->Arg(1 << 27)->Unit(benchmark::kMillisecond);
 
 /// All five decomposable models in one streaming pass — the full
 /// postmortem verdict at scale.
@@ -265,12 +276,19 @@ void BM_PostmortemNaive(benchmark::State& state) {
   opt.models = kSuiteLC;
   opt.parallel = false;
   opt.simd = SimdLevel::kScalar;
+  std::size_t peak_rss = 0;
   for (auto _ : state) {
     std::istringstream is(in.text);
     const Trace t = read_trace(is, in.c);
     const LargeCheckReport r = large_check_trace(in.c, t, opt);
+    peak_rss = r.peak_rss_bytes;
     benchmark::DoNotOptimize(r.satisfied);
   }
+  // Meaningful against the data-plane twin only when the pair runs
+  // process-isolated (full/nightly run_benches.sh): RSS is a per-
+  // process high-water mark, and the naive side's text copy dominates.
+  state.counters["peak_rss_mb"] =
+      static_cast<double>(peak_rss) / (1024.0 * 1024.0);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(in.trace.events.size()));
 }
@@ -285,14 +303,18 @@ void BM_PostmortemDataPlane(benchmark::State& state) {
   LargeCheckOptions opt;
   opt.models = kSuiteLC;
   double bytes_per_node = 0.0;
+  std::size_t peak_rss = 0;
   for (auto _ : state) {
     const Trace t =
         read_trace_binary(in.binary.data(), in.binary.size(), in.c);
     const LargeCheckReport r = large_check_trace(in.c, t, opt);
     bytes_per_node = r.bytes_per_node;
+    peak_rss = r.peak_rss_bytes;
     benchmark::DoNotOptimize(r.satisfied);
   }
   state.counters["bytes_per_node"] = bytes_per_node;
+  state.counters["peak_rss_mb"] =
+      static_cast<double>(peak_rss) / (1024.0 * 1024.0);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(in.trace.events.size()));
 }

@@ -95,6 +95,22 @@ int fixpoint_report(std::size_t max_nodes) {
   return a == b ? 0 : 1;
 }
 
+/// Attach the live progress line for multi-million-node postmortems: a
+/// \r-rewritten percentage on stderr after every consumed chunk, erased
+/// once the scan completes. Below a million nodes the scan is
+/// sub-second and the line would only flicker.
+void arm_progress(analyze::TraceLintOptions& topt, std::size_t n) {
+  if (n <= 1'000'000) return;
+  topt.progress = [](std::size_t done, std::size_t total) {
+    std::fprintf(stderr, "\r  streaming check... %3.0f%% (%zu/%zu nodes)",
+                 100.0 * static_cast<double>(done) /
+                     static_cast<double>(total),
+                 done, total);
+    if (done >= total) std::fprintf(stderr, "\r\x1b[K");
+    std::fflush(stderr);
+  };
+}
+
 /// Run the full streaming lint pipeline on a recorded trace: model
 /// verdicts for the trace's observer, the oracle-backed race scan with
 /// bounded witnesses, trace-sharpened lints, and the DRF ⇒ agreement
@@ -116,6 +132,7 @@ int trace_report(const Computation& c, const char* trace_path,
   }
   analyze::TraceLintOptions topt;
   topt.spec_models = std::move(models);
+  arm_progress(topt, c.node_count());
   const analyze::TraceLintResult r = analyze::analyze_trace(c, trace, topt);
   std::printf("%s", r.to_string().c_str());
   const bool lc_ok = r.report.has_value() && r.report->in_model(kSuiteLC);
@@ -163,7 +180,21 @@ int trace_demo(std::size_t n, const char* emit_prefix) {
                 emit_prefix, emit_prefix);
   }
   std::printf("streaming lint pipeline on the trace:\n");
-  const analyze::TraceLintResult r = analyze::analyze_trace(c, run.trace, {});
+  analyze::TraceLintOptions topt;
+  if (c.node_count() > (std::size_t{1} << 23)) {
+    // The NN/NW/WN/WW mask sweeps cost O(n·writers/256) per location —
+    // hours at this scale. The postmortem story above ~8M nodes is the
+    // streaming LC kernel; the per-node lints would likewise drown the
+    // report in hundreds of thousands of dead-write notes.
+    topt.models = kSuiteLC;
+    topt.analysis.lint = false;
+    std::printf(
+        "(scale demo: streaming LC only and skipping per-node lints — "
+        "the quadratic-ish mask-model sweeps stop at 8M nodes)\n");
+  }
+  arm_progress(topt, c.node_count());
+  const analyze::TraceLintResult r =
+      analyze::analyze_trace(c, run.trace, topt);
   std::printf("%s", r.to_string().c_str());
   return r.trace_ok && r.report.has_value() && r.report->valid_observer ? 0
                                                                         : 1;

@@ -11,6 +11,7 @@
 
 #include "dag/sweep.hpp"
 #include "trace/loc_kernel.hpp"
+#include "util/numa.hpp"
 #include "util/str.hpp"
 
 namespace ccmm::analyze {
@@ -133,7 +134,21 @@ void run_sharded(const RaceScanOptions& options, std::size_t ntasks,
                  const std::function<void(std::size_t)>& run_one) {
   ThreadPool& pool = options.pool != nullptr ? *options.pool : global_pool();
   if (options.parallel && ntasks > 1 && pool.size() > 1) {
-    pool.parallel_for(ntasks, run_one);
+    // On multi-node boxes, pin each shard to a NUMA node for its whole
+    // run so its sweep arena is first-touched (and re-read every
+    // chunk) on the node executing it. Single-node topologies skip the
+    // binding entirely.
+    const NumaTopology& numa = numa_topology();
+    if (numa.multi_node) {
+      const std::vector<std::size_t> plan =
+          plan_shard_placement(ntasks, numa);
+      pool.parallel_for(ntasks, [&](std::size_t i) {
+        const NumaBinding bind(numa, plan[i]);
+        run_one(i);
+      });
+    } else {
+      pool.parallel_for(ntasks, run_one);
+    }
   } else {
     for (std::size_t i = 0; i < ntasks; ++i) run_one(i);
   }

@@ -29,7 +29,7 @@ Csr make_csr(const Dag& dag, bool use_pred) {
 
 // --- scalar kernels (the portable fallback every level diffs against) ---
 
-void forward_w4_scalar(const Csr& pred, const std::vector<NodeId>& topo,
+void forward_w4_scalar(const Csr& pred, std::span<const NodeId> topo,
                        std::uint64_t* masks) {
   const std::uint32_t* head = pred.head.data();
   const NodeId* tgt = pred.tgt.data();
@@ -53,7 +53,7 @@ void forward_w4_scalar(const Csr& pred, const std::vector<NodeId>& topo,
   }
 }
 
-void forward2_w4_scalar(const Csr& pred, const std::vector<NodeId>& topo,
+void forward2_w4_scalar(const Csr& pred, std::span<const NodeId> topo,
                         std::uint64_t* a, std::uint64_t* b) {
   const std::uint32_t* head = pred.head.data();
   const NodeId* tgt = pred.tgt.data();
@@ -78,7 +78,7 @@ void forward2_w4_scalar(const Csr& pred, const std::vector<NodeId>& topo,
   }
 }
 
-void backward_w4_scalar(const Csr& succ, const std::vector<NodeId>& topo,
+void backward_w4_scalar(const Csr& succ, std::span<const NodeId> topo,
                         std::uint64_t* masks) {
   const std::uint32_t* head = succ.head.data();
   const NodeId* tgt = succ.tgt.data();
@@ -113,7 +113,7 @@ void backward_w4_scalar(const Csr& succ, const std::vector<NodeId>& topo,
 #if defined(__x86_64__) || defined(_M_X64)
 
 __attribute__((target("avx2"))) void forward_w4_avx2(
-    const Csr& pred, const std::vector<NodeId>& topo, std::uint64_t* masks) {
+    const Csr& pred, std::span<const NodeId> topo, std::uint64_t* masks) {
   const std::uint32_t* head = pred.head.data();
   const NodeId* tgt = pred.tgt.data();
   for (const NodeId v : topo) {
@@ -130,7 +130,7 @@ __attribute__((target("avx2"))) void forward_w4_avx2(
 }
 
 __attribute__((target("avx2"))) void forward2_w4_avx2(
-    const Csr& pred, const std::vector<NodeId>& topo, std::uint64_t* a,
+    const Csr& pred, std::span<const NodeId> topo, std::uint64_t* a,
     std::uint64_t* b) {
   const std::uint32_t* head = pred.head.data();
   const NodeId* tgt = pred.tgt.data();
@@ -152,7 +152,7 @@ __attribute__((target("avx2"))) void forward2_w4_avx2(
 }
 
 __attribute__((target("avx2"))) void backward_w4_avx2(
-    const Csr& succ, const std::vector<NodeId>& topo, std::uint64_t* masks) {
+    const Csr& succ, std::span<const NodeId> topo, std::uint64_t* masks) {
   const std::uint32_t* head = succ.head.data();
   const NodeId* tgt = succ.tgt.data();
   for (std::size_t k = topo.size(); k-- > 0;) {
@@ -181,7 +181,7 @@ __attribute__((target("avx2"))) void backward_w4_avx2(
 
 #if defined(__aarch64__)
 
-void forward_w4_neon(const Csr& pred, const std::vector<NodeId>& topo,
+void forward_w4_neon(const Csr& pred, std::span<const NodeId> topo,
                      std::uint64_t* masks) {
   const std::uint32_t* head = pred.head.data();
   const NodeId* tgt = pred.tgt.data();
@@ -199,7 +199,7 @@ void forward_w4_neon(const Csr& pred, const std::vector<NodeId>& topo,
   }
 }
 
-void forward2_w4_neon(const Csr& pred, const std::vector<NodeId>& topo,
+void forward2_w4_neon(const Csr& pred, std::span<const NodeId> topo,
                       std::uint64_t* a, std::uint64_t* b) {
   const std::uint32_t* head = pred.head.data();
   const NodeId* tgt = pred.tgt.data();
@@ -224,7 +224,7 @@ void forward2_w4_neon(const Csr& pred, const std::vector<NodeId>& topo,
   }
 }
 
-void backward_w4_neon(const Csr& succ, const std::vector<NodeId>& topo,
+void backward_w4_neon(const Csr& succ, std::span<const NodeId> topo,
                       std::uint64_t* masks) {
   const std::uint32_t* head = succ.head.data();
   const NodeId* tgt = succ.tgt.data();
@@ -250,7 +250,7 @@ void backward_w4_neon(const Csr& succ, const std::vector<NodeId>& topo,
 Csr make_pred_csr(const Dag& dag) { return make_csr(dag, /*use_pred=*/true); }
 Csr make_succ_csr(const Dag& dag) { return make_csr(dag, /*use_pred=*/false); }
 
-void sweep_forward_w4(const Csr& pred, const std::vector<NodeId>& topo,
+void sweep_forward_w4(const Csr& pred, std::span<const NodeId> topo,
                       std::uint64_t* masks, SimdLevel level) {
 #if defined(__x86_64__) || defined(_M_X64)
   if (level == SimdLevel::kAvx2) {
@@ -267,7 +267,7 @@ void sweep_forward_w4(const Csr& pred, const std::vector<NodeId>& topo,
   forward_w4_scalar(pred, topo, masks);
 }
 
-void sweep_forward2_w4(const Csr& pred, const std::vector<NodeId>& topo,
+void sweep_forward2_w4(const Csr& pred, std::span<const NodeId> topo,
                        std::uint64_t* a, std::uint64_t* b, SimdLevel level) {
 #if defined(__x86_64__) || defined(_M_X64)
   if (level == SimdLevel::kAvx2) {
@@ -284,7 +284,7 @@ void sweep_forward2_w4(const Csr& pred, const std::vector<NodeId>& topo,
   forward2_w4_scalar(pred, topo, a, b);
 }
 
-void sweep_backward_w4(const Csr& succ, const std::vector<NodeId>& topo,
+void sweep_backward_w4(const Csr& succ, std::span<const NodeId> topo,
                        std::uint64_t* masks, SimdLevel level) {
 #if defined(__x86_64__) || defined(_M_X64)
   if (level == SimdLevel::kAvx2) {

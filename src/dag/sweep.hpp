@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dag/dag.hpp"
@@ -51,20 +52,24 @@ struct Csr {
 [[nodiscard]] Csr make_succ_csr(const Dag& dag);
 
 /// Forward sweep: row[v] |= OR of row[p] over predecessors p, visiting
-/// `topo` in order. `masks` is node_count × kSweepWords, row-major,
+/// `topo` in order. `topo` may be a downward-closed PREFIX of a full
+/// topological order (the incremental kernel's snapshot sweeps): rows
+/// of nodes outside it are never written and must be zero, so they
+/// contribute nothing when read as neighbours. `masks` is
+/// node_count × kSweepWords, row-major,
 /// preset with the anchor bits (a node's own anchor bit stays set —
 /// the reach is reflexive; consumers mask out self bits).
-void sweep_forward_w4(const Csr& pred, const std::vector<NodeId>& topo,
+void sweep_forward_w4(const Csr& pred, std::span<const NodeId> topo,
                       std::uint64_t* masks, SimdLevel level);
 
 /// Fused two-channel forward sweep (large_check's member + writer
 /// masks): one pass over the edges updates both row arrays.
-void sweep_forward2_w4(const Csr& pred, const std::vector<NodeId>& topo,
+void sweep_forward2_w4(const Csr& pred, std::span<const NodeId> topo,
                        std::uint64_t* a, std::uint64_t* b, SimdLevel level);
 
 /// Backward sweep: row[v] |= OR of row[s] over successors s, visiting
 /// `topo` in reverse.
-void sweep_backward_w4(const Csr& succ, const std::vector<NodeId>& topo,
+void sweep_backward_w4(const Csr& succ, std::span<const NodeId> topo,
                        std::uint64_t* masks, SimdLevel level);
 
 }  // namespace ccmm

@@ -1,14 +1,17 @@
 #include "trace/large_check.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <chrono>
+#include <memory>
 #include <numeric>
 #include <span>
+#include <thread>
 
 #include "dag/sweep.hpp"
 #include "trace/loc_kernel.hpp"
+#include "util/numa.hpp"
 #include "util/resource.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/str.hpp"
 
 namespace ccmm {
@@ -20,8 +23,14 @@ double millis_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
-/// Oracle queries per precedes_batch flush during the validity pass.
-constexpr std::size_t kOracleBatch = 4096;
+/// Events per pipeline chunk. Large enough that ring/mutex traffic is
+/// noise, small enough that a chunk of topo slots plus its pred edges
+/// stays cache-resident while every location's kernel walks it.
+constexpr std::uint32_t kChunkNodes = 1u << 17;
+
+/// Below this the whole check is a few milliseconds and thread spawn
+/// plus ring handshakes would dominate: run the chunk loop inline.
+constexpr std::size_t kPipelineMinNodes = std::size_t{1} << 14;
 
 /// One unit of sharded work: a location, its dense Φ column (nullptr
 /// when the observer stores no column for it, i.e. the column is all-⊥)
@@ -33,372 +42,37 @@ struct LocTask {
   std::span<const NodeId> writers;
 };
 
-NodeId column_get(const LocTask& t, NodeId u) {
-  return t.col == nullptr ? kBottom : (*t.col)[u];
+/// One ring slot: a chunk of topological positions plus every task's
+/// staged blocks and validity (the producer owns the column-bound half
+/// of the scan; consumers never touch a Φ column or the oracle).
+struct ChunkStage {
+  std::uint32_t pos0 = 0;
+  std::uint32_t pos1 = 0;
+  std::vector<LocChunkStage> stages;  // indexed by task
+};
+
+/// The oracle kind make_oracle would pick, when that is decidable
+/// without building anything — the lazy path still reports it. Empty
+/// means unpredictable (kAuto's chain-cover probe), so build eagerly.
+std::string predicted_oracle_kind(const Computation& c,
+                                  const OracleOptions& options) {
+  switch (options.choice) {
+    case OracleChoice::kClosure:
+      return "closure";
+    case OracleChoice::kSpOrder:
+      return "sp-order";
+    case OracleChoice::kChain:
+      return "chain";
+    case OracleChoice::kAuto:
+      break;
+  }
+  const SpStructure* sp = c.sp_structure().get();
+  if (sp != nullptr && sp->node_count == c.node_count()) return "sp-order";
+  if (c.node_count() <= options.closure_threshold) return "closure";
+  return {};
 }
 
 const char* pred_label(std::uint32_t bit) { return ModelSuite::bit_name(bit); }
-
-/// Everything read-only that every location task shares: the dag's
-/// edges flattened into CSR arrays once per check (the sweeps and the
-/// quotient build walk them as linear scans), a topological order, and
-/// the dispatched kernel level.
-struct SharedCtx {
-  const Computation& c;
-  const std::vector<NodeId>& topo;
-  const PrecedenceOracle& oracle;
-  const Csr& pred;
-  const Csr& succ;
-  /// Base bits (⊆ kLargeCheckAll) the scans must decide — includes WN
-  /// when only WN⁺ was requested, etc.
-  std::uint32_t models = 0;
-  /// The caller-requested mask (⊆ kLargeCheckExt) the folded verdicts
-  /// are clipped to.
-  std::uint32_t checked = 0;
-  /// Run the per-location freshness shadow pass.
-  bool fresh = false;
-  SimdLevel simd = SimdLevel::kScalar;
-};
-
-/// The per-shard scratch arena. One of these lives for a whole shard's
-/// worth of locations: every vector is sized on first use and reused,
-/// so checking 10⁶ locations costs O(shards) allocations, not O(locs).
-struct LocScratch {
-  std::vector<std::uint32_t> block_of;  // n: node -> its Φ-block
-  std::vector<std::uint32_t> wblock;    // n: writer -> block id, 0 elsewhere
-  std::vector<std::uint32_t> qhead;     // quotient CSR offsets
-  std::vector<std::uint32_t> qcur;      // fill cursors
-  std::vector<std::uint32_t> qtgt;      // quotient edge targets
-  std::vector<std::uint32_t> indeg;     // quotient in-degrees
-  std::vector<std::uint32_t> stack;     // Kahn worklist
-  std::vector<std::uint64_t> anc;       // n × kSweepWords mask rows
-  std::vector<std::uint64_t> wri;
-  std::vector<std::uint64_t> desc;
-  std::vector<std::uint8_t> shadow;     // n: node has a writer-ancestor
-  std::vector<NodeId> bus;              // pending 2.2 batch: nodes
-  std::vector<NodeId> bxs;              // pending 2.2 batch: observed writes
-  std::vector<std::uint8_t> bout;       // batch answers
-  std::size_t peak_bytes = 0;
-
-  void note_peak() {
-    const std::size_t words32 =
-        block_of.capacity() + wblock.capacity() + qhead.capacity() +
-        qcur.capacity() + qtgt.capacity() + indeg.capacity() +
-        stack.capacity() + bus.capacity() + bxs.capacity();
-    const std::size_t words64 =
-        anc.capacity() + wri.capacity() + desc.capacity();
-    peak_bytes = std::max(
-        peak_bytes, words32 * sizeof(std::uint32_t) +
-                        words64 * sizeof(std::uint64_t) + bout.capacity() +
-                        shadow.capacity());
-  }
-};
-
-/// The location check proper; wblock is already loaded for this task's
-/// writers (and is restored by the caller).
-void run_location(const SharedCtx& ctx, const LocTask& task, LocScratch& s,
-                  LocationCheck& out) {
-  const Computation& c = ctx.c;
-  const std::size_t n = c.node_count();
-  const Location l = task.loc;
-  const std::span<const NodeId> writers = task.writers;
-
-  // --- Definition 2 validity for this column + the block partition.
-  // 2.1/2.3 are local and answered inline; the 2.2 precedence queries
-  // are deferred into batches so the oracle can vectorize them. A
-  // pending batch only ever holds nodes earlier than the current one,
-  // so flushing before reporting a local failure preserves the exact
-  // first-failing-node verdict of the scalar scan. ---
-  const auto flush = [&]() -> bool {
-    const std::size_t k = s.bus.size();
-    if (k == 0) return true;
-    s.bout.resize(k);
-    ctx.oracle.precedes_batch(s.bus.data(), s.bxs.data(), k, s.bout.data());
-    for (std::size_t i = 0; i < k; ++i) {
-      if (s.bout[i] != 0) {  // 2.2 — the oracle's production use
-        out.valid = false;
-        out.detail =
-            format("node %u precedes its observed write %u at location %u",
-                   s.bus[i], s.bxs[i], l);
-        return false;
-      }
-    }
-    s.bus.clear();
-    s.bxs.clear();
-    return true;
-  };
-  const auto fail = [&](std::string detail) {
-    if (!flush()) return;  // an earlier node's 2.2 failure wins
-    out.valid = false;
-    out.detail = std::move(detail);
-  };
-  for (NodeId u = 0; u < n && out.valid; ++u) {
-    const NodeId x = column_get(task, u);
-    if (x == kBottom) {
-      s.block_of[u] = 0;
-      if (c.op(u).writes(l))  // 2.3
-        fail(format("write %u does not observe itself at location %u", u, l));
-      continue;
-    }
-    const std::uint32_t b = x < n ? s.wblock[x] : 0;
-    if (b == 0) {  // 2.1
-      fail(format("Φ(%u, %u) = %u, which is not a write to location %u", l, u,
-                  x, l));
-      continue;
-    }
-    if (c.op(u).writes(l) && x != u) {  // 2.3
-      fail(format("write %u does not observe itself at location %u", u, l));
-      continue;
-    }
-    s.block_of[u] = b;
-    if (x != u) {  // precedes(u, u) is always false; skip self pairs
-      s.bus.push_back(u);
-      s.bxs.push_back(x);
-      if (s.bus.size() >= kOracleBatch && !flush()) break;
-    }
-  }
-  if (out.valid) flush();
-  if (!out.valid) return;
-
-  const std::size_t nblocks = writers.size() + 1;
-  const std::uint32_t* succ_head = ctx.succ.head.data();
-  const NodeId* succ_tgt = ctx.succ.tgt.data();
-
-  const auto record = [&](std::uint32_t bit, std::string detail) {
-    out.violated |= bit;
-    if (out.detail.empty()) out.detail = std::move(detail);
-  };
-
-  // --- LC: the block-quotient Kahn scan (same semantics as
-  // detail::lc_quotient_sortable). The quotient is built as a counting
-  // CSR with duplicate edges retained: indeg then counts parallel
-  // edges, each is decremented exactly once during the drain, so every
-  // block still hits zero exactly once — no sort, no dedup, no
-  // emitted[] array. Blocks that never hit zero via edges are exactly
-  // the static roots, pushed up front. ---
-  if ((ctx.models & kSuiteLC) != 0) {
-    s.indeg.assign(nblocks, 0);
-    s.qhead.assign(nblocks + 1, 0);
-    for (NodeId u = 0; u < n; ++u) {
-      const std::uint32_t bu = s.block_of[u];
-      for (std::uint32_t i = succ_head[u]; i < succ_head[u + 1]; ++i) {
-        const std::uint32_t bv = s.block_of[succ_tgt[i]];
-        if (bv != bu) {
-          ++s.qhead[bu + 1];
-          ++s.indeg[bv];
-        }
-      }
-    }
-    for (std::size_t b = 0; b < nblocks; ++b) s.qhead[b + 1] += s.qhead[b];
-
-    bool ok = s.indeg[0] == 0;  // B_⊥ must be placeable first
-    if (ok) {
-      s.qtgt.resize(s.qhead[nblocks]);
-      s.qcur.assign(s.qhead.begin(), s.qhead.end() - 1);
-      for (NodeId u = 0; u < n; ++u) {
-        const std::uint32_t bu = s.block_of[u];
-        for (std::uint32_t i = succ_head[u]; i < succ_head[u + 1]; ++i) {
-          const std::uint32_t bv = s.block_of[succ_tgt[i]];
-          if (bv != bu) s.qtgt[s.qcur[bu]++] = bv;
-        }
-      }
-      s.stack.clear();
-      s.stack.push_back(0);
-      for (std::size_t y = 1; y < nblocks; ++y)
-        if (s.indeg[y] == 0) s.stack.push_back(static_cast<std::uint32_t>(y));
-      std::size_t drained = 0;
-      while (!s.stack.empty()) {
-        const std::uint32_t b = s.stack.back();
-        s.stack.pop_back();
-        ++drained;
-        for (std::uint32_t i = s.qhead[b]; i < s.qhead[b + 1]; ++i) {
-          const std::uint32_t y = s.qtgt[i];
-          if (--s.indeg[y] == 0) s.stack.push_back(y);
-        }
-      }
-      ok = drained == nblocks;
-    }
-    if (!ok)
-      record(kSuiteLC,
-             format("LC violated at location %u: the Φ-block quotient admits "
-                    "no serialization with B_⊥ first",
-                    l));
-  }
-
-  // --- Freshness: one forward pass over the shared pred CSR carrying
-  // "has a writer-ancestor" (strict: a writer shadows its descendants,
-  // not itself). A ⊥-observing node inside the shadow is exactly a
-  // violation of the axiom behind WN⁺/NN⁺ (models/wn_plus.hpp) — no
-  // closure row, no per-location descendant union. ---
-  if (ctx.fresh) {
-    const std::uint32_t* pred_head = ctx.pred.head.data();
-    const NodeId* pred_tgt = ctx.pred.tgt.data();
-    s.shadow.assign(n, 0);
-    bool fresh_bad = false;
-    NodeId fresh_node = 0;
-    for (const NodeId v : ctx.topo) {
-      std::uint8_t sh = 0;
-      for (std::uint32_t i = pred_head[v]; i < pred_head[v + 1] && sh == 0;
-           ++i) {
-        const NodeId u = pred_tgt[i];
-        sh = (s.shadow[u] != 0 || s.wblock[u] != 0) ? 1 : 0;
-      }
-      s.shadow[v] = sh;
-      if (sh != 0 && s.block_of[v] == 0 && !fresh_bad) {
-        fresh_bad = true;
-        fresh_node = v;
-      }
-    }
-    if (fresh_bad)
-      record(kSuiteFresh,
-             format("freshness violated at location %u: node %u observes ⊥ "
-                    "although a write precedes it",
-                    l, fresh_node));
-  }
-
-  // --- NN/NW/WN/WW: per-node block masks, 256 blocks per sweep batch.
-  // For a block b with writer x (b ≥ 1) and a candidate v ∉ B_b:
-  //   WN breaks iff x ≺ v and some member of B_b succeeds v;
-  //   NN breaks iff some member of B_b both precedes and succeeds v
-  //       (plus the u = ⊥ branch for b = 0: any v ∉ B_⊥ with a
-  //       ⊥-observing node after it);
-  //   NW/WW are the same with v restricted to writers of l.
-  // So with A[v]/D[v]/W[v] = the blocks with a member strictly before v /
-  // a member strictly after v / their writer strictly before v, the
-  // violation tests are pure mask arithmetic — no precedence queries.
-  // Anchor bits are preset straight into the rows; the sweeps are the
-  // shared W=4 kernels; the violation scan walks lanes of 64 blocks in
-  // ascending order, so the first witness matches the old 64-wide scan
-  // bit for bit. ---
-  std::uint32_t remaining =
-      ctx.models & (kSuiteNN | kSuiteNW | kSuiteWN | kSuiteWW);
-  if (remaining != 0) {
-    const bool need_anc = (remaining & (kSuiteNN | kSuiteNW)) != 0;
-    const bool need_wri = (remaining & (kSuiteWN | kSuiteWW)) != 0;
-    const std::size_t nbatches = (nblocks + kSweepBits - 1) / kSweepBits;
-    s.desc.resize(n * kSweepWords);
-    if (need_anc) s.anc.resize(n * kSweepWords);
-    if (need_wri) s.wri.resize(n * kSweepWords);
-
-    for (std::size_t g = 0; g < nbatches && remaining != 0; ++g) {
-      const std::uint32_t base = static_cast<std::uint32_t>(g * kSweepBits);
-      if (need_anc) std::fill(s.anc.begin(), s.anc.end(), 0);
-      if (need_wri) std::fill(s.wri.begin(), s.wri.end(), 0);
-      std::fill(s.desc.begin(), s.desc.end(), 0);
-      for (NodeId u = 0; u < n; ++u) {
-        const std::uint32_t b = s.block_of[u];
-        const std::uint32_t rel = b - base;  // unsigned wrap culls b < base
-        if (rel >= kSweepBits) continue;
-        const std::size_t at = u * kSweepWords + (rel >> 6);
-        const std::uint64_t bit = std::uint64_t{1} << (rel & 63);
-        if (need_anc) s.anc[at] |= bit;
-        s.desc[at] |= bit;
-        // A writer always sits in its own block, so the writer bit of
-        // block b belongs to node writers[b-1] and nobody else.
-        if (need_wri && b != 0 && writers[b - 1] == u) s.wri[at] |= bit;
-      }
-      if (need_anc && need_wri) {
-        sweep_forward2_w4(ctx.pred, ctx.topo, s.anc.data(), s.wri.data(),
-                          ctx.simd);
-      } else if (need_anc) {
-        sweep_forward_w4(ctx.pred, ctx.topo, s.anc.data(), ctx.simd);
-      } else {
-        sweep_forward_w4(ctx.pred, ctx.topo, s.wri.data(), ctx.simd);
-      }
-      sweep_backward_w4(ctx.succ, ctx.topo, s.desc.data(), ctx.simd);
-
-      for (std::size_t lane = 0; lane < kSweepWords && remaining != 0;
-           ++lane) {
-        const std::uint32_t lbase =
-            base + static_cast<std::uint32_t>(lane * 64);
-        if (lbase >= nblocks) break;
-        const std::uint64_t bot_bit = lbase == 0 ? std::uint64_t{1} : 0;
-        for (NodeId v = 0; v < n && remaining != 0; ++v) {
-          const std::uint32_t rel = s.block_of[v] - lbase;
-          const std::uint64_t not_self =
-              ~(rel < 64 ? std::uint64_t{1} << rel : std::uint64_t{0});
-          const std::uint64_t d = s.desc[v * kSweepWords + lane];
-          if (need_wri) {
-            const std::uint64_t bad =
-                s.wri[v * kSweepWords + lane] & d & not_self;
-            if (bad != 0) {
-              const std::uint32_t b =
-                  lbase + static_cast<std::uint32_t>(std::countr_zero(bad));
-              const NodeId x = writers[b - 1];
-              if ((remaining & kSuiteWN) != 0)
-                record(kSuiteWN,
-                       format("WN violated at location %u: u=%u, v=%u (the "
-                              "write precedes v, Φ⁻¹(%u) reaches past it)",
-                              l, x, v, x));
-              if ((remaining & kSuiteWW) != 0 && c.op(v).writes(l))
-                record(kSuiteWW,
-                       format("WW violated at location %u: u=%u, v=%u", l, x,
-                              v));
-              remaining &= ~(out.violated & kSuiteWN);
-              remaining &= ~(out.violated & kSuiteWW);
-            }
-          }
-          if ((remaining & (kSuiteNN | kSuiteNW)) != 0) {
-            const std::uint64_t bad =
-                (s.anc[v * kSweepWords + lane] | bot_bit) & d & not_self;
-            if (bad != 0) {
-              const std::uint32_t b =
-                  lbase + static_cast<std::uint32_t>(std::countr_zero(bad));
-              const std::string u_str =
-                  b == 0 ? std::string("_") : format("%u", writers[b - 1]);
-              if ((remaining & kSuiteNN) != 0)
-                record(kSuiteNN,
-                       format("NN violated at location %u: u=%s, v=%u (v sits "
-                              "between members of the same Φ-block)",
-                              l, u_str.c_str(), v));
-              if ((remaining & kSuiteNW) != 0 && c.op(v).writes(l))
-                record(kSuiteNW,
-                       format("NW violated at location %u: u=%s, v=%u", l,
-                              u_str.c_str(), v));
-              remaining &= ~(out.violated & kSuiteNN);
-              remaining &= ~(out.violated & kSuiteNW);
-            }
-          }
-        }
-      }
-    }
-  }
-
-  // WN⁺/NN⁺ are conjunctions of a base corner and freshness: fold the
-  // scan verdicts, then clip to the caller's mask so an internal base
-  // bit (WN computed only because WN⁺ wanted it) never leaks.
-  if ((ctx.checked & kSuiteWNPlus) != 0 &&
-      (out.violated & (kSuiteWN | kSuiteFresh)) != 0)
-    out.violated |= kSuiteWNPlus;
-  if ((ctx.checked & kSuiteNNPlus) != 0 &&
-      (out.violated & (kSuiteNN | kSuiteFresh)) != 0)
-    out.violated |= kSuiteNNPlus;
-  out.violated &= ctx.checked;
-}
-
-/// Shard-level wrapper: loads the writer→block direct map, runs the
-/// check, restores the map to all-zero via the writers list (never a
-/// full O(n) clear), and records the arena high-water mark.
-void check_location(const SharedCtx& ctx, const LocTask& task, LocScratch& s,
-                    LocationCheck& out) {
-  const auto t0 = Clock::now();
-  const std::size_t n = ctx.c.node_count();
-  out.loc = task.loc;
-  out.writers = task.writers.size();
-
-  if (s.wblock.size() != n) s.wblock.assign(n, 0);
-  if (s.block_of.size() != n) s.block_of.resize(n);
-  for (std::size_t i = 0; i < task.writers.size(); ++i)
-    s.wblock[task.writers[i]] = static_cast<std::uint32_t>(i) + 1;
-
-  run_location(ctx, task, s, out);
-
-  for (const NodeId w : task.writers) s.wblock[w] = 0;
-  s.bus.clear();
-  s.bxs.clear();
-  s.note_peak();
-  out.millis = millis_since(t0);
-}
 
 std::size_t csr_bytes_of(const Csr& csr) {
   return csr.head.capacity() * sizeof(std::uint32_t) +
@@ -419,13 +93,26 @@ LargeCheckReport large_check(const Computation& c, const ObserverFunction& phi,
     return report;
   }
 
+  // The oracle is lazy: condition 2.2 only consults it for pairs whose
+  // observed write sits later in the scan order, and on trace-shaped
+  // observers that set is empty — the build (often the largest fixed
+  // cost of a postmortem) then never happens and its bytes drop out of
+  // the footprint. The reported kind is the one make_oracle would
+  // pick; only kAuto's chain-cover probe is unpredictable, and that
+  // one case builds eagerly.
+  const std::string predicted = predicted_oracle_kind(c, options.oracle);
   const auto t_oracle = Clock::now();
-  const std::unique_ptr<PrecedenceOracle> oracle =
-      make_oracle(c.dag(), c.sp_structure().get(), options.oracle);
-  report.oracle_kind = oracle->kind();
-  report.oracle_memory_bytes = oracle->memory_bytes();
-  report.oracle_build_millis = millis_since(t_oracle);
+  const LazyOracle oracle =
+      predicted.empty()
+          ? LazyOracle(make_oracle(c.dag(), c.sp_structure().get(),
+                                   options.oracle))
+          : LazyOracle([&c, &options] {
+              return make_oracle(c.dag(), c.sp_structure().get(),
+                                 options.oracle);
+            });
+  const double eager_oracle_ms = millis_since(t_oracle);
 
+  const auto t_group = Clock::now();
   std::vector<NodeId> topo;
   if (c.dag().ids_topological()) {
     topo.resize(n);
@@ -441,20 +128,21 @@ LargeCheckReport large_check(const Computation& c, const ObserverFunction& phi,
   if ((report.checked & kSuiteNNPlus) != 0) base |= kSuiteNN;
   const bool want_fresh = (report.checked & kLargeCheckPlus) != 0;
 
-  // Flatten the edges once for every location to share; the sweeps and
-  // the quotient builds then run over contiguous arrays.
+  // Flatten the edges once for every location to share. The incremental
+  // kernel classifies quotient edges and carries the freshness shadow
+  // over predecessors, so pred is the workhorse CSR; succ is only
+  // needed for the mask models' backward sweep — an LC-only postmortem
+  // (the 128M headline) never materializes it.
   const bool want_masks =
       (base & (kSuiteNN | kSuiteNW | kSuiteWN | kSuiteWW)) != 0;
   const bool want_lc = (base & kSuiteLC) != 0;
   Csr succ;
   Csr pred;
-  if (want_lc || want_masks) succ = make_succ_csr(c.dag());
-  if (want_masks || want_fresh) pred = make_pred_csr(c.dag());
+  if (want_masks) succ = make_succ_csr(c.dag());
+  if (want_lc || want_masks || want_fresh) pred = make_pred_csr(c.dag());
   report.csr_bytes = csr_bytes_of(succ) + csr_bytes_of(pred);
   const SimdLevel simd = options.simd.value_or(active_simd_level());
   report.simd = simd_level_name(simd);
-  const SharedCtx ctx{c,    topo,           *oracle,    pred, succ,
-                      base, report.checked, want_fresh, simd};
 
   // Worklist: written locations (an absent column fails 2.3 there) plus
   // every stored column with a non-⊥ entry (an unexpected observation
@@ -500,17 +188,112 @@ LargeCheckReport large_check(const Computation& c, const ObserverFunction& phi,
   }
   report.locations.resize(tasks.size());
 
-  // Pack tasks onto O(threads) shards in longest-processing-time order;
-  // each shard owns one scratch arena for its whole run. Cost model:
-  // every task pays an O(n) validity/LC pass (1 unit) plus one sweep
-  // per 256-block batch when mask models are requested.
+  // The shared writer→block and writer→location maps (a node writes at
+  // most one location, so two n-entry arrays serve every task at once —
+  // `wblock[u] != 0 && wloc[u] == l` replaces every op-table probe in
+  // the hot loops) and, when ids are not already topological, the
+  // node→position inverse. These are what let the chunk-major scan ask
+  // "which block" in O(1) with no per-location O(n) load/restore.
+  std::vector<std::uint32_t> wblock(n, 0);
+  std::vector<std::uint32_t> wloc(n, 0);
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const std::span<const NodeId> wr = groups.writers(gi);
+    const Location l = groups.locs[gi];
+    for (std::size_t i = 0; i < wr.size(); ++i) {
+      wblock[wr[i]] = static_cast<std::uint32_t>(i) + 1;
+      wloc[wr[i]] = l;
+    }
+  }
+  std::vector<std::uint32_t> posv;
+  const std::uint32_t* pos_of = nullptr;
+  if (!c.dag().ids_topological()) {
+    posv.resize(n);
+    for (std::uint32_t p = 0; p < n; ++p) posv[topo[p]] = p;
+    pos_of = posv.data();
+  }
+  report.aux_bytes = (wblock.capacity() + wloc.capacity() +
+                      posv.capacity()) * sizeof(std::uint32_t);
+  report.group_build_millis = millis_since(t_group);
+
+  const LocKernelCtx kctx{
+      &c,    &oracle,       &topo,       pos_of,         &pred,      &succ,
+      wblock.data(), wloc.data(), base, report.checked, want_fresh, simd};
+
+  // Shard layout: the pipelined engine overlaps ingest (trace-order
+  // validation + oracle batches, on the caller thread) with kernel
+  // advancement (one dedicated consumer thread per shard, every shard
+  // seeing every chunk through a bounded broadcast ring). Dedicated
+  // threads, not pool tasks: a consumer blocks on the ring, and a
+  // blocking task on a shared pool can deadlock concurrent checks.
   ThreadPool& pool = options.pool != nullptr ? *options.pool : global_pool();
+  const bool pipelined = options.parallel && pool.size() >= 2 &&
+                         !tasks.empty() && n >= kPipelineMinNodes;
+  std::uint32_t chunk =
+      options.chunk_nodes != 0 ? options.chunk_nodes : kChunkNodes;
+  if (options.chunk_nodes == 0 && pipelined) {
+    // The ring holds up to 5 staged chunks (4 slots + the one being
+    // built), each tasks*chunk*4 bytes of blk arrays. Budget that at
+    // ~16 B/node so small pipelined traces are not dominated by fixed
+    // staging memory; large traces keep the full default chunk.
+    const std::uint64_t budget =
+        std::uint64_t{n} * 4 / (5 * tasks.size());
+    chunk = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+        budget, std::uint64_t{4096}, std::uint64_t{kChunkNodes}));
+  }
   const std::size_t nshards =
-      (!options.parallel || pool.size() <= 1 || tasks.size() <= 1)
-          ? (tasks.empty() ? 0 : 1)
-          : std::min(tasks.size(), pool.size() * 2);
+      tasks.empty() ? 0
+                    : (pipelined ? std::min(tasks.size(), pool.size())
+                                 : std::size_t{1});
   report.shards = nshards;
-  if (nshards > 0) {
+  report.pipelined = pipelined;
+  const NumaTopology& numa = numa_topology();
+  report.numa = numa.to_string();
+
+  double ingest_ms = 0.0;
+  double kernel_ms = 0.0;
+  double report_ms = 0.0;
+  std::size_t scratch_peak = 0;
+
+  if (nshards > 0 && !pipelined) {
+    // Serial chunk-major scan: same chunk loop as the pipeline, with
+    // the prestage inlined. One arena, states advanced in task order —
+    // byte-identical verdicts to the pipelined run.
+    LocArena arena;
+    std::vector<LocState> states(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      states[i].init(kctx, tasks[i].loc, tasks[i].col, tasks[i].writers);
+    // One staging buffer for every task: each task's staged blocks are
+    // consumed by its advance immediately (still hot in cache), so the
+    // scan never holds more than one chunk's blk array — without this
+    // the per-task buffers alone cost tasks*n*4 bytes on small traces.
+    LocChunkStage staged;
+    for (std::uint32_t p0 = 0; p0 < n; p0 += chunk) {
+      const std::uint32_t p1 =
+          static_cast<std::uint32_t>(std::min<std::size_t>(n, p0 + chunk));
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const auto ti = Clock::now();
+        stage_chunk(kctx, tasks[i].loc, tasks[i].col, p0, p1, arena, staged);
+        ingest_ms += millis_since(ti);
+        const auto tk = Clock::now();
+        states[i].advance(p0, p1, arena, &staged);
+        kernel_ms += millis_since(tk);
+      }
+      if (options.progress) options.progress(p1, n);
+    }
+    const auto tr = Clock::now();
+    std::size_t state_bytes =
+        staged.blk.capacity() * sizeof(std::uint32_t);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      states[i].finalize_into(report.locations[i], arena);
+      state_bytes += states[i].memory_bytes();
+    }
+    report_ms += millis_since(tr);
+    arena.note_peak();
+    scratch_peak = arena.peak_bytes + state_bytes;
+  } else if (nshards > 0) {
+    // Pack tasks onto the shards in longest-processing-time order. Cost
+    // model: every task pays an O(n) kernel pass (1 unit) plus one
+    // sweep per 256-block batch when mask models are requested.
     std::vector<std::size_t> cost(tasks.size());
     for (std::size_t i = 0; i < tasks.size(); ++i)
       cost[i] = 1 + (want_masks
@@ -532,20 +315,98 @@ LargeCheckReport large_check(const Computation& c, const ObserverFunction& phi,
       shard_load[s] += cost[i];
     }
 
-    std::vector<std::size_t> shard_peak(nshards, 0);
-    const auto run_shard = [&](std::size_t s) {
-      LocScratch scratch;
-      for (const std::size_t i : shard_tasks[s])
-        check_location(ctx, tasks[i], scratch, report.locations[i]);
-      shard_peak[s] = scratch.peak_bytes;
-    };
-    if (nshards > 1) {
-      pool.parallel_for(nshards, run_shard);
-    } else {
-      run_shard(0);
+    const std::vector<std::size_t> plan = plan_shard_placement(nshards, numa);
+    BroadcastRing<std::shared_ptr<const ChunkStage>> ring(4, nshards);
+    std::vector<double> sh_kernel(nshards, 0.0);
+    std::vector<double> sh_report(nshards, 0.0);
+    std::vector<std::size_t> sh_bytes(nshards, 0);
+    std::vector<std::thread> workers;
+    workers.reserve(nshards);
+    for (std::size_t s = 0; s < nshards; ++s) {
+      workers.emplace_back([&, s] {
+        // Pin to the shard's NUMA node BEFORE the first allocation:
+        // the arena and states below are first-touched inside the
+        // binding, so their pages land on the node that re-reads them
+        // every chunk. Single-node topologies make this a no-op.
+        const NumaBinding bind(numa, plan[s]);
+        const std::vector<std::size_t>& mine = shard_tasks[s];
+        LocArena arena;
+        std::vector<LocState> states(mine.size());
+        for (std::size_t k = 0; k < mine.size(); ++k)
+          states[k].init(kctx, tasks[mine[k]].loc, tasks[mine[k]].col,
+                         tasks[mine[k]].writers);
+        std::shared_ptr<const ChunkStage> st;
+        while (ring.pop(s, st)) {
+          const auto tk = Clock::now();
+          for (std::size_t k = 0; k < mine.size(); ++k)
+            states[k].advance(st->pos0, st->pos1, arena,
+                              &st->stages[mine[k]]);
+          sh_kernel[s] += millis_since(tk);
+        }
+        const auto tr = Clock::now();
+        std::size_t bytes = 0;
+        for (std::size_t k = 0; k < mine.size(); ++k) {
+          states[k].finalize_into(report.locations[mine[k]], arena);
+          bytes += states[k].memory_bytes();
+        }
+        sh_report[s] = millis_since(tr);
+        arena.note_peak();
+        sh_bytes[s] = arena.peak_bytes + bytes;
+      });
     }
-    report.scratch_peak_bytes =
-        *std::max_element(shard_peak.begin(), shard_peak.end());
+
+    // Producer: stage the column-bound half of the scan for every
+    // task, chunk by chunk, blocking only on ring backpressure.
+    LocArena parena;
+    std::size_t stage_bytes = 0;
+    for (std::uint32_t p0 = 0; p0 < n; p0 += chunk) {
+      const std::uint32_t p1 =
+          static_cast<std::uint32_t>(std::min<std::size_t>(n, p0 + chunk));
+      const auto ti = Clock::now();
+      auto st = std::make_shared<ChunkStage>();
+      st->pos0 = p0;
+      st->pos1 = p1;
+      st->stages.resize(tasks.size());
+      for (std::size_t i = 0; i < tasks.size(); ++i)
+        stage_chunk(kctx, tasks[i].loc, tasks[i].col, p0, p1, parena,
+                    st->stages[i]);
+      std::size_t sb = 0;
+      for (const LocChunkStage& sg : st->stages)
+        sb += sg.blk.capacity() * sizeof(std::uint32_t);
+      stage_bytes = std::max(stage_bytes, sb);
+      ingest_ms += millis_since(ti);
+      ring.push(std::move(st));
+      if (options.progress) options.progress(p1, n);
+    }
+    ring.close();
+    for (std::thread& w : workers) w.join();
+    kernel_ms = *std::max_element(sh_kernel.begin(), sh_kernel.end());
+    report_ms = *std::max_element(sh_report.begin(), sh_report.end());
+    parena.note_peak();
+    // Up to 4 staged chunks live in the ring plus the one being built
+    // — fewer when the whole trace fits in fewer chunks.
+    const std::size_t in_flight = std::min<std::size_t>(
+        5, (n + chunk - 1) / chunk);
+    scratch_peak = std::max(
+        *std::max_element(sh_bytes.begin(), sh_bytes.end()),
+        parena.peak_bytes + stage_bytes * in_flight);
+  }
+
+  report.scratch_peak_bytes = scratch_peak;
+  report.ingest_millis += ingest_ms;
+  report.kernel_millis = kernel_ms;
+  report.report_millis = report_ms;
+
+  // Oracle accounting: real numbers when it was built (eagerly or on a
+  // 2.2 flush), the predicted kind and zero bytes when the scan never
+  // needed it.
+  if (oracle.built()) {
+    report.oracle_kind = oracle.get().kind();
+    report.oracle_memory_bytes = oracle.get().memory_bytes();
+    report.oracle_build_millis =
+        predicted.empty() ? eager_oracle_ms : oracle.build_millis();
+  } else {
+    report.oracle_kind = predicted;
   }
 
   report.valid_observer = true;
@@ -561,7 +422,7 @@ LargeCheckReport large_check(const Computation& c, const ObserverFunction& phi,
     report.bytes_per_node =
         static_cast<double>(report.csr_bytes + report.groups_bytes +
                             report.scratch_peak_bytes * report.shards +
-                            report.oracle_memory_bytes) /
+                            report.aux_bytes + report.oracle_memory_bytes) /
         static_cast<double>(n);
   report.total_millis = millis_since(t0);
   return report;
@@ -572,10 +433,16 @@ std::string LargeCheckReport::to_string() const {
   out += format("oracle: %s (%zu bytes, built in %.2f ms)\n",
                 oracle_kind.c_str(), oracle_memory_bytes, oracle_build_millis);
   out += format(
-      "data plane: %s kernels, %zu shards, %.1f B/node "
-      "(csr %zu + groups %zu + scratch %zu x %zu + oracle %zu)\n",
-      simd.c_str(), shards, bytes_per_node, csr_bytes, groups_bytes,
-      scratch_peak_bytes, shards, oracle_memory_bytes);
+      "data plane: %s kernels, %zu shards%s, %.1f B/node "
+      "(csr %zu + groups %zu + scratch %zu x %zu + aux %zu + oracle %zu)\n",
+      simd.c_str(), shards, pipelined ? " (pipelined)" : "", bytes_per_node,
+      csr_bytes, groups_bytes, scratch_peak_bytes, shards, aux_bytes,
+      oracle_memory_bytes);
+  out += format(
+      "stages: ingest %.2f ms, group build %.2f ms, kernel %.2f ms, "
+      "report %.2f ms; numa: %s\n",
+      ingest_millis, group_build_millis, kernel_millis, report_millis,
+      numa.c_str());
   if (peak_rss_bytes != 0)
     out += format("peak rss: %.1f MiB\n",
                   static_cast<double>(peak_rss_bytes) / (1024.0 * 1024.0));
@@ -686,6 +553,7 @@ ObserverFunction observer_from_trace(const Computation& c, const Trace& trace) {
 
 LargeCheckReport large_check_trace(const Computation& c, const Trace& trace,
                                    const LargeCheckOptions& options) {
+  const auto t0 = Clock::now();
   std::string why;
   if (!trace_consistent_with(trace, c, &why)) {
     LargeCheckReport report;
@@ -693,7 +561,11 @@ LargeCheckReport large_check_trace(const Computation& c, const Trace& trace,
     report.detail = "trace does not fit the computation: " + why;
     return report;
   }
-  return large_check(c, observer_from_trace(c, trace), options);
+  const ObserverFunction phi = observer_from_trace(c, trace);
+  const double decode_ms = millis_since(t0);
+  LargeCheckReport report = large_check(c, phi, options);
+  report.ingest_millis += decode_ms;
+  return report;
 }
 
 }  // namespace ccmm

@@ -34,6 +34,7 @@
 // tests/test_large_check.cpp.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -41,25 +42,16 @@
 
 #include "dag/precedence_oracle.hpp"
 #include "models/suite.hpp"
+#include "trace/loc_incremental.hpp"
 #include "trace/trace.hpp"
 #include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ccmm {
 
-/// The per-location-decomposable suite bits large_check can decide.
-inline constexpr std::uint32_t kLargeCheckAll =
-    kSuiteLC | kSuiteNN | kSuiteNW | kSuiteWN | kSuiteWW;
-
-/// Also decidable streaming, kept out of kLargeCheckAll so existing
-/// callers' reports are unchanged: the freshness axiom (one forward
-/// writer-shadow pass per location, O(n+m), no closure) and the
-/// composites WN⁺ = WN ∧ FRESH, NN⁺ = NN ∧ FRESH. Compiled specs
-/// (models/compile.hpp) request these via their streaming plans.
-inline constexpr std::uint32_t kLargeCheckPlus =
-    kSuiteFresh | kSuiteWNPlus | kSuiteNNPlus;
-inline constexpr std::uint32_t kLargeCheckExt = kLargeCheckAll |
-                                               kLargeCheckPlus;
+// kLargeCheckAll / kLargeCheckPlus / kLargeCheckExt and LocationCheck
+// moved to trace/loc_incremental.hpp with the per-location kernel; the
+// names are re-exported through this include unchanged.
 
 struct LargeCheckOptions {
   /// Which models to decide (subset of kLargeCheckExt).
@@ -76,16 +68,15 @@ struct LargeCheckOptions {
   /// are bit-identical by construction; this exists so differential
   /// tests can run both in one process.
   std::optional<SimdLevel> simd;
-};
-
-/// Outcome for one checked location.
-struct LocationCheck {
-  Location loc = 0;
-  bool valid = true;            // this column passes Definition 2
-  std::uint32_t violated = 0;   // requested models this location breaks
-  std::size_t writers = 0;      // |writers(l)| = block count - 1
-  double millis = 0.0;
-  std::string detail;           // first witness / validity failure
+  /// Events per pipeline chunk (0 = engine default, 1<<17). Small
+  /// values exist for chunk-boundary fuzzing in tests; production
+  /// callers should leave this alone.
+  std::uint32_t chunk_nodes = 0;
+  /// Called after each consumed chunk with (positions consumed, total
+  /// node count) — the CLI's live progress line. Invoked from the
+  /// ingest thread; must be cheap and thread-compatible with the
+  /// caller's world (it is never called concurrently with itself).
+  std::function<void(std::size_t, std::size_t)> progress;
 };
 
 struct LargeCheckReport {
@@ -109,9 +100,20 @@ struct LargeCheckReport {
   std::size_t shards = 0;                // scratch arenas allocated
   std::size_t csr_bytes = 0;             // shared succ/pred edge copies
   std::size_t groups_bytes = 0;          // location-grouping arena
-  std::size_t scratch_peak_bytes = 0;    // max per-shard arena
+  std::size_t scratch_peak_bytes = 0;    // max per-shard arena + states
+  std::size_t aux_bytes = 0;             // wblock map + topo inverse
   std::size_t peak_rss_bytes = 0;        // process peak RSS after check
   double bytes_per_node = 0.0;           // check-owned bytes / node
+
+  // Stage breakdown of the streaming scan (--trace in ccmm_check).
+  // Pipelined runs overlap ingest with the kernel, so stages can sum
+  // to more than total_millis; kernel/report are the max over shards.
+  double ingest_millis = 0.0;       // trace decode + 2.2 prestage
+  double group_build_millis = 0.0;  // grouping + CSRs + wblock map
+  double kernel_millis = 0.0;       // LocState::advance over all chunks
+  double report_millis = 0.0;       // finalize_into + verdict fold
+  bool pipelined = false;           // ring-overlapped producer/consumers
+  std::string numa;                 // topology summary ("1 node" etc.)
 
   /// Same meaning as MemoryModel::contains for the given suite bit:
   /// valid observer and no location violates the model.

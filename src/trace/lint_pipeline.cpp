@@ -103,6 +103,7 @@ TraceLintResult analyze_trace(const Computation& c, const Trace& trace,
   lopt.oracle = options.analysis.scan.oracle;
   lopt.pool = options.analysis.scan.pool;
   lopt.parallel = options.analysis.scan.parallel;
+  lopt.progress = options.progress;
   if (options.spec_models.empty()) {
     result.report = large_check(c, phi, lopt);
   } else {

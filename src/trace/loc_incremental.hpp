@@ -1,0 +1,267 @@
+// ccmm/trace/loc_incremental.hpp
+//
+// The incremental per-location checking kernel. large_check.cpp used to
+// decide everything in one monolithic batch scan per location; this
+// splits the per-location logic into two composable pieces:
+//
+//  * stage_chunk(): the column-bound half of a chunk — resolve every
+//    event in [pos0, pos1) to its Φ-block, catch the local validity
+//    failures (2.1/2.3) inline, and answer condition 2.2 through the
+//    oracle's batched entry point. Pairs whose observed write sits
+//    EARLIER in the topological order are never queried (u ≺ x would
+//    force pos(u) < pos(x)), which makes trace-shaped observers —
+//    every recorded observation points backwards — issue zero oracle
+//    queries; the oracle itself is built lazily on the first batch
+//    that survives the filter. In the pipelined engine this staging is
+//    the producer's job; a standalone LocState stages for itself.
+//
+//  * LocState: accepts the staged chunks append-only and maintains
+//     - the earliest validity failure (first-failure semantics exactly
+//       matching the batch scan),
+//     - an incremental Kahn frontier for LC: blocks are committed to a
+//       drain order as their first member arrives (B_⊥ always first),
+//       and every Φ-block quotient edge is classified on discovery —
+//       an edge into B_⊥ is a sticky LC violation (monotone under
+//       extension), an edge consistent with the committed order is
+//       discharged and forgotten, and an edge against the order marks
+//       the location *dirty*, falling back to one full from-scratch
+//       quotient Kahn at verdict time. On in-order traffic (serial,
+//       SC-like, or any last-writer observer over the scan order)
+//       nothing ever goes dirty and LC costs O(deg) amortized per
+//       event with O(blocks) state,
+//     - a freshness writer-shadow carried forward per event, held as a
+//       SpanSet (near-full after the first write, so the succinct
+//       encoding keeps it at O(1) words instead of n bits),
+//     - the four mask models NN/NW/WN/WW (and the FRESH/WN⁺/NN⁺
+//       composites) evaluated at verdict time over exactly the
+//       consumed prefix via the shared dag/sweep.hpp kernels —
+//       violation existence is monotone under prefix extension, so
+//       verdicts agree with a batch run over the same prefix
+//       (differentially pinned by tests/test_loc_incremental.cpp).
+//
+// finalize_into() is non-destructive and re-callable: callers may
+// interleave advance() and finalize_into() freely (the online-serving
+// contract), and the batch engine in large_check.cpp is just one
+// producer of chunks for a set of these states.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/computation.hpp"
+#include "core/observer.hpp"
+#include "dag/precedence_oracle.hpp"
+#include "dag/sweep.hpp"
+#include "models/suite.hpp"
+#include "util/simd.hpp"
+#include "util/span_set.hpp"
+
+namespace ccmm {
+
+/// The per-location-decomposable suite bits the streaming kernel can
+/// decide.
+inline constexpr std::uint32_t kLargeCheckAll =
+    kSuiteLC | kSuiteNN | kSuiteNW | kSuiteWN | kSuiteWW;
+
+/// Also decidable streaming, kept out of kLargeCheckAll so existing
+/// callers' reports are unchanged: the freshness axiom and the
+/// composites WN⁺ = WN ∧ FRESH, NN⁺ = NN ∧ FRESH.
+inline constexpr std::uint32_t kLargeCheckPlus =
+    kSuiteFresh | kSuiteWNPlus | kSuiteNNPlus;
+inline constexpr std::uint32_t kLargeCheckExt = kLargeCheckAll |
+                                               kLargeCheckPlus;
+
+/// Outcome for one checked location.
+struct LocationCheck {
+  Location loc = 0;
+  bool valid = true;            // this column passes Definition 2
+  std::uint32_t violated = 0;   // requested models this location breaks
+  std::size_t writers = 0;      // |writers(l)| = block count - 1
+  double millis = 0.0;
+  std::string detail;           // first witness / validity failure
+};
+
+/// "No position": sorts after every real topological position.
+inline constexpr std::uint32_t kLocNoPos = 0xFFFFFFFFu;
+
+/// A precedence oracle built on first use. Condition 2.2 only queries
+/// pairs whose observed write sits LATER in the scan order; on
+/// trace-shaped observers that set is empty and the build (the single
+/// largest fixed cost of a postmortem) never happens. get() is
+/// thread-safe; built()/build_millis() are meant for after the run.
+class LazyOracle {
+ public:
+  using Factory = std::function<std::unique_ptr<PrecedenceOracle>()>;
+  LazyOracle() = default;
+  explicit LazyOracle(Factory factory) : factory_(std::move(factory)) {}
+  /// Adopt an already-built oracle (callers that need eager stats).
+  explicit LazyOracle(std::unique_ptr<PrecedenceOracle> oracle)
+      : oracle_(std::move(oracle)), built_(oracle_ != nullptr) {}
+
+  const PrecedenceOracle& get() const;
+  [[nodiscard]] bool built() const noexcept { return built_; }
+  [[nodiscard]] double build_millis() const noexcept { return build_millis_; }
+
+ private:
+  Factory factory_;
+  mutable std::once_flag once_;
+  mutable std::unique_ptr<PrecedenceOracle> oracle_;
+  mutable bool built_ = false;
+  mutable double build_millis_ = 0.0;
+};
+
+/// Everything read-only that every LocState of one check shares.
+struct LocKernelCtx {
+  const Computation* c = nullptr;
+  const LazyOracle* oracle = nullptr;
+  /// Event arrival order: advance() consumes positions into this array.
+  const std::vector<NodeId>* topo = nullptr;
+  /// node -> topological position; nullptr when ids are topological
+  /// (then pos(u) == u and no inverse array is materialized).
+  const std::uint32_t* pos_of = nullptr;
+  const Csr* pred = nullptr;  // required for LC / freshness / masks
+  const Csr* succ = nullptr;  // required only for the mask backward sweep
+  /// n entries: write node -> (index among its own location's writers,
+  /// id order) + 1; 0 for every non-write. One shared array for ALL
+  /// locations — a node writes at most one location.
+  const std::uint32_t* wblock = nullptr;
+  /// n entries: write node -> the location it writes (meaningful only
+  /// where wblock != 0). `wblock[u] != 0 && wloc[u] == l` replaces
+  /// every op-table `writes(l)` probe in the hot loops.
+  const std::uint32_t* wloc = nullptr;
+  std::uint32_t models = 0;   // base bits the kernel must decide
+  std::uint32_t checked = 0;  // caller-requested mask verdicts clip to
+  bool fresh = false;         // run the freshness shadow
+  SimdLevel simd = SimdLevel::kScalar;
+
+  [[nodiscard]] std::uint32_t pos(NodeId u) const noexcept {
+    return pos_of == nullptr ? u : pos_of[u];
+  }
+  [[nodiscard]] bool writes_loc(NodeId u, Location l) const noexcept {
+    return wblock[u] != 0 && wloc[u] == l;
+  }
+};
+
+/// How a location's validity failed (detail strings are derived from
+/// this at verdict time — the hot path never formats).
+enum class LocFailKind : std::uint8_t {
+  kNone = 0,
+  kBottomWriter = 1,   // 2.3: a write observing ⊥
+  kNotAWrite = 2,      // 2.1: Φ(l, u) is not a write to l
+  kWriteNotSelf = 3,   // 2.3: a write observing another node
+  kPrecedesWrite = 4,  // 2.2: u strictly precedes Φ(l, u)
+};
+
+/// One staged chunk for one location: the Φ-block of every position in
+/// [pos0, pos1) plus the earliest validity failure found while
+/// resolving them. Entries past a failure are unspecified — every
+/// consumer stops at the failing position.
+struct LocChunkStage {
+  std::vector<std::uint32_t> blk;
+  std::uint32_t fail_pos = kLocNoPos;
+  LocFailKind fail_kind = LocFailKind::kNone;
+  NodeId u = 0;  // the failing node and its observed write
+  NodeId x = 0;
+};
+
+/// Per-shard scratch shared across that shard's LocStates: staged
+/// chunks, the dirty-LC quotient rebuild, the mask sweep rows, and the
+/// 2.2 batch buffers all live here and are reused location to
+/// location, so a shard makes O(1) allocations however many locations
+/// it owns.
+struct LocArena {
+  std::vector<std::uint32_t> qhead, qcur, qtgt, indeg, stack;  // LC rebuild
+  std::vector<std::uint32_t> blocks;  // dense node→block map (verdict time)
+  std::vector<std::uint64_t> anc, wri, desc;                   // mask rows
+  std::vector<NodeId> bus, bxs;                                // 2.2 batch
+  std::vector<std::uint32_t> bpos;
+  std::vector<std::uint8_t> bout;
+  LocChunkStage self_stage;  // standalone advance() stages here
+  std::size_t peak_bytes = 0;
+
+  void note_peak();
+};
+
+/// Resolve one location's chunk: blocks + earliest validity failure.
+/// Shared verbatim between the pipeline producer and standalone
+/// LocStates, so both paths classify events and query the oracle
+/// identically.
+void stage_chunk(const LocKernelCtx& ctx, Location loc,
+                 const std::vector<NodeId>* col, std::uint32_t pos0,
+                 std::uint32_t pos1, LocArena& arena, LocChunkStage& out);
+
+/// The validity-failure message the batch engine always printed.
+[[nodiscard]] std::string loc_fail_detail(LocFailKind kind, Location loc,
+                                          NodeId u, NodeId x);
+
+class LocState {
+ public:
+  /// Bind to one location. `col` is the dense Φ column (nullptr = the
+  /// all-⊥ column); `writers` is the location's writers in id order
+  /// (block b ↦ writers[b-1]); both must outlive the state.
+  void init(const LocKernelCtx& ctx, Location loc,
+            const std::vector<NodeId>* col, std::span<const NodeId> writers);
+
+  /// Consume positions [pos0, pos1) of ctx.topo (must continue exactly
+  /// where the previous advance stopped). `staged` carries the chunk's
+  /// prestaged blocks and validity; pass nullptr to have the state
+  /// stage the chunk itself into the arena (the standalone/online
+  /// mode).
+  void advance(std::uint32_t pos0, std::uint32_t pos1, LocArena& arena,
+               const LocChunkStage* staged = nullptr);
+
+  /// Verdict over exactly the prefix consumed so far — byte-identical
+  /// (valid / violated, clipped to ctx.checked) to a batch check over
+  /// that prefix. Non-destructive: advance() may continue afterwards
+  /// and finalize_into() may be called again. Clean locations pay O(1)
+  /// for LC here; dirty ones one quotient Kahn; mask models one sweep
+  /// pass per 256 writer blocks.
+  void finalize_into(LocationCheck& out, LocArena& arena);
+
+  [[nodiscard]] std::uint32_t consumed() const noexcept { return consumed_; }
+  [[nodiscard]] Location location() const noexcept { return loc_; }
+
+  /// Heap bytes this state holds (drain positions, shadow SpanSet) —
+  /// reported into the engine's bytes-per-node.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  [[nodiscard]] std::uint32_t block_of_slow(NodeId q) const noexcept;
+  void fail_at(std::uint32_t pos, LocFailKind kind, NodeId u, NodeId x);
+  void fill_blocks(LocArena& arena) const;
+  [[nodiscard]] bool rebuild_lc_quotient(LocArena& arena) const;
+  void run_mask_models(LocationCheck& out, LocArena& arena) const;
+
+  const LocKernelCtx* ctx_ = nullptr;
+  Location loc_ = 0;
+  const std::vector<NodeId>* col_ = nullptr;
+  std::span<const NodeId> writers_;
+
+  std::uint32_t consumed_ = 0;
+  bool dead_ = false;  // first failure passed; nothing left to consume
+
+  // Validity: the earliest failure seen (any of 2.1/2.2/2.3).
+  std::uint32_t fail_pos_ = kLocNoPos;
+  LocFailKind fail_kind_ = LocFailKind::kNone;
+  NodeId fail_u_ = 0;
+  NodeId fail_x_ = 0;
+
+  // Incremental LC.
+  bool lc_violated_ = false;  // a quotient edge entered B_⊥ (sticky)
+  bool lc_dirty_ = false;     // an edge crossed the committed drain order
+  std::vector<std::uint32_t> drain_pos_;  // block -> first-member pos + 1
+
+  // Freshness shadow ("has a strict writer-ancestor"), usually near-full.
+  SpanSet shadow_;
+  bool fresh_bad_ = false;
+  NodeId fresh_node_ = 0;
+
+  double millis_ = 0.0;
+};
+
+}  // namespace ccmm

@@ -1,0 +1,377 @@
+// Differential tests for the incremental per-location kernel
+// (trace/loc_incremental.hpp): after consuming any prefix of the event
+// stream, finalize_into must produce verdicts byte-identical — valid,
+// violated mask, AND detail string — to a fresh state that consumed
+// the same prefix in one batch advance. The engine-level chunk fuzz
+// then pins that large_check's verdicts are independent of the chunk
+// size the stream was cut into, and the *Parallel* test runs the
+// pipelined ring under TSan.
+#include "trace/loc_incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dag/generators.hpp"
+#include "dag/sweep.hpp"
+#include "enumerate/sampling.hpp"
+#include "enumerate/universe.hpp"
+#include "exec/sc_memory.hpp"
+#include "exec/weak_memory.hpp"
+#include "exec/workload.hpp"
+#include "proc/random_program.hpp"
+#include "trace/large_check.hpp"
+#include "trace/loc_kernel.hpp"
+#include "util/rng.hpp"
+
+namespace ccmm {
+namespace {
+
+/// The shared-context setup large_check performs, reproduced for
+/// driving LocStates directly: topological order, both CSRs, the
+/// location grouping, the writer→block/location maps and a lazy
+/// oracle. Holds one task per location the engine would check (plus
+/// all-⊥ stored columns, which both sides of the differential treat
+/// identically).
+struct KernelHarness {
+  struct Task {
+    Location loc = 0;
+    const std::vector<NodeId>* col = nullptr;
+    std::span<const NodeId> writers;
+  };
+
+  const Computation* c;
+  std::vector<NodeId> topo;
+  std::vector<std::uint32_t> posv;
+  Csr pred;
+  Csr succ;
+  LocationGroups groups;
+  std::vector<std::uint32_t> wblock;
+  std::vector<std::uint32_t> wloc;
+  LazyOracle oracle;
+  LocKernelCtx ctx;
+  std::vector<Task> tasks;
+
+  KernelHarness(const Computation& comp, const ObserverFunction& phi,
+                std::uint32_t models, std::uint32_t checked, bool fresh)
+      : c(&comp), oracle([&comp] {
+          return make_oracle(comp.dag(), comp.sp_structure().get(), {});
+        }) {
+    const std::size_t n = comp.node_count();
+    if (comp.dag().ids_topological()) {
+      topo.resize(n);
+      std::iota(topo.begin(), topo.end(), NodeId{0});
+    } else {
+      topo = comp.dag().topological_order();
+      posv.resize(n);
+      for (std::uint32_t p = 0; p < n; ++p) posv[topo[p]] = p;
+    }
+    pred = make_pred_csr(comp.dag());
+    succ = make_succ_csr(comp.dag());
+    groups = group_location_accesses(comp);
+    wblock.assign(n, 0);
+    wloc.assign(n, 0);
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      const std::span<const NodeId> wr = groups.writers(gi);
+      for (std::size_t i = 0; i < wr.size(); ++i) {
+        wblock[wr[i]] = static_cast<std::uint32_t>(i) + 1;
+        wloc[wr[i]] = groups.locs[gi];
+      }
+    }
+    ctx = LocKernelCtx{&comp,
+                       &oracle,
+                       &topo,
+                       posv.empty() ? nullptr : posv.data(),
+                       &pred,
+                       &succ,
+                       wblock.data(),
+                       wloc.data(),
+                       models,
+                       checked,
+                       fresh,
+                       SimdLevel::kScalar};
+
+    const std::vector<Location>& stored = phi.stored_locations();
+    std::vector<Location> all;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi)
+      if (!groups.writers(gi).empty()) all.push_back(groups.locs[gi]);
+    all.insert(all.end(), stored.begin(), stored.end());
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    for (const Location l : all) {
+      const auto si = std::lower_bound(stored.begin(), stored.end(), l);
+      const std::vector<NodeId>* col =
+          si != stored.end() && *si == l
+              ? &phi.stored_column(
+                    static_cast<std::size_t>(si - stored.begin()))
+              : nullptr;
+      std::span<const NodeId> writers;
+      const auto gi = std::lower_bound(groups.locs.begin(),
+                                       groups.locs.end(), l);
+      if (gi != groups.locs.end() && *gi == l)
+        writers = groups.writers(
+            static_cast<std::size_t>(gi - groups.locs.begin()));
+      tasks.push_back(Task{l, col, writers});
+    }
+  }
+};
+
+/// Consume the stream in `chunk`-sized advances, and after EVERY chunk
+/// compare the incremental verdict against a fresh state that consumed
+/// the same prefix in one batch call.
+void expect_prefix_equivalence(const Computation& c,
+                               const ObserverFunction& phi,
+                               std::uint32_t chunk) {
+  const KernelHarness h(c, phi, kLargeCheckAll, kLargeCheckExt, true);
+  const auto n = static_cast<std::uint32_t>(c.node_count());
+  for (const KernelHarness::Task& t : h.tasks) {
+    LocArena inc_arena;
+    LocState inc;
+    inc.init(h.ctx, t.loc, t.col, t.writers);
+    for (std::uint32_t p0 = 0; p0 < n; p0 += chunk) {
+      const std::uint32_t p1 = std::min(n, p0 + chunk);
+      inc.advance(p0, p1, inc_arena);
+
+      LocArena batch_arena;
+      LocState batch;
+      batch.init(h.ctx, t.loc, t.col, t.writers);
+      batch.advance(0, p1, batch_arena);
+
+      LocationCheck a;
+      LocationCheck b;
+      inc.finalize_into(a, inc_arena);
+      batch.finalize_into(b, batch_arena);
+      ASSERT_EQ(a.valid, b.valid)
+          << "loc " << t.loc << " prefix " << p1 << ": " << a.detail
+          << " vs " << b.detail;
+      EXPECT_EQ(a.violated, b.violated)
+          << "loc " << t.loc << " prefix " << p1;
+      EXPECT_EQ(a.detail, b.detail) << "loc " << t.loc << " prefix " << p1;
+      EXPECT_EQ(a.writers, b.writers);
+    }
+  }
+}
+
+/// Corrupt a few observer entries: arbitrary targets (⊥, random nodes,
+/// unwritten locations) drive the 2.1/2.2/2.3 failure paths and the
+/// model-violating quotients.
+ObserverFunction corrupt(const Computation& c, ObserverFunction phi,
+                         Rng& rng) {
+  const std::size_t n = c.node_count();
+  if (n == 0) return phi;
+  const std::vector<Location> locs = c.written_locations();
+  for (int k = 0; k < 2; ++k) {
+    const Location l = locs.empty() || rng.chance(0.2)
+                           ? Location{7}
+                           : locs[rng.below(locs.size())];
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const NodeId v =
+        rng.chance(0.3) ? kBottom : static_cast<NodeId>(rng.below(n));
+    phi.set(l, u, v);
+  }
+  return phi;
+}
+
+TEST(LocIncremental, PrefixMatchesBatchOnExhaustiveUniverses) {
+  // Every (computation, valid observer) pair of the small universes the
+  // repo's other differentials sweep, at chunk sizes that put the
+  // boundaries everywhere.
+  UniverseSpec one;
+  one.max_nodes = 4;
+  one.nlocations = 1;
+  UniverseSpec two;
+  two.max_nodes = 3;
+  two.nlocations = 2;
+  for (const UniverseSpec& spec : {one, two}) {
+    for_each_pair(spec,
+                  [&](const Computation& c, const ObserverFunction& phi) {
+                    for (const std::uint32_t chunk : {1u, 2u, 3u})
+                      expect_prefix_equivalence(c, phi, chunk);
+                    return true;
+                  });
+  }
+}
+
+TEST(LocIncremental, PrefixMatchesBatchOnExhaustiveSixNodeComputations) {
+  // Exhaustive computations up to 6 nodes (nop-free, ≤2 writers per
+  // location keeps the sweep in seconds); observers are sampled —
+  // alternating valid and corrupted — since the full pair universe at
+  // this size is astronomically large.
+  UniverseSpec spec;
+  spec.max_nodes = 6;
+  spec.nlocations = 1;
+  spec.include_nop = false;
+  spec.max_writes_per_location = 2;
+  Rng rng(2026);
+  std::size_t i = 0;
+  for_each_computation(spec, [&](const Computation& c) {
+    ObserverFunction phi = random_observer(c, rng);
+    if (++i % 2 == 0) {
+      expect_prefix_equivalence(c, phi, 2);
+    } else {
+      expect_prefix_equivalence(c, corrupt(c, std::move(phi), rng), 3);
+    }
+    return true;
+  });
+}
+
+TEST(LocIncremental, PrefixMatchesBatchOnGeneratedPrograms) {
+  Rng rng(97);
+  std::vector<std::pair<Computation, ObserverFunction>> instances;
+  {
+    const Computation c = workload::random_ops(gen::random_dag(60, 0.1, rng),
+                                               5, 0.45, 0.45, rng);
+    WeakMemory mem(3);
+    const Schedule s = greedy_schedule(c, 3);
+    auto phi = run_execution(c, s, mem).phi;
+    instances.emplace_back(c, phi);
+    instances.emplace_back(c, corrupt(c, std::move(phi), rng));
+  }
+  {
+    proc::RandomCilkOptions opt;
+    opt.target_ops = 80;
+    opt.nlocations = 4;
+    const Computation c = proc::random_cilk(opt, rng);
+    WeakMemory mem(7);
+    const Schedule s = greedy_schedule(c, 2);
+    instances.emplace_back(c, run_execution(c, s, mem).phi);
+  }
+  {
+    const Computation c = workload::random_ops(
+        gen::layered({5, 7, 7, 5}, 0.3, rng), 6, 0.4, 0.4, rng);
+    ScMemory mem;
+    auto phi = run_serial(c, mem).phi;
+    instances.emplace_back(c, corrupt(c, std::move(phi), rng));
+  }
+  for (const auto& [c, phi] : instances)
+    for (const std::uint32_t chunk : {1u, 7u, 64u})
+      expect_prefix_equivalence(c, phi, chunk);
+}
+
+TEST(LocIncremental, EngineChunkFuzzMatchesDefault) {
+  // The public engine must produce identical reports however the
+  // stream is cut: options.chunk_nodes fuzzes the pipeline's chunking
+  // across the sizes the incremental kernel's batching cares about.
+  Rng rng(113);
+  std::vector<std::pair<Computation, ObserverFunction>> instances;
+  {
+    proc::RandomCilkOptions opt;
+    opt.target_ops = 3000;
+    opt.nlocations = 8;
+    const Computation c = proc::random_cilk(opt, rng);
+    ScMemory mem;
+    auto phi = run_serial(c, mem).phi;
+    instances.emplace_back(c, phi);
+    instances.emplace_back(c, corrupt(c, std::move(phi), rng));
+  }
+  {
+    const Computation c = workload::random_ops(
+        gen::random_dag(500, 0.02, rng), 10, 0.4, 0.4, rng);
+    WeakMemory mem(5);
+    const Schedule s = greedy_schedule(c, 4);
+    instances.emplace_back(c, run_execution(c, s, mem).phi);
+  }
+  for (const auto& [c, phi] : instances) {
+    LargeCheckOptions base;
+    base.models = kLargeCheckExt;
+    base.parallel = false;
+    const LargeCheckReport want = large_check(c, phi, base);
+    for (const std::uint32_t chunk : {1u, 7u, 64u, 4096u}) {
+      LargeCheckOptions opt = base;
+      opt.chunk_nodes = chunk;
+      const LargeCheckReport got = large_check(c, phi, opt);
+      ASSERT_EQ(got.valid_observer, want.valid_observer) << chunk;
+      EXPECT_EQ(got.satisfied, want.satisfied) << chunk;
+      EXPECT_EQ(got.detail, want.detail) << chunk;
+      ASSERT_EQ(got.locations.size(), want.locations.size());
+      for (std::size_t i = 0; i < got.locations.size(); ++i) {
+        EXPECT_EQ(got.locations[i].valid, want.locations[i].valid);
+        EXPECT_EQ(got.locations[i].violated, want.locations[i].violated);
+        EXPECT_EQ(got.locations[i].detail, want.locations[i].detail);
+      }
+    }
+  }
+}
+
+TEST(LocIncrementalParallel, PipelinedRingMatchesSerial) {
+  // Big enough to clear the pipeline threshold, with a pool of its own
+  // so the test exercises the ring even on single-core CI; runs under
+  // TSan in the sanitizer job. The corrupted variant sends failure
+  // records (not just blocks) across the ring.
+  Rng rng(131);
+  proc::RandomCilkOptions opt;
+  opt.target_ops = 40'000;
+  opt.nlocations = 8;
+  const Computation c = proc::random_cilk(opt, rng);
+  ScMemory mem;
+  const ObserverFunction clean = run_serial(c, mem).phi;
+  const ObserverFunction bad = corrupt(c, ObserverFunction(clean), rng);
+
+  ThreadPool pool(4);
+  for (const ObserverFunction* phi : {&clean, &bad}) {
+    LargeCheckOptions par;
+    par.models = kLargeCheckExt;
+    par.parallel = true;
+    par.pool = &pool;
+    par.chunk_nodes = 1 << 12;  // many chunks through the ring
+    LargeCheckOptions seq = par;
+    seq.parallel = false;
+    const LargeCheckReport a = large_check(c, *phi, par);
+    const LargeCheckReport b = large_check(c, *phi, seq);
+    EXPECT_TRUE(a.pipelined);
+    ASSERT_EQ(a.valid_observer, b.valid_observer) << a.detail;
+    EXPECT_EQ(a.satisfied, b.satisfied);
+    ASSERT_EQ(a.locations.size(), b.locations.size());
+    for (std::size_t i = 0; i < a.locations.size(); ++i) {
+      EXPECT_EQ(a.locations[i].loc, b.locations[i].loc);
+      EXPECT_EQ(a.locations[i].valid, b.locations[i].valid);
+      EXPECT_EQ(a.locations[i].violated, b.locations[i].violated);
+      EXPECT_EQ(a.locations[i].detail, b.locations[i].detail);
+    }
+  }
+}
+
+TEST(LocIncremental, LazyOracleBuildsOnlyWhenQueried) {
+  // A serial trace observer points every observation backwards, so the
+  // position filter discharges all 2.2 checks and the oracle is never
+  // built; a forward-pointing corruption forces the build.
+  Rng rng(151);
+  proc::RandomCilkOptions opt;
+  opt.target_ops = 3000;
+  opt.nlocations = 4;
+  const Computation c = proc::random_cilk(opt, rng);
+  ScMemory mem;
+  const ObserverFunction phi = run_serial(c, mem).phi;
+  LargeCheckOptions lopt;
+  lopt.models = kSuiteLC;
+  const LargeCheckReport clean = large_check(c, phi, lopt);
+  EXPECT_EQ(clean.oracle_kind, "sp-order");
+  EXPECT_EQ(clean.oracle_memory_bytes, 0u);
+  EXPECT_EQ(clean.oracle_build_millis, 0.0);
+
+  // Point an early read at the LAST writer of its location: the pair
+  // survives the position filter and must consult the oracle.
+  ObserverFunction fwd = phi;
+  const std::vector<Location> locs = c.written_locations();
+  ASSERT_FALSE(locs.empty());
+  bool planted = false;
+  for (const Location l : locs) {
+    const std::vector<NodeId> ws = c.writers(l);
+    if (ws.size() < 2) continue;
+    for (NodeId u = 0; u < c.node_count() && !planted; ++u) {
+      const Op o = c.op(u);
+      if (o.is_read() && o.loc == l && u < ws.back()) {
+        fwd.set(l, u, ws.back());
+        planted = true;
+      }
+    }
+    if (planted) break;
+  }
+  ASSERT_TRUE(planted);
+  const LargeCheckReport forced = large_check(c, fwd, lopt);
+  EXPECT_EQ(forced.oracle_kind, "sp-order");
+  EXPECT_GT(forced.oracle_memory_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace ccmm

@@ -13,11 +13,17 @@
 # schedule (with its support/repair counters on the benchmark rows); and
 # the global memo-cache counters exported by the experiments.
 #
-# Usage: tools/run_benches.sh [--quick] [--build-dir DIR] [--out FILE]
+# Usage: tools/run_benches.sh [--quick|--nightly] [--build-dir DIR] [--out FILE]
 #   --quick      CI smoke budget: tiny min_time and the expensive args
 #                (the /6 fixpoint universes, the 10000-node race scans)
 #                filtered out.  Full mode includes the headline
 #                BM_FixpointSequential/6 vs BM_FixpointQuotient/6 run.
+#   --nightly    Full mode plus the 134217728-node (128M) postmortem in
+#                its own process; gates hard on its bytes-per-node
+#                budget (<= 48) so a memory regression at scale fails
+#                the nightly run even though no timing baseline exists
+#                for it.  Minutes of wall clock and ~35 GiB of RSS —
+#                never part of --quick or default full runs.
 #   --build-dir  CMake build tree holding bench/ binaries (default: build).
 #   --out        Output JSON path (default: BENCH_ccmm.json in repo root).
 set -euo pipefail
@@ -34,6 +40,7 @@ filter=''
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) mode=quick; shift ;;
+    --nightly) mode=nightly; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --out) out_file="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
@@ -46,8 +53,9 @@ if [[ $mode == quick ]]; then
   # The /1048576 trace runs and the 16384-node closure build are
   # second-scale per iteration; the 16384 streaming run stays in so the
   # BM_LargeCheckLC/16384 gate still binds on CI. The /16777216 data
-  # plane runs (and their 500 MB text twin) are full-mode only.
-  filter='-(.*/6$|.*/10000$|.*/1048576$|.*/16777216$|BM_VerifyClosureLC/16384$|BM_FixpointParallel.*)'
+  # plane runs (and their 500 MB text twin) are full-mode only, and the
+  # /134217728 postmortem is nightly-only.
+  filter='-(.*/6$|.*/10000$|.*/1048576$|.*/16777216$|.*/134217728$|BM_VerifyClosureLC/16384$|BM_FixpointParallel.*)'
 fi
 
 tmp="$(mktemp -d)"
@@ -70,7 +78,7 @@ for b in "${benches[@]}"; do
     exit 1
   fi
   echo "== $b =="
-  if [[ $mode == full && $b == bench_construct ]]; then
+  if [[ $mode != quick && $b == bench_construct ]]; then
     # The minute-scale /6 fixpoint universes go in separate processes:
     # the first allocation-heavy iteration right after them reads ~100x
     # slow (page reclaim after the gfp frees gigabytes), which would
@@ -84,15 +92,22 @@ for b in "${benches[@]}"; do
     # process, same page-reclaim reasoning as above).
     run_bench "$bin" "$tmp/$b.part4.json" 'BM_FixpointWorklistQuotient/6$'
     run_bench "$bin" "$tmp/$b.part5.json" 'BM_FixpointJacobiQuotient/6$'
-  elif [[ $mode == full && $b == bench_trace ]]; then
+  elif [[ $mode != quick && $b == bench_trace ]]; then
     # The 16M-node data-plane runs get their own processes: building a
     # 16M-op program + trace + its ~500 MB text twin would otherwise
     # leave the allocator and page cache hot (or reclaiming) under the
     # small benchmarks that follow in the same binary.
-    run_bench "$bin" "$tmp/$b.json" '-(.*/16777216$)'
+    run_bench "$bin" "$tmp/$b.json" '-(.*/16777216$|.*/134217728$)'
     run_bench "$bin" "$tmp/$b.part2.json" 'BM_LargeCheckLC/16777216$'
     run_bench "$bin" "$tmp/$b.part3.json" 'BM_PostmortemNaive/16777216$'
     run_bench "$bin" "$tmp/$b.part4.json" 'BM_PostmortemDataPlane/16777216$'
+    if [[ $mode == nightly ]]; then
+      # The 128M tripwire, process-isolated like the other giant args:
+      # one iteration takes minutes and touches ~35 GiB, and the page
+      # reclaim after it frees would poison any benchmark sharing the
+      # process.  The merge step below gates on its bytes_per_node.
+      run_bench "$bin" "$tmp/$b.part5.json" 'BM_LargeCheckLC/134217728$'
+    fi
   else
     run_bench "$bin" "$tmp/$b.json" "$filter"
   fi
@@ -130,6 +145,7 @@ merged = {"generated_by": "tools/run_benches.sh", "mode": mode,
           "dataplane_memory": [], "cache_counters": {}}
 
 by_name = {}
+counters_by_name = {}
 for b in benches:
     raw = load(f"{tmp}/{b}.json")
     for part in ("part2", "part3", "part4", "part5"):
@@ -157,6 +173,7 @@ for b in benches:
         rows.append(row)
         ns = r["real_time"] * UNIT_NS.get(r.get("time_unit", "ns"), 1.0)
         by_name[r["name"]] = ns
+        counters_by_name[r["name"]] = row.get("counters", {})
     merged["benchmarks"][b] = rows
 
 for e in experiments:
@@ -221,6 +238,17 @@ DATAPLANE_PAIRS = [
 ]
 pair_rows(DATAPLANE_PAIRS, merged["dataplane_speedup"], "naive", "dataplane")
 
+# Annotate each naive -> dataplane pair with its peak-RSS delta: the
+# counters carry peak_rss_mb per process, so the pair shows how much
+# resident memory the compact data plane saves at the same size.
+for row in merged["dataplane_speedup"]:
+    rss_naive = counters_by_name.get(row["naive"], {}).get("peak_rss_mb")
+    rss_plane = counters_by_name.get(row["dataplane"], {}).get("peak_rss_mb")
+    if rss_naive is not None and rss_plane is not None:
+        row["naive_peak_rss_mb"] = rss_naive
+        row["dataplane_peak_rss_mb"] = rss_plane
+        row["peak_rss_delta_mb"] = rss_naive - rss_plane
+
 # The data-plane memory table: bytes-per-node and peak RSS straight off
 # the benchmark counters.
 for b in benches:
@@ -248,6 +276,22 @@ with open(out_file, "w") as f:
     f.write("\n")
 
 print(f"wrote {out_file}")
+tripwire_failed = False
+if mode == "nightly":
+    # The 128M tripwire: no timing baseline exists at this size (one
+    # wall-clock sample a night is all we get), but the memory budget
+    # is machine-independent, so it gates absolutely.
+    name, ceiling = "BM_LargeCheckLC/134217728", 48.0
+    bpn = counters_by_name.get(name, {}).get("bytes_per_node")
+    if bpn is None:
+        print(f"nightly tripwire: {name} missing from the report",
+              file=sys.stderr)
+        tripwire_failed = True
+    else:
+        verdict = "OK" if bpn <= ceiling else "FAIL"
+        print(f"nightly tripwire {name}: {bpn:.1f} B/node vs ceiling "
+              f"{ceiling:g} ... {verdict}")
+        tripwire_failed = bpn > ceiling
 for row in merged["quotient_speedup"]:
     print(f"  {row['labeled']:45s} -> {row['quotient']:50s} "
           f"{row['speedup']:.2f}x")
@@ -261,12 +305,18 @@ for row in merged["trace_speedup"]:
     print(f"  {row['closure']:45s} -> {row['streaming']:50s} "
           f"{row['speedup']:.2f}x")
 for row in merged["dataplane_speedup"]:
+    rss = (f"  (peak rss {row['naive_peak_rss_mb']:.0f} -> "
+           f"{row['dataplane_peak_rss_mb']:.0f} MiB, "
+           f"-{row['peak_rss_delta_mb']:.0f})"
+           if "peak_rss_delta_mb" in row else "")
     print(f"  {row['naive']:45s} -> {row['dataplane']:50s} "
-          f"{row['speedup']:.2f}x")
+          f"{row['speedup']:.2f}x{rss}")
 if merged["dataplane_memory"]:
     print("data plane memory:")
     for row in merged["dataplane_memory"]:
         rss = (f"  peak rss {row['peak_rss_mb']:8.1f} MiB"
                if "peak_rss_mb" in row else "")
         print(f"  {row['name']:45s} {row['bytes_per_node']:8.1f} B/node{rss}")
+if tripwire_failed:
+    sys.exit(1)
 PY

@@ -1,5 +1,6 @@
 #include "io/text.hpp"
 
+#include <cstdint>
 #include <istream>
 #include <optional>
 #include <sstream>
@@ -65,13 +66,15 @@ Computation read_computation_body(LineReader& r) {
   std::optional<std::size_t> n;
   std::vector<Op> ops;
   std::vector<Edge> edges;
+  std::vector<std::vector<SpEvent>> strands;
   for (;;) {
     const auto t = r.next();
     if (t.empty()) parse_error(r.line(), "unexpected end of input");
     if (t[0] == "end") break;
     if (t[0] == "nodes") {
       if (t.size() != 2) parse_error(r.line(), "usage: nodes <n>");
-      n = static_cast<std::size_t>(parse_number(r, t[1], 100000));
+      n = static_cast<std::size_t>(
+          parse_number(r, t[1], std::uint64_t{1} << 28));
       ops.assign(*n, Op::nop());
     } else if (t[0] == "op") {
       if (!n.has_value()) parse_error(r.line(), "'op' before 'nodes'");
@@ -94,6 +97,48 @@ Computation read_computation_body(LineReader& r) {
       const auto max_id = *n > 0 ? *n - 1 : 0;
       edges.push_back({static_cast<NodeId>(parse_number(r, t[1], max_id)),
                        static_cast<NodeId>(parse_number(r, t[2], max_id))});
+    } else if (t[0] == "strand") {
+      // One series-parallel strand per line, events in stream order:
+      // n<node> (executed), s<strand> (spawn), y<node>|y_ (sync, '_' =
+      // no join node), a<strand> (plain-call adoption). Strand indices
+      // may point forward; they are validated once all lines are in.
+      if (!n.has_value()) parse_error(r.line(), "'strand' before 'nodes'");
+      const auto max_id = *n > 0 ? *n - 1 : 0;
+      std::vector<SpEvent> events;
+      events.reserve(t.size() - 1);
+      for (std::size_t i = 1; i < t.size(); ++i) {
+        const std::string& tok = t[i];
+        if (tok.size() < 2)
+          parse_error(r.line(), "bad strand event '" + tok + "'");
+        const std::string num = tok.substr(1);
+        SpEvent e;
+        switch (tok[0]) {
+          case 'n':
+            e.kind = SpEvent::Kind::kNode;
+            e.node = static_cast<NodeId>(parse_number(r, num, max_id));
+            break;
+          case 's':
+            e.kind = SpEvent::Kind::kSpawn;
+            e.child =
+                static_cast<std::uint32_t>(parse_number(r, num, UINT32_MAX));
+            break;
+          case 'y':
+            e.kind = SpEvent::Kind::kSync;
+            e.node = num == "_" ? kBottom
+                                : static_cast<NodeId>(
+                                      parse_number(r, num, max_id));
+            break;
+          case 'a':
+            e.kind = SpEvent::Kind::kAdopt;
+            e.child =
+                static_cast<std::uint32_t>(parse_number(r, num, UINT32_MAX));
+            break;
+          default:
+            parse_error(r.line(), "bad strand event '" + tok + "'");
+        }
+        events.push_back(e);
+      }
+      strands.push_back(std::move(events));
     } else {
       parse_error(r.line(), "unknown directive '" + t[0] + "'");
     }
@@ -101,7 +146,21 @@ Computation read_computation_body(LineReader& r) {
   if (!n.has_value()) parse_error(r.line(), "missing 'nodes'");
   Dag dag(*n, edges);
   if (!dag.is_acyclic()) parse_error(r.line(), "edges form a cycle");
-  return Computation(std::move(dag), std::move(ops));
+  Computation c(std::move(dag), std::move(ops));
+  if (!strands.empty()) {
+    auto sp = std::make_shared<SpStructure>();
+    sp->strands = std::move(strands);
+    sp->node_count = *n;
+    for (const auto& stream : sp->strands)
+      for (const SpEvent& e : stream)
+        if ((e.kind == SpEvent::Kind::kSpawn ||
+             e.kind == SpEvent::Kind::kAdopt) &&
+            e.child >= sp->strands.size())
+          parse_error(r.line(),
+                      format("strand event names unknown strand %u", e.child));
+    c.set_sp_structure(std::move(sp));
+  }
+  return c;
 }
 
 ObserverFunction read_observer_body(LineReader& r, std::size_t node_count) {
@@ -140,6 +199,35 @@ std::string write_computation(const Computation& c) {
   }
   for (const auto& e : c.dag().edges())
     out += format("edge %u %u\n", e.from, e.to);
+  // The series-parallel parse rides along when the front end recorded
+  // one: without it a reader falls back to generic-dag oracles, which
+  // is a silent order-of-magnitude checking slowdown, not an error.
+  const SpStructure* sp = c.sp_structure().get();
+  if (sp != nullptr && sp->node_count == c.node_count()) {
+    for (const auto& stream : sp->strands) {
+      out += "strand";
+      for (const SpEvent& e : stream) {
+        switch (e.kind) {
+          case SpEvent::Kind::kNode:
+            out += format(" n%u", e.node);
+            break;
+          case SpEvent::Kind::kSpawn:
+            out += format(" s%u", e.child);
+            break;
+          case SpEvent::Kind::kSync:
+            if (e.node == kBottom)
+              out += " y_";
+            else
+              out += format(" y%u", e.node);
+            break;
+          case SpEvent::Kind::kAdopt:
+            out += format(" a%u", e.child);
+            break;
+        }
+      }
+      out += "\n";
+    }
+  }
   out += "end\n";
   return out;
 }

@@ -1,0 +1,203 @@
+// ccmm/serve/client.cpp — see client.hpp.
+#include "serve/client.hpp"
+
+#include <bit>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include "io/text.hpp"
+
+namespace ccmm::serve {
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ServeClient::ServeClient(const std::string& address, ClientOptions opts)
+    : opts_(std::move(opts)) {
+#if defined(SIGPIPE)
+  std::signal(SIGPIPE, SIG_IGN);  // server death must be EPIPE, not a kill
+#endif
+  fd_ = net::connect_to(net::Addr::parse(address));
+}
+
+ServeClient::~ServeClient() {
+  try {
+    flush();
+  } catch (...) {
+  }
+}
+
+void ServeClient::send(FrameType type, std::uint8_t flags,
+                       const void* payload, std::size_t size) {
+  write_frame(fd_.get(), type, flags, payload, size);
+}
+
+FrameHeader ServeClient::read_reply(std::vector<unsigned char>& payload) {
+  FrameHeader h;
+  if (!read_frame(fd_.get(), h, payload, opts_.max_frame_bytes))
+    throw net::NetError("server closed the connection");
+  if (h.type == FrameType::kError)
+    throw ServeError(
+        std::string(reinterpret_cast<const char*>(payload.data()),
+                    payload.size()),
+        (h.flags & kFlagStreamRejected) != 0);
+  return h;
+}
+
+std::uint64_t ServeClient::open(const Computation& c) {
+  flush();
+  OpenRequest req;
+  req.options = opts_.session;
+  req.computation_text = io::write_computation(c);
+  const std::string payload = encode_open(req);
+  send(FrameType::kOpen, 0, payload.data(), payload.size());
+  std::vector<unsigned char> reply;
+  const FrameHeader h = read_reply(reply);
+  if (h.type != FrameType::kOpened)
+    throw ProtocolError("expected kOpened after kOpen");
+  decode_opened(reply.data(), reply.size(), id_, nodes_);
+  return id_;
+}
+
+void ServeClient::attach(std::uint64_t session_id) {
+  flush();
+  unsigned char payload[8];
+  for (int i = 0; i < 8; ++i)
+    payload[i] = static_cast<unsigned char>((session_id >> (8 * i)) & 0xFF);
+  send(FrameType::kAttach, 0, payload, sizeof payload);
+  std::vector<unsigned char> reply;
+  const FrameHeader h = read_reply(reply);
+  if (h.type != FrameType::kOpened)
+    throw ProtocolError("expected kOpened after kAttach");
+  decode_opened(reply.data(), reply.size(), id_, nodes_);
+}
+
+std::uint64_t ServeClient::restore(const std::string& snapshot_blob) {
+  flush();
+  send(FrameType::kRestore, 0, snapshot_blob.data(), snapshot_blob.size());
+  std::vector<unsigned char> reply;
+  const FrameHeader h = read_reply(reply);
+  if (h.type != FrameType::kOpened)
+    throw ProtocolError("expected kOpened after kRestore");
+  decode_opened(reply.data(), reply.size(), id_, nodes_);
+  return id_;
+}
+
+void ServeClient::feed(const BinaryTraceEvent* events, std::size_t count) {
+  buf_.insert(buf_.end(), events, events + count);
+  if (buffered_since_ms_ < 0 && !buf_.empty()) buffered_since_ms_ = now_ms();
+  maybe_flush();
+}
+
+void ServeClient::maybe_flush() {
+  const bool size_due = buf_.size() >= opts_.batch_events;
+  const bool time_due = opts_.flush_after_ms > 0 && buffered_since_ms_ >= 0 &&
+                        now_ms() - buffered_since_ms_ >= opts_.flush_after_ms;
+  if (size_due || time_due) flush();
+}
+
+void ServeClient::flush() {
+  if (buf_.empty()) return;
+  // The wire format IS the record layout on little-endian hosts; on
+  // big-endian, serialize field by field.
+  if constexpr (std::endian::native == std::endian::little) {
+    send(FrameType::kEvents, 0, buf_.data(),
+         buf_.size() * kTraceBinaryEventBytes);
+  } else {
+    std::string payload;
+    payload.reserve(buf_.size() * kTraceBinaryEventBytes);
+    const auto put32 = [&payload](std::uint32_t v) {
+      for (int i = 0; i < 4; ++i)
+        payload.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    };
+    const auto put64 = [&payload](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i)
+        payload.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    };
+    for (const BinaryTraceEvent& e : buf_) {
+      put64(e.seq);
+      put64(e.time);
+      put32(e.proc);
+      put32(e.node);
+      put32(e.observed);
+      put32(e.reserved);
+    }
+    send(FrameType::kEvents, 0, payload.data(), payload.size());
+  }
+  buf_.clear();
+  buffered_since_ms_ = -1.0;
+}
+
+SessionVerdict ServeClient::verdict() {
+  flush();
+  // An empty flagged kEvents frame is the verdict ping: it is applied
+  // in FIFO order after every batch already in flight.
+  send(FrameType::kEvents, kFlagWantVerdict, nullptr, 0);
+  std::vector<unsigned char> reply;
+  const FrameHeader h = read_reply(reply);
+  if (h.type != FrameType::kVerdict)
+    throw ProtocolError("expected kVerdict reply");
+  return decode_verdict(reply.data(), reply.size());
+}
+
+LargeCheckReport ServeClient::check() {
+  flush();
+  send(FrameType::kCheck, 0, nullptr, 0);
+  std::vector<unsigned char> reply;
+  const FrameHeader h = read_reply(reply);
+  if (h.type != FrameType::kReport)
+    throw ProtocolError("expected kReport reply");
+  return decode_report(reply.data(), reply.size());
+}
+
+LargeCheckReport ServeClient::finish() {
+  flush();
+  send(FrameType::kFinish, 0, nullptr, 0);
+  std::vector<unsigned char> reply;
+  const FrameHeader h = read_reply(reply);
+  if (h.type != FrameType::kReport)
+    throw ProtocolError("expected kReport reply");
+  return decode_report(reply.data(), reply.size());
+}
+
+std::string ServeClient::snapshot() {
+  flush();
+  send(FrameType::kSnapshot, 0, nullptr, 0);
+  std::vector<unsigned char> reply;
+  const FrameHeader h = read_reply(reply);
+  if (h.type != FrameType::kSnapshotData)
+    throw ProtocolError("expected kSnapshotData reply");
+  return std::string(reinterpret_cast<const char*>(reply.data()),
+                     reply.size());
+}
+
+std::string ServeClient::status() {
+  flush();
+  send(FrameType::kStatus, 0, nullptr, 0);
+  std::vector<unsigned char> reply;
+  const FrameHeader h = read_reply(reply);
+  if (h.type != FrameType::kStatusText)
+    throw ProtocolError("expected kStatusText reply");
+  return std::string(reinterpret_cast<const char*>(reply.data()),
+                     reply.size());
+}
+
+void ServeClient::close_session() {
+  flush();
+  send(FrameType::kClose, 0, nullptr, 0);
+  // kClose carries no reply; a status round trip drains the pipeline
+  // so the session is provably retired when this returns.
+  (void)status();
+  id_ = 0;
+  nodes_ = 0;
+}
+
+}  // namespace ccmm::serve

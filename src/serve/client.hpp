@@ -1,0 +1,109 @@
+// ccmm/serve/client.hpp
+//
+// The blocking ccmm_serve client: one connection, one session, a
+// buffered feed() with adaptive flushing, and synchronous verdict /
+// report / snapshot calls. Event batches are pipelined — feed() and
+// flush() never wait for the server — so steady-state streaming costs
+// no round trips; only the calls that ask a question (verdict, check,
+// finish, snapshot, status) block for the reply, which the FIFO
+// protocol guarantees arrives in request order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace ccmm::serve {
+
+/// Server-reported failure (kError frame). `stream_rejected()` means
+/// the event stream violated the computation — the session is sticky-
+/// failed but finish() still returns the batch-identical error report.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(const std::string& what, bool stream_rejected)
+      : std::runtime_error(what), stream_rejected_(stream_rejected) {}
+  [[nodiscard]] bool stream_rejected() const noexcept {
+    return stream_rejected_;
+  }
+
+ private:
+  bool stream_rejected_ = false;
+};
+
+struct ClientOptions {
+  SessionOptions session;
+  /// Flush watermark: feed() sends a kEvents frame once this many
+  /// records are buffered.
+  std::size_t batch_events = 4096;
+  /// Time watermark: a partial batch older than this flushes on the
+  /// next feed() even below the size watermark (0 = size-only).
+  double flush_after_ms = 2.0;
+  std::uint64_t max_frame_bytes = std::uint64_t{1} << 30;
+};
+
+class ServeClient {
+ public:
+  /// Connect (net::Addr grammar: "unix:/path" | "tcp:host:port").
+  explicit ServeClient(const std::string& address, ClientOptions opts = {});
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Open a fresh session for `c`; returns the session id (keep it to
+  /// attach() after a reconnect).
+  std::uint64_t open(const Computation& c);
+  /// Rebind this connection to an existing session.
+  void attach(std::uint64_t session_id);
+  /// Rebuild a session from a snapshot() blob (possibly on another
+  /// server). Returns the new session id.
+  std::uint64_t restore(const std::string& snapshot_blob);
+
+  /// Buffer records, flushing at the watermarks. Never blocks on the
+  /// server.
+  void feed(const BinaryTraceEvent* events, std::size_t count);
+  void feed(const std::vector<BinaryTraceEvent>& events) {
+    feed(events.data(), events.size());
+  }
+  /// Send any buffered partial batch now (no reply).
+  void flush();
+
+  /// Flush, then ask for the O(1) verdict over everything fed so far.
+  /// One round trip; throws ServeError when the stream was rejected.
+  [[nodiscard]] SessionVerdict verdict();
+  /// Full report over the consumed prefix (server runs check()).
+  [[nodiscard]] LargeCheckReport check();
+  /// Terminal report (server runs finish()); byte-identical to
+  /// `ccmm_check --trace` on the same events.
+  [[nodiscard]] LargeCheckReport finish();
+  /// Serialize the session (requires retain_events in the options).
+  [[nodiscard]] std::string snapshot();
+  /// The server's /status page.
+  [[nodiscard]] std::string status();
+  /// Retire the session server-side (no reply).
+  void close_session();
+
+  [[nodiscard]] std::uint64_t session_id() const noexcept { return id_; }
+  [[nodiscard]] std::uint64_t node_count() const noexcept { return nodes_; }
+  [[nodiscard]] const ClientOptions& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  void send(FrameType type, std::uint8_t flags, const void* payload,
+            std::size_t size);
+  /// Read the next reply frame; throws ServeError on kError.
+  FrameHeader read_reply(std::vector<unsigned char>& payload);
+  void maybe_flush();
+
+  net::Fd fd_;
+  ClientOptions opts_;
+  std::uint64_t id_ = 0;
+  std::uint64_t nodes_ = 0;
+  std::vector<BinaryTraceEvent> buf_;
+  double buffered_since_ms_ = -1.0;  // steady-clock ms of first record
+};
+
+}  // namespace ccmm::serve

@@ -226,6 +226,21 @@ class LocState {
   [[nodiscard]] std::uint32_t consumed() const noexcept { return consumed_; }
   [[nodiscard]] Location location() const noexcept { return loc_; }
 
+  /// O(1) "known so far" verdict bits for the online-serving fast path:
+  /// a validity failure, a sticky B_⊥ quotient edge, and the freshness
+  /// shadow are all certain the moment they are seen — no finalize (and
+  /// no mask sweep) needed. A clean answer here is NOT a clean verdict:
+  /// the mask models and a dirty LC only decide at finalize_into().
+  [[nodiscard]] bool validity_failed() const noexcept {
+    return fail_pos_ != kLocNoPos;
+  }
+  [[nodiscard]] bool lc_known_violated() const noexcept {
+    return lc_violated_;
+  }
+  [[nodiscard]] bool freshness_known_violated() const noexcept {
+    return fresh_bad_;
+  }
+
   /// Heap bytes this state holds (drain positions, shadow SpanSet) —
   /// reported into the engine's bytes-per-node.
   [[nodiscard]] std::size_t memory_bytes() const noexcept;

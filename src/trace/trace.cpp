@@ -62,12 +62,20 @@ bool trace_consistent_with(const Trace& trace, const Computation& c,
       return fail(format("node %u appears in more than one event", order[i]));
     pos[order[i]] = i;
   }
-  for (NodeId u = 0; u < c.node_count(); ++u)
-    for (const NodeId v : c.dag().succ(u))
-      if (pos[u] >= pos[v])
-        return fail(format(
-            "trace order flips dag edge %u -> %u (node %u ran first)", u, v,
-            v));
+  // Scan in trace order and name the smallest late predecessor: the
+  // first offending *event* with an adjacency-order-independent edge,
+  // so an online session kernel (whose computation may have round-
+  // tripped through text, regrouping edges) reports the same message.
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const NodeId u = order[i];
+    NodeId late = u;  // sentinel: u is never its own predecessor
+    for (const NodeId q : c.dag().pred(u))
+      if (pos[q] >= i && (late == u || q < late)) late = q;
+    if (late != u)
+      return fail(format(
+          "trace order flips dag edge %u -> %u (node %u ran first)", late, u,
+          u));
+  }
   return true;
 }
 

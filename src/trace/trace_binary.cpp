@@ -1,9 +1,12 @@
 #include "trace/trace_binary.hpp"
 
 #include <bit>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
+#include <istream>
 #include <ostream>
+#include <streambuf>
 
 #include "util/str.hpp"
 
@@ -204,37 +207,106 @@ Trace read_trace_binary(const void* data, std::size_t size,
   return trace;
 }
 
+#if CCMM_HAS_MMAP
+void MappedTraceFile::adopt_fd(int fd, const std::string& name) {
+  struct stat st {};
+  if (::fstat(fd, &st) != 0)
+    throw std::runtime_error(format("cannot stat trace input %s",
+                                    name.c_str()));
+  if (S_ISREG(st.st_mode)) {
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ == 0) return;  // empty file: data() falls back to buf_
+    void* m = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (m != MAP_FAILED) {
+      map_ = m;
+      return;
+    }
+    // Unmappable file system: read the known size in one buffer.
+    buf_.resize(size_);
+    std::size_t got = 0;
+    while (got < size_) {
+      const ssize_t k = ::pread(fd, buf_.data() + got, size_ - got,
+                                static_cast<off_t>(got));
+      if (k < 0 && errno == EINTR) continue;
+      if (k <= 0)
+        throw std::runtime_error(format("cannot read trace input %s",
+                                        name.c_str()));
+      got += static_cast<std::size_t>(k);
+    }
+    return;
+  }
+  // Non-seekable input (pipe, socket, process substitution): drain to
+  // EOF through a chunked loop — the size is only known afterwards.
+  constexpr std::size_t kChunk = std::size_t{1} << 20;
+  std::size_t got = 0;
+  for (;;) {
+    if (buf_.size() - got < kChunk) buf_.resize(got + kChunk);
+    const ssize_t k = ::read(fd, buf_.data() + got, buf_.size() - got);
+    if (k < 0 && errno == EINTR) continue;
+    if (k < 0)
+      throw std::runtime_error(format("cannot read trace input %s",
+                                      name.c_str()));
+    if (k == 0) break;
+    got += static_cast<std::size_t>(k);
+  }
+  buf_.resize(got);
+  size_ = got;
+}
+#endif
+
+MappedTraceFile::MappedTraceFile(int fd, const std::string& name) {
+#if CCMM_HAS_MMAP
+  adopt_fd(fd, name);
+#else
+  (void)fd;
+  throw std::runtime_error(format(
+      "descriptor-based trace input %s requires a POSIX host", name.c_str()));
+#endif
+}
+
 MappedTraceFile::MappedTraceFile(const std::string& path) {
 #if CCMM_HAS_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd >= 0) {
-    struct stat st {};
-    if (::fstat(fd, &st) == 0 && st.st_size >= 0) {
-      size_ = static_cast<std::size_t>(st.st_size);
-      if (size_ > 0) {
-        void* m = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
-        if (m != MAP_FAILED) map_ = m;
-      } else {
-        map_ = nullptr;  // empty file: data() falls back to buf_ (empty)
-      }
+    try {
+      adopt_fd(fd, path);
+    } catch (...) {
+      ::close(fd);
+      throw;
     }
     ::close(fd);
-    if (map_ != nullptr || size_ == 0) return;
+    return;
   }
 #endif
-  // read() fallback: off-POSIX, unmappable file systems, or open/mmap
-  // failure — one contiguous buffer, same view semantics.
+  // ifstream fallback: off-POSIX, or open() failure worth retrying
+  // through the runtime (long paths, text-mode quirks).
   std::ifstream in(path, std::ios::binary);
   if (!in)
     throw std::runtime_error(format("cannot open trace file %s", path.c_str()));
   in.seekg(0, std::ios::end);
   const std::streamoff len = in.tellg();
-  in.seekg(0, std::ios::beg);
-  buf_.resize(len > 0 ? static_cast<std::size_t>(len) : 0);
-  if (!buf_.empty() &&
-      !in.read(reinterpret_cast<char*>(buf_.data()),
-               static_cast<std::streamsize>(buf_.size())))
-    throw std::runtime_error(format("cannot read trace file %s", path.c_str()));
+  if (len >= 0) {
+    in.seekg(0, std::ios::beg);
+    buf_.resize(static_cast<std::size_t>(len));
+    if (!buf_.empty() &&
+        !in.read(reinterpret_cast<char*>(buf_.data()),
+                 static_cast<std::streamsize>(buf_.size())))
+      throw std::runtime_error(
+          format("cannot read trace file %s", path.c_str()));
+  } else {
+    // Stream without a seekable end: chunked read to EOF.
+    in.clear();
+    constexpr std::size_t kChunk = std::size_t{1} << 20;
+    std::size_t got = 0;
+    for (;;) {
+      buf_.resize(got + kChunk);
+      in.read(reinterpret_cast<char*>(buf_.data()) + got,
+              static_cast<std::streamsize>(kChunk));
+      got += static_cast<std::size_t>(in.gcount());
+      if (!in) break;
+    }
+    buf_.resize(got);
+  }
   size_ = buf_.size();
 }
 
@@ -280,14 +352,33 @@ TraceFormat detect_trace_format_file(const std::string& path) {
   return detect_trace_format(head, static_cast<std::size_t>(in.gcount()));
 }
 
-Trace load_trace(const std::string& path, const Computation& c) {
-  if (detect_trace_format_file(path) == TraceFormat::kBinary) {
-    const MappedTraceFile file(path);
-    return read_trace_binary(file.data(), file.size(), c);
+namespace {
+
+/// A zero-copy istream over a loaded image, so the text parse reads
+/// straight out of the mmap/buffer — load_trace must not reopen the
+/// path (a FIFO's bytes are gone after the first open).
+class MemBuf : public std::streambuf {
+ public:
+  MemBuf(const void* data, std::size_t size) {
+    char* b = static_cast<char*>(const_cast<void*>(data));
+    setg(b, b, b + size);
   }
-  std::ifstream in(path);
-  if (!in)
-    throw std::runtime_error(format("cannot open trace file %s", path.c_str()));
+};
+
+class MemStream : private MemBuf, public std::istream {
+ public:
+  MemStream(const void* data, std::size_t size)
+      : MemBuf(data, size), std::istream(static_cast<MemBuf*>(this)) {}
+};
+
+}  // namespace
+
+Trace load_trace(const std::string& path, const Computation& c) {
+  const MappedTraceFile file =
+      path == "-" ? MappedTraceFile(0, "<stdin>") : MappedTraceFile(path);
+  if (detect_trace_format(file.data(), file.size()) == TraceFormat::kBinary)
+    return read_trace_binary(file.data(), file.size(), c);
+  MemStream in(file.data(), file.size());
   return read_trace(in, c);
 }
 

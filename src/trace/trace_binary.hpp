@@ -104,11 +104,20 @@ void write_trace_binary(const Trace& trace, std::ostream& out);
                                       const Computation& c);
 
 /// mmap-backed read-only file image, with a plain read() fallback when
-/// mapping fails (or off-POSIX). Movable, non-copyable.
+/// mapping fails (or off-POSIX). Non-seekable inputs — pipes, sockets,
+/// process substitution — are read to EOF through a chunked loop, so
+/// `mkfifo p && ccmm_check --trace p` streams without a temp file.
+/// Movable, non-copyable.
 class MappedTraceFile {
  public:
   /// Throws std::runtime_error when the file cannot be opened/read.
   explicit MappedTraceFile(const std::string& path);
+
+  /// Adopt an open descriptor (not closed; dup/keep it alive for the
+  /// read). Regular files mmap as usual; anything non-seekable is
+  /// drained to EOF into the fallback buffer. `name` is used in error
+  /// messages only.
+  MappedTraceFile(int fd, const std::string& name);
   ~MappedTraceFile();
   MappedTraceFile(MappedTraceFile&& o) noexcept;
   MappedTraceFile& operator=(MappedTraceFile&& o) noexcept;
@@ -123,6 +132,8 @@ class MappedTraceFile {
   [[nodiscard]] bool mapped() const noexcept { return map_ != nullptr; }
 
  private:
+  void adopt_fd(int fd, const std::string& name);
+
   void* map_ = nullptr;
   std::size_t size_ = 0;
   std::vector<unsigned char> buf_;
@@ -137,8 +148,10 @@ enum class TraceFormat : std::uint8_t { kText, kBinary };
 [[nodiscard]] TraceFormat detect_trace_format_file(const std::string& path);
 
 /// The CLIs' auto-detecting loader: binary files go through the mmap +
-/// zero-copy validation path, text files through read_trace. Throws
-/// std::runtime_error / TraceReadError on malformed input.
+/// zero-copy validation path, text files through read_trace. The path
+/// is opened exactly ONCE (a second open of a FIFO would lose bytes),
+/// and "-" reads standard input — both formats stream from pipes.
+/// Throws std::runtime_error / TraceReadError on malformed input.
 [[nodiscard]] Trace load_trace(const std::string& path, const Computation& c);
 
 }  // namespace ccmm

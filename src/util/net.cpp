@@ -1,0 +1,423 @@
+// ccmm/util/net.cpp — see net.hpp.
+#include "util/net.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/str.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define CCMM_HAS_EPOLL 1
+#else
+#define CCMM_HAS_EPOLL 0
+#endif
+#define CCMM_HAS_SOCKETS 1
+#else
+#define CCMM_HAS_SOCKETS 0
+#define CCMM_HAS_EPOLL 0
+#endif
+
+namespace ccmm::net {
+
+#if CCMM_HAS_SOCKETS
+
+namespace {
+
+[[noreturn]] void die_errno(const std::string& what) {
+  throw NetError(format("%s: %s", what.c_str(), std::strerror(errno)));
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Addr Addr::parse(const std::string& spec) {
+  Addr a;
+  if (spec.rfind("unix:", 0) == 0) {
+    a.kind = Kind::kUnix;
+    a.path = spec.substr(5);
+  } else if (spec.rfind("tcp:", 0) == 0) {
+    a.kind = Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon + 1 == rest.size())
+      throw NetError(format("tcp address needs host:port, got \"%s\"",
+                            spec.c_str()));
+    a.host = rest.substr(0, colon);
+    const long port = std::strtol(rest.c_str() + colon + 1, nullptr, 10);
+    if (port <= 0 || port > 65535)
+      throw NetError(format("bad tcp port in \"%s\"", spec.c_str()));
+    a.port = static_cast<std::uint16_t>(port);
+  } else if (!spec.empty() && (spec[0] == '/' || spec[0] == '.')) {
+    a.kind = Kind::kUnix;
+    a.path = spec;
+  } else {
+    throw NetError(format(
+        "cannot parse address \"%s\" (want unix:/path or tcp:host:port)",
+        spec.c_str()));
+  }
+  if (a.kind == Kind::kUnix && a.path.empty())
+    throw NetError("unix socket address has an empty path");
+  return a;
+}
+
+std::string Addr::str() const {
+  return kind == Kind::kUnix ? "unix:" + path
+                             : format("tcp:%s:%u", host.c_str(), port);
+}
+
+namespace {
+
+void fill_unix(const Addr& addr, sockaddr_un& sun) {
+  std::memset(&sun, 0, sizeof sun);
+  sun.sun_family = AF_UNIX;
+  if (addr.path.size() >= sizeof sun.sun_path)
+    throw NetError(format("unix socket path too long: %s",
+                          addr.path.c_str()));
+  std::memcpy(sun.sun_path, addr.path.c_str(), addr.path.size());
+}
+
+/// getaddrinfo wrapper shared by listen/connect.
+struct ResolvedAddrs {
+  addrinfo* head = nullptr;
+  ~ResolvedAddrs() {
+    if (head != nullptr) ::freeaddrinfo(head);
+  }
+};
+
+void resolve_tcp(const Addr& addr, bool for_listen, ResolvedAddrs& out) {
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof hints);
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (for_listen) hints.ai_flags = AI_PASSIVE;
+  const std::string port = format("%u", addr.port);
+  const char* host =
+      addr.host.empty() || addr.host == "*" ? nullptr : addr.host.c_str();
+  const int rc = ::getaddrinfo(host, port.c_str(), &hints, &out.head);
+  if (rc != 0)
+    throw NetError(format("cannot resolve %s: %s", addr.str().c_str(),
+                          ::gai_strerror(rc)));
+}
+
+}  // namespace
+
+Fd listen_on(const Addr& addr, int backlog) {
+  if (addr.kind == Addr::Kind::kUnix) {
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) die_errno("socket(AF_UNIX)");
+    sockaddr_un sun;
+    fill_unix(addr, sun);
+    ::unlink(addr.path.c_str());  // stale socket from a dead daemon
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sun), sizeof sun) != 0)
+      die_errno("bind " + addr.str());
+    if (::listen(fd.get(), backlog) != 0) die_errno("listen " + addr.str());
+    return fd;
+  }
+  ResolvedAddrs res;
+  resolve_tcp(addr, /*for_listen=*/true, res);
+  std::string last = "no addresses";
+  for (addrinfo* ai = res.head; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) continue;
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd.get(), backlog) == 0)
+      return fd;
+    last = std::strerror(errno);
+  }
+  throw NetError(
+      format("cannot listen on %s: %s", addr.str().c_str(), last.c_str()));
+}
+
+Fd connect_to(const Addr& addr) {
+  if (addr.kind == Addr::Kind::kUnix) {
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) die_errno("socket(AF_UNIX)");
+    sockaddr_un sun;
+    fill_unix(addr, sun);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sun), sizeof sun) !=
+        0)
+      die_errno("connect " + addr.str());
+    return fd;
+  }
+  ResolvedAddrs res;
+  resolve_tcp(addr, /*for_listen=*/false, res);
+  std::string last = "no addresses";
+  for (addrinfo* ai = res.head; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) continue;
+    if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;  // frames are small; don't batch them in Nagle
+      ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return fd;
+    }
+    last = std::strerror(errno);
+  }
+  throw NetError(
+      format("cannot connect to %s: %s", addr.str().c_str(), last.c_str()));
+}
+
+Fd accept_from(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return Fd(fd);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED)
+      return Fd();
+    die_errno("accept");
+  }
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) die_errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) < 0) die_errno("fcntl(F_SETFL)");
+}
+
+void write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t at = 0;
+  while (at < size) {
+    const ssize_t k = ::write(fd, p + at, size - at);
+    if (k > 0) {
+      at += static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k < 0 && errno == EINTR) continue;
+    if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      (void)::poll(&pfd, 1, -1);
+      continue;
+    }
+    die_errno("write");
+  }
+}
+
+bool read_exact(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  std::size_t at = 0;
+  while (at < size) {
+    const ssize_t k = ::read(fd, p + at, size - at);
+    if (k > 0) {
+      at += static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k < 0 && errno == EINTR) continue;
+    if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLIN, 0};
+      (void)::poll(&pfd, 1, -1);
+      continue;
+    }
+    if (k == 0) {
+      if (at == 0) return false;  // clean EOF between frames
+      throw NetError(
+          format("peer closed mid-frame (%zu of %zu bytes)", at, size));
+    }
+    die_errno("read");
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Poller
+
+Poller::Poller() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) die_errno("pipe");
+  wake_r_ = Fd(fds[0]);
+  wake_w_ = Fd(fds[1]);
+  set_nonblocking(wake_r_.get(), true);
+  set_nonblocking(wake_w_.get(), true);
+#if CCMM_HAS_EPOLL
+  epfd_ = ::epoll_create1(0);
+  if (epfd_ < 0) die_errno("epoll_create1");
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof ev);
+  ev.events = EPOLLIN;
+  ev.data.u64 = ~std::uint64_t{0};  // the wake tag, never reported
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_r_.get(), &ev) != 0)
+    die_errno("epoll_ctl(wake)");
+#endif
+}
+
+Poller::~Poller() {
+#if CCMM_HAS_EPOLL
+  if (epfd_ >= 0) ::close(epfd_);
+#endif
+}
+
+#if CCMM_HAS_EPOLL
+
+namespace {
+
+std::uint32_t to_epoll(std::uint32_t events) {
+  std::uint32_t e = 0;
+  if ((events & kReadable) != 0) e |= EPOLLIN;
+  if ((events & kWritable) != 0) e |= EPOLLOUT;
+  return e;
+}
+
+}  // namespace
+
+void Poller::add(int fd, std::uint32_t events, std::uint64_t data) {
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof ev);
+  ev.events = to_epoll(events);
+  ev.data.u64 = data;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+    die_errno("epoll_ctl(ADD)");
+}
+
+void Poller::modify(int fd, std::uint32_t events, std::uint64_t data) {
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof ev);
+  ev.events = to_epoll(events);
+  ev.data.u64 = data;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0)
+    die_errno("epoll_ctl(MOD)");
+}
+
+void Poller::remove(int fd) {
+  (void)::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+std::vector<Ready> Poller::wait(int timeout_ms) {
+  epoll_event evs[64];
+  int n;
+  do {
+    n = ::epoll_wait(epfd_, evs, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) die_errno("epoll_wait");
+  std::vector<Ready> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (evs[i].data.u64 == ~std::uint64_t{0}) {
+      char buf[64];
+      while (::read(wake_r_.get(), buf, sizeof buf) > 0) {
+      }
+      continue;
+    }
+    Ready r;
+    r.events = 0;
+    if ((evs[i].events & EPOLLIN) != 0) r.events |= kReadable;
+    if ((evs[i].events & EPOLLOUT) != 0) r.events |= kWritable;
+    if ((evs[i].events & (EPOLLHUP | EPOLLERR)) != 0) r.events |= kHangup;
+    r.data = evs[i].data.u64;
+    out.push_back(r);
+  }
+  return out;
+}
+
+#else  // poll(2) fallback
+
+void Poller::add(int fd, std::uint32_t events, std::uint64_t data) {
+  entries_.push_back(Entry{fd, events, data});
+}
+
+void Poller::modify(int fd, std::uint32_t events, std::uint64_t data) {
+  for (Entry& e : entries_) {
+    if (e.fd == fd) {
+      e.events = events;
+      e.data = data;
+      return;
+    }
+  }
+  throw NetError("Poller::modify: fd not registered");
+}
+
+void Poller::remove(int fd) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].fd == fd) {
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+std::vector<Ready> Poller::wait(int timeout_ms) {
+  std::vector<pollfd> pfds;
+  pfds.reserve(entries_.size() + 1);
+  pfds.push_back(pollfd{wake_r_.get(), POLLIN, 0});
+  for (const Entry& e : entries_) {
+    short want = 0;
+    if ((e.events & kReadable) != 0) want |= POLLIN;
+    if ((e.events & kWritable) != 0) want |= POLLOUT;
+    pfds.push_back(pollfd{e.fd, want, 0});
+  }
+  int n;
+  do {
+    n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) die_errno("poll");
+  std::vector<Ready> out;
+  if ((pfds[0].revents & POLLIN) != 0) {
+    char buf[64];
+    while (::read(wake_r_.get(), buf, sizeof buf) > 0) {
+    }
+  }
+  for (std::size_t i = 1; i < pfds.size(); ++i) {
+    if (pfds[i].revents == 0) continue;
+    Ready r;
+    r.fd = pfds[i].fd;
+    if ((pfds[i].revents & POLLIN) != 0) r.events |= kReadable;
+    if ((pfds[i].revents & POLLOUT) != 0) r.events |= kWritable;
+    if ((pfds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0)
+      r.events |= kHangup;
+    r.data = entries_[i - 1].data;
+    out.push_back(r);
+  }
+  return out;
+}
+
+#endif  // CCMM_HAS_EPOLL
+
+void Poller::interrupt() {
+  const char byte = 1;
+  (void)!::write(wake_w_.get(), &byte, 1);
+}
+
+#else  // !CCMM_HAS_SOCKETS
+
+namespace {
+[[noreturn]] void no_sockets() {
+  throw NetError("ccmm_serve requires a POSIX host (sockets unavailable)");
+}
+}  // namespace
+
+void Fd::reset() noexcept { fd_ = -1; }
+Addr Addr::parse(const std::string&) { no_sockets(); }
+std::string Addr::str() const { return "<no sockets>"; }
+Fd listen_on(const Addr&, int) { no_sockets(); }
+Fd connect_to(const Addr&) { no_sockets(); }
+Fd accept_from(int) { no_sockets(); }
+void set_nonblocking(int, bool) { no_sockets(); }
+void write_all(int, const void*, std::size_t) { no_sockets(); }
+bool read_exact(int, void*, std::size_t) { no_sockets(); }
+Poller::Poller() = default;
+Poller::~Poller() = default;
+void Poller::add(int, std::uint32_t, std::uint64_t) { no_sockets(); }
+void Poller::modify(int, std::uint32_t, std::uint64_t) { no_sockets(); }
+void Poller::remove(int) { no_sockets(); }
+std::vector<Ready> Poller::wait(int) { no_sockets(); }
+void Poller::interrupt() { no_sockets(); }
+
+#endif  // CCMM_HAS_SOCKETS
+
+}  // namespace ccmm::net

@@ -1,0 +1,137 @@
+// ccmm/util/net.hpp
+//
+// The thin POSIX socket layer under ccmm_serve: RAII descriptors,
+// address parsing ("unix:/path" or "tcp:host:port"), listen/connect,
+// and a readiness multiplexer (epoll where available, poll(2)
+// everywhere else). Nothing here knows about trace frames — protocol
+// lives in serve/protocol.hpp; this file is only fds and readiness.
+//
+// Off-POSIX every entry point throws NetError, so the serve subsystem
+// compiles everywhere and fails with a clear message at runtime —
+// matching how trace_binary.cpp gates mmap.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccmm::net {
+
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// RAII file descriptor. Movable, non-copyable; -1 = empty.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A parsed listen/connect address.
+struct Addr {
+  enum class Kind : std::uint8_t { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  // kUnix: filesystem socket path
+  std::string host;  // kTcp
+  std::uint16_t port = 0;
+
+  /// "unix:/path/to.sock" or "tcp:host:port" (bare "/path" and "./path"
+  /// are taken as unix sockets). Throws NetError on anything else.
+  [[nodiscard]] static Addr parse(const std::string& spec);
+  [[nodiscard]] std::string str() const;
+};
+
+/// Bind + listen. Unix sockets unlink a stale path first; TCP sets
+/// SO_REUSEADDR and resolves `host` with getaddrinfo. Throws NetError.
+[[nodiscard]] Fd listen_on(const Addr& addr, int backlog = 128);
+
+/// Blocking connect. Throws NetError.
+[[nodiscard]] Fd connect_to(const Addr& addr);
+
+/// Accept one connection; empty Fd when the listener has none pending
+/// (EAGAIN on a non-blocking listener). Throws NetError on real errors.
+[[nodiscard]] Fd accept_from(int listen_fd);
+
+void set_nonblocking(int fd, bool on);
+
+/// write() to completion, retrying EINTR and spinning through EAGAIN
+/// (poll-for-writable) on non-blocking fds. Throws NetError when the
+/// peer is gone.
+void write_all(int fd, const void* data, std::size_t size);
+
+/// read() exactly `size` bytes. Returns false on clean EOF at offset 0;
+/// throws NetError on mid-record EOF or errors.
+[[nodiscard]] bool read_exact(int fd, void* data, std::size_t size);
+
+/// Readiness events, a deliberately tiny subset.
+inline constexpr std::uint32_t kReadable = 1u << 0;
+inline constexpr std::uint32_t kWritable = 1u << 1;
+inline constexpr std::uint32_t kHangup = 1u << 2;  // peer closed / error
+
+struct Ready {
+  int fd = -1;
+  std::uint32_t events = 0;
+  std::uint64_t data = 0;  // caller's tag from add()/modify()
+};
+
+/// Readiness multiplexer: epoll(7) on Linux, poll(2) elsewhere. The
+/// poll fallback keeps identical semantics (level-triggered, per-fd
+/// u64 tag) at O(nfds) per wait — fine for the session counts a
+/// 1-core box can drive, and it is what the portable CI lanes run.
+class Poller {
+ public:
+  Poller();
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  /// Register `fd` for `events` (kReadable/kWritable mask), tagging
+  /// readiness reports with `data`.
+  void add(int fd, std::uint32_t events, std::uint64_t data);
+  /// Change the interest mask / tag of a registered fd. Dropping
+  /// kReadable is the serve backpressure lever.
+  void modify(int fd, std::uint32_t events, std::uint64_t data);
+  void remove(int fd);
+
+  /// Block up to `timeout_ms` (-1 = forever) and return ready fds.
+  [[nodiscard]] std::vector<Ready> wait(int timeout_ms);
+
+  /// Wake a concurrent wait() from another thread (self-pipe).
+  void interrupt();
+
+ private:
+  int epfd_ = -1;       // epoll instance (Linux)
+  Fd wake_r_, wake_w_;  // self-pipe for interrupt()
+  struct Entry {
+    int fd;
+    std::uint32_t events;
+    std::uint64_t data;
+  };
+  std::vector<Entry> entries_;  // poll fallback's interest list
+};
+
+}  // namespace ccmm::net

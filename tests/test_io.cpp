@@ -6,6 +6,8 @@
 #include "io/dot.hpp"
 #include "io/text.hpp"
 #include "models/examples.hpp"
+#include "proc/random_program.hpp"
+#include "util/rng.hpp"
 
 namespace ccmm::io {
 namespace {
@@ -82,6 +84,44 @@ TEST(TextIo, ParseErrorsCarryLineNumbers) {
   expect_error("computation\nnodes 2\nedge 0 9\nend\n", "out of range");
   expect_error("computation\nnodes 1\n", "unexpected end");
   expect_error("computation\nnodes 2\nedge 0 1\nedge 1 0\nend\n", "cycle");
+}
+
+TEST(TextIo, SpStructureRoundTripsThroughText) {
+  Rng rng(17);
+  proc::RandomCilkOptions opt;
+  opt.target_ops = 400;
+  opt.nlocations = 4;
+  const Computation c = proc::random_cilk(opt, rng);
+  ASSERT_NE(c.sp_structure(), nullptr);
+  std::istringstream in(write_computation(c));
+  const Computation back = read_computation(in);
+  EXPECT_EQ(back, c);
+  // The series-parallel parse must survive: dropping it silently
+  // demotes every reader to generic-dag oracles (a ~100x slowdown for
+  // online checking), so this is a correctness property of the format.
+  ASSERT_NE(back.sp_structure(), nullptr);
+  EXPECT_EQ(back.sp_structure()->node_count, c.sp_structure()->node_count);
+  EXPECT_EQ(back.sp_structure()->strands, c.sp_structure()->strands);
+}
+
+TEST(TextIo, StrandParseErrors) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& needle) {
+    std::istringstream in(text);
+    try {
+      (void)read_computation(in);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("computation\nstrand n0\nnodes 1\nend\n",
+               "'strand' before 'nodes'");
+  expect_error("computation\nnodes 2\nstrand x0\nend\n", "bad strand event");
+  expect_error("computation\nnodes 2\nstrand n5\nend\n", "out of range");
+  expect_error("computation\nnodes 2\nstrand n0 s3\nend\n",
+               "unknown strand");
 }
 
 TEST(TextIo, Figure4WitnessRoundTripsThroughText) {

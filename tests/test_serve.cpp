@@ -1,0 +1,667 @@
+// The online-serving differential: a CheckSession fed the trace's
+// binary records — in any chunking, in any linear-extension arrival
+// order — must produce verdicts AND witness strings byte-identical to
+// `ccmm_check --trace` (large_check_trace) on the concatenated trace.
+// The second half drives the whole daemon: framing protocol, many
+// concurrent clients, reconnects, snapshot/restore, backpressure and
+// the /status endpoint, with the *Parallel* cases running under TSan.
+#include "trace/session_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "exec/sc_memory.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "exec/schedule.hpp"
+#include "exec/weak_memory.hpp"
+#include "exec/workload.hpp"
+#include "dag/generators.hpp"
+#include "proc/random_program.hpp"
+#include "trace/large_check.hpp"
+#include "util/rng.hpp"
+
+namespace ccmm {
+namespace {
+
+/// Execution-order binary records of a trace — what a serve client
+/// puts on the wire (write_trace_binary's stable seq sort included).
+std::vector<BinaryTraceEvent> records_of(const Trace& trace) {
+  std::vector<std::uint32_t> order(trace.events.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return trace.events[a].seq < trace.events[b].seq;
+                   });
+  std::vector<BinaryTraceEvent> out(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const TraceEvent& e = trace.events[order[i]];
+    out[i] = BinaryTraceEvent{e.seq, e.time, e.proc, e.node,
+                              e.observed == kBottom
+                                  ? 0xFFFFFFFFu
+                                  : static_cast<std::uint32_t>(e.observed),
+                              0};
+  }
+  return out;
+}
+
+/// Normalize seq to the sorted arrival order so corrupted streams stay
+/// seq-ordered however we perturb them.
+void renumber(std::vector<BinaryTraceEvent>& recs) {
+  for (std::size_t i = 0; i < recs.size(); ++i) recs[i].seq = i;
+}
+
+/// Point some read events at other writes of their location — stale
+/// ones violate models, forward ones exercise the oracle and the
+/// validity scan. Mirrors test_loc_incremental's observer corruption
+/// at the trace level.
+void corrupt_records(const Computation& c, std::vector<BinaryTraceEvent>& recs,
+                     Rng& rng, int flips) {
+  for (int k = 0; k < flips; ++k) {
+    const std::size_t i = rng.below(recs.size());
+    const NodeId u = recs[i].node;
+    if (!c.op(u).is_read()) continue;
+    const std::vector<NodeId> ws = c.writers(c.op(u).loc);
+    if (ws.empty()) continue;
+    recs[i].observed = ws[rng.below(ws.size())];
+  }
+}
+
+void expect_reports_identical(const LargeCheckReport& got,
+                              const LargeCheckReport& want,
+                              const std::string& ctx) {
+  ASSERT_EQ(got.checked, want.checked) << ctx;
+  ASSERT_EQ(got.valid_observer, want.valid_observer)
+      << ctx << " got=" << got.detail << " want=" << want.detail;
+  EXPECT_EQ(got.satisfied, want.satisfied) << ctx;
+  EXPECT_EQ(got.detail, want.detail) << ctx;
+  ASSERT_EQ(got.locations.size(), want.locations.size()) << ctx;
+  for (std::size_t i = 0; i < got.locations.size(); ++i) {
+    EXPECT_EQ(got.locations[i].loc, want.locations[i].loc) << ctx;
+    EXPECT_EQ(got.locations[i].valid, want.locations[i].valid) << ctx;
+    EXPECT_EQ(got.locations[i].violated, want.locations[i].violated) << ctx;
+    EXPECT_EQ(got.locations[i].writers, want.locations[i].writers) << ctx;
+    EXPECT_EQ(got.locations[i].detail, want.locations[i].detail) << ctx;
+  }
+}
+
+Trace trace_from_records(const Computation& c,
+                         const std::vector<BinaryTraceEvent>& recs) {
+  Trace t;
+  t.events.resize(recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    TraceEvent& e = t.events[i];
+    e.seq = recs[i].seq;
+    e.time = recs[i].time;
+    e.proc = static_cast<ProcId>(recs[i].proc);
+    e.node = static_cast<NodeId>(recs[i].node);
+    e.op = recs[i].node < c.node_count() ? c.op(recs[i].node) : Op::nop();
+    e.observed = static_cast<NodeId>(recs[i].observed);
+  }
+  return t;
+}
+
+/// Stream `recs` through a CheckSession in `chunk`-sized feeds and
+/// demand the finish() report match the batch postmortem byte for
+/// byte.
+void expect_session_matches_batch(const Computation& c,
+                                  const std::vector<BinaryTraceEvent>& recs,
+                                  std::uint32_t models, std::size_t chunk) {
+  SessionOptions sopt;
+  sopt.models = models;
+  CheckSession session(c, sopt);
+  for (std::size_t at = 0; at < recs.size(); at += chunk) {
+    const std::size_t k = std::min(chunk, recs.size() - at);
+    if (!session.feed(recs.data() + at, k)) break;
+  }
+  LargeCheckReport got = session.finish();
+
+  LargeCheckOptions bopt;
+  bopt.models = models;
+  bopt.parallel = false;
+  const LargeCheckReport want =
+      large_check_trace(c, trace_from_records(c, recs), bopt);
+  expect_reports_identical(
+      got, want,
+      "chunk=" + std::to_string(chunk) + " models=" + std::to_string(models));
+
+  // finish() is idempotent: the verdict is a pure function of the
+  // consumed stream.
+  expect_reports_identical(session.finish(), want, "refinish");
+}
+
+TEST(CheckSession, SerialScStreamMatchesBatch) {
+  Rng rng(11);
+  proc::RandomCilkOptions opt;
+  opt.target_ops = 3000;
+  opt.nlocations = 8;
+  const Computation c = proc::random_cilk(opt, rng);
+  ScMemory mem;
+  const std::vector<BinaryTraceEvent> recs = records_of(run_serial(c, mem).trace);
+  for (const std::size_t chunk : {1u, 7u, 64u, 4096u})
+    for (const std::uint32_t models : std::initializer_list<std::uint32_t>{
+             kSuiteLC, kLargeCheckAll, kLargeCheckExt})
+      expect_session_matches_batch(c, recs, models, chunk);
+}
+
+TEST(CheckSession, CorruptedStreamsMatchBatch) {
+  // Stale and forward observations: violations, invalid observers and
+  // oracle-consulting 2.2 pairs, all byte-compared against batch.
+  Rng rng(23);
+  proc::RandomCilkOptions opt;
+  opt.target_ops = 2000;
+  opt.nlocations = 5;
+  const Computation c = proc::random_cilk(opt, rng);
+  ScMemory mem;
+  const std::vector<BinaryTraceEvent> base = records_of(run_serial(c, mem).trace);
+  for (int round = 0; round < 6; ++round) {
+    std::vector<BinaryTraceEvent> recs = base;
+    corrupt_records(c, recs, rng, 2 + round);
+    renumber(recs);
+    for (const std::size_t chunk : {1u, 64u, 4096u})
+      expect_session_matches_batch(c, recs, kLargeCheckExt, chunk);
+  }
+}
+
+TEST(CheckSession, InterleavedScheduleStreamMatchesBatch) {
+  // A multi-proc schedule: the arrival order is a nontrivial linear
+  // extension, so the kernel's watermark lags arrival and the session
+  // exercises the out-of-scan-order path.
+  Rng rng(31);
+  const Computation c = workload::random_ops(gen::random_dag(400, 0.03, rng),
+                                             6, 0.4, 0.4, rng);
+  WeakMemory mem(5);
+  const Schedule s = greedy_schedule(c, 4);
+  const std::vector<BinaryTraceEvent> base =
+      records_of(run_execution(c, s, mem).trace);
+  for (const std::size_t chunk : {1u, 7u, 64u})
+    expect_session_matches_batch(c, base, kLargeCheckExt, chunk);
+  std::vector<BinaryTraceEvent> bad = base;
+  corrupt_records(c, bad, rng, 4);
+  renumber(bad);
+  for (const std::size_t chunk : {1u, 64u})
+    expect_session_matches_batch(c, bad, kLargeCheckExt, chunk);
+}
+
+TEST(CheckSession, NeverWrittenLocationObservationsMatchBatch) {
+  // A recorded observation at a never-written location must spawn the
+  // batch engine's extra all-⊥ column (always failing 2.1) online too.
+  Rng rng(41);
+  Computation c = workload::random_ops(gen::random_dag(120, 0.05, rng), 4,
+                                       0.5, 0.1, rng);
+  // Retarget one read at a location nothing writes, so its recorded
+  // observation has no column to land in.
+  std::vector<Op> ops;
+  ops.reserve(c.node_count());
+  for (NodeId u = 0; u < c.node_count(); ++u) ops.push_back(c.op(u));
+  NodeId reader = kBottom;
+  for (NodeId u = 0; u < c.node_count(); ++u)
+    if (ops[u].is_read()) {
+      ops[u] = Op::read(Location{999});
+      reader = u;
+      break;
+    }
+  ASSERT_NE(reader, kBottom);
+  c.set_ops(ops);
+  ScMemory mem;
+  std::vector<BinaryTraceEvent> recs = records_of(run_serial(c, mem).trace);
+  bool planted = false;
+  for (BinaryTraceEvent& r : recs)
+    if (r.node == reader) {
+      r.observed = recs.front().node;  // any node: must fail 2.1
+      planted = true;
+    }
+  ASSERT_TRUE(planted);
+  renumber(recs);
+  for (const std::size_t chunk : {1u, 64u})
+    expect_session_matches_batch(c, recs, kLargeCheckExt, chunk);
+}
+
+TEST(CheckSession, MidStreamCheckAndFastVerdictAreConsistent) {
+  Rng rng(53);
+  proc::RandomCilkOptions opt;
+  opt.target_ops = 1500;
+  opt.nlocations = 4;
+  const Computation c = proc::random_cilk(opt, rng);
+  ScMemory mem;
+  std::vector<BinaryTraceEvent> recs = records_of(run_serial(c, mem).trace);
+  corrupt_records(c, recs, rng, 5);
+  renumber(recs);
+
+  SessionOptions sopt;
+  sopt.models = kLargeCheckExt;
+  CheckSession session(c, sopt);
+  for (std::size_t at = 0; at < recs.size(); at += 97) {
+    const std::size_t k = std::min<std::size_t>(97, recs.size() - at);
+    ASSERT_TRUE(session.feed(recs.data() + at, k)) << session.error();
+    // The fast verdict's sticky bits are a lower bound on the full
+    // prefix verdict, and its validity flag matches exactly.
+    const SessionVerdict fast = session.fast_verdict();
+    const LargeCheckReport mid = session.check();
+    EXPECT_EQ(fast.valid, mid.valid_observer);
+    std::uint32_t mid_violated = 0;
+    for (const LocationCheck& lc : mid.locations) mid_violated |= lc.violated;
+    EXPECT_EQ(fast.violated & ~mid_violated, 0u);
+    EXPECT_EQ(fast.events, session.events_seen());
+  }
+  const LargeCheckReport final_report = session.finish();
+  LargeCheckOptions bopt;
+  bopt.models = kLargeCheckExt;
+  bopt.parallel = false;
+  expect_reports_identical(
+      final_report, large_check_trace(c, trace_from_records(c, recs), bopt),
+      "after mid-stream checks");
+}
+
+TEST(CheckSession, RejectsInconsistentStreams) {
+  Rng rng(61);
+  proc::RandomCilkOptions opt;
+  opt.target_ops = 200;
+  opt.nlocations = 3;
+  const Computation c = proc::random_cilk(opt, rng);
+  ScMemory mem;
+  const std::vector<BinaryTraceEvent> recs = records_of(run_serial(c, mem).trace);
+  const std::size_t n = c.node_count();
+
+  {  // duplicate node
+    SessionOptions so;
+    CheckSession s(c, so);
+    ASSERT_TRUE(s.feed(recs.data(), 2));
+    BinaryTraceEvent dup = recs[1];
+    dup.seq = recs[2].seq;
+    EXPECT_FALSE(s.feed(&dup, 1));
+    EXPECT_NE(s.error().find("more than one event"), std::string::npos);
+    const LargeCheckReport r = s.finish();
+    EXPECT_FALSE(r.valid_observer);
+    EXPECT_NE(r.detail.find("trace does not fit the computation"),
+              std::string::npos);
+  }
+  {  // unknown node
+    CheckSession s(c, {});
+    BinaryTraceEvent bad = recs[0];
+    bad.node = static_cast<std::uint32_t>(n + 7);
+    EXPECT_FALSE(s.feed(&bad, 1));
+    EXPECT_NE(s.error().find("unknown node"), std::string::npos);
+  }
+  {  // successor before its predecessor (flipped dag edge)
+    NodeId child = kBottom;
+    for (NodeId u = 0; u < n && child == kBottom; ++u)
+      if (!c.dag().pred(u).empty()) child = u;
+    ASSERT_NE(child, kBottom);
+    CheckSession s(c, {});
+    BinaryTraceEvent first{};
+    first.seq = 0;
+    first.node = child;
+    first.observed = 0xFFFFFFFFu;
+    EXPECT_FALSE(s.feed(&first, 1));
+    EXPECT_NE(s.error().find("flips dag edge"), std::string::npos);
+  }
+  {  // seq going backwards
+    std::vector<BinaryTraceEvent> renum = recs;
+    renumber(renum);  // seq = 0,1,2,...
+    CheckSession s(c, {});
+    ASSERT_TRUE(s.feed(renum.data(), 3));
+    BinaryTraceEvent back = renum[3];
+    back.seq = 1;  // strictly before the last accepted seq (2)
+    EXPECT_FALSE(s.feed(&back, 1));
+    EXPECT_NE(s.error().find("seq-ordered"), std::string::npos);
+  }
+  {  // incomplete stream: batch's event-count mismatch, verbatim
+    CheckSession s(c, {});
+    ASSERT_TRUE(s.feed(recs.data(), recs.size() / 2));
+    const LargeCheckReport r = s.finish();
+    LargeCheckOptions bopt;
+    bopt.parallel = false;
+    Trace half = trace_from_records(c, recs);
+    half.events.resize(recs.size() / 2);
+    const LargeCheckReport want = large_check_trace(c, half, bopt);
+    EXPECT_EQ(r.detail, want.detail);
+    // ...and the session is still alive: completing it still works.
+    ASSERT_TRUE(s.feed(recs.data() + recs.size() / 2,
+                       recs.size() - recs.size() / 2));
+    EXPECT_TRUE(s.finish().valid_observer);
+  }
+}
+
+TEST(CheckSession, RetainedEventReplayReproducesVerdicts) {
+  // The snapshot/restore substrate: replaying the retained log through
+  // a fresh session lands in an identical state.
+  Rng rng(71);
+  proc::RandomCilkOptions opt;
+  opt.target_ops = 800;
+  opt.nlocations = 4;
+  const Computation c = proc::random_cilk(opt, rng);
+  ScMemory mem;
+  std::vector<BinaryTraceEvent> recs = records_of(run_serial(c, mem).trace);
+  corrupt_records(c, recs, rng, 3);
+  renumber(recs);
+
+  SessionOptions sopt;
+  sopt.models = kLargeCheckExt;
+  sopt.retain_events = true;
+  CheckSession a(c, sopt);
+  ASSERT_TRUE(a.feed(recs.data(), recs.size() / 3));
+
+  CheckSession b(c, sopt);
+  ASSERT_TRUE(b.feed(a.retained_events().data(), a.retained_events().size()));
+  ASSERT_TRUE(a.feed(recs.data() + recs.size() / 3,
+                     recs.size() - recs.size() / 3));
+  ASSERT_TRUE(b.feed(recs.data() + recs.size() / 3,
+                     recs.size() - recs.size() / 3));
+  expect_reports_identical(b.finish(), a.finish(), "retained replay");
+}
+
+// ---------------------------------------------------------------------------
+// The daemon: protocol framing, concurrent clients, reconnects,
+// snapshot/restore, backpressure, /status. POSIX sockets only.
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// A running server on a fresh unix socket, torn down with the test.
+struct TestServer {
+  explicit TestServer(serve::ServerOptions o = {}) {
+    static std::atomic<int> counter{0};
+    path = ::testing::TempDir() +
+           "ccmm_serve_t" + std::to_string(counter.fetch_add(1)) + ".sock";
+    o.listen = "unix:" + path;
+    server = std::make_unique<serve::Server>(std::move(o));
+    server->start();
+  }
+  ~TestServer() {
+    server->stop();
+    ::unlink(path.c_str());
+  }
+  [[nodiscard]] std::string addr() const { return "unix:" + path; }
+
+  std::string path;
+  std::unique_ptr<serve::Server> server;
+};
+
+/// The shared fixture workload: a corrupted interleaved execution, so
+/// verdicts carry real violations and witnesses.
+struct Workload {
+  Computation c;
+  std::vector<BinaryTraceEvent> recs;
+  LargeCheckReport batch;
+};
+
+Workload make_workload(std::uint64_t seed, std::size_t ops,
+                       std::uint32_t models, int flips) {
+  Rng rng(seed);
+  proc::RandomCilkOptions opt;
+  opt.target_ops = ops;
+  opt.nlocations = 8;
+  Workload w{proc::random_cilk(opt, rng), {}, {}};
+  ScMemory mem;
+  w.recs = records_of(run_serial(w.c, mem).trace);
+  corrupt_records(w.c, w.recs, rng, flips);
+  renumber(w.recs);
+  LargeCheckOptions bopt;
+  bopt.models = models;
+  bopt.parallel = false;
+  w.batch = large_check_trace(w.c, trace_from_records(w.c, w.recs), bopt);
+  return w;
+}
+
+TEST(Serve, EndToEndMatchesBatchAcrossChunkSizes) {
+  const Workload w = make_workload(71, 2000, kLargeCheckExt, 4);
+  for (const serve::ServerOptions base :
+       {serve::ServerOptions{}, [] {
+          serve::ServerOptions o;
+          o.kernel_offload = false;  // 1-core inline mode
+          return o;
+        }()}) {
+    TestServer ts(base);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{64},
+                                    std::size_t{4096}}) {
+      serve::ClientOptions copts;
+      copts.session.models = kLargeCheckExt;
+      copts.batch_events = chunk;
+      serve::ServeClient client(ts.addr(), copts);
+      client.open(w.c);
+      EXPECT_EQ(client.node_count(), w.c.node_count());
+      client.feed(w.recs);
+      const SessionVerdict v = client.verdict();
+      EXPECT_EQ(v.events, w.recs.size());
+      expect_reports_identical(client.finish(), w.batch,
+                               "serve chunk=" + std::to_string(chunk));
+      client.close_session();
+    }
+    EXPECT_EQ(ts.server->session_count(), 0u);
+  }
+}
+
+TEST(Serve, MidStreamCheckMatchesBatchPrefix) {
+  const Workload w = make_workload(72, 1500, kLargeCheckExt, 3);
+  TestServer ts;
+  serve::ClientOptions copts;
+  copts.session.models = kLargeCheckExt;
+  serve::ServeClient client(ts.addr(), copts);
+  client.open(w.c);
+  const std::size_t half = w.recs.size() / 2;
+  client.feed(w.recs.data(), half);
+  // The serve-side check() equals a local session's check() on the
+  // same prefix (itself differentially pinned against batch prefixes
+  // in the CheckSession tests above).
+  SessionOptions sopt;
+  sopt.models = kLargeCheckExt;
+  CheckSession local(w.c, sopt);
+  ASSERT_TRUE(local.feed(w.recs.data(), half));
+  expect_reports_identical(client.check(), local.check(), "mid check");
+  client.feed(w.recs.data() + half, w.recs.size() - half);
+  expect_reports_identical(client.finish(), w.batch, "after mid check");
+}
+
+TEST(Serve, ReconnectAttachResumesTheSession) {
+  const Workload w = make_workload(73, 1500, kLargeCheckExt, 4);
+  TestServer ts;
+  std::uint64_t id = 0;
+  const std::size_t third = w.recs.size() / 3;
+  {
+    serve::ClientOptions copts;
+    copts.session.models = kLargeCheckExt;
+    serve::ServeClient client(ts.addr(), copts);
+    id = client.open(w.c);
+    client.feed(w.recs.data(), third);
+    client.flush();
+    (void)client.verdict();  // drain: everything applied server-side
+  }  // connection drops; the session must survive
+  EXPECT_EQ(ts.server->session_count(), 1u);
+  {
+    serve::ServeClient client(ts.addr());
+    client.attach(id);
+    EXPECT_EQ(client.node_count(), w.c.node_count());
+    client.feed(w.recs.data() + third, w.recs.size() - third);
+    expect_reports_identical(client.finish(), w.batch, "post attach");
+    client.close_session();
+  }
+  EXPECT_EQ(ts.server->session_count(), 0u);
+}
+
+TEST(Serve, SnapshotRestoreReproducesVerdicts) {
+  const Workload w = make_workload(74, 1200, kLargeCheckExt, 4);
+  TestServer ts;
+  serve::ClientOptions copts;
+  copts.session.models = kLargeCheckExt;
+  copts.session.retain_events = true;
+  serve::ServeClient client(ts.addr(), copts);
+  client.open(w.c);
+  const std::size_t half = w.recs.size() / 2;
+  client.feed(w.recs.data(), half);
+  client.flush();
+  const std::string blob = client.snapshot();
+  ASSERT_GT(blob.size(), 8u);
+
+  // Restore on the SAME server: an independent session that must reach
+  // the identical final report.
+  {
+    serve::ServeClient other(ts.addr());
+    const std::uint64_t rid = other.restore(blob);
+    EXPECT_NE(rid, client.session_id());
+    other.feed(w.recs.data() + half, w.recs.size() - half);
+    expect_reports_identical(other.finish(), w.batch, "restore same server");
+    other.close_session();
+  }
+  // Restore on a FRESH server (migration).
+  {
+    TestServer ts2;
+    serve::ServeClient other(ts2.addr());
+    other.restore(blob);
+    other.feed(w.recs.data() + half, w.recs.size() - half);
+    expect_reports_identical(other.finish(), w.batch, "restore migration");
+  }
+  // The original session is unaffected.
+  client.feed(w.recs.data() + half, w.recs.size() - half);
+  expect_reports_identical(client.finish(), w.batch, "snapshot source");
+}
+
+TEST(Serve, RejectedStreamsReportTheBatchError) {
+  const Workload w = make_workload(75, 800, kSuiteLC, 0);
+  TestServer ts;
+  serve::ServeClient client(ts.addr());
+  client.open(w.c);
+
+  // Flip a dag edge: stream an event whose predecessor never arrived.
+  std::vector<BinaryTraceEvent> bad = w.recs;
+  std::reverse(bad.begin(), bad.end());
+  renumber(bad);
+  client.feed(bad);
+  try {
+    (void)client.verdict();
+    FAIL() << "verdict on a rejected stream must throw";
+  } catch (const serve::ServeError& e) {
+    EXPECT_TRUE(e.stream_rejected());
+    EXPECT_NE(std::string(e.what()).find("trace order flips"),
+              std::string::npos)
+        << e.what();
+  }
+  // finish() still answers, with the batch engine's error report.
+  LargeCheckOptions bopt;
+  bopt.models = kSuiteLC;
+  bopt.parallel = false;
+  const LargeCheckReport want =
+      large_check_trace(w.c, trace_from_records(w.c, bad), bopt);
+  expect_reports_identical(client.finish(), want, "rejected stream");
+}
+
+TEST(Serve, ProtocolErrorPaths) {
+  TestServer ts;
+  {
+    serve::ServeClient client(ts.addr());
+    EXPECT_THROW((void)client.attach(999999), serve::ServeError);
+  }
+  {
+    // kEvents with no session.
+    serve::ServeClient client(ts.addr());
+    BinaryTraceEvent e{};
+    client.feed(&e, 1);
+    EXPECT_THROW((void)client.verdict(), serve::ServeError);
+  }
+  {
+    // Snapshot without retain_events.
+    const Workload w = make_workload(76, 200, kSuiteLC, 0);
+    serve::ServeClient client(ts.addr());
+    client.open(w.c);
+    EXPECT_THROW((void)client.snapshot(), serve::ServeError);
+  }
+}
+
+TEST(Serve, StatusOverProtocolAndHttp) {
+  const Workload w = make_workload(77, 400, kSuiteLC, 0);
+  TestServer ts;
+  serve::ServeClient client(ts.addr());
+  client.open(w.c);
+  client.feed(w.recs);
+  (void)client.finish();
+
+  const std::string status = client.status();
+  EXPECT_NE(status.find("ccmm_serve status"), std::string::npos);
+  EXPECT_NE(status.find("events_ingested: " +
+                        std::to_string(w.recs.size())),
+            std::string::npos)
+      << status;
+
+  // Raw HTTP GET on the same socket.
+  net::Fd http = net::connect_to(net::Addr::parse(ts.addr()));
+  const std::string req = "GET /status HTTP/1.0\r\n\r\n";
+  net::write_all(http.get(), req.data(), req.size());
+  std::string page;
+  char buf[4096];
+  for (;;) {
+    const ssize_t k = ::read(http.get(), buf, sizeof buf);
+    if (k <= 0) break;
+    page.append(buf, static_cast<std::size_t>(k));
+  }
+  EXPECT_NE(page.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(page.find("ccmm_serve status"), std::string::npos);
+}
+
+TEST(Serve, BackpressureBoundsInFlightBatches) {
+  // A tiny in-flight cap with the kernel offloaded: the shard must
+  // throttle the connection instead of queueing without bound, and the
+  // stream must still complete byte-identically.
+  const Workload w = make_workload(78, 2000, kSuiteLC, 2);
+  serve::ServerOptions sopt;
+  sopt.max_pending_batches = 2;
+  TestServer ts(sopt);
+  serve::ClientOptions copts;
+  copts.batch_events = 16;  // many small batches -> deep pipelining
+  serve::ServeClient client(ts.addr(), copts);
+  client.open(w.c);
+  client.feed(w.recs);
+  expect_reports_identical(client.finish(), w.batch, "backpressure");
+}
+
+TEST(Serve, ParallelManyClientsMatchBatch) {
+  // The TSan target: concurrent sessions across shards, every final
+  // report diffed against the batch engine.
+  const Workload w = make_workload(79, 1000, kLargeCheckExt, 3);
+  serve::ServerOptions sopt;
+  sopt.shards = 2;
+  TestServer ts(sopt);
+  constexpr int kThreads = 4;
+  constexpr int kSessionsPerThread = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        for (int s = 0; s < kSessionsPerThread; ++s) {
+          serve::ClientOptions copts;
+          copts.session.models = kLargeCheckExt;
+          copts.batch_events = 64 + 97 * static_cast<std::size_t>(t);
+          serve::ServeClient client(ts.addr(), copts);
+          client.open(w.c);
+          client.feed(w.recs);
+          const LargeCheckReport got = client.finish();
+          if (got.satisfied != w.batch.satisfied ||
+              got.detail != w.batch.detail ||
+              got.valid_observer != w.batch.valid_observer)
+            failures.fetch_add(1);
+          client.close_session();
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(ts.server->session_count(), 0u);
+  EXPECT_GE(ts.server->stats().sessions_opened.load(),
+            static_cast<std::uint64_t>(kThreads * kSessionsPerThread));
+}
+
+#endif  // POSIX
+
+}  // namespace
+}  // namespace ccmm

@@ -12,7 +12,13 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 #include "analyze/race_oracle.hpp"
 #include "dag/generators.hpp"
@@ -266,6 +272,108 @@ TEST(TraceBinary, LoadTraceAutoDetectsFilesAndMapsThem) {
   EXPECT_THROW((void)load_trace(dir + "ccmm_no_such_trace.tbin", c),
                std::runtime_error);
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// Write `image` into a pipe (the whole blob fits the kernel buffer
+/// for these sizes, so no writer thread is needed) and hand back the
+/// read end.
+int pipe_with(const std::string& image) {
+  int fds[2] = {-1, -1};
+  EXPECT_EQ(::pipe(fds), 0);
+  std::size_t at = 0;
+  while (at < image.size()) {
+    const ssize_t k =
+        ::write(fds[1], image.data() + at, image.size() - at);
+    if (k <= 0) {
+      ADD_FAILURE() << "pipe write failed";
+      break;
+    }
+    at += static_cast<std::size_t>(k);
+  }
+  ::close(fds[1]);
+  return fds[0];
+}
+
+TEST(TraceBinary, NonSeekableInputsStreamWithoutTempFiles) {
+  // Pipes cannot seek or mmap: the read-to-EOF fallback must hand the
+  // checker the identical image, for both formats and through both the
+  // descriptor constructor and load_trace("-")-style consumers.
+  const Computation c = workload::contended_counter(5);
+  ScMemory mem;
+  const Trace trace = run_serial(c, mem).trace;
+  const std::string image = image_of(trace);
+
+  {
+    const int rd = pipe_with(image);
+    const MappedTraceFile f(rd, "<pipe>");
+    ::close(rd);
+    EXPECT_FALSE(f.mapped());
+    ASSERT_EQ(f.size(), image.size());
+    EXPECT_EQ(std::memcmp(f.data(), image.data(), image.size()), 0);
+    expect_events_equal(read_trace_binary(f.data(), f.size(), c), trace);
+  }
+  {
+    // Text down a pipe: the single-open load path parses straight from
+    // the drained buffer.
+    std::ostringstream txt;
+    write_trace(trace, txt);
+    const int rd = pipe_with(txt.str());
+    const MappedTraceFile f(rd, "<pipe>");
+    ::close(rd);
+    EXPECT_EQ(detect_trace_format(f.data(), f.size()), TraceFormat::kText);
+  }
+  {
+    // A FIFO by path: load_trace must open it exactly once (the sniff
+    // used to cost the first 8 bytes).
+    const std::string fifo = ::testing::TempDir() + "ccmm_trace_fifo";
+    ::unlink(fifo.c_str());
+    ASSERT_EQ(::mkfifo(fifo.c_str(), 0600), 0);
+    std::thread writer([&] {
+      std::ofstream out(fifo, std::ios::binary);
+      out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    });
+    expect_events_equal(load_trace(fifo, c), trace);
+    writer.join();
+    ::unlink(fifo.c_str());
+  }
+}
+
+TEST(TraceBinary, TruncatedPipeImagesReportExactOffsets) {
+  const Computation c = workload::contended_counter(4);
+  ScMemory mem;
+  const Trace trace = run_serial(c, mem).trace;
+  const std::string image = image_of(trace);
+
+  // Cut inside the header: the 32-byte header check fires at the
+  // truncated size.
+  for (const std::size_t cut : {std::size_t{7}, std::size_t{31}}) {
+    const int rd = pipe_with(image.substr(0, cut));
+    const MappedTraceFile f(rd, "<pipe>");
+    ::close(rd);
+    try {
+      (void)read_trace_binary(f.data(), f.size(), c);
+      FAIL() << "truncated header must throw";
+    } catch (const TraceReadError& e) {
+      EXPECT_EQ(e.offset(), cut);
+    }
+  }
+  // Cut inside a record: event_count disagrees with the drained size;
+  // the offset pins the count field at byte 16.
+  for (const std::size_t drop : {std::size_t{1}, std::size_t{17}}) {
+    const int rd = pipe_with(image.substr(0, image.size() - drop));
+    const MappedTraceFile f(rd, "<pipe>");
+    ::close(rd);
+    try {
+      (void)read_trace_binary(f.data(), f.size(), c);
+      FAIL() << "truncated record must throw";
+    } catch (const TraceReadError& e) {
+      EXPECT_EQ(e.offset(), 16u);
+    }
+  }
+}
+
+#endif  // POSIX
 
 // ---------------------------------------------------------------------
 // Scalar-vs-SIMD differential suites. The kernels (dag/sweep.hpp) are

@@ -22,10 +22,18 @@ Three gate forms are accepted (repeatable, combinable):
       machine-independent budgets (bytes per node, shard counts), so
       unlike times they gate absolutely, no baseline involved.  A
       missing name or counter is reported and skipped, like above.
+  --gate "BM_LargeCheckLC/*#bytes_per_node<=48@arg>=16777216"
+      size-aware counter ceiling: the '/*' wildcard applies the gate to
+      every fresh row of the family, and the optional '@arg>=MIN'
+      restricts it to rows whose numeric benchmark argument (the final
+      /N) is at least MIN.  Fixed per-task scratch is amortized by
+      nodes, so byte budgets only bind at scale: small-n rows are
+      reported but never gate.  '@arg>=MIN' also works on a literal
+      name.
 
 Usage: tools/bench_delta.py BASELINE.json FRESH.json [--gate 1.5]
        [--gate "NAME<=baseline*1.05"]... [--gate "NAME#counter<=VALUE"]...
-       [--only PREFIX]...
+       [--gate "NAME/*#counter<=VALUE@arg>=MIN"]... [--only PREFIX]...
 """
 import argparse
 import json
@@ -54,19 +62,22 @@ def load_counters(report):
 GATE_EXPR = re.compile(
     r"^(?P<name>[^<>=]+?)\s*<=\s*baseline\s*\*\s*(?P<factor>[0-9.]+)$")
 GATE_COUNTER = re.compile(
-    r"^(?P<name>[^<>=#]+?)#(?P<counter>[A-Za-z0-9_]+)\s*<=\s*"
-    r"(?P<value>[0-9.]+)$")
+    r"^(?P<name>[^<>=#@]+?)#(?P<counter>[A-Za-z0-9_]+)\s*<=\s*"
+    r"(?P<value>[0-9.]+)"
+    r"(?:\s*@\s*arg\s*>=\s*(?P<minarg>[0-9]+))?$")
 
 
 def parse_gates(specs):
-    """Split --gate values into
-    (global_ratio | None, [(name, factor)], [(name, counter, ceiling)])."""
+    """Split --gate values into (global_ratio | None, [(name, factor)],
+    [(name, counter, ceiling, minarg | None)])."""
     ratio, exprs, counters = None, [], []
     for spec in specs:
         m = GATE_COUNTER.match(spec)
         if m:
+            minarg = m.group("minarg")
             counters.append((m.group("name").strip(), m.group("counter"),
-                             float(m.group("value"))))
+                             float(m.group("value")),
+                             int(minarg) if minarg is not None else None))
             continue
         m = GATE_EXPR.match(spec)
         if m:
@@ -76,10 +87,29 @@ def parse_gates(specs):
             ratio = float(spec)
         except ValueError:
             print(f"bench_delta: bad --gate {spec!r} (want a ratio, "
-                  f"'NAME<=baseline*F', or 'NAME#counter<=VALUE')",
+                  f"'NAME<=baseline*F', or "
+                  f"'NAME#counter<=VALUE[@arg>=MIN]')",
                   file=sys.stderr)
             sys.exit(2)
     return ratio, exprs, counters
+
+
+def match_rows(name, available):
+    """Expand a gate name to concrete benchmark rows.
+
+    'FAMILY/*' matches every available row named 'FAMILY/<suffix>'; a
+    literal name matches only itself.  Returns [] when nothing matches.
+    """
+    if name.endswith("/*"):
+        prefix = name[:-1]  # keep the slash: BM_Foo/* must not hit BM_Foox
+        return sorted(n for n in available if n.startswith(prefix))
+    return [name] if name in available else []
+
+
+def bench_arg(name):
+    """The numeric benchmark argument (the trailing /N), or None."""
+    tail = name.rsplit("/", 1)[-1]
+    return int(tail) if tail.isdigit() else None
 
 
 def main():
@@ -146,32 +176,45 @@ def main():
               f"{gate_ratio:.2f}x", file=sys.stderr)
         failed = True
     for name, factor in gate_exprs:
-        if name not in bt or name not in ft:
+        rows = [n for n in match_rows(name, ft) if n in bt]
+        if not rows:
             print(f"bench_delta: gate '{name}' not present in both reports "
                   f"(skipped, not gating)")
             continue
-        bound = bt[name] * factor
-        verdict = "OK" if ft[name] <= bound else "FAIL"
-        print(f"gate {name}: fresh {ft[name] / 1e6:.3f}ms vs bound "
-              f"{bound / 1e6:.3f}ms (baseline*{factor:g}) ... {verdict}")
-        if ft[name] > bound:
-            print(f"bench_delta: {name} exceeds baseline*{factor:g}",
-                  file=sys.stderr)
-            failed = True
+        for row in rows:
+            bound = bt[row] * factor
+            verdict = "OK" if ft[row] <= bound else "FAIL"
+            print(f"gate {row}: fresh {ft[row] / 1e6:.3f}ms vs bound "
+                  f"{bound / 1e6:.3f}ms (baseline*{factor:g}) ... {verdict}")
+            if ft[row] > bound:
+                print(f"bench_delta: {row} exceeds baseline*{factor:g}",
+                      file=sys.stderr)
+                failed = True
     fc = load_counters(fresh)
-    for name, counter, ceiling in gate_counters:
-        value = fc.get(name, {}).get(counter)
-        if value is None:
+    for name, counter, ceiling, minarg in gate_counters:
+        rows = [n for n in match_rows(name, fc)
+                if fc[n].get(counter) is not None]
+        if not rows:
             print(f"bench_delta: gate '{name}#{counter}' not present in the "
                   f"fresh report (skipped, not gating)")
             continue
-        verdict = "OK" if value <= ceiling else "FAIL"
-        print(f"gate {name}#{counter}: fresh {value:g} vs ceiling "
-              f"{ceiling:g} ... {verdict}")
-        if value > ceiling:
-            print(f"bench_delta: {name}#{counter} exceeds {ceiling:g}",
-                  file=sys.stderr)
-            failed = True
+        for row in rows:
+            value = fc[row][counter]
+            if minarg is not None:
+                arg = bench_arg(row)
+                if arg is None or arg < minarg:
+                    # Below the size qualifier: the budget is amortized
+                    # over too few nodes to be meaningful, report only.
+                    print(f"gate {row}#{counter}: fresh {value:g} "
+                          f"(arg below {minarg}, informational only)")
+                    continue
+            verdict = "OK" if value <= ceiling else "FAIL"
+            print(f"gate {row}#{counter}: fresh {value:g} vs ceiling "
+                  f"{ceiling:g} ... {verdict}")
+            if value > ceiling:
+                print(f"bench_delta: {row}#{counter} exceeds {ceiling:g}",
+                      file=sys.stderr)
+                failed = True
     return 1 if failed else 0
 
 

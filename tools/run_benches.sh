@@ -58,6 +58,18 @@ if [[ $mode == quick ]]; then
   filter='-(.*/6$|.*/10000$|.*/1048576$|.*/16777216$|.*/134217728$|BM_VerifyClosureLC/16384$|BM_FixpointParallel.*)'
 fi
 
+if [[ $mode == nightly ]]; then
+  # The nightly regen owns the box for ~25 minutes and the machine is
+  # one core: serialize against the serve stress harness (which takes
+  # the same lock) instead of silently contending with it.
+  lock_file="${CCMM_BENCH_LOCK:-/tmp/ccmm_bench.lock}"
+  exec 9>"$lock_file"
+  if ! flock -n 9; then
+    echo "waiting for $lock_file (another bench/stress run holds it)..." >&2
+    flock 9
+  fi
+fi
+
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -70,7 +82,7 @@ run_bench() {  # run_bench <binary> <out.json> [filter]
 }
 
 benches=(bench_construct bench_enumeration bench_sc_search bench_race
-         bench_checkers bench_trace)
+         bench_checkers bench_trace bench_serve)
 for b in "${benches[@]}"; do
   bin="$build_dir/bench/$b"
   if [[ ! -x $bin ]]; then
@@ -129,7 +141,7 @@ import json, sys
 
 tmp, out_file, mode = sys.argv[1], sys.argv[2], sys.argv[3]
 benches = ["bench_construct", "bench_enumeration", "bench_sc_search",
-           "bench_race", "bench_checkers", "bench_trace"]
+           "bench_race", "bench_checkers", "bench_trace", "bench_serve"]
 experiments = ["thm_verification", "fig4_nonconstructibility"]
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}

@@ -82,6 +82,11 @@ class Reader {
                                  size_ - at_));
   }
 
+  /// Unconsumed bytes. Array decoders check `count <= remaining() /
+  /// min-element-size` BEFORE reserving: a hostile count near 2^64
+  /// must fail as a truncation, not as a giant allocation attempt.
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - at_; }
+
  private:
   const unsigned char* p_;
   std::size_t size_;
@@ -154,7 +159,7 @@ FrameHeader decode_frame_header(const unsigned char in[16],
 }
 
 void write_frame(int fd, FrameType type, std::uint8_t flags,
-                 const void* payload, std::size_t size) {
+                 const void* payload, std::size_t size, int timeout_ms) {
   unsigned char head[kFrameHeaderBytes];
   encode_frame_header(FrameHeader{type, flags, size}, head);
   // One buffer, one write: interleaving-safe under the caller's lock
@@ -162,7 +167,7 @@ void write_frame(int fd, FrameType type, std::uint8_t flags,
   std::vector<unsigned char> buf(kFrameHeaderBytes + size);
   std::memcpy(buf.data(), head, kFrameHeaderBytes);
   if (size != 0) std::memcpy(buf.data() + kFrameHeaderBytes, payload, size);
-  net::write_all(fd, buf.data(), buf.size());
+  net::write_all(fd, buf.data(), buf.size(), timeout_ms);
 }
 
 bool read_frame(int fd, FrameHeader& header,
@@ -291,6 +296,12 @@ LargeCheckReport decode_report(const unsigned char* p, std::size_t size) {
   rep.pipelined = r.u8() != 0;
   rep.numa = r.str();
   const std::uint64_t nloc = r.u64();
+  // u32 + u8 + u32 + u64 + f64 + empty str(u64 length) = 33 bytes min.
+  if (nloc > r.remaining() / 33)
+    throw ProtocolError(
+        format("report claims %llu locations but only %zu payload bytes "
+               "remain",
+               static_cast<unsigned long long>(nloc), r.remaining()));
   rep.locations.reserve(static_cast<std::size_t>(nloc));
   for (std::uint64_t i = 0; i < nloc; ++i) {
     LocationCheck lc;
@@ -338,6 +349,12 @@ SnapshotImage decode_snapshot(const unsigned char* p, std::size_t size) {
   img.options.retain_events = true;
   img.computation_text = r.str();
   const std::uint64_t k = r.u64();
+  // Every event is exactly 8+8+4+4+4+4 = 32 wire bytes.
+  if (k > r.remaining() / 32)
+    throw ProtocolError(
+        format("snapshot claims %llu events but only %zu payload bytes "
+               "remain",
+               static_cast<unsigned long long>(k), r.remaining()));
   img.events.reserve(static_cast<std::size_t>(k));
   for (std::uint64_t i = 0; i < k; ++i) {
     BinaryTraceEvent e;

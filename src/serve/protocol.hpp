@@ -113,8 +113,11 @@ void encode_frame_header(const FrameHeader& h, unsigned char out[16]);
 
 /// Blocking writers/readers over a connected socket (the client and
 /// the tests; the server parses frames from its own readiness loop).
+/// `timeout_ms` >= 0 bounds the write (net::write_all semantics); the
+/// server passes its write_timeout_ms so a non-reading client cannot
+/// park a shard thread.
 void write_frame(int fd, FrameType type, std::uint8_t flags,
-                 const void* payload, std::size_t size);
+                 const void* payload, std::size_t size, int timeout_ms = -1);
 /// False on clean EOF before a header. Throws on mid-frame EOF.
 [[nodiscard]] bool read_frame(int fd, FrameHeader& header,
                               std::vector<unsigned char>& payload,

@@ -77,8 +77,13 @@ struct Session {
 
   std::atomic<std::uint32_t> inflight{0};  // queued event batches
 
-  std::mutex bind_mu;
-  std::weak_ptr<Conn> bound;  // connection to re-arm after throttling
+  // Connections parked on this session's backpressure. A session can
+  // have several live connections (the old one lingering across a
+  // kAttach re-bind), and ALL of them must be re-armed when inflight
+  // drops below the cap — resuming only the most recently bound one
+  // strands the rest.
+  std::mutex park_mu;
+  std::vector<std::weak_ptr<Conn>> parked;
 };
 
 struct Conn {
@@ -152,7 +157,8 @@ struct Server::Impl {
     if (c.closed.load(std::memory_order_relaxed)) return;
     std::lock_guard<std::mutex> lock(c.wmu);
     try {
-      write_frame(c.fd.get(), type, flags, payload.data(), payload.size());
+      write_frame(c.fd.get(), type, flags, payload.data(), payload.size(),
+                  opts.write_timeout_ms);
     } catch (const net::NetError&) {
       c.closed.store(true, std::memory_order_relaxed);
     }
@@ -273,8 +279,10 @@ struct Server::Impl {
   void drop_conn(Shard& sh, const std::shared_ptr<Conn>& c) {
     c->closed.store(true);
     if (c->sess != nullptr) {
-      std::lock_guard<std::mutex> lock(c->sess->bind_mu);
-      if (c->sess->bound.lock() == c) c->sess->bound.reset();
+      std::lock_guard<std::mutex> lock(c->sess->park_mu);
+      std::erase_if(c->sess->parked, [&](const std::weak_ptr<Conn>& w) {
+        return w.expired() || w.lock() == c;
+      });
     }
     sh.poller.remove(c->fd.get());
     sh.conns.erase(c->fd.get());
@@ -323,8 +331,10 @@ struct Server::Impl {
     {
       std::lock_guard<std::mutex> lock(c.wmu);
       try {
-        net::write_all(c.fd.get(), head.data(), head.size());
-        net::write_all(c.fd.get(), body.data(), body.size());
+        net::write_all(c.fd.get(), head.data(), head.size(),
+                       opts.write_timeout_ms);
+        net::write_all(c.fd.get(), body.data(), body.size(),
+                       opts.write_timeout_ms);
       } catch (const net::NetError&) {
       }
     }
@@ -403,14 +413,26 @@ struct Server::Impl {
         c->sess->inflight.fetch_add(1);
         submit(sh, std::move(t));
         // Backpressure: at the cap, stop reading this connection. The
-        // kernel thread re-arms it through the resume inbox once the
-        // session drains below the cap.
-        if (opts.kernel_offload &&
+        // kernel thread re-arms every parked connection through the
+        // resume inbox once the session drains below the cap. Park
+        // FIRST, then re-check inflight: if the kernel's final drain
+        // scanned the park list before we joined it, the re-check sees
+        // the drop and un-parks immediately instead of stalling.
+        if (opts.kernel_offload && !c->closed.load() &&
             c->sess->inflight.load() >= opts.max_pending_batches) {
           c->throttled = true;
-          stats.throttles.fetch_add(1, std::memory_order_relaxed);
-          sh.poller.modify(c->fd.get(), 0,
-                           static_cast<std::uint64_t>(c->fd.get()));
+          {
+            std::lock_guard<std::mutex> lock(c->sess->park_mu);
+            c->sess->parked.push_back(c);
+          }
+          if (c->sess->inflight.load() >= opts.max_pending_batches) {
+            stats.throttles.fetch_add(1, std::memory_order_relaxed);
+            sh.poller.modify(c->fd.get(), 0,
+                             static_cast<std::uint64_t>(c->fd.get()));
+          } else {
+            c->throttled = false;  // drained while parking; the stale
+                                   // park entry is skipped on resume
+          }
         }
         return;
       }
@@ -451,8 +473,6 @@ struct Server::Impl {
   void bind(const std::shared_ptr<Conn>& c,
             const std::shared_ptr<Session>& sess) {
     c->sess = sess;
-    std::lock_guard<std::mutex> lock(sess->bind_mu);
-    sess->bound = c;
   }
 
   void submit(Shard& sh, Task t) {
@@ -461,8 +481,65 @@ struct Server::Impl {
       return;
     }
     // Effectively unbounded: the per-session inflight caps bound the
-    // queue; push() blocking would stall the whole shard.
-    (void)sh.tasks.try_push(std::move(t));
+    // queue; push() blocking would stall the whole shard. A full
+    // channel is still answered — silently dropping a task would leave
+    // the client waiting forever (and, for kEvents, leak the inflight
+    // increment so the connection throttles permanently).
+    const Task::Kind kind = t.kind;
+    const std::shared_ptr<Session> sess = t.sess;
+    const std::shared_ptr<Conn> conn = t.conn;
+    if (sh.tasks.try_push(std::move(t))) return;
+    reject_overload(kind, *sess, *conn);
+  }
+
+  /// A task the shard channel refused: undo its side effects and tell
+  /// the client, so nothing hangs on a reply that will never come.
+  void reject_overload(Task::Kind kind, Session& s, Conn& c) {
+    const std::string why = "server overloaded: shard task queue is full";
+    if (kind == Task::Kind::kEvents) {
+      reply_error(c, why);
+      // A dropped batch leaves a hole in the stream that would only
+      // surface later as misleading "predecessor missing" rejects —
+      // close so the client sees the failure where it happened.
+      c.closed.store(true);
+      note_batch_done(s);  // undo the pre-submit inflight increment
+      return;
+    }
+    if (kind == Task::Kind::kOpen || kind == Task::Kind::kRestore) {
+      {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.open_error = why;
+        s.ready = true;
+      }
+      s.ready_cv.notify_all();
+      std::lock_guard<std::mutex> lock(reg_mu);
+      registry.erase(s.id);
+    }
+    reply_error(c, why);
+  }
+
+  /// One event batch left a session (ran or was rejected): decrement
+  /// inflight and, once it drops below the cap, re-arm every parked
+  /// connection — not just the latest-bound one.
+  void note_batch_done(Session& s) {
+    const std::uint32_t before = s.inflight.fetch_sub(1);
+    if (!opts.kernel_offload || before > opts.max_pending_batches) return;
+    std::vector<std::shared_ptr<Conn>> thaw;
+    {
+      std::lock_guard<std::mutex> lock(s.park_mu);
+      for (const std::weak_ptr<Conn>& w : s.parked)
+        if (std::shared_ptr<Conn> c = w.lock()) thaw.push_back(std::move(c));
+      s.parked.clear();
+    }
+    for (std::shared_ptr<Conn>& c : thaw) {
+      if (c->closed.load()) continue;
+      Shard& sh = *shards[c->shard];
+      {
+        std::lock_guard<std::mutex> lock(sh.inbox_mu);
+        sh.resume.push_back(std::move(c));
+      }
+      sh.poller.interrupt();
+    }
   }
 
   // ---- kernel thread ----
@@ -586,23 +663,7 @@ struct Server::Impl {
         }
       }
     }
-    // Crossing the cap from above re-arms the throttled connection.
-    const std::uint32_t before = s.inflight.fetch_sub(1);
-    if (opts.kernel_offload && before == opts.max_pending_batches) {
-      std::shared_ptr<Conn> bound;
-      {
-        std::lock_guard<std::mutex> lock(s.bind_mu);
-        bound = s.bound.lock();
-      }
-      if (bound != nullptr && !bound->closed.load()) {
-        Shard& sh = *shards[bound->shard];
-        {
-          std::lock_guard<std::mutex> lock(sh.inbox_mu);
-          sh.resume.push_back(std::move(bound));
-        }
-        sh.poller.interrupt();
-      }
-    }
+    note_batch_done(s);
   }
 
   void run_report(Task& t) {

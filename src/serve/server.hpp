@@ -55,6 +55,12 @@ struct ServerOptions {
   std::size_t max_pending_batches = 8;
   /// Largest accepted frame payload.
   std::uint64_t max_frame_bytes = std::uint64_t{1} << 30;
+  /// Upper bound on blocking inside one reply write. A client that
+  /// stops reading while a large kReport/kSnapshotData is in flight
+  /// gets its connection dropped at this deadline instead of parking
+  /// a shard thread (and every session behind it) forever. <0 = wait
+  /// indefinitely.
+  int write_timeout_ms = 5000;
 };
 
 /// Monotonic counters for /status; all atomics, read racily.

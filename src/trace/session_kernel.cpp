@@ -55,6 +55,11 @@ struct CheckSession::Loc {
   std::vector<NodeId> col;
   std::span<const NodeId> writers;
   LocState state;
+  // The write carried across batch boundaries by fill_columns. Lives
+  // here, not in a states_-indexed side vector: extra_state_for()
+  // splices into states_, and a parallel vector would need the same
+  // shift at the same position to stay aligned.
+  NodeId last_write = kBottom;
 };
 
 CheckSession::CheckSession(Computation c, SessionOptions options)
@@ -148,7 +153,6 @@ CheckSession::CheckSession(Computation c, SessionOptions options)
     st->state.init(kctx_, st->loc, &st->col, st->writers);
     states_.push_back(std::move(st));
   }
-  last_write_.assign(states_.size(), kBottom);
 
   // Node -> written-location index (kNoLoc for nops and accesses to
   // never-written locations), plus the write flag: the per-batch
@@ -213,7 +217,7 @@ void CheckSession::fill_columns(const BinaryTraceEvent* events,
     if (s.writers.empty()) continue;  // extras fill from events directly
     std::vector<NodeId>& col = s.col;
     const std::uint32_t wi = static_cast<std::uint32_t>(si);
-    NodeId last = last_write_[si];
+    NodeId last = s.last_write;
     for (std::size_t i = 0; i < count; ++i) {
       const BinaryTraceEvent& e = events[i];
       const NodeId u = e.node;
@@ -226,7 +230,7 @@ void CheckSession::fill_columns(const BinaryTraceEvent* events,
         col[u] = e.observed;
       }
     }
-    last_write_[si] = last;
+    s.last_write = last;
   }
   // Recorded observations at never-written locations still land in Φ
   // (they must fail 2.1 later, so they cannot be dropped here).
@@ -414,7 +418,7 @@ LargeCheckReport CheckSession::finish() { return make_report(true); }
 std::size_t CheckSession::memory_bytes() const noexcept {
   std::size_t bytes =
       (wblock_.capacity() + wloc_.capacity() + posv_.capacity() +
-       nloc_of_.capacity() + last_write_.capacity()) * sizeof(std::uint32_t) +
+       nloc_of_.capacity()) * sizeof(std::uint32_t) +
       topo_.capacity() * sizeof(NodeId) + is_write_.capacity() +
       arrived_.capacity() +
       retained_.capacity() * sizeof(BinaryTraceEvent) +

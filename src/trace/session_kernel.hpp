@@ -164,7 +164,6 @@ class CheckSession {
   // front (batch task order), never-written read targets spliced in
   // lazily when their first recorded observation arrives.
   std::vector<std::unique_ptr<Loc>> states_;
-  std::vector<NodeId> last_write_;       // per written location, kBottom=none
   LocArena arena_;
 
   std::vector<std::uint8_t> arrived_;

@@ -2,6 +2,7 @@
 #include "util/net.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
@@ -191,9 +192,13 @@ void set_nonblocking(int fd, bool on) {
   if (::fcntl(fd, F_SETFL, want) < 0) die_errno("fcntl(F_SETFL)");
 }
 
-void write_all(int fd, const void* data, std::size_t size) {
+void write_all(int fd, const void* data, std::size_t size, int timeout_ms) {
   const char* p = static_cast<const char*>(data);
   std::size_t at = 0;
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      timeout_ms >= 0 ? Clock::now() + std::chrono::milliseconds(timeout_ms)
+                      : Clock::time_point::max();
   while (at < size) {
     const ssize_t k = ::write(fd, p + at, size - at);
     if (k > 0) {
@@ -202,8 +207,18 @@ void write_all(int fd, const void* data, std::size_t size) {
     }
     if (k < 0 && errno == EINTR) continue;
     if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      int wait = -1;
+      if (timeout_ms >= 0) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now());
+        if (left.count() <= 0)
+          throw NetError(format(
+              "write stalled for %d ms (%zu of %zu bytes; peer not reading)",
+              timeout_ms, at, size));
+        wait = static_cast<int>(left.count());
+      }
       pollfd pfd{fd, POLLOUT, 0};
-      (void)::poll(&pfd, 1, -1);
+      (void)::poll(&pfd, 1, wait);
       continue;
     }
     die_errno("write");
@@ -408,7 +423,7 @@ Fd listen_on(const Addr&, int) { no_sockets(); }
 Fd connect_to(const Addr&) { no_sockets(); }
 Fd accept_from(int) { no_sockets(); }
 void set_nonblocking(int, bool) { no_sockets(); }
-void write_all(int, const void*, std::size_t) { no_sockets(); }
+void write_all(int, const void*, std::size_t, int) { no_sockets(); }
 bool read_exact(int, void*, std::size_t) { no_sockets(); }
 Poller::Poller() = default;
 Poller::~Poller() = default;

@@ -80,8 +80,13 @@ void set_nonblocking(int fd, bool on);
 
 /// write() to completion, retrying EINTR and spinning through EAGAIN
 /// (poll-for-writable) on non-blocking fds. Throws NetError when the
-/// peer is gone.
-void write_all(int fd, const void* data, std::size_t size);
+/// peer is gone. `timeout_ms` >= 0 bounds the TOTAL time spent waiting
+/// for writability: a peer that stops reading makes this throw instead
+/// of parking the calling thread forever — the caller is expected to
+/// drop the connection. -1 waits indefinitely (the client library's
+/// blocking sockets).
+void write_all(int fd, const void* data, std::size_t size,
+               int timeout_ms = -1);
 
 /// read() exactly `size` bytes. Returns false on clean EOF at offset 0;
 /// throws NetError on mid-record EOF or errors.

@@ -191,21 +191,19 @@ TEST(CheckSession, InterleavedScheduleStreamMatchesBatch) {
     expect_session_matches_batch(c, bad, kLargeCheckExt, chunk);
 }
 
-TEST(CheckSession, NeverWrittenLocationObservationsMatchBatch) {
-  // A recorded observation at a never-written location must spawn the
-  // batch engine's extra all-⊥ column (always failing 2.1) online too.
-  Rng rng(41);
-  Computation c = workload::random_ops(gen::random_dag(120, 0.05, rng), 4,
-                                       0.5, 0.1, rng);
-  // Retarget one read at a location nothing writes, so its recorded
-  // observation has no column to land in.
+/// Retarget one read of `c` at never-written location `extra`, plant a
+/// recorded observation on it mid-stream, and demand online ≡ batch.
+/// The extra state splices into the location-sorted task list at a
+/// position determined by `extra`, so callers pick it to land before
+/// or after the written states.
+void expect_extra_location_matches_batch(Computation c, Location extra) {
   std::vector<Op> ops;
   ops.reserve(c.node_count());
   for (NodeId u = 0; u < c.node_count(); ++u) ops.push_back(c.op(u));
   NodeId reader = kBottom;
   for (NodeId u = 0; u < c.node_count(); ++u)
     if (ops[u].is_read()) {
-      ops[u] = Op::read(Location{999});
+      ops[u] = Op::read(extra);
       reader = u;
       break;
     }
@@ -223,6 +221,37 @@ TEST(CheckSession, NeverWrittenLocationObservationsMatchBatch) {
   renumber(recs);
   for (const std::size_t chunk : {1u, 64u})
     expect_session_matches_batch(c, recs, kLargeCheckExt, chunk);
+}
+
+TEST(CheckSession, NeverWrittenLocationObservationsMatchBatch) {
+  // A recorded observation at a never-written location must spawn the
+  // batch engine's extra all-⊥ column (always failing 2.1) online too.
+  // Location 999 sorts after every written location: the splice lands
+  // at the tail of the task list.
+  Rng rng(41);
+  const Computation c = workload::random_ops(gen::random_dag(120, 0.05, rng),
+                                             4, 0.5, 0.1, rng);
+  expect_extra_location_matches_batch(c, Location{999});
+}
+
+TEST(CheckSession, NeverWrittenLowLocationSplicesBeforeWrittenStates) {
+  // The mirror case: the extra location sorts BEFORE every written
+  // one, so the mid-stream splice shifts every written state's index
+  // in the task list. Regression test for per-state bookkeeping kept
+  // in a states_-indexed side vector going out of alignment after the
+  // shift (out-of-bounds writes and wrong carried last-writes).
+  Rng rng(41);
+  Computation c = workload::random_ops(gen::random_dag(120, 0.05, rng), 4,
+                                       0.5, 0.1, rng);
+  std::vector<Op> ops;
+  ops.reserve(c.node_count());
+  for (NodeId u = 0; u < c.node_count(); ++u) {
+    Op o = c.op(u);
+    if (!o.is_nop()) ++o.loc;  // free up Location 0
+    ops.push_back(o);
+  }
+  c.set_ops(ops);
+  expect_extra_location_matches_batch(c, Location{0});
 }
 
 TEST(CheckSession, MidStreamCheckAndFastVerdictAreConsistent) {
@@ -413,7 +442,7 @@ Workload make_workload(std::uint64_t seed, std::size_t ops,
 
 TEST(Serve, EndToEndMatchesBatchAcrossChunkSizes) {
   const Workload w = make_workload(71, 2000, kLargeCheckExt, 4);
-  for (const serve::ServerOptions base :
+  for (const serve::ServerOptions& base :
        {serve::ServerOptions{}, [] {
           serve::ServerOptions o;
           o.kernel_offload = false;  // 1-core inline mode
